@@ -1,0 +1,33 @@
+//! E1 (Figure 1): wall-clock comparison of the three routers on the
+//! reconstructed figure scene.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gcr_bench::experiments::fig1_scene;
+use gcr_core::{route_two_points, RouterConfig};
+use gcr_grid::{grid_astar, lee_moore};
+
+fn bench_fig1(c: &mut Criterion) {
+    let (plane, s, d) = fig1_scene();
+    let config = RouterConfig::default();
+    let mut group = c.benchmark_group("fig1");
+    group.bench_function("gridless_astar", |b| {
+        b.iter(|| route_two_points(&plane, s, d, &config).expect("routes"))
+    });
+    group.bench_function("grid_astar_pitch1", |b| {
+        b.iter(|| grid_astar(&plane, s, d, 1).expect("routes"))
+    });
+    group.bench_function("lee_moore_pitch1", |b| {
+        b.iter(|| lee_moore(&plane, s, d, 1).expect("routes"))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_millis(1500))
+        .warm_up_time(std::time::Duration::from_millis(400));
+    targets = bench_fig1
+}
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! E2 (Figure 2): cost of the inverted-corner detection (ε on vs off).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gcr_core::{route_two_points, RouterConfig};
+use gcr_workload::fixtures;
+
+fn bench_fig2(c: &mut Criterion) {
+    let (plane, a, b, _) = fixtures::figure2();
+    let mut group = c.benchmark_group("fig2");
+    let with = RouterConfig::default();
+    let mut without = RouterConfig::default();
+    without.corner_penalty(false);
+    group.bench_function("with_epsilon", |bch| {
+        bch.iter(|| route_two_points(&plane, a, b, &with).expect("routes"))
+    });
+    group.bench_function("without_epsilon", |bch| {
+        bch.iter(|| route_two_points(&plane, a, b, &without).expect("routes"))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_millis(1500))
+        .warm_up_time(std::time::Duration::from_millis(400));
+    targets = bench_fig2
+}
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! E5: line probing vs maze search — the quick-first-try pattern.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gcr_bench::experiments::grid_layout;
+use gcr_core::{route_two_points, RouterConfig};
+use gcr_geom::Point;
+use gcr_hightower::{hightower, HightowerConfig};
+use gcr_workload::{fixtures, random_free_point, rng_for};
+
+fn bench_hightower(c: &mut Criterion) {
+    let layout = grid_layout(4, 4, 55);
+    let plane = layout.to_plane();
+    let mut rng = rng_for("bench-e5", 0);
+    let pairs: Vec<(Point, Point)> = (0..10)
+        .map(|_| (random_free_point(&plane, &mut rng), random_free_point(&plane, &mut rng)))
+        .collect();
+    let ht = HightowerConfig::default();
+    let config = RouterConfig::default();
+
+    let mut group = c.benchmark_group("hightower");
+    group.bench_function("probe_random", |b| {
+        b.iter(|| {
+            for &(s, d) in &pairs {
+                let _ = hightower(&plane, s, d, &ht);
+            }
+        })
+    });
+    group.bench_function("astar_random", |b| {
+        b.iter(|| {
+            for &(s, d) in &pairs {
+                let _ = route_two_points(&plane, s, d, &config);
+            }
+        })
+    });
+    group.bench_function("fallback_pattern", |b| {
+        b.iter(|| {
+            for &(s, d) in &pairs {
+                if hightower(&plane, s, d, &ht).is_err() {
+                    let _ = route_two_points(&plane, s, d, &config);
+                }
+            }
+        })
+    });
+    let (spiral, s, d) = fixtures::spiral();
+    group.bench_function("spiral_fallback", |b| {
+        b.iter(|| {
+            let tight = HightowerConfig { max_level: 3, max_lines: 400 };
+            if hightower(&spiral, s, d, &tight).is_err() {
+                let _ = route_two_points(&spiral, s, d, &config);
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_millis(1500))
+        .warm_up_time(std::time::Duration::from_millis(400));
+    targets = bench_hightower
+}
+criterion_main!(benches);

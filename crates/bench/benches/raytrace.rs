@@ -1,0 +1,86 @@
+//! Ablation: the paper's topologically ordered ray-tracing index vs a
+//! linear obstacle scan, measured both at the query level and end-to-end
+//! through the router.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gcr_core::{route_two_points, RouterConfig};
+use gcr_geom::{Dir, Plane, Point, Rect};
+use gcr_workload::{random_free_point, rng_for};
+use rand::Rng;
+
+/// A plane with `n` random non-overlapping blocks.
+fn plane_with_blocks(n: usize, indexed: bool) -> Plane {
+    let mut rng = rng_for("raytrace", n as u64);
+    let size = 1_000;
+    let mut plane = Plane::new(Rect::new(0, 0, size, size).unwrap());
+    let mut placed: Vec<Rect> = Vec::new();
+    while placed.len() < n {
+        let w = rng.gen_range(10..60);
+        let h = rng.gen_range(10..60);
+        let x = rng.gen_range(1..size - w);
+        let y = rng.gen_range(1..size - h);
+        let r = Rect::new(x, y, x + w, y + h).unwrap();
+        if placed.iter().all(|q| !q.inflate(2).unwrap().touches(&r)) {
+            placed.push(r);
+        }
+    }
+    for r in placed {
+        plane.add_obstacle(r);
+    }
+    if indexed {
+        plane.build_index();
+    }
+    plane
+}
+
+fn bench_raytrace(c: &mut Criterion) {
+    let mut group = c.benchmark_group("raytrace");
+    for n in [16usize, 64, 256] {
+        let naive = plane_with_blocks(n, false);
+        let indexed = plane_with_blocks(n, true);
+        let mut rng = rng_for("raytrace-origins", n as u64);
+        let origins: Vec<Point> = (0..64).map(|_| random_free_point(&naive, &mut rng)).collect();
+        group.bench_with_input(BenchmarkId::new("linear_scan", n), &origins, |b, origins| {
+            b.iter(|| {
+                let mut acc = 0i64;
+                for &o in origins {
+                    for d in Dir::ALL {
+                        acc += naive.ray_hit(o, d).distance;
+                    }
+                }
+                acc
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("topo_index", n), &origins, |b, origins| {
+            b.iter(|| {
+                let mut acc = 0i64;
+                for &o in origins {
+                    for d in Dir::ALL {
+                        acc += indexed.ray_hit(o, d).distance;
+                    }
+                }
+                acc
+            })
+        });
+        // End-to-end: one routing query over the same field.
+        let config = RouterConfig::default();
+        let (s, t) = (origins[0], origins[1]);
+        group.bench_with_input(BenchmarkId::new("route_linear", n), &(), |b, ()| {
+            b.iter(|| route_two_points(&naive, s, t, &config))
+        });
+        group.bench_with_input(BenchmarkId::new("route_indexed", n), &(), |b, ()| {
+            b.iter(|| route_two_points(&indexed, s, t, &config))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_millis(1500))
+        .warm_up_time(std::time::Duration::from_millis(400));
+    targets = bench_raytrace
+}
+criterion_main!(benches);

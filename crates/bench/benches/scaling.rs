@@ -1,0 +1,54 @@
+//! E4: routing time vs problem size for the gridless router and the
+//! Lee–Moore baseline at several pitches.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gcr_bench::experiments::grid_layout;
+use gcr_core::{route_two_points, RouterConfig};
+use gcr_geom::Point;
+use gcr_grid::lee_moore;
+use gcr_workload::{random_free_point, rng_for};
+
+fn bench_scaling(c: &mut Criterion) {
+    let config = RouterConfig::default();
+    let mut group = c.benchmark_group("scaling");
+    for (rows, cols) in [(2, 2), (4, 4), (6, 6)] {
+        let cells = rows * cols;
+        let layout = grid_layout(rows, cols, cells as u64);
+        let plane = layout.to_plane();
+        let mut rng = rng_for("bench-e4", cells as u64);
+        let pairs: Vec<(Point, Point)> = (0..8)
+            .map(|_| (random_free_point(&plane, &mut rng), random_free_point(&plane, &mut rng)))
+            .collect();
+        group.bench_with_input(BenchmarkId::new("gridless", cells), &pairs, |b, pairs| {
+            b.iter(|| {
+                for &(s, d) in pairs {
+                    let _ = route_two_points(&plane, s, d, &config);
+                }
+            })
+        });
+        for pitch in [2, 1] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("lee_moore_p{pitch}"), cells),
+                &pairs,
+                |b, pairs| {
+                    b.iter(|| {
+                        for &(s, d) in pairs {
+                            let _ = lee_moore(&plane, s, d, pitch);
+                        }
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_millis(1500))
+        .warm_up_time(std::time::Duration::from_millis(400));
+    targets = bench_scaling
+}
+criterion_main!(benches);

@@ -1,0 +1,104 @@
+//! Minimal markdown table rendering for experiment reports.
+
+use std::fmt;
+
+/// A titled table of string cells, rendered as GitHub-flavoured markdown.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Experiment title (becomes a heading).
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of cells; ragged rows are padded when rendered.
+    pub rows: Vec<Vec<String>>,
+    /// Free-form notes shown under the table.
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    #[must_use]
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Table {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| (*s).to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn row<I: IntoIterator<Item = S>, S: Into<String>>(&mut self, cells: I) {
+        self.rows.push(cells.into_iter().map(Into::into).collect());
+    }
+
+    /// Appends a note shown below the table.
+    pub fn note(&mut self, text: impl Into<String>) {
+        self.notes.push(text.into());
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "### {}\n", self.title)?;
+        let cols = self.headers.len().max(
+            self.rows.iter().map(Vec::len).max().unwrap_or(0),
+        );
+        let cell = |row: &[String], i: usize| row.get(i).cloned().unwrap_or_default();
+        // Column widths for aligned plain-text rendering.
+        let mut widths = vec![0usize; cols];
+        for (i, w) in widths.iter_mut().enumerate() {
+            *w = cell(&self.headers, i).len();
+            for r in &self.rows {
+                *w = (*w).max(cell(r, i).len());
+            }
+        }
+        let write_row = |f: &mut fmt::Formatter<'_>, row: &[String]| -> fmt::Result {
+            write!(f, "|")?;
+            for (i, width) in widths.iter().enumerate() {
+                write!(f, " {:width$} |", cell(row, i))?;
+            }
+            writeln!(f)
+        };
+        write_row(f, &self.headers)?;
+        write!(f, "|")?;
+        for w in &widths {
+            write!(f, "{:-<width$}|", "", width = w + 2)?;
+        }
+        writeln!(f)?;
+        for r in &self.rows {
+            write_row(f, r)?;
+        }
+        for n in &self.notes {
+            writeln!(f, "\n*{n}*")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_markdown() {
+        let mut t = Table::new("Demo", &["router", "nodes"]);
+        t.row(["gridless", "12"]);
+        t.row(["lee-moore", "3456"]);
+        t.note("lower is better");
+        let s = t.to_string();
+        assert!(s.contains("### Demo"));
+        assert!(s.contains("| router"));
+        assert!(s.contains("| gridless"));
+        assert!(s.contains("*lower is better*"));
+        assert!(s.lines().any(|l| l.starts_with("|--") || l.starts_with("|-")));
+    }
+
+    #[test]
+    fn pads_ragged_rows() {
+        let mut t = Table::new("R", &["a", "b", "c"]);
+        t.row(["1"]);
+        let s = t.to_string();
+        assert!(s.contains("| 1 |"));
+    }
+}

@@ -1,0 +1,77 @@
+//! Routing errors.
+
+use std::error::Error;
+use std::fmt;
+
+use gcr_geom::Point;
+
+/// Failure modes of the global router.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RouteError {
+    /// A route endpoint is outside the plane or inside an obstacle.
+    InvalidEndpoint {
+        /// The offending point.
+        point: Point,
+    },
+    /// No legal path exists between the source set and the goal set.
+    Unreachable {
+        /// Name of the net being routed (or a description of the
+        /// connection for ad-hoc routes).
+        what: String,
+    },
+    /// The per-connection expansion limit was exceeded.
+    LimitExceeded {
+        /// Name of the net being routed.
+        what: String,
+        /// The limit that was hit.
+        limit: usize,
+    },
+    /// The net cannot be routed because it has nothing to connect.
+    NothingToRoute {
+        /// Name of the net.
+        what: String,
+    },
+}
+
+impl fmt::Display for RouteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RouteError::InvalidEndpoint { point } => {
+                write!(f, "route endpoint {point} is not a legal wire position")
+            }
+            RouteError::Unreachable { what } => {
+                write!(f, "no legal path exists for {what}")
+            }
+            RouteError::LimitExceeded { what, limit } => {
+                write!(f, "expansion limit {limit} exceeded while routing {what}")
+            }
+            RouteError::NothingToRoute { what } => {
+                write!(f, "{what} has fewer than two terminals")
+            }
+        }
+    }
+}
+
+impl Error for RouteError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_subject() {
+        let e = RouteError::Unreachable { what: "net clk".into() };
+        assert!(e.to_string().contains("clk"));
+        let e = RouteError::LimitExceeded { what: "net d0".into(), limit: 9 };
+        assert!(e.to_string().contains('9'));
+        let e = RouteError::InvalidEndpoint { point: Point::new(1, 2) };
+        assert!(e.to_string().contains("(1, 2)"));
+    }
+
+    #[test]
+    fn is_error_send_sync() {
+        fn check<T: Error + Send + Sync>() {}
+        check::<RouteError>();
+    }
+}

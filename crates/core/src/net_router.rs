@@ -1,0 +1,608 @@
+//! Net-level and layout-level routing drivers.
+//!
+//! [`GlobalRouter`] routes every net of a layout **independently** —
+//! "independently routing each net considerably reduces the complexity of
+//! the search since the only obstacles are the cells … Independent net
+//! routing also eliminates the problem of net ordering" — and implements
+//! the paper's two-pass congestion flow on top.
+
+use std::fmt;
+
+use gcr_geom::{Plane, Segment};
+use gcr_layout::{Layout, Net, NetId};
+use gcr_search::SearchStats;
+
+use crate::congestion::{analyze, find_passages, CongestionAnalysis, CongestionPenalty};
+use crate::{
+    route_from_tree, EdgeCoster, GoalSet, RouteError, RouteTree, RoutedPath, RouterConfig,
+};
+
+/// The routing tree of one net, with per-connection detail.
+#[derive(Debug, Clone)]
+pub struct NetRoute {
+    /// The net's name.
+    pub net: String,
+    /// The net id within its layout.
+    pub id: NetId,
+    /// One routed connection per terminal beyond the first, in the order
+    /// the tree grew (nearest terminal first, Prim-style).
+    pub connections: Vec<RoutedPath>,
+    /// The completed routing tree.
+    pub tree: RouteTree,
+    /// Accumulated search statistics over all connections.
+    pub stats: SearchStats,
+}
+
+impl NetRoute {
+    /// Total wire length of the net's tree.
+    #[must_use]
+    pub fn wire_length(&self) -> i64 {
+        self.tree.wire_length()
+    }
+
+    /// Total bends over all connections.
+    #[must_use]
+    pub fn bends(&self) -> usize {
+        self.connections.iter().map(RoutedPath::bends).sum()
+    }
+
+    /// The tree's wire segments.
+    #[must_use]
+    pub fn segments(&self) -> &[Segment] {
+        self.tree.segments()
+    }
+}
+
+impl fmt::Display for NetRoute {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "net {}: {} connection(s), length {}, {} bend(s)",
+            self.net,
+            self.connections.len(),
+            self.wire_length(),
+            self.bends()
+        )
+    }
+}
+
+/// The result of routing a whole layout.
+#[derive(Debug, Clone, Default)]
+pub struct GlobalRouting {
+    /// Successful routes.
+    pub routes: Vec<NetRoute>,
+    /// Nets that failed, with the reason.
+    pub failures: Vec<(NetId, RouteError)>,
+}
+
+impl GlobalRouting {
+    /// Total wire length over all routed nets.
+    #[must_use]
+    pub fn wire_length(&self) -> i64 {
+        self.routes.iter().map(NetRoute::wire_length).sum()
+    }
+
+    /// Aggregate search statistics.
+    #[must_use]
+    pub fn stats(&self) -> SearchStats {
+        let mut total = SearchStats::default();
+        for r in &self.routes {
+            total.absorb(&r.stats);
+        }
+        total
+    }
+
+    /// Number of successfully routed nets.
+    #[must_use]
+    pub fn routed_count(&self) -> usize {
+        self.routes.len()
+    }
+
+    /// The route for a given net id, if it succeeded.
+    #[must_use]
+    pub fn route_for(&self, id: NetId) -> Option<&NetRoute> {
+        self.routes.iter().find(|r| r.id == id)
+    }
+}
+
+impl fmt::Display for GlobalRouting {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "routed {}/{} nets, total length {}",
+            self.routes.len(),
+            self.routes.len() + self.failures.len(),
+            self.wire_length()
+        )
+    }
+}
+
+/// Report of a two-pass congestion-aware routing run.
+#[derive(Debug, Clone)]
+pub struct TwoPassReport {
+    /// The final routing (pass-2 routes for affected nets, pass-1 routes
+    /// for the rest).
+    pub routing: GlobalRouting,
+    /// Congestion before the reroute.
+    pub before: CongestionAnalysis,
+    /// Congestion after the reroute.
+    pub after: CongestionAnalysis,
+    /// How many nets were rerouted.
+    pub rerouted: usize,
+}
+
+/// Routes the nets of a [`Layout`] over its cells.
+#[derive(Debug)]
+pub struct GlobalRouter<'a> {
+    layout: &'a Layout,
+    plane: Plane,
+    config: RouterConfig,
+}
+
+impl<'a> GlobalRouter<'a> {
+    /// Builds a router for `layout` (cells become the obstacle plane).
+    #[must_use]
+    pub fn new(layout: &'a Layout, config: RouterConfig) -> GlobalRouter<'a> {
+        GlobalRouter {
+            layout,
+            plane: layout.to_plane(),
+            config,
+        }
+    }
+
+    /// The obstacle plane the router searches.
+    #[must_use]
+    pub fn plane(&self) -> &Plane {
+        &self.plane
+    }
+
+    /// The active configuration.
+    #[must_use]
+    pub fn config(&self) -> &RouterConfig {
+        &self.config
+    }
+
+    /// Routes one net (no congestion surcharges).
+    ///
+    /// # Errors
+    ///
+    /// See [`RouteError`].
+    pub fn route_net(&self, id: NetId) -> Result<NetRoute, RouteError> {
+        self.route_net_with(id, None)
+    }
+
+    /// Routes one net, optionally under congestion penalties (pass 2).
+    ///
+    /// The tree is grown Prim-style: starting from the first terminal's
+    /// pins, each step runs one multi-source A\* from the whole tree (all
+    /// segments are connection points) to the pins of all unconnected
+    /// terminals and commits the cheapest connection found; the reached
+    /// terminal's *other* pins join the connected set too (multi-pin
+    /// terminals).
+    ///
+    /// # Errors
+    ///
+    /// See [`RouteError`].
+    pub fn route_net_with(
+        &self,
+        id: NetId,
+        penalty: Option<&CongestionPenalty>,
+    ) -> Result<NetRoute, RouteError> {
+        self.grow_net(id, penalty, true)
+    }
+
+    /// Routes one net with the paper's strawman connection rule: the
+    /// spanning tree "would only consider the pins (vertices) as potential
+    /// connection points" — new connections may start only at already
+    /// connected *pins*, never at tree segments. Exists to quantify the
+    /// benefit of the segment-connection Steiner approximation
+    /// (experiment E6).
+    ///
+    /// # Errors
+    ///
+    /// See [`RouteError`].
+    pub fn route_net_pin_tree(&self, id: NetId) -> Result<NetRoute, RouteError> {
+        self.grow_net(id, None, false)
+    }
+
+    fn grow_net(
+        &self,
+        id: NetId,
+        penalty: Option<&CongestionPenalty>,
+        segment_connections: bool,
+    ) -> Result<NetRoute, RouteError> {
+        let net: &Net = self
+            .layout
+            .net(id)
+            .ok_or(RouteError::NothingToRoute { what: format!("{id}") })?;
+        let terminals = net.terminals();
+        if terminals.len() < 2 {
+            return Err(RouteError::NothingToRoute { what: format!("net {}", net.name()) });
+        }
+        for pin in net.all_pins() {
+            if !self.plane.point_free(pin.position) {
+                return Err(RouteError::InvalidEndpoint { point: pin.position });
+            }
+        }
+        let coster = match penalty {
+            Some(p) => EdgeCoster::with_congestion(&self.plane, &self.config, p),
+            None => EdgeCoster::new(&self.plane, &self.config),
+        };
+
+        let mut tree = RouteTree::new();
+        for pin in terminals[0].pins() {
+            tree.add_point(pin.position);
+        }
+        let mut remaining: Vec<usize> = (1..terminals.len()).collect();
+        let mut connections = Vec::with_capacity(remaining.len());
+        let mut stats = SearchStats::default();
+
+        while !remaining.is_empty() {
+            let mut goals = GoalSet::new();
+            for &t in &remaining {
+                for pin in terminals[t].pins() {
+                    goals.add_point(pin.position);
+                }
+            }
+            let routed = if segment_connections {
+                route_from_tree(&self.plane, &tree, &goals, coster, &self.config)
+            } else {
+                // Strawman: seed only from connected pins/junction points.
+                let mut pin_tree = RouteTree::new();
+                for p in tree.points() {
+                    pin_tree.add_point(*p);
+                }
+                route_from_tree(&self.plane, &pin_tree, &goals, coster, &self.config)
+            }
+            .map_err(|e| match e {
+                    RouteError::Unreachable { .. } => RouteError::Unreachable {
+                        what: format!("net {}", net.name()),
+                    },
+                    RouteError::LimitExceeded { limit, .. } => RouteError::LimitExceeded {
+                        what: format!("net {}", net.name()),
+                        limit,
+                    },
+                    other => other,
+                })?;
+            let reached = routed.polyline.end();
+            let t = *remaining
+                .iter()
+                .find(|&&t| terminals[t].pins().iter().any(|p| p.position == reached))
+                .expect("search terminated on a goal pin");
+            tree.add_polyline(&routed.polyline);
+            for pin in terminals[t].pins() {
+                tree.add_point(pin.position);
+            }
+            remaining.retain(|&x| x != t);
+            stats.absorb(&routed.stats);
+            connections.push(routed);
+        }
+
+        Ok(NetRoute {
+            net: net.name().to_string(),
+            id,
+            connections,
+            tree,
+            stats,
+        })
+    }
+
+    /// Routes every net independently (pass 1). Failures are collected,
+    /// not fatal.
+    #[must_use]
+    pub fn route_all(&self) -> GlobalRouting {
+        self.route_all_with(None)
+    }
+
+    fn route_all_with(&self, penalty: Option<&CongestionPenalty>) -> GlobalRouting {
+        let mut out = GlobalRouting::default();
+        for idx in 0..self.layout.nets().len() {
+            let id = self
+                .layout
+                .net_by_name(self.layout.nets()[idx].name())
+                .expect("net enumerated from the layout");
+            match self.route_net_with(id, penalty) {
+                Ok(r) => out.routes.push(r),
+                Err(e) => out.failures.push((id, e)),
+            }
+        }
+        out
+    }
+
+    /// The paper's two-pass congestion flow: route everything, measure
+    /// passage congestion, then reroute only the nets that use
+    /// over-subscribed passages with those passages surcharged.
+    #[must_use]
+    pub fn route_two_pass(&self) -> TwoPassReport {
+        let first = self.route_all();
+        let passages = find_passages(&self.plane);
+        let collect = |routing: &GlobalRouting| {
+            routing
+                .routes
+                .iter()
+                .map(|r| (r.id.index(), r.segments().to_vec()))
+                .collect::<Vec<_>>()
+        };
+        let segs = collect(&first);
+        let before = analyze(
+            &passages,
+            segs.iter().map(|(i, s)| (*i, s.as_slice())),
+            self.config.wire_pitch,
+        );
+        let affected = before.affected_nets();
+        if affected.is_empty() {
+            let after = before.clone();
+            return TwoPassReport { routing: first, before, after, rerouted: 0 };
+        }
+        let penalty = before.penalty(self.config.congestion_weight);
+        let mut routing = GlobalRouting::default();
+        let mut rerouted = 0;
+        for r in &first.routes {
+            if affected.contains(&r.id.index()) {
+                match self.route_net_with(r.id, Some(&penalty)) {
+                    Ok(new_route) => {
+                        rerouted += 1;
+                        routing.routes.push(new_route);
+                    }
+                    Err(e) => routing.failures.push((r.id, e)),
+                }
+            } else {
+                routing.routes.push(r.clone());
+            }
+        }
+        routing.failures.extend(first.failures.iter().cloned());
+        let segs = collect(&routing);
+        let after = analyze(
+            &passages,
+            segs.iter().map(|(i, s)| (*i, s.as_slice())),
+            self.config.wire_pitch,
+        );
+        TwoPassReport { routing, before, after, rerouted }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcr_geom::{Point, Rect};
+    use gcr_layout::Pin;
+
+    /// Two cells with an alley; pins on facing edges and outer edges.
+    fn two_cell_layout() -> Layout {
+        let mut l = Layout::new(Rect::new(0, 0, 100, 100).unwrap());
+        l.add_cell("a", Rect::new(10, 20, 40, 80).unwrap()).unwrap();
+        l.add_cell("b", Rect::new(50, 20, 90, 80).unwrap()).unwrap();
+        l
+    }
+
+    fn pin_net(l: &mut Layout, name: &str, pins: &[(&str, Point)]) -> NetId {
+        let id = l.add_net(name);
+        for (i, (cell, p)) in pins.iter().enumerate() {
+            let t = l.add_terminal(id, format!("t{i}"));
+            let pin = if *cell == "-" {
+                Pin::floating(*p)
+            } else {
+                Pin::on_cell(l.cell_by_name(cell).unwrap(), *p)
+            };
+            l.add_pin(t, pin).unwrap();
+        }
+        id
+    }
+
+    #[test]
+    fn two_terminal_net_routes_minimally() {
+        let mut l = two_cell_layout();
+        let id = pin_net(
+            &mut l,
+            "w",
+            &[("a", Point::new(40, 50)), ("b", Point::new(50, 50))],
+        );
+        l.validate().unwrap();
+        let router = GlobalRouter::new(&l, RouterConfig::default());
+        let r = router.route_net(id).unwrap();
+        assert_eq!(r.wire_length(), 10);
+        assert_eq!(r.connections.len(), 1);
+    }
+
+    #[test]
+    fn three_terminal_net_uses_segment_connection() {
+        // The trunk A-B routes first (it is the nearest terminal and its
+        // straight route is unique); pin C below then connects to the
+        // trunk *segment* at (50,50), not to either pin.
+        let mut l = Layout::new(Rect::new(0, 0, 100, 100).unwrap());
+        let id = l.add_net("t3");
+        for (i, p) in [Point::new(0, 50), Point::new(60, 50), Point::new(50, 10)]
+            .iter()
+            .enumerate()
+        {
+            let t = l.add_terminal(id, format!("t{i}"));
+            l.add_pin(t, Pin::floating(*p)).unwrap();
+        }
+        let router = GlobalRouter::new(&l, RouterConfig::default());
+        let r = router.route_net(id).unwrap();
+        // Trunk 60 + stem 40 = 100. A pin-only spanning tree would cost
+        // 60 + 50 (C to the nearest *pin*, B) = 110.
+        assert_eq!(r.wire_length(), 100);
+        assert_eq!(r.connections.len(), 2);
+        // The stem lands on the trunk interior.
+        assert_eq!(r.connections[1].polyline.start(), Point::new(50, 50));
+    }
+
+    #[test]
+    fn pin_tree_strawman_is_longer_than_segment_tree() {
+        let mut l = Layout::new(Rect::new(0, 0, 100, 100).unwrap());
+        let id = l.add_net("t3");
+        for (i, p) in [Point::new(0, 50), Point::new(60, 50), Point::new(50, 10)]
+            .iter()
+            .enumerate()
+        {
+            let t = l.add_terminal(id, format!("t{i}"));
+            l.add_pin(t, Pin::floating(*p)).unwrap();
+        }
+        let router = GlobalRouter::new(&l, RouterConfig::default());
+        let steiner = router.route_net(id).unwrap();
+        let strawman = router.route_net_pin_tree(id).unwrap();
+        assert_eq!(steiner.wire_length(), 100); // trunk 60 + stem 40
+        assert_eq!(strawman.wire_length(), 110); // trunk 60 + C-to-B 50
+        assert!(steiner.wire_length() < strawman.wire_length());
+    }
+
+    #[test]
+    fn multi_pin_terminal_uses_closest_pin() {
+        let mut l = two_cell_layout();
+        let id = l.add_net("mp");
+        // Terminal 0: single pin on cell a's east face.
+        let t0 = l.add_terminal(id, "src");
+        l.add_pin(t0, Pin::on_cell(l.cell_by_name("a").unwrap(), Point::new(40, 50)))
+            .unwrap();
+        // Terminal 1: two equivalent pins on cell b; the west-face pin is
+        // far closer than the east-face pin.
+        let t1 = l.add_terminal(id, "dst");
+        l.add_pin(t1, Pin::on_cell(l.cell_by_name("b").unwrap(), Point::new(90, 70)))
+            .unwrap();
+        l.add_pin(t1, Pin::on_cell(l.cell_by_name("b").unwrap(), Point::new(50, 50)))
+            .unwrap();
+        let router = GlobalRouter::new(&l, RouterConfig::default());
+        let r = router.route_net(id).unwrap();
+        assert_eq!(r.wire_length(), 10, "should use the west-face pin");
+    }
+
+    #[test]
+    fn multi_pin_terminal_enlarges_connected_set() {
+        // After connecting terminal B via its near pin, terminal C should
+        // be able to connect to B's *other* pin at zero extra cost from
+        // that pin's side.
+        let mut l = Layout::new(Rect::new(0, 0, 200, 100).unwrap());
+        let id = l.add_net("chain");
+        let t0 = l.add_terminal(id, "a");
+        l.add_pin(t0, Pin::floating(Point::new(0, 50))).unwrap();
+        let t1 = l.add_terminal(id, "b");
+        l.add_pin(t1, Pin::floating(Point::new(20, 50))).unwrap();
+        l.add_pin(t1, Pin::floating(Point::new(180, 50))).unwrap();
+        let t2 = l.add_terminal(id, "c");
+        l.add_pin(t2, Pin::floating(Point::new(190, 50))).unwrap();
+        let router = GlobalRouter::new(&l, RouterConfig::default());
+        let r = router.route_net(id).unwrap();
+        // a-b: 20. c connects to b's far pin: 10. Without multi-pin
+        // bookkeeping c would have to reach the wire at x<=20: 170.
+        assert_eq!(r.wire_length(), 30);
+    }
+
+    #[test]
+    fn single_terminal_net_is_rejected() {
+        let mut l = two_cell_layout();
+        let id = l.add_net("lonely");
+        let t = l.add_terminal(id, "only");
+        l.add_pin(t, Pin::floating(Point::new(5, 5))).unwrap();
+        let router = GlobalRouter::new(&l, RouterConfig::default());
+        assert!(matches!(
+            router.route_net(id),
+            Err(RouteError::NothingToRoute { .. })
+        ));
+    }
+
+    #[test]
+    fn route_all_collects_failures() {
+        let mut l = two_cell_layout();
+        pin_net(
+            &mut l,
+            "good",
+            &[("-", Point::new(5, 5)), ("-", Point::new(95, 5))],
+        );
+        let bad = l.add_net("bad");
+        let t = l.add_terminal(bad, "only");
+        l.add_pin(t, Pin::floating(Point::new(5, 95))).unwrap();
+        let router = GlobalRouter::new(&l, RouterConfig::default());
+        let routing = router.route_all();
+        assert_eq!(routing.routed_count(), 1);
+        assert_eq!(routing.failures.len(), 1);
+        assert!(routing.wire_length() > 0);
+        assert!(routing.route_for(bad).is_none());
+    }
+
+    #[test]
+    fn independent_nets_do_not_block_each_other() {
+        let mut l = two_cell_layout();
+        // Two nets whose straight routes are identical: both legal because
+        // nets see only cells.
+        let n1 = pin_net(
+            &mut l,
+            "n1",
+            &[("-", Point::new(45, 0)), ("-", Point::new(45, 100))],
+        );
+        let n2 = pin_net(
+            &mut l,
+            "n2",
+            &[("-", Point::new(45, 0)), ("-", Point::new(45, 100))],
+        );
+        let router = GlobalRouter::new(&l, RouterConfig::default());
+        let r1 = router.route_net(n1).unwrap();
+        let r2 = router.route_net(n2).unwrap();
+        assert_eq!(r1.wire_length(), r2.wire_length());
+        assert_eq!(r1.wire_length(), 100);
+    }
+
+    #[test]
+    fn two_pass_reduces_alley_congestion() {
+        // A narrow alley (capacity 2 at pitch 5) and several nets whose
+        // shortest routes all run through it, while a slightly longer
+        // path around the outside exists.
+        let mut l = Layout::new(Rect::new(0, 0, 200, 120).unwrap());
+        l.add_cell("a", Rect::new(40, 20, 95, 100).unwrap()).unwrap();
+        l.add_cell("b", Rect::new(105, 20, 160, 100).unwrap()).unwrap();
+        for i in 0..4 {
+            let x = 96 + i * 2; // pins near the alley mouth
+            pin_net(
+                &mut l,
+                &format!("n{i}"),
+                &[
+                    ("-", Point::new(x, 0)),
+                    ("-", Point::new(x, 110)),
+                ],
+            );
+        }
+        let mut config = RouterConfig::default();
+        config.wire_pitch(5).congestion_weight(6);
+        let router = GlobalRouter::new(&l, config);
+        let report = router.route_two_pass();
+        assert!(report.before.total_overflow() > 0, "scenario must congest");
+        assert!(report.rerouted > 0);
+        assert!(
+            report.after.total_overflow() < report.before.total_overflow(),
+            "second pass should relieve the alley: before {}, after {}",
+            report.before.total_overflow(),
+            report.after.total_overflow()
+        );
+        assert_eq!(report.routing.routed_count(), 4);
+    }
+
+    #[test]
+    fn pins_inside_cells_are_invalid_endpoints() {
+        let mut l = two_cell_layout();
+        let id = pin_net(
+            &mut l,
+            "bad",
+            &[("-", Point::new(20, 50)), ("-", Point::new(95, 5))],
+        );
+        let router = GlobalRouter::new(&l, RouterConfig::default());
+        assert!(matches!(
+            router.route_net(id),
+            Err(RouteError::InvalidEndpoint { .. })
+        ));
+    }
+
+    #[test]
+    fn display_summaries() {
+        let mut l = two_cell_layout();
+        let id = pin_net(
+            &mut l,
+            "w",
+            &[("a", Point::new(40, 50)), ("b", Point::new(50, 50))],
+        );
+        let router = GlobalRouter::new(&l, RouterConfig::default());
+        let r = router.route_net(id).unwrap();
+        assert!(r.to_string().contains("net w"));
+        let routing = router.route_all();
+        assert!(routing.to_string().contains("routed"));
+    }
+}

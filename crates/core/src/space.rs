@@ -1,0 +1,291 @@
+//! The routing search space: gridless successor generation.
+//!
+//! This is the paper's §"Generating Successors" made precise. From a state
+//! the search casts a ray in each direction (except straight back). Along
+//! the ray it generates a node at:
+//!
+//! 1. every **goal alignment** — a coordinate sharing an axis value with a
+//!    goal ("extends any path as far toward the goal as is feasible"),
+//! 2. every **anchored corner coordinate** — the corner coordinates of
+//!    obstacles lying to one side of the ray, at which turning toward the
+//!    obstacle can begin to hug it ("hugs cells as they are encountered"),
+//! 3. the **ray stop** itself — the collision point on the blocking cell's
+//!    face, or the plane boundary.
+//!
+//! ## Why this is complete and optimal
+//!
+//! Any minimal rectilinear path among rectangles can be *pulled taut*:
+//! each maximal straight segment slides sideways (length is preserved)
+//! until it either (a) becomes flush with an obstacle edge, (b) aligns
+//! with a terminal coordinate, or (c) merges with an adjacent segment.
+//! In a taut path every bend therefore lies at the intersection of a
+//! coordinate from {terminal coordinates} ∪ {obstacle edge coordinates}
+//! on each axis, with the anchoring obstacle on the side the path turns
+//! toward. Those are exactly the stops generated above, so the implicit
+//! graph contains a minimal path and A\* with the Manhattan lower bound
+//! (admissible, per the paper's argument) finds one. The experiment suite
+//! cross-validates this against the Lee–Moore router on thousands of
+//! random instances (experiment E3).
+
+use gcr_geom::Plane;
+use gcr_search::{LexCost, SearchSpace};
+
+use crate::{EdgeCoster, GoalSet, RouteState};
+
+/// The gridless routing problem fed to the generic A\* engine.
+#[derive(Debug, Clone)]
+pub struct RoutingSpace<'a> {
+    plane: &'a Plane,
+    goals: &'a GoalSet,
+    sources: Vec<(RouteState, LexCost)>,
+    coster: EdgeCoster<'a>,
+    /// When set, successors step only to the adjacent Hanan grid line
+    /// (per-axis sorted coordinate lists, obstacle edges ∪ goal
+    /// alignments) instead of jumping along full rays — the E9 ablation.
+    hanan: Option<(Vec<gcr_geom::Coord>, Vec<gcr_geom::Coord>)>,
+}
+
+impl<'a> RoutingSpace<'a> {
+    /// Builds a routing space over `plane` from explicit sources toward
+    /// `goals`, priced by `coster`.
+    #[must_use]
+    pub fn new(
+        plane: &'a Plane,
+        goals: &'a GoalSet,
+        sources: Vec<(RouteState, LexCost)>,
+        coster: EdgeCoster<'a>,
+    ) -> RoutingSpace<'a> {
+        RoutingSpace { plane, goals, sources, coster, hanan: None }
+    }
+
+    /// Switches successor generation to the Hanan-walk ablation (single
+    /// steps between adjacent Hanan grid lines; see
+    /// [`crate::RouterConfig::hanan_walk`]).
+    #[must_use]
+    pub fn with_hanan_walk(mut self, on: bool) -> RoutingSpace<'a> {
+        self.hanan = on.then(|| {
+            let mut xs = self.plane.corner_coords(gcr_geom::Axis::X);
+            let mut ys = self.plane.corner_coords(gcr_geom::Axis::Y);
+            // Goal alignments must be grid lines too, or goals off the
+            // obstacle grid would be unreachable.
+            let mut add = |p: gcr_geom::Point| {
+                xs.push(p.x);
+                ys.push(p.y);
+            };
+            for g in self.goals.points() {
+                add(*g);
+            }
+            for s in self.goals.segments() {
+                add(s.a());
+                add(s.b());
+            }
+            for (s, _) in &self.sources {
+                add(s.point);
+            }
+            xs.sort_unstable();
+            xs.dedup();
+            ys.sort_unstable();
+            ys.dedup();
+            (xs, ys)
+        });
+        self
+    }
+
+    /// The plane being routed over.
+    #[must_use]
+    pub fn plane(&self) -> &Plane {
+        self.plane
+    }
+}
+
+impl SearchSpace for RoutingSpace<'_> {
+    type State = RouteState;
+    type Cost = LexCost;
+
+    fn start_states(&self) -> Vec<(RouteState, LexCost)> {
+        self.sources.clone()
+    }
+
+    fn successors(&self, state: &RouteState, out: &mut Vec<(RouteState, LexCost)>) {
+        let p = state.point;
+        for dir in gcr_geom::Dir::ALL {
+            if state.reverses_into(dir) {
+                continue;
+            }
+            let hit = self.plane.ray_hit(p, dir);
+            if hit.distance == 0 {
+                continue;
+            }
+            let axis = dir.axis();
+            let mut stops;
+            if let Some((xs, ys)) = &self.hanan {
+                // Ablation: step only to the adjacent Hanan grid line in
+                // this direction (clipped by the ray stop).
+                let coords = match axis {
+                    gcr_geom::Axis::X => xs,
+                    gcr_geom::Axis::Y => ys,
+                };
+                let u0 = p.coord(axis);
+                let next = if dir.sign() > 0 {
+                    let i = coords.partition_point(|&c| c <= u0);
+                    coords.get(i).copied().filter(|&c| c <= hit.stop)
+                } else {
+                    let i = coords.partition_point(|&c| c < u0);
+                    i.checked_sub(1)
+                        .and_then(|i| coords.get(i))
+                        .copied()
+                        .filter(|&c| c >= hit.stop)
+                };
+                stops = Vec::new();
+                if let Some(c) = next {
+                    stops.push(c);
+                }
+            } else {
+                stops = self.goals.stops_along_ray(p, dir, hit.stop);
+                for c in self.plane.corner_candidates(p, dir, hit.stop) {
+                    stops.push(c.at);
+                }
+                stops.push(hit.stop);
+            }
+            stops.sort_unstable();
+            stops.dedup();
+            for c in stops {
+                let to = p.with_coord(axis, c);
+                debug_assert_ne!(to, p, "zero-length successor");
+                let edge = self.coster.edge(state, to, dir);
+                out.push((RouteState::arrived(to, dir), edge));
+            }
+        }
+    }
+
+    fn is_goal(&self, state: &RouteState) -> bool {
+        self.goals.contains(state.point)
+    }
+
+    fn heuristic(&self, state: &RouteState) -> LexCost {
+        LexCost::primary(self.goals.distance_to(state.point))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RouterConfig;
+    use gcr_search::PathCost;
+    use gcr_geom::{Dir, Point, Rect};
+
+    fn one_block() -> Plane {
+        let mut p = Plane::new(Rect::new(0, 0, 100, 100).unwrap());
+        p.add_obstacle(Rect::new(30, 30, 70, 70).unwrap());
+        p
+    }
+
+    fn space_over<'a>(
+        plane: &'a Plane,
+        goals: &'a GoalSet,
+        config: &RouterConfig,
+        from: Point,
+    ) -> RoutingSpace<'a> {
+        RoutingSpace::new(
+            plane,
+            goals,
+            vec![(RouteState::source(from), LexCost::zero())],
+            EdgeCoster::new(plane, config),
+        )
+    }
+
+    #[test]
+    fn open_plane_successors_align_with_goal() {
+        let plane = Plane::new(Rect::new(0, 0, 100, 100).unwrap());
+        let goals = GoalSet::from_point(Point::new(40, 60));
+        let config = RouterConfig::default();
+        let space = space_over(&plane, &goals, &config, Point::new(10, 10));
+        let mut succ = Vec::new();
+        space.successors(&RouteState::source(Point::new(10, 10)), &mut succ);
+        // East: goal alignment at x=40 and the boundary at x=100.
+        assert!(succ
+            .iter()
+            .any(|(s, _)| s.point == Point::new(40, 10) && s.arrival == Some(Dir::East)));
+        // North: goal alignment at y=60 and the boundary at y=100.
+        assert!(succ
+            .iter()
+            .any(|(s, _)| s.point == Point::new(10, 60) && s.arrival == Some(Dir::North)));
+        // Boundary stops exist too.
+        assert!(succ.iter().any(|(s, _)| s.point == Point::new(100, 10)));
+        assert!(succ.iter().any(|(s, _)| s.point == Point::new(10, 0)));
+    }
+
+    #[test]
+    fn collision_generates_hug_point() {
+        let plane = one_block();
+        let goals = GoalSet::from_point(Point::new(90, 50));
+        let config = RouterConfig::default();
+        let space = space_over(&plane, &goals, &config, Point::new(10, 50));
+        let mut succ = Vec::new();
+        space.successors(&RouteState::source(Point::new(10, 50)), &mut succ);
+        // The eastward ray must stop exactly on the block's west face.
+        assert!(succ
+            .iter()
+            .any(|(s, _)| s.point == Point::new(30, 50) && s.arrival == Some(Dir::East)));
+        // Nothing may penetrate the block.
+        assert!(succ
+            .iter()
+            .all(|(s, _)| !(s.point.x > 30 && s.point.x < 70 && s.point.y > 30 && s.point.y < 70)));
+    }
+
+    #[test]
+    fn corner_candidates_appear_on_off_axis_rays() {
+        let plane = one_block();
+        let goals = GoalSet::from_point(Point::new(90, 90));
+        let config = RouterConfig::default();
+        // From below the block, heading east along y=10: the block's corner
+        // xs (30 and 70) are anchored candidates.
+        let space = space_over(&plane, &goals, &config, Point::new(0, 10));
+        let mut succ = Vec::new();
+        space.successors(&RouteState::source(Point::new(0, 10)), &mut succ);
+        assert!(succ.iter().any(|(s, _)| s.point == Point::new(30, 10)));
+        assert!(succ.iter().any(|(s, _)| s.point == Point::new(70, 10)));
+    }
+
+    #[test]
+    fn reverse_direction_is_skipped() {
+        let plane = one_block();
+        let goals = GoalSet::from_point(Point::new(90, 90));
+        let config = RouterConfig::default();
+        let space = space_over(&plane, &goals, &config, Point::new(10, 10));
+        let state = RouteState::arrived(Point::new(50, 10), Dir::East);
+        let mut succ = Vec::new();
+        space.successors(&state, &mut succ);
+        assert!(
+            succ.iter().all(|(s, _)| s.arrival != Some(Dir::West)),
+            "westward successor would reverse the arrival direction"
+        );
+    }
+
+    #[test]
+    fn goal_test_and_heuristic() {
+        let plane = one_block();
+        let goals = GoalSet::from_point(Point::new(90, 50));
+        let config = RouterConfig::default();
+        let space = space_over(&plane, &goals, &config, Point::new(10, 50));
+        assert!(space.is_goal(&RouteState::arrived(Point::new(90, 50), Dir::East)));
+        assert!(!space.is_goal(&RouteState::source(Point::new(10, 50))));
+        assert_eq!(
+            space.heuristic(&RouteState::source(Point::new(10, 50))),
+            LexCost::primary(80)
+        );
+    }
+
+    #[test]
+    fn edge_costs_are_distances() {
+        let plane = one_block();
+        let goals = GoalSet::from_point(Point::new(90, 50));
+        let config = RouterConfig::default();
+        let space = space_over(&plane, &goals, &config, Point::new(10, 50));
+        let mut succ = Vec::new();
+        space.successors(&RouteState::source(Point::new(10, 50)), &mut succ);
+        for (s, c) in succ {
+            assert_eq!(c.primary, Point::new(10, 50).manhattan(s.point));
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Search states of the gridless router.
+
+use std::fmt;
+
+use gcr_geom::{Dir, Point};
+
+/// A state of the gridless search: a point in the routing plane together
+/// with the direction the search arrived from.
+///
+/// The paper's plain formulation uses points alone; carrying the arrival
+/// direction makes turn-dependent costs (the inverted-corner ε, bend
+/// counting) compatible with A\*'s optimal-substructure requirement: two
+/// arrivals at the same point from different directions genuinely are
+/// different states when a subsequent turn is priced differently.
+///
+/// `arrival == None` marks a source state (a pin or a tree seed), from
+/// which the first move is never a bend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RouteState {
+    /// Where the search head is.
+    pub point: Point,
+    /// Direction of the move that reached `point`, or `None` at a source.
+    pub arrival: Option<Dir>,
+}
+
+impl RouteState {
+    /// A source state (no arrival direction).
+    #[must_use]
+    pub fn source(point: Point) -> RouteState {
+        RouteState { point, arrival: None }
+    }
+
+    /// A state reached by travelling `dir` into `point`.
+    #[must_use]
+    pub fn arrived(point: Point, dir: Dir) -> RouteState {
+        RouteState { point, arrival: Some(dir) }
+    }
+
+    /// Returns `true` if continuing in `dir` from this state would bend
+    /// the wire (quarter turn relative to the arrival direction).
+    #[must_use]
+    pub fn bends_into(&self, dir: Dir) -> bool {
+        match self.arrival {
+            Some(a) => a.axis() != dir.axis(),
+            None => false,
+        }
+    }
+
+    /// Returns `true` if `dir` reverses the arrival direction — never
+    /// useful on a minimal path, so the successor generator skips it.
+    #[must_use]
+    pub fn reverses_into(&self, dir: Dir) -> bool {
+        self.arrival == Some(dir.opposite())
+    }
+}
+
+impl fmt::Display for RouteState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.arrival {
+            Some(d) => write!(f, "{} via {}", self.point, d),
+            None => write!(f, "{} (source)", self.point),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn source_has_no_bend_or_reverse() {
+        let s = RouteState::source(Point::new(1, 2));
+        for d in Dir::ALL {
+            assert!(!s.bends_into(d));
+            assert!(!s.reverses_into(d));
+        }
+    }
+
+    #[test]
+    fn bend_detection_uses_axes() {
+        let s = RouteState::arrived(Point::new(0, 0), Dir::East);
+        assert!(!s.bends_into(Dir::East));
+        assert!(!s.bends_into(Dir::West));
+        assert!(s.bends_into(Dir::North));
+        assert!(s.bends_into(Dir::South));
+    }
+
+    #[test]
+    fn reverse_detection() {
+        let s = RouteState::arrived(Point::new(0, 0), Dir::North);
+        assert!(s.reverses_into(Dir::South));
+        assert!(!s.reverses_into(Dir::North));
+        assert!(!s.reverses_into(Dir::East));
+    }
+
+    #[test]
+    fn distinct_arrivals_are_distinct_states() {
+        let p = Point::new(3, 4);
+        let a = RouteState::arrived(p, Dir::East);
+        let b = RouteState::arrived(p, Dir::North);
+        let c = RouteState::source(p);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(b, c);
+    }
+
+    #[test]
+    fn display_mentions_direction() {
+        assert!(RouteState::arrived(Point::new(0, 0), Dir::West)
+            .to_string()
+            .contains("west"));
+        assert!(RouteState::source(Point::new(0, 0))
+            .to_string()
+            .contains("source"));
+    }
+}

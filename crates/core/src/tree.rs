@@ -1,0 +1,272 @@
+//! The growing routing tree of a multi-terminal net.
+//!
+//! The paper's Steiner approximation: *"The modification of the spanning
+//! tree algorithm considers all line segments in the spanning tree being
+//! built as potential connection points. A spanning tree would only
+//! consider the pins (vertices) as potential connection points."*
+//! [`RouteTree`] holds the segments and points connected so far and can
+//! seed a multi-source search from **every point of every segment** —
+//! realized finitely by seeding the canonical departure points (segment
+//! endpoints, goal projections, and obstacle-corner alignments).
+
+use std::collections::BTreeSet;
+
+use gcr_geom::{Axis, Coord, Plane, Point, Polyline, Segment};
+use gcr_search::{LexCost, PathCost};
+
+use crate::{GoalSet, RouteState};
+
+/// The connected set of a partially routed net: wire segments plus
+/// isolated points (pins connected with zero wire).
+#[derive(Debug, Clone, Default)]
+pub struct RouteTree {
+    points: Vec<Point>,
+    segments: Vec<Segment>,
+}
+
+impl RouteTree {
+    /// An empty tree.
+    #[must_use]
+    pub fn new() -> RouteTree {
+        RouteTree::default()
+    }
+
+    /// The isolated points (connected pins, junctions).
+    #[must_use]
+    pub fn points(&self) -> &[Point] {
+        &self.points
+    }
+
+    /// The wire segments.
+    #[must_use]
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    /// Returns `true` when nothing is connected yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty() && self.segments.is_empty()
+    }
+
+    /// Adds an isolated point (deduplicated).
+    pub fn add_point(&mut self, p: Point) {
+        if !self.points.contains(&p) {
+            self.points.push(p);
+        }
+    }
+
+    /// Adds every segment of a polyline (single-point polylines add their
+    /// point).
+    pub fn add_polyline(&mut self, polyline: &Polyline) {
+        if polyline.points().len() == 1 {
+            self.add_point(polyline.start());
+            return;
+        }
+        for seg in polyline.segments() {
+            if !seg.is_degenerate() {
+                self.segments.push(seg);
+            }
+        }
+    }
+
+    /// Returns `true` if `p` lies on the tree (on a segment or equal to a
+    /// point).
+    #[must_use]
+    pub fn contains(&self, p: Point) -> bool {
+        self.points.contains(&p) || self.segments.iter().any(|s| s.contains(p))
+    }
+
+    /// Total wire length of the tree (overlapping segments count twice; the
+    /// router never produces overlaps within one net because connections
+    /// terminate on first contact with the tree).
+    #[must_use]
+    pub fn wire_length(&self) -> Coord {
+        self.segments.iter().map(Segment::len).sum()
+    }
+
+    /// The minimum Manhattan distance from `p` to the tree.
+    #[must_use]
+    pub fn distance_to(&self, p: Point) -> Coord {
+        let mut best = Coord::MAX / 4;
+        for q in &self.points {
+            best = best.min(p.manhattan(*q));
+        }
+        for s in &self.segments {
+            best = best.min(s.manhattan_to_point(p));
+        }
+        best
+    }
+
+    /// Converts the tree into a goal set (used when searching *toward* the
+    /// tree, e.g. in tests).
+    #[must_use]
+    pub fn to_goal_set(&self) -> GoalSet {
+        let mut g = GoalSet::new();
+        for p in &self.points {
+            g.add_point(*p);
+        }
+        for s in &self.segments {
+            g.add_segment(*s);
+        }
+        g
+    }
+
+    /// The multi-source seed states for the next connection: "all line
+    /// segments in the spanning tree being built" are potential connection
+    /// points, realized by the canonical departure points —
+    ///
+    /// * every isolated point and segment endpoint,
+    /// * the projection of every goal point onto every segment,
+    /// * every obstacle-corner coordinate crossing a segment (a taut path
+    ///   leaving the segment turns at such an alignment).
+    ///
+    /// All seeds carry zero initial cost: leaving the existing tree is
+    /// free.
+    #[must_use]
+    pub fn seeds(&self, plane: &Plane, goals: &GoalSet) -> Vec<(RouteState, LexCost)> {
+        let mut pts: BTreeSet<Point> = BTreeSet::new();
+        pts.extend(self.points.iter().copied());
+        let mut goal_pts: Vec<Point> = goals.points().to_vec();
+        for s in goals.segments() {
+            goal_pts.push(s.a());
+            goal_pts.push(s.b());
+        }
+        for seg in &self.segments {
+            pts.insert(seg.a());
+            pts.insert(seg.b());
+            for g in &goal_pts {
+                pts.insert(seg.closest_point_to(*g));
+            }
+            let axis = seg.axis();
+            let span = seg.span();
+            for &c in &plane.corner_coords(axis) {
+                if span.contains(c) {
+                    pts.insert(seg.a().with_coord(axis, c));
+                }
+            }
+        }
+        pts.into_iter()
+            .map(|p| (RouteState::source(p), LexCost::zero()))
+            .collect()
+    }
+
+    /// The tree's segments split by axis, mostly for reporting.
+    #[must_use]
+    pub fn segments_by_axis(&self) -> (Vec<Segment>, Vec<Segment>) {
+        let mut h = Vec::new();
+        let mut v = Vec::new();
+        for s in &self.segments {
+            match s.axis() {
+                Axis::X => h.push(*s),
+                Axis::Y => v.push(*s),
+            }
+        }
+        (h, v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcr_geom::Rect;
+
+    #[test]
+    fn empty_tree() {
+        let t = RouteTree::new();
+        assert!(t.is_empty());
+        assert_eq!(t.wire_length(), 0);
+        assert!(!t.contains(Point::new(0, 0)));
+    }
+
+    #[test]
+    fn add_point_dedups() {
+        let mut t = RouteTree::new();
+        t.add_point(Point::new(1, 1));
+        t.add_point(Point::new(1, 1));
+        assert_eq!(t.points().len(), 1);
+        assert!(t.contains(Point::new(1, 1)));
+    }
+
+    #[test]
+    fn add_polyline_and_metrics() {
+        let mut t = RouteTree::new();
+        let p = Polyline::new(vec![
+            Point::new(0, 0),
+            Point::new(10, 0),
+            Point::new(10, 5),
+        ])
+        .unwrap();
+        t.add_polyline(&p);
+        assert_eq!(t.segments().len(), 2);
+        assert_eq!(t.wire_length(), 15);
+        assert!(t.contains(Point::new(5, 0)));
+        assert!(t.contains(Point::new(10, 3)));
+        assert!(!t.contains(Point::new(5, 1)));
+    }
+
+    #[test]
+    fn distance_to_tree() {
+        let mut t = RouteTree::new();
+        t.add_polyline(&Polyline::new(vec![Point::new(0, 0), Point::new(10, 0)]).unwrap());
+        assert_eq!(t.distance_to(Point::new(5, 3)), 3);
+        assert_eq!(t.distance_to(Point::new(12, 0)), 2);
+        t.add_point(Point::new(12, 1));
+        assert_eq!(t.distance_to(Point::new(12, 0)), 1);
+    }
+
+    #[test]
+    fn single_point_polyline_becomes_point() {
+        let mut t = RouteTree::new();
+        t.add_polyline(&Polyline::single(Point::new(4, 4)));
+        assert_eq!(t.points().len(), 1);
+        assert!(t.segments().is_empty());
+    }
+
+    #[test]
+    fn seeds_include_endpoints_projections_and_corners() {
+        let mut plane = Plane::new(Rect::new(0, 0, 100, 100).unwrap());
+        plane.add_obstacle(Rect::new(30, 50, 40, 60).unwrap());
+        let mut t = RouteTree::new();
+        t.add_polyline(&Polyline::new(vec![Point::new(0, 10), Point::new(80, 10)]).unwrap());
+        let goals = GoalSet::from_point(Point::new(55, 90));
+        let seeds = t.seeds(&plane, &goals);
+        let pts: Vec<Point> = seeds.iter().map(|(s, _)| s.point).collect();
+        assert!(pts.contains(&Point::new(0, 10))); // endpoint
+        assert!(pts.contains(&Point::new(80, 10))); // endpoint
+        assert!(pts.contains(&Point::new(55, 10))); // goal projection
+        assert!(pts.contains(&Point::new(30, 10))); // obstacle corner x
+        assert!(pts.contains(&Point::new(40, 10))); // obstacle corner x
+        for (s, c) in &seeds {
+            assert_eq!(s.arrival, None);
+            assert_eq!(*c, LexCost::zero());
+        }
+    }
+
+    #[test]
+    fn to_goal_set_mirrors_tree() {
+        let mut t = RouteTree::new();
+        t.add_point(Point::new(1, 2));
+        t.add_polyline(&Polyline::new(vec![Point::new(5, 5), Point::new(5, 9)]).unwrap());
+        let g = t.to_goal_set();
+        assert!(g.contains(Point::new(1, 2)));
+        assert!(g.contains(Point::new(5, 7)));
+        assert!(!g.contains(Point::new(2, 2)));
+    }
+
+    #[test]
+    fn segments_by_axis_partitions() {
+        let mut t = RouteTree::new();
+        t.add_polyline(
+            &Polyline::new(vec![
+                Point::new(0, 0),
+                Point::new(10, 0),
+                Point::new(10, 5),
+            ])
+            .unwrap(),
+        );
+        let (h, v) = t.segments_by_axis();
+        assert_eq!(h.len(), 1);
+        assert_eq!(v.len(), 1);
+    }
+}

@@ -1,0 +1,193 @@
+//! Experiment E3's backbone: the gridless router must be *exactly optimal*.
+//!
+//! Lee–Moore on a unit grid is provably minimal (breadth-first wavefront on
+//! unit steps), so on integer-coordinate instances the gridless A\* must
+//! return identical path lengths — the paper's claim that the line-search
+//! representation keeps "the thoroughness of the Lee–Moore approach".
+//! These tests sweep randomized placements and endpoints and compare the
+//! two routers connection by connection.
+
+use gcr_core::{route_two_points, RouteError, RouterConfig};
+use gcr_geom::{Plane, Point, Rect};
+use gcr_grid::{lee_moore, GridRouteError};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates a plane with up to `max_blocks` random non-overlapping blocks
+/// and two free endpoints. Small extents keep Lee–Moore affordable.
+fn random_instance(seed: u64, max_blocks: usize) -> (Plane, Point, Point) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let size = 60;
+    let bounds = Rect::new(0, 0, size, size).unwrap();
+    let mut plane = Plane::new(bounds);
+    let mut placed: Vec<Rect> = Vec::new();
+    let n = rng.gen_range(0..=max_blocks);
+    for _ in 0..n * 4 {
+        if placed.len() >= n {
+            break;
+        }
+        let w = rng.gen_range(4..20);
+        let h = rng.gen_range(4..20);
+        let x = rng.gen_range(1..size - w);
+        let y = rng.gen_range(1..size - h);
+        let r = Rect::new(x, y, x + w, y + h).unwrap();
+        // Keep blocks strictly apart so instances look like valid layouts.
+        let ok = placed.iter().all(|q| {
+            let grown = q.inflate(1).unwrap();
+            !grown.overlaps_open(&r) && !grown.touches(&r)
+        });
+        if ok {
+            placed.push(r);
+        }
+    }
+    for r in &placed {
+        plane.add_obstacle(*r);
+    }
+    let mut free_point = || loop {
+        let p = Point::new(rng.gen_range(0..=size), rng.gen_range(0..=size));
+        if plane.point_free(p) {
+            return p;
+        }
+    };
+    let a = free_point();
+    let b = free_point();
+    (plane, a, b)
+}
+
+#[test]
+fn gridless_matches_lee_moore_on_500_random_instances() {
+    let config = RouterConfig::default();
+    let mut compared = 0;
+    for seed in 0..500u64 {
+        let (plane, a, b) = random_instance(seed, 6);
+        let gridless = route_two_points(&plane, a, b, &config);
+        let reference = lee_moore(&plane, a, b, 1);
+        match (gridless, reference) {
+            (Ok(g), Ok(r)) => {
+                assert_eq!(
+                    g.cost.primary, r.length,
+                    "seed {seed}: gridless {} vs lee-moore {} for {a} -> {b}",
+                    g.cost.primary, r.length
+                );
+                assert!(plane.polyline_free(&g.polyline), "seed {seed}: illegal wire");
+                compared += 1;
+            }
+            (Err(RouteError::Unreachable { .. }), Err(GridRouteError::Unreachable)) => {}
+            (g, r) => panic!("seed {seed}: disagreement {g:?} vs {r:?}"),
+        }
+    }
+    assert!(compared >= 450, "too few comparable instances: {compared}");
+}
+
+#[test]
+fn gridless_expands_far_fewer_nodes_than_lee_moore() {
+    let config = RouterConfig::default();
+    let mut gridless_total = 0usize;
+    let mut lee_total = 0usize;
+    let mut cases = 0;
+    for seed in 1000..1060u64 {
+        let (plane, a, b) = random_instance(seed, 6);
+        if let (Ok(g), Ok(r)) = (
+            route_two_points(&plane, a, b, &config),
+            lee_moore(&plane, a, b, 1),
+        ) {
+            if g.cost.primary < 20 {
+                continue; // trivial hops prove nothing
+            }
+            gridless_total += g.stats.expanded;
+            lee_total += r.stats.expanded;
+            cases += 1;
+        }
+    }
+    assert!(cases > 20, "not enough cases: {cases}");
+    assert!(
+        gridless_total * 10 < lee_total,
+        "gridless should expand >10x fewer nodes: {gridless_total} vs {lee_total} over {cases} cases"
+    );
+}
+
+#[test]
+fn hanan_walk_ablation_matches_costs_but_expands_more() {
+    // The Hanan-walk grid contains a minimal path (Hanan's theorem over
+    // obstacles + terminals), so costs must be identical; the paper's
+    // maximal ray extension must pay off in expansions on aggregate.
+    let anchored = RouterConfig::default();
+    let mut hanan = RouterConfig::default();
+    hanan.hanan_walk(true);
+    let mut anchored_exp = 0usize;
+    let mut hanan_exp = 0usize;
+    for seed in 3000..3120u64 {
+        let (plane, a, b) = random_instance(seed, 6);
+        match (
+            route_two_points(&plane, a, b, &anchored),
+            route_two_points(&plane, a, b, &hanan),
+        ) {
+            (Ok(x), Ok(y)) => {
+                assert_eq!(
+                    x.cost.primary, y.cost.primary,
+                    "seed {seed}: ablation changed the optimum"
+                );
+                anchored_exp += x.stats.expanded;
+                hanan_exp += y.stats.expanded;
+            }
+            (Err(_), Err(_)) => {}
+            (x, y) => panic!("seed {seed}: reachability disagreement {x:?} vs {y:?}"),
+        }
+    }
+    // These instances are sparse (≤ 6 blocks), so the walk's penalty is
+    // modest here; E9 shows the gap growing with obstacle density.
+    assert!(
+        (anchored_exp as f64) * 1.2 < hanan_exp as f64,
+        "ray jumps should clearly beat grid walking: {anchored_exp} vs {hanan_exp}"
+    );
+}
+
+#[test]
+fn corner_penalty_never_lengthens_routes() {
+    let mut plain = RouterConfig::default();
+    plain.corner_penalty(false);
+    let with_eps = RouterConfig::default();
+    for seed in 2000..2100u64 {
+        let (plane, a, b) = random_instance(seed, 5);
+        let p = route_two_points(&plane, a, b, &plain);
+        let e = route_two_points(&plane, a, b, &with_eps);
+        match (p, e) {
+            (Ok(p), Ok(e)) => {
+                assert_eq!(
+                    p.cost.primary, e.cost.primary,
+                    "seed {seed}: ε must be infinitesimal (lengths {} vs {})",
+                    p.cost.primary, e.cost.primary
+                );
+            }
+            (Err(_), Err(_)) => {}
+            (p, e) => panic!("seed {seed}: reachability changed {p:?} vs {e:?}"),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+    #[test]
+    fn routes_are_legal_and_at_least_manhattan(seed in 0u64..100_000) {
+        let (plane, a, b) = random_instance(seed, 8);
+        if let Ok(g) = route_two_points(&plane, a, b, &RouterConfig::default()) {
+            prop_assert!(plane.polyline_free(&g.polyline));
+            prop_assert_eq!(g.polyline.start(), a);
+            prop_assert_eq!(g.polyline.end(), b);
+            prop_assert!(g.cost.primary >= a.manhattan(b));
+            prop_assert_eq!(g.cost.primary, g.polyline.length());
+        }
+    }
+
+    #[test]
+    fn unobstructed_pairs_route_at_manhattan_distance(
+        ax in 0i64..60, ay in 0i64..60, bx in 0i64..60, by in 0i64..60,
+    ) {
+        let plane = Plane::new(Rect::new(0, 0, 60, 60).unwrap());
+        let (a, b) = (Point::new(ax, ay), Point::new(bx, by));
+        let g = route_two_points(&plane, a, b, &RouterConfig::default()).unwrap();
+        prop_assert_eq!(g.cost.primary, a.manhattan(b));
+        prop_assert!(g.polyline.bends() <= 1, "open-plane route needs at most one bend");
+    }
+}

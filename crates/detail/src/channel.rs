@@ -1,0 +1,314 @@
+//! The classic channel-routing model: pin rows, density, and the vertical
+//! constraint graph.
+
+use std::collections::HashSet;
+use std::error::Error;
+use std::fmt;
+
+use gcr_geom::Interval;
+
+use crate::leftedge::NetSpan;
+
+/// Errors from channel construction and routing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ChannelError {
+    /// Top and bottom pin rows have different lengths.
+    RaggedRows,
+    /// A net appears in only one column (nothing to route) — callers
+    /// should drop such nets before building the channel.
+    TrivialNet {
+        /// The offending net.
+        net: usize,
+    },
+    /// The vertical constraint graph has a cycle; the dogleg-free
+    /// left-edge algorithm cannot route this channel.
+    CyclicConstraint,
+}
+
+impl fmt::Display for ChannelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChannelError::RaggedRows => write!(f, "top and bottom pin rows differ in length"),
+            ChannelError::TrivialNet { net } => {
+                write!(f, "net {net} appears in a single column")
+            }
+            ChannelError::CyclicConstraint => {
+                write!(f, "vertical constraint graph is cyclic; doglegs would be required")
+            }
+        }
+    }
+}
+
+impl Error for ChannelError {}
+
+/// A channel-routing instance in the classic two-row notation: column `c`
+/// has pin `top[c]` on the upper cell edge and `bottom[c]` on the lower
+/// edge (`None` = no pin). Nets are small integers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChannelProblem {
+    top: Vec<Option<usize>>,
+    bottom: Vec<Option<usize>>,
+    net_count: usize,
+}
+
+impl ChannelProblem {
+    /// Builds a channel from its pin rows.
+    ///
+    /// # Errors
+    ///
+    /// [`ChannelError::RaggedRows`] when the rows differ in length;
+    /// [`ChannelError::TrivialNet`] when a net has a single pin column.
+    pub fn new(
+        top: Vec<Option<usize>>,
+        bottom: Vec<Option<usize>>,
+    ) -> Result<ChannelProblem, ChannelError> {
+        if top.len() != bottom.len() {
+            return Err(ChannelError::RaggedRows);
+        }
+        let mut nets: HashSet<usize> = HashSet::new();
+        for row in [&top, &bottom] {
+            for n in row.iter().flatten() {
+                nets.insert(*n);
+            }
+        }
+        let net_count = nets.iter().max().map_or(0, |m| m + 1);
+        let problem = ChannelProblem { top, bottom, net_count };
+        for n in nets {
+            let cols = problem.columns_of(n);
+            if cols.len() < 2 {
+                return Err(ChannelError::TrivialNet { net: n });
+            }
+        }
+        Ok(problem)
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.top.len()
+    }
+
+    /// Highest net id + 1 (ids may be sparse).
+    #[must_use]
+    pub fn net_count(&self) -> usize {
+        self.net_count
+    }
+
+    /// The columns where `net` has pins (either row), sorted.
+    #[must_use]
+    pub fn columns_of(&self, net: usize) -> Vec<usize> {
+        let mut cols: Vec<usize> = (0..self.width())
+            .filter(|&c| self.top[c] == Some(net) || self.bottom[c] == Some(net))
+            .collect();
+        cols.sort_unstable();
+        cols
+    }
+
+    /// The horizontal spans each net must cover, one [`NetSpan`] per net
+    /// that actually appears, indexed by net id (absent nets get empty
+    /// spans and are skipped by the routers via `net_spans`).
+    #[must_use]
+    pub fn net_spans(&self) -> Vec<NetSpan> {
+        (0..self.net_count)
+            .map(|n| {
+                let cols = self.columns_of(n);
+                let (lo, hi) = match (cols.first(), cols.last()) {
+                    (Some(&a), Some(&b)) => (a as i64, b as i64),
+                    _ => (0, 0),
+                };
+                NetSpan { net: n, span: Interval::new(lo, hi).expect("sorted columns") }
+            })
+            .collect()
+    }
+
+    /// Top pin row.
+    #[must_use]
+    pub fn top(&self) -> &[Option<usize>] {
+        &self.top
+    }
+
+    /// Bottom pin row.
+    #[must_use]
+    pub fn bottom(&self) -> &[Option<usize>] {
+        &self.bottom
+    }
+}
+
+/// The channel density: the maximum, over columns, of nets whose span
+/// crosses the column — a lower bound on the track count.
+#[must_use]
+pub fn density(problem: &ChannelProblem) -> usize {
+    let spans = problem.net_spans();
+    let active: Vec<&NetSpan> = spans
+        .iter()
+        .filter(|s| !problem.columns_of(s.net).is_empty())
+        .collect();
+    (0..problem.width() as i64)
+        .map(|c| active.iter().filter(|s| s.span.contains(c)).count())
+        .max()
+        .unwrap_or(0)
+}
+
+/// The vertical constraint graph: an edge `a → b` means net `a` (pinned on
+/// top in some column) must run in a higher track than net `b` (pinned on
+/// the bottom of the same column).
+#[derive(Debug, Clone)]
+pub struct Vcg {
+    /// `parents[n]` = nets that must lie above net `n`.
+    parents: Vec<Vec<usize>>,
+}
+
+impl Vcg {
+    /// Builds the VCG of a channel.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChannelError::CyclicConstraint`] when the graph is cyclic.
+    pub fn build(problem: &ChannelProblem) -> Result<Vcg, ChannelError> {
+        let n = problem.net_count();
+        let mut parents: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for c in 0..problem.width() {
+            if let (Some(a), Some(b)) = (problem.top()[c], problem.bottom()[c]) {
+                if a != b && !parents[b].contains(&a) {
+                    parents[b].push(a);
+                }
+            }
+        }
+        let vcg = Vcg { parents };
+        if vcg.has_cycle() {
+            return Err(ChannelError::CyclicConstraint);
+        }
+        Ok(vcg)
+    }
+
+    /// Nets that must lie above net `n`.
+    #[must_use]
+    pub fn parents(&self, n: usize) -> &[usize] {
+        &self.parents[n]
+    }
+
+    fn has_cycle(&self) -> bool {
+        // Kahn-style: repeatedly remove nodes with no unremoved parents.
+        let n = self.parents.len();
+        let mut removed = vec![false; n];
+        let mut remaining = n;
+        loop {
+            let mut progress = false;
+            for v in 0..n {
+                if !removed[v] && self.parents[v].iter().all(|&p| removed[p]) {
+                    removed[v] = true;
+                    remaining -= 1;
+                    progress = true;
+                }
+            }
+            if remaining == 0 {
+                return false;
+            }
+            if !progress {
+                return true;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::leftedge::constrained_left_edge;
+
+    /// A small example with an acyclic constraint chain 2 → 1 → 0.
+    fn example() -> ChannelProblem {
+        // columns:    0        1        2     3        4        5
+        let top = vec![Some(0), Some(1), None, Some(1), Some(2), None];
+        let bot = vec![None, Some(0), Some(1), None, Some(1), Some(2)];
+        ChannelProblem::new(top, bot).unwrap()
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert!(matches!(
+            ChannelProblem::new(vec![None], vec![None, None]),
+            Err(ChannelError::RaggedRows)
+        ));
+        assert!(matches!(
+            ChannelProblem::new(vec![Some(0)], vec![None]),
+            Err(ChannelError::TrivialNet { net: 0 })
+        ));
+    }
+
+    #[test]
+    fn spans_and_density() {
+        let p = example();
+        let spans = p.net_spans();
+        assert_eq!(spans[0].span, Interval::new(0, 1).unwrap());
+        assert_eq!(spans[1].span, Interval::new(1, 4).unwrap());
+        assert_eq!(spans[2].span, Interval::new(4, 5).unwrap());
+        // Column 1 carries nets 0 and 1; column 4 carries nets 1 and 2.
+        assert_eq!(density(&p), 2);
+    }
+
+    #[test]
+    fn vcg_edges_and_acyclicity() {
+        let p = example();
+        let vcg = Vcg::build(&p).unwrap();
+        // Column 1: top 1, bottom 0 → 1 above 0.
+        assert!(vcg.parents(0).contains(&1));
+        // Column 4: top 2, bottom 1 → 2 above 1.
+        assert!(vcg.parents(1).contains(&2));
+        assert!(vcg.parents(2).is_empty());
+    }
+
+    #[test]
+    fn constrained_left_edge_respects_vcg() {
+        let p = example();
+        let t = constrained_left_edge(&p).unwrap();
+        let vcg = Vcg::build(&p).unwrap();
+        for n in 0..p.net_count() {
+            for &above in vcg.parents(n) {
+                assert!(
+                    t.track_of[above] < t.track_of[n],
+                    "net {above} must be above net {n}"
+                );
+            }
+        }
+        assert!(t.track_count() >= density(&p));
+    }
+
+    #[test]
+    fn cyclic_channel_is_rejected() {
+        // Column 0: 0 over 1; column 1: 1 over 0 → cycle.
+        let top = vec![Some(0), Some(1)];
+        let bot = vec![Some(1), Some(0)];
+        let p = ChannelProblem::new(top, bot).unwrap();
+        assert!(matches!(
+            constrained_left_edge(&p),
+            Err(ChannelError::CyclicConstraint)
+        ));
+    }
+
+    #[test]
+    fn chain_of_constraints_forces_tracks() {
+        // Three nets stacked by constraints in separate columns; spans all
+        // overlap, so tracks = 3 even though density is... spans: net0
+        // cols {0,3}, net1 {1,3?}: build carefully:
+        // col0: t=0 b=1; col1: t=1 b=2; net pins must appear twice.
+        let top = vec![Some(0), Some(1), Some(2), None];
+        let bot = vec![Some(1), Some(2), None, Some(0)];
+        let p = ChannelProblem::new(top, bot).unwrap();
+        let t = constrained_left_edge(&p).unwrap();
+        assert_eq!(t.track_count(), 3);
+        assert!(t.track_of[0] < t.track_of[1]);
+        assert!(t.track_of[1] < t.track_of[2]);
+    }
+
+    #[test]
+    fn same_net_vertical_pair_adds_no_constraint() {
+        let top = vec![Some(0), Some(0), Some(1), None];
+        let bot = vec![Some(0), None, Some(1), Some(1)];
+        let p = ChannelProblem::new(top, bot).unwrap();
+        let vcg = Vcg::build(&p).unwrap();
+        assert!(vcg.parents(0).is_empty());
+        assert!(vcg.parents(1).is_empty());
+    }
+}

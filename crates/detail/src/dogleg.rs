@@ -1,0 +1,246 @@
+//! Dogleg channel routing: splitting nets at pin columns to break
+//! vertical-constraint cycles.
+//!
+//! The dogleg-free left-edge algorithm ([`constrained_left_edge`]) fails
+//! on cyclic vertical constraints. The classic remedy (Deutsch 1976)
+//! splits each multi-pin net at its interior pin columns into *subnets*
+//! that may occupy different tracks, connected by short vertical jogs
+//! (doglegs). Constraints then bind subnets rather than whole nets, which
+//! breaks most cycles and often reduces track count as well.
+//!
+//! [`constrained_left_edge`]: crate::constrained_left_edge
+
+use gcr_geom::Interval;
+
+use crate::channel::{ChannelError, ChannelProblem};
+
+/// One subnet: a horizontal piece of a net between consecutive pin
+/// columns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Subnet {
+    /// The owning net.
+    pub net: usize,
+    /// The subnet's column span.
+    pub span: Interval,
+    /// Assigned track (0 = top of the channel).
+    pub track: usize,
+}
+
+/// A dogleg track assignment.
+#[derive(Debug, Clone)]
+pub struct DoglegAssignment {
+    /// All subnets with their assigned tracks.
+    pub subnets: Vec<Subnet>,
+    /// Number of tracks used.
+    pub track_count: usize,
+    /// Number of doglegs (net splits) introduced.
+    pub doglegs: usize,
+}
+
+impl DoglegAssignment {
+    /// The tracks of a given net's subnets, left to right.
+    #[must_use]
+    pub fn tracks_of(&self, net: usize) -> Vec<usize> {
+        let mut pieces: Vec<&Subnet> =
+            self.subnets.iter().filter(|s| s.net == net).collect();
+        pieces.sort_by_key(|s| s.span.lo());
+        pieces.iter().map(|s| s.track).collect()
+    }
+}
+
+/// Routes a channel with the dogleg left-edge algorithm.
+///
+/// Pins attach to the subnet *ending* at their column when one exists
+/// (the conventional deterministic choice), otherwise to the subnet
+/// starting there.
+///
+/// # Errors
+///
+/// Returns [`ChannelError::CyclicConstraint`] if a constraint cycle
+/// survives even at subnet granularity (rare; requires a cycle within a
+/// single column pair).
+pub fn dogleg_left_edge(problem: &ChannelProblem) -> Result<DoglegAssignment, ChannelError> {
+    // 1. Split every net into subnets between consecutive pin columns.
+    let mut subnets: Vec<(usize, Interval)> = Vec::new();
+    for net in 0..problem.net_count() {
+        let cols = problem.columns_of(net);
+        if cols.len() < 2 {
+            continue;
+        }
+        for w in cols.windows(2) {
+            subnets.push((
+                net,
+                Interval::new(w[0] as i64, w[1] as i64).expect("columns sorted"),
+            ));
+        }
+    }
+    // Pin attachment: subnet ending at the column, else starting there.
+    let attach = |net: usize, col: usize| -> Option<usize> {
+        let c = col as i64;
+        subnets
+            .iter()
+            .position(|&(n, s)| n == net && s.hi() == c)
+            .or_else(|| subnets.iter().position(|&(n, s)| n == net && s.lo() == c))
+    };
+    // 2. Vertical constraints between attached subnets.
+    let mut parents: Vec<Vec<usize>> = vec![Vec::new(); subnets.len()];
+    for col in 0..problem.width() {
+        if let (Some(a), Some(b)) = (problem.top()[col], problem.bottom()[col]) {
+            if a == b {
+                continue;
+            }
+            if let (Some(sa), Some(sb)) = (attach(a, col), attach(b, col)) {
+                if !parents[sb].contains(&sa) {
+                    parents[sb].push(sa);
+                }
+            }
+        }
+    }
+    // 3. Greedy track filling in topological order (as the constrained
+    // left-edge, but over subnets).
+    let n = subnets.len();
+    let mut assigned = vec![false; n];
+    let mut track_of = vec![usize::MAX; n];
+    let mut tracks = 0usize;
+    let mut remaining = n;
+    while remaining > 0 {
+        let mut eligible: Vec<usize> = (0..n)
+            .filter(|&i| !assigned[i] && parents[i].iter().all(|&p| assigned[p]))
+            .collect();
+        if eligible.is_empty() {
+            return Err(ChannelError::CyclicConstraint);
+        }
+        eligible.sort_by_key(|&i| (subnets[i].1.lo(), subnets[i].1.hi(), subnets[i].0, i));
+        let mut last: Option<(i64, usize)> = None; // (hi, net)
+        for &i in &eligible {
+            let ok = match last {
+                None => true,
+                // Adjacent subnets of the same net may share a track and
+                // touch at the split column; different nets must not touch.
+                Some((hi, net)) => {
+                    subnets[i].1.lo() > hi
+                        || (subnets[i].0 == net && subnets[i].1.lo() == hi)
+                }
+            };
+            if ok {
+                assigned[i] = true;
+                track_of[i] = tracks;
+                last = Some((subnets[i].1.hi(), subnets[i].0));
+                remaining -= 1;
+            }
+        }
+        tracks += 1;
+    }
+    // Adjacent same-net subnets on the same track are not doglegs.
+    let mut realized_doglegs = 0usize;
+    for net in 0..problem.net_count() {
+        let mut pieces: Vec<(Interval, usize)> = subnets
+            .iter()
+            .zip(&track_of)
+            .filter(|((n, _), _)| *n == net)
+            .map(|((_, s), &t)| (*s, t))
+            .collect();
+        pieces.sort_by_key(|(s, _)| s.lo());
+        for w in pieces.windows(2) {
+            if w[0].1 != w[1].1 {
+                realized_doglegs += 1;
+            }
+        }
+    }
+    Ok(DoglegAssignment {
+        subnets: subnets
+            .into_iter()
+            .zip(track_of)
+            .map(|((net, span), track)| Subnet { net, span, track })
+            .collect(),
+        track_count: tracks,
+        doglegs: realized_doglegs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::density;
+    use crate::constrained_left_edge;
+
+    /// A constraint cycle that doglegs break: net 0 must be above net 1
+    /// at column 0, but below it at column 2; net 1's split at column 1
+    /// resolves the conflict.
+    fn cyclic_but_splittable() -> ChannelProblem {
+        let top = vec![Some(0), Some(1), Some(1)];
+        let bot = vec![Some(1), None, Some(0)];
+        ChannelProblem::new(top, bot).unwrap()
+    }
+
+    #[test]
+    fn doglegs_break_the_cycle() {
+        let p = cyclic_but_splittable();
+        assert!(matches!(
+            constrained_left_edge(&p),
+            Err(ChannelError::CyclicConstraint)
+        ));
+        let d = dogleg_left_edge(&p).expect("dogleg resolves the cycle");
+        assert!(d.track_count >= 2);
+        assert!(d.doglegs >= 1, "net 1 must jog between tracks");
+        // Constraint check at the columns: net 0's piece over column 0
+        // above net 1's attached piece; the reverse at column 2.
+        let n0 = d.tracks_of(0);
+        let n1 = d.tracks_of(1);
+        assert_eq!(n0.len(), 1, "net 0 never splits");
+        assert_eq!(n1.len(), 2, "net 1 splits at column 1");
+        assert!(n0[0] < n1[0], "column 0: net 0 above net 1's left piece");
+        assert!(n1[1] < n0[0], "column 2: net 1's right piece above net 0");
+    }
+
+    #[test]
+    fn acyclic_channels_still_route() {
+        let top = vec![Some(0), Some(1), None, Some(1), Some(2), None];
+        let bot = vec![None, Some(0), Some(1), None, Some(1), Some(2)];
+        let p = ChannelProblem::new(top, bot).unwrap();
+        let plain = constrained_left_edge(&p).unwrap();
+        let dog = dogleg_left_edge(&p).unwrap();
+        assert!(dog.track_count <= plain.track_count());
+        assert!(dog.track_count >= density(&p).min(1));
+    }
+
+    #[test]
+    fn subnets_on_a_track_never_overlap_across_nets() {
+        let p = cyclic_but_splittable();
+        let d = dogleg_left_edge(&p).unwrap();
+        for (i, a) in d.subnets.iter().enumerate() {
+            for b in d.subnets.iter().skip(i + 1) {
+                if a.track == b.track && a.net != b.net {
+                    assert!(
+                        !a.span.touches(&b.span),
+                        "cross-net overlap on track {}: {a:?} vs {b:?}",
+                        a.track
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hard_cycle_within_one_column_pair_still_fails() {
+        // Two 2-pin nets with opposite constraints in adjacent columns:
+        // no interior pin exists to split at.
+        let top = vec![Some(0), Some(1)];
+        let bot = vec![Some(1), Some(0)];
+        let p = ChannelProblem::new(top, bot).unwrap();
+        assert!(matches!(
+            dogleg_left_edge(&p),
+            Err(ChannelError::CyclicConstraint)
+        ));
+    }
+
+    #[test]
+    fn single_subnet_nets_report_no_doglegs() {
+        let top = vec![Some(0), None, Some(1), None];
+        let bot = vec![None, Some(0), None, Some(1)];
+        let p = ChannelProblem::new(top, bot).unwrap();
+        let d = dogleg_left_edge(&p).unwrap();
+        assert_eq!(d.doglegs, 0);
+        assert_eq!(d.track_count, 1);
+    }
+}

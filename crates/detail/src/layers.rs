@@ -1,0 +1,131 @@
+//! Two-layer (HV) assignment with via extraction.
+//!
+//! The paper's CPU-time claim covers "detailed routing and layer
+//! assignment". The classic two-layer discipline assigns horizontal wire
+//! to one metal layer and vertical wire to the other; a via is required
+//! wherever the same net's horizontal and vertical wire meet (bends and
+//! T-junctions).
+
+use gcr_geom::{Axis, Point, Segment};
+
+/// The layered wire of one net.
+#[derive(Debug, Clone, Default)]
+pub struct NetLayers {
+    /// Segments on the horizontal layer (metal 1).
+    pub horizontal: Vec<Segment>,
+    /// Segments on the vertical layer (metal 2).
+    pub vertical: Vec<Segment>,
+    /// Via positions (deduplicated, sorted) where the net changes layer.
+    pub vias: Vec<Point>,
+}
+
+impl NetLayers {
+    /// Number of vias the net needs.
+    #[must_use]
+    pub fn via_count(&self) -> usize {
+        self.vias.len()
+    }
+
+    /// Total wire length across both layers.
+    #[must_use]
+    pub fn wire_length(&self) -> i64 {
+        self.horizontal.iter().map(Segment::len).sum::<i64>()
+            + self.vertical.iter().map(Segment::len).sum::<i64>()
+    }
+}
+
+/// Assigns one net's segments to the HV layers and places vias at every
+/// point where its horizontal and vertical wire touch.
+///
+/// ```
+/// use gcr_detail::assign_layers;
+/// use gcr_geom::{Point, Segment};
+/// let segs = [
+///     Segment::horizontal(0, 0, 10),
+///     Segment::vertical(10, 0, 5),
+/// ];
+/// let layers = assign_layers(&segs);
+/// assert_eq!(layers.via_count(), 1); // the bend at (10, 0)
+/// ```
+#[must_use]
+pub fn assign_layers(segments: &[Segment]) -> NetLayers {
+    let mut out = NetLayers::default();
+    for s in segments {
+        if s.is_degenerate() {
+            continue;
+        }
+        match s.axis() {
+            Axis::X => out.horizontal.push(*s),
+            Axis::Y => out.vertical.push(*s),
+        }
+    }
+    let mut vias = Vec::new();
+    for h in &out.horizontal {
+        for v in &out.vertical {
+            if let Some(p) = h.crossing(v) {
+                vias.push(p);
+            }
+        }
+    }
+    vias.sort_unstable();
+    vias.dedup();
+    out.vias = vias;
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn straight_wire_needs_no_via() {
+        let layers = assign_layers(&[Segment::horizontal(5, 0, 20)]);
+        assert_eq!(layers.via_count(), 0);
+        assert_eq!(layers.horizontal.len(), 1);
+        assert!(layers.vertical.is_empty());
+        assert_eq!(layers.wire_length(), 20);
+    }
+
+    #[test]
+    fn each_bend_is_one_via() {
+        // A Z shape: two bends.
+        let segs = [
+            Segment::horizontal(0, 0, 10),
+            Segment::vertical(10, 0, 8),
+            Segment::horizontal(8, 10, 25),
+        ];
+        let layers = assign_layers(&segs);
+        assert_eq!(layers.vias, vec![Point::new(10, 0), Point::new(10, 8)]);
+        assert_eq!(layers.wire_length(), 10 + 8 + 15);
+    }
+
+    #[test]
+    fn t_junction_gets_a_via() {
+        // Trunk plus a stem landing mid-trunk.
+        let segs = [
+            Segment::horizontal(0, 0, 20),
+            Segment::vertical(10, 0, 9),
+        ];
+        let layers = assign_layers(&segs);
+        assert_eq!(layers.vias, vec![Point::new(10, 0)]);
+    }
+
+    #[test]
+    fn crossing_of_same_net_reuses_one_via_point() {
+        // A plus shape meeting at (5, 5).
+        let segs = [
+            Segment::horizontal(5, 0, 10),
+            Segment::vertical(5, 0, 10),
+        ];
+        let layers = assign_layers(&segs);
+        assert_eq!(layers.vias, vec![Point::new(5, 5)]);
+    }
+
+    #[test]
+    fn degenerate_segments_are_dropped() {
+        let dot = Segment::new(Point::new(3, 3), Point::new(3, 3)).unwrap();
+        let layers = assign_layers(&[dot]);
+        assert_eq!(layers.wire_length(), 0);
+        assert_eq!(layers.via_count(), 0);
+    }
+}

@@ -1,0 +1,193 @@
+//! The left-edge track assignment algorithms.
+
+use gcr_geom::Interval;
+
+use crate::channel::{ChannelError, ChannelProblem, Vcg};
+
+/// One net's horizontal extent within a channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetSpan {
+    /// The net's identifier (caller-defined; distinct nets must differ).
+    pub net: usize,
+    /// The columns/coordinates the net must cross.
+    pub span: Interval,
+}
+
+/// A completed track assignment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrackAssignment {
+    /// `tracks[t]` lists the indices (into the input) assigned to track
+    /// `t`, ordered by left edge. Track 0 is the top of the channel.
+    pub tracks: Vec<Vec<usize>>,
+    /// `track_of[i]` is the track of input interval `i`.
+    pub track_of: Vec<usize>,
+}
+
+impl TrackAssignment {
+    /// The number of tracks used — the quantity channel routers minimize.
+    #[must_use]
+    pub fn track_count(&self) -> usize {
+        self.tracks.len()
+    }
+}
+
+/// Classic unconstrained left-edge: sort intervals by left end, then fill
+/// tracks greedily. Uses exactly the channel density many tracks, which is
+/// optimal when no vertical constraints exist.
+///
+/// Intervals belonging to the *same* net never conflict (a net may cross
+/// the channel in several pieces that share a track).
+///
+/// ```
+/// use gcr_detail::{left_edge, NetSpan};
+/// use gcr_geom::Interval;
+/// let spans = [
+///     NetSpan { net: 0, span: Interval::new(0, 4).unwrap() },
+///     NetSpan { net: 1, span: Interval::new(5, 9).unwrap() },
+///     NetSpan { net: 2, span: Interval::new(2, 7).unwrap() },
+/// ];
+/// let t = left_edge(&spans);
+/// assert_eq!(t.track_count(), 2); // nets 0 and 1 share a track
+/// ```
+#[must_use]
+pub fn left_edge(spans: &[NetSpan]) -> TrackAssignment {
+    let mut order: Vec<usize> = (0..spans.len()).collect();
+    order.sort_by_key(|&i| (spans[i].span.lo(), spans[i].span.hi(), spans[i].net));
+    let mut tracks: Vec<Vec<usize>> = Vec::new();
+    let mut track_of = vec![usize::MAX; spans.len()];
+    for &i in &order {
+        let mut placed = false;
+        for (t, members) in tracks.iter_mut().enumerate() {
+            let conflict = members.iter().any(|&j| {
+                spans[j].net != spans[i].net && spans[j].span.touches(&spans[i].span)
+            });
+            if !conflict {
+                members.push(i);
+                track_of[i] = t;
+                placed = true;
+                break;
+            }
+        }
+        if !placed {
+            tracks.push(vec![i]);
+            track_of[i] = tracks.len() - 1;
+        }
+    }
+    TrackAssignment { tracks, track_of }
+}
+
+/// Left-edge under vertical constraints: a net may only be placed once all
+/// nets that must lie *above* it (its VCG ancestors) are already placed in
+/// earlier (higher) tracks.
+///
+/// # Errors
+///
+/// Returns [`ChannelError::CyclicConstraint`] when the VCG contains a
+/// cycle (the classic algorithm cannot route such channels without
+/// doglegs, which this substrate does not implement).
+pub fn constrained_left_edge(problem: &ChannelProblem) -> Result<TrackAssignment, ChannelError> {
+    let vcg = Vcg::build(problem)?;
+    let spans = problem.net_spans();
+    let net_count = spans.len();
+    let mut assigned = vec![false; net_count];
+    let mut track_of_net = vec![usize::MAX; net_count];
+    let mut tracks: Vec<Vec<usize>> = Vec::new();
+    let mut remaining = net_count;
+    while remaining > 0 {
+        // Eligible: unassigned nets whose every VCG parent is assigned.
+        let mut eligible: Vec<usize> = (0..net_count)
+            .filter(|&n| !assigned[n] && vcg.parents(n).iter().all(|&p| assigned[p]))
+            .collect();
+        if eligible.is_empty() {
+            return Err(ChannelError::CyclicConstraint);
+        }
+        eligible.sort_by_key(|&n| (spans[n].span.lo(), spans[n].span.hi(), n));
+        // Fill one new track with non-overlapping eligible nets.
+        let mut track: Vec<usize> = Vec::new();
+        let mut last_hi: Option<i64> = None;
+        for &n in &eligible {
+            let ok = match last_hi {
+                None => true,
+                Some(hi) => spans[n].span.lo() > hi,
+            };
+            if ok {
+                track.push(n);
+                last_hi = Some(spans[n].span.hi());
+            }
+        }
+        for &n in &track {
+            assigned[n] = true;
+            track_of_net[n] = tracks.len();
+            remaining -= 1;
+        }
+        tracks.push(track);
+    }
+    Ok(TrackAssignment { tracks, track_of: track_of_net })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spans(list: &[(usize, i64, i64)]) -> Vec<NetSpan> {
+        list.iter()
+            .map(|&(net, lo, hi)| NetSpan { net, span: Interval::new(lo, hi).unwrap() })
+            .collect()
+    }
+
+    #[test]
+    fn disjoint_intervals_share_one_track() {
+        let s = spans(&[(0, 0, 3), (1, 5, 8), (2, 10, 12)]);
+        let t = left_edge(&s);
+        assert_eq!(t.track_count(), 1);
+    }
+
+    #[test]
+    fn touching_intervals_of_different_nets_are_separated() {
+        // Sharing a column endpoint means a short at the via column.
+        let s = spans(&[(0, 0, 5), (1, 5, 9)]);
+        let t = left_edge(&s);
+        assert_eq!(t.track_count(), 2);
+    }
+
+    #[test]
+    fn same_net_pieces_share_tracks() {
+        let s = spans(&[(7, 0, 5), (7, 5, 9), (8, 2, 3)]);
+        let t = left_edge(&s);
+        assert_eq!(t.track_count(), 2);
+        assert_eq!(t.track_of[0], t.track_of[1]);
+    }
+
+    #[test]
+    fn track_count_equals_density_without_constraints() {
+        // Density at column 6 is 3.
+        let s = spans(&[(0, 0, 6), (1, 4, 9), (2, 6, 12), (3, 13, 15)]);
+        let t = left_edge(&s);
+        assert_eq!(t.track_count(), 3);
+    }
+
+    #[test]
+    fn assignment_is_consistent() {
+        let s = spans(&[(0, 0, 6), (1, 4, 9), (2, 6, 12), (3, 13, 15)]);
+        let t = left_edge(&s);
+        for (i, &tr) in t.track_of.iter().enumerate() {
+            assert!(t.tracks[tr].contains(&i));
+        }
+        // No two different nets overlap (even endpoint contact) in a track.
+        for members in &t.tracks {
+            for (a_pos, &a) in members.iter().enumerate() {
+                for &b in &members[a_pos + 1..] {
+                    if s[a].net != s[b].net {
+                        assert!(!s[a].span.touches(&s[b].span));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        let t = left_edge(&[]);
+        assert_eq!(t.track_count(), 0);
+    }
+}

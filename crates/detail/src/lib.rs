@@ -1,0 +1,39 @@
+//! Detailed-routing substrate: dynamic channel assignment and track
+//! assignment.
+//!
+//! The paper closes with: *"This approach does require a detailed router
+//! to follow which does the track assignment. A special algorithm has been
+//! developed which dynamically assigns channels based on net interference
+//! rather than cell placement. Within the dynamically assigned channel the
+//! subnets can be track-assigned using standard channel routing algorithms
+//! which try to minimize the number of tracks used."* The paper leaves the
+//! details out of scope but leans on this stage for its CPU-time claim
+//! (global routing is always cheaper than detailed routing — experiment
+//! E7), so this crate builds a faithful substrate:
+//!
+//! * [`extract_channels`] — derives channels *from the global routes
+//!   themselves* (net interference), one per inter-cell passage that
+//!   carries wire,
+//! * [`left_edge`] — the classic unconstrained left-edge track assigner
+//!   (optimal: uses exactly `density` tracks),
+//! * [`constrained_left_edge`] — left-edge under a vertical constraint
+//!   graph, for pin-bearing channels,
+//! * [`ChannelProblem`] / [`Vcg`] — the classic channel-routing model,
+//! * [`assign_layers`] — two-layer (HV) assignment with via extraction,
+//! * [`dogleg_left_edge`] — net splitting at pin columns to break
+//!   constraint cycles (Deutsch-style doglegs).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod channel;
+mod dogleg;
+mod extract;
+mod layers;
+mod leftedge;
+
+pub use channel::{density, ChannelError, ChannelProblem, Vcg};
+pub use dogleg::{dogleg_left_edge, DoglegAssignment, Subnet};
+pub use extract::{extract_channels, route_details, ChannelInstance, DetailReport};
+pub use layers::{assign_layers, NetLayers};
+pub use leftedge::{constrained_left_edge, left_edge, NetSpan, TrackAssignment};

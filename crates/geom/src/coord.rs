@@ -1,0 +1,53 @@
+//! The coordinate scalar used throughout the workspace.
+
+/// A fixed-point coordinate in user-chosen layout units (for example λ or a
+/// manufacturing-grid multiple).
+///
+/// Routing never needs fractional positions: pins, cell edges and wire
+/// centrelines all live on the manufacturing grid, so an integer type keeps
+/// every geometric predicate exact and every search state hashable.
+pub type Coord = i64;
+
+/// The largest coordinate the kernel accepts.
+///
+/// Kept far below `i64::MAX` so that Manhattan distances, path costs and
+/// inflations cannot overflow even when many segments are summed.
+pub const COORD_MAX: Coord = 1 << 40;
+
+/// The smallest coordinate the kernel accepts. See [`COORD_MAX`].
+pub const COORD_MIN: Coord = -(1 << 40);
+
+/// Returns `true` if `c` is inside the supported coordinate range.
+#[inline]
+pub(crate) fn in_range(c: Coord) -> bool {
+    (COORD_MIN..=COORD_MAX).contains(&c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_accepts_ordinary_values() {
+        assert!(in_range(0));
+        assert!(in_range(12_345));
+        assert!(in_range(-12_345));
+        assert!(in_range(COORD_MAX));
+        assert!(in_range(COORD_MIN));
+    }
+
+    #[test]
+    fn range_rejects_extremes() {
+        assert!(!in_range(COORD_MAX + 1));
+        assert!(!in_range(COORD_MIN - 1));
+        assert!(!in_range(i64::MAX));
+        assert!(!in_range(i64::MIN));
+    }
+
+    #[test]
+    fn manhattan_sums_cannot_overflow() {
+        // One million maximal segments still fit in i64.
+        let huge = (COORD_MAX as i128) * 2 * 1_000_000;
+        assert!(huge < i64::MAX as i128);
+    }
+}

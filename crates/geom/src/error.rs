@@ -1,0 +1,89 @@
+//! Error type for geometry construction.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::Coord;
+
+/// Errors produced when constructing geometric values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GeomError {
+    /// A coordinate was outside the supported range
+    /// ([`COORD_MIN`](crate::COORD_MIN)..=[`COORD_MAX`](crate::COORD_MAX)).
+    CoordOutOfRange {
+        /// The offending coordinate.
+        value: Coord,
+    },
+    /// A rectangle or interval was given with `min > max`.
+    EmptyExtent {
+        /// Lower bound supplied.
+        min: Coord,
+        /// Upper bound supplied.
+        max: Coord,
+    },
+    /// A segment's endpoints were not axis-aligned.
+    NotAxisAligned,
+    /// A polyline had consecutive duplicate points or diagonal moves.
+    InvalidPolyline {
+        /// Index of the first offending vertex.
+        index: usize,
+    },
+    /// A rectilinear polygon boundary was malformed (too few vertices,
+    /// diagonal edges, consecutive collinear duplicates, or self-touching in
+    /// a way that prevents rectangle decomposition).
+    InvalidPolygon {
+        /// Human-readable reason.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for GeomError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeomError::CoordOutOfRange { value } => {
+                write!(f, "coordinate {value} is outside the supported range")
+            }
+            GeomError::EmptyExtent { min, max } => {
+                write!(f, "extent is empty or inverted: min {min} > max {max}")
+            }
+            GeomError::NotAxisAligned => write!(f, "segment endpoints are not axis-aligned"),
+            GeomError::InvalidPolyline { index } => {
+                write!(f, "polyline is invalid at vertex {index}")
+            }
+            GeomError::InvalidPolygon { reason } => {
+                write!(f, "rectilinear polygon is invalid: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for GeomError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_nonempty() {
+        let errors = [
+            GeomError::CoordOutOfRange { value: 99 },
+            GeomError::EmptyExtent { min: 5, max: 1 },
+            GeomError::NotAxisAligned,
+            GeomError::InvalidPolyline { index: 3 },
+            GeomError::InvalidPolygon { reason: "too few vertices" },
+        ];
+        for e in errors {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase());
+            assert!(!msg.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_trait_object_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GeomError>();
+    }
+}

@@ -1,0 +1,281 @@
+//! Closed integer intervals.
+
+use std::fmt;
+
+use crate::coord::in_range;
+use crate::{Coord, GeomError};
+
+/// A closed interval `[lo, hi]` on one axis, with `lo <= hi` guaranteed.
+///
+/// Degenerate intervals (`lo == hi`) are allowed: a wire segment's extent on
+/// its perpendicular axis is a single coordinate.
+///
+/// ```
+/// use gcr_geom::Interval;
+/// # fn main() -> Result<(), gcr_geom::GeomError> {
+/// let a = Interval::new(0, 10)?;
+/// let b = Interval::new(10, 20)?;
+/// assert!(a.touches(&b));
+/// assert!(!a.overlaps_open(&b)); // they only share the endpoint
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Interval {
+    lo: Coord,
+    hi: Coord,
+}
+
+impl Interval {
+    /// Creates the closed interval `[lo, hi]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeomError::EmptyExtent`] if `lo > hi` and
+    /// [`GeomError::CoordOutOfRange`] if either bound is outside the
+    /// supported coordinate range.
+    pub fn new(lo: Coord, hi: Coord) -> Result<Interval, GeomError> {
+        if !in_range(lo) {
+            return Err(GeomError::CoordOutOfRange { value: lo });
+        }
+        if !in_range(hi) {
+            return Err(GeomError::CoordOutOfRange { value: hi });
+        }
+        if lo > hi {
+            return Err(GeomError::EmptyExtent { min: lo, max: hi });
+        }
+        Ok(Interval { lo, hi })
+    }
+
+    /// Creates `[a, b]` regardless of argument order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeomError::CoordOutOfRange`] if either bound is outside the
+    /// supported range.
+    pub fn spanning(a: Coord, b: Coord) -> Result<Interval, GeomError> {
+        Interval::new(a.min(b), a.max(b))
+    }
+
+    /// The degenerate interval `[c, c]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is outside the supported coordinate range.
+    #[must_use]
+    pub fn point(c: Coord) -> Interval {
+        Interval::new(c, c).expect("coordinate out of range")
+    }
+
+    /// Lower bound.
+    #[inline]
+    #[must_use]
+    pub fn lo(&self) -> Coord {
+        self.lo
+    }
+
+    /// Upper bound.
+    #[inline]
+    #[must_use]
+    pub fn hi(&self) -> Coord {
+        self.hi
+    }
+
+    /// Length of the interval (`hi - lo`); zero for degenerate intervals.
+    /// (A degenerate interval is still a non-empty point set, so there is
+    /// deliberately no `is_empty`; see [`Interval::is_degenerate`].)
+    #[inline]
+    #[must_use]
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&self) -> Coord {
+        self.hi - self.lo
+    }
+
+    /// Returns `true` when the interval is a single point.
+    #[inline]
+    #[must_use]
+    pub fn is_degenerate(&self) -> bool {
+        self.lo == self.hi
+    }
+
+    /// Returns `true` if `c` lies in the closed interval.
+    #[inline]
+    #[must_use]
+    pub fn contains(&self, c: Coord) -> bool {
+        self.lo <= c && c <= self.hi
+    }
+
+    /// Returns `true` if `c` lies strictly inside the interval.
+    ///
+    /// For routing this is the blocking predicate: a wire travelling *on* an
+    /// obstacle edge coordinate hugs the boundary and is legal, so only the
+    /// open interior blocks.
+    #[inline]
+    #[must_use]
+    pub fn contains_open(&self, c: Coord) -> bool {
+        self.lo < c && c < self.hi
+    }
+
+    /// Returns `true` if `other` is entirely inside this closed interval.
+    #[inline]
+    #[must_use]
+    pub fn contains_interval(&self, other: &Interval) -> bool {
+        self.lo <= other.lo && other.hi <= self.hi
+    }
+
+    /// Returns `true` if the closed intervals share at least one point.
+    #[inline]
+    #[must_use]
+    pub fn touches(&self, other: &Interval) -> bool {
+        self.lo <= other.hi && other.lo <= self.hi
+    }
+
+    /// Returns `true` if the open interiors intersect (sharing only an
+    /// endpoint does not count).
+    #[inline]
+    #[must_use]
+    pub fn overlaps_open(&self, other: &Interval) -> bool {
+        self.lo < other.hi && other.lo < self.hi
+    }
+
+    /// The intersection of two closed intervals, if non-empty.
+    #[must_use]
+    pub fn intersect(&self, other: &Interval) -> Option<Interval> {
+        let lo = self.lo.max(other.lo);
+        let hi = self.hi.min(other.hi);
+        (lo <= hi).then_some(Interval { lo, hi })
+    }
+
+    /// The smallest interval containing both inputs.
+    #[must_use]
+    pub fn hull(&self, other: &Interval) -> Interval {
+        Interval {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+
+    /// The gap between two disjoint intervals (`0` when they touch or
+    /// overlap).
+    #[must_use]
+    pub fn gap_to(&self, other: &Interval) -> Coord {
+        if self.touches(other) {
+            0
+        } else if self.hi < other.lo {
+            other.lo - self.hi
+        } else {
+            self.lo - other.hi
+        }
+    }
+
+    /// Clamps `c` into the interval.
+    #[inline]
+    #[must_use]
+    pub fn clamp_coord(&self, c: Coord) -> Coord {
+        c.clamp(self.lo, self.hi)
+    }
+
+    /// Grows the interval by `amount` on both sides (shrinks if negative).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the result would be empty or out of range.
+    pub fn inflate(&self, amount: Coord) -> Result<Interval, GeomError> {
+        Interval::new(self.lo - amount, self.hi + amount)
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}]", self.lo, self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(lo: Coord, hi: Coord) -> Interval {
+        Interval::new(lo, hi).unwrap()
+    }
+
+    #[test]
+    fn rejects_inverted_bounds() {
+        assert!(matches!(
+            Interval::new(5, 1),
+            Err(GeomError::EmptyExtent { min: 5, max: 1 })
+        ));
+    }
+
+    #[test]
+    fn spanning_normalizes_order() {
+        assert_eq!(Interval::spanning(9, 2).unwrap(), iv(2, 9));
+        assert_eq!(Interval::spanning(2, 9).unwrap(), iv(2, 9));
+    }
+
+    #[test]
+    fn degenerate_interval_behaviour() {
+        let p = Interval::point(4);
+        assert!(p.is_degenerate());
+        assert_eq!(p.len(), 0);
+        assert!(p.contains(4));
+        assert!(!p.contains_open(4));
+    }
+
+    #[test]
+    fn containment_predicates() {
+        let i = iv(0, 10);
+        assert!(i.contains(0) && i.contains(10) && i.contains(5));
+        assert!(!i.contains(-1) && !i.contains(11));
+        assert!(i.contains_open(5));
+        assert!(!i.contains_open(0) && !i.contains_open(10));
+        assert!(i.contains_interval(&iv(0, 10)));
+        assert!(i.contains_interval(&iv(3, 7)));
+        assert!(!i.contains_interval(&iv(-1, 7)));
+    }
+
+    #[test]
+    fn touching_vs_open_overlap() {
+        let a = iv(0, 10);
+        let b = iv(10, 20);
+        let c = iv(11, 20);
+        let d = iv(5, 15);
+        assert!(a.touches(&b) && b.touches(&a));
+        assert!(!a.overlaps_open(&b));
+        assert!(!a.touches(&c));
+        assert!(a.overlaps_open(&d) && d.overlaps_open(&a));
+    }
+
+    #[test]
+    fn intersect_and_hull() {
+        let a = iv(0, 10);
+        let b = iv(5, 15);
+        assert_eq!(a.intersect(&b), Some(iv(5, 10)));
+        assert_eq!(a.hull(&b), iv(0, 15));
+        assert_eq!(a.intersect(&iv(20, 30)), None);
+        assert_eq!(a.intersect(&iv(10, 30)), Some(iv(10, 10)));
+    }
+
+    #[test]
+    fn gap_between_intervals() {
+        assert_eq!(iv(0, 10).gap_to(&iv(15, 20)), 5);
+        assert_eq!(iv(15, 20).gap_to(&iv(0, 10)), 5);
+        assert_eq!(iv(0, 10).gap_to(&iv(10, 20)), 0);
+        assert_eq!(iv(0, 10).gap_to(&iv(5, 20)), 0);
+    }
+
+    #[test]
+    fn inflate_grows_and_shrinks() {
+        assert_eq!(iv(5, 10).inflate(2).unwrap(), iv(3, 12));
+        assert_eq!(iv(5, 10).inflate(-2).unwrap(), iv(7, 8));
+        assert!(iv(5, 10).inflate(-3).is_err());
+    }
+
+    #[test]
+    fn clamp_saturates() {
+        let i = iv(0, 10);
+        assert_eq!(i.clamp_coord(-5), 0);
+        assert_eq!(i.clamp_coord(5), 5);
+        assert_eq!(i.clamp_coord(50), 10);
+    }
+}

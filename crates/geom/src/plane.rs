@@ -1,0 +1,807 @@
+//! The obstacle plane: the routing surface and its ray-tracing queries.
+//!
+//! This module is the geometric heart of the reproduction. The paper
+//! describes a data structure of points "linked to reflect their topological
+//! order in both *x* and *y*" over which "an efficient means of ray-tracing
+//! is used to expand the frontiers of the search". [`Plane`] provides that
+//! service with three queries:
+//!
+//! * [`Plane::ray_hit`] — how far can a wire travel from a point in a
+//!   direction before an obstacle (or the boundary) stops it; this is the
+//!   "extend any path as far … as is feasible" primitive,
+//! * [`Plane::corner_candidates`] — the obstacle-corner coordinates along a
+//!   ray at which a minimal path may usefully turn; this is the "hug cells
+//!   as they are encountered" primitive,
+//! * [`Plane::segment_free`] / [`Plane::point_free`] — legality checks.
+//!
+//! Wires may run *on* obstacle boundaries (they hug them); only the open
+//! interior of an obstacle blocks. Obstacles added from rectilinear
+//! polygons are decomposed into rectangles sharing one [`ObstacleId`].
+
+use std::fmt;
+
+use crate::{Axis, Coord, Dir, Interval, Point, Rect, RectilinearPolygon};
+
+/// Identifies one obstacle (cell) in a [`Plane`].
+///
+/// A polygonal obstacle decomposes into several rectangles that all carry
+/// the same id.
+pub type ObstacleId = usize;
+
+/// Result of casting a ray from a point: where movement must stop and what
+/// stopped it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RayHit {
+    /// The coordinate on the ray's axis at which travel stops. Equal to the
+    /// origin coordinate when the ray is blocked immediately.
+    pub stop: Coord,
+    /// Obstacle that stopped the ray, or `None` when the plane boundary did.
+    pub blocker: Option<ObstacleId>,
+    /// Distance travelled from the origin to `stop` (always ≥ 0).
+    pub distance: Coord,
+}
+
+/// Which perpendicular turn an obstacle corner anchors.
+///
+/// When a ray travels along an axis, an obstacle lying on the positive
+/// perpendicular side can only be hugged by turning toward it (positive
+/// perpendicular direction), and symmetrically for the negative side.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TurnSide {
+    /// The obstacle lies on the positive-perpendicular side (turn north for
+    /// a horizontal ray, east for a vertical one).
+    Positive,
+    /// The obstacle lies on the negative-perpendicular side.
+    Negative,
+}
+
+impl TurnSide {
+    /// The concrete turn direction for a ray travelling along `ray_axis`.
+    #[must_use]
+    pub fn turn_dir(self, ray_axis: Axis) -> Dir {
+        let perp = ray_axis.perpendicular();
+        match self {
+            TurnSide::Positive => Dir::positive(perp),
+            TurnSide::Negative => Dir::negative(perp),
+        }
+    }
+}
+
+/// A coordinate along a ray at which a minimal path may usefully turn,
+/// because it aligns with a corner of some obstacle on the turning side.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CornerCandidate {
+    /// Coordinate along the ray axis.
+    pub at: Coord,
+    /// The obstacle whose corner anchors this candidate.
+    pub obstacle: ObstacleId,
+    /// The side the obstacle lies on (hence the useful turn direction).
+    pub side: TurnSide,
+}
+
+/// The routing surface: a bounded plane containing rectangular obstacles.
+///
+/// ```
+/// use gcr_geom::{Dir, Plane, Point, Rect};
+/// # fn main() -> Result<(), gcr_geom::GeomError> {
+/// let mut plane = Plane::new(Rect::new(0, 0, 100, 100)?);
+/// let block = plane.add_obstacle(Rect::new(30, 30, 70, 70)?);
+///
+/// let hit = plane.ray_hit(Point::new(10, 50), Dir::East);
+/// assert_eq!((hit.stop, hit.blocker), (30, Some(block)));
+///
+/// // Travelling along the block's boundary is legal ("hugging").
+/// assert!(plane.segment_free(Point::new(30, 30), Point::new(30, 70)));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Plane {
+    bounds: Rect,
+    rects: Vec<(Rect, ObstacleId)>,
+    obstacle_count: usize,
+    index: Option<TopoIndex>,
+}
+
+/// The paper's "topological ordering" of the geometry: obstacle entry
+/// faces sorted per axis and direction, so a ray finds its first blocker
+/// by scanning forward from a binary-searched start instead of visiting
+/// every obstacle. ("Points are linked to reflect their topological order
+/// in both x and y … an efficient means of ray-tracing is used to expand
+/// the frontiers of the search.")
+#[derive(Debug, Clone)]
+struct TopoIndex {
+    /// `(xmin, rect index)` ascending — entry faces for eastward rays.
+    xmin: Vec<(Coord, u32)>,
+    /// `(xmax, rect index)` ascending — entry faces for westward rays.
+    xmax: Vec<(Coord, u32)>,
+    /// `(ymin, rect index)` ascending — entry faces for northward rays.
+    ymin: Vec<(Coord, u32)>,
+    /// `(ymax, rect index)` ascending — entry faces for southward rays.
+    ymax: Vec<(Coord, u32)>,
+}
+
+impl TopoIndex {
+    fn build(rects: &[(Rect, ObstacleId)]) -> TopoIndex {
+        let mut xmin = Vec::with_capacity(rects.len());
+        let mut xmax = Vec::with_capacity(rects.len());
+        let mut ymin = Vec::with_capacity(rects.len());
+        let mut ymax = Vec::with_capacity(rects.len());
+        for (i, (r, _)) in rects.iter().enumerate() {
+            let i = i as u32;
+            xmin.push((r.xmin(), i));
+            xmax.push((r.xmax(), i));
+            ymin.push((r.ymin(), i));
+            ymax.push((r.ymax(), i));
+        }
+        xmin.sort_unstable();
+        xmax.sort_unstable();
+        ymin.sort_unstable();
+        ymax.sort_unstable();
+        TopoIndex { xmin, xmax, ymin, ymax }
+    }
+
+    /// Entry-face list for rays travelling along `axis` in the positive or
+    /// negative direction.
+    fn entries(&self, axis: Axis, positive: bool) -> &[(Coord, u32)] {
+        match (axis, positive) {
+            (Axis::X, true) => &self.xmin,
+            (Axis::X, false) => &self.xmax,
+            (Axis::Y, true) => &self.ymin,
+            (Axis::Y, false) => &self.ymax,
+        }
+    }
+
+    /// Exit-face list (the far corners) for the same ray direction.
+    fn exits(&self, axis: Axis, positive: bool) -> &[(Coord, u32)] {
+        match (axis, positive) {
+            (Axis::X, true) => &self.xmax,
+            (Axis::X, false) => &self.xmin,
+            (Axis::Y, true) => &self.ymax,
+            (Axis::Y, false) => &self.ymin,
+        }
+    }
+}
+
+impl Plane {
+    /// Creates an empty plane with the given routing boundary.
+    #[must_use]
+    pub fn new(bounds: Rect) -> Plane {
+        Plane {
+            bounds,
+            rects: Vec::new(),
+            obstacle_count: 0,
+            index: None,
+        }
+    }
+
+    /// The routing boundary.
+    #[inline]
+    #[must_use]
+    pub fn bounds(&self) -> Rect {
+        self.bounds
+    }
+
+    /// Adds a rectangular obstacle and returns its id.
+    ///
+    /// Degenerate rectangles are accepted but never block (their interior is
+    /// empty).
+    pub fn add_obstacle(&mut self, rect: Rect) -> ObstacleId {
+        let id = self.obstacle_count;
+        self.obstacle_count += 1;
+        self.rects.push((rect, id));
+        self.index = None;
+        id
+    }
+
+    /// Adds a rectilinear-polygon obstacle (decomposed into rectangles that
+    /// share one id) and returns the id.
+    pub fn add_polygon(&mut self, polygon: &RectilinearPolygon) -> ObstacleId {
+        let id = self.obstacle_count;
+        self.obstacle_count += 1;
+        // The overlapping cover is required here: a pure partition would
+        // leave interior seams a wire could legally run through.
+        for r in polygon.decompose_overlapping() {
+            self.rects.push((r, id));
+        }
+        self.index = None;
+        id
+    }
+
+    /// Builds the topological ray-tracing index (sorted entry faces per
+    /// axis). Queries work without it by linear scan; with it, ray casts
+    /// binary-search their starting face. Adding obstacles invalidates the
+    /// index; call again after mutation.
+    pub fn build_index(&mut self) {
+        self.index = Some(TopoIndex::build(&self.rects));
+    }
+
+    /// Returns `true` when the ray-tracing index is built and current.
+    #[must_use]
+    pub fn has_index(&self) -> bool {
+        self.index.is_some()
+    }
+
+    /// Number of obstacles (polygons count once).
+    #[inline]
+    #[must_use]
+    pub fn obstacle_count(&self) -> usize {
+        self.obstacle_count
+    }
+
+    /// All obstacle rectangles with their owning obstacle ids.
+    #[inline]
+    #[must_use]
+    pub fn rects(&self) -> &[(Rect, ObstacleId)] {
+        &self.rects
+    }
+
+    /// Returns `true` if `p` is inside the routing boundary (closed).
+    #[inline]
+    #[must_use]
+    pub fn in_bounds(&self, p: Point) -> bool {
+        self.bounds.contains(p)
+    }
+
+    /// Returns `true` if `p` is a legal wire position: inside the boundary
+    /// and not strictly inside any obstacle.
+    #[must_use]
+    pub fn point_free(&self, p: Point) -> bool {
+        self.in_bounds(p) && !self.rects.iter().any(|(r, _)| r.contains_open(p))
+    }
+
+    /// Returns `true` if the axis-aligned segment from `a` to `b` is a legal
+    /// wire: fully in bounds and intersecting no obstacle interior.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `a` and `b` are not axis-aligned.
+    #[must_use]
+    pub fn segment_free(&self, a: Point, b: Point) -> bool {
+        debug_assert!(
+            a.is_rectilinear_with(b),
+            "segment_free requires axis-aligned endpoints"
+        );
+        if !self.in_bounds(a) || !self.in_bounds(b) {
+            return false;
+        }
+        if a == b {
+            return self.point_free(a);
+        }
+        if self.index.is_some() {
+            // With the index a segment check is one ray cast: the segment
+            // is free iff the ray from a toward b is not stopped short.
+            if !self.point_free(a) {
+                return false;
+            }
+            let dir = a.dir_toward(b).expect("checked axis-aligned, a != b");
+            let hit = self.ray_cast(a, dir);
+            return hit.distance >= a.manhattan(b);
+        }
+        let axis = if a.y == b.y { Axis::X } else { Axis::Y };
+        let perp = axis.perpendicular();
+        let w = a.coord(perp);
+        let span = Interval::spanning(a.coord(axis), b.coord(axis))
+            .expect("coordinates validated by in_bounds");
+        !self.rects.iter().any(|(r, _)| {
+            !r.is_degenerate()
+                && r.span(perp).contains_open(w)
+                && r.span(axis).overlaps_open(&span)
+        })
+    }
+
+    /// Casts a ray from `origin` in direction `dir` and reports where travel
+    /// must stop: at the entry face of the first blocking obstacle or at the
+    /// plane boundary.
+    ///
+    /// The origin itself must be a legal wire position; a ray that would
+    /// immediately enter an obstacle (origin on its face, moving inward)
+    /// reports `distance == 0`.
+    #[must_use]
+    pub fn ray_hit(&self, origin: Point, dir: Dir) -> RayHit {
+        debug_assert!(self.point_free(origin), "ray origin must be free: {origin}");
+        self.ray_cast(origin, dir)
+    }
+
+    /// Ray casting without the free-origin debug assertion (used internally
+    /// where the origin has already been validated).
+    fn ray_cast(&self, origin: Point, dir: Dir) -> RayHit {
+        let axis = dir.axis();
+        let perp = axis.perpendicular();
+        let u0 = origin.coord(axis);
+        let w = origin.coord(perp);
+        let positive = dir.sign() > 0;
+        let bound = if positive {
+            self.bounds.span(axis).hi()
+        } else {
+            self.bounds.span(axis).lo()
+        };
+
+        let (stop, blocker) = match &self.index {
+            Some(ix) => self.ray_scan_indexed(ix, axis, positive, u0, w, perp, bound),
+            None => self.ray_scan_linear(axis, positive, u0, w, perp, bound),
+        };
+        // The origin may sit outside an obstacle but level with the boundary
+        // in a way that already blocks (e.g. on a face moving inward): then
+        // stop lands on u0 and distance is 0.
+        let distance = if positive { stop - u0 } else { u0 - stop };
+        debug_assert!(distance >= 0, "ray travelled backwards");
+        RayHit {
+            stop,
+            blocker,
+            distance,
+        }
+    }
+
+    fn ray_scan_linear(
+        &self,
+        axis: Axis,
+        positive: bool,
+        u0: Coord,
+        w: Coord,
+        perp: Axis,
+        bound: Coord,
+    ) -> (Coord, Option<ObstacleId>) {
+        let mut stop = bound;
+        let mut blocker = None;
+        for (r, id) in &self.rects {
+            if r.is_degenerate() || !r.span(perp).contains_open(w) {
+                continue;
+            }
+            let m = r.span(axis);
+            if positive {
+                // Blocks if its interior lies ahead: entry at m.lo().
+                if m.hi() > u0 && m.lo() >= u0 && m.lo() < stop {
+                    stop = m.lo();
+                    blocker = Some(*id);
+                }
+            } else if m.lo() < u0 && m.hi() <= u0 && m.hi() > stop {
+                stop = m.hi();
+                blocker = Some(*id);
+            }
+        }
+        (stop, blocker)
+    }
+
+    /// Indexed ray scan: walk the sorted entry faces from the first face at
+    /// or beyond the origin; the first obstacle whose perpendicular span
+    /// straddles the ray line is the nearest blocker.
+    #[allow(clippy::too_many_arguments)]
+    fn ray_scan_indexed(
+        &self,
+        ix: &TopoIndex,
+        axis: Axis,
+        positive: bool,
+        u0: Coord,
+        w: Coord,
+        perp: Axis,
+        bound: Coord,
+    ) -> (Coord, Option<ObstacleId>) {
+        let entries = ix.entries(axis, positive);
+        let hit = |ri: u32| -> Option<ObstacleId> {
+            let (r, id) = &self.rects[ri as usize];
+            (!r.is_degenerate() && r.span(perp).contains_open(w)).then_some(*id)
+        };
+        if positive {
+            let start = entries.partition_point(|&(c, _)| c < u0);
+            for &(c, ri) in &entries[start..] {
+                if c >= bound {
+                    break;
+                }
+                if let Some(id) = hit(ri) {
+                    return (c, Some(id));
+                }
+            }
+        } else {
+            let end = entries.partition_point(|&(c, _)| c <= u0);
+            for &(c, ri) in entries[..end].iter().rev() {
+                if c <= bound {
+                    break;
+                }
+                if let Some(id) = hit(ri) {
+                    return (c, Some(id));
+                }
+            }
+        }
+        (bound, None)
+    }
+
+    /// Enumerates the obstacle-corner coordinates along a ray from `origin`
+    /// in `dir`, up to and including `stop` (normally the
+    /// [`RayHit::stop`] of the same ray).
+    ///
+    /// Each candidate records which perpendicular turn it anchors: an
+    /// obstacle wholly on the positive-perpendicular side of the ray line
+    /// can only be hugged by turning toward it. Obstacles that straddle the
+    /// ray line block it and are never candidates. The result is sorted by
+    /// distance from the origin and deduplicated by `(at, side)`.
+    #[must_use]
+    pub fn corner_candidates(&self, origin: Point, dir: Dir, stop: Coord) -> Vec<CornerCandidate> {
+        let axis = dir.axis();
+        let perp = axis.perpendicular();
+        let u0 = origin.coord(axis);
+        let w = origin.coord(perp);
+        let positive = dir.sign() > 0;
+        let ahead = |c: Coord| {
+            if positive {
+                c > u0 && c <= stop
+            } else {
+                c < u0 && c >= stop
+            }
+        };
+        let classify = |r: &Rect| -> Option<TurnSide> {
+            if r.is_degenerate() {
+                return None;
+            }
+            let pv = r.span(perp);
+            if pv.lo() >= w && pv.hi() > w {
+                Some(TurnSide::Positive)
+            } else if pv.hi() <= w && pv.lo() < w {
+                Some(TurnSide::Negative)
+            } else {
+                // Straddles (blocks) or is perpendicular-degenerate on the
+                // ray line; either way its corners anchor nothing new.
+                None
+            }
+        };
+        let mut out: Vec<CornerCandidate> = Vec::new();
+        match &self.index {
+            Some(ix) => {
+                // Both corner coordinates of an obstacle appear once across
+                // the entry and exit lists; slice each to the ray's range.
+                for list in [ix.entries(axis, positive), ix.exits(axis, positive)] {
+                    // Positive rays need coordinates in (u0, stop];
+                    // negative rays need [stop, u0).
+                    let from = if positive {
+                        list.partition_point(|&(c, _)| c <= u0)
+                    } else {
+                        list.partition_point(|&(c, _)| c < stop)
+                    };
+                    for &(c, ri) in &list[from..] {
+                        if (positive && c > stop) || (!positive && c >= u0) {
+                            break;
+                        }
+                        debug_assert!(ahead(c), "sliced range must be ahead");
+                        let (r, id) = &self.rects[ri as usize];
+                        if let Some(side) = classify(r) {
+                            out.push(CornerCandidate { at: c, obstacle: *id, side });
+                        }
+                    }
+                }
+            }
+            None => {
+                for (r, id) in &self.rects {
+                    let Some(side) = classify(r) else { continue };
+                    let m = r.span(axis);
+                    for c in [m.lo(), m.hi()] {
+                        if ahead(c) {
+                            out.push(CornerCandidate { at: c, obstacle: *id, side });
+                        }
+                    }
+                }
+            }
+        }
+        if positive {
+            out.sort_by_key(|c| (c.at, c.side == TurnSide::Negative, c.obstacle));
+        } else {
+            out.sort_by_key(|c| {
+                (std::cmp::Reverse(c.at), c.side == TurnSide::Negative, c.obstacle)
+            });
+        }
+        out.dedup_by_key(|c| (c.at, c.side));
+        out
+    }
+
+    /// The sorted, deduplicated coordinates of all obstacle edges on `axis`,
+    /// including the plane boundary. This is the coordinate set of the
+    /// Hanan-style "escape grid"; the gridless search touches only a small
+    /// subset of it.
+    #[must_use]
+    pub fn corner_coords(&self, axis: Axis) -> Vec<Coord> {
+        let mut coords: Vec<Coord> = Vec::with_capacity(self.rects.len() * 2 + 2);
+        coords.push(self.bounds.span(axis).lo());
+        coords.push(self.bounds.span(axis).hi());
+        for (r, _) in &self.rects {
+            coords.push(r.span(axis).lo());
+            coords.push(r.span(axis).hi());
+        }
+        coords.sort_unstable();
+        coords.dedup();
+        coords
+    }
+
+    /// Returns `true` if an entire polyline is a legal wire.
+    #[must_use]
+    pub fn polyline_free(&self, polyline: &crate::Polyline) -> bool {
+        let pts = polyline.points();
+        if pts.len() == 1 {
+            return self.point_free(pts[0]);
+        }
+        pts.windows(2).all(|w| self.segment_free(w[0], w[1]))
+    }
+
+    /// The first obstacle whose closed rectangle contains `p`, if any
+    /// (boundary contact counts). Useful for mapping pins back to cells.
+    #[must_use]
+    pub fn obstacle_at(&self, p: Point) -> Option<ObstacleId> {
+        self.rects
+            .iter()
+            .find(|(r, _)| r.contains(p))
+            .map(|(_, id)| *id)
+    }
+}
+
+impl fmt::Display for Plane {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "plane {} with {} obstacle(s)",
+            self.bounds,
+            self.obstacle_count
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plane_one_block() -> (Plane, ObstacleId) {
+        let mut p = Plane::new(Rect::new(0, 0, 100, 100).unwrap());
+        let id = p.add_obstacle(Rect::new(30, 30, 70, 70).unwrap());
+        (p, id)
+    }
+
+    #[test]
+    fn point_free_semantics() {
+        let (p, _) = plane_one_block();
+        assert!(p.point_free(Point::new(0, 0)));
+        assert!(p.point_free(Point::new(30, 30))); // corner contact allowed
+        assert!(p.point_free(Point::new(30, 50))); // face contact allowed
+        assert!(!p.point_free(Point::new(50, 50))); // interior
+        assert!(!p.point_free(Point::new(101, 50))); // out of bounds
+    }
+
+    #[test]
+    fn segment_free_semantics() {
+        let (p, _) = plane_one_block();
+        // Crossing the interior is illegal.
+        assert!(!p.segment_free(Point::new(0, 50), Point::new(100, 50)));
+        // Hugging the south face is legal.
+        assert!(p.segment_free(Point::new(0, 30), Point::new(100, 30)));
+        // Vertical hug of the west face.
+        assert!(p.segment_free(Point::new(30, 0), Point::new(30, 100)));
+        // Clear of the block entirely.
+        assert!(p.segment_free(Point::new(0, 10), Point::new(100, 10)));
+        // Stopping exactly at the face is legal.
+        assert!(p.segment_free(Point::new(0, 50), Point::new(30, 50)));
+        // Entering by one unit is not.
+        assert!(!p.segment_free(Point::new(0, 50), Point::new(31, 50)));
+        // Leaving the plane is not.
+        assert!(!p.segment_free(Point::new(0, 10), Point::new(101, 10)));
+    }
+
+    #[test]
+    fn ray_hits_block_face() {
+        let (p, id) = plane_one_block();
+        let hit = p.ray_hit(Point::new(0, 50), Dir::East);
+        assert_eq!(hit, RayHit { stop: 30, blocker: Some(id), distance: 30 });
+        let hit = p.ray_hit(Point::new(100, 50), Dir::West);
+        assert_eq!(hit, RayHit { stop: 70, blocker: Some(id), distance: 30 });
+        let hit = p.ray_hit(Point::new(50, 0), Dir::North);
+        assert_eq!(hit, RayHit { stop: 30, blocker: Some(id), distance: 30 });
+        let hit = p.ray_hit(Point::new(50, 100), Dir::South);
+        assert_eq!(hit, RayHit { stop: 70, blocker: Some(id), distance: 30 });
+    }
+
+    #[test]
+    fn ray_reaches_boundary_when_clear() {
+        let (p, _) = plane_one_block();
+        let hit = p.ray_hit(Point::new(0, 10), Dir::East);
+        assert_eq!(hit, RayHit { stop: 100, blocker: None, distance: 100 });
+        // Along the face line: hugging, not blocked.
+        let hit = p.ray_hit(Point::new(0, 30), Dir::East);
+        assert_eq!(hit, RayHit { stop: 100, blocker: None, distance: 100 });
+    }
+
+    #[test]
+    fn ray_from_face_moving_inward_stops_immediately() {
+        let (p, id) = plane_one_block();
+        let hit = p.ray_hit(Point::new(30, 50), Dir::East);
+        assert_eq!(hit, RayHit { stop: 30, blocker: Some(id), distance: 0 });
+        let hit = p.ray_hit(Point::new(70, 50), Dir::West);
+        assert_eq!(hit, RayHit { stop: 70, blocker: Some(id), distance: 0 });
+    }
+
+    #[test]
+    fn ray_from_face_moving_away_is_clear() {
+        let (p, _) = plane_one_block();
+        let hit = p.ray_hit(Point::new(30, 50), Dir::West);
+        assert_eq!(hit, RayHit { stop: 0, blocker: None, distance: 30 });
+    }
+
+    #[test]
+    fn nearest_of_two_blockers_wins() {
+        let mut p = Plane::new(Rect::new(0, 0, 100, 100).unwrap());
+        let near = p.add_obstacle(Rect::new(20, 40, 30, 60).unwrap());
+        let _far = p.add_obstacle(Rect::new(50, 40, 60, 60).unwrap());
+        let hit = p.ray_hit(Point::new(0, 50), Dir::East);
+        assert_eq!((hit.stop, hit.blocker), (20, Some(near)));
+    }
+
+    #[test]
+    fn degenerate_obstacles_never_block() {
+        let mut p = Plane::new(Rect::new(0, 0, 100, 100).unwrap());
+        p.add_obstacle(Rect::new(50, 0, 50, 100).unwrap()); // zero width
+        let hit = p.ray_hit(Point::new(0, 50), Dir::East);
+        assert_eq!(hit.blocker, None);
+        assert!(p.segment_free(Point::new(0, 50), Point::new(100, 50)));
+    }
+
+    #[test]
+    fn corner_candidates_sides_and_order() {
+        let mut p = Plane::new(Rect::new(0, 0, 100, 100).unwrap());
+        let above = p.add_obstacle(Rect::new(20, 60, 40, 80).unwrap());
+        let below = p.add_obstacle(Rect::new(50, 10, 65, 40).unwrap());
+        let hit = p.ray_hit(Point::new(0, 50), Dir::East);
+        assert_eq!(hit.blocker, None);
+        let cands = p.corner_candidates(Point::new(0, 50), Dir::East, hit.stop);
+        let ats: Vec<(Coord, TurnSide, ObstacleId)> =
+            cands.iter().map(|c| (c.at, c.side, c.obstacle)).collect();
+        assert_eq!(
+            ats,
+            vec![
+                (20, TurnSide::Positive, above),
+                (40, TurnSide::Positive, above),
+                (50, TurnSide::Negative, below),
+                (65, TurnSide::Negative, below),
+            ]
+        );
+    }
+
+    #[test]
+    fn corner_candidates_respect_stop_and_direction() {
+        let mut p = Plane::new(Rect::new(0, 0, 100, 100).unwrap());
+        p.add_obstacle(Rect::new(20, 60, 40, 80).unwrap());
+        // Stop short of the second corner.
+        let cands = p.corner_candidates(Point::new(0, 50), Dir::East, 30);
+        assert_eq!(cands.len(), 1);
+        assert_eq!(cands[0].at, 20);
+        // Westward from the right side sees them in reverse order.
+        let cands = p.corner_candidates(Point::new(100, 50), Dir::West, 0);
+        let ats: Vec<Coord> = cands.iter().map(|c| c.at).collect();
+        assert_eq!(ats, vec![40, 20]);
+    }
+
+    #[test]
+    fn corner_candidates_exclude_straddling_blockers() {
+        let (p, _) = plane_one_block();
+        // The block straddles y=50, so it blocks rather than anchors.
+        let cands = p.corner_candidates(Point::new(0, 50), Dir::East, 30);
+        assert!(cands.is_empty());
+    }
+
+    #[test]
+    fn touching_obstacle_anchors_from_the_face_line() {
+        let (p, id) = plane_one_block();
+        // Ray along the south face line (y=30): block lies on +y side.
+        let cands = p.corner_candidates(Point::new(0, 30), Dir::East, 100);
+        assert_eq!(cands.len(), 2);
+        assert!(cands.iter().all(|c| c.side == TurnSide::Positive));
+        assert!(cands.iter().all(|c| c.obstacle == id));
+        assert_eq!(cands[0].at, 30);
+        assert_eq!(cands[1].at, 70);
+    }
+
+    #[test]
+    fn vertical_ray_candidates() {
+        let mut p = Plane::new(Rect::new(0, 0, 100, 100).unwrap());
+        let east_side = p.add_obstacle(Rect::new(60, 20, 80, 40).unwrap());
+        let cands = p.corner_candidates(Point::new(50, 0), Dir::North, 100);
+        let ats: Vec<(Coord, TurnSide)> = cands.iter().map(|c| (c.at, c.side)).collect();
+        assert_eq!(ats, vec![(20, TurnSide::Positive), (40, TurnSide::Positive)]);
+        assert_eq!(cands[0].side.turn_dir(Axis::Y), Dir::East);
+        assert_eq!(cands[0].obstacle, east_side);
+    }
+
+    #[test]
+    fn polygon_obstacle_shares_one_id() {
+        let mut p = Plane::new(Rect::new(0, 0, 100, 100).unwrap());
+        let l = RectilinearPolygon::new(vec![
+            Point::new(20, 20),
+            Point::new(60, 20),
+            Point::new(60, 40),
+            Point::new(40, 40),
+            Point::new(40, 60),
+            Point::new(20, 60),
+        ])
+        .unwrap();
+        let id = p.add_polygon(&l);
+        assert_eq!(p.obstacle_count(), 1);
+        assert!(p.rects().len() >= 2);
+        assert!(p.rects().iter().all(|(_, i)| *i == id));
+        // The notch interior (x in 40..60, y in 40..60) is free.
+        assert!(p.point_free(Point::new(50, 50)));
+        // A point inside the lower arm of the L is blocked.
+        assert!(!p.point_free(Point::new(30, 30)));
+    }
+
+    #[test]
+    fn polygon_interior_seams_are_blocked() {
+        // Regression: a U-shaped cell decomposed into a pure partition
+        // leaves zero-width seams between the pieces (e.g. at the arm/base
+        // joints); a wire must NOT be able to run through the cell along
+        // such a seam. The overlapping decomposition closes them.
+        let mut p = Plane::new(Rect::new(0, 0, 200, 120).unwrap());
+        let u = RectilinearPolygon::new(vec![
+            Point::new(100, 16),
+            Point::new(180, 16),
+            Point::new(180, 100),
+            Point::new(156, 100),
+            Point::new(156, 44),
+            Point::new(124, 44),
+            Point::new(124, 100),
+            Point::new(100, 100),
+        ])
+        .unwrap();
+        p.add_polygon(&u);
+        // The x-slab seam at x=124 inside the base:
+        assert!(!p.point_free(Point::new(124, 30)));
+        assert!(!p.segment_free(Point::new(124, 16), Point::new(124, 44)));
+        // The y-slab seam at y=44 inside the left arm:
+        assert!(!p.point_free(Point::new(110, 44)));
+        assert!(!p.segment_free(Point::new(100, 44), Point::new(124, 44)));
+        // True boundary and cavity stay legal.
+        assert!(p.point_free(Point::new(100, 50))); // west face
+        assert!(p.point_free(Point::new(140, 44))); // cavity floor
+        assert!(p.point_free(Point::new(140, 80))); // cavity interior
+        assert!(p.segment_free(Point::new(124, 44), Point::new(156, 44)));
+        // Rays must not enter through a seam either. x=124 is the arm's
+        // true east face: the ray legally hugs it down the cavity and
+        // stops on the base (y=44), not inside it.
+        let hit = p.ray_hit(Point::new(124, 110), Dir::South);
+        assert_eq!(hit.stop, 44, "ray hugs the face, then stops on the base");
+        // A column strictly inside the arm stops on the arm's top face.
+        let hit = p.ray_hit(Point::new(110, 110), Dir::South);
+        assert_eq!(hit.stop, 100, "ray must stop on the arm's top face");
+    }
+
+    #[test]
+    fn corner_coords_include_bounds() {
+        let (p, _) = plane_one_block();
+        assert_eq!(p.corner_coords(Axis::X), vec![0, 30, 70, 100]);
+        assert_eq!(p.corner_coords(Axis::Y), vec![0, 30, 70, 100]);
+    }
+
+    #[test]
+    fn obstacle_at_maps_boundary_points() {
+        let (p, id) = plane_one_block();
+        assert_eq!(p.obstacle_at(Point::new(30, 30)), Some(id));
+        assert_eq!(p.obstacle_at(Point::new(50, 50)), Some(id));
+        assert_eq!(p.obstacle_at(Point::new(0, 0)), None);
+    }
+
+    #[test]
+    fn polyline_free_checks_every_leg() {
+        let (p, _) = plane_one_block();
+        let ok = crate::Polyline::new(vec![
+            Point::new(0, 0),
+            Point::new(0, 30),
+            Point::new(100, 30),
+        ])
+        .unwrap();
+        assert!(p.polyline_free(&ok));
+        let bad = crate::Polyline::new(vec![
+            Point::new(0, 50),
+            Point::new(100, 50),
+        ])
+        .unwrap();
+        assert!(!p.polyline_free(&bad));
+    }
+
+    #[test]
+    fn display_reports_counts() {
+        let (p, _) = plane_one_block();
+        assert!(p.to_string().contains("1 obstacle"));
+    }
+}

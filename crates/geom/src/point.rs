@@ -1,0 +1,198 @@
+//! Points in the rectilinear plane.
+
+use std::fmt;
+
+use crate::{Axis, Coord, Dir};
+
+/// A point in the routing plane.
+///
+/// Points are `Copy` value types ordered lexicographically by `(x, y)`, which
+/// gives deterministic iteration orders everywhere a set of points is sorted.
+///
+/// ```
+/// use gcr_geom::Point;
+/// let a = Point::new(3, 4);
+/// let b = Point::new(10, 4);
+/// assert_eq!(a.manhattan(b), 7);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Point {
+    /// Horizontal coordinate.
+    pub x: Coord,
+    /// Vertical coordinate.
+    pub y: Coord,
+}
+
+impl Point {
+    /// Creates a point at `(x, y)`.
+    #[inline]
+    #[must_use]
+    pub fn new(x: Coord, y: Coord) -> Point {
+        Point { x, y }
+    }
+
+    /// The rectilinear (Manhattan) distance to `other`.
+    ///
+    /// This is the paper's admissible heuristic ĥ: the best possible wire
+    /// length between two points, achieved exactly when no obstacle
+    /// intervenes.
+    #[inline]
+    #[must_use]
+    pub fn manhattan(self, other: Point) -> Coord {
+        (self.x - other.x).abs() + (self.y - other.y).abs()
+    }
+
+    /// The coordinate of this point on `axis`.
+    #[inline]
+    #[must_use]
+    pub fn coord(self, axis: Axis) -> Coord {
+        match axis {
+            Axis::X => self.x,
+            Axis::Y => self.y,
+        }
+    }
+
+    /// Returns a copy with the coordinate on `axis` replaced by `value`.
+    #[inline]
+    #[must_use]
+    pub fn with_coord(self, axis: Axis, value: Coord) -> Point {
+        match axis {
+            Axis::X => Point::new(value, self.y),
+            Axis::Y => Point::new(self.x, value),
+        }
+    }
+
+    /// The point reached by moving `distance` units in direction `dir`.
+    ///
+    /// `distance` may be zero; negative distances move backwards.
+    #[inline]
+    #[must_use]
+    pub fn step(self, dir: Dir, distance: Coord) -> Point {
+        let delta = dir.sign() * distance;
+        match dir.axis() {
+            Axis::X => Point::new(self.x + delta, self.y),
+            Axis::Y => Point::new(self.x, self.y + delta),
+        }
+    }
+
+    /// The direction from `self` toward `other`, if they differ on exactly
+    /// one axis (i.e. are connected by an axis-aligned segment).
+    ///
+    /// Returns `None` when the points are equal or diagonal to each other.
+    #[inline]
+    #[must_use]
+    pub fn dir_toward(self, other: Point) -> Option<Dir> {
+        if self == other {
+            return None;
+        }
+        if self.y == other.y {
+            Dir::toward(Axis::X, self.x, other.x)
+        } else if self.x == other.x {
+            Dir::toward(Axis::Y, self.y, other.y)
+        } else {
+            None
+        }
+    }
+
+    /// Returns `true` if `self` and `other` share an axis-aligned line
+    /// (equal x or equal y).
+    #[inline]
+    #[must_use]
+    pub fn is_rectilinear_with(self, other: Point) -> bool {
+        self.x == other.x || self.y == other.y
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+impl From<(Coord, Coord)> for Point {
+    fn from((x, y): (Coord, Coord)) -> Point {
+        Point::new(x, y)
+    }
+}
+
+impl From<Point> for (Coord, Coord) {
+    fn from(p: Point) -> (Coord, Coord) {
+        (p.x, p.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manhattan_is_metric() {
+        let a = Point::new(0, 0);
+        let b = Point::new(3, 4);
+        let c = Point::new(-2, 7);
+        assert_eq!(a.manhattan(a), 0);
+        assert_eq!(a.manhattan(b), b.manhattan(a));
+        assert!(a.manhattan(c) <= a.manhattan(b) + b.manhattan(c));
+        assert_eq!(a.manhattan(b), 7);
+    }
+
+    #[test]
+    fn step_moves_along_axis() {
+        let p = Point::new(10, 20);
+        assert_eq!(p.step(Dir::East, 5), Point::new(15, 20));
+        assert_eq!(p.step(Dir::West, 5), Point::new(5, 20));
+        assert_eq!(p.step(Dir::North, 5), Point::new(10, 25));
+        assert_eq!(p.step(Dir::South, 5), Point::new(10, 15));
+        assert_eq!(p.step(Dir::East, 0), p);
+    }
+
+    #[test]
+    fn step_then_back_is_identity() {
+        let p = Point::new(-7, 13);
+        for d in Dir::ALL {
+            assert_eq!(p.step(d, 9).step(d.opposite(), 9), p);
+        }
+    }
+
+    #[test]
+    fn coord_accessors() {
+        let p = Point::new(3, -8);
+        assert_eq!(p.coord(Axis::X), 3);
+        assert_eq!(p.coord(Axis::Y), -8);
+        assert_eq!(p.with_coord(Axis::X, 100), Point::new(100, -8));
+        assert_eq!(p.with_coord(Axis::Y, 100), Point::new(3, 100));
+    }
+
+    #[test]
+    fn dir_toward_aligned_points() {
+        let p = Point::new(0, 0);
+        assert_eq!(p.dir_toward(Point::new(4, 0)), Some(Dir::East));
+        assert_eq!(p.dir_toward(Point::new(-4, 0)), Some(Dir::West));
+        assert_eq!(p.dir_toward(Point::new(0, 4)), Some(Dir::North));
+        assert_eq!(p.dir_toward(Point::new(0, -4)), Some(Dir::South));
+        assert_eq!(p.dir_toward(p), None);
+        assert_eq!(p.dir_toward(Point::new(3, 3)), None);
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        let mut pts = vec![Point::new(1, 5), Point::new(0, 9), Point::new(1, 2)];
+        pts.sort();
+        assert_eq!(
+            pts,
+            vec![Point::new(0, 9), Point::new(1, 2), Point::new(1, 5)]
+        );
+    }
+
+    #[test]
+    fn tuple_conversions_roundtrip() {
+        let p = Point::from((5, 6));
+        let (x, y): (Coord, Coord) = p.into();
+        assert_eq!((x, y), (5, 6));
+    }
+
+    #[test]
+    fn display_formats_pair() {
+        assert_eq!(Point::new(-1, 2).to_string(), "(-1, 2)");
+    }
+}

@@ -1,0 +1,298 @@
+//! Rectilinear polylines: the shape of a routed connection.
+
+use std::fmt;
+
+use crate::{Coord, GeomError, Point, Segment};
+
+/// A rectilinear polyline — an ordered sequence of points in which every
+/// consecutive pair is axis-aligned and distinct.
+///
+/// This is the shape a router returns for a single two-point connection.
+/// Collinear interior vertices are permitted on construction (searches emit
+/// them naturally) and can be removed with [`Polyline::simplified`].
+///
+/// ```
+/// use gcr_geom::{Point, Polyline};
+/// # fn main() -> Result<(), gcr_geom::GeomError> {
+/// let p = Polyline::new(vec![
+///     Point::new(0, 0),
+///     Point::new(5, 0),
+///     Point::new(5, 7),
+/// ])?;
+/// assert_eq!(p.length(), 12);
+/// assert_eq!(p.bends(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Polyline {
+    points: Vec<Point>,
+}
+
+impl Polyline {
+    /// Creates a polyline from its vertices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeomError::InvalidPolyline`] if fewer than one point is
+    /// given, if consecutive points are equal, or if any move is diagonal.
+    pub fn new(points: Vec<Point>) -> Result<Polyline, GeomError> {
+        if points.is_empty() {
+            return Err(GeomError::InvalidPolyline { index: 0 });
+        }
+        for (i, w) in points.windows(2).enumerate() {
+            if w[0] == w[1] || w[0].dir_toward(w[1]).is_none() {
+                return Err(GeomError::InvalidPolyline { index: i + 1 });
+            }
+        }
+        Ok(Polyline { points })
+    }
+
+    /// A single-point polyline (a connection of zero length, e.g. a pin that
+    /// is already on the routing tree).
+    #[must_use]
+    pub fn single(p: Point) -> Polyline {
+        Polyline { points: vec![p] }
+    }
+
+    /// The vertices of the polyline.
+    #[inline]
+    #[must_use]
+    pub fn points(&self) -> &[Point] {
+        &self.points
+    }
+
+    /// First vertex.
+    #[inline]
+    #[must_use]
+    pub fn start(&self) -> Point {
+        self.points[0]
+    }
+
+    /// Last vertex.
+    #[inline]
+    #[must_use]
+    pub fn end(&self) -> Point {
+        *self.points.last().expect("polyline is non-empty")
+    }
+
+    /// Total Manhattan length.
+    #[must_use]
+    pub fn length(&self) -> Coord {
+        self.points
+            .windows(2)
+            .map(|w| w[0].manhattan(w[1]))
+            .sum()
+    }
+
+    /// Number of 90° bends (collinear vertices are not bends).
+    #[must_use]
+    pub fn bends(&self) -> usize {
+        self.points
+            .windows(3)
+            .filter(|w| {
+                let d1 = w[0].dir_toward(w[1]);
+                let d2 = w[1].dir_toward(w[2]);
+                match (d1, d2) {
+                    (Some(a), Some(b)) => a.axis() != b.axis(),
+                    _ => false,
+                }
+            })
+            .count()
+    }
+
+    /// The segments of the polyline, in order. Empty for single points.
+    #[must_use]
+    pub fn segments(&self) -> Vec<Segment> {
+        self.points
+            .windows(2)
+            .map(|w| Segment::new(w[0], w[1]).expect("validated on construction"))
+            .collect()
+    }
+
+    /// Returns a copy with collinear interior vertices removed and
+    /// direction reversals merged.
+    #[must_use]
+    pub fn simplified(&self) -> Polyline {
+        if self.points.len() <= 2 {
+            return self.clone();
+        }
+        let mut out: Vec<Point> = Vec::with_capacity(self.points.len());
+        out.push(self.points[0]);
+        for &p in &self.points[1..] {
+            while out.len() >= 2 {
+                let a = out[out.len() - 2];
+                let b = out[out.len() - 1];
+                let d1 = a.dir_toward(b);
+                let d2 = b.dir_toward(p);
+                match (d1, d2) {
+                    (Some(x), Some(y)) if x == y => {
+                        out.pop();
+                    }
+                    _ => break,
+                }
+            }
+            if *out.last().expect("non-empty") != p {
+                out.push(p);
+            }
+        }
+        Polyline { points: out }
+    }
+
+    /// Returns the reversed polyline.
+    #[must_use]
+    pub fn reversed(&self) -> Polyline {
+        let mut points = self.points.clone();
+        points.reverse();
+        Polyline { points }
+    }
+
+    /// Returns `true` if `p` lies on any segment (or vertex) of the
+    /// polyline.
+    #[must_use]
+    pub fn contains(&self, p: Point) -> bool {
+        if self.points.len() == 1 {
+            return self.points[0] == p;
+        }
+        self.segments().iter().any(|s| s.contains(p))
+    }
+
+    /// Joins two polylines whose end/start coincide.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeomError::InvalidPolyline`] if `self.end() != other.start()`.
+    pub fn join(&self, other: &Polyline) -> Result<Polyline, GeomError> {
+        if self.end() != other.start() {
+            return Err(GeomError::InvalidPolyline { index: self.points.len() });
+        }
+        let mut points = self.points.clone();
+        points.extend_from_slice(&other.points[1..]);
+        if points.len() == 1 {
+            return Ok(Polyline { points });
+        }
+        Polyline::new(points).map(|p| p.simplified())
+    }
+}
+
+impl fmt::Display for Polyline {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, p) in self.points.iter().enumerate() {
+            if i > 0 {
+                write!(f, " -> ")?;
+            }
+            write!(f, "{p}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pl(pts: &[(Coord, Coord)]) -> Polyline {
+        Polyline::new(pts.iter().map(|&(x, y)| Point::new(x, y)).collect()).unwrap()
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(Polyline::new(vec![]).is_err());
+        assert!(Polyline::new(vec![Point::new(0, 0), Point::new(0, 0)]).is_err());
+        assert!(Polyline::new(vec![Point::new(0, 0), Point::new(1, 1)]).is_err());
+    }
+
+    #[test]
+    fn length_and_bends() {
+        let p = pl(&[(0, 0), (5, 0), (5, 7), (2, 7)]);
+        assert_eq!(p.length(), 15);
+        assert_eq!(p.bends(), 2);
+        assert_eq!(p.start(), Point::new(0, 0));
+        assert_eq!(p.end(), Point::new(2, 7));
+    }
+
+    #[test]
+    fn collinear_vertices_are_not_bends() {
+        let p = pl(&[(0, 0), (3, 0), (5, 0)]);
+        assert_eq!(p.bends(), 0);
+        assert_eq!(p.length(), 5);
+    }
+
+    #[test]
+    fn single_point_polyline() {
+        let p = Polyline::single(Point::new(2, 3));
+        assert_eq!(p.length(), 0);
+        assert_eq!(p.bends(), 0);
+        assert_eq!(p.start(), p.end());
+        assert!(p.segments().is_empty());
+        assert!(p.contains(Point::new(2, 3)));
+        assert!(!p.contains(Point::new(2, 4)));
+    }
+
+    #[test]
+    fn simplify_merges_collinear_runs() {
+        let p = pl(&[(0, 0), (2, 0), (5, 0), (5, 3), (5, 9)]);
+        let s = p.simplified();
+        assert_eq!(
+            s.points(),
+            &[Point::new(0, 0), Point::new(5, 0), Point::new(5, 9)]
+        );
+        assert_eq!(s.length(), p.length());
+        assert_eq!(s.bends(), p.bends());
+    }
+
+    #[test]
+    fn simplify_preserves_single_segment() {
+        let p = pl(&[(0, 0), (5, 0)]);
+        assert_eq!(p.simplified(), p);
+    }
+
+    #[test]
+    fn segments_match_windows() {
+        let p = pl(&[(0, 0), (5, 0), (5, 7)]);
+        assert_eq!(
+            p.segments(),
+            vec![
+                Segment::horizontal(0, 0, 5),
+                Segment::vertical(5, 0, 7),
+            ]
+        );
+    }
+
+    #[test]
+    fn contains_points_on_path() {
+        let p = pl(&[(0, 0), (5, 0), (5, 7)]);
+        assert!(p.contains(Point::new(3, 0)));
+        assert!(p.contains(Point::new(5, 6)));
+        assert!(!p.contains(Point::new(3, 1)));
+    }
+
+    #[test]
+    fn reverse_preserves_metrics() {
+        let p = pl(&[(0, 0), (5, 0), (5, 7)]);
+        let r = p.reversed();
+        assert_eq!(r.start(), p.end());
+        assert_eq!(r.end(), p.start());
+        assert_eq!(r.length(), p.length());
+        assert_eq!(r.bends(), p.bends());
+    }
+
+    #[test]
+    fn join_concatenates_and_simplifies() {
+        let a = pl(&[(0, 0), (5, 0)]);
+        let b = pl(&[(5, 0), (9, 0), (9, 4)]);
+        let j = a.join(&b).unwrap();
+        assert_eq!(
+            j.points(),
+            &[Point::new(0, 0), Point::new(9, 0), Point::new(9, 4)]
+        );
+        let far = pl(&[(50, 50), (60, 50)]);
+        assert!(a.join(&far).is_err());
+    }
+
+    #[test]
+    fn display_chains_points() {
+        let p = pl(&[(0, 0), (1, 0)]);
+        assert_eq!(p.to_string(), "(0, 0) -> (1, 0)");
+    }
+}

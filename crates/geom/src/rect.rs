@@ -1,0 +1,415 @@
+//! Axis-aligned rectangles.
+
+use std::fmt;
+
+use crate::{Axis, Coord, GeomError, Interval, Point};
+
+/// An axis-aligned rectangle, the shape of every general cell.
+///
+/// Stored as one closed [`Interval`] per axis. Degenerate rectangles (zero
+/// width and/or height) are permitted for geometric bookkeeping, but layout
+/// validation rejects degenerate *cells*.
+///
+/// ```
+/// use gcr_geom::{Point, Rect};
+/// # fn main() -> Result<(), gcr_geom::GeomError> {
+/// let r = Rect::new(0, 0, 10, 20)?;
+/// assert_eq!(r.width(), 10);
+/// assert_eq!(r.height(), 20);
+/// assert!(r.contains(Point::new(10, 20)));         // boundary is inside
+/// assert!(!r.contains_open(Point::new(10, 20)));   // …but not the interior
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Rect {
+    x: Interval,
+    y: Interval,
+}
+
+impl Rect {
+    /// Creates the rectangle `[xmin, xmax] × [ymin, ymax]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeomError::EmptyExtent`] if an axis is inverted, or
+    /// [`GeomError::CoordOutOfRange`] for out-of-range coordinates.
+    pub fn new(xmin: Coord, ymin: Coord, xmax: Coord, ymax: Coord) -> Result<Rect, GeomError> {
+        Ok(Rect {
+            x: Interval::new(xmin, xmax)?,
+            y: Interval::new(ymin, ymax)?,
+        })
+    }
+
+    /// Creates a rectangle from two opposite corners in any order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeomError::CoordOutOfRange`] for out-of-range coordinates.
+    pub fn from_corners(a: Point, b: Point) -> Result<Rect, GeomError> {
+        Ok(Rect {
+            x: Interval::spanning(a.x, b.x)?,
+            y: Interval::spanning(a.y, b.y)?,
+        })
+    }
+
+    /// Creates a rectangle from per-axis intervals.
+    #[must_use]
+    pub fn from_intervals(x: Interval, y: Interval) -> Rect {
+        Rect { x, y }
+    }
+
+    /// The extent of the rectangle on `axis`.
+    #[inline]
+    #[must_use]
+    pub fn span(&self, axis: Axis) -> Interval {
+        match axis {
+            Axis::X => self.x,
+            Axis::Y => self.y,
+        }
+    }
+
+    /// Minimum x (west edge).
+    #[inline]
+    #[must_use]
+    pub fn xmin(&self) -> Coord {
+        self.x.lo()
+    }
+
+    /// Maximum x (east edge).
+    #[inline]
+    #[must_use]
+    pub fn xmax(&self) -> Coord {
+        self.x.hi()
+    }
+
+    /// Minimum y (south edge).
+    #[inline]
+    #[must_use]
+    pub fn ymin(&self) -> Coord {
+        self.y.lo()
+    }
+
+    /// Maximum y (north edge).
+    #[inline]
+    #[must_use]
+    pub fn ymax(&self) -> Coord {
+        self.y.hi()
+    }
+
+    /// Width (`xmax - xmin`).
+    #[inline]
+    #[must_use]
+    pub fn width(&self) -> Coord {
+        self.x.len()
+    }
+
+    /// Height (`ymax - ymin`).
+    #[inline]
+    #[must_use]
+    pub fn height(&self) -> Coord {
+        self.y.len()
+    }
+
+    /// Area of the rectangle.
+    #[inline]
+    #[must_use]
+    pub fn area(&self) -> i128 {
+        self.width() as i128 * self.height() as i128
+    }
+
+    /// Half-perimeter (width + height), the HPWL contribution of a bounding
+    /// box.
+    #[inline]
+    #[must_use]
+    pub fn half_perimeter(&self) -> Coord {
+        self.width() + self.height()
+    }
+
+    /// Returns `true` for zero-width or zero-height rectangles.
+    #[inline]
+    #[must_use]
+    pub fn is_degenerate(&self) -> bool {
+        self.x.is_degenerate() || self.y.is_degenerate()
+    }
+
+    /// The centre point, rounded toward negative infinity.
+    #[must_use]
+    pub fn center(&self) -> Point {
+        Point::new(
+            self.xmin() + self.width() / 2,
+            self.ymin() + self.height() / 2,
+        )
+    }
+
+    /// Returns `true` if `p` is in the closed rectangle (boundary included).
+    #[inline]
+    #[must_use]
+    pub fn contains(&self, p: Point) -> bool {
+        self.x.contains(p.x) && self.y.contains(p.y)
+    }
+
+    /// Returns `true` if `p` is strictly inside the rectangle.
+    ///
+    /// The open interior is the blocking region for routing: wires may run
+    /// along cell boundaries ("hug" them) but not through the interior.
+    #[inline]
+    #[must_use]
+    pub fn contains_open(&self, p: Point) -> bool {
+        self.x.contains_open(p.x) && self.y.contains_open(p.y)
+    }
+
+    /// Returns `true` if `p` is on the boundary of the rectangle.
+    #[inline]
+    #[must_use]
+    pub fn on_boundary(&self, p: Point) -> bool {
+        self.contains(p) && !self.contains_open(p)
+    }
+
+    /// Returns `true` if `other` lies entirely within this closed rectangle.
+    #[inline]
+    #[must_use]
+    pub fn contains_rect(&self, other: &Rect) -> bool {
+        self.x.contains_interval(&other.x) && self.y.contains_interval(&other.y)
+    }
+
+    /// Returns `true` if the closed rectangles share at least one point
+    /// (edge or corner contact counts).
+    #[inline]
+    #[must_use]
+    pub fn touches(&self, other: &Rect) -> bool {
+        self.x.touches(&other.x) && self.y.touches(&other.y)
+    }
+
+    /// Returns `true` if the open interiors intersect — the placement
+    /// overlap test.
+    #[inline]
+    #[must_use]
+    pub fn overlaps_open(&self, other: &Rect) -> bool {
+        self.x.overlaps_open(&other.x) && self.y.overlaps_open(&other.y)
+    }
+
+    /// The intersection of two closed rectangles, if non-empty.
+    #[must_use]
+    pub fn intersect(&self, other: &Rect) -> Option<Rect> {
+        Some(Rect {
+            x: self.x.intersect(&other.x)?,
+            y: self.y.intersect(&other.y)?,
+        })
+    }
+
+    /// The smallest rectangle containing both inputs.
+    #[must_use]
+    pub fn hull(&self, other: &Rect) -> Rect {
+        Rect {
+            x: self.x.hull(&other.x),
+            y: self.y.hull(&other.y),
+        }
+    }
+
+    /// The bounding box of a non-empty point set, or `None` for an empty
+    /// iterator.
+    #[must_use]
+    pub fn bounding<I: IntoIterator<Item = Point>>(points: I) -> Option<Rect> {
+        let mut it = points.into_iter();
+        let first = it.next()?;
+        let mut r = Rect {
+            x: Interval::point(first.x),
+            y: Interval::point(first.y),
+        };
+        for p in it {
+            r = r.hull(&Rect {
+                x: Interval::point(p.x),
+                y: Interval::point(p.y),
+            });
+        }
+        Some(r)
+    }
+
+    /// Grows the rectangle by `amount` on every side (shrinks if negative).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if shrinking would empty an axis or a bound leaves
+    /// the supported range.
+    pub fn inflate(&self, amount: Coord) -> Result<Rect, GeomError> {
+        Ok(Rect {
+            x: self.x.inflate(amount)?,
+            y: self.y.inflate(amount)?,
+        })
+    }
+
+    /// The four corner points, counter-clockwise from the south-west corner.
+    #[must_use]
+    pub fn corners(&self) -> [Point; 4] {
+        [
+            Point::new(self.xmin(), self.ymin()),
+            Point::new(self.xmax(), self.ymin()),
+            Point::new(self.xmax(), self.ymax()),
+            Point::new(self.xmin(), self.ymax()),
+        ]
+    }
+
+    /// The Manhattan distance from `p` to the closed rectangle (zero when
+    /// `p` is inside or on the boundary).
+    #[must_use]
+    pub fn manhattan_to_point(&self, p: Point) -> Coord {
+        let dx = if p.x < self.xmin() {
+            self.xmin() - p.x
+        } else if p.x > self.xmax() {
+            p.x - self.xmax()
+        } else {
+            0
+        };
+        let dy = if p.y < self.ymin() {
+            self.ymin() - p.y
+        } else if p.y > self.ymax() {
+            p.y - self.ymax()
+        } else {
+            0
+        };
+        dx + dy
+    }
+
+    /// The point of the closed rectangle nearest to `p` in Manhattan
+    /// distance.
+    #[must_use]
+    pub fn closest_point_to(&self, p: Point) -> Point {
+        Point::new(self.x.clamp_coord(p.x), self.y.clamp_coord(p.y))
+    }
+}
+
+impl fmt::Display for Rect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}, {}] x [{}, {}]",
+            self.xmin(),
+            self.xmax(),
+            self.ymin(),
+            self.ymax()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(x0: Coord, y0: Coord, x1: Coord, y1: Coord) -> Rect {
+        Rect::new(x0, y0, x1, y1).unwrap()
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert!(Rect::new(0, 0, -1, 5).is_err());
+        assert!(Rect::new(0, 5, 10, 4).is_err());
+        assert!(Rect::new(0, 0, 0, 0).is_ok());
+    }
+
+    #[test]
+    fn from_corners_any_order() {
+        let a = Rect::from_corners(Point::new(10, 20), Point::new(0, 5)).unwrap();
+        assert_eq!(a, r(0, 5, 10, 20));
+    }
+
+    #[test]
+    fn dimensions() {
+        let b = r(2, 3, 12, 8);
+        assert_eq!(b.width(), 10);
+        assert_eq!(b.height(), 5);
+        assert_eq!(b.area(), 50);
+        assert_eq!(b.half_perimeter(), 15);
+        assert_eq!(b.center(), Point::new(7, 5));
+        assert!(!b.is_degenerate());
+        assert!(r(2, 3, 2, 8).is_degenerate());
+    }
+
+    #[test]
+    fn containment_closed_vs_open() {
+        let b = r(0, 0, 10, 10);
+        assert!(b.contains(Point::new(0, 0)));
+        assert!(b.contains(Point::new(10, 10)));
+        assert!(b.contains_open(Point::new(5, 5)));
+        assert!(!b.contains_open(Point::new(0, 5)));
+        assert!(b.on_boundary(Point::new(0, 5)));
+        assert!(!b.on_boundary(Point::new(5, 5)));
+        assert!(!b.on_boundary(Point::new(11, 5)));
+    }
+
+    #[test]
+    fn overlap_vs_touch() {
+        let a = r(0, 0, 10, 10);
+        let edge = r(10, 0, 20, 10);
+        let corner = r(10, 10, 20, 20);
+        let inside = r(2, 2, 8, 8);
+        let apart = r(11, 0, 20, 10);
+        assert!(a.touches(&edge) && !a.overlaps_open(&edge));
+        assert!(a.touches(&corner) && !a.overlaps_open(&corner));
+        assert!(a.overlaps_open(&inside));
+        assert!(!a.touches(&apart));
+        assert!(a.contains_rect(&inside));
+        assert!(!inside.contains_rect(&a));
+    }
+
+    #[test]
+    fn intersect_and_hull() {
+        let a = r(0, 0, 10, 10);
+        let b = r(5, 5, 15, 15);
+        assert_eq!(a.intersect(&b), Some(r(5, 5, 10, 10)));
+        assert_eq!(a.hull(&b), r(0, 0, 15, 15));
+        assert_eq!(a.intersect(&r(20, 20, 30, 30)), None);
+    }
+
+    #[test]
+    fn bounding_box_of_points() {
+        let pts = [Point::new(3, 9), Point::new(-2, 4), Point::new(7, 5)];
+        assert_eq!(Rect::bounding(pts), Some(r(-2, 4, 7, 9)));
+        assert_eq!(Rect::bounding(std::iter::empty()), None);
+    }
+
+    #[test]
+    fn inflate_both_ways() {
+        let b = r(5, 5, 10, 10);
+        assert_eq!(b.inflate(2).unwrap(), r(3, 3, 12, 12));
+        assert_eq!(b.inflate(-2).unwrap(), r(7, 7, 8, 8));
+        assert!(b.inflate(-3).is_err());
+    }
+
+    #[test]
+    fn corners_ccw() {
+        let b = r(1, 2, 3, 4);
+        assert_eq!(
+            b.corners(),
+            [
+                Point::new(1, 2),
+                Point::new(3, 2),
+                Point::new(3, 4),
+                Point::new(1, 4)
+            ]
+        );
+    }
+
+    #[test]
+    fn manhattan_distance_to_rect() {
+        let b = r(0, 0, 10, 10);
+        assert_eq!(b.manhattan_to_point(Point::new(5, 5)), 0);
+        assert_eq!(b.manhattan_to_point(Point::new(10, 10)), 0);
+        assert_eq!(b.manhattan_to_point(Point::new(13, 5)), 3);
+        assert_eq!(b.manhattan_to_point(Point::new(13, 14)), 7);
+        assert_eq!(b.manhattan_to_point(Point::new(-2, -2)), 4);
+    }
+
+    #[test]
+    fn closest_point_is_clamped() {
+        let b = r(0, 0, 10, 10);
+        assert_eq!(b.closest_point_to(Point::new(13, 5)), Point::new(10, 5));
+        assert_eq!(b.closest_point_to(Point::new(-3, 14)), Point::new(0, 10));
+        assert_eq!(b.closest_point_to(Point::new(4, 6)), Point::new(4, 6));
+    }
+
+    #[test]
+    fn display_shows_extents() {
+        assert_eq!(r(0, 1, 2, 3).to_string(), "[0, 2] x [1, 3]");
+    }
+}

@@ -1,0 +1,440 @@
+//! The Lee–Moore grid router — "a special case of the general search
+//! algorithm".
+//!
+//! The paper: *"The most straightforward way of generating successors is to
+//! divide the routing surface up into a grid … Each grid point adjacent to
+//! the current node is considered a successor unless the grid point is
+//! covered by an obstruction … If this model is used with ĥ(n) defined to
+//! be 0 then it is equivalent to the Lee–Moore algorithm."*
+//!
+//! This crate provides exactly that: a uniform [`RoutingGrid`] rasterized
+//! from the same [`Plane`] the gridless router searches, plus
+//!
+//! * [`lee_moore`] — wavefront (breadth-first) expansion, ĥ = 0,
+//! * [`grid_astar`] — the same grid successors with the Manhattan ĥ,
+//!
+//! so the reproduction can demonstrate both the special-case relationship
+//! (identical path costs) and the efficiency claim (grid node counts grow
+//! with area/pitch² while the gridless search touches only obstacle
+//! corners).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::error::Error;
+use std::fmt;
+
+use gcr_geom::{Coord, Plane, Point, Polyline};
+use gcr_search::{astar, breadth_first, Found, SearchSpace, SearchStats};
+
+/// A uniform routing grid over a plane, spacing = wire pitch.
+///
+/// Grid node `(i, j)` sits at `origin + (i·pitch, j·pitch)`. A node is
+/// usable when it is a legal wire position; an edge between adjacent nodes
+/// is usable when the connecting segment is legal wire (at pitch > 1 a
+/// segment can cross a thin obstacle even when both endpoints are free, so
+/// edges are checked, not just nodes).
+#[derive(Debug, Clone, Copy)]
+pub struct RoutingGrid<'a> {
+    plane: &'a Plane,
+    origin: Point,
+    pitch: Coord,
+    nx: i32,
+    ny: i32,
+}
+
+impl<'a> RoutingGrid<'a> {
+    /// Builds the grid covering `plane` with the given pitch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pitch < 1`.
+    #[must_use]
+    pub fn new(plane: &'a Plane, pitch: Coord) -> RoutingGrid<'a> {
+        assert!(pitch >= 1, "grid pitch must be at least 1");
+        let b = plane.bounds();
+        let origin = Point::new(b.xmin(), b.ymin());
+        let nx = (b.width() / pitch + 1) as i32;
+        let ny = (b.height() / pitch + 1) as i32;
+        RoutingGrid { plane, origin, pitch, nx, ny }
+    }
+
+    /// Grid dimensions `(columns, rows)`.
+    #[must_use]
+    pub fn dims(&self) -> (i32, i32) {
+        (self.nx, self.ny)
+    }
+
+    /// Total number of grid nodes — the memory footprint Lee–Moore must
+    /// be prepared to label.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.nx as usize * self.ny as usize
+    }
+
+    /// The plane position of node `(i, j)`.
+    #[must_use]
+    pub fn point(&self, node: (i32, i32)) -> Point {
+        Point::new(
+            self.origin.x + node.0 as Coord * self.pitch,
+            self.origin.y + node.1 as Coord * self.pitch,
+        )
+    }
+
+    /// The node at plane position `p`, if `p` is exactly on the grid.
+    #[must_use]
+    pub fn snap(&self, p: Point) -> Option<(i32, i32)> {
+        let dx = p.x - self.origin.x;
+        let dy = p.y - self.origin.y;
+        if dx % self.pitch != 0 || dy % self.pitch != 0 {
+            return None;
+        }
+        let i = (dx / self.pitch) as i32;
+        let j = (dy / self.pitch) as i32;
+        (i >= 0 && i < self.nx && j >= 0 && j < self.ny).then_some((i, j))
+    }
+
+    /// Returns `true` if the node exists and is a legal wire position.
+    #[must_use]
+    pub fn usable(&self, node: (i32, i32)) -> bool {
+        node.0 >= 0
+            && node.0 < self.nx
+            && node.1 >= 0
+            && node.1 < self.ny
+            && self.plane.point_free(self.point(node))
+    }
+
+    /// Returns `true` if the edge between two adjacent nodes is legal wire.
+    #[must_use]
+    pub fn edge_usable(&self, a: (i32, i32), b: (i32, i32)) -> bool {
+        self.usable(a) && self.usable(b) && self.plane.segment_free(self.point(a), self.point(b))
+    }
+
+    /// The wire pitch.
+    #[must_use]
+    pub fn pitch(&self) -> Coord {
+        self.pitch
+    }
+}
+
+/// Errors from the grid routers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GridRouteError {
+    /// An endpoint does not lie exactly on the routing grid.
+    OffGrid {
+        /// The offending point.
+        point: Point,
+    },
+    /// An endpoint is outside the plane or inside an obstacle.
+    InvalidEndpoint {
+        /// The offending point.
+        point: Point,
+    },
+    /// No grid path exists between the endpoints.
+    Unreachable,
+}
+
+impl fmt::Display for GridRouteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GridRouteError::OffGrid { point } => {
+                write!(f, "endpoint {point} is not on the routing grid")
+            }
+            GridRouteError::InvalidEndpoint { point } => {
+                write!(f, "endpoint {point} is not a legal wire position")
+            }
+            GridRouteError::Unreachable => write!(f, "no grid path exists"),
+        }
+    }
+}
+
+impl Error for GridRouteError {}
+
+/// A route found on the grid.
+#[derive(Debug, Clone)]
+pub struct GridRoute {
+    /// The route as a simplified polyline in plane coordinates.
+    pub polyline: Polyline,
+    /// Wire length in plane units.
+    pub length: Coord,
+    /// Search-effort counters ([`SearchStats::touched`] is the grid
+    /// memory actually labelled).
+    pub stats: SearchStats,
+    /// Total grid nodes available (`area / pitch²` scale), for memory
+    /// comparisons.
+    pub grid_nodes: usize,
+}
+
+/// The grid search problem: 4-neighbor successors, unit (pitch) edges.
+struct GridSpace<'a> {
+    grid: &'a RoutingGrid<'a>,
+    start: (i32, i32),
+    goal: (i32, i32),
+    use_heuristic: bool,
+}
+
+impl SearchSpace for GridSpace<'_> {
+    type State = (i32, i32);
+    type Cost = i64;
+
+    fn start_states(&self) -> Vec<((i32, i32), i64)> {
+        vec![(self.start, 0)]
+    }
+
+    fn successors(&self, s: &(i32, i32), out: &mut Vec<((i32, i32), i64)>) {
+        for (dx, dy) in [(1, 0), (-1, 0), (0, 1), (0, -1)] {
+            let n = (s.0 + dx, s.1 + dy);
+            if self.grid.edge_usable(*s, n) {
+                out.push((n, self.grid.pitch()));
+            }
+        }
+    }
+
+    fn is_goal(&self, s: &(i32, i32)) -> bool {
+        *s == self.goal
+    }
+
+    fn heuristic(&self, s: &(i32, i32)) -> i64 {
+        if self.use_heuristic {
+            self.grid.point(*s).manhattan(self.grid.point(self.goal))
+        } else {
+            0
+        }
+    }
+}
+
+fn route_on_grid(
+    plane: &Plane,
+    a: Point,
+    b: Point,
+    pitch: Coord,
+    informed: bool,
+) -> Result<GridRoute, GridRouteError> {
+    let grid = RoutingGrid::new(plane, pitch);
+    let start = grid.snap(a).ok_or(GridRouteError::OffGrid { point: a })?;
+    let goal = grid.snap(b).ok_or(GridRouteError::OffGrid { point: b })?;
+    if !grid.usable(start) {
+        return Err(GridRouteError::InvalidEndpoint { point: a });
+    }
+    if !grid.usable(goal) {
+        return Err(GridRouteError::InvalidEndpoint { point: b });
+    }
+    let space = GridSpace { grid: &grid, start, goal, use_heuristic: informed };
+    let found: Option<Found<(i32, i32), i64>> = if informed {
+        astar(&space)
+    } else {
+        // Lee–Moore wavefront: FIFO expansion, which on a uniform grid is
+        // exactly breadth-first search and returns a minimal path.
+        breadth_first(&space)
+    };
+    match found {
+        Some(Found { path, cost, stats }) => {
+            let points: Vec<Point> = path.into_iter().map(|n| grid.point(n)).collect();
+            let polyline = if points.len() == 1 {
+                Polyline::single(points[0])
+            } else {
+                Polyline::new(points)
+                    .expect("grid steps are axis-aligned")
+                    .simplified()
+            };
+            Ok(GridRoute {
+                polyline,
+                length: cost,
+                stats,
+                grid_nodes: grid.node_count(),
+            })
+        }
+        None => Err(GridRouteError::Unreachable),
+    }
+}
+
+/// Routes `a → b` with the classic Lee–Moore wavefront (breadth-first
+/// expansion, ĥ = 0). Returns a minimal-length grid path.
+///
+/// # Errors
+///
+/// See [`GridRouteError`].
+pub fn lee_moore(
+    plane: &Plane,
+    a: Point,
+    b: Point,
+    pitch: Coord,
+) -> Result<GridRoute, GridRouteError> {
+    route_on_grid(plane, a, b, pitch, false)
+}
+
+/// Routes `a → b` on the same grid with the Manhattan heuristic — the
+/// "special case" A\* the paper derives Lee–Moore from, run informed.
+///
+/// # Errors
+///
+/// See [`GridRouteError`].
+pub fn grid_astar(
+    plane: &Plane,
+    a: Point,
+    b: Point,
+    pitch: Coord,
+) -> Result<GridRoute, GridRouteError> {
+    route_on_grid(plane, a, b, pitch, true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcr_geom::Rect;
+
+    fn open_plane() -> Plane {
+        Plane::new(Rect::new(0, 0, 60, 60).unwrap())
+    }
+
+    fn one_block() -> Plane {
+        let mut p = open_plane();
+        p.add_obstacle(Rect::new(20, 20, 40, 40).unwrap());
+        p
+    }
+
+    #[test]
+    fn grid_geometry() {
+        let plane = open_plane();
+        let g = RoutingGrid::new(&plane, 1);
+        assert_eq!(g.dims(), (61, 61));
+        assert_eq!(g.node_count(), 61 * 61);
+        assert_eq!(g.point((0, 0)), Point::new(0, 0));
+        assert_eq!(g.point((60, 60)), Point::new(60, 60));
+        assert_eq!(g.snap(Point::new(5, 7)), Some((5, 7)));
+        assert_eq!(g.snap(Point::new(70, 0)), None);
+        let g2 = RoutingGrid::new(&plane, 2);
+        assert_eq!(g2.dims(), (31, 31));
+        assert_eq!(g2.snap(Point::new(5, 6)), None); // off pitch
+        assert_eq!(g2.snap(Point::new(6, 6)), Some((3, 3)));
+    }
+
+    #[test]
+    fn usability_respects_obstacles() {
+        let plane = one_block();
+        let g = RoutingGrid::new(&plane, 1);
+        assert!(g.usable((0, 0)));
+        assert!(!g.usable((30, 30))); // interior
+        assert!(g.usable((20, 30))); // face
+        assert!(!g.usable((-1, 0)));
+        assert!(!g.usable((61, 0)));
+    }
+
+    #[test]
+    fn straight_route_on_open_plane() {
+        let plane = open_plane();
+        let r = lee_moore(&plane, Point::new(0, 30), Point::new(60, 30), 1).unwrap();
+        assert_eq!(r.length, 60);
+        assert_eq!(r.polyline.bends(), 0);
+    }
+
+    #[test]
+    fn detour_matches_expected_length() {
+        let plane = one_block();
+        let lm = lee_moore(&plane, Point::new(0, 30), Point::new(60, 30), 1).unwrap();
+        let ga = grid_astar(&plane, Point::new(0, 30), Point::new(60, 30), 1).unwrap();
+        // Straight 60 + 2×10 detour to a face of the 20..40 block.
+        assert_eq!(lm.length, 80);
+        assert_eq!(ga.length, 80);
+    }
+
+    #[test]
+    fn informed_grid_search_expands_fewer_nodes() {
+        let plane = one_block();
+        let lm = lee_moore(&plane, Point::new(0, 30), Point::new(60, 30), 1).unwrap();
+        let ga = grid_astar(&plane, Point::new(0, 30), Point::new(60, 30), 1).unwrap();
+        assert!(
+            ga.stats.expanded < lm.stats.expanded,
+            "A* {} vs Lee-Moore {}",
+            ga.stats.expanded,
+            lm.stats.expanded
+        );
+    }
+
+    #[test]
+    fn routes_hug_but_never_enter_blocks() {
+        let plane = one_block();
+        let r = lee_moore(&plane, Point::new(0, 30), Point::new(60, 30), 1).unwrap();
+        assert!(plane.polyline_free(&r.polyline));
+    }
+
+    #[test]
+    fn coarse_pitch_still_finds_route() {
+        let plane = one_block();
+        let r = lee_moore(&plane, Point::new(0, 30), Point::new(60, 30), 5).unwrap();
+        assert!(r.length >= 80);
+        assert!(r.grid_nodes < 13 * 13 + 1);
+    }
+
+    #[test]
+    fn coarse_pitch_cannot_squeeze_through_thin_gaps() {
+        // A 1-wide slit at an odd coordinate is invisible at pitch 2 (the
+        // gap column is off-grid), so the router must go around or fail.
+        let mut plane = Plane::new(Rect::new(0, 0, 20, 20).unwrap());
+        plane.add_obstacle(Rect::new(8, 0, 9, 9).unwrap());
+        plane.add_obstacle(Rect::new(8, 11, 9, 20).unwrap());
+        // Fine grid can slip through the slit row y in [9, 11] at x=8..9?
+        // The slit is between y=9 and y=11 at x in 8..9: the row y=10 is
+        // free. Fine pitch uses it:
+        let fine = lee_moore(&plane, Point::new(0, 10), Point::new(20, 10), 1).unwrap();
+        assert_eq!(fine.length, 20);
+        // Pitch 2: nodes at even coords; crossing x=8..9 needs the edge
+        // (8,10)-(10,10): segment passes x in [8,10] at y=10 — the slit is
+        // exactly at y 9..11, obstacle interiors are (8,9)x(0,9) and
+        // (8,9)x(11,20): y=10 not inside either. Edge passes. So this
+        // particular slit is routable even at pitch 2; verify lengths agree.
+        let coarse = lee_moore(&plane, Point::new(0, 10), Point::new(20, 10), 2).unwrap();
+        assert_eq!(coarse.length, 20);
+    }
+
+    #[test]
+    fn error_cases() {
+        let plane = one_block();
+        assert!(matches!(
+            lee_moore(&plane, Point::new(30, 30), Point::new(0, 0), 1),
+            Err(GridRouteError::InvalidEndpoint { .. })
+        ));
+        assert!(matches!(
+            lee_moore(&plane, Point::new(1, 1), Point::new(3, 3), 2),
+            Err(GridRouteError::OffGrid { .. })
+        ));
+        let mut sealed = Plane::new(Rect::new(0, 0, 20, 20).unwrap());
+        sealed.add_obstacle(Rect::new(4, 0, 8, 20).unwrap());
+        // The wall reaches both boundaries; its interior is open but at
+        // pitch 1 the boundary rows y=0 and y=20 are legal... so routing
+        // still succeeds along the boundary. Seal with overlap past the
+        // boundary lines is impossible; instead verify reachability:
+        let r = lee_moore(&sealed, Point::new(0, 10), Point::new(20, 10), 1).unwrap();
+        assert_eq!(r.length, 40);
+    }
+
+    #[test]
+    fn truly_unreachable_on_grid() {
+        // Box the goal with overlapping slabs (no legal seams).
+        let mut plane = Plane::new(Rect::new(0, 0, 30, 30).unwrap());
+        plane.add_obstacle(Rect::new(8, 8, 22, 12).unwrap());
+        plane.add_obstacle(Rect::new(8, 18, 22, 22).unwrap());
+        plane.add_obstacle(Rect::new(8, 8, 12, 22).unwrap());
+        plane.add_obstacle(Rect::new(18, 8, 22, 22).unwrap());
+        assert!(matches!(
+            lee_moore(&plane, Point::new(0, 0), Point::new(15, 15), 1),
+            Err(GridRouteError::Unreachable)
+        ));
+    }
+
+    #[test]
+    fn lee_moore_equals_grid_astar_on_many_cases() {
+        let plane = one_block();
+        for (a, b) in [
+            (Point::new(0, 0), Point::new(60, 60)),
+            (Point::new(0, 60), Point::new(60, 0)),
+            (Point::new(10, 0), Point::new(50, 60)),
+            (Point::new(0, 25), Point::new(60, 35)),
+        ] {
+            let lm = lee_moore(&plane, a, b, 1).unwrap();
+            let ga = grid_astar(&plane, a, b, 1).unwrap();
+            assert_eq!(lm.length, ga.length, "{a} -> {b}");
+        }
+    }
+}

@@ -1,0 +1,471 @@
+//! The Hightower line-probe router (DAC Workshop 1969).
+//!
+//! The paper's motivation: *"Hightower proposed using line segments as the
+//! representation instead of a large grid of points and this greatly
+//! improved the efficiency of the algorithm but caused it to fail to find
+//! some connections which could be found by a Lee–Moore router. As a
+//! result, some routers use Hightower's algorithm for a quick first try,
+//! and if it fails, then the full power of the Lee–Moore maze search
+//! algorithm is used."* Clow's contribution is combining the line-segment
+//! representation with Lee–Moore's completeness; this crate provides the
+//! classic *incomplete* line-probe algorithm as the baseline (experiment
+//! E5) and for the quick-first-try fallback pattern.
+//!
+//! ## Algorithm
+//!
+//! Alternating from the source and target sides, the router maintains sets
+//! of maximal free *probe lines*. Level 0 is the horizontal and vertical
+//! line through each endpoint. Whenever a source-side line intersects a
+//! target-side line the connection is complete. Otherwise each line spawns
+//! **escape points** — points on the line adjacent to the corners of the
+//! obstacles that bound it or cover it — and perpendicular probes are
+//! drawn through them. The escape-point choice is sparse and greedy, which
+//! is exactly why the algorithm is fast and why it misses some routes that
+//! a maze search finds (see the spiral test).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::BTreeSet;
+use std::error::Error;
+use std::fmt;
+
+use gcr_geom::{Axis, Coord, Dir, Plane, Point, Polyline, Segment};
+
+/// Tuning for the line-probe search.
+#[derive(Debug, Clone, Copy)]
+pub struct HightowerConfig {
+    /// Maximum escape level (depth of probing). The classic algorithm uses
+    /// a small constant; failures at the limit are reported as
+    /// [`HightowerError::Exhausted`].
+    pub max_level: usize,
+    /// Cap on the total number of probe lines per side.
+    pub max_lines: usize,
+}
+
+impl Default for HightowerConfig {
+    fn default() -> HightowerConfig {
+        HightowerConfig { max_level: 30, max_lines: 4000 }
+    }
+}
+
+/// Errors from the line-probe router.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum HightowerError {
+    /// An endpoint is outside the plane or inside an obstacle.
+    InvalidEndpoint {
+        /// The offending point.
+        point: Point,
+    },
+    /// The probe process exhausted its level/line budget without meeting.
+    /// The connection may still exist — this is the algorithm's
+    /// characteristic incompleteness.
+    Exhausted {
+        /// Probe lines generated before giving up.
+        lines: usize,
+    },
+}
+
+impl fmt::Display for HightowerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HightowerError::InvalidEndpoint { point } => {
+                write!(f, "endpoint {point} is not a legal wire position")
+            }
+            HightowerError::Exhausted { lines } => {
+                write!(f, "line probes exhausted after {lines} lines without meeting")
+            }
+        }
+    }
+}
+
+impl Error for HightowerError {}
+
+/// A successful line-probe route.
+#[derive(Debug, Clone)]
+pub struct HightowerRoute {
+    /// The connection (not necessarily minimal length — line probing is
+    /// greedy).
+    pub polyline: Polyline,
+    /// Total probe lines generated on both sides.
+    pub lines: usize,
+    /// The escape level at which the sides met.
+    pub level: usize,
+}
+
+/// One probe line: a maximal free segment through `through`, spawned from
+/// the parent line at `through`.
+#[derive(Debug, Clone)]
+struct ProbeLine {
+    seg: Segment,
+    through: Point,
+    parent: Option<usize>,
+    level: usize,
+}
+
+/// Routes `a → b` with the classic Hightower line-probe algorithm.
+///
+/// # Errors
+///
+/// * [`HightowerError::InvalidEndpoint`] for illegal endpoints,
+/// * [`HightowerError::Exhausted`] when the probes never meet — which can
+///   happen even though a route exists (the algorithm is incomplete).
+pub fn hightower(
+    plane: &Plane,
+    a: Point,
+    b: Point,
+    config: &HightowerConfig,
+) -> Result<HightowerRoute, HightowerError> {
+    for p in [a, b] {
+        if !plane.point_free(p) {
+            return Err(HightowerError::InvalidEndpoint { point: p });
+        }
+    }
+    let mut side_s = Side::new(plane, a);
+    let mut side_t = Side::new(plane, b);
+    if a == b {
+        return Ok(HightowerRoute {
+            polyline: Polyline::single(a),
+            lines: 0,
+            level: 0,
+        });
+    }
+
+    // Level 0 lines, then check and expand level by level, alternating.
+    side_s.spawn_level0();
+    side_t.spawn_level0();
+    if let Some(route) = meet(&side_s, &side_t) {
+        return Ok(route);
+    }
+    for level in 1..=config.max_level {
+        let mut progress = false;
+        for side in [&mut side_s, &mut side_t] {
+            if side.lines.len() < config.max_lines {
+                progress |= side.expand(level, config.max_lines);
+            }
+        }
+        if let Some(route) = meet(&side_s, &side_t) {
+            return Ok(route);
+        }
+        if !progress {
+            break;
+        }
+    }
+    Err(HightowerError::Exhausted {
+        lines: side_s.lines.len() + side_t.lines.len(),
+    })
+}
+
+/// One side (source or target) of the probe process.
+struct Side<'a> {
+    plane: &'a Plane,
+    origin: Point,
+    lines: Vec<ProbeLine>,
+    /// Points already used to spawn probes, to avoid duplicates.
+    spawned: BTreeSet<(Point, Axis)>,
+    /// Index of the first line of the frontier level.
+    frontier_start: usize,
+}
+
+impl<'a> Side<'a> {
+    fn new(plane: &'a Plane, origin: Point) -> Side<'a> {
+        Side {
+            plane,
+            origin,
+            lines: Vec::new(),
+            spawned: BTreeSet::new(),
+            frontier_start: 0,
+        }
+    }
+
+    /// The maximal free segment through `p` along `axis`.
+    fn maximal_line(&self, p: Point, axis: Axis) -> Segment {
+        let (neg, pos) = match axis {
+            Axis::X => (Dir::West, Dir::East),
+            Axis::Y => (Dir::South, Dir::North),
+        };
+        let lo = self.plane.ray_hit(p, neg).stop;
+        let hi = self.plane.ray_hit(p, pos).stop;
+        match axis {
+            Axis::X => Segment::horizontal(p.y, lo, hi),
+            Axis::Y => Segment::vertical(p.x, lo, hi),
+        }
+    }
+
+    fn push_line(&mut self, p: Point, axis: Axis, parent: Option<usize>, level: usize) -> bool {
+        if !self.spawned.insert((p, axis)) {
+            return false;
+        }
+        let seg = self.maximal_line(p, axis);
+        self.lines.push(ProbeLine { seg, through: p, parent, level });
+        true
+    }
+
+    fn spawn_level0(&mut self) {
+        self.push_line(self.origin, Axis::X, None, 0);
+        self.push_line(self.origin, Axis::Y, None, 0);
+    }
+
+    /// Expands the current frontier: every frontier line emits escape
+    /// points, each spawning one perpendicular probe. Returns whether any
+    /// new line appeared.
+    fn expand(&mut self, level: usize, max_lines: usize) -> bool {
+        let frontier: Vec<usize> = (self.frontier_start..self.lines.len()).collect();
+        self.frontier_start = self.lines.len();
+        let mut any = false;
+        for idx in frontier {
+            let line = self.lines[idx].clone();
+            let escapes = self.escape_points(&line.seg);
+            for p in escapes {
+                if self.lines.len() >= max_lines {
+                    return any;
+                }
+                any |= self.push_line(p, line.seg.axis().perpendicular(), Some(idx), level);
+            }
+        }
+        any
+    }
+
+    /// Hightower's escape points on a probe line: the points where the
+    /// line was stopped (its endpoints, hugging the blocking obstacle or
+    /// the boundary) plus the spawn point itself. A perpendicular probe
+    /// through an endpoint slides along the blocker's face — the classic
+    /// greedy escape. Deliberately sparse: this is what makes line probing
+    /// fast *and* incomplete (a maze search would consider every corner
+    /// alignment instead).
+    fn escape_points(&self, seg: &Segment) -> Vec<Point> {
+        let axis = seg.axis();
+        let span = seg.span();
+        let mut coords: BTreeSet<Coord> = BTreeSet::new();
+        coords.insert(span.lo());
+        coords.insert(span.hi());
+        let base = seg.a();
+        coords
+            .into_iter()
+            .map(|c| base.with_coord(axis, c))
+            .filter(|p| self.plane.point_free(*p))
+            .collect()
+    }
+
+    /// Reconstructs the point chain from a point on line `idx` back to the
+    /// side's origin.
+    fn backtrack(&self, idx: usize, from: Point) -> Vec<Point> {
+        let mut points = vec![from];
+        let mut cur = Some(idx);
+        let mut at = from;
+        while let Some(i) = cur {
+            let line = &self.lines[i];
+            if line.through != at {
+                points.push(line.through);
+                at = line.through;
+            }
+            cur = line.parent;
+        }
+        if *points.last().expect("non-empty") != self.origin {
+            points.push(self.origin);
+        }
+        points
+    }
+}
+
+/// Checks every source line against every target line for an intersection
+/// and builds the route at the first hit (scanning in creation order keeps
+/// the result deterministic).
+fn meet(s: &Side<'_>, t: &Side<'_>) -> Option<HightowerRoute> {
+    for (si, sl) in s.lines.iter().enumerate() {
+        for (ti, tl) in t.lines.iter().enumerate() {
+            let hit = sl
+                .seg
+                .crossing(&tl.seg)
+                .or_else(|| {
+                    // Collinear overlap: meet at the overlap point nearest
+                    // the source-line spawn point.
+                    sl.seg.collinear_overlap(&tl.seg).map(|o| o.closest_point_to(sl.through))
+                });
+            if let Some(x) = hit {
+                let mut points = s.backtrack(si, x);
+                points.reverse(); // origin .. x
+                let tail = t.backtrack(ti, x); // x .. t-origin
+                points.extend(tail.into_iter().skip(1));
+                let polyline = points_to_polyline(points)?;
+                return Some(HightowerRoute {
+                    polyline,
+                    lines: s.lines.len() + t.lines.len(),
+                    level: sl.level.max(tl.level),
+                });
+            }
+        }
+    }
+    None
+}
+
+/// Builds a simplified polyline, dropping consecutive duplicates.
+fn points_to_polyline(points: Vec<Point>) -> Option<Polyline> {
+    let mut cleaned: Vec<Point> = Vec::with_capacity(points.len());
+    for p in points {
+        if cleaned.last() != Some(&p) {
+            cleaned.push(p);
+        }
+    }
+    if cleaned.len() == 1 {
+        return Some(Polyline::single(cleaned[0]));
+    }
+    Polyline::new(cleaned).ok().map(|p| p.simplified())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcr_geom::Rect;
+
+    fn open_plane() -> Plane {
+        Plane::new(Rect::new(0, 0, 100, 100).unwrap())
+    }
+
+    fn one_block() -> Plane {
+        let mut p = open_plane();
+        p.add_obstacle(Rect::new(30, 30, 70, 70).unwrap());
+        p
+    }
+
+    #[test]
+    fn straight_connection_at_level_zero() {
+        let plane = open_plane();
+        let r = hightower(&plane, Point::new(10, 50), Point::new(90, 50), &HightowerConfig::default())
+            .unwrap();
+        assert_eq!(r.polyline.length(), 80);
+        assert_eq!(r.level, 0);
+    }
+
+    #[test]
+    fn l_connection_at_level_zero() {
+        let plane = open_plane();
+        let r = hightower(&plane, Point::new(10, 10), Point::new(90, 90), &HightowerConfig::default())
+            .unwrap();
+        // The horizontal line through s crosses the vertical line through t.
+        assert_eq!(r.polyline.length(), 160);
+        assert_eq!(r.level, 0);
+    }
+
+    #[test]
+    fn detours_around_a_block() {
+        let plane = one_block();
+        let r = hightower(&plane, Point::new(10, 50), Point::new(90, 50), &HightowerConfig::default())
+            .unwrap();
+        assert!(plane.polyline_free(&r.polyline), "illegal wire: {}", r.polyline);
+        assert!(r.polyline.length() >= 120, "must detour: {}", r.polyline);
+        assert_eq!(r.polyline.start(), Point::new(10, 50));
+        assert_eq!(r.polyline.end(), Point::new(90, 50));
+    }
+
+    #[test]
+    fn identical_endpoints() {
+        let plane = open_plane();
+        let r = hightower(&plane, Point::new(5, 5), Point::new(5, 5), &HightowerConfig::default())
+            .unwrap();
+        assert_eq!(r.polyline.length(), 0);
+    }
+
+    #[test]
+    fn invalid_endpoints_rejected() {
+        let plane = one_block();
+        assert!(matches!(
+            hightower(&plane, Point::new(50, 50), Point::new(0, 0), &HightowerConfig::default()),
+            Err(HightowerError::InvalidEndpoint { .. })
+        ));
+    }
+
+    #[test]
+    fn deterministic_output() {
+        let plane = one_block();
+        let r1 = hightower(&plane, Point::new(10, 40), Point::new(95, 60), &HightowerConfig::default())
+            .unwrap();
+        for _ in 0..3 {
+            let r2 = hightower(
+                &plane,
+                Point::new(10, 40),
+                Point::new(95, 60),
+                &HightowerConfig::default(),
+            )
+            .unwrap();
+            assert_eq!(r1.polyline, r2.polyline);
+        }
+    }
+
+    /// A rectangular spiral: the goal sits at its centre. Line probes with
+    /// corner escape points cannot wind inward fast enough within a tight
+    /// level budget, while a maze search (Lee–Moore) succeeds — the
+    /// paper's motivating failure case.
+    fn spiral_plane() -> Plane {
+        let mut p = Plane::new(Rect::new(0, 0, 110, 110).unwrap());
+        // Spiral walls, 4 wide, gaps offset on alternating sides.
+        // Outer ring with entrance at the bottom-left.
+        p.add_obstacle(Rect::new(10, 10, 100, 14).unwrap()); // bottom
+        p.add_obstacle(Rect::new(96, 10, 100, 100).unwrap()); // right
+        p.add_obstacle(Rect::new(10, 96, 100, 100).unwrap()); // top
+        p.add_obstacle(Rect::new(10, 24, 14, 100).unwrap()); // left, gap at bottom (y 10..24)
+        // Second ring.
+        p.add_obstacle(Rect::new(24, 24, 86, 28).unwrap()); // bottom
+        p.add_obstacle(Rect::new(82, 24, 86, 86).unwrap()); // right, hmm keep
+        p.add_obstacle(Rect::new(24, 82, 86, 86).unwrap()); // top
+        p.add_obstacle(Rect::new(24, 38, 28, 86).unwrap()); // left, gap (y 24..38)
+        // Third ring.
+        p.add_obstacle(Rect::new(38, 38, 72, 42).unwrap()); // bottom
+        p.add_obstacle(Rect::new(68, 38, 72, 72).unwrap()); // right
+        p.add_obstacle(Rect::new(38, 68, 72, 72).unwrap()); // top
+        p.add_obstacle(Rect::new(38, 52, 42, 72).unwrap()); // left, gap (y 38..52)
+        p
+    }
+
+    #[test]
+    fn spiral_defeats_line_probes_but_not_maze_search() {
+        let plane = spiral_plane();
+        let s = Point::new(5, 55);
+        let t = Point::new(55, 55); // centre of the spiral
+        // The maze router finds the winding path.
+        let maze = gcr_grid::lee_moore(&plane, s, t, 1);
+        assert!(maze.is_ok(), "maze search must solve the spiral");
+        // Hightower with a small level budget gives up (the classic
+        // failure the paper cites). With corner escapes it can sometimes
+        // wind in given unlimited levels, so the budget models the
+        // practical configuration.
+        let tight = HightowerConfig { max_level: 3, max_lines: 400 };
+        let lp = hightower(&plane, s, t, &tight);
+        assert!(
+            lp.is_err(),
+            "line probes should fail in the spiral at level<=3: {:?}",
+            lp.map(|r| r.polyline.to_string())
+        );
+    }
+
+    #[test]
+    fn fallback_pattern_quick_try_then_maze() {
+        // The paper: "some routers use Hightower's algorithm for a quick
+        // first try, and if it fails, then the full power of the Lee-Moore
+        // maze search algorithm is used."
+        let plane = spiral_plane();
+        let s = Point::new(5, 55);
+        let t = Point::new(55, 55);
+        let tight = HightowerConfig { max_level: 3, max_lines: 400 };
+        let route_len = match hightower(&plane, s, t, &tight) {
+            Ok(r) => r.polyline.length(),
+            Err(_) => gcr_grid::lee_moore(&plane, s, t, 1).unwrap().length,
+        };
+        assert!(route_len > 0);
+    }
+
+    #[test]
+    fn easy_cases_finish_with_few_lines() {
+        let plane = one_block();
+        let r = hightower(&plane, Point::new(10, 50), Point::new(90, 50), &HightowerConfig::default())
+            .unwrap();
+        let grid = gcr_grid::lee_moore(&plane, Point::new(10, 50), Point::new(90, 50), 1).unwrap();
+        assert!(
+            r.lines < grid.stats.expanded / 10,
+            "probing should be far cheaper: {} lines vs {} grid expansions",
+            r.lines,
+            grid.stats.expanded
+        );
+    }
+}

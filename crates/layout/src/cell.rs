@@ -1,0 +1,155 @@
+//! Cells: the rectangular (or, as an extension, rectilinear) macro blocks.
+
+use std::fmt;
+
+use gcr_geom::{Rect, RectilinearPolygon};
+
+/// Index of a cell within its [`Layout`](crate::Layout).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CellId(pub(crate) usize);
+
+impl CellId {
+    /// The underlying index (stable for the lifetime of the layout).
+    #[inline]
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for CellId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cell#{}", self.0)
+    }
+}
+
+/// The outline of a cell.
+///
+/// The paper restricts cells to rectangles; orthogonal polygons are listed
+/// as an extension ("Another useful extension would be to allow orthogonal
+/// polygons for the cell boundaries") and are supported here.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CellOutline {
+    /// A plain rectangle — the paper's base case.
+    Rect(Rect),
+    /// A rectilinear polygon — the paper's extension.
+    Polygon(RectilinearPolygon),
+}
+
+impl CellOutline {
+    /// The bounding rectangle of the outline.
+    #[must_use]
+    pub fn bounding_rect(&self) -> Rect {
+        match self {
+            CellOutline::Rect(r) => *r,
+            CellOutline::Polygon(p) => p.bounding_rect(),
+        }
+    }
+
+    /// Returns `true` if `p` lies on the outline boundary.
+    #[must_use]
+    pub fn on_boundary(&self, p: gcr_geom::Point) -> bool {
+        match self {
+            CellOutline::Rect(r) => r.on_boundary(p),
+            CellOutline::Polygon(poly) => poly.edges().iter().any(|e| e.contains(p)),
+        }
+    }
+
+    /// The area enclosed by the outline.
+    #[must_use]
+    pub fn area(&self) -> i128 {
+        match self {
+            CellOutline::Rect(r) => r.area(),
+            CellOutline::Polygon(p) => p.area(),
+        }
+    }
+}
+
+/// A macro cell: a named block with an outline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cell {
+    name: String,
+    outline: CellOutline,
+}
+
+impl Cell {
+    pub(crate) fn new(name: impl Into<String>, outline: CellOutline) -> Cell {
+        Cell { name: name.into(), outline }
+    }
+
+    /// The cell's name (unique within a layout).
+    #[inline]
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The cell's outline.
+    #[inline]
+    #[must_use]
+    pub fn outline(&self) -> &CellOutline {
+        &self.outline
+    }
+
+    /// The bounding rectangle of the cell.
+    #[inline]
+    #[must_use]
+    pub fn rect(&self) -> Rect {
+        self.outline.bounding_rect()
+    }
+}
+
+impl fmt::Display for Cell {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} @ {}", self.name, self.rect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcr_geom::Point;
+
+    #[test]
+    fn rect_outline_queries() {
+        let r = Rect::new(0, 0, 10, 10).unwrap();
+        let o = CellOutline::Rect(r);
+        assert_eq!(o.bounding_rect(), r);
+        assert_eq!(o.area(), 100);
+        assert!(o.on_boundary(Point::new(0, 5)));
+        assert!(!o.on_boundary(Point::new(5, 5)));
+    }
+
+    #[test]
+    fn polygon_outline_queries() {
+        let poly = RectilinearPolygon::new(vec![
+            Point::new(0, 0),
+            Point::new(20, 0),
+            Point::new(20, 10),
+            Point::new(10, 10),
+            Point::new(10, 20),
+            Point::new(0, 20),
+        ])
+        .unwrap();
+        let o = CellOutline::Polygon(poly);
+        assert_eq!(o.area(), 300);
+        assert_eq!(o.bounding_rect(), Rect::new(0, 0, 20, 20).unwrap());
+        assert!(o.on_boundary(Point::new(15, 10))); // on the notch edge
+        assert!(!o.on_boundary(Point::new(15, 15))); // inside the notch void
+    }
+
+    #[test]
+    fn cell_accessors_and_display() {
+        let c = Cell::new("alu", CellOutline::Rect(Rect::new(1, 2, 3, 4).unwrap()));
+        assert_eq!(c.name(), "alu");
+        assert_eq!(c.rect(), Rect::new(1, 2, 3, 4).unwrap());
+        assert!(c.to_string().contains("alu"));
+    }
+
+    #[test]
+    fn cell_id_index_roundtrip() {
+        let id = CellId(7);
+        assert_eq!(id.index(), 7);
+        assert_eq!(id.to_string(), "cell#7");
+    }
+}

@@ -1,0 +1,170 @@
+//! Layout construction and validation errors.
+
+use std::error::Error;
+use std::fmt;
+
+use gcr_geom::{GeomError, Point};
+
+/// Errors from building or validating a [`Layout`](crate::Layout).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LayoutError {
+    /// A geometric construction failed.
+    Geometry(GeomError),
+    /// Two entities share a name that must be unique.
+    DuplicateName {
+        /// The kind of entity ("cell" or "net").
+        kind: &'static str,
+        /// The offending name.
+        name: String,
+    },
+    /// A referenced id does not exist in this layout.
+    UnknownId {
+        /// The kind of id ("cell", "net", "terminal").
+        kind: &'static str,
+    },
+    /// A cell extends beyond the layout bounds.
+    CellOutOfBounds {
+        /// The cell's name.
+        cell: String,
+    },
+    /// A cell has zero width or height — the paper requires blocks of
+    /// finite extent.
+    DegenerateCell {
+        /// The cell's name.
+        cell: String,
+    },
+    /// Two cells overlap or touch: the paper requires blocks "placed a
+    /// finite and non-zero distance apart".
+    CellsTooClose {
+        /// First cell's name.
+        a: String,
+        /// Second cell's name.
+        b: String,
+        /// The actual gap between them (0 = touching or overlapping).
+        gap: i64,
+        /// The required minimum gap.
+        required: i64,
+    },
+    /// A pin declared on a cell does not lie on that cell's boundary.
+    PinOffBoundary {
+        /// The owning cell's name.
+        cell: String,
+        /// The pin position.
+        position: Point,
+    },
+    /// A pin lies outside the layout bounds or inside some cell's interior.
+    PinUnroutable {
+        /// The pin position.
+        position: Point,
+    },
+    /// A net has fewer than two terminals, so there is nothing to route.
+    TooFewTerminals {
+        /// The net's name.
+        net: String,
+    },
+    /// A terminal has no pins.
+    EmptyTerminal {
+        /// The net's name.
+        net: String,
+        /// The terminal's name.
+        terminal: String,
+    },
+    /// Several validation failures, reported together.
+    Multiple(Vec<LayoutError>),
+}
+
+impl fmt::Display for LayoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LayoutError::Geometry(e) => write!(f, "geometry error: {e}"),
+            LayoutError::DuplicateName { kind, name } => {
+                write!(f, "duplicate {kind} name {name:?}")
+            }
+            LayoutError::UnknownId { kind } => write!(f, "unknown {kind} id"),
+            LayoutError::CellOutOfBounds { cell } => {
+                write!(f, "cell {cell:?} extends beyond the layout bounds")
+            }
+            LayoutError::DegenerateCell { cell } => {
+                write!(f, "cell {cell:?} has zero width or height")
+            }
+            LayoutError::CellsTooClose { a, b, gap, required } => write!(
+                f,
+                "cells {a:?} and {b:?} are {gap} apart, need at least {required}"
+            ),
+            LayoutError::PinOffBoundary { cell, position } => {
+                write!(f, "pin at {position} is not on the boundary of cell {cell:?}")
+            }
+            LayoutError::PinUnroutable { position } => {
+                write!(f, "pin at {position} is outside bounds or inside a cell")
+            }
+            LayoutError::TooFewTerminals { net } => {
+                write!(f, "net {net:?} has fewer than two terminals")
+            }
+            LayoutError::EmptyTerminal { net, terminal } => {
+                write!(f, "terminal {terminal:?} of net {net:?} has no pins")
+            }
+            LayoutError::Multiple(errors) => {
+                write!(f, "{} validation failure(s): ", errors.len())?;
+                for (i, e) in errors.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "; ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl Error for LayoutError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            LayoutError::Geometry(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GeomError> for LayoutError {
+    fn from(e: GeomError) -> LayoutError {
+        LayoutError::Geometry(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let e = LayoutError::CellsTooClose {
+            a: "alu".into(),
+            b: "rom".into(),
+            gap: 0,
+            required: 1,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("alu") && msg.contains("rom") && msg.contains('0'));
+    }
+
+    #[test]
+    fn multiple_flattens_to_one_message() {
+        let e = LayoutError::Multiple(vec![
+            LayoutError::TooFewTerminals { net: "clk".into() },
+            LayoutError::UnknownId { kind: "cell" },
+        ]);
+        let msg = e.to_string();
+        assert!(msg.starts_with("2 validation failure(s)"));
+        assert!(msg.contains("clk"));
+    }
+
+    #[test]
+    fn geometry_errors_convert_and_chain() {
+        let ge = GeomError::NotAxisAligned;
+        let le: LayoutError = ge.clone().into();
+        assert!(le.to_string().contains("geometry"));
+        assert!(Error::source(&le).is_some());
+    }
+}

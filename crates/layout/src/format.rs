@@ -1,0 +1,346 @@
+//! A plain-text interchange format for layouts (`.gcl`).
+//!
+//! The format is line-oriented and whitespace-tokenized; `#` starts a
+//! comment. It exists so fixtures and benchmark instances can be stored,
+//! diffed and inspected without pulling a serialization framework into the
+//! public API.
+//!
+//! ```text
+//! gcl 1
+//! bounds 0 0 100 100
+//! spacing 1
+//! cell alu 10 10 40 40
+//! polycell pad 0 0 20 0 20 10 10 10 10 20 0 20
+//! net clk
+//! terminal alu_clk
+//! pin alu 40 25
+//! terminal pad_clk
+//! pin - 50 60          # "-" marks a floating pin
+//! ```
+//!
+//! # Example
+//!
+//! ```
+//! use gcr_layout::format;
+//! # use gcr_layout::Layout;
+//! # use gcr_geom::{Point, Rect};
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut layout = Layout::new(Rect::new(0, 0, 50, 50)?);
+//! layout.add_two_pin_net("w", Point::new(1, 1), Point::new(9, 9));
+//! let text = format::write(&layout);
+//! let reparsed = format::parse(&text)?;
+//! assert_eq!(format::write(&reparsed), text);
+//! # Ok(())
+//! # }
+//! ```
+
+use std::error::Error;
+use std::fmt;
+use std::fmt::Write as _;
+
+use gcr_geom::{Point, Rect, RectilinearPolygon};
+
+use crate::{CellOutline, Layout, LayoutError, Pin, TerminalRef};
+
+/// The format version this build reads and writes.
+pub const VERSION: u32 = 1;
+
+/// A parse failure with its line number (1-based).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseError {}
+
+/// Serializes a layout to the `.gcl` text format.
+#[must_use]
+pub fn write(layout: &Layout) -> String {
+    let mut out = String::new();
+    let b = layout.bounds();
+    writeln!(out, "gcl {VERSION}").expect("writing to String cannot fail");
+    writeln!(out, "bounds {} {} {} {}", b.xmin(), b.ymin(), b.xmax(), b.ymax()).unwrap();
+    writeln!(out, "spacing {}", layout.min_spacing()).unwrap();
+    for cell in layout.cells() {
+        match cell.outline() {
+            CellOutline::Rect(r) => {
+                writeln!(
+                    out,
+                    "cell {} {} {} {} {}",
+                    cell.name(),
+                    r.xmin(),
+                    r.ymin(),
+                    r.xmax(),
+                    r.ymax()
+                )
+                .unwrap();
+            }
+            CellOutline::Polygon(p) => {
+                write!(out, "polycell {}", cell.name()).unwrap();
+                for v in p.vertices() {
+                    write!(out, " {} {}", v.x, v.y).unwrap();
+                }
+                writeln!(out).unwrap();
+            }
+        }
+    }
+    for net in layout.nets() {
+        writeln!(out, "net {}", net.name()).unwrap();
+        for terminal in net.terminals() {
+            writeln!(out, "terminal {}", terminal.name()).unwrap();
+            for pin in terminal.pins() {
+                let owner = pin
+                    .cell
+                    .and_then(|id| layout.cell(id))
+                    .map_or("-", |c| c.name());
+                writeln!(out, "pin {} {} {}", owner, pin.position.x, pin.position.y).unwrap();
+            }
+        }
+    }
+    out
+}
+
+/// Parses a layout from the `.gcl` text format.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] naming the first offending line.
+pub fn parse(text: &str) -> Result<Layout, ParseError> {
+    let mut layout: Option<Layout> = None;
+    let mut spacing: Option<i64> = None;
+    let mut current_terminal: Option<TerminalRef> = None;
+    let err = |line: usize, message: String| ParseError { line, message };
+    let geo = |line: usize| move |e: gcr_geom::GeomError| err(line, e.to_string());
+    let lay = |line: usize| move |e: LayoutError| err(line, e.to_string());
+
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut tokens = line.split_whitespace();
+        let keyword = tokens.next().expect("non-empty line has a token");
+        let rest: Vec<&str> = tokens.collect();
+        let ints = |n: usize| -> Result<Vec<i64>, ParseError> {
+            if rest.len() < n {
+                return Err(err(line_no, format!("{keyword}: expected {n} numbers")));
+            }
+            rest[rest.len() - n..]
+                .iter()
+                .map(|t| {
+                    t.parse::<i64>()
+                        .map_err(|_| err(line_no, format!("{keyword}: bad number {t:?}")))
+                })
+                .collect()
+        };
+        match keyword {
+            "gcl" => {
+                let v: u32 = rest
+                    .first()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| err(line_no, "gcl: missing version".into()))?;
+                if v != VERSION {
+                    return Err(err(line_no, format!("unsupported gcl version {v}")));
+                }
+            }
+            "bounds" => {
+                let v = ints(4)?;
+                let rect = Rect::new(v[0], v[1], v[2], v[3]).map_err(geo(line_no))?;
+                let mut l = Layout::new(rect);
+                if let Some(s) = spacing {
+                    l.set_min_spacing(s);
+                }
+                layout = Some(l);
+            }
+            "spacing" => {
+                let v = ints(1)?;
+                spacing = Some(v[0]);
+                if let Some(l) = layout.as_mut() {
+                    l.set_min_spacing(v[0]);
+                }
+            }
+            "cell" => {
+                let l = layout
+                    .as_mut()
+                    .ok_or_else(|| err(line_no, "cell before bounds".into()))?;
+                let name = *rest
+                    .first()
+                    .ok_or_else(|| err(line_no, "cell: missing name".into()))?;
+                let v = ints(4)?;
+                let rect = Rect::new(v[0], v[1], v[2], v[3]).map_err(geo(line_no))?;
+                l.add_cell(name, rect).map_err(lay(line_no))?;
+            }
+            "polycell" => {
+                let l = layout
+                    .as_mut()
+                    .ok_or_else(|| err(line_no, "polycell before bounds".into()))?;
+                let name = *rest
+                    .first()
+                    .ok_or_else(|| err(line_no, "polycell: missing name".into()))?;
+                let coords = ints(rest.len() - 1)?;
+                if coords.len() < 8 || coords.len() % 2 != 0 {
+                    return Err(err(line_no, "polycell: need an even number (>=8) of coordinates".into()));
+                }
+                let vertices: Vec<Point> = coords
+                    .chunks(2)
+                    .map(|c| Point::new(c[0], c[1]))
+                    .collect();
+                let poly = RectilinearPolygon::new(vertices).map_err(geo(line_no))?;
+                l.add_polygon_cell(name, poly).map_err(lay(line_no))?;
+            }
+            "net" => {
+                let l = layout
+                    .as_mut()
+                    .ok_or_else(|| err(line_no, "net before bounds".into()))?;
+                let name = *rest
+                    .first()
+                    .ok_or_else(|| err(line_no, "net: missing name".into()))?;
+                l.add_net(name);
+                current_terminal = None;
+            }
+            "terminal" => {
+                let l = layout
+                    .as_mut()
+                    .ok_or_else(|| err(line_no, "terminal before bounds".into()))?;
+                let name = *rest
+                    .first()
+                    .ok_or_else(|| err(line_no, "terminal: missing name".into()))?;
+                let last_net = crate::NetId(
+                    l.nets()
+                        .len()
+                        .checked_sub(1)
+                        .ok_or_else(|| err(line_no, "terminal before any net".into()))?,
+                );
+                current_terminal = Some(l.add_terminal(last_net, name));
+            }
+            "pin" => {
+                let l = layout
+                    .as_mut()
+                    .ok_or_else(|| err(line_no, "pin before bounds".into()))?;
+                let t = current_terminal
+                    .ok_or_else(|| err(line_no, "pin before any terminal".into()))?;
+                let owner = *rest
+                    .first()
+                    .ok_or_else(|| err(line_no, "pin: missing cell name".into()))?;
+                let v = ints(2)?;
+                let position = Point::new(v[0], v[1]);
+                let pin = if owner == "-" {
+                    Pin::floating(position)
+                } else {
+                    let cell = l
+                        .cell_by_name(owner)
+                        .ok_or_else(|| err(line_no, format!("pin: unknown cell {owner:?}")))?;
+                    Pin::on_cell(cell, position)
+                };
+                l.add_pin(t, pin).map_err(lay(line_no))?;
+            }
+            other => {
+                return Err(err(line_no, format!("unknown keyword {other:?}")));
+            }
+        }
+    }
+    layout.ok_or_else(|| ParseError { line: 0, message: "missing bounds".into() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcr_geom::Rect;
+
+    fn sample() -> Layout {
+        let mut l = Layout::new(Rect::new(0, 0, 100, 100).unwrap());
+        l.set_min_spacing(2);
+        let a = l.add_cell("alu", Rect::new(10, 10, 40, 40).unwrap()).unwrap();
+        let poly = RectilinearPolygon::new(vec![
+            Point::new(60, 60),
+            Point::new(90, 60),
+            Point::new(90, 80),
+            Point::new(75, 80),
+            Point::new(75, 90),
+            Point::new(60, 90),
+        ])
+        .unwrap();
+        l.add_polygon_cell("rom", poly).unwrap();
+        let n = l.add_net("clk");
+        let t0 = l.add_terminal(n, "drv");
+        l.add_pin(t0, Pin::on_cell(a, Point::new(40, 20))).unwrap();
+        let t1 = l.add_terminal(n, "load");
+        l.add_pin(t1, Pin::floating(Point::new(55, 55))).unwrap();
+        l.add_pin(t1, Pin::floating(Point::new(50, 95))).unwrap();
+        l
+    }
+
+    #[test]
+    fn roundtrip_is_stable() {
+        let l = sample();
+        let text = write(&l);
+        let reparsed = parse(&text).unwrap();
+        assert_eq!(write(&reparsed), text);
+        assert_eq!(reparsed.cells().len(), l.cells().len());
+        assert_eq!(reparsed.nets().len(), l.nets().len());
+        assert_eq!(reparsed.pin_count(), l.pin_count());
+        assert_eq!(reparsed.min_spacing(), l.min_spacing());
+        assert_eq!(reparsed.bounds(), l.bounds());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let text = "\n# header\ngcl 1\nbounds 0 0 10 10  # inline\n\ncell a 1 1 3 3\n";
+        let l = parse(text).unwrap();
+        assert_eq!(l.cells().len(), 1);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let bad = "gcl 1\nbounds 0 0 10 10\ncell a 1 1 zz 3\n";
+        let e = parse(bad).unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.to_string().contains("bad number"));
+    }
+
+    #[test]
+    fn structural_errors_are_reported() {
+        assert!(parse("gcl 1\ncell a 0 0 1 1\n").unwrap_err().message.contains("before bounds"));
+        assert!(parse("gcl 1\nbounds 0 0 9 9\npin a 1 1\n")
+            .unwrap_err()
+            .message
+            .contains("terminal"));
+        assert!(parse("gcl 1\nbounds 0 0 9 9\nnet n\nterminal t\npin nope 1 1\n")
+            .unwrap_err()
+            .message
+            .contains("unknown cell"));
+        assert!(parse("gcl 9\n").unwrap_err().message.contains("version"));
+        assert!(parse("").unwrap_err().message.contains("missing bounds"));
+        assert!(parse("gcl 1\nbounds 0 0 9 9\nfrobnicate\n")
+            .unwrap_err()
+            .message
+            .contains("unknown keyword"));
+    }
+
+    #[test]
+    fn floating_pin_dash_roundtrips() {
+        let l = sample();
+        let text = write(&l);
+        assert!(text.contains("pin - 55 55"));
+        let reparsed = parse(&text).unwrap();
+        let net = reparsed.net(reparsed.net_by_name("clk").unwrap()).unwrap();
+        assert_eq!(net.terminals()[1].pins()[0].cell, None);
+    }
+
+    #[test]
+    fn spacing_before_bounds_applies() {
+        let text = "gcl 1\nspacing 5\nbounds 0 0 10 10\n";
+        let l = parse(text).unwrap();
+        assert_eq!(l.min_spacing(), 5);
+    }
+}

@@ -1,0 +1,224 @@
+//! Nets, terminals and pins.
+//!
+//! The hierarchy mirrors the paper's §"Extensions": a **net** is a set of
+//! terminals that must become one electrical node; a **terminal** is a set
+//! of equivalent **pins** ("multi-pin terminals are handled by logically
+//! grouping all pins which belong to a terminal"). Connecting any one pin
+//! of a terminal connects the terminal; afterwards *all* of its pins join
+//! the connected set usable by later connections.
+
+use std::fmt;
+
+use gcr_geom::Point;
+
+use crate::CellId;
+
+/// Index of a net within its [`Layout`](crate::Layout).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NetId(pub(crate) usize);
+
+impl NetId {
+    /// The underlying index.
+    #[inline]
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for NetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "net#{}", self.0)
+    }
+}
+
+/// Identifies one terminal of one net.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TerminalRef {
+    /// The owning net.
+    pub net: NetId,
+    /// The terminal's index within the net.
+    pub terminal: usize,
+}
+
+impl fmt::Display for TerminalRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.t{}", self.net, self.terminal)
+    }
+}
+
+/// A pin: one physical location at which a terminal can be contacted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Pin {
+    /// The cell whose boundary carries the pin, or `None` for a floating
+    /// pin (e.g. a pad ring contact modelled without a pad cell).
+    pub cell: Option<CellId>,
+    /// The pin location. For cell pins, validation requires this to lie on
+    /// the cell's outline boundary.
+    pub position: Point,
+}
+
+impl Pin {
+    /// A pin on the boundary of `cell`.
+    #[must_use]
+    pub fn on_cell(cell: CellId, position: Point) -> Pin {
+        Pin { cell: Some(cell), position }
+    }
+
+    /// A pin not attached to any cell.
+    #[must_use]
+    pub fn floating(position: Point) -> Pin {
+        Pin { cell: None, position }
+    }
+}
+
+impl fmt::Display for Pin {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.cell {
+            Some(c) => write!(f, "pin {} on {}", self.position, c),
+            None => write!(f, "floating pin {}", self.position),
+        }
+    }
+}
+
+/// A terminal: a named group of electrically equivalent pins.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Terminal {
+    name: String,
+    pins: Vec<Pin>,
+}
+
+impl Terminal {
+    pub(crate) fn new(name: impl Into<String>) -> Terminal {
+        Terminal { name: name.into(), pins: Vec::new() }
+    }
+
+    /// The terminal's name (unique within its net).
+    #[inline]
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The terminal's pins.
+    #[inline]
+    #[must_use]
+    pub fn pins(&self) -> &[Pin] {
+        &self.pins
+    }
+
+    pub(crate) fn push_pin(&mut self, pin: Pin) {
+        self.pins.push(pin);
+    }
+}
+
+impl fmt::Display for Terminal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "terminal {} ({} pin(s))", self.name, self.pins.len())
+    }
+}
+
+/// A net: a named set of terminals to be connected into one tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Net {
+    name: String,
+    terminals: Vec<Terminal>,
+}
+
+impl Net {
+    pub(crate) fn new(name: impl Into<String>) -> Net {
+        Net { name: name.into(), terminals: Vec::new() }
+    }
+
+    /// The net's name (unique within a layout).
+    #[inline]
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The net's terminals.
+    #[inline]
+    #[must_use]
+    pub fn terminals(&self) -> &[Terminal] {
+        &self.terminals
+    }
+
+    pub(crate) fn push_terminal(&mut self, t: Terminal) -> usize {
+        self.terminals.push(t);
+        self.terminals.len() - 1
+    }
+
+    pub(crate) fn terminal_mut(&mut self, index: usize) -> Option<&mut Terminal> {
+        self.terminals.get_mut(index)
+    }
+
+    /// Every pin of every terminal, flattened.
+    pub fn all_pins(&self) -> impl Iterator<Item = &Pin> {
+        self.terminals.iter().flat_map(|t| t.pins().iter())
+    }
+
+    /// The half-perimeter wire length (HPWL) lower-bound estimate for this
+    /// net, computed from the bounding box of all pins. Returns 0 for nets
+    /// with fewer than two pins.
+    #[must_use]
+    pub fn hpwl(&self) -> i64 {
+        let rect = gcr_geom::Rect::bounding(self.all_pins().map(|p| p.position));
+        rect.map_or(0, |r| r.half_perimeter())
+    }
+}
+
+impl fmt::Display for Net {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "net {} ({} terminal(s))", self.name, self.terminals.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pin_constructors() {
+        let p = Pin::on_cell(CellId(3), Point::new(1, 2));
+        assert_eq!(p.cell, Some(CellId(3)));
+        let q = Pin::floating(Point::new(1, 2));
+        assert_eq!(q.cell, None);
+        assert!(p.to_string().contains("cell#3"));
+        assert!(q.to_string().contains("floating"));
+    }
+
+    #[test]
+    fn net_structure_and_hpwl() {
+        let mut net = Net::new("data0");
+        let t0 = net.push_terminal(Terminal::new("a"));
+        net.terminal_mut(t0)
+            .unwrap()
+            .push_pin(Pin::floating(Point::new(0, 0)));
+        let t1 = net.push_terminal(Terminal::new("b"));
+        net.terminal_mut(t1)
+            .unwrap()
+            .push_pin(Pin::floating(Point::new(30, 40)));
+        net.terminal_mut(t1)
+            .unwrap()
+            .push_pin(Pin::floating(Point::new(10, 5)));
+        assert_eq!(net.terminals().len(), 2);
+        assert_eq!(net.all_pins().count(), 3);
+        assert_eq!(net.hpwl(), 70);
+    }
+
+    #[test]
+    fn empty_net_hpwl_is_zero() {
+        let net = Net::new("empty");
+        assert_eq!(net.hpwl(), 0);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(NetId(4).to_string(), "net#4");
+        let tr = TerminalRef { net: NetId(4), terminal: 1 };
+        assert_eq!(tr.to_string(), "net#4.t1");
+        assert!(Terminal::new("x").to_string().contains("0 pin"));
+        assert!(Net::new("n").to_string().contains("0 terminal"));
+    }
+}

@@ -1,0 +1,187 @@
+//! ASCII rendering of layouts and routes, for examples and debugging.
+//!
+//! The renderer draws the layout onto a character grid: cells as `#` blocks
+//! labelled with the first letter of their name, pins as `o`, and each
+//! route with a caller-chosen character. Vertical resolution is halved
+//! (terminal cells are tall), so a `scale` of 2 maps 2 layout units to one
+//! character horizontally and 4 to one character vertically.
+
+use gcr_geom::{Point, Polyline, Rect};
+
+use crate::{CellOutline, Layout};
+
+/// Renders `layout` and the given `(glyph, route)` pairs to a multi-line
+/// string. `scale` is the number of layout units per character column
+/// (minimum 1).
+///
+/// ```
+/// use gcr_layout::{render, Layout};
+/// use gcr_geom::Rect;
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut layout = Layout::new(Rect::new(0, 0, 40, 20)?);
+/// layout.add_cell("alu", Rect::new(4, 4, 16, 12)?)?;
+/// let art = render::render(&layout, &[], 2);
+/// assert!(art.contains('#'));
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn render(layout: &Layout, routes: &[(char, &Polyline)], scale: i64) -> String {
+    let scale = scale.max(1);
+    let b = layout.bounds();
+    let cols = (b.width() / scale + 1) as usize;
+    let rows = (b.height() / (scale * 2) + 1) as usize;
+    let mut grid = vec![vec![' '; cols]; rows];
+
+    let to_cell = |p: Point| -> Option<(usize, usize)> {
+        if !b.contains(p) {
+            return None;
+        }
+        let c = ((p.x - b.xmin()) / scale) as usize;
+        let r = ((p.y - b.ymin()) / (scale * 2)) as usize;
+        let r_flipped = rows - 1 - r.min(rows - 1);
+        Some((r_flipped, c.min(cols - 1)))
+    };
+
+    // Cells: fill with '#', label near the centre.
+    for cell in layout.cells() {
+        let rects: Vec<Rect> = match cell.outline() {
+            CellOutline::Rect(r) => vec![*r],
+            CellOutline::Polygon(p) => p.decompose(),
+        };
+        for r in rects {
+            let mut y = r.ymin();
+            while y <= r.ymax() {
+                let mut x = r.xmin();
+                while x <= r.xmax() {
+                    if let Some((gr, gc)) = to_cell(Point::new(x, y)) {
+                        grid[gr][gc] = '#';
+                    }
+                    x += scale;
+                }
+                y += scale;
+            }
+        }
+        let label = cell.name().chars().next().unwrap_or('?');
+        if let Some((gr, gc)) = to_cell(cell.rect().center()) {
+            grid[gr][gc] = label.to_ascii_uppercase();
+        }
+    }
+
+    // Routes: walk each segment at sub-character resolution.
+    for (glyph, route) in routes {
+        for seg in route.segments() {
+            let mut p = seg.a();
+            loop {
+                if let Some((gr, gc)) = to_cell(p) {
+                    grid[gr][gc] = *glyph;
+                }
+                if p == seg.b() {
+                    break;
+                }
+                p = p.step(seg.dir_from(p), scale.min(p.manhattan(seg.b())));
+            }
+        }
+        if route.points().len() == 1 {
+            if let Some((gr, gc)) = to_cell(route.start()) {
+                grid[gr][gc] = *glyph;
+            }
+        }
+    }
+
+    // Pins on top.
+    for net in layout.nets() {
+        for pin in net.all_pins() {
+            if let Some((gr, gc)) = to_cell(pin.position) {
+                grid[gr][gc] = 'o';
+            }
+        }
+    }
+
+    let mut out = String::with_capacity(rows * (cols + 1));
+    for row in grid {
+        let line: String = row.into_iter().collect();
+        out.push_str(line.trim_end());
+        out.push('\n');
+    }
+    out
+}
+
+/// Extension used by the renderer: the direction from an interior point of
+/// a segment toward its far end.
+trait SegmentDirFrom {
+    fn dir_from(&self, p: Point) -> gcr_geom::Dir;
+}
+
+impl SegmentDirFrom for gcr_geom::Segment {
+    fn dir_from(&self, p: Point) -> gcr_geom::Dir {
+        p.dir_toward(self.b()).unwrap_or(gcr_geom::Dir::East)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcr_geom::Rect;
+
+    fn layout_with_cell() -> Layout {
+        let mut l = Layout::new(Rect::new(0, 0, 40, 20).unwrap());
+        l.add_cell("alu", Rect::new(4, 4, 16, 12).unwrap()).unwrap();
+        l
+    }
+
+    #[test]
+    fn renders_cell_fill_and_label() {
+        let art = render(&layout_with_cell(), &[], 1);
+        assert!(art.contains('#'));
+        assert!(art.contains('A'));
+    }
+
+    #[test]
+    fn renders_route_glyph() {
+        let l = layout_with_cell();
+        let route = Polyline::new(vec![
+            Point::new(0, 0),
+            Point::new(30, 0),
+            Point::new(30, 18),
+        ])
+        .unwrap();
+        let art = render(&l, &[('*', &route)], 1);
+        assert!(art.contains('*'));
+    }
+
+    #[test]
+    fn renders_pins_over_everything() {
+        let mut l = layout_with_cell();
+        let cell = l.cell_by_name("alu").unwrap();
+        let n = l.add_net("n");
+        let t = l.add_terminal(n, "t");
+        l.add_pin(t, crate::Pin::on_cell(cell, Point::new(4, 8))).unwrap();
+        let art = render(&l, &[], 1);
+        assert!(art.contains('o'));
+    }
+
+    #[test]
+    fn scale_reduces_size() {
+        let l = layout_with_cell();
+        let fine = render(&l, &[], 1);
+        let coarse = render(&l, &[], 4);
+        assert!(coarse.len() < fine.len());
+    }
+
+    #[test]
+    fn single_point_route_is_drawn() {
+        let l = layout_with_cell();
+        let dot = Polyline::single(Point::new(20, 16));
+        let art = render(&l, &[('x', &dot)], 1);
+        assert!(art.contains('x'));
+    }
+
+    #[test]
+    fn out_of_bounds_points_are_skipped() {
+        let l = layout_with_cell();
+        let route = Polyline::new(vec![Point::new(0, 0), Point::new(39, 0)]).unwrap();
+        // Should not panic even at the boundary.
+        let _ = render(&l, &[('*', &route)], 3);
+    }
+}

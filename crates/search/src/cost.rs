@@ -1,0 +1,191 @@
+//! Path-cost algebras for the search engine.
+
+use std::fmt;
+use std::ops::Add;
+
+/// The cost algebra a [`SearchSpace`](crate::SearchSpace) accumulates along
+/// paths.
+///
+/// Requirements mirror the paper's admissibility argument: costs must be
+/// totally ordered, addition must be monotone (adding a non-negative edge
+/// weight never decreases a cost — "adding non-negative numbers cannot
+/// result in a smaller number"), and there must be a zero. Implementations
+/// are provided for the primitive integers and for [`LexCost`].
+pub trait PathCost: Copy + Ord + Add<Output = Self> + fmt::Debug {
+    /// The additive identity (the cost of an empty path).
+    fn zero() -> Self;
+
+    /// Saturating/checked addition used by the engine; the default defers
+    /// to `Add`. Implementations whose `Add` may overflow should override.
+    #[must_use]
+    fn plus(self, other: Self) -> Self {
+        self + other
+    }
+}
+
+impl PathCost for i64 {
+    fn zero() -> Self {
+        0
+    }
+    fn plus(self, other: Self) -> Self {
+        self.saturating_add(other)
+    }
+}
+
+impl PathCost for u64 {
+    fn zero() -> Self {
+        0
+    }
+    fn plus(self, other: Self) -> Self {
+        self.saturating_add(other)
+    }
+}
+
+impl PathCost for i32 {
+    fn zero() -> Self {
+        0
+    }
+    fn plus(self, other: Self) -> Self {
+        self.saturating_add(other)
+    }
+}
+
+impl PathCost for u32 {
+    fn zero() -> Self {
+        0
+    }
+    fn plus(self, other: Self) -> Self {
+        self.saturating_add(other)
+    }
+}
+
+impl PathCost for usize {
+    fn zero() -> Self {
+        0
+    }
+    fn plus(self, other: Self) -> Self {
+        self.saturating_add(other)
+    }
+}
+
+/// A two-component lexicographic cost: a primary magnitude plus an exact
+/// infinitesimal penalty count.
+///
+/// This realizes the paper's ε-penalty for the inverted corner without
+/// numerical fudge: "if a small number, ε, is added to the cost of the
+/// non-preferred route the algorithm will automatically pick the preferred
+/// route" — and the ε must be small enough never to override a real length
+/// difference. Making the penalty a *second lexicographic component* gives
+/// exactly that semantics: any difference in `primary` dominates any number
+/// of penalties.
+///
+/// ```
+/// use gcr_search::LexCost;
+/// let short_but_ugly = LexCost::new(10, 3);
+/// let long_and_clean = LexCost::new(11, 0);
+/// let short_and_clean = LexCost::new(10, 0);
+/// assert!(short_but_ugly < long_and_clean);   // length dominates
+/// assert!(short_and_clean < short_but_ugly);  // ε breaks the tie
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct LexCost {
+    /// The commensurable cost (wire length, possibly plus weighted
+    /// congestion terms).
+    pub primary: i64,
+    /// The number of infinitesimal ε penalties incurred.
+    pub penalty: i64,
+}
+
+impl LexCost {
+    /// Creates a cost with the given primary magnitude and penalty count.
+    #[must_use]
+    pub fn new(primary: i64, penalty: i64) -> LexCost {
+        LexCost { primary, penalty }
+    }
+
+    /// A pure primary cost with no penalties.
+    #[must_use]
+    pub fn primary(primary: i64) -> LexCost {
+        LexCost { primary, penalty: 0 }
+    }
+
+    /// A pure ε penalty.
+    #[must_use]
+    pub fn epsilon(count: i64) -> LexCost {
+        LexCost { primary: 0, penalty: count }
+    }
+}
+
+impl Add for LexCost {
+    type Output = LexCost;
+    fn add(self, other: LexCost) -> LexCost {
+        LexCost {
+            primary: self.primary.saturating_add(other.primary),
+            penalty: self.penalty.saturating_add(other.penalty),
+        }
+    }
+}
+
+impl PathCost for LexCost {
+    fn zero() -> Self {
+        LexCost::default()
+    }
+}
+
+impl fmt::Display for LexCost {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.penalty == 0 {
+            write!(f, "{}", self.primary)
+        } else {
+            write!(f, "{}+{}ε", self.primary, self.penalty)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integer_costs_add_and_order() {
+        assert_eq!(<i64 as PathCost>::zero(), 0);
+        assert_eq!(5i64.plus(7), 12);
+        assert_eq!(i64::MAX.plus(1), i64::MAX); // saturates
+    }
+
+    #[test]
+    fn lex_cost_orders_lexicographically() {
+        assert!(LexCost::new(1, 100) < LexCost::new(2, 0));
+        assert!(LexCost::new(5, 0) < LexCost::new(5, 1));
+        assert_eq!(LexCost::new(5, 1), LexCost::new(5, 1));
+    }
+
+    #[test]
+    fn lex_cost_addition_is_componentwise() {
+        let a = LexCost::new(3, 1) + LexCost::new(4, 2);
+        assert_eq!(a, LexCost::new(7, 3));
+        assert_eq!(LexCost::zero() + a, a);
+    }
+
+    #[test]
+    fn epsilon_never_overrides_primary() {
+        // Even an enormous penalty count loses to one unit of length.
+        let many_eps = LexCost::new(10, i64::MAX / 2);
+        let one_longer = LexCost::new(11, 0);
+        assert!(many_eps < one_longer);
+    }
+
+    #[test]
+    fn constructors_compose() {
+        assert_eq!(
+            LexCost::primary(9) + LexCost::epsilon(2),
+            LexCost::new(9, 2)
+        );
+    }
+
+    #[test]
+    fn display_shows_epsilon_only_when_present() {
+        assert_eq!(LexCost::primary(7).to_string(), "7");
+        assert_eq!(LexCost::new(7, 2).to_string(), "7+2ε");
+    }
+}

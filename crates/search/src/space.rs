@@ -1,0 +1,151 @@
+//! The search-space abstraction.
+
+use std::hash::Hash;
+
+use crate::PathCost;
+
+/// A problem the search engines can explore: states, weighted successor
+/// edges, goal test and (optionally) a heuristic.
+///
+/// The paper's requirements map directly onto this trait:
+///
+/// * **"Generating the successors for node nᵢ corresponds to finding all
+///   the possible points on the routing surface that the search can proceed
+///   to"** → [`SearchSpace::successors`]. Successors are produced into a
+///   caller-supplied buffer so hot search loops do not allocate per node.
+/// * **"ĝ(n): the cost of the path which has been found by the search
+///   process in getting to node n"** → maintained by the engine.
+/// * **"ĥ(n): our best estimate of the cost of completing the connection"**
+///   → [`SearchSpace::heuristic`], which defaults to zero (turning A\* into
+///   best-first / Dijkstra). Admissibility (ĥ ≤ h) is the implementor's
+///   obligation; with it, A\* returns minimal-cost paths.
+///
+/// Multi-source search (needed when a net's partial routing tree is the
+/// source set) is expressed by returning several start states, each with an
+/// initial cost.
+pub trait SearchSpace {
+    /// A node of the search graph. For routing this is a point (plus the
+    /// arrival direction when the cost of a bend depends on it).
+    type State: Clone + Eq + Hash;
+
+    /// The accumulated path-cost type.
+    type Cost: PathCost;
+
+    /// The source node(s) with their initial costs. A classic single-source
+    /// search returns one pair `(s, 0)`.
+    fn start_states(&self) -> Vec<(Self::State, Self::Cost)>;
+
+    /// Appends each successor of `state` to `out` along with the edge cost
+    /// of reaching it. Edge costs must be non-negative in the ordering
+    /// sense: `c.plus(edge) >= c` must hold for all `c`.
+    fn successors(&self, state: &Self::State, out: &mut Vec<(Self::State, Self::Cost)>);
+
+    /// Returns `true` if `state` is a goal.
+    fn is_goal(&self, state: &Self::State) -> bool;
+
+    /// A lower bound on the cheapest remaining cost from `state` to any
+    /// goal. The default (zero) is always admissible and yields best-first
+    /// search.
+    fn heuristic(&self, _state: &Self::State) -> Self::Cost {
+        Self::Cost::zero()
+    }
+}
+
+/// Adapter that discards a space's heuristic, turning A\* into Dijkstra /
+/// best-first on the same problem.
+///
+/// This is the precise sense in which the paper calls Lee–Moore "a special
+/// case of the general search algorithm": same successor generator, ĥ = 0.
+///
+/// ```
+/// use gcr_search::{astar, SearchSpace, ZeroHeuristic};
+/// # struct S;
+/// # impl SearchSpace for S {
+/// #     type State = u8; type Cost = i64;
+/// #     fn start_states(&self) -> Vec<(u8, i64)> { vec![(0, 0)] }
+/// #     fn successors(&self, s: &u8, out: &mut Vec<(u8, i64)>) {
+/// #         if *s < 3 { out.push((s + 1, 1)); }
+/// #     }
+/// #     fn is_goal(&self, s: &u8) -> bool { *s == 3 }
+/// #     fn heuristic(&self, s: &u8) -> i64 { (3 - s) as i64 }
+/// # }
+/// let space = S;
+/// let informed = astar(&space).unwrap();
+/// let blind = astar(&ZeroHeuristic(&space)).unwrap();
+/// assert_eq!(informed.cost, blind.cost);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct ZeroHeuristic<'a, S>(pub &'a S);
+
+impl<S: SearchSpace> SearchSpace for ZeroHeuristic<'_, S> {
+    type State = S::State;
+    type Cost = S::Cost;
+
+    fn start_states(&self) -> Vec<(Self::State, Self::Cost)> {
+        self.0.start_states()
+    }
+
+    fn successors(&self, state: &Self::State, out: &mut Vec<(Self::State, Self::Cost)>) {
+        self.0.successors(state, out);
+    }
+
+    fn is_goal(&self, state: &Self::State) -> bool {
+        self.0.is_goal(state)
+    }
+    // heuristic: default zero.
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Line;
+    impl SearchSpace for Line {
+        type State = i32;
+        type Cost = i64;
+        fn start_states(&self) -> Vec<(i32, i64)> {
+            vec![(0, 0)]
+        }
+        fn successors(&self, s: &i32, out: &mut Vec<(i32, i64)>) {
+            out.push((s + 1, 1));
+        }
+        fn is_goal(&self, s: &i32) -> bool {
+            *s == 5
+        }
+        fn heuristic(&self, s: &i32) -> i64 {
+            (5 - s).max(0) as i64
+        }
+    }
+
+    #[test]
+    fn zero_heuristic_adapter_erases_h() {
+        let space = Line;
+        assert_eq!(space.heuristic(&0), 5);
+        let blind = ZeroHeuristic(&space);
+        assert_eq!(blind.heuristic(&0), 0);
+        assert_eq!(blind.start_states(), space.start_states());
+        assert!(blind.is_goal(&5));
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        space.successors(&2, &mut a);
+        blind.successors(&2, &mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn default_heuristic_is_zero() {
+        struct NoH;
+        impl SearchSpace for NoH {
+            type State = u8;
+            type Cost = u32;
+            fn start_states(&self) -> Vec<(u8, u32)> {
+                vec![(0, 0)]
+            }
+            fn successors(&self, _: &u8, _: &mut Vec<(u8, u32)>) {}
+            fn is_goal(&self, _: &u8) -> bool {
+                false
+            }
+        }
+        assert_eq!(NoH.heuristic(&7), 0);
+    }
+}

@@ -1,0 +1,237 @@
+//! Cross-engine validation on problems away from routing: the paper traces
+//! the A* lineage through game search ("chess, checkers, and the
+//! 15-puzzle"), so we exercise the engine on the 8-puzzle and on random
+//! weighted graphs checked against Bellman–Ford.
+
+use gcr_search::{astar, best_first, breadth_first, exhaustive, SearchSpace};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+// ---------------------------------------------------------------- 8-puzzle
+
+/// The classic 8-puzzle: slide tiles in a 3×3 tray to reach order.
+/// State = 9 cells, 0 is the blank.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+struct Tray([u8; 9]);
+
+struct EightPuzzle {
+    start: Tray,
+}
+
+const GOAL: [u8; 9] = [1, 2, 3, 4, 5, 6, 7, 8, 0];
+
+impl Tray {
+    fn blank(&self) -> usize {
+        self.0.iter().position(|&t| t == 0).expect("one blank")
+    }
+
+    /// Sum of tile Manhattan distances to their goal cells — the standard
+    /// admissible heuristic.
+    fn manhattan(&self) -> i64 {
+        let mut total = 0i64;
+        for (i, &t) in self.0.iter().enumerate() {
+            if t == 0 {
+                continue;
+            }
+            let gi = (t - 1) as usize;
+            let (r, c) = ((i / 3) as i64, (i % 3) as i64);
+            let (gr, gc) = ((gi / 3) as i64, (gi % 3) as i64);
+            total += (r - gr).abs() + (c - gc).abs();
+        }
+        total
+    }
+
+    fn neighbors(&self) -> Vec<Tray> {
+        let b = self.blank();
+        let (r, c) = (b / 3, b % 3);
+        let mut out = Vec::new();
+        let mut push = |nr: i64, nc: i64| {
+            if (0..3).contains(&nr) && (0..3).contains(&nc) {
+                let ni = (nr * 3 + nc) as usize;
+                let mut t = self.clone();
+                t.0.swap(b, ni);
+                out.push(t);
+            }
+        };
+        push(r as i64 - 1, c as i64);
+        push(r as i64 + 1, c as i64);
+        push(r as i64, c as i64 - 1);
+        push(r as i64, c as i64 + 1);
+        out
+    }
+}
+
+impl SearchSpace for EightPuzzle {
+    type State = Tray;
+    type Cost = i64;
+    fn start_states(&self) -> Vec<(Tray, i64)> {
+        vec![(self.start.clone(), 0)]
+    }
+    fn successors(&self, s: &Tray, out: &mut Vec<(Tray, i64)>) {
+        out.extend(s.neighbors().into_iter().map(|t| (t, 1)));
+    }
+    fn is_goal(&self, s: &Tray) -> bool {
+        s.0 == GOAL
+    }
+    fn heuristic(&self, s: &Tray) -> i64 {
+        s.manhattan()
+    }
+}
+
+/// Scramble the goal with `moves` random legal moves (stays solvable).
+fn scramble(moves: usize, seed: u64) -> Tray {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = Tray(GOAL);
+    for _ in 0..moves {
+        let ns = t.neighbors();
+        t = ns[rng.gen_range(0..ns.len())].clone();
+    }
+    t
+}
+
+#[test]
+fn eight_puzzle_astar_is_optimal_and_cheaper_than_bfs() {
+    for seed in 0..5u64 {
+        let puzzle = EightPuzzle { start: scramble(14, seed) };
+        let a = astar(&puzzle).expect("scrambles are solvable");
+        let b = breadth_first(&puzzle).expect("scrambles are solvable");
+        assert_eq!(a.cost, b.cost, "A* must match BFS optimum (unit costs)");
+        assert!(a.cost <= 14);
+        assert!(
+            a.stats.expanded <= b.stats.expanded,
+            "informed search did more work: {} vs {}",
+            a.stats.expanded,
+            b.stats.expanded
+        );
+    }
+}
+
+#[test]
+fn eight_puzzle_heuristic_is_admissible_along_solution() {
+    let puzzle = EightPuzzle { start: scramble(16, 42) };
+    let a = astar(&puzzle).unwrap();
+    // Along an optimal path, h(n) <= remaining distance at every step.
+    let total = a.cost;
+    for (i, s) in a.path.iter().enumerate() {
+        let remaining = total - i as i64;
+        assert!(s.manhattan() <= remaining, "h violates admissibility");
+    }
+}
+
+// ------------------------------------------------- random graphs vs B-F
+
+/// Dense-ish random digraph with non-negative weights.
+struct RandomGraph {
+    edges: Vec<Vec<(usize, i64)>>,
+    goal: usize,
+}
+
+impl SearchSpace for RandomGraph {
+    type State = usize;
+    type Cost = i64;
+    fn start_states(&self) -> Vec<(usize, i64)> {
+        vec![(0, 0)]
+    }
+    fn successors(&self, s: &usize, out: &mut Vec<(usize, i64)>) {
+        out.extend(self.edges[*s].iter().copied());
+    }
+    fn is_goal(&self, s: &usize) -> bool {
+        *s == self.goal
+    }
+}
+
+fn bellman_ford(edges: &[Vec<(usize, i64)>], from: usize) -> Vec<Option<i64>> {
+    let n = edges.len();
+    let mut dist: Vec<Option<i64>> = vec![None; n];
+    dist[from] = Some(0);
+    for _ in 0..n {
+        let mut changed = false;
+        for u in 0..n {
+            if let Some(du) = dist[u] {
+                for &(v, w) in &edges[u] {
+                    let cand = du + w;
+                    if dist[v].is_none_or(|dv| cand < dv) {
+                        dist[v] = Some(cand);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    dist
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn dijkstra_matches_bellman_ford(seed in 0u64..10_000, n in 2usize..40, density in 1usize..5) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut edges = vec![Vec::new(); n];
+        for adj in edges.iter_mut() {
+            for _ in 0..density {
+                let v = rng.gen_range(0..n);
+                let w = rng.gen_range(0..100i64);
+                adj.push((v, w));
+            }
+        }
+        let goal = rng.gen_range(0..n);
+        let reference = bellman_ford(&edges, 0)[goal];
+        let g = RandomGraph { edges, goal };
+        let found = best_first(&g).map(|f| f.cost);
+        prop_assert_eq!(found, reference);
+    }
+
+    #[test]
+    fn exhaustive_agrees_with_best_first(seed in 0u64..10_000, n in 2usize..25) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut edges = vec![Vec::new(); n];
+        for adj in edges.iter_mut() {
+            for _ in 0..3 {
+                let v = rng.gen_range(0..n);
+                let w = rng.gen_range(0..50i64);
+                adj.push((v, w));
+            }
+        }
+        let goal = rng.gen_range(0..n);
+        let g = RandomGraph { edges, goal };
+        let a = best_first(&g).map(|f| f.cost);
+        let e = exhaustive(&g).map(|f| f.cost);
+        prop_assert_eq!(a, e);
+    }
+
+    #[test]
+    fn found_paths_are_valid_and_priced_right(seed in 0u64..10_000, n in 2usize..30) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut edges: Vec<Vec<(usize, i64)>> = vec![Vec::new(); n];
+        for adj in edges.iter_mut() {
+            for _ in 0..3 {
+                let v = rng.gen_range(0..n);
+                let w = rng.gen_range(0..50i64);
+                adj.push((v, w));
+            }
+        }
+        let goal = rng.gen_range(0..n);
+        let g = RandomGraph { edges: edges.clone(), goal };
+        if let Some(found) = best_first(&g) {
+            prop_assert_eq!(*found.path.first().unwrap(), 0);
+            prop_assert_eq!(*found.path.last().unwrap(), goal);
+            // Re-price the path using the cheapest parallel edge between
+            // consecutive nodes; total must equal the reported cost.
+            let mut total = 0i64;
+            for w in found.path.windows(2) {
+                let best = edges[w[0]]
+                    .iter()
+                    .filter(|(v, _)| *v == w[1])
+                    .map(|(_, c)| *c)
+                    .min()
+                    .expect("edge exists on path");
+                total += best;
+            }
+            prop_assert_eq!(total, found.cost);
+        }
+    }
+}

@@ -1,0 +1,355 @@
+//! Rectilinear Steiner tree utilities — the quality yardstick for the
+//! router's multi-terminal extension (experiment E6).
+//!
+//! The paper approximates a Steiner tree by growing a spanning tree whose
+//! connection points include every routed segment, and contrasts it with a
+//! plain spanning tree that "would only consider the pins (vertices) as
+//! potential connection points". To *measure* that difference this crate
+//! provides obstacle-free references:
+//!
+//! * [`rectilinear_mst`] — the pin-only rectilinear minimum spanning tree
+//!   (Prim), the paper's strawman,
+//! * [`hanan_grid`] — the candidate Steiner points (Hanan 1966),
+//! * [`iterated_one_steiner`] — the classic iterated 1-Steiner improvement
+//!   heuristic,
+//! * [`exact_rsmt`] — exact rectilinear Steiner minimal trees for small
+//!   terminal counts (exhaustive over Hanan subsets),
+//! * [`hwang_ratio_holds`] — Hwang's theorem (the MST is never more than
+//!   3/2 of the SMT), cited by the paper as reference 7.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use gcr_geom::{Coord, Point};
+
+/// A spanning tree over pins: edge list (index pairs) and total
+/// rectilinear length.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MstResult {
+    /// Tree edges as `(parent, child)` index pairs into the input slice.
+    pub edges: Vec<(usize, usize)>,
+    /// Sum of rectilinear edge lengths.
+    pub length: Coord,
+}
+
+/// A Steiner tree: the extra (Steiner) points chosen and the resulting
+/// tree length (the tree itself is an MST over pins ∪ steiner points).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SteinerResult {
+    /// The Steiner points used (possibly empty).
+    pub steiner_points: Vec<Point>,
+    /// Total tree length.
+    pub length: Coord,
+}
+
+/// Computes the rectilinear minimum spanning tree over `points` with
+/// Prim's algorithm in O(n²).
+///
+/// Returns an empty tree for fewer than two points.
+///
+/// ```
+/// use gcr_steiner::rectilinear_mst;
+/// use gcr_geom::Point;
+/// let pins = [Point::new(0, 0), Point::new(10, 0), Point::new(10, 5)];
+/// assert_eq!(rectilinear_mst(&pins).length, 15);
+/// ```
+#[must_use]
+pub fn rectilinear_mst(points: &[Point]) -> MstResult {
+    let n = points.len();
+    if n < 2 {
+        return MstResult { edges: Vec::new(), length: 0 };
+    }
+    let mut in_tree = vec![false; n];
+    let mut best_dist = vec![Coord::MAX; n];
+    let mut best_parent = vec![0usize; n];
+    in_tree[0] = true;
+    for j in 1..n {
+        best_dist[j] = points[0].manhattan(points[j]);
+    }
+    let mut edges = Vec::with_capacity(n - 1);
+    let mut length = 0;
+    for _ in 1..n {
+        let mut pick = usize::MAX;
+        let mut pick_d = Coord::MAX;
+        for j in 0..n {
+            if !in_tree[j] && best_dist[j] < pick_d {
+                pick = j;
+                pick_d = best_dist[j];
+            }
+        }
+        debug_assert_ne!(pick, usize::MAX, "graph is complete");
+        in_tree[pick] = true;
+        edges.push((best_parent[pick], pick));
+        length += pick_d;
+        for j in 0..n {
+            if !in_tree[j] {
+                let d = points[pick].manhattan(points[j]);
+                if d < best_dist[j] {
+                    best_dist[j] = d;
+                    best_parent[j] = pick;
+                }
+            }
+        }
+    }
+    MstResult { edges, length }
+}
+
+/// The Hanan grid of a point set: every intersection of a vertical line
+/// through some point with a horizontal line through some point. An
+/// optimal rectilinear Steiner tree needs only these candidates (Hanan
+/// 1966).
+#[must_use]
+pub fn hanan_grid(points: &[Point]) -> Vec<Point> {
+    let mut xs: Vec<Coord> = points.iter().map(|p| p.x).collect();
+    let mut ys: Vec<Coord> = points.iter().map(|p| p.y).collect();
+    xs.sort_unstable();
+    xs.dedup();
+    ys.sort_unstable();
+    ys.dedup();
+    let mut out = Vec::with_capacity(xs.len() * ys.len());
+    for &x in &xs {
+        for &y in &ys {
+            out.push(Point::new(x, y));
+        }
+    }
+    out
+}
+
+/// The iterated 1-Steiner heuristic (Kahng & Robins): repeatedly add the
+/// Hanan candidate that reduces the MST length the most, until no
+/// candidate helps. Runs in O(iterations × |Hanan| × n²); fine for the
+/// net sizes global routing sees.
+#[must_use]
+pub fn iterated_one_steiner(points: &[Point]) -> SteinerResult {
+    if points.len() < 2 {
+        return SteinerResult { steiner_points: Vec::new(), length: 0 };
+    }
+    let mut nodes: Vec<Point> = points.to_vec();
+    let mut steiner: Vec<Point> = Vec::new();
+    let mut best = rectilinear_mst(&nodes).length;
+    loop {
+        let candidates = hanan_grid(&nodes);
+        let mut improvement = 0;
+        let mut choice: Option<Point> = None;
+        for c in candidates {
+            if nodes.contains(&c) {
+                continue;
+            }
+            nodes.push(c);
+            let len = rectilinear_mst(&nodes).length;
+            nodes.pop();
+            if best - len > improvement {
+                improvement = best - len;
+                choice = Some(c);
+            }
+        }
+        match choice {
+            Some(c) => {
+                nodes.push(c);
+                steiner.push(c);
+                best -= improvement;
+            }
+            None => break,
+        }
+    }
+    // Degree-2 Steiner points add no value but none are produced: a point
+    // only enters when it strictly shortens the MST, which requires
+    // degree ≥ 3 in the new tree.
+    SteinerResult { steiner_points: steiner, length: best }
+}
+
+/// Largest terminal count [`exact_rsmt`] accepts.
+pub const EXACT_RSMT_MAX_TERMINALS: usize = 6;
+
+/// Exact rectilinear Steiner minimal tree for up to
+/// [`EXACT_RSMT_MAX_TERMINALS`] terminals, by exhausting subsets of the
+/// Hanan grid (an SMT on n terminals needs at most n − 2 Steiner points).
+///
+/// Returns `None` when the instance is too large.
+#[must_use]
+pub fn exact_rsmt(points: &[Point]) -> Option<SteinerResult> {
+    let n = points.len();
+    if n > EXACT_RSMT_MAX_TERMINALS {
+        return None;
+    }
+    if n < 2 {
+        return Some(SteinerResult { steiner_points: Vec::new(), length: 0 });
+    }
+    let candidates: Vec<Point> = hanan_grid(points)
+        .into_iter()
+        .filter(|c| !points.contains(c))
+        .collect();
+    let max_extra = n.saturating_sub(2);
+    let mut best = SteinerResult {
+        steiner_points: Vec::new(),
+        length: rectilinear_mst(points).length,
+    };
+    // Enumerate subsets of size 1..=max_extra.
+    let mut index_stack: Vec<usize> = Vec::new();
+    fn recurse(
+        candidates: &[Point],
+        points: &[Point],
+        index_stack: &mut Vec<usize>,
+        start: usize,
+        remaining: usize,
+        best: &mut SteinerResult,
+    ) {
+        if !index_stack.is_empty() {
+            let mut nodes: Vec<Point> = points.to_vec();
+            nodes.extend(index_stack.iter().map(|&i| candidates[i]));
+            let len = rectilinear_mst(&nodes).length;
+            if len < best.length {
+                *best = SteinerResult {
+                    steiner_points: index_stack.iter().map(|&i| candidates[i]).collect(),
+                    length: len,
+                };
+            }
+        }
+        if remaining == 0 {
+            return;
+        }
+        for i in start..candidates.len() {
+            index_stack.push(i);
+            recurse(candidates, points, index_stack, i + 1, remaining - 1, best);
+            index_stack.pop();
+        }
+    }
+    recurse(&candidates, points, &mut index_stack, 0, max_extra, &mut best);
+    Some(best)
+}
+
+/// Hwang's theorem: for any rectilinear point set,
+/// `MST length ≤ (3/2) × SMT length`. Returns `true` when the pair of
+/// lengths respects the bound — a sanity check for any Steiner
+/// implementation.
+#[must_use]
+pub fn hwang_ratio_holds(mst_length: Coord, smt_length: Coord) -> bool {
+    // mst/smt <= 3/2  ⇔  2·mst <= 3·smt (all lengths non-negative).
+    2 * mst_length <= 3 * smt_length
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mst_of_trivial_sets() {
+        assert_eq!(rectilinear_mst(&[]).length, 0);
+        assert_eq!(rectilinear_mst(&[Point::new(1, 1)]).length, 0);
+        let two = [Point::new(0, 0), Point::new(3, 4)];
+        let m = rectilinear_mst(&two);
+        assert_eq!(m.length, 7);
+        assert_eq!(m.edges, vec![(0, 1)]);
+    }
+
+    #[test]
+    fn mst_picks_short_edges() {
+        let pts = [
+            Point::new(0, 0),
+            Point::new(10, 0),
+            Point::new(20, 0),
+            Point::new(10, 2),
+        ];
+        let m = rectilinear_mst(&pts);
+        assert_eq!(m.length, 10 + 10 + 2);
+        assert_eq!(m.edges.len(), 3);
+    }
+
+    #[test]
+    fn hanan_grid_is_cross_product() {
+        let pts = [Point::new(0, 0), Point::new(10, 5), Point::new(3, 7)];
+        let grid = hanan_grid(&pts);
+        assert_eq!(grid.len(), 9);
+        assert!(grid.contains(&Point::new(0, 5)));
+        assert!(grid.contains(&Point::new(10, 7)));
+    }
+
+    #[test]
+    fn three_terminal_steiner_is_bbox_half_perimeter() {
+        // For 3 terminals the RSMT meets at the coordinate-wise median and
+        // its length is the bounding-box half-perimeter.
+        let cases = [
+            [Point::new(0, 0), Point::new(10, 0), Point::new(5, 8)],
+            [Point::new(0, 0), Point::new(10, 2), Point::new(4, 9)],
+            [Point::new(-5, 3), Point::new(7, -2), Point::new(0, 11)],
+        ];
+        for pts in cases {
+            let bbox = gcr_geom::Rect::bounding(pts.iter().copied()).unwrap();
+            let expect = bbox.half_perimeter();
+            let exact = exact_rsmt(&pts).unwrap();
+            assert_eq!(exact.length, expect, "{pts:?}");
+            let ios = iterated_one_steiner(&pts);
+            assert_eq!(ios.length, expect, "1-Steiner should be optimal on 3 pins");
+        }
+    }
+
+    #[test]
+    fn cross_configuration_benefits_from_steiner_point() {
+        // Four pins in a plus; the centre Steiner point saves length.
+        let pts = [
+            Point::new(5, 0),
+            Point::new(5, 10),
+            Point::new(0, 5),
+            Point::new(10, 5),
+        ];
+        let mst = rectilinear_mst(&pts);
+        let exact = exact_rsmt(&pts).unwrap();
+        assert_eq!(exact.length, 20);
+        assert!(mst.length > exact.length);
+        assert!(exact.steiner_points.contains(&Point::new(5, 5)));
+        let ios = iterated_one_steiner(&pts);
+        assert_eq!(ios.length, 20);
+    }
+
+    #[test]
+    fn steiner_never_beats_exact_and_never_loses_to_mst() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        for seed in 0..40u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let n = rng.gen_range(2..=5);
+            let pts: Vec<Point> = (0..n)
+                .map(|_| Point::new(rng.gen_range(0..50), rng.gen_range(0..50)))
+                .collect();
+            let mst = rectilinear_mst(&pts).length;
+            let ios = iterated_one_steiner(&pts).length;
+            let exact = exact_rsmt(&pts).unwrap().length;
+            assert!(ios <= mst, "seed {seed}: 1-Steiner worse than MST");
+            assert!(exact <= ios, "seed {seed}: exact worse than heuristic");
+            assert!(hwang_ratio_holds(mst, exact), "seed {seed}: Hwang bound violated");
+        }
+    }
+
+    #[test]
+    fn exact_rsmt_respects_size_limit() {
+        let pts: Vec<Point> = (0..7).map(|i| Point::new(i, i * i)).collect();
+        assert!(exact_rsmt(&pts).is_none());
+        let small: Vec<Point> = pts[..6].to_vec();
+        assert!(exact_rsmt(&small).is_some());
+    }
+
+    #[test]
+    fn collinear_points_need_no_steiner_points() {
+        let pts = [Point::new(0, 0), Point::new(5, 0), Point::new(9, 0)];
+        let exact = exact_rsmt(&pts).unwrap();
+        assert_eq!(exact.length, 9);
+        assert!(exact.steiner_points.is_empty());
+        let ios = iterated_one_steiner(&pts);
+        assert_eq!(ios.length, 9);
+        assert!(ios.steiner_points.is_empty());
+    }
+
+    #[test]
+    fn duplicate_points_are_harmless() {
+        let pts = [Point::new(0, 0), Point::new(0, 0), Point::new(4, 0)];
+        let m = rectilinear_mst(&pts);
+        assert_eq!(m.length, 4);
+    }
+
+    #[test]
+    fn hwang_bound_edge_cases() {
+        assert!(hwang_ratio_holds(0, 0));
+        assert!(hwang_ratio_holds(15, 10));
+        assert!(!hwang_ratio_holds(16, 10));
+    }
+}

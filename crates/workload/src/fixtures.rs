@@ -1,0 +1,123 @@
+//! Hand-built scenes reconstructing the paper's figures and the classic
+//! line-probe failure case.
+
+use gcr_geom::{Plane, Point, Rect};
+
+/// Reconstruction of **Figure 1** ("An example of node expansion using A\*
+/// algorithm"): a field of blocks between a start pin `s` on the left and
+/// a destination `d` on the right, arranged so the route must weave
+/// between and hug several cells. The figure's exact dimensions are not
+/// published; this scene preserves its structure — about ten rectangular
+/// cells of mixed sizes with staggered passages.
+///
+/// Returns `(plane, s, d)`.
+#[must_use]
+pub fn figure1() -> (Plane, Point, Point) {
+    let mut plane = Plane::new(Rect::new(0, 0, 220, 140).unwrap());
+    let blocks = [
+        // A staggered field, left to right (labelled a..j like the figure).
+        Rect::new(20, 16, 56, 52),    // a
+        Rect::new(20, 66, 48, 124),   // b
+        Rect::new(66, 30, 96, 88),    // c
+        Rect::new(62, 100, 110, 126), // d
+        Rect::new(108, 14, 150, 44),  // e
+        Rect::new(110, 56, 142, 92),  // f
+        Rect::new(124, 102, 168, 128), // g
+        Rect::new(160, 20, 200, 60),  // h
+        Rect::new(154, 70, 196, 94),  // i
+        Rect::new(180, 104, 208, 126), // j
+    ];
+    for b in blocks {
+        plane.add_obstacle(b.expect("fixture coordinates are ordered"));
+    }
+    let s = Point::new(4, 40);
+    let d = Point::new(214, 98);
+    debug_assert!(plane.point_free(s) && plane.point_free(d));
+    (plane, s, d)
+}
+
+/// Reconstruction of **Figure 2** ("The inverted corner"): one block and a
+/// source/destination pair admitting exactly two minimal routes — one
+/// hugging the block (the preferred route of figure 2a), one bending in
+/// open space and leaving an inverted corner (figure 2b).
+///
+/// Returns `(plane, a, b, block)`.
+#[must_use]
+pub fn figure2() -> (Plane, Point, Point, Rect) {
+    let block = Rect::new(20, 20, 60, 60).expect("ordered");
+    let mut plane = Plane::new(Rect::new(0, 0, 100, 100).unwrap());
+    plane.add_obstacle(block);
+    // a sits west of the block level with its top edge; b sits above the
+    // block. Both minimal routes have length 55:
+    //   preferred: east along the top face (hug), turn at (40, 60);
+    //   inverted: north first, turn at (5, 80) in open space.
+    let a = Point::new(5, 60);
+    let b = Point::new(40, 80);
+    (plane, a, b, block)
+}
+
+/// A rectangular spiral with the target at its centre: the classic case
+/// where Hightower-style line probing gives up while a maze search (and
+/// the gridless A\*) succeed. Returns `(plane, s, t)`.
+#[must_use]
+pub fn spiral() -> (Plane, Point, Point) {
+    let mut p = Plane::new(Rect::new(0, 0, 110, 110).unwrap());
+    // Outer ring, entrance on the left near the bottom.
+    p.add_obstacle(Rect::new(10, 10, 100, 14).unwrap());
+    p.add_obstacle(Rect::new(96, 10, 100, 100).unwrap());
+    p.add_obstacle(Rect::new(10, 96, 100, 100).unwrap());
+    p.add_obstacle(Rect::new(10, 24, 14, 100).unwrap());
+    // Second ring.
+    p.add_obstacle(Rect::new(24, 24, 86, 28).unwrap());
+    p.add_obstacle(Rect::new(82, 24, 86, 86).unwrap());
+    p.add_obstacle(Rect::new(24, 82, 86, 86).unwrap());
+    p.add_obstacle(Rect::new(24, 38, 28, 86).unwrap());
+    // Third ring.
+    p.add_obstacle(Rect::new(38, 38, 72, 42).unwrap());
+    p.add_obstacle(Rect::new(68, 38, 72, 72).unwrap());
+    p.add_obstacle(Rect::new(38, 68, 72, 72).unwrap());
+    p.add_obstacle(Rect::new(38, 52, 42, 72).unwrap());
+    let s = Point::new(5, 55);
+    let t = Point::new(55, 55);
+    (p, s, t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure1_is_routable_scene() {
+        let (plane, s, d) = figure1();
+        assert!(plane.point_free(s));
+        assert!(plane.point_free(d));
+        assert_eq!(plane.obstacle_count(), 10);
+        // Blocks are pairwise apart (valid general-cell placement).
+        let rects: Vec<Rect> = plane.rects().iter().map(|(r, _)| *r).collect();
+        for (i, a) in rects.iter().enumerate() {
+            for b in rects.iter().skip(i + 1) {
+                assert!(!a.touches(b), "{a} touches {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn figure2_has_two_equal_minimal_routes() {
+        let (plane, a, b, block) = figure2();
+        assert!(plane.point_free(a) && plane.point_free(b));
+        // Both candidate routes measure the Manhattan distance.
+        assert_eq!(a.manhattan(b), 55);
+        // The hugging route's bend lies on the block boundary; the other
+        // bend does not.
+        assert!(block.on_boundary(Point::new(40, 60)));
+        assert!(!block.contains(Point::new(5, 80)));
+    }
+
+    #[test]
+    fn spiral_is_entering_but_twisty() {
+        let (plane, s, t) = spiral();
+        assert!(plane.point_free(s));
+        assert!(plane.point_free(t));
+        assert_eq!(plane.obstacle_count(), 12);
+    }
+}

@@ -1,0 +1,88 @@
+//! Seeded workload generation and paper fixtures.
+//!
+//! The paper's evaluation is experiential ("actual experience using this
+//! algorithm…") on layouts that no longer exist; this crate substitutes
+//! deterministic synthetic instances (see DESIGN.md §4). Everything is
+//! seeded, so every number in EXPERIMENTS.md is reproducible bit for bit.
+//!
+//! * [`placements`] — macro grids, shelf rows and pad rings of
+//!   general cells,
+//! * [`netlists`] — random 2-pin, k-terminal and multi-pin netlists with
+//!   pins legally placed on cell boundaries,
+//! * [`fixtures`] — hand-reconstructed Figure 1 / Figure 2 scenes and the
+//!   Hightower-defeating spiral.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fixtures;
+pub mod netlists;
+pub mod placements;
+
+use gcr_geom::{Plane, Point};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Draws a uniformly random legal wire position on `plane`.
+///
+/// # Panics
+///
+/// Panics if the plane has (almost) no free positions — generated
+/// workloads always leave routing space.
+#[must_use]
+pub fn random_free_point(plane: &Plane, rng: &mut StdRng) -> Point {
+    let b = plane.bounds();
+    for _ in 0..10_000 {
+        let p = Point::new(
+            rng.gen_range(b.xmin()..=b.xmax()),
+            rng.gen_range(b.ymin()..=b.ymax()),
+        );
+        if plane.point_free(p) {
+            return p;
+        }
+    }
+    panic!("plane has no free positions");
+}
+
+/// A deterministic RNG for a named experiment and case index, so suites
+/// can regenerate any single instance in isolation.
+#[must_use]
+pub fn rng_for(experiment: &str, case: u64) -> StdRng {
+    // Stable, dependency-free string hash (FNV-1a).
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in experiment.bytes() {
+        h ^= u64::from(byte);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    StdRng::seed_from_u64(h ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcr_geom::Rect;
+
+    #[test]
+    fn random_free_point_avoids_obstacles() {
+        let mut plane = Plane::new(Rect::new(0, 0, 40, 40).unwrap());
+        plane.add_obstacle(Rect::new(10, 10, 30, 30).unwrap());
+        let mut rng = rng_for("test", 0);
+        for _ in 0..200 {
+            let p = random_free_point(&plane, &mut rng);
+            assert!(plane.point_free(p));
+        }
+    }
+
+    #[test]
+    fn rng_for_is_deterministic_and_case_sensitive() {
+        let mut a = rng_for("e4", 1);
+        let mut b = rng_for("e4", 1);
+        let mut c = rng_for("e4", 2);
+        let mut d = rng_for("e5", 1);
+        let (ra, rb, rc, rd): (u64, u64, u64, u64) =
+            (a.gen(), b.gen(), c.gen(), d.gen());
+        assert_eq!(ra, rb);
+        assert_ne!(ra, rc);
+        assert_ne!(ra, rd);
+    }
+}

@@ -1,0 +1,194 @@
+//! Netlist generators: pins on cell boundaries, 2-pin and k-terminal
+//! nets, multi-pin terminals.
+
+use gcr_geom::{Dir, Point, Rect};
+use gcr_layout::{CellId, Layout, NetId, Pin};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Picks a random point on the boundary of `rect` (uniform over the four
+/// edges).
+#[must_use]
+pub fn random_boundary_point(rect: Rect, rng: &mut StdRng) -> Point {
+    let side = [Dir::South, Dir::North, Dir::West, Dir::East][rng.gen_range(0..4)];
+    match side {
+        Dir::South => Point::new(rng.gen_range(rect.xmin()..=rect.xmax()), rect.ymin()),
+        Dir::North => Point::new(rng.gen_range(rect.xmin()..=rect.xmax()), rect.ymax()),
+        Dir::West => Point::new(rect.xmin(), rng.gen_range(rect.ymin()..=rect.ymax())),
+        Dir::East => Point::new(rect.xmax(), rng.gen_range(rect.ymin()..=rect.ymax())),
+    }
+}
+
+/// A pin on a random boundary point of a random cell.
+fn random_cell_pin(layout: &Layout, rng: &mut StdRng) -> (CellId, Point) {
+    let idx = rng.gen_range(0..layout.cells().len());
+    let cell = &layout.cells()[idx];
+    let p = random_boundary_point(cell.rect(), rng);
+    (
+        layout.cell_by_name(cell.name()).expect("cell exists"),
+        p,
+    )
+}
+
+/// Adds `count` two-pin nets with both pins on (distinct, where possible)
+/// cell boundaries. Returns the new net ids.
+///
+/// # Panics
+///
+/// Panics if the layout has no cells.
+pub fn add_two_pin_nets(layout: &mut Layout, count: usize, rng: &mut StdRng) -> Vec<NetId> {
+    assert!(!layout.cells().is_empty(), "netlist needs cells to pin to");
+    let mut out = Vec::with_capacity(count);
+    for i in 0..count {
+        let (ca, pa) = random_cell_pin(layout, rng);
+        let (mut cb, mut pb) = random_cell_pin(layout, rng);
+        for _ in 0..8 {
+            if cb != ca && pb != pa {
+                break;
+            }
+            let (c, p) = random_cell_pin(layout, rng);
+            cb = c;
+            pb = p;
+        }
+        let id = layout.add_net(format!("p2_{i}"));
+        let t0 = layout.add_terminal(id, "a");
+        layout.add_pin(t0, Pin::on_cell(ca, pa)).expect("fresh terminal");
+        let t1 = layout.add_terminal(id, "b");
+        layout.add_pin(t1, Pin::on_cell(cb, pb)).expect("fresh terminal");
+        out.push(id);
+    }
+    out
+}
+
+/// Adds `count` nets with `terminals` terminals each, one boundary pin per
+/// terminal. Returns the new net ids.
+///
+/// # Panics
+///
+/// Panics if the layout has no cells or `terminals < 2`.
+pub fn add_multi_terminal_nets(
+    layout: &mut Layout,
+    count: usize,
+    terminals: usize,
+    rng: &mut StdRng,
+) -> Vec<NetId> {
+    assert!(terminals >= 2, "a net needs at least two terminals");
+    assert!(!layout.cells().is_empty(), "netlist needs cells to pin to");
+    let mut out = Vec::with_capacity(count);
+    for i in 0..count {
+        let id = layout.add_net(format!("k{terminals}_{i}"));
+        for t in 0..terminals {
+            let (c, p) = random_cell_pin(layout, rng);
+            let term = layout.add_terminal(id, format!("t{t}"));
+            layout.add_pin(term, Pin::on_cell(c, p)).expect("fresh terminal");
+        }
+        out.push(id);
+    }
+    out
+}
+
+/// Adds `count` two-terminal nets whose terminals carry `pins_per_terminal`
+/// equivalent pins each (multi-pin terminals: e.g. a power rail reachable
+/// on several faces). Returns the new net ids.
+///
+/// # Panics
+///
+/// Panics if the layout has no cells or `pins_per_terminal == 0`.
+pub fn add_multi_pin_nets(
+    layout: &mut Layout,
+    count: usize,
+    pins_per_terminal: usize,
+    rng: &mut StdRng,
+) -> Vec<NetId> {
+    assert!(pins_per_terminal >= 1, "terminals need pins");
+    assert!(!layout.cells().is_empty(), "netlist needs cells to pin to");
+    let mut out = Vec::with_capacity(count);
+    for i in 0..count {
+        let id = layout.add_net(format!("mp_{i}"));
+        for side in 0..2 {
+            // All pins of one terminal sit on one cell (equivalent access
+            // points of the same port).
+            let idx = rng.gen_range(0..layout.cells().len());
+            let cell = &layout.cells()[idx];
+            let cell_id = layout.cell_by_name(cell.name()).expect("cell exists");
+            let rect = cell.rect();
+            let term = layout.add_terminal(id, format!("t{side}"));
+            let mut placed = 0;
+            let mut guard = 0;
+            while placed < pins_per_terminal && guard < 100 {
+                guard += 1;
+                let p = random_boundary_point(rect, rng);
+                if layout.add_pin(term, Pin::on_cell(cell_id, p)).is_ok() {
+                    placed += 1;
+                }
+            }
+        }
+        out.push(id);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::placements::{macro_grid, MacroGridParams};
+    use crate::rng_for;
+
+    fn base() -> Layout {
+        macro_grid(&MacroGridParams::default(), &mut rng_for("netlists", 0))
+    }
+
+    #[test]
+    fn two_pin_nets_validate() {
+        let mut l = base();
+        let ids = add_two_pin_nets(&mut l, 12, &mut rng_for("netlists", 1));
+        assert_eq!(ids.len(), 12);
+        l.validate().unwrap();
+        for id in ids {
+            assert_eq!(l.net(id).unwrap().terminals().len(), 2);
+        }
+    }
+
+    #[test]
+    fn multi_terminal_nets_validate() {
+        let mut l = base();
+        let ids = add_multi_terminal_nets(&mut l, 5, 4, &mut rng_for("netlists", 2));
+        l.validate().unwrap();
+        for id in ids {
+            assert_eq!(l.net(id).unwrap().terminals().len(), 4);
+        }
+    }
+
+    #[test]
+    fn multi_pin_nets_validate() {
+        let mut l = base();
+        let ids = add_multi_pin_nets(&mut l, 5, 3, &mut rng_for("netlists", 3));
+        l.validate().unwrap();
+        for id in ids {
+            let net = l.net(id).unwrap();
+            assert_eq!(net.terminals().len(), 2);
+            for t in net.terminals() {
+                assert_eq!(t.pins().len(), 3);
+            }
+        }
+    }
+
+    #[test]
+    fn boundary_points_are_on_boundaries() {
+        let r = Rect::new(10, 20, 40, 60).unwrap();
+        let mut rng = rng_for("netlists", 4);
+        for _ in 0..100 {
+            let p = random_boundary_point(r, &mut rng);
+            assert!(r.on_boundary(p), "{p} not on boundary of {r}");
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let mut l1 = base();
+        let mut l2 = base();
+        add_two_pin_nets(&mut l1, 6, &mut rng_for("det", 5));
+        add_two_pin_nets(&mut l2, 6, &mut rng_for("det", 5));
+        assert_eq!(gcr_layout::format::write(&l1), gcr_layout::format::write(&l2));
+    }
+}

@@ -1,0 +1,101 @@
+//! Three generations of maze routing on the same instances: Hightower
+//! line probes (1969, fast but incomplete), Lee-Moore (1961, complete but
+//! grid-bound), and the paper's gridless A* (1984, both).
+//!
+//! ```text
+//! cargo run --example router_shootout
+//! ```
+
+use std::time::Instant;
+
+use gcr::grid::lee_moore;
+use gcr::hightower::{hightower, HightowerConfig};
+use gcr::prelude::*;
+use gcr::workload::{fixtures, placements, random_free_point, rng_for};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let params = placements::MacroGridParams { rows: 4, cols: 4, ..Default::default() };
+    let layout = placements::macro_grid(&params, &mut rng_for("shootout", 0));
+    let plane = layout.to_plane();
+    let mut rng = rng_for("shootout", 1);
+    let pairs: Vec<(Point, Point)> = (0..30)
+        .map(|_| (random_free_point(&plane, &mut rng), random_free_point(&plane, &mut rng)))
+        .collect();
+
+    println!("30 random connections over a 16-macro layout\n");
+    println!(
+        "{:<22} {:>8} {:>12} {:>12} {:>10}",
+        "router", "solved", "wire total", "effort", "time (ms)"
+    );
+
+    let config = RouterConfig::default();
+    let t0 = Instant::now();
+    let mut wire = 0;
+    let mut effort = 0;
+    for &(a, b) in &pairs {
+        let r = route_two_points(&plane, a, b, &config)?;
+        wire += r.cost.primary;
+        effort += r.stats.expanded;
+    }
+    println!(
+        "{:<22} {:>8} {:>12} {:>12} {:>10.2}",
+        "gridless A* (paper)",
+        format!("{}/30", pairs.len()),
+        wire,
+        format!("{effort} exp"),
+        t0.elapsed().as_secs_f64() * 1e3
+    );
+
+    let t0 = Instant::now();
+    let mut wire = 0;
+    let mut effort = 0;
+    for &(a, b) in &pairs {
+        let r = lee_moore(&plane, a, b, 1).expect("complete router");
+        wire += r.length;
+        effort += r.stats.expanded;
+    }
+    println!(
+        "{:<22} {:>8} {:>12} {:>12} {:>10.2}",
+        "Lee-Moore (pitch 1)",
+        format!("{}/30", pairs.len()),
+        wire,
+        format!("{effort} exp"),
+        t0.elapsed().as_secs_f64() * 1e3
+    );
+
+    let ht = HightowerConfig::default();
+    let t0 = Instant::now();
+    let mut wire = 0;
+    let mut effort = 0;
+    let mut solved = 0;
+    for &(a, b) in &pairs {
+        if let Ok(r) = hightower(&plane, a, b, &ht) {
+            solved += 1;
+            wire += r.polyline.length();
+            effort += r.lines;
+        }
+    }
+    println!(
+        "{:<22} {:>8} {:>12} {:>12} {:>10.2}",
+        "Hightower probes",
+        format!("{solved}/30"),
+        wire,
+        format!("{effort} lines"),
+        t0.elapsed().as_secs_f64() * 1e3
+    );
+
+    // The spiral: where line probing famously gives up.
+    let (spiral, s, t) = fixtures::spiral();
+    println!("\nthe spiral (paper's motivation for combining both worlds):");
+    let tight = HightowerConfig { max_level: 3, max_lines: 400 };
+    match hightower(&spiral, s, t, &tight) {
+        Ok(_) => println!("  hightower: solved (unexpected)"),
+        Err(e) => println!("  hightower: gives up ({e})"),
+    }
+    let g = route_two_points(&spiral, s, t, &config)?;
+    println!(
+        "  gridless A*: length {} after {} expansions",
+        g.cost.primary, g.stats.expanded
+    );
+    Ok(())
+}

@@ -1,0 +1,138 @@
+//! `gcrt` — route a `.gcl` layout file from the command line.
+//!
+//! ```text
+//! gcrt route chip.gcl                 # route every net, print a report
+//! gcrt route chip.gcl --two-pass      # congestion-aware two-pass flow
+//! gcrt route chip.gcl --render 2      # ASCII-render layout + routes
+//! gcrt check chip.gcl                 # parse + validate only
+//! gcrt stats chip.gcl                 # layout statistics
+//! ```
+
+use std::process::ExitCode;
+
+use gcr::detail::route_details;
+use gcr::layout::{format, render};
+use gcr::prelude::*;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("gcrt: {message}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let mut words = args.iter().filter(|a| !a.starts_with("--"));
+    let command = words.next().map(String::as_str).unwrap_or("help");
+    let path = words.next();
+    let flag = |name: &str| args.iter().any(|a| a == name);
+    let value_of = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse::<i64>().ok())
+    };
+
+    match command {
+        "help" | "--help" | "-h" => {
+            println!(
+                "usage: gcrt <command> <file.gcl> [options]\n\n\
+                 commands:\n\
+                 \x20 route   route every net and print a report\n\
+                 \x20 check   parse and validate the layout\n\
+                 \x20 stats   print layout statistics\n\n\
+                 options:\n\
+                 \x20 --two-pass      congestion-aware two-pass routing\n\
+                 \x20 --render N      ASCII-render at N layout units per column\n\
+                 \x20 --no-epsilon    disable the inverted-corner penalty"
+            );
+            Ok(())
+        }
+        "check" => {
+            let layout = load(path)?;
+            layout.validate().map_err(|e| e.to_string())?;
+            println!("ok: {layout}");
+            Ok(())
+        }
+        "stats" => {
+            let layout = load(path)?;
+            println!("{layout}");
+            println!("  min spacing : {}", layout.min_spacing());
+            println!("  total HPWL  : {}", layout.total_hpwl());
+            for net in layout.nets() {
+                println!(
+                    "  {net}: {} pin(s), hpwl {}",
+                    net.all_pins().count(),
+                    net.hpwl()
+                );
+            }
+            Ok(())
+        }
+        "route" => {
+            let layout = load(path)?;
+            layout.validate().map_err(|e| e.to_string())?;
+            let mut config = RouterConfig::default();
+            if flag("--no-epsilon") {
+                config.corner_penalty(false);
+            }
+            let router = GlobalRouter::new(&layout, config);
+            let routing = if flag("--two-pass") {
+                let report = router.route_two_pass();
+                println!(
+                    "congestion: overflow {} -> {} ({} nets rerouted)",
+                    report.before.total_overflow(),
+                    report.after.total_overflow(),
+                    report.rerouted
+                );
+                report.routing
+            } else {
+                router.route_all()
+            };
+            println!("{routing}");
+            for route in &routing.routes {
+                println!("  {route}");
+            }
+            for (id, err) in &routing.failures {
+                println!("  FAILED {id}: {err}");
+            }
+            let plane = layout.to_plane();
+            let detail = route_details(&plane, &routing);
+            println!(
+                "detail: {} channels, {} tracks (widest {}), {} vias",
+                detail.channel_count(),
+                detail.total_tracks(),
+                detail.max_tracks(),
+                detail.total_vias()
+            );
+            if let Some(scale) = value_of("--render") {
+                let glyphs = "0123456789abcdefghijklmnopqrstuvwxyz";
+                let pairs: Vec<(char, &Polyline)> = routing
+                    .routes
+                    .iter()
+                    .enumerate()
+                    .flat_map(|(i, r)| {
+                        let g = glyphs.chars().nth(i % glyphs.len()).unwrap_or('*');
+                        r.connections.iter().map(move |c| (g, &c.polyline))
+                    })
+                    .collect();
+                println!("\n{}", render::render(&layout, &pairs, scale.max(1)));
+            }
+            if routing.failures.is_empty() {
+                Ok(())
+            } else {
+                Err(format!("{} net(s) failed to route", routing.failures.len()))
+            }
+        }
+        other => Err(format!("unknown command {other:?}; try gcrt help")),
+    }
+}
+
+fn load(path: Option<&String>) -> Result<Layout, String> {
+    let path = path.ok_or("missing .gcl file argument")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    format::parse(&text).map_err(|e| format!("{path}: {e}"))
+}

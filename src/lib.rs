@@ -1,0 +1,83 @@
+//! `gcr` — general-cell routing: a complete reproduction of Gary W.
+//! Clow, *A Global Routing Algorithm for General Cells* (DAC 1984).
+//!
+//! This facade re-exports the whole workspace so applications can depend
+//! on one crate:
+//!
+//! * [`geom`] — rectilinear geometry kernel and the ray-traced obstacle
+//!   [`Plane`](geom::Plane),
+//! * [`search`] — generic A\*/best-first/blind search engines,
+//! * [`layout`] — cells, multi-pin terminals, multi-terminal nets,
+//!   validation, the `.gcl` text format and an ASCII renderer,
+//! * [`router`] — **the paper's contribution**: the gridless A\* global
+//!   router with cell hugging, Steiner-tree growth, the inverted-corner ε
+//!   and two-pass congestion routing,
+//! * [`grid`] — the Lee–Moore baseline (and grid A\*), the special case,
+//! * [`hightower`] — the incomplete line-probe baseline,
+//! * [`steiner`] — rectilinear Steiner references (MST, 1-Steiner, exact),
+//! * [`detail`] — the detailed-routing substrate (dynamic channels +
+//!   left-edge track assignment),
+//! * [`workload`] — seeded instance generators and the paper's figure
+//!   fixtures.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use gcr::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // A 100×100 die with two macro cells.
+//! let mut layout = Layout::new(Rect::new(0, 0, 100, 100)?);
+//! let alu = layout.add_cell("alu", Rect::new(10, 20, 40, 80)?)?;
+//! let rom = layout.add_cell("rom", Rect::new(55, 20, 90, 80)?)?;
+//!
+//! // One net between facing pins.
+//! let net = layout.add_net("bus0");
+//! let a = layout.add_terminal(net, "alu_out");
+//! layout.add_pin(a, Pin::on_cell(alu, Point::new(40, 50)))?;
+//! let b = layout.add_terminal(net, "rom_in");
+//! layout.add_pin(b, Pin::on_cell(rom, Point::new(55, 50)))?;
+//! layout.validate()?;
+//!
+//! // Route it.
+//! let router = GlobalRouter::new(&layout, RouterConfig::default());
+//! let route = router.route_net(net)?;
+//! assert_eq!(route.wire_length(), 15);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use gcr_detail as detail;
+pub use gcr_geom as geom;
+pub use gcr_grid as grid;
+pub use gcr_hightower as hightower;
+pub use gcr_layout as layout;
+pub use gcr_search as search;
+pub use gcr_steiner as steiner;
+pub use gcr_core as router;
+pub use gcr_workload as workload;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use gcr_core::{
+        route_two_points, GlobalRouter, GlobalRouting, NetRoute, RouteError, RouteTree,
+        RoutedPath, RouterConfig,
+    };
+    pub use gcr_geom::{Axis, Coord, Dir, Interval, Plane, Point, Polyline, Rect, Segment};
+    pub use gcr_layout::{Cell, CellId, Layout, Net, NetId, Pin, Terminal, TerminalRef};
+    pub use gcr_search::{LexCost, SearchStats};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn facade_reexports_compile() {
+        use crate::prelude::*;
+        let p = Point::new(1, 2);
+        assert_eq!(p.manhattan(Point::new(4, 6)), 7);
+        let _ = RouterConfig::default();
+    }
+}

@@ -1,0 +1,86 @@
+//! Cross-crate agreement on the paper fixtures: the three routers and the
+//! Steiner references must tell one consistent story.
+
+use gcr::grid::{grid_astar, lee_moore};
+use gcr::hightower::{hightower, HightowerConfig};
+use gcr::prelude::*;
+use gcr::steiner::{hwang_ratio_holds, iterated_one_steiner, rectilinear_mst};
+use gcr::workload::fixtures;
+
+#[test]
+fn figure1_all_complete_routers_agree_on_length() {
+    let (plane, s, d) = fixtures::figure1();
+    let g = route_two_points(&plane, s, d, &RouterConfig::default()).unwrap();
+    let ga = grid_astar(&plane, s, d, 1).unwrap();
+    let lm = lee_moore(&plane, s, d, 1).unwrap();
+    assert_eq!(g.cost.primary, ga.length);
+    assert_eq!(ga.length, lm.length);
+    // The expansion ordering claimed by the paper:
+    assert!(g.stats.expanded < ga.stats.expanded);
+    assert!(ga.stats.expanded < lm.stats.expanded);
+    // And the memory ordering (touched nodes ≈ labels written).
+    assert!(g.stats.touched < lm.stats.touched);
+}
+
+#[test]
+fn figure1_hightower_is_cheap_but_longer_or_equal() {
+    let (plane, s, d) = fixtures::figure1();
+    let optimal = route_two_points(&plane, s, d, &RouterConfig::default()).unwrap();
+    if let Ok(ht) = hightower(&plane, s, d, &HightowerConfig::default()) {
+        assert!(ht.polyline.length() >= optimal.cost.primary);
+        assert!(plane.polyline_free(&ht.polyline));
+    }
+}
+
+#[test]
+fn spiral_separates_the_router_generations() {
+    let (plane, s, t) = fixtures::spiral();
+    let tight = HightowerConfig { max_level: 3, max_lines: 400 };
+    assert!(hightower(&plane, s, t, &tight).is_err(), "line probes must fail");
+    let lm = lee_moore(&plane, s, t, 1).expect("maze search succeeds");
+    let g = route_two_points(&plane, s, t, &RouterConfig::default()).expect("gridless succeeds");
+    assert_eq!(lm.length, g.cost.primary, "both complete routers are optimal");
+    assert!(g.stats.expanded < lm.stats.expanded);
+}
+
+#[test]
+fn steiner_references_are_ordered() {
+    // On obstacle-free pin sets: exact ≤ 1-Steiner ≤ MST and Hwang holds.
+    let pins = [
+        Point::new(0, 0),
+        Point::new(40, 10),
+        Point::new(10, 35),
+        Point::new(35, 40),
+    ];
+    let mst = rectilinear_mst(&pins).length;
+    let ios = iterated_one_steiner(&pins).length;
+    assert!(ios <= mst);
+    assert!(hwang_ratio_holds(mst, ios));
+}
+
+#[test]
+fn router_steiner_tree_beats_its_own_pin_tree_on_fixtures() {
+    // On an obstacle-free layout with a T of pins the segment-connection
+    // rule must find the Steiner saving.
+    let mut layout = Layout::new(Rect::new(0, 0, 120, 120).unwrap());
+    let id = layout.add_net("tee");
+    for (i, p) in [
+        Point::new(10, 60),
+        Point::new(110, 60),
+        Point::new(60, 10),
+    ]
+    .iter()
+    .enumerate()
+    {
+        let t = layout.add_terminal(id, format!("t{i}"));
+        layout.add_pin(t, Pin::floating(*p)).unwrap();
+    }
+    let router = GlobalRouter::new(&layout, RouterConfig::default());
+    let steiner = router.route_net(id).unwrap().wire_length();
+    let pin_tree = router.route_net_pin_tree(id).unwrap().wire_length();
+    assert_eq!(steiner, 150); // trunk 100 + stem 50
+    assert!(pin_tree > steiner);
+    // And the obstacle-free exact reference agrees.
+    let pins = [Point::new(10, 60), Point::new(110, 60), Point::new(60, 10)];
+    assert_eq!(gcr::steiner::exact_rsmt(&pins).unwrap().length, 150);
+}

@@ -1,0 +1,57 @@
+//! The whole pipeline must be bit-for-bit deterministic: same seeds, same
+//! layouts, same routes, same statistics. (Deterministic tie-breaking in
+//! the search engine is what makes the reproduction's numbers stable.)
+
+use gcr::layout::format;
+use gcr::prelude::*;
+use gcr::workload::{netlists, placements, rng_for};
+
+fn build() -> Layout {
+    let params = placements::MacroGridParams { rows: 3, cols: 3, ..Default::default() };
+    let mut layout = placements::macro_grid(&params, &mut rng_for("determinism", 0));
+    let mut rng = rng_for("determinism", 1);
+    netlists::add_two_pin_nets(&mut layout, 15, &mut rng);
+    netlists::add_multi_terminal_nets(&mut layout, 5, 3, &mut rng);
+    layout
+}
+
+#[test]
+fn generation_is_reproducible() {
+    assert_eq!(format::write(&build()), format::write(&build()));
+}
+
+#[test]
+fn routing_is_reproducible() {
+    let layout = build();
+    let router = GlobalRouter::new(&layout, RouterConfig::default());
+    let a = router.route_all();
+    let b = router.route_all();
+    assert_eq!(a.routed_count(), b.routed_count());
+    assert_eq!(a.wire_length(), b.wire_length());
+    for (ra, rb) in a.routes.iter().zip(&b.routes) {
+        assert_eq!(ra.net, rb.net);
+        assert_eq!(ra.wire_length(), rb.wire_length());
+        assert_eq!(ra.stats.expanded, rb.stats.expanded);
+        for (ca, cb) in ra.connections.iter().zip(&rb.connections) {
+            assert_eq!(ca.polyline, cb.polyline);
+        }
+    }
+}
+
+#[test]
+fn routing_is_stable_across_router_instances() {
+    let layout = build();
+    let r1 = GlobalRouter::new(&layout, RouterConfig::default()).route_all();
+    let r2 = GlobalRouter::new(&layout, RouterConfig::default()).route_all();
+    assert_eq!(r1.wire_length(), r2.wire_length());
+}
+
+#[test]
+fn format_roundtrip_preserves_routing_results() {
+    let layout = build();
+    let reparsed = format::parse(&format::write(&layout)).expect("own output parses");
+    let a = GlobalRouter::new(&layout, RouterConfig::default()).route_all();
+    let b = GlobalRouter::new(&reparsed, RouterConfig::default()).route_all();
+    assert_eq!(a.wire_length(), b.wire_length());
+    assert_eq!(a.stats().expanded, b.stats().expanded);
+}

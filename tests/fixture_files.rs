@@ -1,0 +1,69 @@
+//! The shipped `.gcl` fixture files must stay parseable, valid and
+//! routable — they are the CLI's demo inputs.
+
+use gcr::layout::format;
+use gcr::prelude::*;
+
+#[test]
+fn demo_gcl_parses_validates_and_routes() {
+    let text = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/fixtures/demo.gcl"
+    ))
+    .expect("fixture present");
+    let layout = format::parse(&text).expect("fixture parses");
+    layout.validate().expect("fixture is a valid layout");
+    assert_eq!(layout.cells().len(), 4);
+    assert_eq!(layout.nets().len(), 3);
+
+    let router = GlobalRouter::new(&layout, RouterConfig::default());
+    let routing = router.route_all();
+    assert!(routing.failures.is_empty(), "{:?}", routing.failures);
+    assert_eq!(routing.routed_count(), 3);
+
+    // The multi-pin power net connects through its ring terminal.
+    let power = layout.net_by_name("power").unwrap();
+    let route = routing.route_for(power).expect("power routed");
+    let net = layout.net(power).unwrap();
+    for terminal in net.terminals() {
+        assert!(terminal
+            .pins()
+            .iter()
+            .any(|p| route.tree.contains(p.position)));
+    }
+}
+
+#[test]
+fn demo_gcl_roundtrips() {
+    let text = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/fixtures/demo.gcl"
+    ))
+    .expect("fixture present");
+    let layout = format::parse(&text).expect("fixture parses");
+    let rewritten = format::write(&layout);
+    let reparsed = format::parse(&rewritten).expect("own output parses");
+    assert_eq!(format::write(&reparsed), rewritten);
+}
+
+#[test]
+fn random_layouts_roundtrip_through_the_format() {
+    use gcr::workload::{netlists, placements, rng_for};
+    for case in 0..8u64 {
+        let params = placements::MacroGridParams {
+            rows: 1 + (case as usize % 3),
+            cols: 2 + (case as usize % 2),
+            ..Default::default()
+        };
+        let mut layout = placements::macro_grid(&params, &mut rng_for("fmt", case));
+        let mut rng = rng_for("fmt-nets", case);
+        netlists::add_two_pin_nets(&mut layout, 6, &mut rng);
+        netlists::add_multi_terminal_nets(&mut layout, 2, 3, &mut rng);
+        netlists::add_multi_pin_nets(&mut layout, 2, 2, &mut rng);
+        let text = format::write(&layout);
+        let reparsed = format::parse(&text).unwrap_or_else(|e| panic!("case {case}: {e}"));
+        assert_eq!(format::write(&reparsed), text, "case {case}");
+        assert_eq!(reparsed.pin_count(), layout.pin_count());
+        assert_eq!(reparsed.total_hpwl(), layout.total_hpwl());
+    }
+}
