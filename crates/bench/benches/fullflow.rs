@@ -18,7 +18,9 @@ fn bench_fullflow(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("fullflow");
     group.bench_function("global_route_all", |b| b.iter(|| router.route_all()));
-    group.bench_function("detail_route", |b| b.iter(|| route_details(&plane, &routing)));
+    group.bench_function("detail_route", |b| {
+        b.iter(|| route_details(&plane, &routing))
+    });
     group.finish();
 }
 

@@ -12,7 +12,12 @@ fn bench_hightower(c: &mut Criterion) {
     let plane = layout.to_plane();
     let mut rng = rng_for("bench-e5", 0);
     let pairs: Vec<(Point, Point)> = (0..10)
-        .map(|_| (random_free_point(&plane, &mut rng), random_free_point(&plane, &mut rng)))
+        .map(|_| {
+            (
+                random_free_point(&plane, &mut rng),
+                random_free_point(&plane, &mut rng),
+            )
+        })
         .collect();
     let ht = HightowerConfig::default();
     let config = RouterConfig::default();
@@ -44,7 +49,10 @@ fn bench_hightower(c: &mut Criterion) {
     let (spiral, s, d) = fixtures::spiral();
     group.bench_function("spiral_fallback", |b| {
         b.iter(|| {
-            let tight = HightowerConfig { max_level: 3, max_lines: 400 };
+            let tight = HightowerConfig {
+                max_level: 3,
+                max_lines: 400,
+            };
             if hightower(&spiral, s, d, &tight).is_err() {
                 let _ = route_two_points(&spiral, s, d, &config);
             }

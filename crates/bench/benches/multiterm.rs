@@ -9,7 +9,12 @@ fn bench_multiterm(c: &mut Criterion) {
     let mut group = c.benchmark_group("multiterm");
     for k in [3, 5, 8] {
         let mut layout = grid_layout(3, 3, 600 + k as u64);
-        let ids = netlists::add_multi_terminal_nets(&mut layout, 6, k, &mut rng_for("bench-e6", k as u64));
+        let ids = netlists::add_multi_terminal_nets(
+            &mut layout,
+            6,
+            k,
+            &mut rng_for("bench-e6", k as u64),
+        );
         let router = GlobalRouter::new(&layout, RouterConfig::default());
         group.bench_with_input(BenchmarkId::new("segment_tree", k), &ids, |b, ids| {
             b.iter(|| {

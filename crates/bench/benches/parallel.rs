@@ -1,0 +1,62 @@
+//! Serial vs parallel `BatchRouter` on the largest workload scaling
+//! instance: the payoff of the paper's order-free net independence.
+//! Output is asserted byte-identical (wire length + stats) before
+//! timing, so the speedup is for *the same answer*.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gcr_core::{BatchConfig, BatchRouter, GridEngine, RouterConfig};
+use gcr_workload::scaling_instance;
+
+fn bench_parallel(c: &mut Criterion) {
+    let config = RouterConfig::default();
+    let mut group = c.benchmark_group("parallel");
+    for (rows, cols, two_pin, multi) in [(4, 4, 32, 8), (6, 6, 96, 24)] {
+        let layout = scaling_instance(rows, cols, two_pin, multi, 0);
+        let nets = layout.nets().len();
+        let serial =
+            BatchRouter::gridless(&layout, config.clone()).with_batch(BatchConfig::serial());
+        let parallel = BatchRouter::gridless(&layout, config.clone());
+        // The speedup must be for identical output.
+        let a = serial.route_all();
+        let b = parallel.route_all();
+        assert_eq!(a.wire_length(), b.wire_length());
+        assert_eq!(a.stats(), b.stats());
+
+        group.bench_with_input(BenchmarkId::new("serial", nets), &(), |bch, ()| {
+            bch.iter(|| serial.route_all())
+        });
+        group.bench_with_input(BenchmarkId::new("parallel", nets), &(), |bch, ()| {
+            bch.iter(|| parallel.route_all())
+        });
+    }
+    group.finish();
+}
+
+fn bench_parallel_grid_engine(c: &mut Criterion) {
+    // The grid baseline is much more expensive per net, so the parallel
+    // win is even clearer through the same trait.
+    let config = RouterConfig::default();
+    let mut group = c.benchmark_group("parallel-grid");
+    let layout = scaling_instance(4, 4, 32, 8, 0);
+    let nets = layout.nets().len();
+    let serial = BatchRouter::new(&layout, config.clone(), GridEngine::default())
+        .with_batch(BatchConfig::serial());
+    let parallel = BatchRouter::new(&layout, config, GridEngine::default());
+    group.bench_with_input(BenchmarkId::new("serial", nets), &(), |bch, ()| {
+        bch.iter(|| serial.route_all())
+    });
+    group.bench_with_input(BenchmarkId::new("parallel", nets), &(), |bch, ()| {
+        bch.iter(|| parallel.route_all())
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_millis(2500))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_parallel, bench_parallel_grid_engine
+}
+criterion_main!(benches);

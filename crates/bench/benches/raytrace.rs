@@ -39,18 +39,24 @@ fn bench_raytrace(c: &mut Criterion) {
         let naive = plane_with_blocks(n, false);
         let indexed = plane_with_blocks(n, true);
         let mut rng = rng_for("raytrace-origins", n as u64);
-        let origins: Vec<Point> = (0..64).map(|_| random_free_point(&naive, &mut rng)).collect();
-        group.bench_with_input(BenchmarkId::new("linear_scan", n), &origins, |b, origins| {
-            b.iter(|| {
-                let mut acc = 0i64;
-                for &o in origins {
-                    for d in Dir::ALL {
-                        acc += naive.ray_hit(o, d).distance;
+        let origins: Vec<Point> = (0..64)
+            .map(|_| random_free_point(&naive, &mut rng))
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::new("linear_scan", n),
+            &origins,
+            |b, origins| {
+                b.iter(|| {
+                    let mut acc = 0i64;
+                    for &o in origins {
+                        for d in Dir::ALL {
+                            acc += naive.ray_hit(o, d).distance;
+                        }
                     }
-                }
-                acc
-            })
-        });
+                    acc
+                })
+            },
+        );
         group.bench_with_input(BenchmarkId::new("topo_index", n), &origins, |b, origins| {
             b.iter(|| {
                 let mut acc = 0i64;

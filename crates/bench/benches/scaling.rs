@@ -17,7 +17,12 @@ fn bench_scaling(c: &mut Criterion) {
         let plane = layout.to_plane();
         let mut rng = rng_for("bench-e4", cells as u64);
         let pairs: Vec<(Point, Point)> = (0..8)
-            .map(|_| (random_free_point(&plane, &mut rng), random_free_point(&plane, &mut rng)))
+            .map(|_| {
+                (
+                    random_free_point(&plane, &mut rng),
+                    random_free_point(&plane, &mut rng),
+                )
+            })
             .collect();
         group.bench_with_input(BenchmarkId::new("gridless", cells), &pairs, |b, pairs| {
             b.iter(|| {

@@ -35,7 +35,11 @@ fn mean(values: &[f64]) -> f64 {
 /// A macro-grid layout with `rows × cols` cells, deterministic per case.
 #[must_use]
 pub fn grid_layout(rows: usize, cols: usize, case: u64) -> Layout {
-    let params = placements::MacroGridParams { rows, cols, ..Default::default() };
+    let params = placements::MacroGridParams {
+        rows,
+        cols,
+        ..Default::default()
+    };
     placements::macro_grid(&params, &mut rng_for("layout", case))
 }
 
@@ -46,7 +50,15 @@ pub fn e1_fig1() -> Table {
     let config = RouterConfig::default();
     let mut t = Table::new(
         "E1 (Figure 1) — node expansion, gridless A* vs grid search",
-        &["router", "pitch", "path length", "expanded", "touched", "peak open", "time (µs)"],
+        &[
+            "router",
+            "pitch",
+            "path length",
+            "expanded",
+            "touched",
+            "peak open",
+            "time (µs)",
+        ],
     );
     let (g, dt) = timed(|| route_two_points(&plane, s, d, &config).expect("figure 1 routes"));
     t.row([
@@ -94,7 +106,14 @@ pub fn e2_fig2() -> Table {
     let (plane, a, b, block) = fixtures::figure2();
     let mut t = Table::new(
         "E2 (Figure 2) — the inverted corner",
-        &["cost function", "direction", "length", "ε penalties", "bend point", "bend hugs the cell?"],
+        &[
+            "cost function",
+            "direction",
+            "length",
+            "ε penalties",
+            "bend point",
+            "bend hugs the cell?",
+        ],
     );
     for (label, penalty) in [("with ε (paper)", true), ("without ε", false)] {
         for (dir, s, d) in [("a → b", a, b), ("b → a", b, a)] {
@@ -114,7 +133,11 @@ pub fn e2_fig2() -> Table {
                 r.cost.primary.to_string(),
                 r.cost.penalty.to_string(),
                 bend.to_string(),
-                if block.on_boundary(bend) { "yes".into() } else { "no".to_string() },
+                if block.on_boundary(bend) {
+                    "yes".into()
+                } else {
+                    "no".to_string()
+                },
             ]);
         }
     }
@@ -128,7 +151,14 @@ pub fn e3_optimality() -> Table {
     let config = RouterConfig::default();
     let mut t = Table::new(
         "E3 — gridless A* is exactly optimal (vs Lee-Moore, pitch 1)",
-        &["cells", "connections", "equal cost", "mean expanded (gridless)", "mean expanded (Lee-Moore)", "expansion ratio"],
+        &[
+            "cells",
+            "connections",
+            "equal cost",
+            "mean expanded (gridless)",
+            "mean expanded (Lee-Moore)",
+            "expansion ratio",
+        ],
     );
     for (rows, cols) in [(2, 2), (4, 4), (6, 6)] {
         let layout = grid_layout(rows, cols, (rows * 100 + cols) as u64);
@@ -175,7 +205,14 @@ pub fn e4_scaling() -> Table {
     let config = RouterConfig::default();
     let mut t = Table::new(
         "E4 — search effort vs problem size and grid pitch",
-        &["cells", "router", "pitch", "mean expanded", "mean touched", "mean time (µs)"],
+        &[
+            "cells",
+            "router",
+            "pitch",
+            "mean expanded",
+            "mean touched",
+            "mean time (µs)",
+        ],
     );
     for (rows, cols) in [(2, 2), (4, 4), (6, 6), (8, 8)] {
         let cells = rows * cols;
@@ -245,14 +282,25 @@ pub fn e5_hightower() -> Table {
     let ht_config = HightowerConfig::default();
     let mut t = Table::new(
         "E5 — line probing vs maze search (success and effort)",
-        &["scenario", "router", "success", "mean effort (nodes/lines)", "mean time (µs)"],
+        &[
+            "scenario",
+            "router",
+            "success",
+            "mean effort (nodes/lines)",
+            "mean time (µs)",
+        ],
     );
     // Random general-cell scenes.
     let layout = grid_layout(4, 4, 55);
     let plane = layout.to_plane();
     let mut rng = rng_for("e5", 0);
     let pairs: Vec<(Point, Point)> = (0..40)
-        .map(|_| (random_free_point(&plane, &mut rng), random_free_point(&plane, &mut rng)))
+        .map(|_| {
+            (
+                random_free_point(&plane, &mut rng),
+                random_free_point(&plane, &mut rng),
+            )
+        })
         .collect();
     let mut ht_ok = 0;
     let mut ht_lines = Vec::new();
@@ -287,14 +335,21 @@ pub fn e5_hightower() -> Table {
     ]);
     // The spiral.
     let (plane, s, d) = fixtures::spiral();
-    let tight = HightowerConfig { max_level: 3, max_lines: 400 };
+    let tight = HightowerConfig {
+        max_level: 3,
+        max_lines: 400,
+    };
     let ht = hightower(&plane, s, d, &tight);
     let lm = lee_moore(&plane, s, d, 1).expect("maze search solves the spiral");
     let gl = route_two_points(&plane, s, d, &config).expect("gridless solves the spiral");
     t.row([
         "spiral".to_string(),
         "Hightower (level ≤ 3)".into(),
-        if ht.is_ok() { "1/1".to_string() } else { "0/1".into() },
+        if ht.is_ok() {
+            "1/1".to_string()
+        } else {
+            "0/1".into()
+        },
         "—".into(),
         "—".into(),
     ]);
@@ -321,16 +376,20 @@ pub fn e5_hightower() -> Table {
 pub fn e6_multiterm() -> Table {
     let mut t = Table::new(
         "E6 — Steiner quality of the multi-terminal extension",
-        &["terminals", "nets", "segment-tree length", "pin-tree length", "saving", "1-Steiner (free)", "exact RSMT (free)"],
+        &[
+            "terminals",
+            "nets",
+            "segment-tree length",
+            "pin-tree length",
+            "saving",
+            "1-Steiner (free)",
+            "exact RSMT (free)",
+        ],
     );
     for k in [3, 5, 8] {
         let mut layout = grid_layout(3, 3, 600 + k as u64);
-        let ids = netlists::add_multi_terminal_nets(
-            &mut layout,
-            15,
-            k,
-            &mut rng_for("e6", k as u64),
-        );
+        let ids =
+            netlists::add_multi_terminal_nets(&mut layout, 15, k, &mut rng_for("e6", k as u64));
         let router = GlobalRouter::new(&layout, RouterConfig::default());
         let mut seg_total = 0i64;
         let mut pin_total = 0i64;
@@ -338,8 +397,7 @@ pub fn e6_multiterm() -> Table {
         let mut exact_total: Option<i64> = Some(0);
         let mut nets = 0;
         for id in ids {
-            let (Ok(seg), Ok(pin)) = (router.route_net(id), router.route_net_pin_tree(id))
-            else {
+            let (Ok(seg), Ok(pin)) = (router.route_net(id), router.route_net_pin_tree(id)) else {
                 continue;
             };
             nets += 1;
@@ -377,11 +435,22 @@ pub fn e6_multiterm() -> Table {
 pub fn e7_fullflow() -> Table {
     let mut t = Table::new(
         "E7 — chip assembly: global vs detailed routing effort",
-        &["workload", "nets", "global time (µs)", "detail time (µs)", "channels", "total tracks", "max tracks", "vias"],
+        &[
+            "workload",
+            "nets",
+            "global time (µs)",
+            "detail time (µs)",
+            "channels",
+            "total tracks",
+            "max tracks",
+            "vias",
+        ],
     );
-    for (label, rows, cols, two_pin, multi) in
-        [("small", 2, 2, 12, 3), ("medium", 3, 3, 30, 8), ("large", 4, 5, 60, 15)]
-    {
+    for (label, rows, cols, two_pin, multi) in [
+        ("small", 2, 2, 12, 3),
+        ("medium", 3, 3, 30, 8),
+        ("large", 4, 5, 60, 15),
+    ] {
         let mut layout = grid_layout(rows, cols, 700 + rows as u64);
         let mut rng = rng_for("e7", rows as u64 * 10 + cols as u64);
         netlists::add_two_pin_nets(&mut layout, two_pin, &mut rng);
@@ -419,9 +488,11 @@ pub fn congestion_layout(nets: usize) -> (Layout, Vec<NetId>) {
         let x = 96 + (i as i64 % 4) * 2;
         let id = l.add_net(format!("n{i}"));
         let t0 = l.add_terminal(id, "s");
-        l.add_pin(t0, gcr_layout::Pin::floating(Point::new(x, 0))).unwrap();
+        l.add_pin(t0, gcr_layout::Pin::floating(Point::new(x, 0)))
+            .unwrap();
         let t1 = l.add_terminal(id, "t");
-        l.add_pin(t1, gcr_layout::Pin::floating(Point::new(x, 110))).unwrap();
+        l.add_pin(t1, gcr_layout::Pin::floating(Point::new(x, 110)))
+            .unwrap();
         ids.push(id);
     }
     (l, ids)
@@ -463,17 +534,31 @@ pub fn e8_congestion() -> Table {
     // orders and compare per-net lengths.
     let mut forward: Vec<i64> = Vec::new();
     for &id in &ids {
-        forward.push(router.route_net(id).expect("alley nets route").wire_length());
+        forward.push(
+            router
+                .route_net(id)
+                .expect("alley nets route")
+                .wire_length(),
+        );
     }
     let mut backward: Vec<i64> = Vec::new();
     for &id in ids.iter().rev() {
-        backward.push(router.route_net(id).expect("alley nets route").wire_length());
+        backward.push(
+            router
+                .route_net(id)
+                .expect("alley nets route")
+                .wire_length(),
+        );
     }
     backward.reverse();
     let independent = forward == backward;
     t.row([
         "pass-1 order independent".to_string(),
-        if independent { "yes".to_string() } else { "NO".into() },
+        if independent {
+            "yes".to_string()
+        } else {
+            "NO".into()
+        },
         "—".to_string(),
     ]);
     t.note("Independent net routing means pass 1 has no net-ordering problem; the reroute trades a little wire length for the overflow reduction.");
@@ -492,7 +577,15 @@ pub fn e9_ablation() -> Table {
     hanan_cfg.hanan_walk(true);
     let mut t = Table::new(
         "E9 (ablation) — ray jumps vs Hanan-grid walking",
-        &["cells", "connections", "equal cost", "mean expanded (ray jumps)", "mean expanded (hanan walk)", "mean generated (ray jumps)", "mean generated (hanan walk)"],
+        &[
+            "cells",
+            "connections",
+            "equal cost",
+            "mean expanded (ray jumps)",
+            "mean expanded (hanan walk)",
+            "mean generated (ray jumps)",
+            "mean generated (hanan walk)",
+        ],
     );
     for (rows, cols) in [(2, 2), (4, 4), (6, 6)] {
         let cells = rows * cols;
@@ -538,7 +631,11 @@ pub fn e9_ablation() -> Table {
     t.row([
         "spiral".to_string(),
         "1".into(),
-        if ray.cost.primary == walk.cost.primary { "1/1".into() } else { "0/1".to_string() },
+        if ray.cost.primary == walk.cost.primary {
+            "1/1".into()
+        } else {
+            "0/1".to_string()
+        },
         ray.stats.expanded.to_string(),
         walk.stats.expanded.to_string(),
         ray.stats.generated.to_string(),
@@ -556,17 +653,28 @@ pub fn e10_feedback() -> Table {
     use gcr_core::{placement_feedback, FeedbackOptions};
     let mut t = Table::new(
         "E10 — placement feedback: widen congested passages and reroute",
-        &["workload", "iteration", "total overflow", "max overflow", "wire length", "widened by"],
+        &[
+            "workload",
+            "iteration",
+            "total overflow",
+            "max overflow",
+            "wire length",
+            "widened by",
+        ],
     );
     let cases: Vec<(&str, gcr_layout::Layout, i64)> = vec![
         ("alley ×4 nets", congestion_layout(4).0, 5),
         ("alley ×8 nets", congestion_layout(8).0, 5),
-        ("macro grid", {
-            let mut l = grid_layout(3, 3, 1000);
-            let mut rng = rng_for("e10", 0);
-            netlists::add_two_pin_nets(&mut l, 30, &mut rng);
-            l
-        }, 4),
+        (
+            "macro grid",
+            {
+                let mut l = grid_layout(3, 3, 1000);
+                let mut rng = rng_for("e10", 0);
+                netlists::add_two_pin_nets(&mut l, 30, &mut rng);
+                l
+            },
+            4,
+        ),
     ];
     for (label, layout, pitch) in cases {
         let mut config = RouterConfig::default();
@@ -574,7 +682,11 @@ pub fn e10_feedback() -> Table {
         let (_, report) = placement_feedback(&layout, &config, FeedbackOptions::default());
         for (i, rec) in report.iterations.iter().enumerate() {
             t.row([
-                if i == 0 { label.to_string() } else { String::new() },
+                if i == 0 {
+                    label.to_string()
+                } else {
+                    String::new()
+                },
                 i.to_string(),
                 rec.total_overflow.to_string(),
                 rec.max_overflow.to_string(),
@@ -584,7 +696,11 @@ pub fn e10_feedback() -> Table {
         }
         t.row([
             String::new(),
-            if report.converged { "converged".to_string() } else { "NOT converged".into() },
+            if report.converged {
+                "converged".to_string()
+            } else {
+                "NOT converged".into()
+            },
             String::new(),
             String::new(),
             String::new(),

@@ -41,9 +41,10 @@ impl Table {
 impl fmt::Display for Table {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "### {}\n", self.title)?;
-        let cols = self.headers.len().max(
-            self.rows.iter().map(Vec::len).max().unwrap_or(0),
-        );
+        let cols = self
+            .headers
+            .len()
+            .max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
         let cell = |row: &[String], i: usize| row.get(i).cloned().unwrap_or_default();
         // Column widths for aligned plain-text rendering.
         let mut widths = vec![0usize; cols];
@@ -91,7 +92,9 @@ mod tests {
         assert!(s.contains("| router"));
         assert!(s.contains("| gridless"));
         assert!(s.contains("*lower is better*"));
-        assert!(s.lines().any(|l| l.starts_with("|--") || l.starts_with("|-")));
+        assert!(s
+            .lines()
+            .any(|l| l.starts_with("|--") || l.starts_with("|-")));
     }
 
     #[test]

@@ -84,9 +84,10 @@ pub fn find_passages(plane: &Plane) -> Vec<Passage> {
     let bounds = plane.bounds();
     let mut out: Vec<Passage> = Vec::new();
     let intruded = |strip: &Rect, skip_a: usize, skip_b: Option<usize>| {
-        rects.iter().enumerate().any(|(k, (r, _))| {
-            k != skip_a && Some(k) != skip_b && r.overlaps_open(strip)
-        })
+        rects
+            .iter()
+            .enumerate()
+            .any(|(k, (r, _))| k != skip_a && Some(k) != skip_b && r.overlaps_open(strip))
     };
     // Cell-to-cell passages.
     for i in 0..rects.len() {
@@ -402,7 +403,10 @@ mod tests {
             .position(|p| p.rect == Rect::new(40, 20, 50, 80).unwrap())
             .unwrap();
         assert_eq!(
-            analysis.users[alley_idx].iter().copied().collect::<Vec<_>>(),
+            analysis.users[alley_idx]
+                .iter()
+                .copied()
+                .collect::<Vec<_>>(),
             vec![0, 1]
         );
     }

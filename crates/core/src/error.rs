@@ -61,11 +61,18 @@ mod tests {
 
     #[test]
     fn messages_name_the_subject() {
-        let e = RouteError::Unreachable { what: "net clk".into() };
+        let e = RouteError::Unreachable {
+            what: "net clk".into(),
+        };
         assert!(e.to_string().contains("clk"));
-        let e = RouteError::LimitExceeded { what: "net d0".into(), limit: 9 };
+        let e = RouteError::LimitExceeded {
+            what: "net d0".into(),
+            limit: 9,
+        };
         assert!(e.to_string().contains('9'));
-        let e = RouteError::InvalidEndpoint { point: Point::new(1, 2) };
+        let e = RouteError::InvalidEndpoint {
+            point: Point::new(1, 2),
+        };
         assert!(e.to_string().contains("(1, 2)"));
     }
 

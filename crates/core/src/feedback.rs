@@ -125,7 +125,13 @@ pub fn placement_feedback(
         current = widen_passage(&current, &analysis.passages[worst], delta);
         debug_assert!(current.validate().is_ok(), "widening broke the layout");
     }
-    (current, FeedbackReport { iterations, converged })
+    (
+        current,
+        FeedbackReport {
+            iterations,
+            converged,
+        },
+    )
 }
 
 /// Returns a copy of `layout` with `passage` widened by `delta`: every
@@ -174,22 +180,25 @@ fn widen_passage(layout: &Layout, passage: &Passage, delta: Coord) -> Layout {
     for cell in layout.cells() {
         match cell.outline() {
             CellOutline::Rect(r) => {
-                out.add_cell(cell.name(), shift_rect(*r)).expect("names stay unique");
+                out.add_cell(cell.name(), shift_rect(*r))
+                    .expect("names stay unique");
             }
             CellOutline::Polygon(p) => {
                 // Polygons shift rigidly when their bounding box is beyond
                 // the threshold (cells never straddle a passage they bound).
                 let b = p.bounding_rect();
                 let moved = if b.span(sep).lo() >= threshold {
-                    let vertices = p.vertices().iter().map(|v| {
-                        v.with_coord(sep, v.coord(sep) + delta)
-                    });
+                    let vertices = p
+                        .vertices()
+                        .iter()
+                        .map(|v| v.with_coord(sep, v.coord(sep) + delta));
                     gcr_geom::RectilinearPolygon::new(vertices.collect())
                         .expect("rigid shift preserves validity")
                 } else {
                     p.clone()
                 };
-                out.add_polygon_cell(cell.name(), moved).expect("names stay unique");
+                out.add_polygon_cell(cell.name(), moved)
+                    .expect("names stay unique");
             }
         }
     }
@@ -206,14 +215,13 @@ fn widen_passage(layout: &Layout, passage: &Passage, delta: Coord) -> Layout {
                             .rect();
                         let moved = old_rect.span(sep).lo() >= threshold;
                         let position = if moved {
-                            pin.position.with_coord(sep, pin.position.coord(sep) + delta)
+                            pin.position
+                                .with_coord(sep, pin.position.coord(sep) + delta)
                         } else {
                             pin.position
                         };
                         Pin {
-                            cell: out.cell_by_name(
-                                layout.cell(cell_id).expect("checked").name(),
-                            ),
+                            cell: out.cell_by_name(layout.cell(cell_id).expect("checked").name()),
                             position,
                         }
                     }
@@ -234,8 +242,10 @@ mod tests {
     /// Two cells with a 10-wide alley; `nets` nets forced through it.
     fn congested(nets: usize) -> Layout {
         let mut l = Layout::new(Rect::new(0, 0, 200, 120).unwrap());
-        l.add_cell("west", Rect::new(40, 20, 95, 100).unwrap()).unwrap();
-        l.add_cell("east", Rect::new(105, 20, 160, 100).unwrap()).unwrap();
+        l.add_cell("west", Rect::new(40, 20, 95, 100).unwrap())
+            .unwrap();
+        l.add_cell("east", Rect::new(105, 20, 160, 100).unwrap())
+            .unwrap();
         for i in 0..nets {
             let x = 96 + (i as i64 % 4) * 2;
             let id = l.add_net(format!("n{i}"));
@@ -252,11 +262,7 @@ mod tests {
         let layout = congested(4);
         let mut config = RouterConfig::default();
         config.wire_pitch(5);
-        let (adjusted, report) = placement_feedback(
-            &layout,
-            &config,
-            FeedbackOptions::default(),
-        );
+        let (adjusted, report) = placement_feedback(&layout, &config, FeedbackOptions::default());
         assert!(report.converged, "records: {:?}", report.iterations);
         assert!(report.iterations.len() >= 2, "needs at least one widening");
         assert!(report.iterations[0].total_overflow > 0);
@@ -273,11 +279,7 @@ mod tests {
     fn already_clean_placement_converges_immediately() {
         let layout = congested(1);
         let config = RouterConfig::default(); // pitch 1: capacity 10
-        let (adjusted, report) = placement_feedback(
-            &layout,
-            &config,
-            FeedbackOptions::default(),
-        );
+        let (adjusted, report) = placement_feedback(&layout, &config, FeedbackOptions::default());
         assert!(report.converged);
         assert_eq!(report.iterations.len(), 1);
         assert_eq!(adjusted.bounds(), layout.bounds());
@@ -307,9 +309,13 @@ mod tests {
         let east = layout.cell_by_name("east").unwrap();
         let id = layout.add_net("probe");
         let t0 = layout.add_terminal(id, "on_cell");
-        layout.add_pin(t0, Pin::on_cell(east, Point::new(160, 60))).unwrap();
+        layout
+            .add_pin(t0, Pin::on_cell(east, Point::new(160, 60)))
+            .unwrap();
         let t1 = layout.add_terminal(id, "far");
-        layout.add_pin(t1, Pin::floating(Point::new(199, 60))).unwrap();
+        layout
+            .add_pin(t1, Pin::floating(Point::new(199, 60)))
+            .unwrap();
         let mut config = RouterConfig::default();
         config.wire_pitch(5);
         let (adjusted, report) = placement_feedback(&layout, &config, FeedbackOptions::default());
@@ -321,6 +327,9 @@ mod tests {
             .rect();
         let probe = adjusted.net_by_name("probe").unwrap();
         let pin = adjusted.net(probe).unwrap().terminals()[0].pins()[0];
-        assert!(east_rect.on_boundary(pin.position), "pin left its cell face");
+        assert!(
+            east_rect.on_boundary(pin.position),
+            "pin left its cell face"
+        );
     }
 }

@@ -148,7 +148,9 @@ mod tests {
         assert!(g.is_empty());
         assert!(!g.contains(Point::new(0, 0)));
         assert!(g.distance_to(Point::new(0, 0)) > 1_000_000);
-        assert!(g.stops_along_ray(Point::new(0, 0), Dir::East, 100).is_empty());
+        assert!(g
+            .stops_along_ray(Point::new(0, 0), Dir::East, 100)
+            .is_empty());
     }
 
     #[test]
@@ -188,20 +190,30 @@ mod tests {
     fn ray_stops_for_point_goals() {
         let g = GoalSet::from_point(Point::new(30, 99));
         // Eastward ray at y=0: alignment at x=30.
-        assert_eq!(g.stops_along_ray(Point::new(0, 0), Dir::East, 100), vec![30]);
+        assert_eq!(
+            g.stops_along_ray(Point::new(0, 0), Dir::East, 100),
+            vec![30]
+        );
         // Stops short of 30: no alignment.
-        assert!(g.stops_along_ray(Point::new(0, 0), Dir::East, 20).is_empty());
+        assert!(g
+            .stops_along_ray(Point::new(0, 0), Dir::East, 20)
+            .is_empty());
         // Westward from the right.
         assert_eq!(g.stops_along_ray(Point::new(50, 0), Dir::West, 0), vec![30]);
         // Behind the origin: nothing.
-        assert!(g.stops_along_ray(Point::new(40, 0), Dir::East, 100).is_empty());
+        assert!(g
+            .stops_along_ray(Point::new(40, 0), Dir::East, 100)
+            .is_empty());
     }
 
     #[test]
     fn ray_stops_for_goal_on_the_ray_line() {
         let g = GoalSet::from_point(Point::new(30, 0));
         // The goal is on the ray itself; the stop is the goal coordinate.
-        assert_eq!(g.stops_along_ray(Point::new(0, 0), Dir::East, 100), vec![30]);
+        assert_eq!(
+            g.stops_along_ray(Point::new(0, 0), Dir::East, 100),
+            vec![30]
+        );
     }
 
     #[test]

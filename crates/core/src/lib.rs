@@ -53,11 +53,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub mod congestion;
+mod batch;
 mod config;
-mod feedback;
+pub mod congestion;
 mod cost;
+mod engine;
 mod error;
+mod feedback;
 mod goal;
 mod net_router;
 mod route;
@@ -65,12 +67,14 @@ mod space;
 mod state;
 mod tree;
 
+pub use batch::{BatchConfig, BatchRouter};
 pub use config::RouterConfig;
 pub use cost::{bend_is_anchored, EdgeCoster};
+pub use engine::{EngineCaps, GridEngine, GridlessEngine, HightowerEngine, RoutingEngine};
 pub use error::RouteError;
 pub use feedback::{placement_feedback, FeedbackOptions, FeedbackReport, IterationRecord};
 pub use goal::GoalSet;
-pub use net_router::{GlobalRouter, GlobalRouting, NetRoute};
+pub use net_router::{GlobalRouter, GlobalRouting, NetRoute, TwoPassReport};
 pub use route::{route_from_tree, route_two_points, RoutedPath};
 pub use space::RoutingSpace;
 pub use state::RouteState;

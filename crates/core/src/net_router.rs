@@ -5,17 +5,21 @@
 //! the search since the only obstacles are the cells … Independent net
 //! routing also eliminates the problem of net ordering" — and implements
 //! the paper's two-pass congestion flow on top.
+//!
+//! Since the batch refactor, `GlobalRouter` is a thin compatibility
+//! wrapper over [`BatchRouter`](crate::BatchRouter) with the engine fixed
+//! to the paper's [`GridlessEngine`](crate::GridlessEngine); the growing,
+//! merging and two-pass logic lives in [`crate::batch`].
 
 use std::fmt;
 
 use gcr_geom::{Plane, Segment};
-use gcr_layout::{Layout, Net, NetId};
+use gcr_layout::{Layout, NetId};
 use gcr_search::SearchStats;
 
-use crate::congestion::{analyze, find_passages, CongestionAnalysis, CongestionPenalty};
-use crate::{
-    route_from_tree, EdgeCoster, GoalSet, RouteError, RouteTree, RoutedPath, RouterConfig,
-};
+use crate::congestion::{CongestionAnalysis, CongestionPenalty};
+use crate::engine::GridlessEngine;
+use crate::{BatchRouter, RouteError, RouteTree, RoutedPath, RouterConfig};
 
 /// The routing tree of one net, with per-connection detail.
 #[derive(Debug, Clone)]
@@ -131,12 +135,14 @@ pub struct TwoPassReport {
     pub rerouted: usize,
 }
 
-/// Routes the nets of a [`Layout`] over its cells.
+/// Routes the nets of a [`Layout`] over its cells with the paper's
+/// gridless engine.
+///
+/// Thin wrapper over [`BatchRouter`]; use `BatchRouter` directly to pick
+/// a different engine or to control scheduling.
 #[derive(Debug)]
 pub struct GlobalRouter<'a> {
-    layout: &'a Layout,
-    plane: Plane,
-    config: RouterConfig,
+    inner: BatchRouter<'a, GridlessEngine>,
 }
 
 impl<'a> GlobalRouter<'a> {
@@ -144,22 +150,20 @@ impl<'a> GlobalRouter<'a> {
     #[must_use]
     pub fn new(layout: &'a Layout, config: RouterConfig) -> GlobalRouter<'a> {
         GlobalRouter {
-            layout,
-            plane: layout.to_plane(),
-            config,
+            inner: BatchRouter::gridless(layout, config),
         }
     }
 
     /// The obstacle plane the router searches.
     #[must_use]
     pub fn plane(&self) -> &Plane {
-        &self.plane
+        self.inner.plane()
     }
 
     /// The active configuration.
     #[must_use]
     pub fn config(&self) -> &RouterConfig {
-        &self.config
+        self.inner.config()
     }
 
     /// Routes one net (no congestion surcharges).
@@ -168,7 +172,7 @@ impl<'a> GlobalRouter<'a> {
     ///
     /// See [`RouteError`].
     pub fn route_net(&self, id: NetId) -> Result<NetRoute, RouteError> {
-        self.route_net_with(id, None)
+        self.inner.route_net(id)
     }
 
     /// Routes one net, optionally under congestion penalties (pass 2).
@@ -188,7 +192,7 @@ impl<'a> GlobalRouter<'a> {
         id: NetId,
         penalty: Option<&CongestionPenalty>,
     ) -> Result<NetRoute, RouteError> {
-        self.grow_net(id, penalty, true)
+        self.inner.route_net_with(id, penalty)
     }
 
     /// Routes one net with the paper's strawman connection rule: the
@@ -202,111 +206,14 @@ impl<'a> GlobalRouter<'a> {
     ///
     /// See [`RouteError`].
     pub fn route_net_pin_tree(&self, id: NetId) -> Result<NetRoute, RouteError> {
-        self.grow_net(id, None, false)
-    }
-
-    fn grow_net(
-        &self,
-        id: NetId,
-        penalty: Option<&CongestionPenalty>,
-        segment_connections: bool,
-    ) -> Result<NetRoute, RouteError> {
-        let net: &Net = self
-            .layout
-            .net(id)
-            .ok_or(RouteError::NothingToRoute { what: format!("{id}") })?;
-        let terminals = net.terminals();
-        if terminals.len() < 2 {
-            return Err(RouteError::NothingToRoute { what: format!("net {}", net.name()) });
-        }
-        for pin in net.all_pins() {
-            if !self.plane.point_free(pin.position) {
-                return Err(RouteError::InvalidEndpoint { point: pin.position });
-            }
-        }
-        let coster = match penalty {
-            Some(p) => EdgeCoster::with_congestion(&self.plane, &self.config, p),
-            None => EdgeCoster::new(&self.plane, &self.config),
-        };
-
-        let mut tree = RouteTree::new();
-        for pin in terminals[0].pins() {
-            tree.add_point(pin.position);
-        }
-        let mut remaining: Vec<usize> = (1..terminals.len()).collect();
-        let mut connections = Vec::with_capacity(remaining.len());
-        let mut stats = SearchStats::default();
-
-        while !remaining.is_empty() {
-            let mut goals = GoalSet::new();
-            for &t in &remaining {
-                for pin in terminals[t].pins() {
-                    goals.add_point(pin.position);
-                }
-            }
-            let routed = if segment_connections {
-                route_from_tree(&self.plane, &tree, &goals, coster, &self.config)
-            } else {
-                // Strawman: seed only from connected pins/junction points.
-                let mut pin_tree = RouteTree::new();
-                for p in tree.points() {
-                    pin_tree.add_point(*p);
-                }
-                route_from_tree(&self.plane, &pin_tree, &goals, coster, &self.config)
-            }
-            .map_err(|e| match e {
-                    RouteError::Unreachable { .. } => RouteError::Unreachable {
-                        what: format!("net {}", net.name()),
-                    },
-                    RouteError::LimitExceeded { limit, .. } => RouteError::LimitExceeded {
-                        what: format!("net {}", net.name()),
-                        limit,
-                    },
-                    other => other,
-                })?;
-            let reached = routed.polyline.end();
-            let t = *remaining
-                .iter()
-                .find(|&&t| terminals[t].pins().iter().any(|p| p.position == reached))
-                .expect("search terminated on a goal pin");
-            tree.add_polyline(&routed.polyline);
-            for pin in terminals[t].pins() {
-                tree.add_point(pin.position);
-            }
-            remaining.retain(|&x| x != t);
-            stats.absorb(&routed.stats);
-            connections.push(routed);
-        }
-
-        Ok(NetRoute {
-            net: net.name().to_string(),
-            id,
-            connections,
-            tree,
-            stats,
-        })
+        self.inner.route_net_pin_tree(id)
     }
 
     /// Routes every net independently (pass 1). Failures are collected,
     /// not fatal.
     #[must_use]
     pub fn route_all(&self) -> GlobalRouting {
-        self.route_all_with(None)
-    }
-
-    fn route_all_with(&self, penalty: Option<&CongestionPenalty>) -> GlobalRouting {
-        let mut out = GlobalRouting::default();
-        for idx in 0..self.layout.nets().len() {
-            let id = self
-                .layout
-                .net_by_name(self.layout.nets()[idx].name())
-                .expect("net enumerated from the layout");
-            match self.route_net_with(id, penalty) {
-                Ok(r) => out.routes.push(r),
-                Err(e) => out.failures.push((id, e)),
-            }
-        }
-        out
+        self.inner.route_all()
     }
 
     /// The paper's two-pass congestion flow: route everything, measure
@@ -314,50 +221,7 @@ impl<'a> GlobalRouter<'a> {
     /// over-subscribed passages with those passages surcharged.
     #[must_use]
     pub fn route_two_pass(&self) -> TwoPassReport {
-        let first = self.route_all();
-        let passages = find_passages(&self.plane);
-        let collect = |routing: &GlobalRouting| {
-            routing
-                .routes
-                .iter()
-                .map(|r| (r.id.index(), r.segments().to_vec()))
-                .collect::<Vec<_>>()
-        };
-        let segs = collect(&first);
-        let before = analyze(
-            &passages,
-            segs.iter().map(|(i, s)| (*i, s.as_slice())),
-            self.config.wire_pitch,
-        );
-        let affected = before.affected_nets();
-        if affected.is_empty() {
-            let after = before.clone();
-            return TwoPassReport { routing: first, before, after, rerouted: 0 };
-        }
-        let penalty = before.penalty(self.config.congestion_weight);
-        let mut routing = GlobalRouting::default();
-        let mut rerouted = 0;
-        for r in &first.routes {
-            if affected.contains(&r.id.index()) {
-                match self.route_net_with(r.id, Some(&penalty)) {
-                    Ok(new_route) => {
-                        rerouted += 1;
-                        routing.routes.push(new_route);
-                    }
-                    Err(e) => routing.failures.push((r.id, e)),
-                }
-            } else {
-                routing.routes.push(r.clone());
-            }
-        }
-        routing.failures.extend(first.failures.iter().cloned());
-        let segs = collect(&routing);
-        let after = analyze(
-            &passages,
-            segs.iter().map(|(i, s)| (*i, s.as_slice())),
-            self.config.wire_pitch,
-        );
-        TwoPassReport { routing, before, after, rerouted }
+        self.inner.route_two_pass()
     }
 }
 
@@ -453,15 +317,24 @@ mod tests {
         let id = l.add_net("mp");
         // Terminal 0: single pin on cell a's east face.
         let t0 = l.add_terminal(id, "src");
-        l.add_pin(t0, Pin::on_cell(l.cell_by_name("a").unwrap(), Point::new(40, 50)))
-            .unwrap();
+        l.add_pin(
+            t0,
+            Pin::on_cell(l.cell_by_name("a").unwrap(), Point::new(40, 50)),
+        )
+        .unwrap();
         // Terminal 1: two equivalent pins on cell b; the west-face pin is
         // far closer than the east-face pin.
         let t1 = l.add_terminal(id, "dst");
-        l.add_pin(t1, Pin::on_cell(l.cell_by_name("b").unwrap(), Point::new(90, 70)))
-            .unwrap();
-        l.add_pin(t1, Pin::on_cell(l.cell_by_name("b").unwrap(), Point::new(50, 50)))
-            .unwrap();
+        l.add_pin(
+            t1,
+            Pin::on_cell(l.cell_by_name("b").unwrap(), Point::new(90, 70)),
+        )
+        .unwrap();
+        l.add_pin(
+            t1,
+            Pin::on_cell(l.cell_by_name("b").unwrap(), Point::new(50, 50)),
+        )
+        .unwrap();
         let router = GlobalRouter::new(&l, RouterConfig::default());
         let r = router.route_net(id).unwrap();
         assert_eq!(r.wire_length(), 10, "should use the west-face pin");
@@ -548,17 +421,16 @@ mod tests {
         // shortest routes all run through it, while a slightly longer
         // path around the outside exists.
         let mut l = Layout::new(Rect::new(0, 0, 200, 120).unwrap());
-        l.add_cell("a", Rect::new(40, 20, 95, 100).unwrap()).unwrap();
-        l.add_cell("b", Rect::new(105, 20, 160, 100).unwrap()).unwrap();
+        l.add_cell("a", Rect::new(40, 20, 95, 100).unwrap())
+            .unwrap();
+        l.add_cell("b", Rect::new(105, 20, 160, 100).unwrap())
+            .unwrap();
         for i in 0..4 {
             let x = 96 + i * 2; // pins near the alley mouth
             pin_net(
                 &mut l,
                 &format!("n{i}"),
-                &[
-                    ("-", Point::new(x, 0)),
-                    ("-", Point::new(x, 110)),
-                ],
+                &[("-", Point::new(x, 0)), ("-", Point::new(x, 110))],
             );
         }
         let mut config = RouterConfig::default();

@@ -1,7 +1,9 @@
 //! Point-to-point and tree-to-goal routing entry points.
 
 use gcr_geom::{Plane, Point, Polyline};
-use gcr_search::{astar_with_limits, Found, LexCost, PathCost, SearchLimits, SearchOutcome, SearchStats};
+use gcr_search::{
+    astar_with_limits, Found, LexCost, PathCost, SearchLimits, SearchOutcome, SearchStats,
+};
 
 use crate::{EdgeCoster, GoalSet, RouteError, RouteState, RouteTree, RouterConfig, RoutingSpace};
 
@@ -63,7 +65,9 @@ pub fn route_two_points(
     let goals = GoalSet::from_point(b);
     let sources = vec![(RouteState::source(a), LexCost::zero())];
     let coster = EdgeCoster::new(plane, config);
-    run(plane, &goals, sources, coster, config, || format!("{a} -> {b}"))
+    run(plane, &goals, sources, coster, config, || {
+        format!("{a} -> {b}")
+    })
 }
 
 /// Routes from an existing [`RouteTree`] (every segment a legal connection
@@ -85,10 +89,14 @@ pub fn route_from_tree(
     config: &RouterConfig,
 ) -> Result<RoutedPath, RouteError> {
     if tree.is_empty() || goals.is_empty() {
-        return Err(RouteError::NothingToRoute { what: "tree-to-goal connection".into() });
+        return Err(RouteError::NothingToRoute {
+            what: "tree-to-goal connection".into(),
+        });
     }
     let sources = tree.seeds(plane, goals);
-    run(plane, goals, sources, coster, config, || "tree-to-goal connection".into())
+    run(plane, goals, sources, coster, config, || {
+        "tree-to-goal connection".into()
+    })
 }
 
 fn run(
@@ -99,9 +107,10 @@ fn run(
     config: &RouterConfig,
     what: impl Fn() -> String,
 ) -> Result<RoutedPath, RouteError> {
-    let space =
-        RoutingSpace::new(plane, goals, sources, coster).with_hanan_walk(config.hanan_walk);
-    let limits = SearchLimits { max_expansions: config.max_expansions };
+    let space = RoutingSpace::new(plane, goals, sources, coster).with_hanan_walk(config.hanan_walk);
+    let limits = SearchLimits {
+        max_expansions: config.max_expansions,
+    };
     match astar_with_limits(&space, limits) {
         SearchOutcome::Found(Found { path, cost, stats }) => {
             let points: Vec<Point> = path.iter().map(|s| s.point).collect();
@@ -112,8 +121,15 @@ fn run(
                     .expect("search edges are axis-aligned and non-degenerate")
                     .simplified()
             };
-            debug_assert!(plane.polyline_free(&polyline), "router produced illegal wire");
-            Ok(RoutedPath { polyline, cost, stats })
+            debug_assert!(
+                plane.polyline_free(&polyline),
+                "router produced illegal wire"
+            );
+            Ok(RoutedPath {
+                polyline,
+                cost,
+                stats,
+            })
         }
         SearchOutcome::Exhausted(_) => Err(RouteError::Unreachable { what: what() }),
         SearchOutcome::LimitReached(_) => Err(RouteError::LimitExceeded {
@@ -280,13 +296,8 @@ mod tests {
         let plane = one_block();
         let mut config = RouterConfig::default();
         config.max_expansions(Some(1));
-        let err = route_two_points(
-            &plane,
-            Point::new(10, 50),
-            Point::new(90, 50),
-            &config,
-        )
-        .unwrap_err();
+        let err =
+            route_two_points(&plane, Point::new(10, 50), Point::new(90, 50), &config).unwrap_err();
         assert!(matches!(err, RouteError::LimitExceeded { limit: 1, .. }));
     }
 

@@ -55,7 +55,13 @@ impl<'a> RoutingSpace<'a> {
         sources: Vec<(RouteState, LexCost)>,
         coster: EdgeCoster<'a>,
     ) -> RoutingSpace<'a> {
-        RoutingSpace { plane, goals, sources, coster, hanan: None }
+        RoutingSpace {
+            plane,
+            goals,
+            sources,
+            coster,
+            hanan: None,
+        }
     }
 
     /// Switches successor generation to the Hanan-walk ablation (single
@@ -171,8 +177,8 @@ impl SearchSpace for RoutingSpace<'_> {
 mod tests {
     use super::*;
     use crate::RouterConfig;
-    use gcr_search::PathCost;
     use gcr_geom::{Dir, Point, Rect};
+    use gcr_search::PathCost;
 
     fn one_block() -> Plane {
         let mut p = Plane::new(Rect::new(0, 0, 100, 100).unwrap());

@@ -27,13 +27,19 @@ impl RouteState {
     /// A source state (no arrival direction).
     #[must_use]
     pub fn source(point: Point) -> RouteState {
-        RouteState { point, arrival: None }
+        RouteState {
+            point,
+            arrival: None,
+        }
     }
 
     /// A state reached by travelling `dir` into `point`.
     #[must_use]
     pub fn arrived(point: Point, dir: Dir) -> RouteState {
-        RouteState { point, arrival: Some(dir) }
+        RouteState {
+            point,
+            arrival: Some(dir),
+        }
     }
 
     /// Returns `true` if continuing in `dir` from this state would bend

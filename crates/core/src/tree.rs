@@ -191,12 +191,8 @@ mod tests {
     #[test]
     fn add_polyline_and_metrics() {
         let mut t = RouteTree::new();
-        let p = Polyline::new(vec![
-            Point::new(0, 0),
-            Point::new(10, 0),
-            Point::new(10, 5),
-        ])
-        .unwrap();
+        let p =
+            Polyline::new(vec![Point::new(0, 0), Point::new(10, 0), Point::new(10, 5)]).unwrap();
         t.add_polyline(&p);
         assert_eq!(t.segments().len(), 2);
         assert_eq!(t.wire_length(), 15);
@@ -258,12 +254,7 @@ mod tests {
     fn segments_by_axis_partitions() {
         let mut t = RouteTree::new();
         t.add_polyline(
-            &Polyline::new(vec![
-                Point::new(0, 0),
-                Point::new(10, 0),
-                Point::new(10, 5),
-            ])
-            .unwrap(),
+            &Polyline::new(vec![Point::new(0, 0), Point::new(10, 0), Point::new(10, 5)]).unwrap(),
         );
         let (h, v) = t.segments_by_axis();
         assert_eq!(h.len(), 1);

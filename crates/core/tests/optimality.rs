@@ -10,7 +10,6 @@
 use gcr_core::{route_two_points, RouteError, RouterConfig};
 use gcr_geom::{Plane, Point, Rect};
 use gcr_grid::{lee_moore, GridRouteError};
-use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -27,8 +26,8 @@ fn random_instance(seed: u64, max_blocks: usize) -> (Plane, Point, Point) {
         if placed.len() >= n {
             break;
         }
-        let w = rng.gen_range(4..20);
-        let h = rng.gen_range(4..20);
+        let w = rng.gen_range(4..20i64);
+        let h = rng.gen_range(4..20i64);
         let x = rng.gen_range(1..size - w);
         let y = rng.gen_range(1..size - h);
         let r = Rect::new(x, y, x + w, y + h).unwrap();
@@ -70,7 +69,10 @@ fn gridless_matches_lee_moore_on_500_random_instances() {
                     "seed {seed}: gridless {} vs lee-moore {} for {a} -> {b}",
                     g.cost.primary, r.length
                 );
-                assert!(plane.polyline_free(&g.polyline), "seed {seed}: illegal wire");
+                assert!(
+                    plane.polyline_free(&g.polyline),
+                    "seed {seed}: illegal wire"
+                );
                 compared += 1;
             }
             (Err(RouteError::Unreachable { .. }), Err(GridRouteError::Unreachable)) => {}
@@ -166,28 +168,41 @@ fn corner_penalty_never_lengthens_routes() {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-    #[test]
-    fn routes_are_legal_and_at_least_manhattan(seed in 0u64..100_000) {
+// Property sweeps (seeded loops; the environment has no proptest, so the
+// cases are drawn from the workspace's deterministic RNG instead).
+
+#[test]
+fn routes_are_legal_and_at_least_manhattan() {
+    let mut rng = StdRng::seed_from_u64(0x9a1e);
+    for case in 0..48 {
+        let seed = rng.gen_range(0..100_000u64);
         let (plane, a, b) = random_instance(seed, 8);
         if let Ok(g) = route_two_points(&plane, a, b, &RouterConfig::default()) {
-            prop_assert!(plane.polyline_free(&g.polyline));
-            prop_assert_eq!(g.polyline.start(), a);
-            prop_assert_eq!(g.polyline.end(), b);
-            prop_assert!(g.cost.primary >= a.manhattan(b));
-            prop_assert_eq!(g.cost.primary, g.polyline.length());
+            assert!(plane.polyline_free(&g.polyline), "case {case} seed {seed}");
+            assert_eq!(g.polyline.start(), a, "case {case} seed {seed}");
+            assert_eq!(g.polyline.end(), b, "case {case} seed {seed}");
+            assert!(g.cost.primary >= a.manhattan(b), "case {case} seed {seed}");
+            assert_eq!(
+                g.cost.primary,
+                g.polyline.length(),
+                "case {case} seed {seed}"
+            );
         }
     }
+}
 
-    #[test]
-    fn unobstructed_pairs_route_at_manhattan_distance(
-        ax in 0i64..60, ay in 0i64..60, bx in 0i64..60, by in 0i64..60,
-    ) {
-        let plane = Plane::new(Rect::new(0, 0, 60, 60).unwrap());
-        let (a, b) = (Point::new(ax, ay), Point::new(bx, by));
+#[test]
+fn unobstructed_pairs_route_at_manhattan_distance() {
+    let plane = Plane::new(Rect::new(0, 0, 60, 60).unwrap());
+    let mut rng = StdRng::seed_from_u64(0x51ab);
+    for case in 0..64 {
+        let a = Point::new(rng.gen_range(0..60i64), rng.gen_range(0..60i64));
+        let b = Point::new(rng.gen_range(0..60i64), rng.gen_range(0..60i64));
         let g = route_two_points(&plane, a, b, &RouterConfig::default()).unwrap();
-        prop_assert_eq!(g.cost.primary, a.manhattan(b));
-        prop_assert!(g.polyline.bends() <= 1, "open-plane route needs at most one bend");
+        assert_eq!(g.cost.primary, a.manhattan(b), "case {case}: {a} -> {b}");
+        assert!(
+            g.polyline.bends() <= 1,
+            "case {case}: open-plane route needs at most one bend"
+        );
     }
 }

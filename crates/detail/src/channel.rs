@@ -34,7 +34,10 @@ impl fmt::Display for ChannelError {
                 write!(f, "net {net} appears in a single column")
             }
             ChannelError::CyclicConstraint => {
-                write!(f, "vertical constraint graph is cyclic; doglegs would be required")
+                write!(
+                    f,
+                    "vertical constraint graph is cyclic; doglegs would be required"
+                )
             }
         }
     }
@@ -73,7 +76,11 @@ impl ChannelProblem {
             }
         }
         let net_count = nets.iter().max().map_or(0, |m| m + 1);
-        let problem = ChannelProblem { top, bottom, net_count };
+        let problem = ChannelProblem {
+            top,
+            bottom,
+            net_count,
+        };
         for n in nets {
             let cols = problem.columns_of(n);
             if cols.len() < 2 {
@@ -117,7 +124,10 @@ impl ChannelProblem {
                     (Some(&a), Some(&b)) => (a as i64, b as i64),
                     _ => (0, 0),
                 };
-                NetSpan { net: n, span: Interval::new(lo, hi).expect("sorted columns") }
+                NetSpan {
+                    net: n,
+                    span: Interval::new(lo, hi).expect("sorted columns"),
+                }
             })
             .collect()
     }

@@ -41,8 +41,7 @@ impl DoglegAssignment {
     /// The tracks of a given net's subnets, left to right.
     #[must_use]
     pub fn tracks_of(&self, net: usize) -> Vec<usize> {
-        let mut pieces: Vec<&Subnet> =
-            self.subnets.iter().filter(|s| s.net == net).collect();
+        let mut pieces: Vec<&Subnet> = self.subnets.iter().filter(|s| s.net == net).collect();
         pieces.sort_by_key(|s| s.span.lo());
         pieces.iter().map(|s| s.track).collect()
     }
@@ -118,8 +117,7 @@ pub fn dogleg_left_edge(problem: &ChannelProblem) -> Result<DoglegAssignment, Ch
                 // Adjacent subnets of the same net may share a track and
                 // touch at the split column; different nets must not touch.
                 Some((hi, net)) => {
-                    subnets[i].1.lo() > hi
-                        || (subnets[i].0 == net && subnets[i].1.lo() == hi)
+                    subnets[i].1.lo() > hi || (subnets[i].0 == net && subnets[i].1.lo() == hi)
                 }
             };
             if ok {

@@ -65,7 +65,10 @@ impl DetailReport {
     /// Total tracks over all channels.
     #[must_use]
     pub fn total_tracks(&self) -> usize {
-        self.assignments.iter().map(TrackAssignment::track_count).sum()
+        self.assignments
+            .iter()
+            .map(TrackAssignment::track_count)
+            .sum()
     }
 
     /// The widest channel (most tracks).
@@ -143,8 +146,7 @@ pub fn extract_channels(plane: &Plane, routing: &GlobalRouting) -> Vec<ChannelIn
 pub fn route_details(plane: &Plane, routing: &GlobalRouting) -> DetailReport {
     let start = Instant::now();
     let channels = extract_channels(plane, routing);
-    let assignments: Vec<TrackAssignment> =
-        channels.iter().map(|c| left_edge(&c.spans)).collect();
+    let assignments: Vec<TrackAssignment> = channels.iter().map(|c| left_edge(&c.spans)).collect();
     let layers: Vec<crate::NetLayers> = routing
         .routes
         .iter()
@@ -203,7 +205,10 @@ mod tests {
         let plane = l.to_plane();
         let report = route_details(&plane, &routing);
         assert!(report.channel_count() >= 1);
-        assert!(report.total_tracks() >= 3, "three parallel nets need tracks");
+        assert!(
+            report.total_tracks() >= 3,
+            "three parallel nets need tracks"
+        );
         assert!(report.max_tracks() >= 3);
         assert!(report.elapsed.as_nanos() > 0);
     }
@@ -237,6 +242,9 @@ mod tests {
         let alley = channels
             .iter()
             .find(|c| c.passage.rect == Rect::new(40, 20, 50, 80).unwrap());
-        assert!(alley.is_none(), "straight horizontal wire at y=10 avoids the alley");
+        assert!(
+            alley.is_none(),
+            "straight horizontal wire at y=10 avoids the alley"
+        );
     }
 }

@@ -102,10 +102,7 @@ mod tests {
     #[test]
     fn t_junction_gets_a_via() {
         // Trunk plus a stem landing mid-trunk.
-        let segs = [
-            Segment::horizontal(0, 0, 20),
-            Segment::vertical(10, 0, 9),
-        ];
+        let segs = [Segment::horizontal(0, 0, 20), Segment::vertical(10, 0, 9)];
         let layers = assign_layers(&segs);
         assert_eq!(layers.vias, vec![Point::new(10, 0)]);
     }
@@ -113,10 +110,7 @@ mod tests {
     #[test]
     fn crossing_of_same_net_reuses_one_via_point() {
         // A plus shape meeting at (5, 5).
-        let segs = [
-            Segment::horizontal(5, 0, 10),
-            Segment::vertical(5, 0, 10),
-        ];
+        let segs = [Segment::horizontal(5, 0, 10), Segment::vertical(5, 0, 10)];
         let layers = assign_layers(&segs);
         assert_eq!(layers.vias, vec![Point::new(5, 5)]);
     }

@@ -58,9 +58,9 @@ pub fn left_edge(spans: &[NetSpan]) -> TrackAssignment {
     for &i in &order {
         let mut placed = false;
         for (t, members) in tracks.iter_mut().enumerate() {
-            let conflict = members.iter().any(|&j| {
-                spans[j].net != spans[i].net && spans[j].span.touches(&spans[i].span)
-            });
+            let conflict = members
+                .iter()
+                .any(|&j| spans[j].net != spans[i].net && spans[j].span.touches(&spans[i].span));
             if !conflict {
                 members.push(i);
                 track_of[i] = t;
@@ -122,7 +122,10 @@ pub fn constrained_left_edge(problem: &ChannelProblem) -> Result<TrackAssignment
         }
         tracks.push(track);
     }
-    Ok(TrackAssignment { tracks, track_of: track_of_net })
+    Ok(TrackAssignment {
+        tracks,
+        track_of: track_of_net,
+    })
 }
 
 #[cfg(test)]
@@ -131,7 +134,10 @@ mod tests {
 
     fn spans(list: &[(usize, i64, i64)]) -> Vec<NetSpan> {
         list.iter()
-            .map(|&(net, lo, hi)| NetSpan { net, span: Interval::new(lo, hi).unwrap() })
+            .map(|&(net, lo, hi)| NetSpan {
+                net,
+                span: Interval::new(lo, hi).unwrap(),
+            })
             .collect()
     }
 

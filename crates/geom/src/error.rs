@@ -71,7 +71,9 @@ mod tests {
             GeomError::EmptyExtent { min: 5, max: 1 },
             GeomError::NotAxisAligned,
             GeomError::InvalidPolyline { index: 3 },
-            GeomError::InvalidPolygon { reason: "too few vertices" },
+            GeomError::InvalidPolygon {
+                reason: "too few vertices",
+            },
         ];
         for e in errors {
             let msg = e.to_string();

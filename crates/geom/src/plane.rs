@@ -138,7 +138,12 @@ impl TopoIndex {
         xmax.sort_unstable();
         ymin.sort_unstable();
         ymax.sort_unstable();
-        TopoIndex { xmin, xmax, ymin, ymax }
+        TopoIndex {
+            xmin,
+            xmax,
+            ymin,
+            ymax,
+        }
     }
 
     /// Entry-face list for rays travelling along `axis` in the positive or
@@ -284,9 +289,7 @@ impl Plane {
         let span = Interval::spanning(a.coord(axis), b.coord(axis))
             .expect("coordinates validated by in_bounds");
         !self.rects.iter().any(|(r, _)| {
-            !r.is_degenerate()
-                && r.span(perp).contains_open(w)
-                && r.span(axis).overlaps_open(&span)
+            !r.is_degenerate() && r.span(perp).contains_open(w) && r.span(axis).overlaps_open(&span)
         })
     }
 
@@ -464,7 +467,11 @@ impl Plane {
                         debug_assert!(ahead(c), "sliced range must be ahead");
                         let (r, id) = &self.rects[ri as usize];
                         if let Some(side) = classify(r) {
-                            out.push(CornerCandidate { at: c, obstacle: *id, side });
+                            out.push(CornerCandidate {
+                                at: c,
+                                obstacle: *id,
+                                side,
+                            });
                         }
                     }
                 }
@@ -475,7 +482,11 @@ impl Plane {
                     let m = r.span(axis);
                     for c in [m.lo(), m.hi()] {
                         if ahead(c) {
-                            out.push(CornerCandidate { at: c, obstacle: *id, side });
+                            out.push(CornerCandidate {
+                                at: c,
+                                obstacle: *id,
+                                side,
+                            });
                         }
                     }
                 }
@@ -485,7 +496,11 @@ impl Plane {
             out.sort_by_key(|c| (c.at, c.side == TurnSide::Negative, c.obstacle));
         } else {
             out.sort_by_key(|c| {
-                (std::cmp::Reverse(c.at), c.side == TurnSide::Negative, c.obstacle)
+                (
+                    std::cmp::Reverse(c.at),
+                    c.side == TurnSide::Negative,
+                    c.obstacle,
+                )
             });
         }
         out.dedup_by_key(|c| (c.at, c.side));
@@ -536,8 +551,7 @@ impl fmt::Display for Plane {
         write!(
             f,
             "plane {} with {} obstacle(s)",
-            self.bounds,
-            self.obstacle_count
+            self.bounds, self.obstacle_count
         )
     }
 }
@@ -585,39 +599,102 @@ mod tests {
     fn ray_hits_block_face() {
         let (p, id) = plane_one_block();
         let hit = p.ray_hit(Point::new(0, 50), Dir::East);
-        assert_eq!(hit, RayHit { stop: 30, blocker: Some(id), distance: 30 });
+        assert_eq!(
+            hit,
+            RayHit {
+                stop: 30,
+                blocker: Some(id),
+                distance: 30
+            }
+        );
         let hit = p.ray_hit(Point::new(100, 50), Dir::West);
-        assert_eq!(hit, RayHit { stop: 70, blocker: Some(id), distance: 30 });
+        assert_eq!(
+            hit,
+            RayHit {
+                stop: 70,
+                blocker: Some(id),
+                distance: 30
+            }
+        );
         let hit = p.ray_hit(Point::new(50, 0), Dir::North);
-        assert_eq!(hit, RayHit { stop: 30, blocker: Some(id), distance: 30 });
+        assert_eq!(
+            hit,
+            RayHit {
+                stop: 30,
+                blocker: Some(id),
+                distance: 30
+            }
+        );
         let hit = p.ray_hit(Point::new(50, 100), Dir::South);
-        assert_eq!(hit, RayHit { stop: 70, blocker: Some(id), distance: 30 });
+        assert_eq!(
+            hit,
+            RayHit {
+                stop: 70,
+                blocker: Some(id),
+                distance: 30
+            }
+        );
     }
 
     #[test]
     fn ray_reaches_boundary_when_clear() {
         let (p, _) = plane_one_block();
         let hit = p.ray_hit(Point::new(0, 10), Dir::East);
-        assert_eq!(hit, RayHit { stop: 100, blocker: None, distance: 100 });
+        assert_eq!(
+            hit,
+            RayHit {
+                stop: 100,
+                blocker: None,
+                distance: 100
+            }
+        );
         // Along the face line: hugging, not blocked.
         let hit = p.ray_hit(Point::new(0, 30), Dir::East);
-        assert_eq!(hit, RayHit { stop: 100, blocker: None, distance: 100 });
+        assert_eq!(
+            hit,
+            RayHit {
+                stop: 100,
+                blocker: None,
+                distance: 100
+            }
+        );
     }
 
     #[test]
     fn ray_from_face_moving_inward_stops_immediately() {
         let (p, id) = plane_one_block();
         let hit = p.ray_hit(Point::new(30, 50), Dir::East);
-        assert_eq!(hit, RayHit { stop: 30, blocker: Some(id), distance: 0 });
+        assert_eq!(
+            hit,
+            RayHit {
+                stop: 30,
+                blocker: Some(id),
+                distance: 0
+            }
+        );
         let hit = p.ray_hit(Point::new(70, 50), Dir::West);
-        assert_eq!(hit, RayHit { stop: 70, blocker: Some(id), distance: 0 });
+        assert_eq!(
+            hit,
+            RayHit {
+                stop: 70,
+                blocker: Some(id),
+                distance: 0
+            }
+        );
     }
 
     #[test]
     fn ray_from_face_moving_away_is_clear() {
         let (p, _) = plane_one_block();
         let hit = p.ray_hit(Point::new(30, 50), Dir::West);
-        assert_eq!(hit, RayHit { stop: 0, blocker: None, distance: 30 });
+        assert_eq!(
+            hit,
+            RayHit {
+                stop: 0,
+                blocker: None,
+                distance: 30
+            }
+        );
     }
 
     #[test]
@@ -699,7 +776,10 @@ mod tests {
         let east_side = p.add_obstacle(Rect::new(60, 20, 80, 40).unwrap());
         let cands = p.corner_candidates(Point::new(50, 0), Dir::North, 100);
         let ats: Vec<(Coord, TurnSide)> = cands.iter().map(|c| (c.at, c.side)).collect();
-        assert_eq!(ats, vec![(20, TurnSide::Positive), (40, TurnSide::Positive)]);
+        assert_eq!(
+            ats,
+            vec![(20, TurnSide::Positive), (40, TurnSide::Positive)]
+        );
         assert_eq!(cands[0].side.turn_dir(Axis::Y), Dir::East);
         assert_eq!(cands[0].obstacle, east_side);
     }
@@ -791,11 +871,7 @@ mod tests {
         ])
         .unwrap();
         assert!(p.polyline_free(&ok));
-        let bad = crate::Polyline::new(vec![
-            Point::new(0, 50),
-            Point::new(100, 50),
-        ])
-        .unwrap();
+        let bad = crate::Polyline::new(vec![Point::new(0, 50), Point::new(100, 50)]).unwrap();
         assert!(!p.polyline_free(&bad));
     }
 

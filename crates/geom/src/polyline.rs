@@ -79,10 +79,7 @@ impl Polyline {
     /// Total Manhattan length.
     #[must_use]
     pub fn length(&self) -> Coord {
-        self.points
-            .windows(2)
-            .map(|w| w[0].manhattan(w[1]))
-            .sum()
+        self.points.windows(2).map(|w| w[0].manhattan(w[1])).sum()
     }
 
     /// Number of 90° bends (collinear vertices are not bends).
@@ -164,7 +161,9 @@ impl Polyline {
     /// Returns [`GeomError::InvalidPolyline`] if `self.end() != other.start()`.
     pub fn join(&self, other: &Polyline) -> Result<Polyline, GeomError> {
         if self.end() != other.start() {
-            return Err(GeomError::InvalidPolyline { index: self.points.len() });
+            return Err(GeomError::InvalidPolyline {
+                index: self.points.len(),
+            });
         }
         let mut points = self.points.clone();
         points.extend_from_slice(&other.points[1..]);
@@ -252,10 +251,7 @@ mod tests {
         let p = pl(&[(0, 0), (5, 0), (5, 7)]);
         assert_eq!(
             p.segments(),
-            vec![
-                Segment::horizontal(0, 0, 5),
-                Segment::vertical(5, 0, 7),
-            ]
+            vec![Segment::horizontal(0, 0, 5), Segment::vertical(5, 0, 7),]
         );
     }
 

@@ -1,149 +1,196 @@
-//! Property-based tests for the geometry kernel.
+//! Property-based tests for the geometry kernel (seeded sweeps; the
+//! environment has no proptest, so cases are drawn from the workspace's
+//! deterministic RNG instead).
 
 use gcr_geom::{Axis, Dir, Interval, Plane, Point, Polyline, Rect, RectilinearPolygon, Segment};
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 const RANGE: i64 = 1_000;
+const CASES: usize = 128;
 
-fn arb_point() -> impl Strategy<Value = Point> {
-    (-RANGE..RANGE, -RANGE..RANGE).prop_map(|(x, y)| Point::new(x, y))
+fn point(rng: &mut StdRng) -> Point {
+    Point::new(rng.gen_range(-RANGE..RANGE), rng.gen_range(-RANGE..RANGE))
 }
 
-fn arb_rect() -> impl Strategy<Value = Rect> {
-    (arb_point(), arb_point())
-        .prop_map(|(a, b)| Rect::from_corners(a, b).expect("coords in range"))
+fn rect(rng: &mut StdRng) -> Rect {
+    Rect::from_corners(point(rng), point(rng)).expect("coords in range")
 }
 
-fn arb_interval() -> impl Strategy<Value = Interval> {
-    (-RANGE..RANGE, -RANGE..RANGE)
-        .prop_map(|(a, b)| Interval::spanning(a, b).expect("coords in range"))
+fn interval(rng: &mut StdRng) -> Interval {
+    Interval::spanning(rng.gen_range(-RANGE..RANGE), rng.gen_range(-RANGE..RANGE))
+        .expect("coords in range")
 }
 
-proptest! {
-    #[test]
-    fn manhattan_is_symmetric_and_triangle(a in arb_point(), b in arb_point(), c in arb_point()) {
-        prop_assert_eq!(a.manhattan(b), b.manhattan(a));
-        prop_assert!(a.manhattan(c) <= a.manhattan(b) + b.manhattan(c));
-        prop_assert_eq!(a.manhattan(a), 0);
+fn obstacle_plane(rng: &mut StdRng, max_blocks: usize) -> Plane {
+    let bounds = Rect::new(-RANGE, -RANGE, RANGE, RANGE).unwrap();
+    let mut plane = Plane::new(bounds);
+    let n = rng.gen_range(0..=max_blocks);
+    for _ in 0..n {
+        plane.add_obstacle(rect(rng));
     }
+    plane
+}
 
-    #[test]
-    fn step_distance_matches_manhattan(p in arb_point(), d in 0i64..500) {
+#[test]
+fn manhattan_is_symmetric_and_triangle() {
+    let mut rng = StdRng::seed_from_u64(1);
+    for _ in 0..CASES {
+        let (a, b, c) = (point(&mut rng), point(&mut rng), point(&mut rng));
+        assert_eq!(a.manhattan(b), b.manhattan(a));
+        assert!(a.manhattan(c) <= a.manhattan(b) + b.manhattan(c));
+        assert_eq!(a.manhattan(a), 0);
+    }
+}
+
+#[test]
+fn step_distance_matches_manhattan() {
+    let mut rng = StdRng::seed_from_u64(2);
+    for _ in 0..CASES {
+        let p = point(&mut rng);
+        let d = rng.gen_range(0i64..500);
         for dir in Dir::ALL {
-            prop_assert_eq!(p.manhattan(p.step(dir, d)), d);
+            assert_eq!(p.manhattan(p.step(dir, d)), d);
         }
     }
+}
 
-    #[test]
-    fn interval_intersect_is_commutative_and_contained(a in arb_interval(), b in arb_interval()) {
-        prop_assert_eq!(a.intersect(&b), b.intersect(&a));
+#[test]
+fn interval_intersect_is_commutative_and_contained() {
+    let mut rng = StdRng::seed_from_u64(3);
+    for _ in 0..CASES {
+        let (a, b) = (interval(&mut rng), interval(&mut rng));
+        assert_eq!(a.intersect(&b), b.intersect(&a));
         if let Some(i) = a.intersect(&b) {
-            prop_assert!(a.contains_interval(&i));
-            prop_assert!(b.contains_interval(&i));
-            prop_assert!(a.touches(&b));
+            assert!(a.contains_interval(&i));
+            assert!(b.contains_interval(&i));
+            assert!(a.touches(&b));
         } else {
-            prop_assert!(!a.touches(&b));
-            prop_assert!(a.gap_to(&b) > 0);
+            assert!(!a.touches(&b));
+            assert!(a.gap_to(&b) > 0);
         }
     }
+}
 
-    #[test]
-    fn interval_hull_contains_both(a in arb_interval(), b in arb_interval()) {
+#[test]
+fn interval_hull_contains_both() {
+    let mut rng = StdRng::seed_from_u64(4);
+    for _ in 0..CASES {
+        let (a, b) = (interval(&mut rng), interval(&mut rng));
         let h = a.hull(&b);
-        prop_assert!(h.contains_interval(&a));
-        prop_assert!(h.contains_interval(&b));
-        prop_assert!(h.len() <= a.len() + b.len() + a.gap_to(&b));
+        assert!(h.contains_interval(&a));
+        assert!(h.contains_interval(&b));
+        assert!(h.len() <= a.len() + b.len() + a.gap_to(&b));
     }
+}
 
-    #[test]
-    fn rect_intersection_inside_hull(a in arb_rect(), b in arb_rect()) {
+#[test]
+fn rect_intersection_inside_hull() {
+    let mut rng = StdRng::seed_from_u64(5);
+    for _ in 0..CASES {
+        let (a, b) = (rect(&mut rng), rect(&mut rng));
         let h = a.hull(&b);
-        prop_assert!(h.contains_rect(&a) && h.contains_rect(&b));
+        assert!(h.contains_rect(&a) && h.contains_rect(&b));
         if let Some(i) = a.intersect(&b) {
-            prop_assert!(a.contains_rect(&i) && b.contains_rect(&i));
+            assert!(a.contains_rect(&i) && b.contains_rect(&i));
         }
     }
+}
 
-    #[test]
-    fn rect_closest_point_is_inside_and_achieves_distance(r in arb_rect(), p in arb_point()) {
+#[test]
+fn rect_closest_point_is_inside_and_achieves_distance() {
+    let mut rng = StdRng::seed_from_u64(6);
+    for _ in 0..CASES {
+        let (r, p) = (rect(&mut rng), point(&mut rng));
         let q = r.closest_point_to(p);
-        prop_assert!(r.contains(q));
-        prop_assert_eq!(p.manhattan(q), r.manhattan_to_point(p));
+        assert!(r.contains(q));
+        assert_eq!(p.manhattan(q), r.manhattan_to_point(p));
         // No corner is closer than the reported distance.
         for c in r.corners() {
-            prop_assert!(p.manhattan(c) >= r.manhattan_to_point(p));
+            assert!(p.manhattan(c) >= r.manhattan_to_point(p));
         }
     }
+}
 
-    #[test]
-    fn segment_closest_point_lies_on_segment(p in arb_point(), a in arb_point(), dx in 0i64..500) {
+#[test]
+fn segment_closest_point_lies_on_segment() {
+    let mut rng = StdRng::seed_from_u64(7);
+    for _ in 0..CASES {
+        let (p, a) = (point(&mut rng), point(&mut rng));
+        let dx = rng.gen_range(0i64..500);
         let seg = Segment::horizontal(a.y, a.x, a.x + dx);
         let q = seg.closest_point_to(p);
-        prop_assert!(seg.contains(q));
-        prop_assert_eq!(p.manhattan(q), seg.manhattan_to_point(p));
+        assert!(seg.contains(q));
+        assert_eq!(p.manhattan(q), seg.manhattan_to_point(p));
     }
+}
 
-    #[test]
-    fn polyline_simplify_preserves_length_and_endpoints(
-        steps in prop::collection::vec((0usize..4, 1i64..20), 1..12),
-        origin in arb_point(),
-    ) {
+#[test]
+fn polyline_simplify_preserves_length_and_endpoints() {
+    let mut rng = StdRng::seed_from_u64(8);
+    for _ in 0..CASES {
+        let origin = point(&mut rng);
         let mut pts = vec![origin];
-        for (d, len) in steps {
-            let dir = Dir::ALL[d];
+        for _ in 0..rng.gen_range(1usize..12) {
+            let dir = Dir::ALL[rng.gen_range(0usize..4)];
+            let len = rng.gen_range(1i64..20);
             let last = *pts.last().unwrap();
             let next = last.step(dir, len);
             if next != last {
                 pts.push(next);
             }
         }
-        prop_assume!(pts.len() >= 2);
+        if pts.len() < 2 {
+            continue;
+        }
         if let Ok(p) = Polyline::new(pts) {
             let s = p.simplified();
-            prop_assert_eq!(s.length(), p.length());
-            prop_assert_eq!(s.start(), p.start());
-            prop_assert_eq!(s.end(), p.end());
-            prop_assert!(s.points().len() <= p.points().len());
+            assert_eq!(s.length(), p.length());
+            assert_eq!(s.start(), p.start());
+            assert_eq!(s.end(), p.end());
+            assert!(s.points().len() <= p.points().len());
             // Simplifying twice is idempotent.
-            prop_assert_eq!(s.simplified(), s.clone());
+            assert_eq!(s.simplified(), s.clone());
         }
     }
+}
 
-    #[test]
-    fn ray_hit_stop_is_free_and_maximal(
-        blocks in prop::collection::vec(arb_rect(), 0..8),
-        origin in arb_point(),
-    ) {
-        let bounds = Rect::new(-RANGE, -RANGE, RANGE, RANGE).unwrap();
-        let mut plane = Plane::new(bounds);
-        for b in blocks {
-            plane.add_obstacle(b);
+#[test]
+fn ray_hit_stop_is_free_and_maximal() {
+    let mut rng = StdRng::seed_from_u64(9);
+    for _ in 0..CASES {
+        let plane = obstacle_plane(&mut rng, 8);
+        let origin = point(&mut rng);
+        if !plane.point_free(origin) {
+            continue;
         }
-        prop_assume!(plane.point_free(origin));
         for dir in Dir::ALL {
             let hit = plane.ray_hit(origin, dir);
             let stop_point = origin.with_coord(dir.axis(), hit.stop);
             // The entire travelled segment is legal wire.
-            prop_assert!(plane.segment_free(origin, stop_point),
-                "ray {dir} from {origin} claims free travel to {stop_point}");
+            assert!(
+                plane.segment_free(origin, stop_point),
+                "ray {dir} from {origin} claims free travel to {stop_point}"
+            );
             // One more unit would be illegal (obstacle interior or bounds).
             let beyond = stop_point.step(dir, 1);
-            prop_assert!(!plane.segment_free(origin, beyond),
-                "ray {dir} from {origin} stopped early at {stop_point}");
+            assert!(
+                !plane.segment_free(origin, beyond),
+                "ray {dir} from {origin} stopped early at {stop_point}"
+            );
         }
     }
+}
 
-    #[test]
-    fn corner_candidates_are_within_ray_extent(
-        blocks in prop::collection::vec(arb_rect(), 0..8),
-        origin in arb_point(),
-    ) {
-        let bounds = Rect::new(-RANGE, -RANGE, RANGE, RANGE).unwrap();
-        let mut plane = Plane::new(bounds);
-        for b in blocks {
-            plane.add_obstacle(b);
+#[test]
+fn corner_candidates_are_within_ray_extent() {
+    let mut rng = StdRng::seed_from_u64(10);
+    for _ in 0..CASES {
+        let plane = obstacle_plane(&mut rng, 8);
+        let origin = point(&mut rng);
+        if !plane.point_free(origin) {
+            continue;
         }
-        prop_assume!(plane.point_free(origin));
         for dir in Dir::ALL {
             let hit = plane.ray_hit(origin, dir);
             let u0 = origin.coord(dir.axis());
@@ -151,89 +198,76 @@ proptest! {
             let mut last_distance = -1i64;
             for c in &cands {
                 let d = (c.at - u0).abs();
-                prop_assert!(d > 0, "candidate at the origin");
-                prop_assert!(d <= hit.distance, "candidate beyond the hit point");
-                prop_assert!(d >= last_distance, "candidates not sorted by distance");
+                assert!(d > 0, "candidate at the origin");
+                assert!(d <= hit.distance, "candidate beyond the hit point");
+                assert!(d >= last_distance, "candidates not sorted by distance");
                 last_distance = d;
                 // The candidate point lies on legal wire.
                 let cp = origin.with_coord(dir.axis(), c.at);
-                prop_assert!(plane.point_free(cp));
+                assert!(plane.point_free(cp));
             }
-        }
-    }
-
-    #[test]
-    fn segment_free_agrees_with_unit_walk(
-        blocks in prop::collection::vec(arb_rect(), 0..6),
-        origin in arb_point(),
-        len in 0i64..60,
-    ) {
-        let bounds = Rect::new(-RANGE, -RANGE, RANGE, RANGE).unwrap();
-        let mut plane = Plane::new(bounds);
-        for b in blocks {
-            plane.add_obstacle(b);
-        }
-        for dir in Dir::ALL {
-            let target = origin.step(dir, len);
-            let free = plane.segment_free(origin, target);
-            // Walking point by point: free iff every midpoint of every unit
-            // sub-segment avoids interiors. A unit segment [u, u+1] meets an
-            // open interior iff some obstacle's open span overlaps it, which
-            // for integer coordinates equals: both endpoints inside the
-            // closed rect and at least one strictly inside on the moving
-            // axis. Easier: check the interval-based predicate against a
-            // brute-force scan of obstacle slabs.
-            let brute = brute_segment_free(&plane, origin, target);
-            prop_assert_eq!(free, brute, "disagree for {} -> {}", origin, target);
         }
     }
 }
 
-proptest! {
-    /// The topological index must answer every query identically to the
-    /// linear scan — ray hits, corner candidates and segment checks.
-    #[test]
-    fn indexed_plane_agrees_with_linear_scan(
-        blocks in prop::collection::vec(arb_rect(), 0..10),
-        origin in arb_point(),
-        target in arb_point(),
-    ) {
-        let bounds = Rect::new(-RANGE, -RANGE, RANGE, RANGE).unwrap();
-        let mut naive = Plane::new(bounds);
-        for b in &blocks {
-            naive.add_obstacle(*b);
+#[test]
+fn segment_free_agrees_with_unit_walk() {
+    let mut rng = StdRng::seed_from_u64(11);
+    for _ in 0..CASES {
+        let plane = obstacle_plane(&mut rng, 6);
+        let origin = point(&mut rng);
+        let len = rng.gen_range(0i64..60);
+        for dir in Dir::ALL {
+            let target = origin.step(dir, len);
+            let free = plane.segment_free(origin, target);
+            // Check the interval-based predicate against a brute-force
+            // scan of obstacle slabs.
+            let brute = brute_segment_free(&plane, origin, target);
+            assert_eq!(free, brute, "disagree for {origin} -> {target}");
         }
+    }
+}
+
+/// The topological index must answer every query identically to the
+/// linear scan — ray hits, corner candidates and segment checks.
+#[test]
+fn indexed_plane_agrees_with_linear_scan() {
+    let mut rng = StdRng::seed_from_u64(12);
+    for _ in 0..CASES {
+        let naive = obstacle_plane(&mut rng, 10);
+        let origin = point(&mut rng);
+        let target = point(&mut rng);
         let mut indexed = naive.clone();
         indexed.build_index();
-        prop_assert!(indexed.has_index() && !naive.has_index());
+        assert!(indexed.has_index() && !naive.has_index());
 
         if naive.point_free(origin) {
             for dir in Dir::ALL {
                 let a = naive.ray_hit(origin, dir);
                 let b = indexed.ray_hit(origin, dir);
-                prop_assert_eq!(a, b, "ray {} from {}", dir, origin);
+                assert_eq!(a, b, "ray {dir} from {origin}");
                 let ca = naive.corner_candidates(origin, dir, a.stop);
                 let cb = indexed.corner_candidates(origin, dir, b.stop);
-                prop_assert_eq!(&ca, &cb, "candidates {} from {}", dir, origin);
+                assert_eq!(&ca, &cb, "candidates {dir} from {origin}");
                 // A shorter stop must agree too.
                 let mid = (origin.coord(dir.axis()) + a.stop) / 2;
                 let ca = naive.corner_candidates(origin, dir, mid);
                 let cb = indexed.corner_candidates(origin, dir, mid);
-                prop_assert_eq!(&ca, &cb, "clipped candidates {} from {}", dir, origin);
+                assert_eq!(&ca, &cb, "clipped candidates {dir} from {origin}");
             }
         }
         // segment_free agrees regardless of endpoint legality.
         let aligned = Point::new(target.x, origin.y);
-        prop_assert_eq!(
+        assert_eq!(
             naive.segment_free(origin, aligned),
             indexed.segment_free(origin, aligned)
         );
         let aligned = Point::new(origin.x, target.y);
-        prop_assert_eq!(
+        assert_eq!(
             naive.segment_free(origin, aligned),
             indexed.segment_free(origin, aligned)
         );
-        prop_assert_eq!(naive.point_free(target), indexed.point_free(target));
+        assert_eq!(naive.point_free(target), indexed.point_free(target));
     }
 }
 

@@ -21,11 +21,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::collections::BTreeSet;
 use std::error::Error;
 use std::fmt;
 
 use gcr_geom::{Coord, Plane, Point, Polyline};
-use gcr_search::{astar, breadth_first, Found, SearchSpace, SearchStats};
+use gcr_search::{
+    astar, astar_with_limits, breadth_first, Found, SearchLimits, SearchOutcome, SearchSpace,
+    SearchStats, ZeroHeuristic,
+};
 
 /// A uniform routing grid over a plane, spacing = wire pitch.
 ///
@@ -56,7 +60,13 @@ impl<'a> RoutingGrid<'a> {
         let origin = Point::new(b.xmin(), b.ymin());
         let nx = (b.width() / pitch + 1) as i32;
         let ny = (b.height() / pitch + 1) as i32;
-        RoutingGrid { plane, origin, pitch, nx, ny }
+        RoutingGrid {
+            plane,
+            origin,
+            pitch,
+            nx,
+            ny,
+        }
     }
 
     /// Grid dimensions `(columns, rows)`.
@@ -133,6 +143,13 @@ pub enum GridRouteError {
     },
     /// No grid path exists between the endpoints.
     Unreachable,
+    /// A multi-point route was asked for with no sources or no goals.
+    NothingToRoute,
+    /// The per-call expansion limit was exceeded.
+    LimitExceeded {
+        /// The limit that was hit.
+        limit: usize,
+    },
 }
 
 impl fmt::Display for GridRouteError {
@@ -145,6 +162,15 @@ impl fmt::Display for GridRouteError {
                 write!(f, "endpoint {point} is not a legal wire position")
             }
             GridRouteError::Unreachable => write!(f, "no grid path exists"),
+            GridRouteError::NothingToRoute => {
+                write!(
+                    f,
+                    "multi-point grid route needs at least one source and one goal"
+                )
+            }
+            GridRouteError::LimitExceeded { limit } => {
+                write!(f, "grid search expansion limit {limit} exceeded")
+            }
         }
     }
 }
@@ -220,7 +246,12 @@ fn route_on_grid(
     if !grid.usable(goal) {
         return Err(GridRouteError::InvalidEndpoint { point: b });
     }
-    let space = GridSpace { grid: &grid, start, goal, use_heuristic: informed };
+    let space = GridSpace {
+        grid: &grid,
+        start,
+        goal,
+        use_heuristic: informed,
+    };
     let found: Option<Found<(i32, i32), i64>> = if informed {
         astar(&space)
     } else {
@@ -277,6 +308,141 @@ pub fn grid_astar(
     pitch: Coord,
 ) -> Result<GridRoute, GridRouteError> {
     route_on_grid(plane, a, b, pitch, true)
+}
+
+/// The multi-source / multi-goal grid problem: start the wavefront from
+/// every source at cost 0, terminate on any goal node. This is what lets
+/// the grid baseline drive the same tree-growing net router as the
+/// gridless engine (every connection step is sources = the partial tree,
+/// goals = the unconnected pins).
+struct MultiGridSpace<'a> {
+    grid: &'a RoutingGrid<'a>,
+    starts: Vec<(i32, i32)>,
+    goals: BTreeSet<(i32, i32)>,
+    goal_points: Vec<Point>,
+    use_heuristic: bool,
+}
+
+impl SearchSpace for MultiGridSpace<'_> {
+    type State = (i32, i32);
+    type Cost = i64;
+
+    fn start_states(&self) -> Vec<((i32, i32), i64)> {
+        self.starts.iter().map(|&s| (s, 0)).collect()
+    }
+
+    fn successors(&self, s: &(i32, i32), out: &mut Vec<((i32, i32), i64)>) {
+        for (dx, dy) in [(1, 0), (-1, 0), (0, 1), (0, -1)] {
+            let n = (s.0 + dx, s.1 + dy);
+            if self.grid.edge_usable(*s, n) {
+                out.push((n, self.grid.pitch()));
+            }
+        }
+    }
+
+    fn is_goal(&self, s: &(i32, i32)) -> bool {
+        self.goals.contains(s)
+    }
+
+    fn heuristic(&self, s: &(i32, i32)) -> i64 {
+        if self.use_heuristic {
+            let p = self.grid.point(*s);
+            self.goal_points
+                .iter()
+                .map(|g| p.manhattan(*g))
+                .min()
+                .unwrap_or(0)
+        } else {
+            0
+        }
+    }
+}
+
+/// Routes from the nearest of `sources` to the nearest of `goals` on the
+/// grid (multi-source, multi-goal). With `informed` the Manhattan
+/// minimum-over-goals heuristic is used (admissible); otherwise the
+/// search is blind (ĥ = 0, the Lee–Moore regime — run through the same
+/// bounded engine so `max_expansions` applies, which on the uniform grid
+/// returns the same minimal lengths as the classic wavefront).
+///
+/// Sources and goals are deduplicated; the search is deterministic
+/// (sources are seeded in sorted grid order, ties broken by the engine's
+/// sequence numbers). `max_expansions` bounds the search effort per call
+/// (`None` = unlimited).
+///
+/// # Errors
+///
+/// * [`GridRouteError::NothingToRoute`] for empty sources or goals,
+/// * [`GridRouteError::OffGrid`] / [`GridRouteError::InvalidEndpoint`]
+///   for illegal endpoints,
+/// * [`GridRouteError::Unreachable`] when no grid path exists,
+/// * [`GridRouteError::LimitExceeded`] when `max_expansions` is hit.
+pub fn route_multi(
+    plane: &Plane,
+    sources: &[Point],
+    goals: &[Point],
+    pitch: Coord,
+    informed: bool,
+    max_expansions: Option<usize>,
+) -> Result<GridRoute, GridRouteError> {
+    if sources.is_empty() || goals.is_empty() {
+        return Err(GridRouteError::NothingToRoute);
+    }
+    let grid = RoutingGrid::new(plane, pitch);
+    let mut starts: BTreeSet<(i32, i32)> = BTreeSet::new();
+    for &p in sources {
+        let node = grid.snap(p).ok_or(GridRouteError::OffGrid { point: p })?;
+        if !grid.usable(node) {
+            return Err(GridRouteError::InvalidEndpoint { point: p });
+        }
+        starts.insert(node);
+    }
+    let mut goal_nodes: BTreeSet<(i32, i32)> = BTreeSet::new();
+    let mut goal_points: Vec<Point> = Vec::new();
+    for &p in goals {
+        let node = grid.snap(p).ok_or(GridRouteError::OffGrid { point: p })?;
+        if !grid.usable(node) {
+            return Err(GridRouteError::InvalidEndpoint { point: p });
+        }
+        if goal_nodes.insert(node) {
+            goal_points.push(grid.point(node));
+        }
+    }
+    let space = MultiGridSpace {
+        grid: &grid,
+        starts: starts.into_iter().collect(),
+        goals: goal_nodes,
+        goal_points,
+        use_heuristic: informed,
+    };
+    let limits = SearchLimits { max_expansions };
+    let outcome = if informed {
+        astar_with_limits(&space, limits)
+    } else {
+        astar_with_limits(&ZeroHeuristic(&space), limits)
+    };
+    match outcome {
+        SearchOutcome::Found(Found { path, cost, stats }) => {
+            let points: Vec<Point> = path.into_iter().map(|n| grid.point(n)).collect();
+            let polyline = if points.len() == 1 {
+                Polyline::single(points[0])
+            } else {
+                Polyline::new(points)
+                    .expect("grid steps are axis-aligned")
+                    .simplified()
+            };
+            Ok(GridRoute {
+                polyline,
+                length: cost,
+                stats,
+                grid_nodes: grid.node_count(),
+            })
+        }
+        SearchOutcome::Exhausted(_) => Err(GridRouteError::Unreachable),
+        SearchOutcome::LimitReached(_) => Err(GridRouteError::LimitExceeded {
+            limit: max_expansions.unwrap_or(0),
+        }),
+    }
 }
 
 #[cfg(test)]
@@ -421,6 +587,82 @@ mod tests {
             lee_moore(&plane, Point::new(0, 0), Point::new(15, 15), 1),
             Err(GridRouteError::Unreachable)
         ));
+    }
+
+    #[test]
+    fn multi_route_picks_nearest_source_goal_pair() {
+        let plane = one_block();
+        // Sources on the left edge, goals on the right: the aligned pair
+        // (0,10) -> (60,10) clears the block and costs 60.
+        let sources = [Point::new(0, 50), Point::new(0, 10)];
+        let goals = [Point::new(60, 10), Point::new(60, 55)];
+        let r = route_multi(&plane, &sources, &goals, 1, true, None).unwrap();
+        assert_eq!(r.length, 60);
+        assert_eq!(r.polyline.start(), Point::new(0, 10));
+        assert_eq!(r.polyline.end(), Point::new(60, 10));
+        // Informed and blind agree on cost.
+        let blind = route_multi(&plane, &sources, &goals, 1, false, None).unwrap();
+        assert_eq!(blind.length, 60);
+    }
+
+    #[test]
+    fn multi_route_matches_single_route_for_one_pair() {
+        let plane = one_block();
+        let (a, b) = (Point::new(0, 30), Point::new(60, 30));
+        let single = grid_astar(&plane, a, b, 1).unwrap();
+        let multi = route_multi(&plane, &[a], &[b], 1, true, None).unwrap();
+        assert_eq!(single.length, multi.length);
+    }
+
+    #[test]
+    fn multi_route_error_cases() {
+        let plane = one_block();
+        assert!(matches!(
+            route_multi(&plane, &[], &[Point::new(0, 0)], 1, true, None),
+            Err(GridRouteError::NothingToRoute)
+        ));
+        assert!(matches!(
+            route_multi(&plane, &[Point::new(0, 0)], &[], 1, true, None),
+            Err(GridRouteError::NothingToRoute)
+        ));
+        assert!(matches!(
+            route_multi(
+                &plane,
+                &[Point::new(30, 30)],
+                &[Point::new(0, 0)],
+                1,
+                true,
+                None
+            ),
+            Err(GridRouteError::InvalidEndpoint { .. })
+        ));
+        assert!(matches!(
+            route_multi(
+                &plane,
+                &[Point::new(1, 1)],
+                &[Point::new(3, 3)],
+                2,
+                true,
+                None
+            ),
+            Err(GridRouteError::OffGrid { .. })
+        ));
+    }
+
+    #[test]
+    fn multi_route_enforces_expansion_limit() {
+        let plane = one_block();
+        let (a, b) = (Point::new(0, 30), Point::new(60, 30));
+        assert!(matches!(
+            route_multi(&plane, &[a], &[b], 1, true, Some(1)),
+            Err(GridRouteError::LimitExceeded { limit: 1 })
+        ));
+        assert!(matches!(
+            route_multi(&plane, &[a], &[b], 1, false, Some(1)),
+            Err(GridRouteError::LimitExceeded { limit: 1 })
+        ));
+        // Unlimited still routes.
+        assert!(route_multi(&plane, &[a], &[b], 1, true, None).is_ok());
     }
 
     #[test]

@@ -45,7 +45,10 @@ pub struct HightowerConfig {
 
 impl Default for HightowerConfig {
     fn default() -> HightowerConfig {
-        HightowerConfig { max_level: 30, max_lines: 4000 }
+        HightowerConfig {
+            max_level: 30,
+            max_lines: 4000,
+        }
     }
 }
 
@@ -74,7 +77,10 @@ impl fmt::Display for HightowerError {
                 write!(f, "endpoint {point} is not a legal wire position")
             }
             HightowerError::Exhausted { lines } => {
-                write!(f, "line probes exhausted after {lines} lines without meeting")
+                write!(
+                    f,
+                    "line probes exhausted after {lines} lines without meeting"
+                )
             }
         }
     }
@@ -157,6 +163,77 @@ pub fn hightower(
     })
 }
 
+/// Routes from the best of `sources` to the best of `goals` by trying
+/// endpoint pairs in ascending Manhattan-distance order (ties broken
+/// lexicographically, so the scan is deterministic) and returning the
+/// first pair the line probes connect.
+///
+/// This is how the incomplete line-probe baseline participates in the
+/// multi-terminal tree-growing pipeline: it has no native multi-source
+/// search, so the driver enumerates pairs, capped at `max_pairs` probes
+/// to keep the quick-first-try character ("some routers use Hightower's
+/// algorithm for a quick first try").
+///
+/// # Errors
+///
+/// * [`HightowerError::InvalidEndpoint`] if **every** source or every
+///   goal is illegal (individual illegal endpoints are skipped),
+/// * [`HightowerError::Exhausted`] when no tried pair connects.
+pub fn hightower_multi(
+    plane: &Plane,
+    sources: &[Point],
+    goals: &[Point],
+    config: &HightowerConfig,
+    max_pairs: usize,
+) -> Result<HightowerRoute, HightowerError> {
+    let legal = |pts: &[Point]| -> Vec<Point> {
+        let mut v: Vec<Point> = pts
+            .iter()
+            .copied()
+            .filter(|p| plane.point_free(*p))
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    };
+    let srcs = legal(sources);
+    let dsts = legal(goals);
+    if srcs.is_empty() {
+        return Err(HightowerError::InvalidEndpoint {
+            point: sources.first().copied().unwrap_or(Point::new(0, 0)),
+        });
+    }
+    if dsts.is_empty() {
+        return Err(HightowerError::InvalidEndpoint {
+            point: goals.first().copied().unwrap_or(Point::new(0, 0)),
+        });
+    }
+    let mut pairs: Vec<(Coord, Point, Point)> = srcs
+        .iter()
+        .flat_map(|&s| dsts.iter().map(move |&g| (s.manhattan(g), s, g)))
+        .collect();
+    // Only the closest `max_pairs` pairs are ever probed, so select
+    // them (O(n)) before sorting — the pair list is |srcs|·|dsts| and
+    // a full sort of it would dominate on large trees. Tuples are
+    // unique, so the selected set (and thus the probe order) is
+    // deterministic.
+    let cap = max_pairs.clamp(1, pairs.len());
+    if cap < pairs.len() {
+        pairs.select_nth_unstable(cap - 1);
+        pairs.truncate(cap);
+    }
+    pairs.sort_unstable();
+    let mut lines = 0usize;
+    for &(_, s, g) in &pairs {
+        match hightower(plane, s, g, config) {
+            Ok(route) => return Ok(route),
+            Err(HightowerError::Exhausted { lines: l }) => lines += l,
+            Err(HightowerError::InvalidEndpoint { .. }) => unreachable!("endpoints pre-filtered"),
+        }
+    }
+    Err(HightowerError::Exhausted { lines })
+}
+
 /// One side (source or target) of the probe process.
 struct Side<'a> {
     plane: &'a Plane,
@@ -198,7 +275,12 @@ impl<'a> Side<'a> {
             return false;
         }
         let seg = self.maximal_line(p, axis);
-        self.lines.push(ProbeLine { seg, through: p, parent, level });
+        self.lines.push(ProbeLine {
+            seg,
+            through: p,
+            parent,
+            level,
+        });
         true
     }
 
@@ -275,14 +357,13 @@ impl<'a> Side<'a> {
 fn meet(s: &Side<'_>, t: &Side<'_>) -> Option<HightowerRoute> {
     for (si, sl) in s.lines.iter().enumerate() {
         for (ti, tl) in t.lines.iter().enumerate() {
-            let hit = sl
-                .seg
-                .crossing(&tl.seg)
-                .or_else(|| {
-                    // Collinear overlap: meet at the overlap point nearest
-                    // the source-line spawn point.
-                    sl.seg.collinear_overlap(&tl.seg).map(|o| o.closest_point_to(sl.through))
-                });
+            let hit = sl.seg.crossing(&tl.seg).or_else(|| {
+                // Collinear overlap: meet at the overlap point nearest
+                // the source-line spawn point.
+                sl.seg
+                    .collinear_overlap(&tl.seg)
+                    .map(|o| o.closest_point_to(sl.through))
+            });
             if let Some(x) = hit {
                 let mut points = s.backtrack(si, x);
                 points.reverse(); // origin .. x
@@ -332,8 +413,13 @@ mod tests {
     #[test]
     fn straight_connection_at_level_zero() {
         let plane = open_plane();
-        let r = hightower(&plane, Point::new(10, 50), Point::new(90, 50), &HightowerConfig::default())
-            .unwrap();
+        let r = hightower(
+            &plane,
+            Point::new(10, 50),
+            Point::new(90, 50),
+            &HightowerConfig::default(),
+        )
+        .unwrap();
         assert_eq!(r.polyline.length(), 80);
         assert_eq!(r.level, 0);
     }
@@ -341,8 +427,13 @@ mod tests {
     #[test]
     fn l_connection_at_level_zero() {
         let plane = open_plane();
-        let r = hightower(&plane, Point::new(10, 10), Point::new(90, 90), &HightowerConfig::default())
-            .unwrap();
+        let r = hightower(
+            &plane,
+            Point::new(10, 10),
+            Point::new(90, 90),
+            &HightowerConfig::default(),
+        )
+        .unwrap();
         // The horizontal line through s crosses the vertical line through t.
         assert_eq!(r.polyline.length(), 160);
         assert_eq!(r.level, 0);
@@ -351,9 +442,18 @@ mod tests {
     #[test]
     fn detours_around_a_block() {
         let plane = one_block();
-        let r = hightower(&plane, Point::new(10, 50), Point::new(90, 50), &HightowerConfig::default())
-            .unwrap();
-        assert!(plane.polyline_free(&r.polyline), "illegal wire: {}", r.polyline);
+        let r = hightower(
+            &plane,
+            Point::new(10, 50),
+            Point::new(90, 50),
+            &HightowerConfig::default(),
+        )
+        .unwrap();
+        assert!(
+            plane.polyline_free(&r.polyline),
+            "illegal wire: {}",
+            r.polyline
+        );
         assert!(r.polyline.length() >= 120, "must detour: {}", r.polyline);
         assert_eq!(r.polyline.start(), Point::new(10, 50));
         assert_eq!(r.polyline.end(), Point::new(90, 50));
@@ -362,8 +462,13 @@ mod tests {
     #[test]
     fn identical_endpoints() {
         let plane = open_plane();
-        let r = hightower(&plane, Point::new(5, 5), Point::new(5, 5), &HightowerConfig::default())
-            .unwrap();
+        let r = hightower(
+            &plane,
+            Point::new(5, 5),
+            Point::new(5, 5),
+            &HightowerConfig::default(),
+        )
+        .unwrap();
         assert_eq!(r.polyline.length(), 0);
     }
 
@@ -371,7 +476,12 @@ mod tests {
     fn invalid_endpoints_rejected() {
         let plane = one_block();
         assert!(matches!(
-            hightower(&plane, Point::new(50, 50), Point::new(0, 0), &HightowerConfig::default()),
+            hightower(
+                &plane,
+                Point::new(50, 50),
+                Point::new(0, 0),
+                &HightowerConfig::default()
+            ),
             Err(HightowerError::InvalidEndpoint { .. })
         ));
     }
@@ -379,8 +489,13 @@ mod tests {
     #[test]
     fn deterministic_output() {
         let plane = one_block();
-        let r1 = hightower(&plane, Point::new(10, 40), Point::new(95, 60), &HightowerConfig::default())
-            .unwrap();
+        let r1 = hightower(
+            &plane,
+            Point::new(10, 40),
+            Point::new(95, 60),
+            &HightowerConfig::default(),
+        )
+        .unwrap();
         for _ in 0..3 {
             let r2 = hightower(
                 &plane,
@@ -405,12 +520,12 @@ mod tests {
         p.add_obstacle(Rect::new(96, 10, 100, 100).unwrap()); // right
         p.add_obstacle(Rect::new(10, 96, 100, 100).unwrap()); // top
         p.add_obstacle(Rect::new(10, 24, 14, 100).unwrap()); // left, gap at bottom (y 10..24)
-        // Second ring.
+                                                             // Second ring.
         p.add_obstacle(Rect::new(24, 24, 86, 28).unwrap()); // bottom
         p.add_obstacle(Rect::new(82, 24, 86, 86).unwrap()); // right, hmm keep
         p.add_obstacle(Rect::new(24, 82, 86, 86).unwrap()); // top
         p.add_obstacle(Rect::new(24, 38, 28, 86).unwrap()); // left, gap (y 24..38)
-        // Third ring.
+                                                            // Third ring.
         p.add_obstacle(Rect::new(38, 38, 72, 42).unwrap()); // bottom
         p.add_obstacle(Rect::new(68, 38, 72, 72).unwrap()); // right
         p.add_obstacle(Rect::new(38, 68, 72, 72).unwrap()); // top
@@ -423,14 +538,17 @@ mod tests {
         let plane = spiral_plane();
         let s = Point::new(5, 55);
         let t = Point::new(55, 55); // centre of the spiral
-        // The maze router finds the winding path.
+                                    // The maze router finds the winding path.
         let maze = gcr_grid::lee_moore(&plane, s, t, 1);
         assert!(maze.is_ok(), "maze search must solve the spiral");
         // Hightower with a small level budget gives up (the classic
         // failure the paper cites). With corner escapes it can sometimes
         // wind in given unlimited levels, so the budget models the
         // practical configuration.
-        let tight = HightowerConfig { max_level: 3, max_lines: 400 };
+        let tight = HightowerConfig {
+            max_level: 3,
+            max_lines: 400,
+        };
         let lp = hightower(&plane, s, t, &tight);
         assert!(
             lp.is_err(),
@@ -447,7 +565,10 @@ mod tests {
         let plane = spiral_plane();
         let s = Point::new(5, 55);
         let t = Point::new(55, 55);
-        let tight = HightowerConfig { max_level: 3, max_lines: 400 };
+        let tight = HightowerConfig {
+            max_level: 3,
+            max_lines: 400,
+        };
         let route_len = match hightower(&plane, s, t, &tight) {
             Ok(r) => r.polyline.length(),
             Err(_) => gcr_grid::lee_moore(&plane, s, t, 1).unwrap().length,
@@ -456,10 +577,45 @@ mod tests {
     }
 
     #[test]
+    fn multi_pair_prefers_the_closest_pair() {
+        let plane = open_plane();
+        let sources = [Point::new(10, 10), Point::new(10, 48)];
+        let goals = [Point::new(90, 90), Point::new(20, 50)];
+        let r = hightower_multi(&plane, &sources, &goals, &HightowerConfig::default(), 16).unwrap();
+        // Closest pair is (10,48) -> (20,50): length 12.
+        assert_eq!(r.polyline.length(), 12);
+    }
+
+    #[test]
+    fn multi_pair_skips_illegal_endpoints() {
+        let plane = one_block();
+        let sources = [Point::new(50, 50), Point::new(10, 50)]; // first inside block
+        let goals = [Point::new(90, 50)];
+        let r = hightower_multi(&plane, &sources, &goals, &HightowerConfig::default(), 16).unwrap();
+        assert_eq!(r.polyline.start(), Point::new(10, 50));
+        // All-illegal source set errors out.
+        assert!(matches!(
+            hightower_multi(
+                &plane,
+                &[Point::new(50, 50)],
+                &goals,
+                &HightowerConfig::default(),
+                16
+            ),
+            Err(HightowerError::InvalidEndpoint { .. })
+        ));
+    }
+
+    #[test]
     fn easy_cases_finish_with_few_lines() {
         let plane = one_block();
-        let r = hightower(&plane, Point::new(10, 50), Point::new(90, 50), &HightowerConfig::default())
-            .unwrap();
+        let r = hightower(
+            &plane,
+            Point::new(10, 50),
+            Point::new(90, 50),
+            &HightowerConfig::default(),
+        )
+        .unwrap();
         let grid = gcr_grid::lee_moore(&plane, Point::new(10, 50), Point::new(90, 50), 1).unwrap();
         assert!(
             r.lines < grid.stats.expanded / 10,

@@ -74,7 +74,10 @@ pub struct Cell {
 
 impl Cell {
     pub(crate) fn new(name: impl Into<String>, outline: CellOutline) -> Cell {
-        Cell { name: name.into(), outline }
+        Cell {
+            name: name.into(),
+            outline,
+        }
     }
 
     /// The cell's name (unique within a layout).

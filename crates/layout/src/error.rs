@@ -88,12 +88,20 @@ impl fmt::Display for LayoutError {
             LayoutError::DegenerateCell { cell } => {
                 write!(f, "cell {cell:?} has zero width or height")
             }
-            LayoutError::CellsTooClose { a, b, gap, required } => write!(
+            LayoutError::CellsTooClose {
+                a,
+                b,
+                gap,
+                required,
+            } => write!(
                 f,
                 "cells {a:?} and {b:?} are {gap} apart, need at least {required}"
             ),
             LayoutError::PinOffBoundary { cell, position } => {
-                write!(f, "pin at {position} is not on the boundary of cell {cell:?}")
+                write!(
+                    f,
+                    "pin at {position} is not on the boundary of cell {cell:?}"
+                )
             }
             LayoutError::PinUnroutable { position } => {
                 write!(f, "pin at {position} is outside bounds or inside a cell")

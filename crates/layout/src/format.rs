@@ -68,7 +68,15 @@ pub fn write(layout: &Layout) -> String {
     let mut out = String::new();
     let b = layout.bounds();
     writeln!(out, "gcl {VERSION}").expect("writing to String cannot fail");
-    writeln!(out, "bounds {} {} {} {}", b.xmin(), b.ymin(), b.xmax(), b.ymax()).unwrap();
+    writeln!(
+        out,
+        "bounds {} {} {} {}",
+        b.xmin(),
+        b.ymin(),
+        b.xmax(),
+        b.ymax()
+    )
+    .unwrap();
     writeln!(out, "spacing {}", layout.min_spacing()).unwrap();
     for cell in layout.cells() {
         match cell.outline() {
@@ -189,12 +197,13 @@ pub fn parse(text: &str) -> Result<Layout, ParseError> {
                     .ok_or_else(|| err(line_no, "polycell: missing name".into()))?;
                 let coords = ints(rest.len() - 1)?;
                 if coords.len() < 8 || coords.len() % 2 != 0 {
-                    return Err(err(line_no, "polycell: need an even number (>=8) of coordinates".into()));
+                    return Err(err(
+                        line_no,
+                        "polycell: need an even number (>=8) of coordinates".into(),
+                    ));
                 }
-                let vertices: Vec<Point> = coords
-                    .chunks(2)
-                    .map(|c| Point::new(c[0], c[1]))
-                    .collect();
+                let vertices: Vec<Point> =
+                    coords.chunks(2).map(|c| Point::new(c[0], c[1])).collect();
                 let poly = RectilinearPolygon::new(vertices).map_err(geo(line_no))?;
                 l.add_polygon_cell(name, poly).map_err(lay(line_no))?;
             }
@@ -249,7 +258,10 @@ pub fn parse(text: &str) -> Result<Layout, ParseError> {
             }
         }
     }
-    layout.ok_or_else(|| ParseError { line: 0, message: "missing bounds".into() })
+    layout.ok_or_else(|| ParseError {
+        line: 0,
+        message: "missing bounds".into(),
+    })
 }
 
 #[cfg(test)]
@@ -260,7 +272,9 @@ mod tests {
     fn sample() -> Layout {
         let mut l = Layout::new(Rect::new(0, 0, 100, 100).unwrap());
         l.set_min_spacing(2);
-        let a = l.add_cell("alu", Rect::new(10, 10, 40, 40).unwrap()).unwrap();
+        let a = l
+            .add_cell("alu", Rect::new(10, 10, 40, 40).unwrap())
+            .unwrap();
         let poly = RectilinearPolygon::new(vec![
             Point::new(60, 60),
             Point::new(90, 60),
@@ -310,15 +324,20 @@ mod tests {
 
     #[test]
     fn structural_errors_are_reported() {
-        assert!(parse("gcl 1\ncell a 0 0 1 1\n").unwrap_err().message.contains("before bounds"));
+        assert!(parse("gcl 1\ncell a 0 0 1 1\n")
+            .unwrap_err()
+            .message
+            .contains("before bounds"));
         assert!(parse("gcl 1\nbounds 0 0 9 9\npin a 1 1\n")
             .unwrap_err()
             .message
             .contains("terminal"));
-        assert!(parse("gcl 1\nbounds 0 0 9 9\nnet n\nterminal t\npin nope 1 1\n")
-            .unwrap_err()
-            .message
-            .contains("unknown cell"));
+        assert!(
+            parse("gcl 1\nbounds 0 0 9 9\nnet n\nterminal t\npin nope 1 1\n")
+                .unwrap_err()
+                .message
+                .contains("unknown cell")
+        );
         assert!(parse("gcl 9\n").unwrap_err().message.contains("version"));
         assert!(parse("").unwrap_err().message.contains("missing bounds"));
         assert!(parse("gcl 1\nbounds 0 0 9 9\nfrobnicate\n")

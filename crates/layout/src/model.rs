@@ -93,6 +93,13 @@ impl Layout {
         self.nets.iter().position(|n| n.name() == name).map(NetId)
     }
 
+    /// Every net id in stable declaration order — the canonical
+    /// iteration (and merge) order for whole-layout operations.
+    #[must_use]
+    pub fn net_ids(&self) -> Vec<NetId> {
+        (0..self.nets.len()).map(NetId).collect()
+    }
+
     /// Adds a rectangular cell.
     ///
     /// # Errors
@@ -224,10 +231,14 @@ impl Layout {
         for cell in &self.cells {
             let r = cell.rect();
             if r.is_degenerate() {
-                errors.push(LayoutError::DegenerateCell { cell: cell.name().into() });
+                errors.push(LayoutError::DegenerateCell {
+                    cell: cell.name().into(),
+                });
             }
             if !self.bounds.contains_rect(&r) {
-                errors.push(LayoutError::CellOutOfBounds { cell: cell.name().into() });
+                errors.push(LayoutError::CellOutOfBounds {
+                    cell: cell.name().into(),
+                });
             }
         }
         for (i, a) in self.cells.iter().enumerate() {
@@ -253,7 +264,9 @@ impl Layout {
                 });
             }
             if net.terminals().len() < 2 {
-                errors.push(LayoutError::TooFewTerminals { net: net.name().into() });
+                errors.push(LayoutError::TooFewTerminals {
+                    net: net.name().into(),
+                });
             }
             for terminal in net.terminals() {
                 if terminal.pins().is_empty() {
@@ -276,7 +289,9 @@ impl Layout {
                         }
                     }
                     if !plane.point_free(pin.position) {
-                        errors.push(LayoutError::PinUnroutable { position: pin.position });
+                        errors.push(LayoutError::PinUnroutable {
+                            position: pin.position,
+                        });
                     }
                 }
             }
@@ -349,10 +364,14 @@ mod tests {
     #[test]
     fn add_and_lookup_cells() {
         let mut l = base();
-        let a = l.add_cell("alu", Rect::new(10, 10, 30, 30).unwrap()).unwrap();
+        let a = l
+            .add_cell("alu", Rect::new(10, 10, 30, 30).unwrap())
+            .unwrap();
         assert_eq!(l.cell_by_name("alu"), Some(a));
         assert_eq!(l.cell(a).unwrap().name(), "alu");
-        assert!(l.add_cell("alu", Rect::new(50, 50, 60, 60).unwrap()).is_err());
+        assert!(l
+            .add_cell("alu", Rect::new(50, 50, 60, 60).unwrap())
+            .is_err());
         assert_eq!(l.cell_by_name("nope"), None);
     }
 
@@ -400,8 +419,10 @@ mod tests {
     #[test]
     fn out_of_bounds_and_degenerate_cells_fail() {
         let mut l = base();
-        l.add_cell("big", Rect::new(50, 50, 150, 70).unwrap()).unwrap();
-        l.add_cell("flat", Rect::new(10, 10, 10, 30).unwrap()).unwrap();
+        l.add_cell("big", Rect::new(50, 50, 150, 70).unwrap())
+            .unwrap();
+        l.add_cell("flat", Rect::new(10, 10, 10, 30).unwrap())
+            .unwrap();
         match l.validate().unwrap_err() {
             LayoutError::Multiple(errors) => {
                 assert!(errors
@@ -471,7 +492,10 @@ mod tests {
             l.add_pin(t, bad_pin),
             Err(LayoutError::UnknownId { kind: "cell" })
         ));
-        let bad_t = TerminalRef { net: NetId(9), terminal: 0 };
+        let bad_t = TerminalRef {
+            net: NetId(9),
+            terminal: 0,
+        };
         assert!(l.add_pin(bad_t, Pin::floating(Point::new(0, 0))).is_err());
     }
 

@@ -62,13 +62,19 @@ impl Pin {
     /// A pin on the boundary of `cell`.
     #[must_use]
     pub fn on_cell(cell: CellId, position: Point) -> Pin {
-        Pin { cell: Some(cell), position }
+        Pin {
+            cell: Some(cell),
+            position,
+        }
     }
 
     /// A pin not attached to any cell.
     #[must_use]
     pub fn floating(position: Point) -> Pin {
-        Pin { cell: None, position }
+        Pin {
+            cell: None,
+            position,
+        }
     }
 }
 
@@ -90,7 +96,10 @@ pub struct Terminal {
 
 impl Terminal {
     pub(crate) fn new(name: impl Into<String>) -> Terminal {
-        Terminal { name: name.into(), pins: Vec::new() }
+        Terminal {
+            name: name.into(),
+            pins: Vec::new(),
+        }
     }
 
     /// The terminal's name (unique within its net).
@@ -127,7 +136,10 @@ pub struct Net {
 
 impl Net {
     pub(crate) fn new(name: impl Into<String>) -> Net {
-        Net { name: name.into(), terminals: Vec::new() }
+        Net {
+            name: name.into(),
+            terminals: Vec::new(),
+        }
     }
 
     /// The net's name (unique within a layout).
@@ -170,7 +182,12 @@ impl Net {
 
 impl fmt::Display for Net {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "net {} ({} terminal(s))", self.name, self.terminals.len())
+        write!(
+            f,
+            "net {} ({} terminal(s))",
+            self.name,
+            self.terminals.len()
+        )
     }
 }
 
@@ -216,7 +233,10 @@ mod tests {
     #[test]
     fn display_forms() {
         assert_eq!(NetId(4).to_string(), "net#4");
-        let tr = TerminalRef { net: NetId(4), terminal: 1 };
+        let tr = TerminalRef {
+            net: NetId(4),
+            terminal: 1,
+        };
         assert_eq!(tr.to_string(), "net#4.t1");
         assert!(Terminal::new("x").to_string().contains("0 pin"));
         assert!(Net::new("n").to_string().contains("0 terminal"));

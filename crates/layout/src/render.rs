@@ -156,7 +156,8 @@ mod tests {
         let cell = l.cell_by_name("alu").unwrap();
         let n = l.add_net("n");
         let t = l.add_terminal(n, "t");
-        l.add_pin(t, crate::Pin::on_cell(cell, Point::new(4, 8))).unwrap();
+        l.add_pin(t, crate::Pin::on_cell(cell, Point::new(4, 8)))
+            .unwrap();
         let art = render(&l, &[], 1);
         assert!(art.contains('o'));
     }

@@ -210,7 +210,11 @@ pub fn exhaustive<Sp: SearchSpace>(space: &Sp) -> Option<Found<Sp::State, Sp::Co
         cur = nodes[i].2;
     }
     path.reverse();
-    Some(Found { path, cost: best.1 .1, stats })
+    Some(Found {
+        path,
+        cost: best.1 .1,
+        stats,
+    })
 }
 
 fn reconstruct<S: Clone + Eq + std::hash::Hash>(
@@ -343,7 +347,10 @@ mod tests {
     fn dfs_zero_limit_only_checks_starts() {
         let w = world();
         assert!(depth_first(&w, 0).is_none());
-        let trivial = GridWorld { goal: (1, 3), ..world() };
+        let trivial = GridWorld {
+            goal: (1, 3),
+            ..world()
+        };
         let found = depth_first(&trivial, 0).unwrap();
         assert_eq!(found.path, vec![(1, 3)]);
     }

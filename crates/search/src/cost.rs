@@ -106,13 +106,19 @@ impl LexCost {
     /// A pure primary cost with no penalties.
     #[must_use]
     pub fn primary(primary: i64) -> LexCost {
-        LexCost { primary, penalty: 0 }
+        LexCost {
+            primary,
+            penalty: 0,
+        }
     }
 
     /// A pure ε penalty.
     #[must_use]
     pub fn epsilon(count: i64) -> LexCost {
-        LexCost { primary: 0, penalty: count }
+        LexCost {
+            primary: 0,
+            penalty: count,
+        }
     }
 }
 

@@ -136,16 +136,31 @@ pub fn astar_with_limits<Sp: SearchSpace>(
                     nodes[id].g = g0;
                     nodes[id].parent = None;
                     let f = g0.plus(space.heuristic(&state));
-                    open.push(HeapEntry { f, g: g0, node: id, seq });
+                    open.push(HeapEntry {
+                        f,
+                        g: g0,
+                        node: id,
+                        seq,
+                    });
                     seq += 1;
                 }
             }
             Entry::Vacant(e) => {
                 let id = nodes.len();
                 e.insert(id);
-                nodes.push(Node { state: state.clone(), g: g0, parent: None, closed: false });
+                nodes.push(Node {
+                    state: state.clone(),
+                    g: g0,
+                    parent: None,
+                    closed: false,
+                });
                 let f = g0.plus(space.heuristic(&state));
-                open.push(HeapEntry { f, g: g0, node: id, seq });
+                open.push(HeapEntry {
+                    f,
+                    g: g0,
+                    node: id,
+                    seq,
+                });
                 seq += 1;
                 open_valid += 1;
             }
@@ -200,7 +215,12 @@ pub fn astar_with_limits<Sp: SearchSpace>(
                 Entry::Vacant(e) => {
                     let sid = nodes.len();
                     e.insert(sid);
-                    nodes.push(Node { state: succ.clone(), g, parent: Some(id), closed: false });
+                    nodes.push(Node {
+                        state: succ.clone(),
+                        g,
+                        parent: Some(id),
+                        closed: false,
+                    });
                     (sid, true, false, true)
                 }
             };
@@ -222,7 +242,12 @@ pub fn astar_with_limits<Sp: SearchSpace>(
             // An improvement to an already-open node replaces its entry
             // (the stale one is skipped on pop), leaving open_valid as-is.
             let f = g.plus(space.heuristic(&succ));
-            open.push(HeapEntry { f, g, node: succ_id, seq });
+            open.push(HeapEntry {
+                f,
+                g,
+                node: succ_id,
+                seq,
+            });
             seq += 1;
             stats.max_open = stats.max_open.max(open_valid);
         }
@@ -303,7 +328,12 @@ mod tests {
     #[test]
     fn expansion_limit_aborts() {
         let g = diamond();
-        let outcome = astar_with_limits(&g, SearchLimits { max_expansions: Some(1) });
+        let outcome = astar_with_limits(
+            &g,
+            SearchLimits {
+                max_expansions: Some(1),
+            },
+        );
         assert!(matches!(outcome, SearchOutcome::LimitReached(_)));
     }
 
@@ -374,7 +404,11 @@ mod tests {
         assert_eq!(a.cost, d.cost);
         // The exact heuristic expands only the 80 on-path nodes; the blind
         // search spreads 80 in both directions.
-        assert!(a.stats.expanded <= 81, "informed expanded {}", a.stats.expanded);
+        assert!(
+            a.stats.expanded <= 81,
+            "informed expanded {}",
+            a.stats.expanded
+        );
         assert!(
             a.stats.expanded < d.stats.expanded,
             "informed {} vs blind {}",

@@ -56,11 +56,13 @@
 mod blind;
 mod cost;
 mod engine;
+mod parallel;
 mod space;
 mod stats;
 
 pub use blind::{breadth_first, depth_first, exhaustive};
 pub use cost::{LexCost, PathCost};
 pub use engine::{astar, astar_with_limits, best_first, Found, SearchLimits, SearchOutcome};
+pub use parallel::{default_threads, parallel_map};
 pub use space::{SearchSpace, ZeroHeuristic};
 pub use stats::SearchStats;

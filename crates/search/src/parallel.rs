@@ -1,0 +1,120 @@
+//! A deterministic parallel map over independent work items.
+//!
+//! The batch routing pipeline routes every net against the same immutable
+//! obstacle plane, so per-item work is pure: `out[i]` depends only on
+//! `items[i]`. That makes the parallel schedule unobservable — this map
+//! returns results **in input order** no matter how the OS schedules the
+//! workers, which is what lets `BatchRouter` promise byte-identical
+//! serial and parallel output.
+//!
+//! The environment has no crates.io access, so instead of rayon this is
+//! a small self-scheduling executor on `std::thread::scope`: workers pull
+//! the next unclaimed index from a shared atomic counter (work stealing
+//! degenerates to work *sharing*, which is fine for coarse items like
+//! whole nets) and write results into their own vectors; the caller
+//! reassembles by index.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// The number of worker threads a parallel call will use when the caller
+/// does not pin one: the machine's available parallelism, capped so tiny
+/// batches do not pay thread spawn cost for idle workers.
+#[must_use]
+pub fn default_threads(items: usize) -> usize {
+    let hw = std::thread::available_parallelism().map_or(1, usize::from);
+    hw.min(items).max(1)
+}
+
+/// Maps `f` over `items` on `threads` workers, returning results in input
+/// order. `f` must be pure per item for the output to be schedule
+/// independent (it receives the item index for seeding / labelling).
+///
+/// `threads <= 1` (or a batch of at most one item) degrades to a plain
+/// serial loop with no thread machinery at all, so callers can use one
+/// code path for both modes.
+///
+/// # Panics
+///
+/// Propagates a panic from `f` (the scope joins all workers first).
+pub fn parallel_map<T, U, F>(items: &[T], threads: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    let threads = threads.min(items.len()).max(1);
+    if threads <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut buckets: Vec<Vec<(usize, U)>> = Vec::with_capacity(threads);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for _ in 0..threads {
+            handles.push(scope.spawn(|| {
+                let mut mine: Vec<(usize, U)> = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= items.len() {
+                        return mine;
+                    }
+                    mine.push((i, f(i, &items[i])));
+                }
+            }));
+        }
+        for h in handles {
+            buckets.push(h.join().expect("parallel_map worker panicked"));
+        }
+    });
+    let mut out: Vec<Option<U>> = Vec::with_capacity(items.len());
+    out.resize_with(items.len(), || None);
+    for (i, v) in buckets.into_iter().flatten() {
+        out[i] = Some(v);
+    }
+    out.into_iter()
+        .map(|v| v.expect("every index claimed exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<usize> = (0..1000).collect();
+        let out = parallel_map(&items, 8, |i, &x| {
+            assert_eq!(i, x);
+            x * 2
+        });
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let items: Vec<u64> = (0..257).collect();
+        let f = |_: usize, &x: &u64| x.wrapping_mul(0x9e37_79b9).rotate_left(13);
+        let serial = parallel_map(&items, 1, f);
+        for threads in [2, 3, 8, 64] {
+            assert_eq!(
+                parallel_map(&items, threads, f),
+                serial,
+                "{threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_and_single_item_batches() {
+        let none: Vec<i32> = Vec::new();
+        assert!(parallel_map(&none, 4, |_, &x| x).is_empty());
+        assert_eq!(parallel_map(&[7], 4, |_, &x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn default_threads_is_capped_by_items() {
+        assert_eq!(default_threads(0), 1);
+        assert_eq!(default_threads(1), 1);
+        assert!(default_threads(10_000) >= 1);
+    }
+}

@@ -4,7 +4,6 @@
 //! weighted graphs checked against Bellman–Ford.
 
 use gcr_search::{astar, best_first, breadth_first, exhaustive, SearchSpace};
-use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -93,7 +92,9 @@ fn scramble(moves: usize, seed: u64) -> Tray {
 #[test]
 fn eight_puzzle_astar_is_optimal_and_cheaper_than_bfs() {
     for seed in 0..5u64 {
-        let puzzle = EightPuzzle { start: scramble(14, seed) };
+        let puzzle = EightPuzzle {
+            start: scramble(14, seed),
+        };
         let a = astar(&puzzle).expect("scrambles are solvable");
         let b = breadth_first(&puzzle).expect("scrambles are solvable");
         assert_eq!(a.cost, b.cost, "A* must match BFS optimum (unit costs)");
@@ -109,7 +110,9 @@ fn eight_puzzle_astar_is_optimal_and_cheaper_than_bfs() {
 
 #[test]
 fn eight_puzzle_heuristic_is_admissible_along_solution() {
-    let puzzle = EightPuzzle { start: scramble(16, 42) };
+    let puzzle = EightPuzzle {
+        start: scramble(16, 42),
+    };
     let a = astar(&puzzle).unwrap();
     // Along an optimal path, h(n) <= remaining distance at every step.
     let total = a.cost;
@@ -165,60 +168,70 @@ fn bellman_ford(edges: &[Vec<(usize, i64)>], from: usize) -> Vec<Option<i64>> {
     dist
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-    #[test]
-    fn dijkstra_matches_bellman_ford(seed in 0u64..10_000, n in 2usize..40, density in 1usize..5) {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let mut edges = vec![Vec::new(); n];
-        for adj in edges.iter_mut() {
-            for _ in 0..density {
-                let v = rng.gen_range(0..n);
-                let w = rng.gen_range(0..100i64);
-                adj.push((v, w));
-            }
+// Property sweeps (seeded loops; the environment has no proptest, so the
+// cases are drawn from the workspace's deterministic RNG instead).
+
+fn random_edges(rng: &mut StdRng, n: usize, density: usize, max_w: i64) -> Vec<Vec<(usize, i64)>> {
+    let mut edges = vec![Vec::new(); n];
+    for adj in edges.iter_mut() {
+        for _ in 0..density {
+            let v = rng.gen_range(0..n);
+            let w = rng.gen_range(0..max_w);
+            adj.push((v, w));
         }
+    }
+    edges
+}
+
+#[test]
+fn dijkstra_matches_bellman_ford() {
+    let mut meta = StdRng::seed_from_u64(0xd1ce);
+    for case in 0..64 {
+        let seed = meta.gen_range(0..10_000u64);
+        let n = meta.gen_range(2usize..40);
+        let density = meta.gen_range(1usize..5);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let edges = random_edges(&mut rng, n, density, 100);
         let goal = rng.gen_range(0..n);
         let reference = bellman_ford(&edges, 0)[goal];
         let g = RandomGraph { edges, goal };
         let found = best_first(&g).map(|f| f.cost);
-        prop_assert_eq!(found, reference);
+        assert_eq!(found, reference, "case {case} seed {seed} n {n}");
     }
+}
 
-    #[test]
-    fn exhaustive_agrees_with_best_first(seed in 0u64..10_000, n in 2usize..25) {
+#[test]
+fn exhaustive_agrees_with_best_first() {
+    let mut meta = StdRng::seed_from_u64(0xe8a0);
+    for case in 0..64 {
+        let seed = meta.gen_range(0..10_000u64);
+        let n = meta.gen_range(2usize..25);
         let mut rng = StdRng::seed_from_u64(seed);
-        let mut edges = vec![Vec::new(); n];
-        for adj in edges.iter_mut() {
-            for _ in 0..3 {
-                let v = rng.gen_range(0..n);
-                let w = rng.gen_range(0..50i64);
-                adj.push((v, w));
-            }
-        }
+        let edges = random_edges(&mut rng, n, 3, 50);
         let goal = rng.gen_range(0..n);
         let g = RandomGraph { edges, goal };
         let a = best_first(&g).map(|f| f.cost);
         let e = exhaustive(&g).map(|f| f.cost);
-        prop_assert_eq!(a, e);
+        assert_eq!(a, e, "case {case} seed {seed} n {n}");
     }
+}
 
-    #[test]
-    fn found_paths_are_valid_and_priced_right(seed in 0u64..10_000, n in 2usize..30) {
+#[test]
+fn found_paths_are_valid_and_priced_right() {
+    let mut meta = StdRng::seed_from_u64(0xf00d);
+    for case in 0..64 {
+        let seed = meta.gen_range(0..10_000u64);
+        let n = meta.gen_range(2usize..30);
         let mut rng = StdRng::seed_from_u64(seed);
-        let mut edges: Vec<Vec<(usize, i64)>> = vec![Vec::new(); n];
-        for adj in edges.iter_mut() {
-            for _ in 0..3 {
-                let v = rng.gen_range(0..n);
-                let w = rng.gen_range(0..50i64);
-                adj.push((v, w));
-            }
-        }
+        let edges = random_edges(&mut rng, n, 3, 50);
         let goal = rng.gen_range(0..n);
-        let g = RandomGraph { edges: edges.clone(), goal };
+        let g = RandomGraph {
+            edges: edges.clone(),
+            goal,
+        };
         if let Some(found) = best_first(&g) {
-            prop_assert_eq!(*found.path.first().unwrap(), 0);
-            prop_assert_eq!(*found.path.last().unwrap(), goal);
+            assert_eq!(*found.path.first().unwrap(), 0, "case {case}");
+            assert_eq!(*found.path.last().unwrap(), goal, "case {case}");
             // Re-price the path using the cheapest parallel edge between
             // consecutive nodes; total must equal the reported cost.
             let mut total = 0i64;
@@ -231,7 +244,7 @@ proptest! {
                     .expect("edge exists on path");
                 total += best;
             }
-            prop_assert_eq!(total, found.cost);
+            assert_eq!(total, found.cost, "case {case} seed {seed}");
         }
     }
 }

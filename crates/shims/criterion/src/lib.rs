@@ -1,0 +1,295 @@
+//! Offline stand-in for the subset of the `criterion` 0.5 API this
+//! workspace's benches use: [`criterion_group!`]/[`criterion_main!`],
+//! [`Criterion`] with `sample_size`/`measurement_time`/`warm_up_time`,
+//! benchmark groups, [`Bencher::iter`], [`BenchmarkId`] and
+//! [`black_box`].
+//!
+//! Instead of criterion's statistical machinery this harness times
+//! `sample_size` samples (each batching enough iterations to be
+//! measurable) after a warm-up phase and prints mean / min per
+//! benchmark. Good enough to compare configurations on one machine;
+//! not a substitute for real criterion confidence intervals.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export so generated code can call it: prevents the optimizer from
+/// deleting a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level benchmark driver (consuming builder, like the real one).
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(1),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the total measurement budget per benchmark.
+    #[must_use]
+    pub fn measurement_time(mut self, d: Duration) -> Criterion {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up budget per benchmark.
+    #[must_use]
+    pub fn warm_up_time(mut self, d: Duration) -> Criterion {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Runs one free-standing benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = id.into_benchmark_id();
+        self.run_one(&name, f);
+    }
+
+    fn run_one<F>(&self, name: &str, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            warm_up_time: self.warm_up_time,
+            samples: Vec::new(),
+        };
+        f(&mut bencher);
+        bencher.report(name);
+    }
+}
+
+/// A named group of benchmarks sharing the driver's configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = format!("{}/{}", self.name, id.into_benchmark_id());
+        self.criterion.run_one(&name, f);
+    }
+
+    /// Runs one benchmark with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: impl IntoBenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let name = format!("{}/{}", self.name, id.into_benchmark_id());
+        self.criterion.run_one(&name, |b| f(b, input));
+    }
+
+    /// Ends the group (no-op; exists for API parity).
+    pub fn finish(self) {}
+}
+
+/// Times closures handed to it by a benchmark body.
+pub struct Bencher {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `f`, batching iterations so each sample is measurable.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm up (at least one call) and estimate the per-call cost.
+        let warm_start = Instant::now();
+        let mut calls: u32 = 0;
+        loop {
+            black_box(f());
+            calls += 1;
+            if warm_start.elapsed() >= self.warm_up_time {
+                break;
+            }
+        }
+        let per_call = warm_start.elapsed() / calls.max(1);
+        // Batch so `sample_size` samples roughly fill the measurement
+        // budget, with at least one call per sample.
+        let budget = self.measurement_time / self.sample_size as u32;
+        let iters = if per_call.is_zero() {
+            1_000
+        } else {
+            (budget.as_nanos() / per_call.as_nanos().max(1)).clamp(1, 1_000_000) as u32
+        };
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            self.samples.push(t0.elapsed() / iters);
+        }
+    }
+
+    fn report(&self, name: &str) {
+        if self.samples.is_empty() {
+            println!("{name:<40} (no samples)");
+            return;
+        }
+        let total: Duration = self.samples.iter().sum();
+        let mean = total / self.samples.len() as u32;
+        let min = self.samples.iter().min().copied().unwrap_or_default();
+        println!(
+            "{name:<40} mean {:>12} min {:>12} ({} samples)",
+            fmt_duration(mean),
+            fmt_duration(min),
+            self.samples.len()
+        );
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// A benchmark identifier with a function name and a parameter value.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id like `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Builds an id from the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Conversion into the printable benchmark name.
+pub trait IntoBenchmarkId {
+    /// The printable name.
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// Declares a benchmark group: either `criterion_group!(name, target...)`
+/// or the long form with `name = …; config = …; targets = …`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench entry point running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Criterion {
+        Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(10))
+            .warm_up_time(Duration::from_millis(2))
+    }
+
+    #[test]
+    fn groups_and_functions_run() {
+        let mut c = quick();
+        let mut group = c.benchmark_group("g");
+        let mut ran = 0;
+        group.bench_function("f", |b| {
+            ran += 1;
+            b.iter(|| 1 + 1)
+        });
+        group.bench_with_input(BenchmarkId::new("g", 7), &7, |b, &x| b.iter(|| x * 2));
+        group.finish();
+        assert_eq!(ran, 1);
+        c.bench_function("free", |b| b.iter(|| black_box(3)));
+    }
+}

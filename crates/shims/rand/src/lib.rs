@@ -1,0 +1,223 @@
+//! Offline stand-in for the subset of the `rand` 0.8 API this workspace
+//! uses: [`rngs::StdRng`], [`SeedableRng::seed_from_u64`], [`Rng::gen`]
+//! and [`Rng::gen_range`].
+//!
+//! The generator is xoshiro256\*\* seeded through SplitMix64 — fast,
+//! well-distributed, and fully deterministic. The stream is **not** the
+//! same as the real `rand::StdRng` stream; every consumer in this
+//! workspace only relies on determinism, never on specific values.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Random number engines.
+pub mod rngs {
+    /// A deterministic 64-bit generator (xoshiro256\*\*).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        pub(crate) s: [u64; 4],
+    }
+}
+
+use rngs::StdRng;
+
+impl StdRng {
+    fn next_u64_impl(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+/// A seedable generator.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed (deterministically).
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(state: u64) -> StdRng {
+        // SplitMix64 expansion of the seed into the xoshiro state.
+        let mut x = state;
+        let mut next = move || {
+            x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        let s = [next(), next(), next(), next()];
+        StdRng { s }
+    }
+}
+
+/// Types [`Rng::gen`] can produce.
+pub trait Standard: Sized {
+    /// Draws one value from `rng`.
+    fn sample(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample(rng: &mut StdRng) -> $t {
+                rng.next_u64_impl() as $t
+            }
+        }
+    )*};
+}
+standard_int!(u64, i64, u32, i32, u16, i16, u8, i8, usize, isize);
+
+impl Standard for bool {
+    fn sample(rng: &mut StdRng) -> bool {
+        rng.next_u64_impl() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn sample(rng: &mut StdRng) -> f64 {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64_impl() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Types [`Rng::gen_range`] can draw uniformly. Mirrors the real crate's
+/// trait shape so the *expected output type* drives range-literal
+/// inference (`arr[rng.gen_range(0..4)]` infers `usize`).
+pub trait SampleUniform: Copy {
+    /// Uniform draw from `lo..hi`.
+    fn sample_half_open(rng: &mut StdRng, lo: Self, hi: Self) -> Self;
+    /// Uniform draw from `lo..=hi`.
+    fn sample_inclusive(rng: &mut StdRng, lo: Self, hi: Self) -> Self;
+}
+
+/// Uniform draw below `n` (`n > 0`) with rejection to avoid modulo bias.
+fn below(rng: &mut StdRng, n: u64) -> u64 {
+    let zone = u64::MAX - (u64::MAX % n);
+    loop {
+        let v = rng.next_u64_impl();
+        if v < zone {
+            return v % n;
+        }
+    }
+}
+
+macro_rules! sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open(rng: &mut StdRng, lo: $t, hi: $t) -> $t {
+                assert!(lo < hi, "cannot sample empty range");
+                let span = (hi as u64).wrapping_sub(lo as u64);
+                lo.wrapping_add(below(rng, span) as $t)
+            }
+            fn sample_inclusive(rng: &mut StdRng, lo: $t, hi: $t) -> $t {
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                if span == 0 {
+                    // Full domain of the type.
+                    return rng.next_u64_impl() as $t;
+                }
+                lo.wrapping_add(below(rng, span) as $t)
+            }
+        }
+    )*};
+}
+sample_uniform_int!(u64, i64, u32, i32, u16, i16, u8, i8, usize, isize);
+
+/// Ranges [`Rng::gen_range`] accepts.
+pub trait SampleRange<T> {
+    /// Draws one uniform value from the range.
+    fn sample(self, rng: &mut StdRng) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample(self, rng: &mut StdRng) -> T {
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample(self, rng: &mut StdRng) -> T {
+        T::sample_inclusive(rng, *self.start(), *self.end())
+    }
+}
+
+/// The user-facing generator interface (subset of `rand::Rng`).
+pub trait Rng {
+    /// The next raw 64 bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Draws one value of an inferred type.
+    fn gen<T: Standard>(&mut self) -> T;
+
+    /// Draws one value uniformly from `range`.
+    fn gen_range<T: SampleUniform, R: SampleRange<T>>(&mut self, range: R) -> T;
+}
+
+impl Rng for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        self.next_u64_impl()
+    }
+
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    fn gen_range<T: SampleUniform, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        let mut c = StdRng::seed_from_u64(43);
+        let (x, y, z): (u64, u64, u64) = (a.gen(), b.gen(), c.gen());
+        assert_eq!(x, y);
+        assert_ne!(x, z);
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(3..17);
+            assert!((3..17).contains(&v));
+            let w: i64 = rng.gen_range(-5..=5);
+            assert!((-5..=5).contains(&w));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_small_domains() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[rng.gen_range(0..4usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+}

@@ -57,7 +57,10 @@ pub struct SteinerResult {
 pub fn rectilinear_mst(points: &[Point]) -> MstResult {
     let n = points.len();
     if n < 2 {
-        return MstResult { edges: Vec::new(), length: 0 };
+        return MstResult {
+            edges: Vec::new(),
+            length: 0,
+        };
     }
     let mut in_tree = vec![false; n];
     let mut best_dist = vec![Coord::MAX; n];
@@ -122,7 +125,10 @@ pub fn hanan_grid(points: &[Point]) -> Vec<Point> {
 #[must_use]
 pub fn iterated_one_steiner(points: &[Point]) -> SteinerResult {
     if points.len() < 2 {
-        return SteinerResult { steiner_points: Vec::new(), length: 0 };
+        return SteinerResult {
+            steiner_points: Vec::new(),
+            length: 0,
+        };
     }
     let mut nodes: Vec<Point> = points.to_vec();
     let mut steiner: Vec<Point> = Vec::new();
@@ -155,7 +161,10 @@ pub fn iterated_one_steiner(points: &[Point]) -> SteinerResult {
     // Degree-2 Steiner points add no value but none are produced: a point
     // only enters when it strictly shortens the MST, which requires
     // degree ≥ 3 in the new tree.
-    SteinerResult { steiner_points: steiner, length: best }
+    SteinerResult {
+        steiner_points: steiner,
+        length: best,
+    }
 }
 
 /// Largest terminal count [`exact_rsmt`] accepts.
@@ -173,7 +182,10 @@ pub fn exact_rsmt(points: &[Point]) -> Option<SteinerResult> {
         return None;
     }
     if n < 2 {
-        return Some(SteinerResult { steiner_points: Vec::new(), length: 0 });
+        return Some(SteinerResult {
+            steiner_points: Vec::new(),
+            length: 0,
+        });
     }
     let candidates: Vec<Point> = hanan_grid(points)
         .into_iter()
@@ -214,7 +226,14 @@ pub fn exact_rsmt(points: &[Point]) -> Option<SteinerResult> {
             index_stack.pop();
         }
     }
-    recurse(&candidates, points, &mut index_stack, 0, max_extra, &mut best);
+    recurse(
+        &candidates,
+        points,
+        &mut index_stack,
+        0,
+        max_extra,
+        &mut best,
+    );
     Some(best)
 }
 
@@ -316,7 +335,10 @@ mod tests {
             let exact = exact_rsmt(&pts).unwrap().length;
             assert!(ios <= mst, "seed {seed}: 1-Steiner worse than MST");
             assert!(exact <= ios, "seed {seed}: exact worse than heuristic");
-            assert!(hwang_ratio_holds(mst, exact), "seed {seed}: Hwang bound violated");
+            assert!(
+                hwang_ratio_holds(mst, exact),
+                "seed {seed}: Hwang bound violated"
+            );
         }
     }
 

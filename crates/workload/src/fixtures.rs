@@ -16,15 +16,15 @@ pub fn figure1() -> (Plane, Point, Point) {
     let mut plane = Plane::new(Rect::new(0, 0, 220, 140).unwrap());
     let blocks = [
         // A staggered field, left to right (labelled a..j like the figure).
-        Rect::new(20, 16, 56, 52),    // a
-        Rect::new(20, 66, 48, 124),   // b
-        Rect::new(66, 30, 96, 88),    // c
-        Rect::new(62, 100, 110, 126), // d
-        Rect::new(108, 14, 150, 44),  // e
-        Rect::new(110, 56, 142, 92),  // f
+        Rect::new(20, 16, 56, 52),     // a
+        Rect::new(20, 66, 48, 124),    // b
+        Rect::new(66, 30, 96, 88),     // c
+        Rect::new(62, 100, 110, 126),  // d
+        Rect::new(108, 14, 150, 44),   // e
+        Rect::new(110, 56, 142, 92),   // f
         Rect::new(124, 102, 168, 128), // g
-        Rect::new(160, 20, 200, 60),  // h
-        Rect::new(154, 70, 196, 94),  // i
+        Rect::new(160, 20, 200, 60),   // h
+        Rect::new(154, 70, 196, 94),   // i
         Rect::new(180, 104, 208, 126), // j
     ];
     for b in blocks {

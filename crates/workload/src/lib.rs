@@ -44,6 +44,32 @@ pub fn random_free_point(plane: &Plane, rng: &mut StdRng) -> Point {
     panic!("plane has no free positions");
 }
 
+/// A complete batch-routing instance: a `rows × cols` macro grid with
+/// `two_pin` two-pin nets and `multi_term` three-terminal nets, fully
+/// seeded by `case`. This is the standard workload for the batch
+/// pipeline's scaling and parallel-speedup measurements — every consumer
+/// (benches, determinism tests, examples) sees the same instance for the
+/// same arguments.
+#[must_use]
+pub fn scaling_instance(
+    rows: usize,
+    cols: usize,
+    two_pin: usize,
+    multi_term: usize,
+    case: u64,
+) -> gcr_layout::Layout {
+    let params = placements::MacroGridParams {
+        rows,
+        cols,
+        ..Default::default()
+    };
+    let mut layout = placements::macro_grid(&params, &mut rng_for("scaling-place", case));
+    let mut rng = rng_for("scaling-nets", case);
+    netlists::add_two_pin_nets(&mut layout, two_pin, &mut rng);
+    netlists::add_multi_terminal_nets(&mut layout, multi_term, 3, &mut rng);
+    layout
+}
+
 /// A deterministic RNG for a named experiment and case index, so suites
 /// can regenerate any single instance in isolation.
 #[must_use]
@@ -79,8 +105,7 @@ mod tests {
         let mut b = rng_for("e4", 1);
         let mut c = rng_for("e4", 2);
         let mut d = rng_for("e5", 1);
-        let (ra, rb, rc, rd): (u64, u64, u64, u64) =
-            (a.gen(), b.gen(), c.gen(), d.gen());
+        let (ra, rb, rc, rd): (u64, u64, u64, u64) = (a.gen(), b.gen(), c.gen(), d.gen());
         assert_eq!(ra, rb);
         assert_ne!(ra, rc);
         assert_ne!(ra, rd);

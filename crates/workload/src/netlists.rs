@@ -10,7 +10,7 @@ use rand::Rng;
 /// edges).
 #[must_use]
 pub fn random_boundary_point(rect: Rect, rng: &mut StdRng) -> Point {
-    let side = [Dir::South, Dir::North, Dir::West, Dir::East][rng.gen_range(0..4)];
+    let side = [Dir::South, Dir::North, Dir::West, Dir::East][rng.gen_range(0..4usize)];
     match side {
         Dir::South => Point::new(rng.gen_range(rect.xmin()..=rect.xmax()), rect.ymin()),
         Dir::North => Point::new(rng.gen_range(rect.xmin()..=rect.xmax()), rect.ymax()),
@@ -24,10 +24,7 @@ fn random_cell_pin(layout: &Layout, rng: &mut StdRng) -> (CellId, Point) {
     let idx = rng.gen_range(0..layout.cells().len());
     let cell = &layout.cells()[idx];
     let p = random_boundary_point(cell.rect(), rng);
-    (
-        layout.cell_by_name(cell.name()).expect("cell exists"),
-        p,
-    )
+    (layout.cell_by_name(cell.name()).expect("cell exists"), p)
 }
 
 /// Adds `count` two-pin nets with both pins on (distinct, where possible)
@@ -52,9 +49,13 @@ pub fn add_two_pin_nets(layout: &mut Layout, count: usize, rng: &mut StdRng) -> 
         }
         let id = layout.add_net(format!("p2_{i}"));
         let t0 = layout.add_terminal(id, "a");
-        layout.add_pin(t0, Pin::on_cell(ca, pa)).expect("fresh terminal");
+        layout
+            .add_pin(t0, Pin::on_cell(ca, pa))
+            .expect("fresh terminal");
         let t1 = layout.add_terminal(id, "b");
-        layout.add_pin(t1, Pin::on_cell(cb, pb)).expect("fresh terminal");
+        layout
+            .add_pin(t1, Pin::on_cell(cb, pb))
+            .expect("fresh terminal");
         out.push(id);
     }
     out
@@ -80,7 +81,9 @@ pub fn add_multi_terminal_nets(
         for t in 0..terminals {
             let (c, p) = random_cell_pin(layout, rng);
             let term = layout.add_terminal(id, format!("t{t}"));
-            layout.add_pin(term, Pin::on_cell(c, p)).expect("fresh terminal");
+            layout
+                .add_pin(term, Pin::on_cell(c, p))
+                .expect("fresh terminal");
         }
         out.push(id);
     }
@@ -189,6 +192,9 @@ mod tests {
         let mut l2 = base();
         add_two_pin_nets(&mut l1, 6, &mut rng_for("det", 5));
         add_two_pin_nets(&mut l2, 6, &mut rng_for("det", 5));
-        assert_eq!(gcr_layout::format::write(&l1), gcr_layout::format::write(&l2));
+        assert_eq!(
+            gcr_layout::format::write(&l1),
+            gcr_layout::format::write(&l2)
+        );
     }
 }

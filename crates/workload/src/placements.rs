@@ -101,8 +101,8 @@ impl Default for ShelfParams {
 #[must_use]
 pub fn shelf_rows(params: &ShelfParams, rng: &mut StdRng) -> Layout {
     let shelf_height = params.height_range.1 + params.channel;
-    let max_row_width = params.cells_per_row as Coord * (params.width_range.1 + params.channel)
-        + params.channel;
+    let max_row_width =
+        params.cells_per_row as Coord * (params.width_range.1 + params.channel) + params.channel;
     let height = params.rows as Coord * shelf_height + params.channel;
     let bounds = Rect::new(0, 0, max_row_width, height).expect("positive extents");
     let mut layout = Layout::new(bounds);
@@ -207,7 +207,11 @@ mod tests {
     #[test]
     fn macro_grid_scales() {
         let mut rng = rng_for("placements", 1);
-        let params = MacroGridParams { rows: 6, cols: 5, ..MacroGridParams::default() };
+        let params = MacroGridParams {
+            rows: 6,
+            cols: 5,
+            ..MacroGridParams::default()
+        };
         let l = macro_grid(&params, &mut rng);
         assert_eq!(l.cells().len(), 30);
         l.validate().unwrap();
@@ -224,7 +228,11 @@ mod tests {
     #[test]
     fn pad_ring_is_valid() {
         let mut rng = rng_for("placements", 3);
-        let core = MacroGridParams { rows: 2, cols: 2, ..MacroGridParams::default() };
+        let core = MacroGridParams {
+            rows: 2,
+            cols: 2,
+            ..MacroGridParams::default()
+        };
         let l = pad_ring(&core, 3, &mut rng);
         assert_eq!(l.cells().len(), 4 + 12);
         l.validate().unwrap();

@@ -14,7 +14,11 @@ use gcr::workload::{netlists, placements, rng_for};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Placement: a 3×3 macro core with a ring of pads.
-    let core = placements::MacroGridParams { rows: 3, cols: 3, ..Default::default() };
+    let core = placements::MacroGridParams {
+        rows: 3,
+        cols: 3,
+        ..Default::default()
+    };
     let mut rng = rng_for("chip_assembly", 1);
     let mut layout = placements::pad_ring(&core, 4, &mut rng);
 
@@ -32,10 +36,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let router = GlobalRouter::new(&layout, config);
     let report = router.route_two_pass();
     println!("\nglobal routing: {}", report.routing);
-    println!(
-        "  search effort over all nets: {}",
-        report.routing.stats()
-    );
+    println!("  search effort over all nets: {}", report.routing.stats());
     println!(
         "  passage overflow: {} before, {} after ({} nets rerouted)",
         report.before.total_overflow(),

@@ -18,7 +18,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Route in both directions: the two candidate routes have exactly the
     // same length, so without ε the choice is an arbitrary tie-break (and
     // flips with the direction); with ε the hugging route wins always.
-    for (label, penalty) in [("with ε (the paper's cost function)", true), ("without ε", false)] {
+    for (label, penalty) in [
+        ("with ε (the paper's cost function)", true),
+        ("without ε", false),
+    ] {
         for (dir, s, d) in [("a → b", a, b), ("b → a", b, a)] {
             let mut config = RouterConfig::default();
             config.corner_penalty(penalty);

@@ -1,93 +1,90 @@
-//! Three generations of maze routing on the same instances: Hightower
-//! line probes (1969, fast but incomplete), Lee-Moore (1961, complete but
-//! grid-bound), and the paper's gridless A* (1984, both).
+//! Three generations of maze routing behind **one** `RoutingEngine`
+//! trait, driven by the same `BatchRouter` pipeline on the same
+//! instances: Hightower line probes (1969, fast but incomplete),
+//! Lee-Moore / grid A* (1961, complete but grid-bound), and the paper's
+//! gridless A* (1984, both). The batch pipeline also demonstrates the
+//! paper's order-free parallelism: serial and parallel runs produce
+//! byte-identical routing.
 //!
 //! ```text
-//! cargo run --example router_shootout
+//! cargo run --release --example router_shootout
 //! ```
 
 use std::time::Instant;
 
-use gcr::grid::lee_moore;
 use gcr::hightower::{hightower, HightowerConfig};
 use gcr::prelude::*;
-use gcr::workload::{fixtures, placements, random_free_point, rng_for};
+use gcr::workload::{fixtures, scaling_instance};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let params = placements::MacroGridParams { rows: 4, cols: 4, ..Default::default() };
-    let layout = placements::macro_grid(&params, &mut rng_for("shootout", 0));
-    let plane = layout.to_plane();
-    let mut rng = rng_for("shootout", 1);
-    let pairs: Vec<(Point, Point)> = (0..30)
-        .map(|_| (random_free_point(&plane, &mut rng), random_free_point(&plane, &mut rng)))
-        .collect();
-
-    println!("30 random connections over a 16-macro layout\n");
+    let layout = scaling_instance(4, 4, 24, 6, 0);
+    let nets = layout.nets().len();
     println!(
-        "{:<22} {:>8} {:>12} {:>12} {:>10}",
-        "router", "solved", "wire total", "effort", "time (ms)"
+        "routing {nets} nets over a {}-cell layout, one BatchRouter, four engines\n",
+        layout.cells().len()
+    );
+    println!(
+        "{:<16} {:>10} {:>8} {:>12} {:>14} {:>10}",
+        "engine", "caps", "routed", "wire total", "effort (exp)", "time (ms)"
     );
 
+    let engines: Vec<Box<dyn RoutingEngine>> = vec![
+        Box::new(GridlessEngine),
+        Box::new(GridEngine::default()),
+        Box::new(GridEngine::lee_moore()),
+        Box::new(HightowerEngine::default()),
+    ];
     let config = RouterConfig::default();
-    let t0 = Instant::now();
-    let mut wire = 0;
-    let mut effort = 0;
-    for &(a, b) in &pairs {
-        let r = route_two_points(&plane, a, b, &config)?;
-        wire += r.cost.primary;
-        effort += r.stats.expanded;
+    for engine in engines {
+        let caps = engine.capabilities();
+        let router = BatchRouter::new(&layout, config.clone(), engine);
+        let t0 = Instant::now();
+        let routing = router.route_all();
+        let elapsed = t0.elapsed().as_secs_f64() * 1e3;
+        let capstr = format!(
+            "{}{}{}",
+            if caps.complete { "C" } else { "-" },
+            if caps.optimal { "O" } else { "-" },
+            if caps.supports_congestion { "G" } else { "-" },
+        );
+        println!(
+            "{:<16} {:>10} {:>8} {:>12} {:>14} {:>10.2}",
+            caps.name,
+            capstr,
+            format!("{}/{nets}", routing.routed_count()),
+            routing.wire_length(),
+            routing.stats().expanded,
+            elapsed
+        );
     }
-    println!(
-        "{:<22} {:>8} {:>12} {:>12} {:>10.2}",
-        "gridless A* (paper)",
-        format!("{}/30", pairs.len()),
-        wire,
-        format!("{effort} exp"),
-        t0.elapsed().as_secs_f64() * 1e3
-    );
+    println!("\ncaps: C complete, O optimal, G congestion-aware");
 
+    // The order-free parallel pipeline: identical output, less wall time.
+    let router = BatchRouter::gridless(&layout, config.clone());
+    let serial_router =
+        BatchRouter::gridless(&layout, config.clone()).with_batch(BatchConfig::serial());
     let t0 = Instant::now();
-    let mut wire = 0;
-    let mut effort = 0;
-    for &(a, b) in &pairs {
-        let r = lee_moore(&plane, a, b, 1).expect("complete router");
-        wire += r.length;
-        effort += r.stats.expanded;
-    }
-    println!(
-        "{:<22} {:>8} {:>12} {:>12} {:>10.2}",
-        "Lee-Moore (pitch 1)",
-        format!("{}/30", pairs.len()),
-        wire,
-        format!("{effort} exp"),
-        t0.elapsed().as_secs_f64() * 1e3
-    );
-
-    let ht = HightowerConfig::default();
+    let serial = serial_router.route_all();
+    let t_serial = t0.elapsed();
     let t0 = Instant::now();
-    let mut wire = 0;
-    let mut effort = 0;
-    let mut solved = 0;
-    for &(a, b) in &pairs {
-        if let Ok(r) = hightower(&plane, a, b, &ht) {
-            solved += 1;
-            wire += r.polyline.length();
-            effort += r.lines;
-        }
-    }
+    let parallel = router.route_all();
+    let t_parallel = t0.elapsed();
+    assert_eq!(serial.wire_length(), parallel.wire_length());
+    assert_eq!(serial.stats(), parallel.stats());
     println!(
-        "{:<22} {:>8} {:>12} {:>12} {:>10.2}",
-        "Hightower probes",
-        format!("{solved}/30"),
-        wire,
-        format!("{effort} lines"),
-        t0.elapsed().as_secs_f64() * 1e3
+        "\nbatch determinism: serial {:.2} ms == parallel {:.2} ms (same wire {}, same stats)",
+        t_serial.as_secs_f64() * 1e3,
+        t_parallel.as_secs_f64() * 1e3,
+        serial.wire_length(),
     );
 
     // The spiral: where line probing famously gives up.
     let (spiral, s, t) = fixtures::spiral();
     println!("\nthe spiral (paper's motivation for combining both worlds):");
-    let tight = HightowerConfig { max_level: 3, max_lines: 400 };
+    let tight = HightowerConfig {
+        max_level: 3,
+        max_lines: 400,
+    };
     match hightower(&spiral, s, t, &tight) {
         Ok(_) => println!("  hightower: solved (unexpected)"),
         Err(e) => println!("  hightower: gives up ({e})"),

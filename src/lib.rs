@@ -6,12 +6,16 @@
 //!
 //! * [`geom`] — rectilinear geometry kernel and the ray-traced obstacle
 //!   [`Plane`](geom::Plane),
-//! * [`search`] — generic A\*/best-first/blind search engines,
+//! * [`search`] — generic A\*/best-first/blind search engines and the
+//!   deterministic [`parallel_map`](search::parallel_map) executor,
 //! * [`layout`] — cells, multi-pin terminals, multi-terminal nets,
 //!   validation, the `.gcl` text format and an ASCII renderer,
 //! * [`router`] — **the paper's contribution**: the gridless A\* global
 //!   router with cell hugging, Steiner-tree growth, the inverted-corner ε
-//!   and two-pass congestion routing,
+//!   and two-pass congestion routing — plus the
+//!   [`RoutingEngine`](router::RoutingEngine) trait and the parallel
+//!   [`BatchRouter`](router::BatchRouter) pipeline that drive **every**
+//!   backend below through one contract,
 //! * [`grid`] — the Lee–Moore baseline (and grid A\*), the special case,
 //! * [`hightower`] — the incomplete line-probe baseline,
 //! * [`steiner`] — rectilinear Steiner references (MST, 1-Steiner, exact),
@@ -19,6 +23,9 @@
 //!   left-edge track assignment),
 //! * [`workload`] — seeded instance generators and the paper's figure
 //!   fixtures.
+//!
+//! See `ARCHITECTURE.md` for the crate DAG, the engine contract and the
+//! parallel-batch invariants.
 //!
 //! # Quickstart
 //!
@@ -46,10 +53,37 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! # Batch routing through any engine
+//!
+//! Whole layouts route through [`BatchRouter`](router::BatchRouter) —
+//! in parallel by default, with output byte-identical to a serial run —
+//! and the backend is pluggable:
+//!
+//! ```
+//! use gcr::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut layout = Layout::new(Rect::new(0, 0, 100, 100)?);
+//! layout.add_two_pin_net("a", Point::new(5, 5), Point::new(95, 5));
+//! layout.add_two_pin_net("b", Point::new(5, 95), Point::new(95, 95));
+//!
+//! // The paper's gridless engine, all nets in parallel.
+//! let routing = BatchRouter::gridless(&layout, RouterConfig::default()).route_all();
+//! assert_eq!(routing.routed_count(), 2);
+//!
+//! // The same pipeline over the Lee-Moore baseline.
+//! let baseline =
+//!     BatchRouter::new(&layout, RouterConfig::default(), GridEngine::lee_moore()).route_all();
+//! assert_eq!(baseline.wire_length(), routing.wire_length());
+//! # Ok(())
+//! # }
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use gcr_core as router;
 pub use gcr_detail as detail;
 pub use gcr_geom as geom;
 pub use gcr_grid as grid;
@@ -57,14 +91,14 @@ pub use gcr_hightower as hightower;
 pub use gcr_layout as layout;
 pub use gcr_search as search;
 pub use gcr_steiner as steiner;
-pub use gcr_core as router;
 pub use gcr_workload as workload;
 
 /// The most common imports in one place.
 pub mod prelude {
     pub use gcr_core::{
-        route_two_points, GlobalRouter, GlobalRouting, NetRoute, RouteError, RouteTree,
-        RoutedPath, RouterConfig,
+        route_two_points, BatchConfig, BatchRouter, EngineCaps, GlobalRouter, GlobalRouting,
+        GridEngine, GridlessEngine, HightowerEngine, NetRoute, RouteError, RouteTree, RoutedPath,
+        RouterConfig, RoutingEngine,
     };
     pub use gcr_geom::{Axis, Coord, Dir, Interval, Plane, Point, Polyline, Rect, Segment};
     pub use gcr_layout::{Cell, CellId, Layout, Net, NetId, Pin, Terminal, TerminalRef};

@@ -7,7 +7,11 @@ use gcr::prelude::*;
 use gcr::workload::{netlists, placements, rng_for};
 
 fn build() -> Layout {
-    let params = placements::MacroGridParams { rows: 3, cols: 3, ..Default::default() };
+    let params = placements::MacroGridParams {
+        rows: 3,
+        cols: 3,
+        ..Default::default()
+    };
     let mut layout = placements::macro_grid(&params, &mut rng_for("determinism", 0));
     let mut rng = rng_for("determinism", 1);
     netlists::add_two_pin_nets(&mut layout, 15, &mut rng);
@@ -44,6 +48,111 @@ fn routing_is_stable_across_router_instances() {
     let r1 = GlobalRouter::new(&layout, RouterConfig::default()).route_all();
     let r2 = GlobalRouter::new(&layout, RouterConfig::default()).route_all();
     assert_eq!(r1.wire_length(), r2.wire_length());
+}
+
+/// The tentpole invariant: the parallel batch pipeline must produce the
+/// exact routes, costs, statistics and failure lists of the serial one —
+/// the schedule is unobservable because nets are independent and the
+/// merge is in stable net-id order.
+#[test]
+fn parallel_batch_output_is_byte_identical_to_serial() {
+    let layout = build();
+    let serial = BatchRouter::gridless(&layout, RouterConfig::default())
+        .with_batch(BatchConfig::serial())
+        .route_all();
+    for threads in [2usize, 3, 8, 32] {
+        let parallel = BatchRouter::gridless(&layout, RouterConfig::default())
+            .with_batch(BatchConfig {
+                parallel: true,
+                threads: Some(threads),
+            })
+            .route_all();
+        assert_routing_identical(&serial, &parallel, threads);
+    }
+    // And with the machine-default thread count.
+    let parallel = BatchRouter::gridless(&layout, RouterConfig::default()).route_all();
+    assert_routing_identical(&serial, &parallel, 0);
+}
+
+/// The same invariant must hold for every engine behind the trait, not
+/// just the gridless one.
+#[test]
+fn parallel_equivalence_holds_for_all_engines() {
+    let layout = build();
+    let config = RouterConfig::default();
+    let serial_grid = BatchRouter::new(&layout, config.clone(), GridEngine::default())
+        .with_batch(BatchConfig::serial())
+        .route_all();
+    let parallel_grid = BatchRouter::new(&layout, config.clone(), GridEngine::default())
+        .with_batch(BatchConfig {
+            parallel: true,
+            threads: Some(4),
+        })
+        .route_all();
+    assert_routing_identical(&serial_grid, &parallel_grid, 4);
+
+    let serial_ht = BatchRouter::new(&layout, config.clone(), HightowerEngine::default())
+        .with_batch(BatchConfig::serial())
+        .route_all();
+    let parallel_ht = BatchRouter::new(&layout, config, HightowerEngine::default())
+        .with_batch(BatchConfig {
+            parallel: true,
+            threads: Some(4),
+        })
+        .route_all();
+    assert_routing_identical(&serial_ht, &parallel_ht, 4);
+}
+
+/// The two-pass congestion flow reroutes in parallel too; its report must
+/// also be schedule independent.
+#[test]
+fn parallel_two_pass_matches_serial_two_pass() {
+    let layout = build();
+    let serial = BatchRouter::gridless(&layout, RouterConfig::default())
+        .with_batch(BatchConfig::serial())
+        .route_two_pass();
+    let parallel = BatchRouter::gridless(&layout, RouterConfig::default())
+        .with_batch(BatchConfig {
+            parallel: true,
+            threads: Some(4),
+        })
+        .route_two_pass();
+    assert_eq!(serial.rerouted, parallel.rerouted);
+    assert_eq!(
+        serial.before.total_overflow(),
+        parallel.before.total_overflow()
+    );
+    assert_eq!(
+        serial.after.total_overflow(),
+        parallel.after.total_overflow()
+    );
+    assert_routing_identical(&serial.routing, &parallel.routing, 4);
+}
+
+fn assert_routing_identical(a: &GlobalRouting, b: &GlobalRouting, threads: usize) {
+    assert_eq!(a.routed_count(), b.routed_count(), "{threads} threads");
+    assert_eq!(a.wire_length(), b.wire_length(), "{threads} threads");
+    assert_eq!(a.stats(), b.stats(), "{threads} threads");
+    assert_eq!(a.failures.len(), b.failures.len(), "{threads} threads");
+    for ((ida, ea), (idb, eb)) in a.failures.iter().zip(&b.failures) {
+        assert_eq!(ida, idb, "{threads} threads");
+        assert_eq!(ea, eb, "{threads} threads");
+    }
+    for (ra, rb) in a.routes.iter().zip(&b.routes) {
+        assert_eq!(ra.net, rb.net, "{threads} threads");
+        assert_eq!(ra.id, rb.id, "{threads} threads");
+        assert_eq!(ra.stats, rb.stats, "{threads} threads");
+        assert_eq!(
+            ra.connections.len(),
+            rb.connections.len(),
+            "{threads} threads"
+        );
+        for (ca, cb) in ra.connections.iter().zip(&rb.connections) {
+            assert_eq!(ca.polyline, cb.polyline, "{threads} threads");
+            assert_eq!(ca.cost, cb.cost, "{threads} threads");
+            assert_eq!(ca.stats, cb.stats, "{threads} threads");
+        }
+    }
 }
 
 #[test]

@@ -6,11 +6,8 @@ use gcr::prelude::*;
 
 #[test]
 fn demo_gcl_parses_validates_and_routes() {
-    let text = std::fs::read_to_string(concat!(
-        env!("CARGO_MANIFEST_DIR"),
-        "/fixtures/demo.gcl"
-    ))
-    .expect("fixture present");
+    let text = std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/fixtures/demo.gcl"))
+        .expect("fixture present");
     let layout = format::parse(&text).expect("fixture parses");
     layout.validate().expect("fixture is a valid layout");
     assert_eq!(layout.cells().len(), 4);
@@ -35,11 +32,8 @@ fn demo_gcl_parses_validates_and_routes() {
 
 #[test]
 fn demo_gcl_roundtrips() {
-    let text = std::fs::read_to_string(concat!(
-        env!("CARGO_MANIFEST_DIR"),
-        "/fixtures/demo.gcl"
-    ))
-    .expect("fixture present");
+    let text = std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/fixtures/demo.gcl"))
+        .expect("fixture present");
     let layout = format::parse(&text).expect("fixture parses");
     let rewritten = format::write(&layout);
     let reparsed = format::parse(&rewritten).expect("own output parses");

@@ -6,7 +6,11 @@ use gcr::prelude::*;
 use gcr::workload::{netlists, placements, rng_for};
 
 fn assembled_layout() -> Layout {
-    let core = placements::MacroGridParams { rows: 3, cols: 3, ..Default::default() };
+    let core = placements::MacroGridParams {
+        rows: 3,
+        cols: 3,
+        ..Default::default()
+    };
     let mut rng = rng_for("full-flow", 7);
     let mut layout = placements::pad_ring(&core, 4, &mut rng);
     netlists::add_two_pin_nets(&mut layout, 20, &mut rng);
@@ -18,7 +22,9 @@ fn assembled_layout() -> Layout {
 #[test]
 fn generated_chip_validates() {
     let layout = assembled_layout();
-    layout.validate().expect("generated layouts obey the placement rules");
+    layout
+        .validate()
+        .expect("generated layouts obey the placement rules");
     assert_eq!(layout.cells().len(), 9 + 16);
     assert_eq!(layout.nets().len(), 28);
 }
@@ -53,7 +59,9 @@ fn every_terminal_is_connected_to_its_tree() {
     let router = GlobalRouter::new(&layout, RouterConfig::default());
     for (idx, net) in layout.nets().iter().enumerate() {
         let id = layout.net_by_name(net.name()).expect("enumerated net");
-        let route = router.route_net(id).unwrap_or_else(|e| panic!("net {idx}: {e}"));
+        let route = router
+            .route_net(id)
+            .unwrap_or_else(|e| panic!("net {idx}: {e}"));
         // Each terminal must have at least one pin on the routed tree
         // (or be the seed terminal whose pins are tree points).
         for terminal in net.terminals() {

@@ -77,9 +77,13 @@ fn pins_on_polygon_boundaries_validate_and_route() {
     let net = layout.add_net("sig");
     let t0 = layout.add_terminal(net, "a");
     // Pin on the notch edge (the inner corner of the L).
-    layout.add_pin(t0, Pin::on_cell(ell, Point::new(55, 60))).unwrap();
+    layout
+        .add_pin(t0, Pin::on_cell(ell, Point::new(55, 60)))
+        .unwrap();
     let t1 = layout.add_terminal(net, "b");
-    layout.add_pin(t1, Pin::on_cell(ell, Point::new(80, 30))).unwrap();
+    layout
+        .add_pin(t1, Pin::on_cell(ell, Point::new(80, 30)))
+        .unwrap();
     layout.validate().unwrap();
     let router = GlobalRouter::new(&layout, RouterConfig::default());
     let route = router.route_net(net).unwrap();
@@ -100,9 +104,13 @@ fn pin_off_polygon_boundary_fails_validation() {
     let net = layout.add_net("sig");
     let t0 = layout.add_terminal(net, "a");
     // (60, 60) is inside the L's notch void: on no boundary edge.
-    layout.add_pin(t0, Pin::on_cell(ell, Point::new(60, 60))).unwrap();
+    layout
+        .add_pin(t0, Pin::on_cell(ell, Point::new(60, 60)))
+        .unwrap();
     let t1 = layout.add_terminal(net, "b");
-    layout.add_pin(t1, Pin::on_cell(ell, Point::new(80, 30))).unwrap();
+    layout
+        .add_pin(t1, Pin::on_cell(ell, Point::new(80, 30)))
+        .unwrap();
     let err = layout.validate().unwrap_err();
     assert!(err.to_string().contains("boundary"), "{err}");
 }
@@ -111,14 +119,20 @@ fn pin_off_polygon_boundary_fails_validation() {
 fn mixed_rect_and_polygon_layout_full_flow() {
     let mut layout = Layout::new(Rect::new(0, 0, 200, 120).unwrap());
     layout.add_polygon_cell("u", u_cell()).unwrap();
-    layout.add_cell("rom", Rect::new(120, 30, 170, 90).unwrap()).unwrap();
+    layout
+        .add_cell("rom", Rect::new(120, 30, 170, 90).unwrap())
+        .unwrap();
     let net = layout.add_net("bus");
     let t0 = layout.add_terminal(net, "u_pin");
     let u = layout.cell_by_name("u").unwrap();
-    layout.add_pin(t0, Pin::on_cell(u, Point::new(90, 50))).unwrap();
+    layout
+        .add_pin(t0, Pin::on_cell(u, Point::new(90, 50)))
+        .unwrap();
     let t1 = layout.add_terminal(net, "rom_pin");
     let rom = layout.cell_by_name("rom").unwrap();
-    layout.add_pin(t1, Pin::on_cell(rom, Point::new(120, 50))).unwrap();
+    layout
+        .add_pin(t1, Pin::on_cell(rom, Point::new(120, 50)))
+        .unwrap();
     layout.validate().unwrap();
     let router = GlobalRouter::new(&layout, RouterConfig::default());
     let route = router.route_net(net).unwrap();

@@ -36,7 +36,10 @@ fn exhaustive_search_finds_the_same_optimum_with_more_work() {
     let informed = astar(&space).expect("reachable");
     let blind = exhaustive(&space).expect("reachable");
     assert_eq!(informed.cost.primary, blind.cost.primary);
-    assert_eq!(informed.cost.primary, Point::new(5, 5).manhattan(Point::new(90, 90)));
+    assert_eq!(
+        informed.cost.primary,
+        Point::new(5, 5).manhattan(Point::new(90, 90))
+    );
     assert!(
         informed.stats.expanded < blind.stats.expanded,
         "termination condition must save work: {} vs {}",

@@ -14,7 +14,9 @@ struct Dsu {
 
 impl Dsu {
     fn new(n: usize) -> Dsu {
-        Dsu { parent: (0..n).collect() }
+        Dsu {
+            parent: (0..n).collect(),
+        }
     }
     fn find(&mut self, x: usize) -> usize {
         if self.parent[x] != x {
@@ -112,7 +114,11 @@ fn check_layout_nets(layout: &Layout, ids: &[NetId], case: u64) {
 
 #[test]
 fn random_multi_terminal_nets_are_electrically_connected() {
-    let params = placements::MacroGridParams { rows: 3, cols: 3, ..Default::default() };
+    let params = placements::MacroGridParams {
+        rows: 3,
+        cols: 3,
+        ..Default::default()
+    };
     for case in 0..6u64 {
         let mut layout = placements::macro_grid(&params, &mut rng_for("conn-layout", case));
         let mut rng = rng_for("conn-nets", case);
@@ -123,7 +129,11 @@ fn random_multi_terminal_nets_are_electrically_connected() {
 
 #[test]
 fn multi_pin_nets_are_electrically_connected() {
-    let params = placements::MacroGridParams { rows: 3, cols: 3, ..Default::default() };
+    let params = placements::MacroGridParams {
+        rows: 3,
+        cols: 3,
+        ..Default::default()
+    };
     let mut layout = placements::macro_grid(&params, &mut rng_for("conn-mp", 0));
     let ids = netlists::add_multi_pin_nets(&mut layout, 8, 3, &mut rng_for("conn-mp", 1));
     check_layout_nets(&layout, &ids, 0);
@@ -131,7 +141,11 @@ fn multi_pin_nets_are_electrically_connected() {
 
 #[test]
 fn two_pin_nets_are_electrically_connected() {
-    let params = placements::MacroGridParams { rows: 4, cols: 4, ..Default::default() };
+    let params = placements::MacroGridParams {
+        rows: 4,
+        cols: 4,
+        ..Default::default()
+    };
     let mut layout = placements::macro_grid(&params, &mut rng_for("conn-2p", 0));
     let ids = netlists::add_two_pin_nets(&mut layout, 25, &mut rng_for("conn-2p", 1));
     check_layout_nets(&layout, &ids, 0);
@@ -149,6 +163,9 @@ fn checker_rejects_disconnected_trees() {
     let terminals = vec![vec![Point::new(0, 0)], vec![Point::new(20, 20)]];
     assert!(!net_is_electrically_connected(&tree, &terminals));
     // But one multi-pin terminal spanning both wires shorts them.
-    let shorted = vec![vec![Point::new(5, 0), Point::new(20, 20)], vec![Point::new(0, 0)]];
+    let shorted = vec![
+        vec![Point::new(5, 0), Point::new(20, 20)],
+        vec![Point::new(0, 0)],
+    ];
     assert!(net_is_electrically_connected(&tree, &shorted));
 }
