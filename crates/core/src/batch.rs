@@ -16,7 +16,9 @@
 //! flow runs on top of the aggregated passage occupancies, rerouting only
 //! the nets that use over-subscribed passages — again in parallel.
 
-use gcr_geom::Plane;
+use std::sync::OnceLock;
+
+use gcr_geom::{Plane, PlaneIndex, ShardedPlane};
 use gcr_layout::{Layout, Net, NetId};
 use gcr_search::{parallel_map, SearchStats};
 
@@ -24,6 +26,23 @@ use crate::congestion::{analyze, find_passages, CongestionPenalty};
 use crate::engine::{GridlessEngine, RoutingEngine};
 use crate::net_router::{GlobalRouting, NetRoute, TwoPassReport};
 use crate::{EdgeCoster, GoalSet, RouteError, RouteTree, RouterConfig};
+
+/// Which spatial index backs the obstacle plane of a batch run.
+///
+/// Both implementations answer every query bit-identically (asserted by
+/// `tests/plane_equivalence.rs`); the knob only changes how the answers
+/// are computed — and whether repeated connection queries are memoized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PlaneIndexKind {
+    /// The flat ray-traced [`Plane`] with its sorted-face topological
+    /// index.
+    #[default]
+    Flat,
+    /// The bucket-gridded [`ShardedPlane`] with the memoized
+    /// connection-query cache, shared (and reused) across all nets of the
+    /// batch.
+    Sharded,
+}
 
 /// How a batch run schedules its nets.
 #[derive(Debug, Clone, Copy)]
@@ -34,6 +53,9 @@ pub struct BatchConfig {
     /// Worker count; `None` = the machine's available parallelism, capped
     /// by the batch size.
     pub threads: Option<usize>,
+    /// The spatial index answering the engines' connection queries.
+    /// Output is byte-identical either way.
+    pub index: PlaneIndexKind,
 }
 
 impl Default for BatchConfig {
@@ -41,6 +63,7 @@ impl Default for BatchConfig {
         BatchConfig {
             parallel: true,
             threads: None,
+            index: PlaneIndexKind::Flat,
         }
     }
 }
@@ -52,8 +75,21 @@ impl BatchConfig {
     pub fn serial() -> BatchConfig {
         BatchConfig {
             parallel: false,
-            threads: None,
+            ..BatchConfig::default()
         }
+    }
+
+    /// The default schedule over the sharded, query-caching plane index.
+    #[must_use]
+    pub fn sharded() -> BatchConfig {
+        BatchConfig::default().with_index(PlaneIndexKind::Sharded)
+    }
+
+    /// Replaces the spatial-index selection.
+    #[must_use]
+    pub fn with_index(mut self, index: PlaneIndexKind) -> BatchConfig {
+        self.index = index;
+        self
     }
 
     fn threads_for(&self, items: usize) -> usize {
@@ -66,6 +102,45 @@ impl BatchConfig {
     }
 }
 
+/// The obstacle plane behind a [`BatchRouter`], in whichever index the
+/// batch configuration selected.
+#[derive(Debug)]
+enum PlaneStore {
+    Flat(Plane),
+    Sharded(ShardedPlane),
+}
+
+impl PlaneStore {
+    fn build(layout: &Layout, kind: PlaneIndexKind) -> PlaneStore {
+        match kind {
+            PlaneIndexKind::Flat => PlaneStore::Flat(layout.to_plane()),
+            PlaneIndexKind::Sharded => PlaneStore::Sharded(ShardedPlane::new(layout.to_plane())),
+        }
+    }
+
+    fn kind(&self) -> PlaneIndexKind {
+        match self {
+            PlaneStore::Flat(_) => PlaneIndexKind::Flat,
+            PlaneStore::Sharded(_) => PlaneIndexKind::Sharded,
+        }
+    }
+
+    fn index(&self) -> &dyn PlaneIndex {
+        match self {
+            PlaneStore::Flat(p) => p,
+            PlaneStore::Sharded(s) => s,
+        }
+    }
+
+    /// Invalidates memoized connection queries (a no-op for the flat
+    /// plane, which caches nothing).
+    fn invalidate_cache(&self) {
+        if let PlaneStore::Sharded(s) = self {
+            s.invalidate();
+        }
+    }
+}
+
 /// Routes the nets of a [`Layout`] through a pluggable [`RoutingEngine`].
 ///
 /// This is the generalization of the original `GlobalRouter` (which is
@@ -75,7 +150,10 @@ impl BatchConfig {
 #[derive(Debug)]
 pub struct BatchRouter<'a, E: RoutingEngine = GridlessEngine> {
     layout: &'a Layout,
-    plane: Plane,
+    /// Built lazily on first use, so reconfiguring the index via
+    /// [`BatchRouter::with_batch`] before the first route never pays for
+    /// a plane it immediately discards.
+    plane: OnceLock<PlaneStore>,
     config: RouterConfig,
     batch: BatchConfig,
     engine: E,
@@ -96,24 +174,36 @@ impl<'a, E: RoutingEngine> BatchRouter<'a, E> {
     pub fn new(layout: &'a Layout, config: RouterConfig, engine: E) -> BatchRouter<'a, E> {
         BatchRouter {
             layout,
-            plane: layout.to_plane(),
+            plane: OnceLock::new(),
             config,
             batch: BatchConfig::default(),
             engine,
         }
     }
 
-    /// Replaces the scheduling configuration.
+    /// Replaces the scheduling configuration (dropping an already built
+    /// plane store when the spatial-index selection changed).
     #[must_use]
     pub fn with_batch(mut self, batch: BatchConfig) -> BatchRouter<'a, E> {
+        if self.plane.get().is_some_and(|p| p.kind() != batch.index) {
+            self.plane = OnceLock::new();
+        }
         self.batch = batch;
         self
     }
 
-    /// The obstacle plane the router searches.
+    /// The plane store in the configured index (built on first use; safe
+    /// to race from the batch worker threads).
+    fn store(&self) -> &PlaneStore {
+        self.plane
+            .get_or_init(|| PlaneStore::build(self.layout, self.batch.index))
+    }
+
+    /// The obstacle plane the router searches, behind the configured
+    /// spatial index.
     #[must_use]
-    pub fn plane(&self) -> &Plane {
-        &self.plane
+    pub fn plane(&self) -> &dyn PlaneIndex {
+        self.store().index()
     }
 
     /// The active router configuration.
@@ -187,16 +277,17 @@ impl<'a, E: RoutingEngine> BatchRouter<'a, E> {
                 what: format!("net {}", net.name()),
             });
         }
+        let plane = self.store().index();
         for pin in net.all_pins() {
-            if !self.plane.point_free(pin.position) {
+            if !plane.point_free(pin.position) {
                 return Err(RouteError::InvalidEndpoint {
                     point: pin.position,
                 });
             }
         }
         let coster = match penalty {
-            Some(p) => EdgeCoster::with_congestion(&self.plane, &self.config, p),
-            None => EdgeCoster::new(&self.plane, &self.config),
+            Some(p) => EdgeCoster::with_congestion(plane, &self.config, p),
+            None => EdgeCoster::new(plane, &self.config),
         };
 
         let mut tree = RouteTree::new();
@@ -216,7 +307,7 @@ impl<'a, E: RoutingEngine> BatchRouter<'a, E> {
             }
             let routed = if segment_connections {
                 self.engine
-                    .route_connection(&self.plane, &tree, &goals, &coster, &self.config)
+                    .route_connection(plane, &tree, &goals, &coster, &self.config)
             } else {
                 // Strawman: seed only from connected pins/junction points.
                 let mut pin_tree = RouteTree::new();
@@ -224,7 +315,7 @@ impl<'a, E: RoutingEngine> BatchRouter<'a, E> {
                     pin_tree.add_point(*p);
                 }
                 self.engine
-                    .route_connection(&self.plane, &pin_tree, &goals, &coster, &self.config)
+                    .route_connection(plane, &pin_tree, &goals, &coster, &self.config)
             }
             .map_err(|e| match e {
                 RouteError::Unreachable { .. } => RouteError::Unreachable {
@@ -292,7 +383,13 @@ impl<'a, E: RoutingEngine> BatchRouter<'a, E> {
     #[must_use]
     pub fn route_two_pass(&self) -> TwoPassReport {
         let first = self.route_all();
-        let passages = find_passages(&self.plane);
+        // Pass 1 is committed here: invalidate memoized connection
+        // queries before the congestion analysis and reroute. The plane
+        // geometry itself is unchanged (nets are never obstacles), so
+        // this is a correctness barrier, not a semantic change — pass-2
+        // queries recompute cold and must (and do) agree bit for bit.
+        self.store().invalidate_cache();
+        let passages = find_passages(self.store().index());
         let collect = |routing: &GlobalRouting| {
             routing
                 .routes
@@ -385,6 +482,7 @@ mod tests {
             .with_batch(BatchConfig {
                 parallel: true,
                 threads: Some(4),
+                ..BatchConfig::default()
             })
             .route_all();
         assert_eq!(serial.routes.len(), parallel.routes.len());
@@ -460,6 +558,7 @@ mod tests {
                 .with_batch(BatchConfig {
                     parallel: true,
                     threads: Some(threads),
+                    ..BatchConfig::default()
                 })
                 .route_all();
             assert_eq!(

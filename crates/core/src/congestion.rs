@@ -18,7 +18,7 @@
 use std::collections::BTreeSet;
 use std::fmt;
 
-use gcr_geom::{Axis, Coord, Plane, Rect, Segment};
+use gcr_geom::{Axis, Coord, PlaneIndex, Rect, Segment};
 
 /// One side of a passage: a cell (by obstacle id) or the plane boundary.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -79,7 +79,7 @@ impl fmt::Display for Passage {
 /// Finds every clean passage in the plane: facing cell pairs and
 /// cell-to-boundary strips with positive gap and no third cell intruding.
 #[must_use]
-pub fn find_passages(plane: &Plane) -> Vec<Passage> {
+pub fn find_passages(plane: &dyn PlaneIndex) -> Vec<Passage> {
     let rects = plane.rects();
     let bounds = plane.bounds();
     let mut out: Vec<Passage> = Vec::new();

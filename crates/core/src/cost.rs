@@ -6,7 +6,7 @@
 //! describes — the inverted-corner ε (Figure 2) and congestion penalties —
 //! on top of the base rectilinear wire length.
 
-use gcr_geom::{Dir, Plane, Point, Segment};
+use gcr_geom::{Dir, PlaneIndex, Point, Segment};
 use gcr_search::LexCost;
 
 use crate::congestion::CongestionPenalty;
@@ -19,7 +19,7 @@ use crate::{RouteState, RouterConfig};
 /// open space creates the **inverted corner** of Figure 2 (a notch that
 /// wastes detailed-routing space) and is charged one ε.
 #[must_use]
-pub fn bend_is_anchored(plane: &Plane, q: Point) -> bool {
+pub fn bend_is_anchored(plane: &dyn PlaneIndex, q: Point) -> bool {
     plane.obstacle_at(q).is_some() || plane.bounds().on_boundary(q)
 }
 
@@ -27,7 +27,7 @@ pub fn bend_is_anchored(plane: &Plane, q: Point) -> bool {
 /// plus congestion surcharges when a congestion pass is active.
 #[derive(Debug, Clone, Copy)]
 pub struct EdgeCoster<'a> {
-    plane: &'a Plane,
+    plane: &'a dyn PlaneIndex,
     corner_penalty: bool,
     congestion: Option<&'a CongestionPenalty>,
 }
@@ -35,7 +35,7 @@ pub struct EdgeCoster<'a> {
 impl<'a> EdgeCoster<'a> {
     /// A coster for the plain first pass (no congestion surcharges).
     #[must_use]
-    pub fn new(plane: &'a Plane, config: &RouterConfig) -> EdgeCoster<'a> {
+    pub fn new(plane: &'a dyn PlaneIndex, config: &RouterConfig) -> EdgeCoster<'a> {
         EdgeCoster {
             plane,
             corner_penalty: config.corner_penalty,
@@ -48,7 +48,7 @@ impl<'a> EdgeCoster<'a> {
     /// nets could penalize those paths which chose the congested area").
     #[must_use]
     pub fn with_congestion(
-        plane: &'a Plane,
+        plane: &'a dyn PlaneIndex,
         config: &RouterConfig,
         penalty: &'a CongestionPenalty,
     ) -> EdgeCoster<'a> {
@@ -85,7 +85,7 @@ impl<'a> EdgeCoster<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gcr_geom::Rect;
+    use gcr_geom::{Plane, Rect};
 
     fn plane() -> Plane {
         let mut p = Plane::new(Rect::new(0, 0, 100, 100).unwrap());

@@ -20,7 +20,7 @@
 //! produced by engines that implement the paper's inverted-corner
 //! penalty.
 
-use gcr_geom::{Plane, Point};
+use gcr_geom::{PlaneIndex, Point};
 use gcr_search::{LexCost, SearchStats};
 
 use crate::{
@@ -74,7 +74,7 @@ pub trait RoutingEngine: Sync {
     /// [`EngineCaps::complete`].
     fn route_connection(
         &self,
-        plane: &Plane,
+        plane: &dyn PlaneIndex,
         tree: &RouteTree,
         goals: &GoalSet,
         coster: &EdgeCoster<'_>,
@@ -91,7 +91,7 @@ impl<E: RoutingEngine + ?Sized> RoutingEngine for &E {
 
     fn route_connection(
         &self,
-        plane: &Plane,
+        plane: &dyn PlaneIndex,
         tree: &RouteTree,
         goals: &GoalSet,
         coster: &EdgeCoster<'_>,
@@ -108,7 +108,7 @@ impl<E: RoutingEngine + ?Sized> RoutingEngine for Box<E> {
 
     fn route_connection(
         &self,
-        plane: &Plane,
+        plane: &dyn PlaneIndex,
         tree: &RouteTree,
         goals: &GoalSet,
         coster: &EdgeCoster<'_>,
@@ -139,7 +139,7 @@ impl RoutingEngine for GridlessEngine {
 
     fn route_connection(
         &self,
-        plane: &Plane,
+        plane: &dyn PlaneIndex,
         tree: &RouteTree,
         goals: &GoalSet,
         coster: &EdgeCoster<'_>,
@@ -190,7 +190,12 @@ impl GridEngine {
     /// Appends every lattice point of `seg` (stepping by pitch from the
     /// first grid-aligned coordinate; nothing if the perpendicular
     /// coordinate is off-grid).
-    fn lattice_points(&self, plane: &Plane, seg: &gcr_geom::Segment, out: &mut Vec<Point>) {
+    fn lattice_points(
+        &self,
+        plane: &dyn PlaneIndex,
+        seg: &gcr_geom::Segment,
+        out: &mut Vec<Point>,
+    ) {
         let origin = plane.bounds();
         let axis = seg.axis();
         let base = seg.a();
@@ -215,7 +220,7 @@ impl GridEngine {
 
     /// All grid-aligned points of the tree: recorded points, segment
     /// endpoints, and every lattice point along each segment.
-    fn grid_sources(&self, plane: &Plane, tree: &RouteTree) -> Vec<Point> {
+    fn grid_sources(&self, plane: &dyn PlaneIndex, tree: &RouteTree) -> Vec<Point> {
         let origin = plane.bounds();
         let on_grid = |p: Point| {
             (p.x - origin.xmin()).rem_euclid(self.pitch) == 0
@@ -254,7 +259,7 @@ impl RoutingEngine for GridEngine {
 
     fn route_connection(
         &self,
-        plane: &Plane,
+        plane: &dyn PlaneIndex,
         tree: &RouteTree,
         goals: &GoalSet,
         _coster: &EdgeCoster<'_>,
@@ -346,7 +351,7 @@ impl RoutingEngine for HightowerEngine {
 
     fn route_connection(
         &self,
-        plane: &Plane,
+        plane: &dyn PlaneIndex,
         tree: &RouteTree,
         goals: &GoalSet,
         _coster: &EdgeCoster<'_>,
@@ -420,7 +425,7 @@ impl RoutingEngine for HightowerEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gcr_geom::Rect;
+    use gcr_geom::{Plane, Rect};
 
     fn plane_with_block() -> Plane {
         let mut p = Plane::new(Rect::new(0, 0, 100, 100).unwrap());

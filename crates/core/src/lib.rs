@@ -67,7 +67,7 @@ mod space;
 mod state;
 mod tree;
 
-pub use batch::{BatchConfig, BatchRouter};
+pub use batch::{BatchConfig, BatchRouter, PlaneIndexKind};
 pub use config::RouterConfig;
 pub use cost::{bend_is_anchored, EdgeCoster};
 pub use engine::{EngineCaps, GridEngine, GridlessEngine, HightowerEngine, RoutingEngine};

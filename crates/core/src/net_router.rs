@@ -13,7 +13,7 @@
 
 use std::fmt;
 
-use gcr_geom::{Plane, Segment};
+use gcr_geom::{PlaneIndex, Segment};
 use gcr_layout::{Layout, NetId};
 use gcr_search::SearchStats;
 
@@ -156,7 +156,7 @@ impl<'a> GlobalRouter<'a> {
 
     /// The obstacle plane the router searches.
     #[must_use]
-    pub fn plane(&self) -> &Plane {
+    pub fn plane(&self) -> &dyn PlaneIndex {
         self.inner.plane()
     }
 

@@ -1,6 +1,6 @@
 //! Point-to-point and tree-to-goal routing entry points.
 
-use gcr_geom::{Plane, Point, Polyline};
+use gcr_geom::{PlaneIndex, Point, Polyline};
 use gcr_search::{
     astar_with_limits, Found, LexCost, PathCost, SearchLimits, SearchOutcome, SearchStats,
 };
@@ -45,7 +45,7 @@ impl RoutedPath {
 /// * [`RouteError::Unreachable`] if no legal path exists,
 /// * [`RouteError::LimitExceeded`] under [`RouterConfig::max_expansions`].
 pub fn route_two_points(
-    plane: &Plane,
+    plane: &dyn PlaneIndex,
     a: Point,
     b: Point,
     config: &RouterConfig,
@@ -82,7 +82,7 @@ pub fn route_two_points(
 /// As [`route_two_points`], with [`RouteError::NothingToRoute`] when the
 /// tree or goal set is empty.
 pub fn route_from_tree(
-    plane: &Plane,
+    plane: &dyn PlaneIndex,
     tree: &RouteTree,
     goals: &GoalSet,
     coster: EdgeCoster<'_>,
@@ -100,7 +100,7 @@ pub fn route_from_tree(
 }
 
 fn run(
-    plane: &Plane,
+    plane: &dyn PlaneIndex,
     goals: &GoalSet,
     sources: Vec<(RouteState, LexCost)>,
     coster: EdgeCoster<'_>,
@@ -142,7 +142,7 @@ fn run(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gcr_geom::Rect;
+    use gcr_geom::{Plane, Rect};
 
     fn open_plane() -> Plane {
         Plane::new(Rect::new(0, 0, 100, 100).unwrap())

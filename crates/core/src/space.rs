@@ -27,7 +27,7 @@
 //! cross-validates this against the Lee–Moore router on thousands of
 //! random instances (experiment E3).
 
-use gcr_geom::Plane;
+use gcr_geom::PlaneIndex;
 use gcr_search::{LexCost, SearchSpace};
 
 use crate::{EdgeCoster, GoalSet, RouteState};
@@ -35,7 +35,7 @@ use crate::{EdgeCoster, GoalSet, RouteState};
 /// The gridless routing problem fed to the generic A\* engine.
 #[derive(Debug, Clone)]
 pub struct RoutingSpace<'a> {
-    plane: &'a Plane,
+    plane: &'a dyn PlaneIndex,
     goals: &'a GoalSet,
     sources: Vec<(RouteState, LexCost)>,
     coster: EdgeCoster<'a>,
@@ -50,7 +50,7 @@ impl<'a> RoutingSpace<'a> {
     /// `goals`, priced by `coster`.
     #[must_use]
     pub fn new(
-        plane: &'a Plane,
+        plane: &'a dyn PlaneIndex,
         goals: &'a GoalSet,
         sources: Vec<(RouteState, LexCost)>,
         coster: EdgeCoster<'a>,
@@ -99,7 +99,7 @@ impl<'a> RoutingSpace<'a> {
 
     /// The plane being routed over.
     #[must_use]
-    pub fn plane(&self) -> &Plane {
+    pub fn plane(&self) -> &'a dyn PlaneIndex {
         self.plane
     }
 }
@@ -177,7 +177,7 @@ impl SearchSpace for RoutingSpace<'_> {
 mod tests {
     use super::*;
     use crate::RouterConfig;
-    use gcr_geom::{Dir, Point, Rect};
+    use gcr_geom::{Dir, Plane, Point, Rect};
     use gcr_search::PathCost;
 
     fn one_block() -> Plane {

@@ -11,7 +11,7 @@
 
 use std::collections::BTreeSet;
 
-use gcr_geom::{Axis, Coord, Plane, Point, Polyline, Segment};
+use gcr_geom::{Axis, Coord, PlaneIndex, Point, Polyline, Segment};
 use gcr_search::{LexCost, PathCost};
 
 use crate::{GoalSet, RouteState};
@@ -124,7 +124,7 @@ impl RouteTree {
     /// All seeds carry zero initial cost: leaving the existing tree is
     /// free.
     #[must_use]
-    pub fn seeds(&self, plane: &Plane, goals: &GoalSet) -> Vec<(RouteState, LexCost)> {
+    pub fn seeds(&self, plane: &dyn PlaneIndex, goals: &GoalSet) -> Vec<(RouteState, LexCost)> {
         let mut pts: BTreeSet<Point> = BTreeSet::new();
         pts.extend(self.points.iter().copied());
         let mut goal_pts: Vec<Point> = goals.points().to_vec();
@@ -169,7 +169,7 @@ impl RouteTree {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gcr_geom::Rect;
+    use gcr_geom::{Plane, Rect};
 
     #[test]
     fn empty_tree() {

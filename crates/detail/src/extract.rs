@@ -11,7 +11,7 @@ use std::time::{Duration, Instant};
 
 use gcr_core::congestion::{find_passages, Passage};
 use gcr_core::GlobalRouting;
-use gcr_geom::Plane;
+use gcr_geom::PlaneIndex;
 
 use crate::leftedge::{left_edge, NetSpan, TrackAssignment};
 
@@ -98,7 +98,7 @@ impl DetailReport {
 /// plane, every net with wire running along the passage corridor
 /// contributes its clipped span. Passages without wire produce no channel.
 #[must_use]
-pub fn extract_channels(plane: &Plane, routing: &GlobalRouting) -> Vec<ChannelInstance> {
+pub fn extract_channels(plane: &dyn PlaneIndex, routing: &GlobalRouting) -> Vec<ChannelInstance> {
     let passages = find_passages(plane);
     let mut out = Vec::new();
     for p in passages {
@@ -143,7 +143,7 @@ pub fn extract_channels(plane: &Plane, routing: &GlobalRouting) -> Vec<ChannelIn
 /// extraction, timed (experiment E7 compares this to the global-routing
 /// time).
 #[must_use]
-pub fn route_details(plane: &Plane, routing: &GlobalRouting) -> DetailReport {
+pub fn route_details(plane: &dyn PlaneIndex, routing: &GlobalRouting) -> DetailReport {
     let start = Instant::now();
     let channels = extract_channels(plane, routing);
     let assignments: Vec<TrackAssignment> = channels.iter().map(|c| left_edge(&c.spans)).collect();

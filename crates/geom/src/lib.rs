@@ -36,6 +36,7 @@
 mod coord;
 mod dir;
 mod error;
+mod index;
 mod interval;
 mod plane;
 mod point;
@@ -43,10 +44,12 @@ mod polyline;
 mod rect;
 mod rpolygon;
 mod segment;
+mod sharded;
 
 pub use coord::{Coord, COORD_MAX, COORD_MIN};
 pub use dir::{Axis, Dir, Turn};
 pub use error::GeomError;
+pub use index::PlaneIndex;
 pub use interval::Interval;
 pub use plane::{CornerCandidate, ObstacleId, Plane, RayHit, TurnSide};
 pub use point::Point;
@@ -54,3 +57,4 @@ pub use polyline::Polyline;
 pub use rect::Rect;
 pub use rpolygon::RectilinearPolygon;
 pub use segment::Segment;
+pub use sharded::{PlaneCacheStats, ShardedPlane};

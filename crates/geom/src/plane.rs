@@ -67,6 +67,78 @@ impl TurnSide {
     }
 }
 
+/// The entry-face coordinate at which `r` blocks a ray travelling along
+/// `axis` (perpendicular coordinate `w`) from `u0` toward `bound`, or
+/// `None` when it does not block.
+///
+/// This single predicate defines the blocking semantics for **every**
+/// plane implementation (flat linear scan, flat indexed scan, sharded
+/// bucket walk), so they cannot drift apart: an obstacle blocks when its
+/// open perpendicular span straddles the ray line and its interior lies
+/// strictly ahead of the origin and strictly before the boundary.
+pub(crate) fn ray_entry(
+    r: &Rect,
+    axis: Axis,
+    perp: Axis,
+    positive: bool,
+    u0: Coord,
+    w: Coord,
+    bound: Coord,
+) -> Option<Coord> {
+    if r.is_degenerate() || !r.span(perp).contains_open(w) {
+        return None;
+    }
+    let m = r.span(axis);
+    if positive {
+        (m.hi() > u0 && m.lo() >= u0 && m.lo() < bound).then(|| m.lo())
+    } else {
+        (m.lo() < u0 && m.hi() <= u0 && m.hi() > bound).then(|| m.hi())
+    }
+}
+
+/// Which side of a ray line (perpendicular coordinate `w`) the rectangle
+/// lies wholly on, or `None` when it straddles the line (blocking rather
+/// than anchoring) or is degenerate. Shared by every plane
+/// implementation's corner-candidate enumeration.
+pub(crate) fn turn_side_of(r: &Rect, perp: Axis, w: Coord) -> Option<TurnSide> {
+    if r.is_degenerate() {
+        return None;
+    }
+    let pv = r.span(perp);
+    if pv.lo() >= w && pv.hi() > w {
+        Some(TurnSide::Positive)
+    } else if pv.hi() <= w && pv.lo() < w {
+        Some(TurnSide::Negative)
+    } else {
+        // Straddles (blocks) or is perpendicular-degenerate on the ray
+        // line; either way its corners anchor nothing new.
+        None
+    }
+}
+
+/// The canonical ordering + dedup applied to corner candidates by every
+/// plane implementation: sorted by distance from the origin (positive
+/// side first on ties, then lowest obstacle id), deduplicated by
+/// `(at, side)`.
+pub(crate) fn finish_corner_candidates(
+    mut out: Vec<CornerCandidate>,
+    positive: bool,
+) -> Vec<CornerCandidate> {
+    if positive {
+        out.sort_by_key(|c| (c.at, c.side == TurnSide::Negative, c.obstacle));
+    } else {
+        out.sort_by_key(|c| {
+            (
+                std::cmp::Reverse(c.at),
+                c.side == TurnSide::Negative,
+                c.obstacle,
+            )
+        });
+    }
+    out.dedup_by_key(|c| (c.at, c.side));
+    out
+}
+
 /// A coordinate along a ray at which a minimal path may usefully turn,
 /// because it aligns with a corner of some obstacle on the turning side.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -348,18 +420,12 @@ impl Plane {
         let mut stop = bound;
         let mut blocker = None;
         for (r, id) in &self.rects {
-            if r.is_degenerate() || !r.span(perp).contains_open(w) {
+            let Some(entry) = ray_entry(r, axis, perp, positive, u0, w, bound) else {
                 continue;
-            }
-            let m = r.span(axis);
-            if positive {
-                // Blocks if its interior lies ahead: entry at m.lo().
-                if m.hi() > u0 && m.lo() >= u0 && m.lo() < stop {
-                    stop = m.lo();
-                    blocker = Some(*id);
-                }
-            } else if m.lo() < u0 && m.hi() <= u0 && m.hi() > stop {
-                stop = m.hi();
+            };
+            // Strict comparison: the first (lowest-index) rect wins ties.
+            if (positive && entry < stop) || (!positive && entry > stop) {
+                stop = entry;
                 blocker = Some(*id);
             }
         }
@@ -397,12 +463,25 @@ impl Plane {
             }
         } else {
             let end = entries.partition_point(|&(c, _)| c <= u0);
-            for &(c, ri) in entries[..end].iter().rev() {
+            let mut it = entries[..end].iter().rev();
+            while let Some(&(c, ri)) = it.next() {
                 if c <= bound {
                     break;
                 }
                 if let Some(id) = hit(ri) {
-                    return (c, Some(id));
+                    // Entries sharing this coordinate follow in descending
+                    // rect order; the linear scan's tie-break is the
+                    // *lowest* rect index, so keep scanning the tie group.
+                    let mut best = id;
+                    for &(c2, ri2) in it {
+                        if c2 != c {
+                            break;
+                        }
+                        if let Some(id2) = hit(ri2) {
+                            best = id2;
+                        }
+                    }
+                    return (c, Some(best));
                 }
             }
         }
@@ -432,21 +511,7 @@ impl Plane {
                 c < u0 && c >= stop
             }
         };
-        let classify = |r: &Rect| -> Option<TurnSide> {
-            if r.is_degenerate() {
-                return None;
-            }
-            let pv = r.span(perp);
-            if pv.lo() >= w && pv.hi() > w {
-                Some(TurnSide::Positive)
-            } else if pv.hi() <= w && pv.lo() < w {
-                Some(TurnSide::Negative)
-            } else {
-                // Straddles (blocks) or is perpendicular-degenerate on the
-                // ray line; either way its corners anchor nothing new.
-                None
-            }
-        };
+        let classify = |r: &Rect| -> Option<TurnSide> { turn_side_of(r, perp, w) };
         let mut out: Vec<CornerCandidate> = Vec::new();
         match &self.index {
             Some(ix) => {
@@ -492,19 +557,7 @@ impl Plane {
                 }
             }
         }
-        if positive {
-            out.sort_by_key(|c| (c.at, c.side == TurnSide::Negative, c.obstacle));
-        } else {
-            out.sort_by_key(|c| {
-                (
-                    std::cmp::Reverse(c.at),
-                    c.side == TurnSide::Negative,
-                    c.obstacle,
-                )
-            });
-        }
-        out.dedup_by_key(|c| (c.at, c.side));
-        out
+        finish_corner_candidates(out, positive)
     }
 
     /// The sorted, deduplicated coordinates of all obstacle edges on `axis`,
@@ -704,6 +757,21 @@ mod tests {
         let _far = p.add_obstacle(Rect::new(50, 40, 60, 60).unwrap());
         let hit = p.ray_hit(Point::new(0, 50), Dir::East);
         assert_eq!((hit.stop, hit.blocker), (20, Some(near)));
+    }
+
+    #[test]
+    fn indexed_and_linear_scans_break_entry_face_ties_identically() {
+        // Regression: two obstacles sharing one exit face (x = 60). The
+        // linear scan awards the tie to the first-inserted rect; the
+        // indexed westward scan used to return the last-inserted one.
+        let mut p = Plane::new(Rect::new(0, 0, 100, 100).unwrap());
+        let first = p.add_obstacle(Rect::new(40, 40, 60, 55).unwrap());
+        let _second = p.add_obstacle(Rect::new(30, 45, 60, 60).unwrap());
+        let linear = p.ray_hit(Point::new(100, 50), Dir::West);
+        p.build_index();
+        let indexed = p.ray_hit(Point::new(100, 50), Dir::West);
+        assert_eq!(linear, indexed);
+        assert_eq!(indexed.blocker, Some(first));
     }
 
     #[test]

@@ -1,0 +1,861 @@
+//! [`ShardedPlane`]: a bucket-grid spatial index over the obstacle plane,
+//! with a memoized connection-query cache.
+//!
+//! The flat [`Plane`] answers every query by scanning (or
+//! binary-searching) one global obstacle list. Once the batch pipeline
+//! hammers the plane from every net at once, the plane is the hot path —
+//! so this implementation shards the surface into a uniform grid of
+//! buckets, each holding the interval list of the obstacle rectangles
+//! that touch it. A query then visits only the buckets its geometry
+//! crosses:
+//!
+//! * [`PlaneIndex::ray_hit`] walks the bucket row/column under the ray and
+//!   stops at the first bucket that yields a blocker (provably the global
+//!   nearest, see `ray_scan_sharded`),
+//! * [`PlaneIndex::segment_free`] / [`PlaneIndex::point_free`] test only
+//!   the rectangles registered in the buckets the probe touches,
+//! * [`PlaneIndex::corner_candidates`] is deliberately *not* bucketed:
+//!   anchoring corners sit at any perpendicular distance from the ray
+//!   line, so the plane keeps the flat topological face lists built and
+//!   delegates this one non-local query to them.
+//!
+//! On top of the shards sits a **memoized connection-query cache**: ray
+//! casts and segment-legality checks are keyed by their (net-id
+//! independent) query rectangle — the degenerate rect from the ray origin
+//! along its direction, or the segment's own rect — so identical probes
+//! issued while routing different nets are answered once. Entries are
+//! stamped with the plane's **generation**; inserting an obstacle (or an
+//! explicit [`ShardedPlane::invalidate`] at a pipeline commit point) bumps
+//! the generation and silently retires every stale entry. Because a cache
+//! hit returns exactly what the cold query would compute, caching is
+//! invisible to callers — determinism and flat/sharded equivalence are
+//! asserted by `tests/plane_equivalence.rs` and the differential tests in
+//! `crates/geom/tests/sharded.rs`.
+//!
+//! **Shard sizing heuristic:** the constructor aims at ~4 buckets per
+//! obstacle rectangle (bucket edge ≈ √(area / 4·rects)), clamped so the
+//! grid never exceeds ~1M buckets and never falls below edge length 1.
+//! Few large cells → coarse buckets that degenerate gracefully toward the
+//! flat scan; many small cells → fine buckets with O(1) rects each.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::{BuildHasherDefault, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::plane::ray_entry;
+use crate::{
+    Axis, Coord, CornerCandidate, Dir, Interval, ObstacleId, Plane, PlaneIndex, Point, RayHit,
+    Rect, RectilinearPolygon,
+};
+
+/// FNV-1a over 8-byte words: the cache keys are a handful of `i64`
+/// coordinates, and the hit path must be cheaper than the flat plane's
+/// binary-searched ray cast — SipHash would eat the entire win.
+#[derive(Default, Clone, Copy)]
+struct FnvHasher(u64);
+
+impl Hasher for FnvHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        let mut h = if self.0 == 0 {
+            0xcbf2_9ce4_8422_2325
+        } else {
+            self.0
+        };
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        self.0 = h;
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        let mut h = if self.0 == 0 {
+            0xcbf2_9ce4_8422_2325
+        } else {
+            self.0
+        };
+        h ^= v;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        self.0 = h;
+    }
+
+    fn write_i64(&mut self, v: i64) {
+        self.write_u64(v as u64);
+    }
+
+    fn write_u8(&mut self, v: u8) {
+        self.write_u64(u64::from(v));
+    }
+
+    fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+}
+
+type FnvBuild = BuildHasherDefault<FnvHasher>;
+
+/// Number of independently locked ways the query cache is split into, so
+/// parallel batch workers rarely contend on the same lock.
+const CACHE_WAYS: usize = 16;
+
+/// Per-way entry cap; a way that fills up is cleared wholesale (the cache
+/// is a memo, not a store — recomputing is always correct).
+const CACHE_WAY_CAP: usize = 1 << 16;
+
+/// Hard ceiling on the bucket-grid size chosen by the sizing heuristic.
+const MAX_BUCKETS: usize = 1 << 20;
+
+/// A connection query, keyed net-id-independently by its query rectangle:
+/// a ray is the degenerate rect at its origin extended along `dir`; a
+/// segment is its own (canonicalized) rect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum QueryKey {
+    /// Ray cast from a point in a direction.
+    Ray(Point, Dir),
+    /// Segment legality between two canonically ordered endpoints.
+    Segment(Point, Point),
+}
+
+impl QueryKey {
+    /// One FNV pass over the key's coordinates, used both to pick the
+    /// cache way and as the map hash (via [`FnvHasher`]).
+    fn fnv(&self) -> u64 {
+        let mut h = FnvHasher::default();
+        std::hash::Hash::hash(self, &mut h);
+        h.finish()
+    }
+}
+
+impl std::hash::Hash for QueryKey {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            QueryKey::Ray(p, dir) => {
+                state.write_u8(*dir as u8);
+                state.write_i64(p.x);
+                state.write_i64(p.y);
+            }
+            QueryKey::Segment(a, b) => {
+                state.write_u8(4);
+                state.write_i64(a.x);
+                state.write_i64(a.y);
+                state.write_i64(b.x);
+                state.write_i64(b.y);
+            }
+        }
+    }
+}
+
+/// A memoized query answer.
+#[derive(Debug, Clone, Copy)]
+enum QueryValue {
+    Ray(RayHit),
+    Free(bool),
+}
+
+/// One lock-guarded way of the memo: generation-stamped values by key.
+type CacheWay = Mutex<HashMap<QueryKey, (u64, QueryValue), FnvBuild>>;
+
+/// The sharded, generation-stamped query memo.
+struct QueryCache {
+    ways: Vec<CacheWay>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl QueryCache {
+    fn new() -> QueryCache {
+        QueryCache {
+            ways: (0..CACHE_WAYS)
+                .map(|_| Mutex::new(HashMap::default()))
+                .collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Looks `key` up under `generation`; on miss (or stale generation)
+    /// computes, stores and returns the fresh value. The value is a pure
+    /// function of the plane geometry and the key, so concurrent
+    /// computations of the same key store identical values — the race is
+    /// benign and the answer deterministic.
+    fn get_or(
+        &self,
+        generation: u64,
+        key: QueryKey,
+        compute: impl FnOnce() -> QueryValue,
+    ) -> QueryValue {
+        // Way selection uses bits 48.. of the hash: the per-way map reuses
+        // the same FNV hash, and hashbrown derives its bucket index from
+        // the low bits and its control tags from the top 7 — picking the
+        // way from either range would cluster every key in a way onto a
+        // fraction of the map's probe positions (or tag values).
+        let way = &self.ways[((key.fnv() >> 48) as usize) & (CACHE_WAYS - 1)];
+        {
+            let map = way
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            if let Some(&(g, v)) = map.get(&key) {
+                if g == generation {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return v;
+                }
+            }
+        }
+        let v = compute();
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let mut map = way
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if map.len() >= CACHE_WAY_CAP {
+            map.clear();
+        }
+        map.insert(key, (generation, v));
+        v
+    }
+
+    fn clear(&self) {
+        for way in &self.ways {
+            way.lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .clear();
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.ways
+            .iter()
+            .map(|w| {
+                w.lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .len()
+            })
+            .sum()
+    }
+}
+
+/// Hit/miss counters of a [`ShardedPlane`]'s query cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlaneCacheStats {
+    /// Queries answered from the memo.
+    pub hits: u64,
+    /// Queries computed cold (and memoized).
+    pub misses: u64,
+    /// Entries currently resident (stale generations included).
+    pub entries: usize,
+}
+
+/// A spatially sharded obstacle plane: drop-in [`PlaneIndex`] replacement
+/// for the flat [`Plane`] with bucket-local queries and a memoized,
+/// generation-invalidated connection-query cache.
+///
+/// ```
+/// use gcr_geom::{Dir, Plane, PlaneIndex, Point, Rect, ShardedPlane};
+/// # fn main() -> Result<(), gcr_geom::GeomError> {
+/// let mut flat = Plane::new(Rect::new(0, 0, 100, 100)?);
+/// flat.add_obstacle(Rect::new(30, 30, 70, 70)?);
+/// let sharded = ShardedPlane::new(flat.clone());
+///
+/// // Bit-identical answers through the shared trait.
+/// let p = Point::new(10, 50);
+/// assert_eq!(sharded.ray_hit(p, Dir::East), flat.ray_hit(p, Dir::East));
+/// // The second identical query is a cache hit.
+/// sharded.ray_hit(p, Dir::East);
+/// assert!(sharded.cache_stats().hits >= 1);
+/// # Ok(())
+/// # }
+/// ```
+pub struct ShardedPlane {
+    flat: Plane,
+    shard: Coord,
+    nx: usize,
+    ny: usize,
+    buckets: Vec<Vec<u32>>,
+    generation: AtomicU64,
+    cache: QueryCache,
+}
+
+impl ShardedPlane {
+    /// Shards `plane` with the automatic sizing heuristic (see module
+    /// docs).
+    #[must_use]
+    pub fn new(plane: Plane) -> ShardedPlane {
+        let shard = auto_shard(&plane);
+        ShardedPlane::with_shard_size(plane, shard)
+    }
+
+    /// Shards `plane` with an explicit bucket edge length (clamped to at
+    /// least 1). Mostly useful for tests that want to force shard
+    /// boundaries through specific coordinates.
+    #[must_use]
+    pub fn with_shard_size(mut plane: Plane, shard: Coord) -> ShardedPlane {
+        // Corner-candidate enumeration is a *non-local* query (anchoring
+        // corners sit at any perpendicular distance from the ray line),
+        // so buckets cannot beat the flat plane's sorted face lists
+        // there. Keep the topological index built and delegate that one
+        // query; buckets serve the local queries (points, segments,
+        // rays).
+        plane.build_index();
+        let shard = shard.max(1);
+        let b = plane.bounds();
+        let nx = grid_cells(b.width(), shard);
+        let ny = grid_cells(b.height(), shard);
+        let mut sharded = ShardedPlane {
+            flat: plane,
+            shard,
+            nx,
+            ny,
+            buckets: vec![Vec::new(); nx * ny],
+            generation: AtomicU64::new(0),
+            cache: QueryCache::new(),
+        };
+        sharded.index_rects(0);
+        sharded
+    }
+
+    /// An empty sharded plane with the given routing boundary.
+    #[must_use]
+    pub fn from_bounds(bounds: Rect) -> ShardedPlane {
+        ShardedPlane::new(Plane::new(bounds))
+    }
+
+    /// The underlying flat plane (same rectangles, same bounds).
+    #[must_use]
+    pub fn flat(&self) -> &Plane {
+        &self.flat
+    }
+
+    /// The bucket edge length.
+    #[must_use]
+    pub fn shard_size(&self) -> Coord {
+        self.shard
+    }
+
+    /// The bucket-grid dimensions `(columns, rows)`.
+    #[must_use]
+    pub fn bucket_dims(&self) -> (usize, usize) {
+        (self.nx, self.ny)
+    }
+
+    /// The current cache generation. Every mutation (and every explicit
+    /// [`ShardedPlane::invalidate`]) increments it, retiring all cached
+    /// answers stamped with earlier generations.
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::SeqCst)
+    }
+
+    /// Bumps the cache generation, invalidating every memoized query.
+    /// Callers with commit points (e.g. the batch pipeline between its
+    /// congestion passes) use this as a cheap barrier: geometry queries
+    /// recompute cold afterwards, so no stale answer can survive a
+    /// mutation the caller is about to make (or has made through
+    /// interior-mutable state the plane cannot see).
+    pub fn invalidate(&self) {
+        self.generation.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Drops every cache entry (generation is unchanged; this frees
+    /// memory rather than invalidating).
+    pub fn clear_cache(&self) {
+        self.cache.clear();
+    }
+
+    /// Cache hit/miss/occupancy counters (monotonic over the plane's
+    /// lifetime; cleared entries still count as their original misses).
+    #[must_use]
+    pub fn cache_stats(&self) -> PlaneCacheStats {
+        PlaneCacheStats {
+            hits: self.cache.hits.load(Ordering::Relaxed),
+            misses: self.cache.misses.load(Ordering::Relaxed),
+            entries: self.cache.len(),
+        }
+    }
+
+    /// Adds a rectangular obstacle and returns its id (see
+    /// [`Plane::add_obstacle`]). Invalidates the query cache.
+    pub fn add_obstacle(&mut self, rect: Rect) -> ObstacleId {
+        let from = self.flat.rects().len();
+        let id = self.flat.add_obstacle(rect);
+        self.flat.build_index();
+        self.index_rects(from);
+        self.invalidate();
+        id
+    }
+
+    /// Adds a rectilinear-polygon obstacle and returns its id (see
+    /// [`Plane::add_polygon`]). Invalidates the query cache.
+    pub fn add_polygon(&mut self, polygon: &RectilinearPolygon) -> ObstacleId {
+        let from = self.flat.rects().len();
+        let id = self.flat.add_polygon(polygon);
+        self.flat.build_index();
+        self.index_rects(from);
+        self.invalidate();
+        id
+    }
+
+    /// Registers rectangles `from..` in every bucket they touch. Indices
+    /// are appended in ascending rectangle order, so each bucket's list
+    /// stays sorted — queries that scan a bucket see rects in insertion
+    /// order, exactly like the flat plane's global scan.
+    fn index_rects(&mut self, from: usize) {
+        let rects: Vec<(usize, Rect)> = self.flat.rects()[from..]
+            .iter()
+            .enumerate()
+            .map(|(k, (r, _))| (from + k, *r))
+            .collect();
+        for (i, r) in rects {
+            let (cx0, cx1) = self.cell_range(Axis::X, r.span(Axis::X));
+            let (cy0, cy1) = self.cell_range(Axis::Y, r.span(Axis::Y));
+            for cy in cy0..=cy1 {
+                for cx in cx0..=cx1 {
+                    self.buckets[cy * self.nx + cx].push(i as u32);
+                }
+            }
+        }
+    }
+
+    /// The bucket cell containing coordinate `v` on `axis` (clamped to
+    /// the grid). The mapping is monotonic, so any containment relation
+    /// between a point and a rectangle is preserved by cell indices.
+    fn cell_of(&self, axis: Axis, v: Coord) -> usize {
+        let span = self.flat.bounds().span(axis);
+        let n = match axis {
+            Axis::X => self.nx,
+            Axis::Y => self.ny,
+        };
+        let i = (v - span.lo()).div_euclid(self.shard);
+        i.clamp(0, n as Coord - 1) as usize
+    }
+
+    /// The inclusive bucket range covering an interval on `axis`.
+    fn cell_range(&self, axis: Axis, iv: Interval) -> (usize, usize) {
+        (self.cell_of(axis, iv.lo()), self.cell_of(axis, iv.hi()))
+    }
+
+    fn bucket(&self, cx: usize, cy: usize) -> &[u32] {
+        &self.buckets[cy * self.nx + cx]
+    }
+
+    /// The sharded ray scan. Walk the bucket row (or column) under the
+    /// ray in travel order; within each bucket take the nearest entry
+    /// face (ties to the lowest rectangle index, matching the flat scan).
+    /// The first bucket that yields a blocker holds the global nearest:
+    /// any rectangle not yet visited starts strictly beyond the current
+    /// bucket's far edge, while every candidate found inside it stops at
+    /// or before that edge.
+    fn ray_scan_sharded(&self, origin: Point, dir: Dir) -> RayHit {
+        let axis = dir.axis();
+        let perp = axis.perpendicular();
+        let u0 = origin.coord(axis);
+        let w = origin.coord(perp);
+        let positive = dir.sign() > 0;
+        let bound = if positive {
+            self.flat.bounds().span(axis).hi()
+        } else {
+            self.flat.bounds().span(axis).lo()
+        };
+        let rects = self.flat.rects();
+        let row = self.cell_of(perp, w);
+        let mut c = self.cell_of(axis, u0);
+        let cend = self.cell_of(axis, bound);
+        let (mut stop, mut blocker) = (bound, None);
+        loop {
+            let cell = match axis {
+                Axis::X => self.bucket(c, row),
+                Axis::Y => self.bucket(row, c),
+            };
+            let mut best: Option<(Coord, u32)> = None;
+            for &ri in cell {
+                let (r, _) = &rects[ri as usize];
+                let Some(entry) = ray_entry(r, axis, perp, positive, u0, w, bound) else {
+                    continue;
+                };
+                let better = match best {
+                    None => true,
+                    Some((be, bi)) => {
+                        if positive {
+                            entry < be || (entry == be && ri < bi)
+                        } else {
+                            entry > be || (entry == be && ri < bi)
+                        }
+                    }
+                };
+                if better {
+                    best = Some((entry, ri));
+                }
+            }
+            if let Some((entry, ri)) = best {
+                stop = entry;
+                blocker = Some(rects[ri as usize].1);
+                break;
+            }
+            if c == cend {
+                break;
+            }
+            if positive {
+                c += 1;
+            } else {
+                c -= 1;
+            }
+        }
+        let distance = if positive { stop - u0 } else { u0 - stop };
+        debug_assert!(distance >= 0, "ray travelled backwards");
+        RayHit {
+            stop,
+            blocker,
+            distance,
+        }
+    }
+
+    /// Collects the deduplicated, ascending rectangle indices registered
+    /// in the bucket slab `[cx0..=cx1] × [cy0..=cy1]`.
+    fn slab_rects(&self, cx0: usize, cx1: usize, cy0: usize, cy1: usize) -> Vec<u32> {
+        let mut out: Vec<u32> = Vec::new();
+        for cy in cy0..=cy1 {
+            for cx in cx0..=cx1 {
+                out.extend_from_slice(self.bucket(cx, cy));
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn segment_blocked(&self, a: Point, b: Point) -> bool {
+        let axis = if a.y == b.y { Axis::X } else { Axis::Y };
+        let perp = axis.perpendicular();
+        let w = a.coord(perp);
+        let span = Interval::spanning(a.coord(axis), b.coord(axis))
+            .expect("coordinates validated by in_bounds");
+        let (c0, c1) = self.cell_range(axis, span);
+        let row = self.cell_of(perp, w);
+        let (cx0, cx1, cy0, cy1) = match axis {
+            Axis::X => (c0, c1, row, row),
+            Axis::Y => (row, row, c0, c1),
+        };
+        let rects = self.flat.rects();
+        self.slab_rects(cx0, cx1, cy0, cy1).into_iter().any(|ri| {
+            let (r, _) = &rects[ri as usize];
+            !r.is_degenerate() && r.span(perp).contains_open(w) && r.span(axis).overlaps_open(&span)
+        })
+    }
+}
+
+fn grid_cells(extent: Coord, shard: Coord) -> usize {
+    ((extent.max(0) / shard) + 1) as usize
+}
+
+/// Integer square root (floor) for the sizing heuristic.
+fn isqrt(v: i128) -> i128 {
+    if v <= 0 {
+        return 0;
+    }
+    let mut x = v;
+    let mut y = (x + 1) / 2;
+    while y < x {
+        x = y;
+        y = (x + v / x) / 2;
+    }
+    x
+}
+
+/// The automatic shard edge: ~4 buckets per obstacle rectangle, capped at
+/// [`MAX_BUCKETS`] total and floored at edge length 1.
+fn auto_shard(plane: &Plane) -> Coord {
+    let b = plane.bounds();
+    let (w, h) = (b.width().max(1), b.height().max(1));
+    let n = plane.rects().len().max(1) as i128;
+    let area = i128::from(w) * i128::from(h);
+    let mut shard = isqrt(area / (4 * n)).max(1) as Coord;
+    while grid_cells(w, shard) * grid_cells(h, shard) > MAX_BUCKETS {
+        shard *= 2;
+    }
+    shard
+}
+
+impl PlaneIndex for ShardedPlane {
+    fn bounds(&self) -> Rect {
+        self.flat.bounds()
+    }
+
+    fn rects(&self) -> &[(Rect, ObstacleId)] {
+        self.flat.rects()
+    }
+
+    fn obstacle_count(&self) -> usize {
+        self.flat.obstacle_count()
+    }
+
+    fn point_free(&self, p: Point) -> bool {
+        if !self.in_bounds(p) {
+            return false;
+        }
+        let (cx, cy) = (self.cell_of(Axis::X, p.x), self.cell_of(Axis::Y, p.y));
+        let rects = self.flat.rects();
+        !self
+            .bucket(cx, cy)
+            .iter()
+            .any(|&ri| rects[ri as usize].0.contains_open(p))
+    }
+
+    fn segment_free(&self, a: Point, b: Point) -> bool {
+        debug_assert!(
+            a.is_rectilinear_with(b),
+            "segment_free requires axis-aligned endpoints"
+        );
+        if !self.in_bounds(a) || !self.in_bounds(b) {
+            return false;
+        }
+        if a == b {
+            return self.point_free(a);
+        }
+        let key = QueryKey::Segment(a.min(b), a.max(b));
+        let v = self.cache.get_or(self.generation(), key, || {
+            QueryValue::Free(!self.segment_blocked(a, b))
+        });
+        match v {
+            QueryValue::Free(free) => free,
+            QueryValue::Ray(_) => unreachable!("segment key stores Free values"),
+        }
+    }
+
+    fn ray_hit(&self, origin: Point, dir: Dir) -> RayHit {
+        debug_assert!(self.point_free(origin), "ray origin must be free: {origin}");
+        let key = QueryKey::Ray(origin, dir);
+        let v = self.cache.get_or(self.generation(), key, || {
+            QueryValue::Ray(self.ray_scan_sharded(origin, dir))
+        });
+        match v {
+            QueryValue::Ray(hit) => hit,
+            QueryValue::Free(_) => unreachable!("ray key stores Ray values"),
+        }
+    }
+
+    fn corner_candidates(&self, origin: Point, dir: Dir, stop: Coord) -> Vec<CornerCandidate> {
+        // Non-local query: anchoring corners sit at any perpendicular
+        // distance from the ray line, so the bucket grid has no locality
+        // to exploit. Delegate to the flat plane's sorted face lists
+        // (kept built by the constructor and every mutation).
+        self.flat.corner_candidates(origin, dir, stop)
+    }
+
+    fn corner_coords(&self, axis: Axis) -> Vec<Coord> {
+        self.flat.corner_coords(axis)
+    }
+
+    fn obstacle_at(&self, p: Point) -> Option<ObstacleId> {
+        if !self.in_bounds(p) {
+            // Rectangles outside the routing boundary are clamped into
+            // edge buckets; fall back to the flat scan for the (rare)
+            // out-of-bounds probe so the answers stay identical.
+            return self.flat.obstacle_at(p);
+        }
+        let (cx, cy) = (self.cell_of(Axis::X, p.x), self.cell_of(Axis::Y, p.y));
+        let rects = self.flat.rects();
+        self.bucket(cx, cy)
+            .iter()
+            .find(|&&ri| rects[ri as usize].0.contains(p))
+            .map(|&ri| rects[ri as usize].1)
+    }
+}
+
+impl Clone for ShardedPlane {
+    /// Clones geometry and shards; the clone starts with a fresh, empty
+    /// cache at generation 0.
+    fn clone(&self) -> ShardedPlane {
+        ShardedPlane {
+            flat: self.flat.clone(),
+            shard: self.shard,
+            nx: self.nx,
+            ny: self.ny,
+            buckets: self.buckets.clone(),
+            generation: AtomicU64::new(0),
+            cache: QueryCache::new(),
+        }
+    }
+}
+
+impl fmt::Debug for ShardedPlane {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ShardedPlane")
+            .field("bounds", &self.flat.bounds())
+            .field("rects", &self.flat.rects().len())
+            .field("shard", &self.shard)
+            .field("grid", &(self.nx, self.ny))
+            .field("generation", &self.generation())
+            .finish_non_exhaustive()
+    }
+}
+
+impl fmt::Display for ShardedPlane {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "sharded {} ({}x{} buckets of {})",
+            self.flat, self.nx, self.ny, self.shard
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one_block() -> (Plane, ObstacleId) {
+        let mut p = Plane::new(Rect::new(0, 0, 100, 100).unwrap());
+        let id = p.add_obstacle(Rect::new(30, 30, 70, 70).unwrap());
+        (p, id)
+    }
+
+    #[test]
+    fn matches_flat_on_the_basics() {
+        let (flat, id) = one_block();
+        for shard in [1, 4, 7, 33, 100, 1000] {
+            let s = ShardedPlane::with_shard_size(flat.clone(), shard);
+            assert!(s.point_free(Point::new(30, 50)), "shard {shard}");
+            assert!(!s.point_free(Point::new(50, 50)), "shard {shard}");
+            assert_eq!(
+                s.ray_hit(Point::new(0, 50), Dir::East),
+                flat.ray_hit(Point::new(0, 50), Dir::East),
+                "shard {shard}"
+            );
+            assert!(
+                s.segment_free(Point::new(0, 30), Point::new(100, 30)),
+                "shard {shard}"
+            );
+            assert!(!s.segment_free(Point::new(0, 50), Point::new(100, 50)));
+            assert_eq!(s.obstacle_at(Point::new(30, 30)), Some(id));
+            assert_eq!(
+                s.corner_candidates(Point::new(0, 10), Dir::East, 100),
+                flat.corner_candidates(Point::new(0, 10), Dir::East, 100),
+                "shard {shard}"
+            );
+        }
+    }
+
+    #[test]
+    fn cache_hits_on_repeat_queries() {
+        let (flat, _) = one_block();
+        let s = ShardedPlane::new(flat);
+        let p = Point::new(0, 50);
+        let first = s.ray_hit(p, Dir::East);
+        let stats0 = s.cache_stats();
+        assert_eq!(stats0.misses, 1);
+        let second = s.ray_hit(p, Dir::East);
+        assert_eq!(first, second);
+        let stats1 = s.cache_stats();
+        assert_eq!(stats1.hits, stats0.hits + 1);
+        assert_eq!(stats1.misses, stats0.misses);
+    }
+
+    #[test]
+    fn segment_cache_is_direction_canonical() {
+        let (flat, _) = one_block();
+        let s = ShardedPlane::new(flat);
+        assert!(s.segment_free(Point::new(0, 10), Point::new(100, 10)));
+        let misses = s.cache_stats().misses;
+        // The reversed segment is the same query rect: must hit.
+        assert!(s.segment_free(Point::new(100, 10), Point::new(0, 10)));
+        assert_eq!(s.cache_stats().misses, misses);
+        assert!(s.cache_stats().hits >= 1);
+    }
+
+    #[test]
+    fn insert_bumps_generation_and_retires_cached_answers() {
+        let s0 = ShardedPlane::from_bounds(Rect::new(0, 0, 100, 100).unwrap());
+        let mut s = s0;
+        let p = Point::new(0, 50);
+        let open = s.ray_hit(p, Dir::East);
+        assert_eq!(open.stop, 100);
+        let g0 = s.generation();
+        s.add_obstacle(Rect::new(40, 40, 60, 60).unwrap());
+        assert!(s.generation() > g0);
+        // The memoized boundary answer must not survive the insert.
+        let blocked = s.ray_hit(p, Dir::East);
+        assert_eq!(blocked.stop, 40);
+        assert!(blocked.blocker.is_some());
+    }
+
+    #[test]
+    fn explicit_invalidate_forces_cold_recompute() {
+        let (flat, _) = one_block();
+        let s = ShardedPlane::new(flat);
+        let p = Point::new(0, 50);
+        s.ray_hit(p, Dir::East);
+        let misses = s.cache_stats().misses;
+        s.invalidate();
+        s.ray_hit(p, Dir::East);
+        assert_eq!(
+            s.cache_stats().misses,
+            misses + 1,
+            "stale entry must not hit"
+        );
+    }
+
+    #[test]
+    fn clear_cache_frees_entries_without_changing_answers() {
+        let (flat, _) = one_block();
+        let s = ShardedPlane::new(flat);
+        let a = s.ray_hit(Point::new(0, 50), Dir::East);
+        assert!(s.cache_stats().entries > 0);
+        s.clear_cache();
+        assert_eq!(s.cache_stats().entries, 0);
+        assert_eq!(s.ray_hit(Point::new(0, 50), Dir::East), a);
+    }
+
+    #[test]
+    fn polygon_obstacles_register_in_buckets() {
+        let mut s =
+            ShardedPlane::with_shard_size(Plane::new(Rect::new(0, 0, 100, 100).unwrap()), 8);
+        let l = RectilinearPolygon::new(vec![
+            Point::new(20, 20),
+            Point::new(60, 20),
+            Point::new(60, 40),
+            Point::new(40, 40),
+            Point::new(40, 60),
+            Point::new(20, 60),
+        ])
+        .unwrap();
+        let id = s.add_polygon(&l);
+        assert_eq!(s.obstacle_count(), 1);
+        assert!(!s.point_free(Point::new(30, 30)));
+        assert!(s.point_free(Point::new(50, 50)));
+        assert_eq!(s.obstacle_at(Point::new(30, 30)), Some(id));
+    }
+
+    #[test]
+    fn clone_starts_with_a_cold_cache() {
+        let (flat, _) = one_block();
+        let s = ShardedPlane::new(flat);
+        s.ray_hit(Point::new(0, 50), Dir::East);
+        let c = s.clone();
+        assert_eq!(c.cache_stats(), PlaneCacheStats::default());
+        assert_eq!(
+            c.ray_hit(Point::new(0, 50), Dir::East),
+            s.ray_hit(Point::new(0, 50), Dir::East)
+        );
+    }
+
+    #[test]
+    fn display_and_debug_summarize() {
+        let (flat, _) = one_block();
+        let s = ShardedPlane::new(flat);
+        assert!(s.to_string().contains("buckets"));
+        assert!(format!("{s:?}").contains("ShardedPlane"));
+    }
+
+    #[test]
+    fn auto_shard_is_sane() {
+        let (flat, _) = one_block();
+        let s = ShardedPlane::new(flat);
+        assert!(s.shard_size() >= 1);
+        let (nx, ny) = s.bucket_dims();
+        assert!(nx * ny <= MAX_BUCKETS);
+    }
+}

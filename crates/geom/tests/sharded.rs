@@ -1,0 +1,236 @@
+//! Differential and cache-invalidation tests for [`ShardedPlane`]
+//! (seeded sweeps; the environment has no proptest, so cases are drawn
+//! from a deterministic RNG instead).
+//!
+//! The contract under test: for any obstacle set, any shard size and any
+//! query, the sharded plane answers **bit-identically** to the flat
+//! plane — including immediately after mutations, which must retire every
+//! memoized answer via the generation stamp.
+
+use gcr_geom::{Dir, Plane, PlaneIndex, Point, Rect, ShardedPlane};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const RANGE: i64 = 400;
+
+fn rect(rng: &mut StdRng) -> Rect {
+    let x0 = rng.gen_range(0..RANGE);
+    let y0 = rng.gen_range(0..RANGE);
+    let w = rng.gen_range(0..RANGE / 4);
+    let h = rng.gen_range(0..RANGE / 4);
+    Rect::new(x0, y0, (x0 + w).min(RANGE), (y0 + h).min(RANGE)).unwrap()
+}
+
+fn random_plane(rng: &mut StdRng, blocks: usize) -> Plane {
+    let mut plane = Plane::new(Rect::new(0, 0, RANGE, RANGE).unwrap());
+    for _ in 0..blocks {
+        plane.add_obstacle(rect(rng));
+    }
+    plane
+}
+
+fn probe(rng: &mut StdRng) -> Point {
+    Point::new(rng.gen_range(0..=RANGE), rng.gen_range(0..=RANGE))
+}
+
+/// Flat vs sharded on random planes, random probes, both the un-indexed
+/// and topologically indexed flat variants, and shard sizes from
+/// degenerate (1: every coordinate its own bucket column) to coarse
+/// (larger than the plane: a single bucket, the flat scan in disguise).
+#[test]
+fn random_queries_agree_with_flat_for_all_shard_sizes() {
+    for case in 0..16u64 {
+        let mut rng = StdRng::seed_from_u64(0x5A_DED + case);
+        let mut flat = random_plane(&mut rng, (case % 12) as usize);
+        if case % 2 == 0 {
+            flat.build_index();
+        }
+        for shard in [1, 7, 64, 1000] {
+            let sharded = ShardedPlane::with_shard_size(flat.clone(), shard);
+            for _ in 0..40 {
+                let p = probe(&mut rng);
+                assert_eq!(
+                    PlaneIndex::point_free(&flat, p),
+                    sharded.point_free(p),
+                    "case {case} shard {shard}: point {p}"
+                );
+                assert_eq!(
+                    PlaneIndex::obstacle_at(&flat, p),
+                    sharded.obstacle_at(p),
+                    "case {case} shard {shard}: obstacle {p}"
+                );
+                let q = probe(&mut rng);
+                let (h, v) = (Point::new(q.x, p.y), Point::new(p.x, q.y));
+                for b in [h, v] {
+                    assert_eq!(
+                        PlaneIndex::segment_free(&flat, p, b),
+                        sharded.segment_free(p, b),
+                        "case {case} shard {shard}: segment {p}-{b}"
+                    );
+                }
+                if PlaneIndex::point_free(&flat, p) {
+                    for dir in Dir::ALL {
+                        let hit = PlaneIndex::ray_hit(&flat, p, dir);
+                        assert_eq!(
+                            hit,
+                            sharded.ray_hit(p, dir),
+                            "case {case} shard {shard}: ray {p} {dir:?}"
+                        );
+                        assert_eq!(
+                            PlaneIndex::corner_candidates(&flat, p, dir, hit.stop),
+                            sharded.corner_candidates(p, dir, hit.stop),
+                            "case {case} shard {shard}: corners {p} {dir:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// After every insert, a cached connection query must match a cold query
+/// against a fresh plane holding the same rectangles — the generation
+/// stamp may never leak a pre-insert answer.
+#[test]
+fn cached_queries_match_cold_queries_after_each_insert() {
+    let mut rng = StdRng::seed_from_u64(77);
+    let mut sharded =
+        ShardedPlane::with_shard_size(Plane::new(Rect::new(0, 0, RANGE, RANGE).unwrap()), 32);
+    let probes: Vec<Point> = (0..24).map(|_| probe(&mut rng)).collect();
+    for step in 0..10 {
+        // Warm the cache with every legal probe before mutating.
+        for &p in &probes {
+            if sharded.point_free(p) {
+                for dir in Dir::ALL {
+                    sharded.ray_hit(p, dir);
+                }
+            }
+            let q = Point::new((p.x + 31).min(RANGE), p.y);
+            sharded.segment_free(p, q);
+        }
+        sharded.add_obstacle(rect(&mut rng));
+        // Cold reference: a fresh flat plane with the identical rects.
+        let mut cold = Plane::new(Rect::new(0, 0, RANGE, RANGE).unwrap());
+        for (r, _) in sharded.rects() {
+            cold.add_obstacle(*r);
+        }
+        for &p in &probes {
+            assert_eq!(
+                PlaneIndex::point_free(&cold, p),
+                sharded.point_free(p),
+                "step {step}: point {p}"
+            );
+            let q = Point::new((p.x + 31).min(RANGE), p.y);
+            assert_eq!(
+                PlaneIndex::segment_free(&cold, p, q),
+                sharded.segment_free(p, q),
+                "step {step}: segment {p}-{q}"
+            );
+            if PlaneIndex::point_free(&cold, p) {
+                for dir in Dir::ALL {
+                    assert_eq!(
+                        PlaneIndex::ray_hit(&cold, p, dir),
+                        sharded.ray_hit(p, dir),
+                        "step {step}: ray {p} {dir:?}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Regression: a query whose rect straddles shard boundaries (ray and
+/// segment both crossing several bucket columns, obstacle registered in
+/// multiple buckets) must be answered — and cached — correctly before
+/// *and* after an insert on the far side of the boundary.
+#[test]
+fn straddling_queries_survive_cache_invalidation() {
+    // Shard size 10 on a 100-wide plane: boundaries at 10, 20, ... The
+    // obstacle spans columns 2..=5; the probes cross it and the seams.
+    let mut sharded =
+        ShardedPlane::with_shard_size(Plane::new(Rect::new(0, 0, 100, 100).unwrap()), 10);
+    sharded.add_obstacle(Rect::new(25, 35, 55, 65).unwrap());
+    let origin = Point::new(5, 50);
+    let hit = sharded.ray_hit(origin, Dir::East);
+    assert_eq!((hit.stop, hit.distance), (25, 20));
+    // Straddling segment along the obstacle's face line is legal wire.
+    assert!(sharded.segment_free(Point::new(0, 35), Point::new(100, 35)));
+    // Warm entries exist for both queries now; insert a blocker inside a
+    // different shard column than the query origins.
+    sharded.add_obstacle(Rect::new(72, 30, 88, 70).unwrap());
+    // The face-line segment now crosses the new blocker's interior? No —
+    // y=35 is inside (30, 70), so it does: the cached `true` must die.
+    assert!(!sharded.segment_free(Point::new(0, 35), Point::new(100, 35)));
+    // The eastward ray still stops on the first obstacle (unchanged
+    // answer, recomputed cold under the new generation).
+    assert_eq!(sharded.ray_hit(origin, Dir::East), hit);
+    // A ray past the first obstacle's face line finds the new blocker
+    // across three shard columns of empty space.
+    let hit2 = sharded.ray_hit(Point::new(60, 50), Dir::East);
+    assert_eq!((hit2.stop, hit2.blocker.is_some()), (72, true));
+    // And everything still agrees with a cold flat plane.
+    let mut cold = Plane::new(Rect::new(0, 0, 100, 100).unwrap());
+    for (r, _) in sharded.rects() {
+        cold.add_obstacle(*r);
+    }
+    for y in [30, 35, 50, 65, 70] {
+        let p = Point::new(0, y);
+        assert_eq!(
+            PlaneIndex::ray_hit(&cold, p, Dir::East),
+            sharded.ray_hit(p, Dir::East),
+            "y {y}"
+        );
+    }
+}
+
+/// Obstacles whose rectangles land exactly on shard boundaries must be
+/// registered in every touching bucket: probes from both sides agree
+/// with the flat plane.
+#[test]
+fn obstacles_on_shard_boundaries_block_from_both_sides() {
+    let mut flat = Plane::new(Rect::new(0, 0, 100, 100).unwrap());
+    // Faces exactly on the 10-grid shard seams.
+    flat.add_obstacle(Rect::new(30, 30, 70, 70).unwrap());
+    let sharded = ShardedPlane::with_shard_size(flat.clone(), 10);
+    for (p, dir) in [
+        (Point::new(30, 50), Dir::West),
+        (Point::new(30, 50), Dir::East),
+        (Point::new(70, 50), Dir::East),
+        (Point::new(70, 50), Dir::West),
+        (Point::new(50, 30), Dir::South),
+        (Point::new(50, 70), Dir::North),
+    ] {
+        assert_eq!(
+            PlaneIndex::ray_hit(&flat, p, dir),
+            sharded.ray_hit(p, dir),
+            "{p} {dir:?}"
+        );
+    }
+    for x in [29, 30, 31, 69, 70, 71] {
+        let p = Point::new(x, 50);
+        assert_eq!(
+            PlaneIndex::point_free(&flat, p),
+            sharded.point_free(p),
+            "x {x}"
+        );
+    }
+}
+
+/// Tie-breaking parity: two obstacles sharing the same entry face must
+/// yield the same blocker id as the flat scan (first insertion wins).
+#[test]
+fn shared_entry_faces_tie_break_like_the_flat_scan() {
+    let mut flat = Plane::new(Rect::new(0, 0, 100, 100).unwrap());
+    let first = flat.add_obstacle(Rect::new(40, 40, 60, 55).unwrap());
+    let _second = flat.add_obstacle(Rect::new(40, 45, 80, 60).unwrap());
+    for shard in [1, 9, 50, 200] {
+        let sharded = ShardedPlane::with_shard_size(flat.clone(), shard);
+        let hit = sharded.ray_hit(Point::new(0, 50), Dir::East);
+        assert_eq!(
+            hit,
+            PlaneIndex::ray_hit(&flat, Point::new(0, 50), Dir::East),
+            "shard {shard}"
+        );
+        assert_eq!(hit.blocker, Some(first), "shard {shard}");
+    }
+}

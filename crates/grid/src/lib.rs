@@ -25,7 +25,7 @@ use std::collections::BTreeSet;
 use std::error::Error;
 use std::fmt;
 
-use gcr_geom::{Coord, Plane, Point, Polyline};
+use gcr_geom::{Coord, PlaneIndex, Point, Polyline};
 use gcr_search::{
     astar, astar_with_limits, breadth_first, Found, SearchLimits, SearchOutcome, SearchSpace,
     SearchStats, ZeroHeuristic,
@@ -40,7 +40,7 @@ use gcr_search::{
 /// edges are checked, not just nodes).
 #[derive(Debug, Clone, Copy)]
 pub struct RoutingGrid<'a> {
-    plane: &'a Plane,
+    plane: &'a dyn PlaneIndex,
     origin: Point,
     pitch: Coord,
     nx: i32,
@@ -54,7 +54,7 @@ impl<'a> RoutingGrid<'a> {
     ///
     /// Panics if `pitch < 1`.
     #[must_use]
-    pub fn new(plane: &'a Plane, pitch: Coord) -> RoutingGrid<'a> {
+    pub fn new(plane: &'a dyn PlaneIndex, pitch: Coord) -> RoutingGrid<'a> {
         assert!(pitch >= 1, "grid pitch must be at least 1");
         let b = plane.bounds();
         let origin = Point::new(b.xmin(), b.ymin());
@@ -231,7 +231,7 @@ impl SearchSpace for GridSpace<'_> {
 }
 
 fn route_on_grid(
-    plane: &Plane,
+    plane: &dyn PlaneIndex,
     a: Point,
     b: Point,
     pitch: Coord,
@@ -287,7 +287,7 @@ fn route_on_grid(
 ///
 /// See [`GridRouteError`].
 pub fn lee_moore(
-    plane: &Plane,
+    plane: &dyn PlaneIndex,
     a: Point,
     b: Point,
     pitch: Coord,
@@ -302,7 +302,7 @@ pub fn lee_moore(
 ///
 /// See [`GridRouteError`].
 pub fn grid_astar(
-    plane: &Plane,
+    plane: &dyn PlaneIndex,
     a: Point,
     b: Point,
     pitch: Coord,
@@ -378,7 +378,7 @@ impl SearchSpace for MultiGridSpace<'_> {
 /// * [`GridRouteError::Unreachable`] when no grid path exists,
 /// * [`GridRouteError::LimitExceeded`] when `max_expansions` is hit.
 pub fn route_multi(
-    plane: &Plane,
+    plane: &dyn PlaneIndex,
     sources: &[Point],
     goals: &[Point],
     pitch: Coord,
@@ -448,7 +448,7 @@ pub fn route_multi(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gcr_geom::Rect;
+    use gcr_geom::{Plane, Rect};
 
     fn open_plane() -> Plane {
         Plane::new(Rect::new(0, 0, 60, 60).unwrap())
@@ -663,6 +663,74 @@ mod tests {
         ));
         // Unlimited still routes.
         assert!(route_multi(&plane, &[a], &[b], 1, true, None).is_ok());
+    }
+
+    #[test]
+    fn expansion_limit_threshold_is_exact() {
+        // The limit is checked before each expansion and the goal test
+        // runs first, so a search that needs exactly E expansions must
+        // succeed with `Some(E)` and fail with `Some(E - 1)` — in both
+        // the informed and the blind (Lee–Moore) regimes.
+        let plane = one_block();
+        let (a, b) = (Point::new(0, 30), Point::new(60, 30));
+        for informed in [true, false] {
+            let full = route_multi(&plane, &[a], &[b], 1, informed, None).unwrap();
+            let needed = full.stats.expanded;
+            assert!(needed > 1, "detour must take work (informed {informed})");
+            let bounded = route_multi(&plane, &[a], &[b], 1, informed, Some(needed)).unwrap();
+            assert_eq!(bounded.length, full.length, "informed {informed}");
+            assert_eq!(
+                bounded.stats.expanded, needed,
+                "bounded run must do identical work (informed {informed})"
+            );
+            assert!(
+                matches!(
+                    route_multi(&plane, &[a], &[b], 1, informed, Some(needed - 1)),
+                    Err(GridRouteError::LimitExceeded { limit }) if limit == needed - 1
+                ),
+                "one fewer expansion must fail with the limit echoed (informed {informed})"
+            );
+        }
+    }
+
+    #[test]
+    fn expansion_limit_error_reports_the_configured_limit() {
+        let plane = one_block();
+        let (a, b) = (Point::new(0, 30), Point::new(60, 30));
+        for limit in [1usize, 5, 17] {
+            match route_multi(&plane, &[a], &[b], 1, true, Some(limit)) {
+                Err(GridRouteError::LimitExceeded { limit: l }) => assert_eq!(l, limit),
+                other => panic!("limit {limit}: expected LimitExceeded, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn zero_expansion_limit_still_resolves_source_on_goal() {
+        // A source that is already a goal terminates at the goal test,
+        // which precedes the limit check — zero budget must succeed.
+        let plane = open_plane();
+        let p = Point::new(5, 5);
+        let r = route_multi(&plane, &[p], &[p], 1, true, Some(0)).unwrap();
+        assert_eq!(r.length, 0);
+        assert_eq!(r.stats.expanded, 0);
+        // A source strictly away from every goal cannot.
+        assert!(matches!(
+            route_multi(&plane, &[p], &[Point::new(6, 5)], 1, true, Some(0)),
+            Err(GridRouteError::LimitExceeded { limit: 0 })
+        ));
+    }
+
+    #[test]
+    fn expansion_limit_does_not_perturb_successful_routes() {
+        // A generous bound must leave the deterministic result untouched.
+        let plane = one_block();
+        let sources = [Point::new(0, 50), Point::new(0, 10)];
+        let goals = [Point::new(60, 10), Point::new(60, 55)];
+        let free = route_multi(&plane, &sources, &goals, 1, true, None).unwrap();
+        let capped = route_multi(&plane, &sources, &goals, 1, true, Some(1_000_000)).unwrap();
+        assert_eq!(free.polyline, capped.polyline);
+        assert_eq!(free.stats, capped.stats);
     }
 
     #[test]

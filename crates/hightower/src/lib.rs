@@ -30,7 +30,7 @@ use std::collections::BTreeSet;
 use std::error::Error;
 use std::fmt;
 
-use gcr_geom::{Axis, Coord, Dir, Plane, Point, Polyline, Segment};
+use gcr_geom::{Axis, Coord, Dir, PlaneIndex, Point, Polyline, Segment};
 
 /// Tuning for the line-probe search.
 #[derive(Debug, Clone, Copy)]
@@ -118,7 +118,7 @@ struct ProbeLine {
 /// * [`HightowerError::Exhausted`] when the probes never meet — which can
 ///   happen even though a route exists (the algorithm is incomplete).
 pub fn hightower(
-    plane: &Plane,
+    plane: &dyn PlaneIndex,
     a: Point,
     b: Point,
     config: &HightowerConfig,
@@ -180,7 +180,7 @@ pub fn hightower(
 ///   goal is illegal (individual illegal endpoints are skipped),
 /// * [`HightowerError::Exhausted`] when no tried pair connects.
 pub fn hightower_multi(
-    plane: &Plane,
+    plane: &dyn PlaneIndex,
     sources: &[Point],
     goals: &[Point],
     config: &HightowerConfig,
@@ -236,7 +236,7 @@ pub fn hightower_multi(
 
 /// One side (source or target) of the probe process.
 struct Side<'a> {
-    plane: &'a Plane,
+    plane: &'a dyn PlaneIndex,
     origin: Point,
     lines: Vec<ProbeLine>,
     /// Points already used to spawn probes, to avoid duplicates.
@@ -246,7 +246,7 @@ struct Side<'a> {
 }
 
 impl<'a> Side<'a> {
-    fn new(plane: &'a Plane, origin: Point) -> Side<'a> {
+    fn new(plane: &'a dyn PlaneIndex, origin: Point) -> Side<'a> {
         Side {
             plane,
             origin,
@@ -398,7 +398,7 @@ fn points_to_polyline(points: Vec<Point>) -> Option<Polyline> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gcr_geom::Rect;
+    use gcr_geom::{Plane, Rect};
 
     fn open_plane() -> Plane {
         Plane::new(Rect::new(0, 0, 100, 100).unwrap())
@@ -604,6 +604,81 @@ mod tests {
             ),
             Err(HightowerError::InvalidEndpoint { .. })
         ));
+    }
+
+    #[test]
+    fn zero_pair_budget_is_clamped_to_one_probe() {
+        // `max_pairs` is clamped into 1..=pairs: a zero budget still
+        // probes the single closest pair instead of failing vacuously.
+        let plane = open_plane();
+        let sources = [Point::new(10, 10), Point::new(10, 48)];
+        let goals = [Point::new(90, 90), Point::new(20, 50)];
+        let zero =
+            hightower_multi(&plane, &sources, &goals, &HightowerConfig::default(), 0).unwrap();
+        let one =
+            hightower_multi(&plane, &sources, &goals, &HightowerConfig::default(), 1).unwrap();
+        assert_eq!(zero.polyline, one.polyline);
+        assert_eq!(zero.polyline.length(), 12, "closest pair only");
+    }
+
+    #[test]
+    fn oversized_pair_budget_is_clamped_to_the_pair_count() {
+        let plane = open_plane();
+        let sources = [Point::new(10, 10)];
+        let goals = [Point::new(90, 90)];
+        let r = hightower_multi(
+            &plane,
+            &sources,
+            &goals,
+            &HightowerConfig::default(),
+            usize::MAX,
+        )
+        .unwrap();
+        assert_eq!(r.polyline.length(), 160);
+    }
+
+    #[test]
+    fn all_colinear_terminals_meet_on_overlapping_probes() {
+        // Every source and goal on one horizontal line: level-0 probe
+        // lines are collinear and must meet via the overlap rule (no
+        // crossing exists), at the overlap point nearest the source.
+        let plane = open_plane();
+        let sources = [Point::new(10, 50), Point::new(20, 50)];
+        let goals = [Point::new(80, 50), Point::new(90, 50)];
+        let r = hightower_multi(&plane, &sources, &goals, &HightowerConfig::default(), 16).unwrap();
+        assert_eq!(r.level, 0, "collinear overlap resolves at level 0");
+        assert_eq!(r.polyline.length(), 60, "closest pair (20,50)-(80,50)");
+        assert!(plane.polyline_free(&r.polyline));
+        // Vertical colinearity behaves the same.
+        let sources = [Point::new(50, 5), Point::new(50, 15)];
+        let goals = [Point::new(50, 95)];
+        let r = hightower_multi(&plane, &sources, &goals, &HightowerConfig::default(), 16).unwrap();
+        assert_eq!(r.polyline.length(), 80);
+    }
+
+    #[test]
+    fn colinear_terminals_split_by_a_block_detour_or_exhaust() {
+        // Colinear endpoints with the block straddling the shared line:
+        // the probes must leave the line to connect, and the exhausted
+        // line count must accumulate across failed pairs.
+        let plane = one_block();
+        let sources = [Point::new(10, 50), Point::new(20, 50)];
+        let goals = [Point::new(80, 50), Point::new(90, 50)];
+        let r = hightower_multi(&plane, &sources, &goals, &HightowerConfig::default(), 16).unwrap();
+        assert!(plane.polyline_free(&r.polyline));
+        assert!(r.polyline.length() >= 100, "must detour around the block");
+        // With a budget too small to escape, every tried pair reports
+        // its lines and the sum surfaces in the error.
+        let starved = HightowerConfig {
+            max_level: 0,
+            max_lines: 2,
+        };
+        match hightower_multi(&plane, &sources, &goals, &starved, 3) {
+            Err(HightowerError::Exhausted { lines }) => {
+                assert!(lines >= 3 * 2, "lines accumulate over pairs: {lines}")
+            }
+            other => panic!("expected exhaustion, got {other:?}"),
+        }
     }
 
     #[test]

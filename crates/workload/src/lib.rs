@@ -19,7 +19,7 @@ pub mod fixtures;
 pub mod netlists;
 pub mod placements;
 
-use gcr_geom::{Plane, Point};
+use gcr_geom::{PlaneIndex, Point};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -30,7 +30,7 @@ use rand::{Rng, SeedableRng};
 /// Panics if the plane has (almost) no free positions — generated
 /// workloads always leave routing space.
 #[must_use]
-pub fn random_free_point(plane: &Plane, rng: &mut StdRng) -> Point {
+pub fn random_free_point(plane: &dyn PlaneIndex, rng: &mut StdRng) -> Point {
     let b = plane.bounds();
     for _ in 0..10_000 {
         let p = Point::new(
@@ -86,7 +86,7 @@ pub fn rng_for(experiment: &str, case: u64) -> StdRng {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gcr_geom::Rect;
+    use gcr_geom::{Plane, Rect};
 
     #[test]
     fn random_free_point_avoids_obstacles() {

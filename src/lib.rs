@@ -97,10 +97,12 @@ pub use gcr_workload as workload;
 pub mod prelude {
     pub use gcr_core::{
         route_two_points, BatchConfig, BatchRouter, EngineCaps, GlobalRouter, GlobalRouting,
-        GridEngine, GridlessEngine, HightowerEngine, NetRoute, RouteError, RouteTree, RoutedPath,
-        RouterConfig, RoutingEngine,
+        GridEngine, GridlessEngine, HightowerEngine, NetRoute, PlaneIndexKind, RouteError,
+        RouteTree, RoutedPath, RouterConfig, RoutingEngine,
     };
-    pub use gcr_geom::{Axis, Coord, Dir, Interval, Plane, Point, Polyline, Rect, Segment};
+    pub use gcr_geom::{
+        Axis, Coord, Dir, Interval, Plane, PlaneIndex, Point, Polyline, Rect, Segment, ShardedPlane,
+    };
     pub use gcr_layout::{Cell, CellId, Layout, Net, NetId, Pin, Terminal, TerminalRef};
     pub use gcr_search::{LexCost, SearchStats};
 }

@@ -65,6 +65,7 @@ fn parallel_batch_output_is_byte_identical_to_serial() {
             .with_batch(BatchConfig {
                 parallel: true,
                 threads: Some(threads),
+                ..BatchConfig::default()
             })
             .route_all();
         assert_routing_identical(&serial, &parallel, threads);
@@ -87,6 +88,7 @@ fn parallel_equivalence_holds_for_all_engines() {
         .with_batch(BatchConfig {
             parallel: true,
             threads: Some(4),
+            ..BatchConfig::default()
         })
         .route_all();
     assert_routing_identical(&serial_grid, &parallel_grid, 4);
@@ -98,6 +100,7 @@ fn parallel_equivalence_holds_for_all_engines() {
         .with_batch(BatchConfig {
             parallel: true,
             threads: Some(4),
+            ..BatchConfig::default()
         })
         .route_all();
     assert_routing_identical(&serial_ht, &parallel_ht, 4);
@@ -115,6 +118,7 @@ fn parallel_two_pass_matches_serial_two_pass() {
         .with_batch(BatchConfig {
             parallel: true,
             threads: Some(4),
+            ..BatchConfig::default()
         })
         .route_two_pass();
     assert_eq!(serial.rerouted, parallel.rerouted);

@@ -31,13 +31,67 @@ fn demo_gcl_parses_validates_and_routes() {
 }
 
 #[test]
-fn demo_gcl_roundtrips() {
-    let text = std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/fixtures/demo.gcl"))
+fn dense_gcl_parses_validates_and_routes() {
+    let text = std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/fixtures/dense.gcl"))
         .expect("fixture present");
     let layout = format::parse(&text).expect("fixture parses");
-    let rewritten = format::write(&layout);
-    let reparsed = format::parse(&rewritten).expect("own output parses");
-    assert_eq!(format::write(&reparsed), rewritten);
+    layout.validate().expect("fixture is a valid layout");
+    assert_eq!(layout.cells().len(), 9);
+    assert_eq!(layout.nets().len(), 5);
+
+    let router = GlobalRouter::new(&layout, RouterConfig::default());
+    let routing = router.route_all();
+    assert!(routing.failures.is_empty(), "{:?}", routing.failures);
+    assert_eq!(routing.routed_count(), 5);
+
+    // Every terminal of every net is connected by its tree.
+    for net in layout.nets() {
+        let id = layout.net_by_name(net.name()).unwrap();
+        let route = routing.route_for(id).expect("net routed");
+        for terminal in net.terminals() {
+            assert!(
+                terminal
+                    .pins()
+                    .iter()
+                    .any(|p| route.tree.contains(p.position)),
+                "net {} terminal unconnected",
+                net.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn dense_gcl_routes_identically_over_flat_and_sharded_planes() {
+    let text = std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/fixtures/dense.gcl"))
+        .expect("fixture present");
+    let layout = format::parse(&text).expect("fixture parses");
+    let flat = BatchRouter::gridless(&layout, RouterConfig::default())
+        .with_batch(BatchConfig::serial())
+        .route_all();
+    let sharded = BatchRouter::gridless(&layout, RouterConfig::default())
+        .with_batch(BatchConfig::sharded())
+        .route_all();
+    assert_eq!(flat.wire_length(), sharded.wire_length());
+    assert_eq!(flat.stats(), sharded.stats());
+    for (a, b) in flat.routes.iter().zip(&sharded.routes) {
+        assert_eq!(a.net, b.net);
+        for (ca, cb) in a.connections.iter().zip(&b.connections) {
+            assert_eq!(ca.polyline, cb.polyline);
+        }
+    }
+}
+
+#[test]
+fn shipped_fixtures_roundtrip() {
+    for fixture in ["demo.gcl", "dense.gcl"] {
+        let path = format!(concat!(env!("CARGO_MANIFEST_DIR"), "/fixtures/{}"), fixture);
+        let text = std::fs::read_to_string(&path).expect("fixture present");
+        let layout = format::parse(&text).unwrap_or_else(|e| panic!("{fixture}: {e}"));
+        let rewritten = format::write(&layout);
+        let reparsed = format::parse(&rewritten).expect("own output parses");
+        assert_eq!(format::write(&reparsed), rewritten, "{fixture}");
+    }
 }
 
 #[test]

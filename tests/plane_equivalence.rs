@@ -1,0 +1,193 @@
+//! The differential harness guarding the sharded spatial plane: routing
+//! over [`ShardedPlane`] must be **byte-identical** to routing over the
+//! flat [`Plane`] — same polylines, same costs, same statistics, same
+//! failure lists — for every engine, serially and in parallel, across
+//! seeded random layouts.
+//!
+//! This is the lockdown the plane refactor ships under: a faster spatial
+//! index that changes even one route is a broken spatial index. The
+//! sweeps reuse the PR-1 seeded-loop style (`gcr::workload` instances are
+//! fully determined by their arguments), so any failure reproduces from
+//! its case number alone.
+
+use gcr::prelude::*;
+use gcr::workload::scaling_instance;
+
+/// Number of seeded layouts the full three-engine sweep covers.
+const CASES: u64 = 20;
+
+fn assert_routing_identical(reference: &GlobalRouting, other: &GlobalRouting, what: &str) {
+    assert_eq!(
+        reference.routes.len(),
+        other.routes.len(),
+        "{what}: route count"
+    );
+    for (a, b) in reference.routes.iter().zip(&other.routes) {
+        assert_eq!(a.net, b.net, "{what}");
+        assert_eq!(a.id, b.id, "{what}");
+        assert_eq!(a.stats, b.stats, "{what}: net {}", a.net);
+        assert_eq!(a.tree.points(), b.tree.points(), "{what}: net {}", a.net);
+        assert_eq!(
+            a.tree.segments(),
+            b.tree.segments(),
+            "{what}: net {}",
+            a.net
+        );
+        assert_eq!(
+            a.connections.len(),
+            b.connections.len(),
+            "{what}: net {}",
+            a.net
+        );
+        for (ca, cb) in a.connections.iter().zip(&b.connections) {
+            assert_eq!(ca.polyline, cb.polyline, "{what}: net {}", a.net);
+            assert_eq!(ca.cost, cb.cost, "{what}: net {}", a.net);
+            assert_eq!(ca.stats, cb.stats, "{what}: net {}", a.net);
+        }
+    }
+    assert_eq!(
+        reference.failures.len(),
+        other.failures.len(),
+        "{what}: failure count"
+    );
+    for ((ia, ea), (ib, eb)) in reference.failures.iter().zip(&other.failures) {
+        assert_eq!(ia, ib, "{what}: failed net id");
+        assert_eq!(ea, eb, "{what}: failure reason for {ia}");
+    }
+}
+
+fn sweep_engine<E: RoutingEngine + Clone>(engine: E, name: &str, cases: u64) {
+    for case in 0..cases {
+        let layout = scaling_instance(2, 2, 5, 2, case);
+        let config = RouterConfig::default();
+        let reference = BatchRouter::new(&layout, config.clone(), engine.clone())
+            .with_batch(BatchConfig::serial())
+            .route_all();
+        for (batch, label) in [
+            (
+                BatchConfig::serial().with_index(PlaneIndexKind::Sharded),
+                "sharded-serial",
+            ),
+            (BatchConfig::default(), "flat-parallel"),
+            (BatchConfig::sharded(), "sharded-parallel"),
+        ] {
+            let routed = BatchRouter::new(&layout, config.clone(), engine.clone())
+                .with_batch(batch)
+                .route_all();
+            assert_routing_identical(&reference, &routed, &format!("{name}/{label}/case {case}"));
+        }
+    }
+}
+
+#[test]
+fn gridless_engine_flat_equals_sharded_serial_and_parallel() {
+    sweep_engine(GridlessEngine, "gridless", CASES);
+}
+
+#[test]
+fn grid_engine_flat_equals_sharded_serial_and_parallel() {
+    sweep_engine(GridEngine::default(), "grid-astar", CASES);
+}
+
+#[test]
+fn hightower_engine_flat_equals_sharded_serial_and_parallel() {
+    sweep_engine(HightowerEngine::default(), "hightower", CASES);
+}
+
+/// The Lee–Moore wavefront regime (blind grid search) goes through the
+/// same bounded engine; spot-check it on a few cases so all *four*
+/// shipped engine configurations are covered.
+#[test]
+fn lee_moore_engine_flat_equals_sharded() {
+    sweep_engine(GridEngine::lee_moore(), "lee-moore", 4);
+}
+
+/// The two-pass congestion flow exercises the cache-invalidation commit
+/// point between passes: the sharded report must match the flat one
+/// exactly, before and after the reroute.
+#[test]
+fn two_pass_reports_are_identical_across_plane_indexes() {
+    for case in 0..6u64 {
+        let layout = scaling_instance(2, 2, 8, 2, case);
+        let mut config = RouterConfig::default();
+        config.wire_pitch(4).congestion_weight(5);
+        let flat = BatchRouter::gridless(&layout, config.clone())
+            .with_batch(BatchConfig::serial())
+            .route_two_pass();
+        let sharded = BatchRouter::gridless(&layout, config.clone())
+            .with_batch(BatchConfig::sharded())
+            .route_two_pass();
+        assert_eq!(flat.rerouted, sharded.rerouted, "case {case}");
+        assert_eq!(
+            flat.before.total_overflow(),
+            sharded.before.total_overflow(),
+            "case {case}"
+        );
+        assert_eq!(
+            flat.after.total_overflow(),
+            sharded.after.total_overflow(),
+            "case {case}"
+        );
+        assert_routing_identical(
+            &flat.routing,
+            &sharded.routing,
+            &format!("two-pass/case {case}"),
+        );
+    }
+}
+
+/// Raw query-level differential sweep over the workload planes: every
+/// ray, segment and corner query an engine could issue must agree between
+/// the flat and sharded implementations. Routing equivalence (above)
+/// exercises the reachable subset; this covers queries the particular
+/// routes never asked.
+#[test]
+fn query_level_flat_sharded_agreement_on_workload_planes() {
+    for case in 0..CASES {
+        let layout = scaling_instance(2, 2, 3, 1, case);
+        let flat = layout.to_plane();
+        let sharded = ShardedPlane::new(layout.to_plane());
+        let xs = PlaneIndex::corner_coords(&flat, Axis::X);
+        let ys = PlaneIndex::corner_coords(&flat, Axis::Y);
+        assert_eq!(xs, sharded.corner_coords(Axis::X), "case {case}");
+        assert_eq!(ys, sharded.corner_coords(Axis::Y), "case {case}");
+        for &x in &xs {
+            for &y in &ys {
+                let p = Point::new(x, y);
+                assert_eq!(
+                    PlaneIndex::point_free(&flat, p),
+                    sharded.point_free(p),
+                    "case {case}: point {p}"
+                );
+                assert_eq!(
+                    PlaneIndex::obstacle_at(&flat, p),
+                    sharded.obstacle_at(p),
+                    "case {case}: obstacle at {p}"
+                );
+                if !PlaneIndex::point_free(&flat, p) {
+                    continue;
+                }
+                for dir in Dir::ALL {
+                    let hit = PlaneIndex::ray_hit(&flat, p, dir);
+                    assert_eq!(hit, sharded.ray_hit(p, dir), "case {case}: ray {p} {dir:?}");
+                    assert_eq!(
+                        PlaneIndex::corner_candidates(&flat, p, dir, hit.stop),
+                        sharded.corner_candidates(p, dir, hit.stop),
+                        "case {case}: corners {p} {dir:?}"
+                    );
+                }
+            }
+        }
+        // Segment legality along every Hanan row/column pair.
+        for &y in &ys {
+            for w in xs.windows(2) {
+                let (a, b) = (Point::new(w[0], y), Point::new(w[1], y));
+                assert_eq!(
+                    PlaneIndex::segment_free(&flat, a, b),
+                    sharded.segment_free(a, b),
+                    "case {case}: segment {a}-{b}"
+                );
+            }
+        }
+    }
+}
