@@ -20,12 +20,12 @@ use std::sync::OnceLock;
 
 use gcr_geom::{Plane, PlaneIndex, ShardedPlane};
 use gcr_layout::{Layout, Net, NetId};
-use gcr_search::{parallel_map, SearchStats};
+use gcr_search::{parallel_map_with, SearchStats};
 
 use crate::congestion::{analyze, find_passages, CongestionPenalty};
 use crate::engine::{GridlessEngine, RoutingEngine};
 use crate::net_router::{GlobalRouting, NetRoute, TwoPassReport};
-use crate::{EdgeCoster, GoalSet, RouteError, RouteTree, RouterConfig};
+use crate::{EdgeCoster, GoalSet, RouteError, RouteTree, RouterConfig, SearchScratch};
 
 /// Which spatial index backs the obstacle plane of a batch run.
 ///
@@ -249,7 +249,25 @@ impl<'a, E: RoutingEngine> BatchRouter<'a, E> {
         id: NetId,
         penalty: Option<&CongestionPenalty>,
     ) -> Result<NetRoute, RouteError> {
-        self.grow_net(id, penalty, true)
+        self.grow_net(id, penalty, true, &mut SearchScratch::new())
+    }
+
+    /// Routes one net like [`BatchRouter::route_net_with`], reusing a
+    /// caller-owned [`SearchScratch`] — the per-worker seam the batch
+    /// schedulers use, exposed so external drivers (and the arena
+    /// differential tests) can amortize allocations the same way.
+    /// Results are bit-identical to the fresh-scratch form.
+    ///
+    /// # Errors
+    ///
+    /// See [`RouteError`].
+    pub fn route_net_in(
+        &self,
+        id: NetId,
+        penalty: Option<&CongestionPenalty>,
+        scratch: &mut SearchScratch,
+    ) -> Result<NetRoute, RouteError> {
+        self.grow_net(id, penalty, true, scratch)
     }
 
     /// Routes one net with the paper's strawman connection rule (pins
@@ -259,7 +277,7 @@ impl<'a, E: RoutingEngine> BatchRouter<'a, E> {
     ///
     /// See [`RouteError`].
     pub fn route_net_pin_tree(&self, id: NetId) -> Result<NetRoute, RouteError> {
-        self.grow_net(id, None, false)
+        self.grow_net(id, None, false, &mut SearchScratch::new())
     }
 
     fn grow_net(
@@ -267,6 +285,7 @@ impl<'a, E: RoutingEngine> BatchRouter<'a, E> {
         id: NetId,
         penalty: Option<&CongestionPenalty>,
         segment_connections: bool,
+        scratch: &mut SearchScratch,
     ) -> Result<NetRoute, RouteError> {
         let net: &Net = self.layout.net(id).ok_or(RouteError::NothingToRoute {
             what: format!("{id}"),
@@ -306,16 +325,28 @@ impl<'a, E: RoutingEngine> BatchRouter<'a, E> {
                 }
             }
             let routed = if segment_connections {
-                self.engine
-                    .route_connection(plane, &tree, &goals, &coster, &self.config)
+                self.engine.route_connection_in(
+                    plane,
+                    &tree,
+                    &goals,
+                    &coster,
+                    &self.config,
+                    scratch,
+                )
             } else {
                 // Strawman: seed only from connected pins/junction points.
                 let mut pin_tree = RouteTree::new();
                 for p in tree.points() {
                     pin_tree.add_point(*p);
                 }
-                self.engine
-                    .route_connection(plane, &pin_tree, &goals, &coster, &self.config)
+                self.engine.route_connection_in(
+                    plane,
+                    &pin_tree,
+                    &goals,
+                    &coster,
+                    &self.config,
+                    scratch,
+                )
             }
             .map_err(|e| match e {
                 RouteError::Unreachable { .. } => RouteError::Unreachable {
@@ -361,7 +392,13 @@ impl<'a, E: RoutingEngine> BatchRouter<'a, E> {
     fn route_all_with(&self, penalty: Option<&CongestionPenalty>) -> GlobalRouting {
         let ids = self.layout.net_ids();
         let threads = self.batch.threads_for(ids.len());
-        let results = parallel_map(&ids, threads, |_, &id| self.route_net_with(id, penalty));
+        // One scratch per worker: every net a worker claims reuses the
+        // same arenas. Scratch never influences results, so the schedule
+        // stays unobservable (serial ≡ parallel, asserted by
+        // tests/determinism.rs).
+        let results = parallel_map_with(&ids, threads, SearchScratch::new, |scratch, _, &id| {
+            self.route_net_in(id, penalty, scratch)
+        });
         let mut out = GlobalRouting::default();
         for (id, result) in ids.into_iter().zip(results) {
             match result {
@@ -417,11 +454,16 @@ impl<'a, E: RoutingEngine> BatchRouter<'a, E> {
         // Reroute the affected nets in parallel, then merge in first-pass
         // order so the report is deterministic.
         let threads = self.batch.threads_for(affected.len());
-        let rerouted_results = parallel_map(&first.routes, threads, |_, r| {
-            affected
-                .contains(&r.id.index())
-                .then(|| self.route_net_with(r.id, Some(&penalty)))
-        });
+        let rerouted_results = parallel_map_with(
+            &first.routes,
+            threads,
+            SearchScratch::new,
+            |scratch, _, r| {
+                affected
+                    .contains(&r.id.index())
+                    .then(|| self.route_net_in(r.id, Some(&penalty), scratch))
+            },
+        );
         let mut routing = GlobalRouting::default();
         let mut rerouted = 0;
         for (r, result) in first.routes.iter().zip(rerouted_results) {

@@ -24,7 +24,8 @@ use gcr_geom::{PlaneIndex, Point};
 use gcr_search::{LexCost, SearchStats};
 
 use crate::{
-    route_from_tree, EdgeCoster, GoalSet, RouteError, RouteTree, RoutedPath, RouterConfig,
+    route_from_tree_in, EdgeCoster, GoalSet, RouteError, RouteTree, RoutedPath, RouterConfig,
+    SearchScratch,
 };
 
 /// What a routing backend promises about its results.
@@ -61,17 +62,43 @@ pub trait RoutingEngine: Sync {
 
     /// Routes one connection from `tree` (the net's connected set so far)
     /// to the nearest member of `goals`, pricing edges with `coster`
-    /// where supported.
+    /// where supported, using `scratch` for every reusable allocation
+    /// (search arenas, staging buffers).
     ///
     /// The returned polyline starts on the tree and ends exactly on a
     /// goal point (the net driver uses the endpoint to identify which
     /// terminal was reached).
+    ///
+    /// Scratch state must never influence results: a call through a
+    /// reused scratch is bit-identical to one through a fresh scratch
+    /// (every arena resets on entry, every buffer is cleared before
+    /// use). That, plus per-call purity over the immutable plane, is
+    /// what keeps the batch pipeline's parallel mode byte-identical to
+    /// its serial mode.
     ///
     /// # Errors
     ///
     /// See [`RouteError`]. For incomplete engines an `Unreachable` error
     /// means "not found", not "proven absent" — check
     /// [`EngineCaps::complete`].
+    fn route_connection_in(
+        &self,
+        plane: &dyn PlaneIndex,
+        tree: &RouteTree,
+        goals: &GoalSet,
+        coster: &EdgeCoster<'_>,
+        config: &RouterConfig,
+        scratch: &mut SearchScratch,
+    ) -> Result<RoutedPath, RouteError>;
+
+    /// Convenience form of [`RoutingEngine::route_connection_in`] that
+    /// owns a fresh [`SearchScratch`] for the call. Hot drivers (the
+    /// batch pipeline, the net-tree grower) keep a scratch and call the
+    /// `_in` form directly.
+    ///
+    /// # Errors
+    ///
+    /// See [`RoutingEngine::route_connection_in`].
     fn route_connection(
         &self,
         plane: &dyn PlaneIndex,
@@ -79,7 +106,16 @@ pub trait RoutingEngine: Sync {
         goals: &GoalSet,
         coster: &EdgeCoster<'_>,
         config: &RouterConfig,
-    ) -> Result<RoutedPath, RouteError>;
+    ) -> Result<RoutedPath, RouteError> {
+        self.route_connection_in(
+            plane,
+            tree,
+            goals,
+            coster,
+            config,
+            &mut SearchScratch::new(),
+        )
+    }
 }
 
 // Engines compose as references and trait objects, so callers can hold a
@@ -89,15 +125,16 @@ impl<E: RoutingEngine + ?Sized> RoutingEngine for &E {
         (**self).capabilities()
     }
 
-    fn route_connection(
+    fn route_connection_in(
         &self,
         plane: &dyn PlaneIndex,
         tree: &RouteTree,
         goals: &GoalSet,
         coster: &EdgeCoster<'_>,
         config: &RouterConfig,
+        scratch: &mut SearchScratch,
     ) -> Result<RoutedPath, RouteError> {
-        (**self).route_connection(plane, tree, goals, coster, config)
+        (**self).route_connection_in(plane, tree, goals, coster, config, scratch)
     }
 }
 
@@ -106,15 +143,16 @@ impl<E: RoutingEngine + ?Sized> RoutingEngine for Box<E> {
         (**self).capabilities()
     }
 
-    fn route_connection(
+    fn route_connection_in(
         &self,
         plane: &dyn PlaneIndex,
         tree: &RouteTree,
         goals: &GoalSet,
         coster: &EdgeCoster<'_>,
         config: &RouterConfig,
+        scratch: &mut SearchScratch,
     ) -> Result<RoutedPath, RouteError> {
-        (**self).route_connection(plane, tree, goals, coster, config)
+        (**self).route_connection_in(plane, tree, goals, coster, config, scratch)
     }
 }
 
@@ -137,15 +175,16 @@ impl RoutingEngine for GridlessEngine {
         }
     }
 
-    fn route_connection(
+    fn route_connection_in(
         &self,
         plane: &dyn PlaneIndex,
         tree: &RouteTree,
         goals: &GoalSet,
         coster: &EdgeCoster<'_>,
         config: &RouterConfig,
+        scratch: &mut SearchScratch,
     ) -> Result<RoutedPath, RouteError> {
-        route_from_tree(plane, tree, goals, *coster, config)
+        route_from_tree_in(plane, tree, goals, *coster, config, scratch)
     }
 }
 
@@ -219,21 +258,21 @@ impl GridEngine {
     }
 
     /// All grid-aligned points of the tree: recorded points, segment
-    /// endpoints, and every lattice point along each segment.
-    fn grid_sources(&self, plane: &dyn PlaneIndex, tree: &RouteTree) -> Vec<Point> {
+    /// endpoints, and every lattice point along each segment. Clears and
+    /// fills `out` (a reused staging buffer on the hot path).
+    fn grid_sources_into(&self, plane: &dyn PlaneIndex, tree: &RouteTree, out: &mut Vec<Point>) {
         let origin = plane.bounds();
         let on_grid = |p: Point| {
             (p.x - origin.xmin()).rem_euclid(self.pitch) == 0
                 && (p.y - origin.ymin()).rem_euclid(self.pitch) == 0
         };
-        let mut out: Vec<Point> = Vec::new();
+        out.clear();
         out.extend(tree.points().iter().copied().filter(|&p| on_grid(p)));
         for seg in tree.segments() {
-            self.lattice_points(plane, seg, &mut out);
+            self.lattice_points(plane, seg, out);
         }
         out.sort_unstable();
         out.dedup();
-        out
     }
 }
 
@@ -257,36 +296,45 @@ impl RoutingEngine for GridEngine {
         }
     }
 
-    fn route_connection(
+    fn route_connection_in(
         &self,
         plane: &dyn PlaneIndex,
         tree: &RouteTree,
         goals: &GoalSet,
         _coster: &EdgeCoster<'_>,
         config: &RouterConfig,
+        scratch: &mut SearchScratch,
     ) -> Result<RoutedPath, RouteError> {
-        let sources = self.grid_sources(plane, tree);
+        let SearchScratch {
+            grid: arena,
+            sources,
+            goals: goal_points,
+            ..
+        } = scratch;
+        self.grid_sources_into(plane, tree, sources);
         let origin = plane.bounds();
         let on_grid = |p: Point| {
             (p.x - origin.xmin()).rem_euclid(self.pitch) == 0
                 && (p.y - origin.ymin()).rem_euclid(self.pitch) == 0
         };
-        let mut goal_points: Vec<Point> = goals.points().to_vec();
+        goal_points.clear();
+        goal_points.extend_from_slice(goals.points());
         for s in goals.segments() {
             // Rasterize goal segments exactly like tree sources, so a
             // connection may terminate on a segment interior. Off-grid
             // endpoints are dropped (the lattice points cover the rest)
             // rather than failing the whole call.
-            self.lattice_points(plane, s, &mut goal_points);
+            self.lattice_points(plane, s, goal_points);
             goal_points.extend([s.a(), s.b()].into_iter().filter(|&p| on_grid(p)));
         }
-        let route = gcr_grid::route_multi(
+        let route = gcr_grid::route_multi_in(
             plane,
-            &sources,
-            &goal_points,
+            sources,
+            goal_points,
             self.pitch,
             self.informed,
             config.max_expansions,
+            arena,
         )
         .map_err(|e| match e {
             gcr_grid::GridRouteError::OffGrid { point }
@@ -349,19 +397,29 @@ impl RoutingEngine for HightowerEngine {
         }
     }
 
-    fn route_connection(
+    fn route_connection_in(
         &self,
         plane: &dyn PlaneIndex,
         tree: &RouteTree,
         goals: &GoalSet,
         _coster: &EdgeCoster<'_>,
         config: &RouterConfig,
+        scratch: &mut SearchScratch,
     ) -> Result<RoutedPath, RouteError> {
         // Departure candidates: tree points, segment endpoints, and the
         // projection of every goal onto every segment (the cheap subset
-        // of segment sources a pairwise prober can exploit).
-        let mut sources: Vec<Point> = tree.points().to_vec();
-        let mut goal_points: Vec<Point> = goals.points().to_vec();
+        // of segment sources a pairwise prober can exploit). Staged in
+        // the scratch buffers — the prober has no arena to adopt, but
+        // candidate assembly is per-call and reusable all the same.
+        let SearchScratch {
+            sources,
+            goals: goal_points,
+            ..
+        } = scratch;
+        sources.clear();
+        sources.extend_from_slice(tree.points());
+        goal_points.clear();
+        goal_points.extend_from_slice(goals.points());
         for s in goals.segments() {
             goal_points.push(s.a());
             goal_points.push(s.b());
@@ -369,7 +427,7 @@ impl RoutingEngine for HightowerEngine {
         for seg in tree.segments() {
             sources.push(seg.a());
             sources.push(seg.b());
-            for g in &goal_points {
+            for g in goal_points.iter() {
                 sources.push(seg.closest_point_to(*g));
             }
         }
@@ -388,8 +446,8 @@ impl RoutingEngine for HightowerEngine {
         }
         let route = gcr_hightower::hightower_multi(
             plane,
-            &sources,
-            &goal_points,
+            sources,
+            goal_points,
             &probe_config,
             self.max_pairs,
         )

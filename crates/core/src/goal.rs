@@ -97,6 +97,19 @@ impl GoalSet {
     /// endpoint alignments.
     #[must_use]
     pub fn stops_along_ray(&self, origin: Point, dir: Dir, stop: Coord) -> Vec<Coord> {
+        let mut out = Vec::new();
+        self.stops_along_ray_into(origin, dir, stop, &mut out);
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Buffer-reuse form of [`GoalSet::stops_along_ray`]: **appends** the
+    /// stop coordinates to `out` without sorting or deduplicating, so the
+    /// successor generator can merge several stop sources into one buffer
+    /// and sort once. (The allocating wrapper sorts and dedups to keep
+    /// its historical contract.)
+    pub fn stops_along_ray_into(&self, origin: Point, dir: Dir, stop: Coord, out: &mut Vec<Coord>) {
         let axis = dir.axis();
         let u0 = origin.coord(axis);
         let positive = dir.sign() > 0;
@@ -107,7 +120,6 @@ impl GoalSet {
                 c < u0 && c >= stop
             }
         };
-        let mut out = Vec::new();
         for g in &self.points {
             let c = g.coord(axis);
             if ahead(c) {
@@ -132,9 +144,6 @@ impl GoalSet {
                 }
             }
         }
-        out.sort_unstable();
-        out.dedup();
-        out
     }
 }
 

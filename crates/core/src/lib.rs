@@ -63,6 +63,7 @@ mod feedback;
 mod goal;
 mod net_router;
 mod route;
+mod scratch;
 mod space;
 mod state;
 mod tree;
@@ -75,7 +76,8 @@ pub use error::RouteError;
 pub use feedback::{placement_feedback, FeedbackOptions, FeedbackReport, IterationRecord};
 pub use goal::GoalSet;
 pub use net_router::{GlobalRouter, GlobalRouting, NetRoute, TwoPassReport};
-pub use route::{route_from_tree, route_two_points, RoutedPath};
+pub use route::{route_from_tree, route_from_tree_in, route_two_points, RoutedPath};
+pub use scratch::SearchScratch;
 pub use space::RoutingSpace;
 pub use state::RouteState;
 pub use tree::RouteTree;

@@ -2,10 +2,13 @@
 
 use gcr_geom::{PlaneIndex, Point, Polyline};
 use gcr_search::{
-    astar_with_limits, Found, LexCost, PathCost, SearchLimits, SearchOutcome, SearchStats,
+    astar_with_limits_in, Found, LexCost, PathCost, SearchLimits, SearchOutcome, SearchStats,
 };
 
-use crate::{EdgeCoster, GoalSet, RouteError, RouteState, RouteTree, RouterConfig, RoutingSpace};
+use crate::{
+    EdgeCoster, GoalSet, RouteError, RouteState, RouteTree, RouterConfig, RoutingSpace,
+    SearchScratch,
+};
 
 /// A routed connection: its shape, exact cost and search effort.
 #[derive(Debug, Clone)]
@@ -65,9 +68,15 @@ pub fn route_two_points(
     let goals = GoalSet::from_point(b);
     let sources = vec![(RouteState::source(a), LexCost::zero())];
     let coster = EdgeCoster::new(plane, config);
-    run(plane, &goals, sources, coster, config, || {
-        format!("{a} -> {b}")
-    })
+    run(
+        plane,
+        &goals,
+        sources,
+        coster,
+        config,
+        &mut SearchScratch::new(),
+        || format!("{a} -> {b}"),
+    )
 }
 
 /// Routes from an existing [`RouteTree`] (every segment a legal connection
@@ -88,13 +97,39 @@ pub fn route_from_tree(
     coster: EdgeCoster<'_>,
     config: &RouterConfig,
 ) -> Result<RoutedPath, RouteError> {
+    route_from_tree_in(
+        plane,
+        tree,
+        goals,
+        coster,
+        config,
+        &mut SearchScratch::new(),
+    )
+}
+
+/// [`route_from_tree`] with a caller-owned [`SearchScratch`], so the net
+/// driver reuses one arena across every connection of a multi-terminal
+/// net (and the batch pipeline across every net of a worker). Results
+/// are bit-identical to the fresh-scratch form.
+///
+/// # Errors
+///
+/// As [`route_from_tree`].
+pub fn route_from_tree_in(
+    plane: &dyn PlaneIndex,
+    tree: &RouteTree,
+    goals: &GoalSet,
+    coster: EdgeCoster<'_>,
+    config: &RouterConfig,
+    scratch: &mut SearchScratch,
+) -> Result<RoutedPath, RouteError> {
     if tree.is_empty() || goals.is_empty() {
         return Err(RouteError::NothingToRoute {
             what: "tree-to-goal connection".into(),
         });
     }
     let sources = tree.seeds(plane, goals);
-    run(plane, goals, sources, coster, config, || {
+    run(plane, goals, sources, coster, config, scratch, || {
         "tree-to-goal connection".into()
     })
 }
@@ -105,13 +140,14 @@ fn run(
     sources: Vec<(RouteState, LexCost)>,
     coster: EdgeCoster<'_>,
     config: &RouterConfig,
+    scratch: &mut SearchScratch,
     what: impl Fn() -> String,
 ) -> Result<RoutedPath, RouteError> {
     let space = RoutingSpace::new(plane, goals, sources, coster).with_hanan_walk(config.hanan_walk);
     let limits = SearchLimits {
         max_expansions: config.max_expansions,
     };
-    match astar_with_limits(&space, limits) {
+    match astar_with_limits_in(&space, limits, &mut scratch.gridless) {
         SearchOutcome::Found(Found { path, cost, stats }) => {
             let points: Vec<Point> = path.iter().map(|s| s.point).collect();
             let polyline = if points.len() == 1 {

@@ -27,10 +27,25 @@
 //! cross-validates this against the Lee–Moore router on thousands of
 //! random instances (experiment E3).
 
-use gcr_geom::PlaneIndex;
+use std::cell::RefCell;
+
+use gcr_geom::{CornerCandidate, PlaneIndex};
 use gcr_search::{LexCost, SearchSpace};
 
 use crate::{EdgeCoster, GoalSet, RouteState};
+
+/// Per-expansion staging buffers of the successor generator, reused for
+/// every expansion of a search instead of reallocated (the generator
+/// runs once per node popped from OPEN — with fresh `Vec`s it was the
+/// single largest allocation site of the whole router). Interior
+/// mutability because [`SearchSpace::successors`] takes `&self`; the
+/// search is single-threaded per connection, so the `RefCell` is never
+/// contended.
+#[derive(Debug, Clone, Default)]
+struct SuccessorBufs {
+    stops: Vec<gcr_geom::Coord>,
+    corners: Vec<CornerCandidate>,
+}
 
 /// The gridless routing problem fed to the generic A\* engine.
 #[derive(Debug, Clone)]
@@ -43,6 +58,7 @@ pub struct RoutingSpace<'a> {
     /// (per-axis sorted coordinate lists, obstacle edges ∪ goal
     /// alignments) instead of jumping along full rays — the E9 ablation.
     hanan: Option<(Vec<gcr_geom::Coord>, Vec<gcr_geom::Coord>)>,
+    bufs: RefCell<SuccessorBufs>,
 }
 
 impl<'a> RoutingSpace<'a> {
@@ -61,6 +77,7 @@ impl<'a> RoutingSpace<'a> {
             sources,
             coster,
             hanan: None,
+            bufs: RefCell::new(SuccessorBufs::default()),
         }
     }
 
@@ -114,6 +131,10 @@ impl SearchSpace for RoutingSpace<'_> {
 
     fn successors(&self, state: &RouteState, out: &mut Vec<(RouteState, LexCost)>) {
         let p = state.point;
+        // Hot path: one borrow per expansion, buffers cleared per ray —
+        // no allocation once the high-water capacity is reached.
+        let mut bufs = self.bufs.borrow_mut();
+        let SuccessorBufs { stops, corners } = &mut *bufs;
         for dir in gcr_geom::Dir::ALL {
             if state.reverses_into(dir) {
                 continue;
@@ -123,7 +144,7 @@ impl SearchSpace for RoutingSpace<'_> {
                 continue;
             }
             let axis = dir.axis();
-            let mut stops;
+            stops.clear();
             if let Some((xs, ys)) = &self.hanan {
                 // Ablation: step only to the adjacent Hanan grid line in
                 // this direction (clipped by the ray stop).
@@ -142,20 +163,20 @@ impl SearchSpace for RoutingSpace<'_> {
                         .copied()
                         .filter(|&c| c >= hit.stop)
                 };
-                stops = Vec::new();
                 if let Some(c) = next {
                     stops.push(c);
                 }
             } else {
-                stops = self.goals.stops_along_ray(p, dir, hit.stop);
-                for c in self.plane.corner_candidates(p, dir, hit.stop) {
+                self.goals.stops_along_ray_into(p, dir, hit.stop, stops);
+                self.plane.corner_candidates_into(p, dir, hit.stop, corners);
+                for c in corners.iter() {
                     stops.push(c.at);
                 }
                 stops.push(hit.stop);
             }
             stops.sort_unstable();
             stops.dedup();
-            for c in stops {
+            for &c in stops.iter() {
                 let to = p.with_coord(axis, c);
                 debug_assert_ne!(to, p, "zero-length successor");
                 let edge = self.coster.edge(state, to, dir);

@@ -59,6 +59,27 @@ pub trait PlaneIndex: fmt::Debug + Sync {
     /// origin and deduplicated by `(at, side)`.
     fn corner_candidates(&self, origin: Point, dir: Dir, stop: Coord) -> Vec<CornerCandidate>;
 
+    /// Buffer-reuse form of [`PlaneIndex::corner_candidates`]: clears
+    /// `out` and fills it with the same candidates in the same order.
+    ///
+    /// This is the form the hot search loop calls (one corner query per
+    /// ray per expansion) so that a reused buffer amortizes the
+    /// allocation away. The default is a compatibility shim that pays
+    /// one allocation by delegating to the allocate-and-return form;
+    /// both shipped implementations override it with a genuinely
+    /// allocation-free path (the flat plane fills `out` in place, the
+    /// sharded plane copies from its memoized `Arc` slice).
+    fn corner_candidates_into(
+        &self,
+        origin: Point,
+        dir: Dir,
+        stop: Coord,
+        out: &mut Vec<CornerCandidate>,
+    ) {
+        out.clear();
+        out.extend(self.corner_candidates(origin, dir, stop));
+    }
+
     /// The sorted, deduplicated coordinates of all obstacle edges on
     /// `axis`, including the plane boundary.
     fn corner_coords(&self, axis: Axis) -> Vec<Coord>;
@@ -109,6 +130,16 @@ impl PlaneIndex for Plane {
 
     fn corner_candidates(&self, origin: Point, dir: Dir, stop: Coord) -> Vec<CornerCandidate> {
         Plane::corner_candidates(self, origin, dir, stop)
+    }
+
+    fn corner_candidates_into(
+        &self,
+        origin: Point,
+        dir: Dir,
+        stop: Coord,
+        out: &mut Vec<CornerCandidate>,
+    ) {
+        Plane::corner_candidates_into(self, origin, dir, stop, out);
     }
 
     fn corner_coords(&self, axis: Axis) -> Vec<Coord> {

@@ -119,11 +119,9 @@ pub(crate) fn turn_side_of(r: &Rect, perp: Axis, w: Coord) -> Option<TurnSide> {
 /// The canonical ordering + dedup applied to corner candidates by every
 /// plane implementation: sorted by distance from the origin (positive
 /// side first on ties, then lowest obstacle id), deduplicated by
-/// `(at, side)`.
-pub(crate) fn finish_corner_candidates(
-    mut out: Vec<CornerCandidate>,
-    positive: bool,
-) -> Vec<CornerCandidate> {
+/// `(at, side)`. Operates in place so buffer-reusing callers pay no
+/// allocation.
+pub(crate) fn finish_corner_candidates(out: &mut Vec<CornerCandidate>, positive: bool) {
     if positive {
         out.sort_by_key(|c| (c.at, c.side == TurnSide::Negative, c.obstacle));
     } else {
@@ -136,7 +134,6 @@ pub(crate) fn finish_corner_candidates(
         });
     }
     out.dedup_by_key(|c| (c.at, c.side));
-    out
 }
 
 /// A coordinate along a ray at which a minimal path may usefully turn,
@@ -238,6 +235,25 @@ impl TopoIndex {
             (Axis::Y, false) => &self.ymin,
         }
     }
+
+    /// Inserts one rectangle's faces by binary search, keeping every list
+    /// exactly as a full rebuild would leave it: the lists hold unique
+    /// `(coordinate, rect index)` tuples in ascending tuple order, and
+    /// `sort_unstable` on unique keys is a deterministic total order — so
+    /// `partition_point` insertion lands each entry at the identical
+    /// position, in O(log n) search + one memmove instead of a full
+    /// re-sort. `crates/geom/tests/sharded.rs` holds the differential
+    /// against the rebuild path.
+    fn insert(&mut self, rect: &Rect, ri: u32) {
+        fn insert_sorted(list: &mut Vec<(Coord, u32)>, entry: (Coord, u32)) {
+            let at = list.partition_point(|e| *e < entry);
+            list.insert(at, entry);
+        }
+        insert_sorted(&mut self.xmin, (rect.xmin(), ri));
+        insert_sorted(&mut self.xmax, (rect.xmax(), ri));
+        insert_sorted(&mut self.ymin, (rect.ymin(), ri));
+        insert_sorted(&mut self.ymax, (rect.ymax(), ri));
+    }
 }
 
 impl Plane {
@@ -262,33 +278,44 @@ impl Plane {
     /// Adds a rectangular obstacle and returns its id.
     ///
     /// Degenerate rectangles are accepted but never block (their interior is
-    /// empty).
+    /// empty). A built [`Plane::build_index`] is maintained incrementally
+    /// (sorted insertion, O(log n) per face list), so indexed planes stay
+    /// indexed across mutation.
     pub fn add_obstacle(&mut self, rect: Rect) -> ObstacleId {
         let id = self.obstacle_count;
         self.obstacle_count += 1;
+        let ri = self.rects.len() as u32;
         self.rects.push((rect, id));
-        self.index = None;
+        if let Some(ix) = &mut self.index {
+            ix.insert(&rect, ri);
+        }
         id
     }
 
     /// Adds a rectilinear-polygon obstacle (decomposed into rectangles that
-    /// share one id) and returns the id.
+    /// share one id) and returns the id. A built index is maintained
+    /// incrementally, as in [`Plane::add_obstacle`].
     pub fn add_polygon(&mut self, polygon: &RectilinearPolygon) -> ObstacleId {
         let id = self.obstacle_count;
         self.obstacle_count += 1;
         // The overlapping cover is required here: a pure partition would
         // leave interior seams a wire could legally run through.
         for r in polygon.decompose_overlapping() {
+            let ri = self.rects.len() as u32;
             self.rects.push((r, id));
+            if let Some(ix) = &mut self.index {
+                ix.insert(&r, ri);
+            }
         }
-        self.index = None;
         id
     }
 
     /// Builds the topological ray-tracing index (sorted entry faces per
     /// axis). Queries work without it by linear scan; with it, ray casts
-    /// binary-search their starting face. Adding obstacles invalidates the
-    /// index; call again after mutation.
+    /// binary-search their starting face. Once built, the index is kept
+    /// current by obstacle insertion (incremental sorted insert), so a
+    /// rebuild is only ever needed to index a plane that was never
+    /// indexed.
     pub fn build_index(&mut self) {
         self.index = Some(TopoIndex::build(&self.rects));
     }
@@ -497,8 +524,27 @@ impl Plane {
     /// can only be hugged by turning toward it. Obstacles that straddle the
     /// ray line block it and are never candidates. The result is sorted by
     /// distance from the origin and deduplicated by `(at, side)`.
+    ///
+    /// Allocating wrapper over [`Plane::corner_candidates_into`]; hot
+    /// callers reuse a buffer through the `_into` form.
     #[must_use]
     pub fn corner_candidates(&self, origin: Point, dir: Dir, stop: Coord) -> Vec<CornerCandidate> {
+        let mut out = Vec::new();
+        self.corner_candidates_into(origin, dir, stop, &mut out);
+        out
+    }
+
+    /// Buffer-reuse form of [`Plane::corner_candidates`]: clears `out` and
+    /// fills it with the same candidates in the same order, allocating
+    /// only if the buffer's capacity is insufficient.
+    pub fn corner_candidates_into(
+        &self,
+        origin: Point,
+        dir: Dir,
+        stop: Coord,
+        out: &mut Vec<CornerCandidate>,
+    ) {
+        out.clear();
         let axis = dir.axis();
         let perp = axis.perpendicular();
         let u0 = origin.coord(axis);
@@ -512,7 +558,6 @@ impl Plane {
             }
         };
         let classify = |r: &Rect| -> Option<TurnSide> { turn_side_of(r, perp, w) };
-        let mut out: Vec<CornerCandidate> = Vec::new();
         match &self.index {
             Some(ix) => {
                 // Both corner coordinates of an obstacle appear once across
@@ -557,7 +602,7 @@ impl Plane {
                 }
             }
         }
-        finish_corner_candidates(out, positive)
+        finish_corner_candidates(out, positive);
     }
 
     /// The sorted, deduplicated coordinates of all obstacle edges on `axis`,

@@ -40,65 +40,21 @@
 
 use std::collections::HashMap;
 use std::fmt;
-use std::hash::{BuildHasherDefault, Hasher};
+use std::hash::Hasher;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
+
+// FNV-1a over 8-byte words: the cache keys are a handful of `i64`
+// coordinates, and the hit path must be cheaper than the flat plane's
+// binary-searched ray cast — SipHash would eat the entire win. The
+// hasher is shared with the A* state index (`gcr_search::fnv`).
+use gcr_search::{FnvBuildHasher as FnvBuild, FnvHasher};
 
 use crate::plane::ray_entry;
 use crate::{
     Axis, Coord, CornerCandidate, Dir, Interval, ObstacleId, Plane, PlaneIndex, Point, RayHit,
     Rect, RectilinearPolygon,
 };
-
-/// FNV-1a over 8-byte words: the cache keys are a handful of `i64`
-/// coordinates, and the hit path must be cheaper than the flat plane's
-/// binary-searched ray cast — SipHash would eat the entire win.
-#[derive(Default, Clone, Copy)]
-struct FnvHasher(u64);
-
-impl Hasher for FnvHasher {
-    fn finish(&self) -> u64 {
-        self.0
-    }
-
-    fn write(&mut self, bytes: &[u8]) {
-        let mut h = if self.0 == 0 {
-            0xcbf2_9ce4_8422_2325
-        } else {
-            self.0
-        };
-        for &b in bytes {
-            h ^= u64::from(b);
-            h = h.wrapping_mul(0x0000_0100_0000_01b3);
-        }
-        self.0 = h;
-    }
-
-    fn write_u64(&mut self, v: u64) {
-        let mut h = if self.0 == 0 {
-            0xcbf2_9ce4_8422_2325
-        } else {
-            self.0
-        };
-        h ^= v;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-        self.0 = h;
-    }
-
-    fn write_i64(&mut self, v: i64) {
-        self.write_u64(v as u64);
-    }
-
-    fn write_u8(&mut self, v: u8) {
-        self.write_u64(u64::from(v));
-    }
-
-    fn write_usize(&mut self, v: usize) {
-        self.write_u64(v as u64);
-    }
-}
-
-type FnvBuild = BuildHasherDefault<FnvHasher>;
 
 /// Number of independently locked ways the query cache is split into, so
 /// parallel batch workers rarely contend on the same lock.
@@ -120,6 +76,8 @@ enum QueryKey {
     Ray(Point, Dir),
     /// Segment legality between two canonically ordered endpoints.
     Segment(Point, Point),
+    /// Corner-candidate enumeration along a clipped ray.
+    Corners(Point, Dir, Coord),
 }
 
 impl QueryKey {
@@ -147,15 +105,24 @@ impl std::hash::Hash for QueryKey {
                 state.write_i64(b.x);
                 state.write_i64(b.y);
             }
+            QueryKey::Corners(p, dir, stop) => {
+                // Tags 0..=3 are the ray directions, 4 the segment key.
+                state.write_u8(5 + *dir as u8);
+                state.write_i64(p.x);
+                state.write_i64(p.y);
+                state.write_i64(*stop);
+            }
         }
     }
 }
 
-/// A memoized query answer.
-#[derive(Debug, Clone, Copy)]
+/// A memoized query answer. Corner lists are shared behind an `Arc` so a
+/// cache hit is one refcount bump, not a list copy.
+#[derive(Debug, Clone)]
 enum QueryValue {
     Ray(RayHit),
     Free(bool),
+    Corners(Arc<[CornerCandidate]>),
 }
 
 /// One lock-guarded way of the memo: generation-stamped values by key.
@@ -200,10 +167,10 @@ impl QueryCache {
             let map = way
                 .lock()
                 .unwrap_or_else(std::sync::PoisonError::into_inner);
-            if let Some(&(g, v)) = map.get(&key) {
-                if g == generation {
+            if let Some((g, v)) = map.get(&key) {
+                if *g == generation {
                     self.hits.fetch_add(1, Ordering::Relaxed);
-                    return v;
+                    return v.clone();
                 }
             }
         }
@@ -215,7 +182,7 @@ impl QueryCache {
         if map.len() >= CACHE_WAY_CAP {
             map.clear();
         }
-        map.insert(key, (generation, v));
+        map.insert(key, (generation, v.clone()));
         v
     }
 
@@ -378,22 +345,27 @@ impl ShardedPlane {
     }
 
     /// Adds a rectangular obstacle and returns its id (see
-    /// [`Plane::add_obstacle`]). Invalidates the query cache.
+    /// [`Plane::add_obstacle`]). Invalidates the query cache. The flat
+    /// topological index is maintained incrementally by the insert
+    /// (sorted-insert, not a rebuild), so mutation is O(log n) per face
+    /// list plus the bucket registration.
     pub fn add_obstacle(&mut self, rect: Rect) -> ObstacleId {
         let from = self.flat.rects().len();
         let id = self.flat.add_obstacle(rect);
-        self.flat.build_index();
+        debug_assert!(self.flat.has_index(), "constructor built the index");
         self.index_rects(from);
         self.invalidate();
         id
     }
 
     /// Adds a rectilinear-polygon obstacle and returns its id (see
-    /// [`Plane::add_polygon`]). Invalidates the query cache.
+    /// [`Plane::add_polygon`]). Invalidates the query cache; the flat
+    /// index is maintained incrementally, as in
+    /// [`ShardedPlane::add_obstacle`].
     pub fn add_polygon(&mut self, polygon: &RectilinearPolygon) -> ObstacleId {
         let from = self.flat.rects().len();
         let id = self.flat.add_polygon(polygon);
-        self.flat.build_index();
+        debug_assert!(self.flat.has_index(), "constructor built the index");
         self.index_rects(from);
         self.invalidate();
         id
@@ -621,7 +593,7 @@ impl PlaneIndex for ShardedPlane {
         });
         match v {
             QueryValue::Free(free) => free,
-            QueryValue::Ray(_) => unreachable!("segment key stores Free values"),
+            _ => unreachable!("segment key stores Free values"),
         }
     }
 
@@ -633,16 +605,44 @@ impl PlaneIndex for ShardedPlane {
         });
         match v {
             QueryValue::Ray(hit) => hit,
-            QueryValue::Free(_) => unreachable!("ray key stores Ray values"),
+            _ => unreachable!("ray key stores Ray values"),
         }
     }
 
     fn corner_candidates(&self, origin: Point, dir: Dir, stop: Coord) -> Vec<CornerCandidate> {
+        let mut out = Vec::new();
+        self.corner_candidates_into(origin, dir, stop, &mut out);
+        out
+    }
+
+    fn corner_candidates_into(
+        &self,
+        origin: Point,
+        dir: Dir,
+        stop: Coord,
+        out: &mut Vec<CornerCandidate>,
+    ) {
         // Non-local query: anchoring corners sit at any perpendicular
         // distance from the ray line, so the bucket grid has no locality
-        // to exploit. Delegate to the flat plane's sorted face lists
-        // (kept built by the constructor and every mutation).
-        self.flat.corner_candidates(origin, dir, stop)
+        // to exploit. Instead the answer is memoized exactly like the
+        // ray/segment queries — keyed by `(origin, dir, stop)`, stamped
+        // with the generation — because repeated expansions from the
+        // same state (different nets, reopened nodes, two-pass reroutes)
+        // re-walk the flat face lists for identical answers. Cold
+        // queries delegate to the flat plane's sorted face lists (kept
+        // built by the constructor and maintained by every mutation).
+        out.clear();
+        let key = QueryKey::Corners(origin, dir, stop);
+        let v = self.cache.get_or(self.generation(), key, || {
+            let mut fresh = Vec::new();
+            self.flat
+                .corner_candidates_into(origin, dir, stop, &mut fresh);
+            QueryValue::Corners(fresh.into())
+        });
+        match v {
+            QueryValue::Corners(c) => out.extend_from_slice(&c),
+            _ => unreachable!("corner key stores Corners values"),
+        }
     }
 
     fn corner_coords(&self, axis: Axis) -> Vec<Coord> {
@@ -752,6 +752,45 @@ mod tests {
         let stats1 = s.cache_stats();
         assert_eq!(stats1.hits, stats0.hits + 1);
         assert_eq!(stats1.misses, stats0.misses);
+    }
+
+    #[test]
+    fn corner_candidates_are_memoized_and_invalidated() {
+        let (flat, _) = one_block();
+        let s = ShardedPlane::new(flat.clone());
+        let (p, stop) = (Point::new(0, 10), 100);
+        let cold = s.corner_candidates(p, Dir::East, stop);
+        assert_eq!(cold, flat.corner_candidates(p, Dir::East, stop));
+        let misses = s.cache_stats().misses;
+        // Identical query: answered from the memo, identically.
+        let warm = s.corner_candidates(p, Dir::East, stop);
+        assert_eq!(warm, cold);
+        assert_eq!(s.cache_stats().misses, misses);
+        assert!(s.cache_stats().hits >= 1);
+        // A different stop is a different key (clipping changes answers).
+        let clipped = s.corner_candidates(p, Dir::East, 50);
+        assert_eq!(clipped, flat.corner_candidates(p, Dir::East, 50));
+        assert_eq!(s.cache_stats().misses, misses + 1);
+        // Mutation retires the memo: the new obstacle must appear.
+        let mut s = s;
+        s.add_obstacle(Rect::new(80, 20, 90, 40).unwrap());
+        let fresh = s.corner_candidates(p, Dir::East, stop);
+        assert!(fresh.iter().any(|c| c.at == 80));
+        assert_eq!(fresh, s.flat().corner_candidates(p, Dir::East, stop));
+    }
+
+    #[test]
+    fn corner_candidates_into_reuses_the_buffer() {
+        let (flat, _) = one_block();
+        let s = ShardedPlane::new(flat);
+        let mut buf = vec![CornerCandidate {
+            at: -1,
+            obstacle: 9,
+            side: crate::TurnSide::Positive,
+        }];
+        s.corner_candidates_into(Point::new(0, 10), Dir::East, 100, &mut buf);
+        assert_eq!(buf, s.corner_candidates(Point::new(0, 10), Dir::East, 100));
+        assert!(buf.iter().all(|c| c.at >= 0), "stale contents cleared");
     }
 
     #[test]

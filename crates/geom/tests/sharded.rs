@@ -139,6 +139,94 @@ fn cached_queries_match_cold_queries_after_each_insert() {
     }
 }
 
+/// Incremental index maintenance differential: a plane whose topological
+/// index was built once and then maintained by sorted insertion across
+/// many mutations must answer every query — ray, corner, segment —
+/// identically to (a) a plane whose index is rebuilt from scratch after
+/// all inserts and (b) the un-indexed linear scan. This is the lockdown
+/// for replacing the per-insert `build_index` re-sort.
+#[test]
+fn incrementally_maintained_index_matches_full_rebuild() {
+    for case in 0..8u64 {
+        let mut rng = StdRng::seed_from_u64(0x1_DEC + case);
+        let mut incremental = Plane::new(Rect::new(0, 0, RANGE, RANGE).unwrap());
+        incremental.build_index(); // built empty, maintained ever after
+        let mut linear = Plane::new(Rect::new(0, 0, RANGE, RANGE).unwrap());
+        for step in 0..12 {
+            let r = rect(&mut rng);
+            incremental.add_obstacle(r);
+            linear.add_obstacle(r);
+            assert!(
+                incremental.has_index(),
+                "insert must keep the index current"
+            );
+            let mut rebuilt = linear.clone();
+            rebuilt.build_index();
+            for _ in 0..20 {
+                let p = probe(&mut rng);
+                assert_eq!(
+                    linear.point_free(p),
+                    incremental.point_free(p),
+                    "case {case} step {step}: point {p}"
+                );
+                if !linear.point_free(p) {
+                    continue;
+                }
+                for dir in Dir::ALL {
+                    let want = rebuilt.ray_hit(p, dir);
+                    assert_eq!(
+                        incremental.ray_hit(p, dir),
+                        want,
+                        "case {case} step {step}: ray {p} {dir:?}"
+                    );
+                    assert_eq!(
+                        linear.ray_hit(p, dir),
+                        want,
+                        "case {case} step {step}: linear ray {p} {dir:?}"
+                    );
+                    assert_eq!(
+                        incremental.corner_candidates(p, dir, want.stop),
+                        rebuilt.corner_candidates(p, dir, want.stop),
+                        "case {case} step {step}: corners {p} {dir:?}"
+                    );
+                    let q = probe(&mut rng);
+                    let b = Point::new(q.x, p.y);
+                    assert_eq!(
+                        incremental.segment_free(p, b),
+                        rebuilt.segment_free(p, b),
+                        "case {case} step {step}: segment {p}-{b}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The incremental path must also cover polygon obstacles (several
+/// rectangles per insert) and preserve tie-break order for rectangles
+/// sharing face coordinates with earlier ones.
+#[test]
+fn incremental_insert_preserves_tie_break_order() {
+    let mut incremental = Plane::new(Rect::new(0, 0, 100, 100).unwrap());
+    incremental.build_index();
+    let first = incremental.add_obstacle(Rect::new(40, 40, 60, 55).unwrap());
+    let _second = incremental.add_obstacle(Rect::new(40, 45, 80, 60).unwrap());
+    let mut rebuilt = incremental.clone();
+    rebuilt.build_index();
+    for (p, dir) in [
+        (Point::new(0, 50), Dir::East),
+        (Point::new(100, 50), Dir::West),
+        (Point::new(50, 0), Dir::North),
+        (Point::new(50, 100), Dir::South),
+    ] {
+        let hit = incremental.ray_hit(p, dir);
+        assert_eq!(hit, rebuilt.ray_hit(p, dir), "{p} {dir:?}");
+        if dir == Dir::East {
+            assert_eq!(hit.blocker, Some(first), "shared entry face tie");
+        }
+    }
+}
+
 /// Regression: a query whose rect straddles shard boundaries (ray and
 /// segment both crossing several bucket columns, obstacle registered in
 /// multiple buckets) must be answered — and cached — correctly before

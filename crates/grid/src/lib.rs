@@ -27,9 +27,15 @@ use std::fmt;
 
 use gcr_geom::{Coord, PlaneIndex, Point, Polyline};
 use gcr_search::{
-    astar, astar_with_limits, breadth_first, Found, SearchLimits, SearchOutcome, SearchSpace,
-    SearchStats, ZeroHeuristic,
+    astar, astar_with_limits_in, breadth_first, Found, SearchArena, SearchLimits, SearchOutcome,
+    SearchSpace, SearchStats, ZeroHeuristic,
 };
+
+/// The reusable search arena of the grid routers: state = grid node,
+/// cost = plane-unit length. One arena serves both the informed and the
+/// blind (Lee–Moore) regimes — they share the state and cost types — and
+/// is reset between searches, so reuse never changes results.
+pub type GridSearchArena = SearchArena<(i32, i32), i64>;
 
 /// A uniform routing grid over a plane, spacing = wire pitch.
 ///
@@ -385,6 +391,34 @@ pub fn route_multi(
     informed: bool,
     max_expansions: Option<usize>,
 ) -> Result<GridRoute, GridRouteError> {
+    route_multi_in(
+        plane,
+        sources,
+        goals,
+        pitch,
+        informed,
+        max_expansions,
+        &mut GridSearchArena::new(),
+    )
+}
+
+/// [`route_multi`] with a caller-owned [`GridSearchArena`], so batch
+/// drivers routing many connections amortize the search's allocations.
+/// The arena is reset on entry; results are bit-identical to
+/// [`route_multi`].
+///
+/// # Errors
+///
+/// See [`route_multi`].
+pub fn route_multi_in(
+    plane: &dyn PlaneIndex,
+    sources: &[Point],
+    goals: &[Point],
+    pitch: Coord,
+    informed: bool,
+    max_expansions: Option<usize>,
+    arena: &mut GridSearchArena,
+) -> Result<GridRoute, GridRouteError> {
     if sources.is_empty() || goals.is_empty() {
         return Err(GridRouteError::NothingToRoute);
     }
@@ -417,9 +451,9 @@ pub fn route_multi(
     };
     let limits = SearchLimits { max_expansions };
     let outcome = if informed {
-        astar_with_limits(&space, limits)
+        astar_with_limits_in(&space, limits, arena)
     } else {
-        astar_with_limits(&ZeroHeuristic(&space), limits)
+        astar_with_limits_in(&ZeroHeuristic(&space), limits, arena)
     };
     match outcome {
         SearchOutcome::Found(Found { path, cost, stats }) => {
@@ -731,6 +765,41 @@ mod tests {
         let capped = route_multi(&plane, &sources, &goals, 1, true, Some(1_000_000)).unwrap();
         assert_eq!(free.polyline, capped.polyline);
         assert_eq!(free.stats, capped.stats);
+    }
+
+    #[test]
+    fn reused_arena_matches_fresh_route_multi() {
+        // One arena, interleaved differently-shaped searches (informed,
+        // blind, multi-source, unreachable budget): every call must be
+        // bit-identical to a fresh-arena run.
+        let plane = one_block();
+        let mut arena = GridSearchArena::new();
+        let sources = [Point::new(0, 50), Point::new(0, 10)];
+        let goals = [Point::new(60, 10), Point::new(60, 55)];
+        for round in 0..2 {
+            for informed in [true, false] {
+                let reused =
+                    route_multi_in(&plane, &sources, &goals, 1, informed, None, &mut arena)
+                        .unwrap();
+                let fresh = route_multi(&plane, &sources, &goals, 1, informed, None).unwrap();
+                assert_eq!(reused.polyline, fresh.polyline, "round {round}");
+                assert_eq!(reused.length, fresh.length, "round {round}");
+                assert_eq!(reused.stats, fresh.stats, "round {round}");
+            }
+            // A limit hit must not poison the next search either.
+            assert!(matches!(
+                route_multi_in(
+                    &plane,
+                    &[Point::new(0, 30)],
+                    &[Point::new(60, 30)],
+                    1,
+                    true,
+                    Some(1),
+                    &mut arena
+                ),
+                Err(GridRouteError::LimitExceeded { limit: 1 })
+            ));
+        }
     }
 
     #[test]

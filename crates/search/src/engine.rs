@@ -1,9 +1,9 @@
 //! The A\* / best-first engine with OPEN and CLOSED lists.
 
 use std::collections::hash_map::Entry;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::BinaryHeap;
 
-use crate::{PathCost, SearchSpace, SearchStats, ZeroHeuristic};
+use crate::{FnvHashMap, PathCost, SearchSpace, SearchStats, ZeroHeuristic};
 
 /// A successful search: the minimal-cost path, its cost, and the work done.
 #[derive(Debug, Clone)]
@@ -97,6 +97,91 @@ impl<C: PathCost> Ord for HeapEntry<C> {
     }
 }
 
+/// The reusable allocation footprint of one A\* run: the node table, the
+/// FNV-hashed state index, the OPEN heap and the successor scratch
+/// buffer, all in one struct that is [`reset`](SearchArena::reset)
+/// between searches instead of reallocated.
+///
+/// Routing runs thousands of searches per batch, each touching a few
+/// hundred nodes: the dominant cost of a fresh search is not the geometry
+/// but building these four containers from nothing every time. An arena
+/// amortizes them — [`astar_with_limits_in`] borrows one, resets it, and
+/// leaves its capacity behind for the next search. Reuse is **purely an
+/// allocation optimization**: a search through a reused arena returns
+/// bit-identical results to one through a fresh arena (the reset clears
+/// every element; only capacity survives), which `tests/determinism.rs`
+/// asserts across interleaved, differently-shaped nets.
+///
+/// ```
+/// use gcr_search::{astar_with_limits, astar_with_limits_in, SearchArena, SearchLimits};
+/// # use gcr_search::SearchSpace;
+/// # struct Line;
+/// # impl SearchSpace for Line {
+/// #     type State = i32; type Cost = i64;
+/// #     fn start_states(&self) -> Vec<(i32, i64)> { vec![(0, 0)] }
+/// #     fn successors(&self, s: &i32, out: &mut Vec<(i32, i64)>) { out.push((s + 1, 1)); }
+/// #     fn is_goal(&self, s: &i32) -> bool { *s == 5 }
+/// # }
+/// let mut arena = SearchArena::new();
+/// for _ in 0..3 {
+///     let reused = astar_with_limits_in(&Line, SearchLimits::default(), &mut arena);
+///     let fresh = astar_with_limits(&Line, SearchLimits::default());
+///     assert_eq!(reused.found().unwrap().path, fresh.found().unwrap().path);
+/// }
+/// ```
+pub struct SearchArena<S, C> {
+    nodes: Vec<Node<S, C>>,
+    index: FnvHashMap<S, usize>,
+    open: BinaryHeap<HeapEntry<C>>,
+    succ: Vec<(S, C)>,
+}
+
+impl<S, C> SearchArena<S, C> {
+    /// An empty arena (no capacity reserved yet).
+    #[must_use]
+    pub fn new() -> SearchArena<S, C> {
+        SearchArena {
+            nodes: Vec::new(),
+            index: FnvHashMap::default(),
+            open: BinaryHeap::new(),
+            succ: Vec::new(),
+        }
+    }
+
+    /// Clears every container while keeping its capacity. Called by
+    /// [`astar_with_limits_in`] on entry, so a dirty arena can never
+    /// poison the next search.
+    pub fn reset(&mut self) {
+        self.nodes.clear();
+        self.index.clear();
+        self.open.clear();
+        self.succ.clear();
+    }
+
+    /// The node-table capacity currently held (diagnostic: how much
+    /// memory reuse is saving).
+    #[must_use]
+    pub fn node_capacity(&self) -> usize {
+        self.nodes.capacity()
+    }
+}
+
+impl<S, C> Default for SearchArena<S, C> {
+    fn default() -> SearchArena<S, C> {
+        SearchArena::new()
+    }
+}
+
+impl<S, C> std::fmt::Debug for SearchArena<S, C> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SearchArena")
+            .field("nodes", &self.nodes.len())
+            .field("node_capacity", &self.nodes.capacity())
+            .field("open", &self.open.len())
+            .finish_non_exhaustive()
+    }
+}
+
 /// Runs A\* on `space` and returns the minimal-cost path to a goal, or
 /// `None` when no goal is reachable.
 ///
@@ -116,17 +201,37 @@ pub fn best_first<Sp: SearchSpace>(space: &Sp) -> Option<Found<Sp::State, Sp::Co
 }
 
 /// Runs A\* under resource limits; see [`astar`].
+///
+/// Thin wrapper over [`astar_with_limits_in`] that owns a fresh
+/// [`SearchArena`]; hot callers (the batch pipeline, the net driver)
+/// keep an arena and call the `_in` form directly.
 pub fn astar_with_limits<Sp: SearchSpace>(
     space: &Sp,
     limits: SearchLimits,
 ) -> SearchOutcome<Sp::State, Sp::Cost> {
-    let mut nodes: Vec<Node<Sp::State, Sp::Cost>> = Vec::new();
-    let mut index: HashMap<Sp::State, usize> = HashMap::new();
-    let mut open: BinaryHeap<HeapEntry<Sp::Cost>> = BinaryHeap::new();
+    astar_with_limits_in(space, limits, &mut SearchArena::new())
+}
+
+/// Runs A\* under resource limits using `arena` for every allocation the
+/// search makes; see [`astar`] for the algorithm and [`SearchArena`] for
+/// the reuse contract. The arena is reset on entry, so results are
+/// bit-identical to [`astar_with_limits`] no matter what ran in it
+/// before.
+pub fn astar_with_limits_in<Sp: SearchSpace>(
+    space: &Sp,
+    limits: SearchLimits,
+    arena: &mut SearchArena<Sp::State, Sp::Cost>,
+) -> SearchOutcome<Sp::State, Sp::Cost> {
+    arena.reset();
+    let SearchArena {
+        nodes,
+        index,
+        open,
+        succ: succ_buf,
+    } = arena;
     let mut stats = SearchStats::default();
     let mut seq: u64 = 0;
     let mut open_valid: usize = 0;
-    let mut succ_buf: Vec<(Sp::State, Sp::Cost)> = Vec::new();
 
     for (state, g0) in space.start_states() {
         match index.entry(state.clone()) {
@@ -199,7 +304,7 @@ pub fn astar_with_limits<Sp: SearchSpace>(
         stats.expanded += 1;
 
         succ_buf.clear();
-        space.successors(&nodes[id].state, &mut succ_buf);
+        space.successors(&nodes[id].state, succ_buf);
         stats.generated += succ_buf.len();
         for (succ, edge) in succ_buf.drain(..) {
             let g = nodes[id].g.plus(edge);
@@ -430,6 +535,56 @@ mod tests {
         for _ in 0..5 {
             assert_eq!(astar(&g).unwrap().path, first);
         }
+    }
+
+    #[test]
+    fn reused_arena_matches_fresh_runs_across_shapes() {
+        // Interleave differently-shaped problems through ONE arena and
+        // assert every outcome is bit-identical to a fresh-arena run:
+        // found paths/costs/stats, exhaustion, and limit hits.
+        let found_graph = diamond();
+        let mut unreachable = diamond();
+        unreachable.goals = vec![99];
+        unreachable.edges.resize(100, vec![]);
+        unreachable.h = vec![0; 100];
+        let tight = SearchLimits {
+            max_expansions: Some(1),
+        };
+        let free = SearchLimits::default();
+
+        let mut arena = SearchArena::new();
+        for round in 0..3 {
+            let reused = astar_with_limits_in(&found_graph, free, &mut arena);
+            let fresh = astar_with_limits(&found_graph, free);
+            let (r, f) = (reused.found().unwrap(), fresh.found().unwrap());
+            assert_eq!(r.path, f.path, "round {round}");
+            assert_eq!(r.cost, f.cost, "round {round}");
+            assert_eq!(r.stats, f.stats, "round {round}");
+
+            let reused = astar_with_limits_in(&unreachable, free, &mut arena);
+            assert!(matches!(reused, SearchOutcome::Exhausted(_)));
+            assert_eq!(
+                *reused.stats(),
+                *astar_with_limits(&unreachable, free).stats(),
+                "round {round}"
+            );
+
+            let reused = astar_with_limits_in(&found_graph, tight, &mut arena);
+            assert!(matches!(reused, SearchOutcome::LimitReached(_)));
+        }
+        assert!(arena.node_capacity() > 0, "capacity must survive reuse");
+    }
+
+    #[test]
+    fn arena_reset_clears_state() {
+        let mut arena: SearchArena<usize, i64> = SearchArena::new();
+        astar_with_limits_in(&diamond(), SearchLimits::default(), &mut arena);
+        arena.reset();
+        assert!(format!("{arena:?}").contains("nodes: 0"));
+        // A reset arena behaves exactly like a new one.
+        let a = astar_with_limits_in(&diamond(), SearchLimits::default(), &mut arena);
+        let b = astar_with_limits(&diamond(), SearchLimits::default());
+        assert_eq!(a.found().unwrap().path, b.found().unwrap().path);
     }
 
     #[test]

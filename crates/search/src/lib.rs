@@ -56,13 +56,18 @@
 mod blind;
 mod cost;
 mod engine;
+mod fnv;
 mod parallel;
 mod space;
 mod stats;
 
 pub use blind::{breadth_first, depth_first, exhaustive};
 pub use cost::{LexCost, PathCost};
-pub use engine::{astar, astar_with_limits, best_first, Found, SearchLimits, SearchOutcome};
-pub use parallel::{default_threads, parallel_map};
+pub use engine::{
+    astar, astar_with_limits, astar_with_limits_in, best_first, Found, SearchArena, SearchLimits,
+    SearchOutcome,
+};
+pub use fnv::{FnvBuildHasher, FnvHashMap, FnvHasher};
+pub use parallel::{default_threads, parallel_map, parallel_map_with};
 pub use space::{SearchSpace, ZeroHeuristic};
 pub use stats::SearchStats;

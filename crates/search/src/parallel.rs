@@ -42,9 +42,41 @@ where
     U: Send,
     F: Fn(usize, &T) -> U + Sync,
 {
+    parallel_map_with(items, threads, || (), |(), i, t| f(i, t))
+}
+
+/// [`parallel_map`] with **worker-local state**: every worker thread
+/// calls `init` exactly once and threads the resulting value, mutably,
+/// through every item it claims. The serial path (`threads <= 1`) builds
+/// one state for the whole loop.
+///
+/// This is the seam the batch router uses to keep one reusable search
+/// arena per worker — allocation amortization without any cross-thread
+/// sharing. The state must not influence results (`f` must still be pure
+/// per item up to its scratch space), or the schedule becomes observable
+/// and the serial ≡ parallel guarantee breaks; nothing enforces this, so
+/// it is part of the caller's contract, asserted for the routing
+/// pipeline by `tests/determinism.rs`.
+///
+/// # Panics
+///
+/// Propagates a panic from `init` or `f` (the scope joins all workers
+/// first).
+pub fn parallel_map_with<T, U, W, I, F>(items: &[T], threads: usize, init: I, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    I: Fn() -> W + Sync,
+    F: Fn(&mut W, usize, &T) -> U + Sync,
+{
     let threads = threads.min(items.len()).max(1);
     if threads <= 1 {
-        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        let mut state = init();
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, t)| f(&mut state, i, t))
+            .collect();
     }
     let next = AtomicUsize::new(0);
     let mut buckets: Vec<Vec<(usize, U)>> = Vec::with_capacity(threads);
@@ -52,13 +84,14 @@ where
         let mut handles = Vec::with_capacity(threads);
         for _ in 0..threads {
             handles.push(scope.spawn(|| {
+                let mut state = init();
                 let mut mine: Vec<(usize, U)> = Vec::new();
                 loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= items.len() {
                         return mine;
                     }
-                    mine.push((i, f(i, &items[i])));
+                    mine.push((i, f(&mut state, i, &items[i])));
                 }
             }));
         }
@@ -109,6 +142,41 @@ mod tests {
         let none: Vec<i32> = Vec::new();
         assert!(parallel_map(&none, 4, |_, &x| x).is_empty());
         assert_eq!(parallel_map(&[7], 4, |_, &x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn worker_state_survives_across_items() {
+        // The serial path must thread ONE state through the whole loop
+        // (that is the arena-reuse contract); outputs stay input-ordered.
+        let items: Vec<u64> = (0..50).collect();
+        let out = parallel_map_with(
+            &items,
+            1,
+            || 0u64,
+            |seen, _, &x| {
+                *seen += 1;
+                (x, *seen)
+            },
+        );
+        assert_eq!(out.len(), 50);
+        for (i, &(x, seen)) in out.iter().enumerate() {
+            assert_eq!(x, i as u64);
+            assert_eq!(seen, i as u64 + 1, "one state threads the serial loop");
+        }
+    }
+
+    #[test]
+    fn with_and_without_state_agree() {
+        let items: Vec<u64> = (0..257).collect();
+        let pure = |x: u64| x.wrapping_mul(0x9e37_79b9).rotate_left(13);
+        let base = parallel_map(&items, 4, |_, &x| pure(x));
+        for threads in [1, 3, 8] {
+            let with = parallel_map_with(&items, threads, Vec::<u64>::new, |scratch, _, &x| {
+                scratch.push(x); // worker-local scratch must not leak
+                pure(x)
+            });
+            assert_eq!(with, base, "{threads} threads");
+        }
     }
 
     #[test]

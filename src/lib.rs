@@ -98,7 +98,7 @@ pub mod prelude {
     pub use gcr_core::{
         route_two_points, BatchConfig, BatchRouter, EngineCaps, GlobalRouter, GlobalRouting,
         GridEngine, GridlessEngine, HightowerEngine, NetRoute, PlaneIndexKind, RouteError,
-        RouteTree, RoutedPath, RouterConfig, RoutingEngine,
+        RouteTree, RoutedPath, RouterConfig, RoutingEngine, SearchScratch,
     };
     pub use gcr_geom::{
         Axis, Coord, Dir, Interval, Plane, PlaneIndex, Point, Polyline, Rect, Segment, ShardedPlane,

@@ -159,6 +159,79 @@ fn assert_routing_identical(a: &GlobalRouting, b: &GlobalRouting, threads: usize
     }
 }
 
+/// Arena-poisoning differential: routing interleaved, differently-shaped
+/// nets through ONE reused [`SearchScratch`] must be byte-identical to
+/// fresh-scratch runs — for all three engines, over both plane indexes.
+/// This is the contract that lets the batch pipeline keep one arena per
+/// worker: reuse amortizes allocations and must never leak state.
+#[test]
+fn reused_scratch_is_byte_identical_to_fresh_for_all_engines_and_indexes() {
+    let layout = build();
+    let ids = layout.net_ids();
+    let engines: Vec<(&str, Box<dyn RoutingEngine>)> = vec![
+        ("gridless", Box::new(GridlessEngine)),
+        ("grid-astar", Box::new(GridEngine::default())),
+        ("lee-moore", Box::new(GridEngine::lee_moore())),
+        ("hightower", Box::new(HightowerEngine::default())),
+    ];
+    for (name, engine) in &engines {
+        for index in [PlaneIndexKind::Flat, PlaneIndexKind::Sharded] {
+            let router = BatchRouter::new(&layout, RouterConfig::default(), engine)
+                .with_batch(BatchConfig::serial().with_index(index));
+            // One scratch across every net, visited in reverse id order
+            // (multi-terminal nets first, then the two-pin ones), so
+            // each search inherits a dirty arena shaped by a
+            // differently-sized predecessor.
+            let mut scratch = SearchScratch::new();
+            let mut order: Vec<_> = ids.clone();
+            order.reverse();
+            for &id in &order {
+                let reused = router.route_net_in(id, None, &mut scratch);
+                let fresh = router.route_net(id);
+                match (reused, fresh) {
+                    (Ok(a), Ok(b)) => {
+                        assert_eq!(a.stats, b.stats, "{name}/{index:?}: net {}", a.net);
+                        assert_eq!(a.tree.points(), b.tree.points(), "{name}/{index:?}");
+                        assert_eq!(a.tree.segments(), b.tree.segments(), "{name}/{index:?}");
+                        for (ca, cb) in a.connections.iter().zip(&b.connections) {
+                            assert_eq!(ca.polyline, cb.polyline, "{name}/{index:?}");
+                            assert_eq!(ca.cost, cb.cost, "{name}/{index:?}");
+                            assert_eq!(ca.stats, cb.stats, "{name}/{index:?}");
+                        }
+                    }
+                    (Err(a), Err(b)) => {
+                        assert_eq!(a, b, "{name}/{index:?}: failure for {id}");
+                    }
+                    (a, b) => panic!("{name}/{index:?}: outcomes diverge for {id}: {a:?} vs {b:?}"),
+                }
+            }
+        }
+    }
+}
+
+/// The reused-scratch seam must also leave the batch entry points
+/// unchanged: `route_all` (per-worker scratch) against per-net
+/// fresh-scratch routing.
+#[test]
+fn batch_route_all_matches_per_net_fresh_scratch_routing() {
+    let layout = build();
+    let router =
+        BatchRouter::gridless(&layout, RouterConfig::default()).with_batch(BatchConfig::serial());
+    let batch = router.route_all();
+    let mut routes = 0;
+    for r in &batch.routes {
+        let fresh = router.route_net(r.id).expect("batch routed it");
+        assert_eq!(r.stats, fresh.stats, "net {}", r.net);
+        assert_eq!(r.tree.segments(), fresh.tree.segments(), "net {}", r.net);
+        for (ca, cb) in r.connections.iter().zip(&fresh.connections) {
+            assert_eq!(ca.polyline, cb.polyline, "net {}", r.net);
+            assert_eq!(ca.cost, cb.cost, "net {}", r.net);
+        }
+        routes += 1;
+    }
+    assert_eq!(routes, batch.routed_count());
+}
+
 #[test]
 fn format_roundtrip_preserves_routing_results() {
     let layout = build();

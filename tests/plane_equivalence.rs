@@ -136,6 +136,73 @@ fn two_pass_reports_are_identical_across_plane_indexes() {
     }
 }
 
+/// Query-level sweep for the buffer-reuse corner contract: on every
+/// workload plane, `corner_candidates_into` must agree with the
+/// allocating form and across implementations — flat vs sharded, cold
+/// cache vs warm cache (the sharded plane memoizes corner lists), and
+/// after an insert invalidates the memo. The reused buffer is
+/// deliberately left dirty between queries.
+#[test]
+fn corner_candidates_into_equivalence_flat_sharded_warm_and_invalidated() {
+    for case in 0..CASES {
+        let layout = scaling_instance(2, 2, 3, 1, case);
+        let flat = layout.to_plane();
+        let mut sharded = ShardedPlane::new(layout.to_plane());
+        let xs = PlaneIndex::corner_coords(&flat, Axis::X);
+        let ys = PlaneIndex::corner_coords(&flat, Axis::Y);
+        let mut buf = Vec::new();
+        let mut probes = Vec::new();
+        for &x in &xs {
+            for &y in &ys {
+                let p = Point::new(x, y);
+                if !PlaneIndex::point_free(&flat, p) {
+                    continue;
+                }
+                for dir in Dir::ALL {
+                    let hit = PlaneIndex::ray_hit(&flat, p, dir);
+                    // Full ray and a clipped stop: both are real queries
+                    // the successor generator issues.
+                    let mid = (p.coord(dir.axis()) + hit.stop) / 2;
+                    for stop in [hit.stop, mid] {
+                        let reference = PlaneIndex::corner_candidates(&flat, p, dir, stop);
+                        PlaneIndex::corner_candidates_into(&flat, p, dir, stop, &mut buf);
+                        assert_eq!(buf, reference, "case {case}: flat into {p} {dir:?}");
+                        // Sharded cold (first visit of this key).
+                        sharded.corner_candidates_into(p, dir, stop, &mut buf);
+                        assert_eq!(buf, reference, "case {case}: sharded cold {p} {dir:?}");
+                        // Sharded warm (memo hit must answer identically).
+                        sharded.corner_candidates_into(p, dir, stop, &mut buf);
+                        assert_eq!(buf, reference, "case {case}: sharded warm {p} {dir:?}");
+                        probes.push((p, dir, stop));
+                    }
+                }
+            }
+        }
+        let warmed = sharded.cache_stats();
+        assert!(warmed.hits > 0, "case {case}: warm pass must hit the memo");
+        // Insert an obstacle: the generation bump must retire every
+        // memoized corner list, and both planes must agree again.
+        let b = PlaneIndex::bounds(&flat);
+        let (cx, cy) = ((b.xmin() + b.xmax()) / 2, (b.ymin() + b.ymax()) / 2);
+        let blocker = Rect::new(cx, cy, (cx + 9).min(b.xmax()), (cy + 9).min(b.ymax()))
+            .expect("in-bounds rect");
+        let mut flat2 = layout.to_plane();
+        flat2.add_obstacle(blocker);
+        sharded.add_obstacle(blocker);
+        for (p, dir, stop) in probes {
+            if !PlaneIndex::point_free(&flat2, p) {
+                continue;
+            }
+            sharded.corner_candidates_into(p, dir, stop, &mut buf);
+            assert_eq!(
+                buf,
+                PlaneIndex::corner_candidates(&flat2, p, dir, stop),
+                "case {case}: post-insert {p} {dir:?} @{stop}"
+            );
+        }
+    }
+}
+
 /// Raw query-level differential sweep over the workload planes: every
 /// ray, segment and corner query an engine could issue must agree between
 /// the flat and sharded implementations. Routing equivalence (above)
