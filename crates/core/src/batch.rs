@@ -18,14 +18,15 @@
 
 use std::sync::OnceLock;
 
-use gcr_geom::{Plane, PlaneIndex, ShardedPlane};
-use gcr_layout::{Layout, Net, NetId};
-use gcr_search::{parallel_map_with, SearchStats};
+use gcr_geom::PlaneIndex;
+use gcr_layout::{Layout, NetId};
+use gcr_search::parallel_map_with;
 
 use crate::congestion::{analyze, find_passages, CongestionPenalty};
+use crate::driver::{grow_net, PlaneStore};
 use crate::engine::{GridlessEngine, RoutingEngine};
 use crate::net_router::{GlobalRouting, NetRoute, TwoPassReport};
-use crate::{EdgeCoster, GoalSet, RouteError, RouteTree, RouterConfig, SearchScratch};
+use crate::{RouteError, RouterConfig, SearchScratch};
 
 /// Which spatial index backs the obstacle plane of a batch run.
 ///
@@ -92,52 +93,13 @@ impl BatchConfig {
         self
     }
 
-    fn threads_for(&self, items: usize) -> usize {
+    pub(crate) fn threads_for(&self, items: usize) -> usize {
         if !self.parallel {
             return 1;
         }
         self.threads
             .unwrap_or_else(|| gcr_search::default_threads(items))
             .max(1)
-    }
-}
-
-/// The obstacle plane behind a [`BatchRouter`], in whichever index the
-/// batch configuration selected.
-#[derive(Debug)]
-enum PlaneStore {
-    Flat(Plane),
-    Sharded(ShardedPlane),
-}
-
-impl PlaneStore {
-    fn build(layout: &Layout, kind: PlaneIndexKind) -> PlaneStore {
-        match kind {
-            PlaneIndexKind::Flat => PlaneStore::Flat(layout.to_plane()),
-            PlaneIndexKind::Sharded => PlaneStore::Sharded(ShardedPlane::new(layout.to_plane())),
-        }
-    }
-
-    fn kind(&self) -> PlaneIndexKind {
-        match self {
-            PlaneStore::Flat(_) => PlaneIndexKind::Flat,
-            PlaneStore::Sharded(_) => PlaneIndexKind::Sharded,
-        }
-    }
-
-    fn index(&self) -> &dyn PlaneIndex {
-        match self {
-            PlaneStore::Flat(p) => p,
-            PlaneStore::Sharded(s) => s,
-        }
-    }
-
-    /// Invalidates memoized connection queries (a no-op for the flat
-    /// plane, which caches nothing).
-    fn invalidate_cache(&self) {
-        if let PlaneStore::Sharded(s) = self {
-            s.invalidate();
-        }
     }
 }
 
@@ -287,98 +249,16 @@ impl<'a, E: RoutingEngine> BatchRouter<'a, E> {
         segment_connections: bool,
         scratch: &mut SearchScratch,
     ) -> Result<NetRoute, RouteError> {
-        let net: &Net = self.layout.net(id).ok_or(RouteError::NothingToRoute {
-            what: format!("{id}"),
-        })?;
-        let terminals = net.terminals();
-        if terminals.len() < 2 {
-            return Err(RouteError::NothingToRoute {
-                what: format!("net {}", net.name()),
-            });
-        }
-        let plane = self.store().index();
-        for pin in net.all_pins() {
-            if !plane.point_free(pin.position) {
-                return Err(RouteError::InvalidEndpoint {
-                    point: pin.position,
-                });
-            }
-        }
-        let coster = match penalty {
-            Some(p) => EdgeCoster::with_congestion(plane, &self.config, p),
-            None => EdgeCoster::new(plane, &self.config),
-        };
-
-        let mut tree = RouteTree::new();
-        for pin in terminals[0].pins() {
-            tree.add_point(pin.position);
-        }
-        let mut remaining: Vec<usize> = (1..terminals.len()).collect();
-        let mut connections = Vec::with_capacity(remaining.len());
-        let mut stats = SearchStats::default();
-
-        while !remaining.is_empty() {
-            let mut goals = GoalSet::new();
-            for &t in &remaining {
-                for pin in terminals[t].pins() {
-                    goals.add_point(pin.position);
-                }
-            }
-            let routed = if segment_connections {
-                self.engine.route_connection_in(
-                    plane,
-                    &tree,
-                    &goals,
-                    &coster,
-                    &self.config,
-                    scratch,
-                )
-            } else {
-                // Strawman: seed only from connected pins/junction points.
-                let mut pin_tree = RouteTree::new();
-                for p in tree.points() {
-                    pin_tree.add_point(*p);
-                }
-                self.engine.route_connection_in(
-                    plane,
-                    &pin_tree,
-                    &goals,
-                    &coster,
-                    &self.config,
-                    scratch,
-                )
-            }
-            .map_err(|e| match e {
-                RouteError::Unreachable { .. } => RouteError::Unreachable {
-                    what: format!("net {}", net.name()),
-                },
-                RouteError::LimitExceeded { limit, .. } => RouteError::LimitExceeded {
-                    what: format!("net {}", net.name()),
-                    limit,
-                },
-                other => other,
-            })?;
-            let reached = routed.polyline.end();
-            let t = *remaining
-                .iter()
-                .find(|&&t| terminals[t].pins().iter().any(|p| p.position == reached))
-                .expect("search terminated on a goal pin");
-            tree.add_polyline(&routed.polyline);
-            for pin in terminals[t].pins() {
-                tree.add_point(pin.position);
-            }
-            remaining.retain(|&x| x != t);
-            stats.absorb(&routed.stats);
-            connections.push(routed);
-        }
-
-        Ok(NetRoute {
-            net: net.name().to_string(),
+        grow_net(
+            self.layout,
+            self.store().index(),
+            &self.engine,
+            &self.config,
             id,
-            connections,
-            tree,
-            stats,
-        })
+            penalty,
+            segment_connections,
+            scratch,
+        )
     }
 
     /// Routes every net independently (pass 1). Failures are collected,

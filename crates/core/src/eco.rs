@@ -1,0 +1,421 @@
+//! ECO change lists: a line-oriented text format describing incremental
+//! layout edits, replayed against a [`RoutingSession`].
+//!
+//! An engineering-change-order loop perturbs a placed design — cells
+//! move, blockages appear, nets are added or ripped up — and expects the
+//! router to refresh only what the perturbation invalidated. This module
+//! gives that loop a replayable artifact: a `.eco` file next to the
+//! `.gcl` layout, applied by `gcrt eco` (or programmatically via
+//! [`apply_eco`]).
+//!
+//! ```text
+//! # one op per line; '#' starts a comment
+//! move alu 10 0            # translate cell "alu" by (10, 0)
+//! cell blk 40 40 60 60     # add cell/blockage "blk" with that extent
+//! net fix0 5 5 95 5        # add a two-pin net (floating pins)
+//! ripup clk                # remove net "clk"'s committed route
+//! reroute                  # re-route the dirty set now
+//! ```
+//!
+//! A trailing `reroute` is implicit: applying a change list always
+//! leaves the session clean.
+
+use std::fmt;
+
+use gcr_geom::{Point, Rect};
+use gcr_layout::LayoutError;
+
+use crate::engine::RoutingEngine;
+use crate::session::{RerouteOutcome, RoutingSession};
+
+/// One edit of an ECO change list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EcoOp {
+    /// Translate a cell (and its attached pins) by `(dx, dy)`.
+    MoveCell {
+        /// The cell's name in the layout.
+        cell: String,
+        /// Horizontal shift.
+        dx: i64,
+        /// Vertical shift.
+        dy: i64,
+    },
+    /// Add a rectangular cell (a blockage or a late macro).
+    AddCell {
+        /// The new cell's (unique) name.
+        name: String,
+        /// The new cell's extent.
+        rect: Rect,
+    },
+    /// Add a two-terminal net with floating pins.
+    AddNet {
+        /// The new net's name.
+        name: String,
+        /// First pin position.
+        a: Point,
+        /// Second pin position.
+        b: Point,
+    },
+    /// Remove a net's committed route (it becomes dirty).
+    RipUp {
+        /// The net's name.
+        net: String,
+    },
+    /// Re-route the dirty set now (a flush point inside the list).
+    Reroute,
+}
+
+impl fmt::Display for EcoOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EcoOp::MoveCell { cell, dx, dy } => write!(f, "move {cell} {dx} {dy}"),
+            EcoOp::AddCell { name, rect } => write!(
+                f,
+                "cell {name} {} {} {} {}",
+                rect.xmin(),
+                rect.ymin(),
+                rect.xmax(),
+                rect.ymax()
+            ),
+            EcoOp::AddNet { name, a, b } => {
+                write!(f, "net {name} {} {} {} {}", a.x, a.y, b.x, b.y)
+            }
+            EcoOp::RipUp { net } => write!(f, "ripup {net}"),
+            EcoOp::Reroute => write!(f, "reroute"),
+        }
+    }
+}
+
+/// Why a change list could not be parsed or applied.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EcoError {
+    /// A malformed line, with its 1-based number.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// An op named a cell or net the layout does not have.
+    UnknownName {
+        /// `"cell"` or `"net"`.
+        kind: &'static str,
+        /// The unresolved name.
+        name: String,
+    },
+    /// The layout rejected an edit.
+    Layout(LayoutError),
+}
+
+impl fmt::Display for EcoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EcoError::Parse { line, message } => write!(f, "line {line}: {message}"),
+            EcoError::UnknownName { kind, name } => write!(f, "unknown {kind} {name:?}"),
+            EcoError::Layout(e) => write!(f, "layout: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EcoError {}
+
+impl From<LayoutError> for EcoError {
+    fn from(e: LayoutError) -> EcoError {
+        EcoError::Layout(e)
+    }
+}
+
+/// Parses a `.eco` change list (see the [module docs](self) for the
+/// grammar).
+///
+/// # Errors
+///
+/// Returns [`EcoError::Parse`] with the offending 1-based line number.
+pub fn parse_eco(text: &str) -> Result<Vec<EcoOp>, EcoError> {
+    let mut ops = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = i + 1;
+        let content = raw.split('#').next().unwrap_or("");
+        let tokens: Vec<&str> = content.split_whitespace().collect();
+        if tokens.is_empty() {
+            continue;
+        }
+        let err = |message: String| EcoError::Parse { line, message };
+        let int = |s: &str| {
+            s.parse::<i64>()
+                .map_err(|_| err(format!("expected an integer, got {s:?}")))
+        };
+        let arity = |n: usize| {
+            if tokens.len() == n {
+                Ok(())
+            } else {
+                Err(err(format!(
+                    "{} takes {} argument(s), got {}",
+                    tokens[0],
+                    n - 1,
+                    tokens.len() - 1
+                )))
+            }
+        };
+        let op = match tokens[0] {
+            "move" => {
+                arity(4)?;
+                EcoOp::MoveCell {
+                    cell: tokens[1].to_string(),
+                    dx: int(tokens[2])?,
+                    dy: int(tokens[3])?,
+                }
+            }
+            "cell" => {
+                arity(6)?;
+                let rect = Rect::new(
+                    int(tokens[2])?,
+                    int(tokens[3])?,
+                    int(tokens[4])?,
+                    int(tokens[5])?,
+                )
+                .map_err(|e| err(format!("invalid cell extent: {e}")))?;
+                EcoOp::AddCell {
+                    name: tokens[1].to_string(),
+                    rect,
+                }
+            }
+            "net" => {
+                arity(6)?;
+                EcoOp::AddNet {
+                    name: tokens[1].to_string(),
+                    a: Point::new(int(tokens[2])?, int(tokens[3])?),
+                    b: Point::new(int(tokens[4])?, int(tokens[5])?),
+                }
+            }
+            "ripup" => {
+                arity(2)?;
+                EcoOp::RipUp {
+                    net: tokens[1].to_string(),
+                }
+            }
+            "reroute" => {
+                arity(1)?;
+                EcoOp::Reroute
+            }
+            other => return Err(err(format!("unknown op {other:?}"))),
+        };
+        ops.push(op);
+    }
+    Ok(ops)
+}
+
+/// Writes a change list back to its text form (round-trips through
+/// [`parse_eco`]).
+#[must_use]
+pub fn write_eco(ops: &[EcoOp]) -> String {
+    let mut out = String::new();
+    for op in ops {
+        out.push_str(&op.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+/// What one applied op did to the session.
+#[derive(Debug, Clone)]
+pub struct EcoStep {
+    /// The op, rendered back to its text form.
+    pub op: String,
+    /// Dirty nets after the op.
+    pub dirty_after: usize,
+    /// The reroute outcome, for `reroute` steps (and the implicit final
+    /// flush).
+    pub reroute: Option<RerouteOutcome>,
+}
+
+/// The replay summary of a whole change list.
+#[derive(Debug, Clone, Default)]
+pub struct EcoReport {
+    /// One entry per applied op (plus the implicit final reroute, when
+    /// the list did not end with one).
+    pub steps: Vec<EcoStep>,
+    /// Total successful re-routes over all flush points.
+    pub rerouted: usize,
+    /// Total failed re-routes over all flush points.
+    pub failed: usize,
+}
+
+/// Replays a change list against a session, flushing (re-routing the
+/// dirty set) at every `reroute` op and once more at the end if edits
+/// are still pending.
+///
+/// # Errors
+///
+/// Returns [`EcoError::UnknownName`] for unresolved cell/net names and
+/// [`EcoError::Layout`] for edits the layout rejects; the session keeps
+/// every op applied before the failing one.
+pub fn apply_eco<E: RoutingEngine>(
+    session: &mut RoutingSession<E>,
+    ops: &[EcoOp],
+) -> Result<EcoReport, EcoError> {
+    let mut report = EcoReport::default();
+    let flush = |session: &mut RoutingSession<E>, report: &mut EcoReport| {
+        let outcome = session.reroute_dirty();
+        report.rerouted += outcome.rerouted;
+        report.failed += outcome.failed;
+        outcome
+    };
+    for op in ops {
+        let mut reroute = None;
+        match op {
+            EcoOp::MoveCell { cell, dx, dy } => {
+                let id =
+                    session
+                        .layout()
+                        .cell_by_name(cell)
+                        .ok_or_else(|| EcoError::UnknownName {
+                            kind: "cell",
+                            name: cell.clone(),
+                        })?;
+                session.move_cell(id, *dx, *dy)?;
+            }
+            EcoOp::AddCell { name, rect } => {
+                session.add_obstacle(name.clone(), *rect)?;
+            }
+            EcoOp::AddNet { name, a, b } => {
+                // Layout::add_net silently uniquifies duplicate names; in
+                // a change list that would make later ops address the
+                // wrong net, so reject the collision instead.
+                if session.layout().net_by_name(name).is_some() {
+                    return Err(EcoError::Layout(LayoutError::DuplicateName {
+                        kind: "net",
+                        name: name.clone(),
+                    }));
+                }
+                session.add_two_pin_net(name.clone(), *a, *b);
+            }
+            EcoOp::RipUp { net } => {
+                let id =
+                    session
+                        .layout()
+                        .net_by_name(net)
+                        .ok_or_else(|| EcoError::UnknownName {
+                            kind: "net",
+                            name: net.clone(),
+                        })?;
+                session.rip_up(id);
+            }
+            EcoOp::Reroute => {
+                reroute = Some(flush(session, &mut report));
+            }
+        }
+        report.steps.push(EcoStep {
+            op: op.to_string(),
+            dirty_after: session.dirty_nets().len(),
+            reroute,
+        });
+    }
+    if !session.dirty_nets().is_empty() {
+        let outcome = flush(session, &mut report);
+        report.steps.push(EcoStep {
+            op: "reroute".to_string(),
+            dirty_after: session.dirty_nets().len(),
+            reroute: Some(outcome),
+        });
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{RouterConfig, RoutingSession};
+    use gcr_layout::Layout;
+
+    fn layout() -> Layout {
+        let mut l = Layout::new(Rect::new(0, 0, 100, 100).unwrap());
+        l.add_cell("a", Rect::new(30, 30, 50, 50).unwrap()).unwrap();
+        l.add_two_pin_net("w", Point::new(5, 40), Point::new(95, 40));
+        l
+    }
+
+    #[test]
+    fn parse_roundtrip_and_errors() {
+        let text = "# a comment\n\
+                    move a 10 0   # trailing comment\n\
+                    cell blk 40 40 60 60\n\
+                    net fix0 5 5 95 5\n\
+                    ripup w\n\
+                    reroute\n";
+        let ops = parse_eco(text).unwrap();
+        assert_eq!(ops.len(), 5);
+        assert_eq!(parse_eco(&write_eco(&ops)).unwrap(), ops);
+        for (bad, needle) in [
+            ("move a 10", "argument"),
+            ("frobnicate", "unknown op"),
+            ("move a x 0", "integer"),
+            ("cell b 10 10 5 5", "extent"),
+        ] {
+            let err = parse_eco(bad).unwrap_err();
+            assert!(err.to_string().contains(needle), "{bad:?} -> {err}");
+        }
+    }
+
+    #[test]
+    fn apply_replays_and_flushes() {
+        let mut session = RoutingSession::gridless(layout(), RouterConfig::default());
+        session.route_all();
+        let ops = parse_eco(
+            "move a 0 10\n\
+             reroute\n\
+             cell blk 60 20 80 60\n\
+             net extra 5 90 95 90\n",
+        )
+        .unwrap();
+        let report = apply_eco(&mut session, &ops).unwrap();
+        assert!(session.dirty_nets().is_empty(), "list leaves session clean");
+        // Explicit flush after the move, implicit one at the end.
+        assert_eq!(report.steps.len(), 5);
+        assert!(report.rerouted >= 2);
+        assert_eq!(report.failed, 0);
+        // The final state equals a fresh route of the mutated layout.
+        let fresh =
+            RoutingSession::gridless(session.layout().clone(), RouterConfig::default()).route_all();
+        assert_eq!(session.routing().wire_length(), fresh.wire_length());
+        assert_eq!(session.routing().stats(), fresh.stats());
+    }
+
+    #[test]
+    fn duplicate_net_names_are_rejected() {
+        // Layout::add_net would silently uniquify "w" -> "w_2", making a
+        // later `ripup w` address the wrong net; the replay must refuse.
+        let mut session = RoutingSession::gridless(layout(), RouterConfig::default());
+        let err = apply_eco(
+            &mut session,
+            &[EcoOp::AddNet {
+                name: "w".into(),
+                a: Point::new(5, 5),
+                b: Point::new(95, 5),
+            }],
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            EcoError::Layout(LayoutError::DuplicateName { kind: "net", .. })
+        ));
+        assert_eq!(session.layout().nets().len(), 1, "nothing was added");
+    }
+
+    #[test]
+    fn unknown_names_are_reported() {
+        let mut session = RoutingSession::gridless(layout(), RouterConfig::default());
+        let err = apply_eco(&mut session, &[EcoOp::RipUp { net: "nope".into() }]).unwrap_err();
+        assert!(matches!(err, EcoError::UnknownName { kind: "net", .. }));
+        let err = apply_eco(
+            &mut session,
+            &[EcoOp::MoveCell {
+                cell: "nope".into(),
+                dx: 1,
+                dy: 1,
+            }],
+        )
+        .unwrap_err();
+        assert!(matches!(err, EcoError::UnknownName { kind: "cell", .. }));
+    }
+}

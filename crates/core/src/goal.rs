@@ -36,6 +36,14 @@ impl GoalSet {
         self.points.push(p);
     }
 
+    /// Empties the set while keeping its capacity, so a driver can reuse
+    /// one `GoalSet` across the connections of a batch (the per-connection
+    /// goal rebuild used to be a fresh pair of `Vec`s every time).
+    pub fn clear(&mut self) {
+        self.points.clear();
+        self.segments.clear();
+    }
+
     /// Adds a goal segment (any point on it terminates the search).
     pub fn add_segment(&mut self, s: Segment) {
         if s.is_degenerate() {

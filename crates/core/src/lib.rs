@@ -57,6 +57,8 @@ mod batch;
 mod config;
 pub mod congestion;
 mod cost;
+mod driver;
+pub mod eco;
 mod engine;
 mod error;
 mod feedback;
@@ -64,6 +66,7 @@ mod goal;
 mod net_router;
 mod route;
 mod scratch;
+mod session;
 mod space;
 mod state;
 mod tree;
@@ -71,6 +74,7 @@ mod tree;
 pub use batch::{BatchConfig, BatchRouter, PlaneIndexKind};
 pub use config::RouterConfig;
 pub use cost::{bend_is_anchored, EdgeCoster};
+pub use eco::{apply_eco, parse_eco, write_eco, EcoError, EcoOp, EcoReport, EcoStep};
 pub use engine::{EngineCaps, GridEngine, GridlessEngine, HightowerEngine, RoutingEngine};
 pub use error::RouteError;
 pub use feedback::{placement_feedback, FeedbackOptions, FeedbackReport, IterationRecord};
@@ -78,6 +82,7 @@ pub use goal::GoalSet;
 pub use net_router::{GlobalRouter, GlobalRouting, NetRoute, TwoPassReport};
 pub use route::{route_from_tree, route_from_tree_in, route_two_points, RoutedPath};
 pub use scratch::SearchScratch;
+pub use session::{RerouteOutcome, RoutingSession, SessionBuilder};
 pub use space::RoutingSpace;
 pub use state::RouteState;
 pub use tree::RouteTree;

@@ -8,8 +8,10 @@
 //!
 //! Since the batch refactor, `GlobalRouter` is a thin compatibility
 //! wrapper over [`BatchRouter`](crate::BatchRouter) with the engine fixed
-//! to the paper's [`GridlessEngine`](crate::GridlessEngine); the growing,
-//! merging and two-pass logic lives in [`crate::batch`].
+//! to the paper's [`GridlessEngine`](crate::GridlessEngine); the net
+//! growth itself lives in the shared driver core (`crate::driver`),
+//! which the batch pipeline and the incremental
+//! [`RoutingSession`](crate::RoutingSession) both call into.
 
 use std::fmt;
 

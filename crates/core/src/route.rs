@@ -2,7 +2,7 @@
 
 use gcr_geom::{PlaneIndex, Point, Polyline};
 use gcr_search::{
-    astar_with_limits_in, Found, LexCost, PathCost, SearchLimits, SearchOutcome, SearchStats,
+    astar_with_limits_into, Found, LexCost, PathCost, SearchLimits, SearchOutcome, SearchStats,
 };
 
 use crate::{
@@ -66,12 +66,12 @@ pub fn route_two_points(
         });
     }
     let goals = GoalSet::from_point(b);
-    let sources = vec![(RouteState::source(a), LexCost::zero())];
+    let sources = [(RouteState::source(a), LexCost::zero())];
     let coster = EdgeCoster::new(plane, config);
     run(
         plane,
         &goals,
-        sources,
+        &sources,
         coster,
         config,
         &mut SearchScratch::new(),
@@ -128,16 +128,26 @@ pub fn route_from_tree_in(
             what: "tree-to-goal connection".into(),
         });
     }
-    let sources = tree.seeds(plane, goals);
-    run(plane, goals, sources, coster, config, scratch, || {
+    // The seed states are staged in the scratch and *taken out* for the
+    // duration of the search (leaving an allocation-free empty `Vec`
+    // behind), because the search itself borrows the scratch mutably.
+    let mut seeds = std::mem::take(&mut scratch.seeds);
+    let mut stage = std::mem::take(&mut scratch.seed_stage);
+    let mut pts = std::mem::take(&mut scratch.seed_points);
+    tree.seeds_into(plane, goals, &mut stage, &mut pts, &mut seeds);
+    scratch.seed_stage = stage;
+    scratch.seed_points = pts;
+    let result = run(plane, goals, &seeds, coster, config, scratch, || {
         "tree-to-goal connection".into()
-    })
+    });
+    scratch.seeds = seeds;
+    result
 }
 
 fn run(
     plane: &dyn PlaneIndex,
     goals: &GoalSet,
-    sources: Vec<(RouteState, LexCost)>,
+    sources: &[(RouteState, LexCost)],
     coster: EdgeCoster<'_>,
     config: &RouterConfig,
     scratch: &mut SearchScratch,
@@ -147,15 +157,19 @@ fn run(
     let limits = SearchLimits {
         max_expansions: config.max_expansions,
     };
-    match astar_with_limits_in(&space, limits, &mut scratch.gridless) {
-        SearchOutcome::Found(Found { path, cost, stats }) => {
-            let points: Vec<Point> = path.iter().map(|s| s.point).collect();
-            let polyline = if points.len() == 1 {
-                Polyline::single(points[0])
+    let SearchScratch {
+        gridless,
+        path_states,
+        path_points,
+        ..
+    } = scratch;
+    match astar_with_limits_into(&space, limits, gridless, path_states) {
+        SearchOutcome::Found(Found { cost, stats, .. }) => {
+            let polyline = if path_states.len() == 1 {
+                Polyline::single(path_states[0].point)
             } else {
-                Polyline::new(points)
+                Polyline::simplified_from_walk(path_states.iter().map(|s| s.point), path_points)
                     .expect("search edges are axis-aligned and non-degenerate")
-                    .simplified()
             };
             debug_assert!(
                 plane.polyline_free(&polyline),

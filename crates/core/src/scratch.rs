@@ -29,7 +29,7 @@ use gcr_geom::Point;
 use gcr_grid::GridSearchArena;
 use gcr_search::{LexCost, SearchArena};
 
-use crate::RouteState;
+use crate::{GoalSet, RouteState};
 
 /// Reusable per-worker search state; see the module docs for the
 /// ownership discipline.
@@ -44,6 +44,26 @@ pub struct SearchScratch {
     pub(crate) sources: Vec<Point>,
     /// Staging buffer for goal-point assembly.
     pub(crate) goals: Vec<Point>,
+    /// The net driver's per-connection goal set, cleared (not rebuilt)
+    /// between connections. Taken out of the scratch for the duration of
+    /// an engine call (`std::mem::take`, which leaves an allocation-free
+    /// empty set) so the engine can borrow the scratch mutably alongside.
+    pub(crate) goal_set: GoalSet,
+    /// Staging buffer for goal-point flattening in
+    /// [`RouteTree::seeds_into`](crate::RouteTree::seeds_into).
+    pub(crate) seed_stage: Vec<Point>,
+    /// Candidate-point buffer for seed assembly (sorted + deduplicated in
+    /// place).
+    pub(crate) seed_points: Vec<Point>,
+    /// The assembled multi-source seed states, reused across connections
+    /// (taken out around the search like `goal_set`).
+    pub(crate) seeds: Vec<(RouteState, LexCost)>,
+    /// Path-reconstruction buffer the gridless search fills
+    /// (`astar_with_limits_into`).
+    pub(crate) path_states: Vec<RouteState>,
+    /// Polyline-simplification staging buffer; only the final exact-size
+    /// vertex vector of a routed connection is allocated.
+    pub(crate) path_points: Vec<Point>,
 }
 
 impl SearchScratch {

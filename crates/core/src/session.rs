@@ -1,0 +1,870 @@
+//! [`RoutingSession`]: the owned, incremental routing API (ECO flow).
+//!
+//! [`BatchRouter`](crate::BatchRouter) answers "route this layout once":
+//! it borrows the layout, builds a plane index, routes, and discards the
+//! index, the query caches and the search arenas with it. Real routing
+//! services are iterative — floorplan-change loops and congestion-driven
+//! re-routing both perturb a design and cheaply re-route the affected
+//! nets. A session is the surface for that workload:
+//!
+//! * it **owns** its [`Layout`] and keeps the plane index, the sharded
+//!   query cache, a pool of per-worker [`SearchScratch`] arenas and the
+//!   committed routes alive across calls — the warm state is a
+//!   cross-call asset, not a per-call one;
+//! * [`RoutingSession::route_all`] / [`RoutingSession::route_net`]
+//!   **commit** routes as the session's occupancy;
+//!   [`RoutingSession::rip_up`] removes a net's committed segments;
+//! * layout mutations ([`RoutingSession::add_net`],
+//!   [`RoutingSession::add_obstacle`], [`RoutingSession::move_cell`])
+//!   mark affected nets **dirty** via a bounding-box-vs-route
+//!   intersection test, and [`RoutingSession::reroute_dirty`] re-routes
+//!   exactly the invalidated set, in parallel;
+//! * the paper's two-pass congestion flow is a short loop over these
+//!   primitives ([`RoutingSession::route_two_pass`]), reproducing the
+//!   batch pipeline's [`TwoPassReport`] exactly.
+//!
+//! Exactness is the contract: a session routes **byte-identically** to a
+//! batch over the same geometry (`tests/session.rs` asserts it for every
+//! engine, both plane indexes, serial and parallel), and after a
+//! mutation it answers exactly like a fresh session built from the
+//! mutated layout — the plane mutations in `gcr-geom` preserve rectangle
+//! slot order precisely so that no tie-break can drift.
+//!
+//! ```
+//! use gcr_core::{PlaneIndexKind, RouterConfig, RoutingSession};
+//! use gcr_geom::{Point, Rect};
+//! use gcr_layout::Layout;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut layout = Layout::new(Rect::new(0, 0, 100, 100)?);
+//! layout.add_two_pin_net("a", Point::new(5, 50), Point::new(95, 50));
+//!
+//! let mut session = RoutingSession::builder(layout)
+//!     .config(RouterConfig::default())
+//!     .index(PlaneIndexKind::Sharded)
+//!     .build();
+//! assert_eq!(session.route_all().routed_count(), 1);
+//!
+//! // An ECO: a blockage drops onto the routed net's path …
+//! session.add_obstacle("blk", Rect::new(40, 40, 60, 60)?)?;
+//! assert_eq!(session.dirty_nets().len(), 1);
+//! // … and only the affected net is re-routed, against warm caches.
+//! let outcome = session.reroute_dirty();
+//! assert_eq!(outcome.rerouted, 1);
+//! # Ok(())
+//! # }
+//! ```
+
+use std::sync::{Mutex, PoisonError};
+
+use gcr_geom::{PlaneIndex, Point, Rect};
+use gcr_layout::{CellId, Layout, LayoutError, NetId, Pin, TerminalRef};
+use gcr_search::parallel_map_with;
+
+use crate::congestion::{analyze, find_passages, CongestionAnalysis, CongestionPenalty, Passage};
+use crate::driver::{grow_net, PlaneStore};
+use crate::engine::{GridlessEngine, RoutingEngine};
+use crate::net_router::{GlobalRouting, NetRoute, TwoPassReport};
+use crate::{BatchConfig, PlaneIndexKind, RouteError, RouterConfig, SearchScratch};
+
+/// Builds a [`RoutingSession`]; see [`RoutingSession::builder`].
+#[derive(Debug)]
+pub struct SessionBuilder<E: RoutingEngine = GridlessEngine> {
+    layout: Layout,
+    config: RouterConfig,
+    batch: BatchConfig,
+    engine: E,
+}
+
+impl SessionBuilder<GridlessEngine> {
+    fn new(layout: Layout) -> SessionBuilder<GridlessEngine> {
+        SessionBuilder {
+            layout,
+            config: RouterConfig::default(),
+            batch: BatchConfig::default(),
+            engine: GridlessEngine,
+        }
+    }
+}
+
+impl<E: RoutingEngine> SessionBuilder<E> {
+    /// Sets the router configuration.
+    #[must_use]
+    pub fn config(mut self, config: RouterConfig) -> SessionBuilder<E> {
+        self.config = config;
+        self
+    }
+
+    /// Swaps the routing engine (any [`RoutingEngine`], including a
+    /// `Box<dyn RoutingEngine>` for runtime selection).
+    #[must_use]
+    pub fn engine<F: RoutingEngine>(self, engine: F) -> SessionBuilder<F> {
+        SessionBuilder {
+            layout: self.layout,
+            config: self.config,
+            batch: self.batch,
+            engine,
+        }
+    }
+
+    /// Selects the spatial index backing the session's plane.
+    #[must_use]
+    pub fn index(mut self, index: PlaneIndexKind) -> SessionBuilder<E> {
+        self.batch.index = index;
+        self
+    }
+
+    /// Replaces the whole scheduling configuration (parallelism, thread
+    /// count and spatial index at once).
+    #[must_use]
+    pub fn batch(mut self, batch: BatchConfig) -> SessionBuilder<E> {
+        self.batch = batch;
+        self
+    }
+
+    /// Forces serial scheduling (useful for baselines and differential
+    /// tests; output is byte-identical either way).
+    #[must_use]
+    pub fn serial(mut self) -> SessionBuilder<E> {
+        self.batch.parallel = false;
+        self
+    }
+
+    /// Pins the worker count (`None` = available parallelism).
+    #[must_use]
+    pub fn threads(mut self, threads: Option<usize>) -> SessionBuilder<E> {
+        self.batch.threads = threads;
+        self
+    }
+
+    /// Builds the session: the plane index is constructed **now** (a
+    /// session's plane is long-lived state, not a per-call lazy).
+    #[must_use]
+    pub fn build(self) -> RoutingSession<E> {
+        let plane = PlaneStore::build(&self.layout, self.batch.index);
+        let slots = (0..self.layout.nets().len())
+            .map(|_| NetState::default())
+            .collect();
+        RoutingSession {
+            layout: self.layout,
+            config: self.config,
+            batch: self.batch,
+            engine: self.engine,
+            plane,
+            slots,
+            pool: ScratchPool::default(),
+        }
+    }
+}
+
+/// The committed state of one net within a session.
+#[derive(Debug, Clone, Default)]
+enum NetSlot {
+    /// Never routed, or ripped up.
+    #[default]
+    Unrouted,
+    /// Committed route (the net's occupancy).
+    Routed(NetRoute),
+    /// The last routing attempt failed.
+    Failed(RouteError),
+}
+
+#[derive(Debug, Clone, Default)]
+struct NetState {
+    slot: NetSlot,
+    /// Set when a mutation invalidated (or never produced) this net's
+    /// committed route; cleared by the commit of a routing attempt.
+    dirty: bool,
+}
+
+/// A pool of per-worker [`SearchScratch`] arenas owned by the session, so
+/// every `route_*` call — not just calls within one batch — reuses warm
+/// allocations. Workers check a scratch out for the duration of a
+/// parallel map and return it on drop.
+#[derive(Debug, Default)]
+struct ScratchPool {
+    free: Mutex<Vec<SearchScratch>>,
+}
+
+impl ScratchPool {
+    fn checkout(&self) -> PooledScratch<'_> {
+        let scratch = self
+            .free
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .pop()
+            .unwrap_or_default();
+        PooledScratch {
+            pool: self,
+            scratch,
+        }
+    }
+}
+
+struct PooledScratch<'a> {
+    pool: &'a ScratchPool,
+    scratch: SearchScratch,
+}
+
+impl Drop for PooledScratch<'_> {
+    fn drop(&mut self) {
+        self.pool
+            .free
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(std::mem::take(&mut self.scratch));
+    }
+}
+
+/// What a [`RoutingSession::reroute_dirty`] pass did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RerouteOutcome {
+    /// Nets that were dirty and therefore re-routed.
+    pub attempted: usize,
+    /// Successful re-routes (committed).
+    pub rerouted: usize,
+    /// Failed re-routes (committed as failures).
+    pub failed: usize,
+}
+
+/// An owned, incremental routing session; see the [module docs](self)
+/// for the contract and an example.
+#[derive(Debug)]
+pub struct RoutingSession<E: RoutingEngine = GridlessEngine> {
+    layout: Layout,
+    config: RouterConfig,
+    batch: BatchConfig,
+    engine: E,
+    plane: PlaneStore,
+    slots: Vec<NetState>,
+    pool: ScratchPool,
+}
+
+impl RoutingSession<GridlessEngine> {
+    /// Starts building a session that owns `layout` (paper's gridless
+    /// engine, flat index and the default schedule unless reconfigured).
+    #[must_use]
+    pub fn builder(layout: Layout) -> SessionBuilder<GridlessEngine> {
+        SessionBuilder::new(layout)
+    }
+
+    /// A ready session with the gridless engine and default scheduling.
+    #[must_use]
+    pub fn gridless(layout: Layout, config: RouterConfig) -> RoutingSession<GridlessEngine> {
+        RoutingSession::builder(layout).config(config).build()
+    }
+}
+
+impl<E: RoutingEngine> RoutingSession<E> {
+    // ------------------------------------------------------------ access
+
+    /// The owned layout (mutate it only through the session, so dirty
+    /// tracking and the plane stay consistent).
+    #[must_use]
+    pub fn layout(&self) -> &Layout {
+        &self.layout
+    }
+
+    /// The active router configuration.
+    #[must_use]
+    pub fn config(&self) -> &RouterConfig {
+        &self.config
+    }
+
+    /// The active scheduling configuration.
+    #[must_use]
+    pub fn batch(&self) -> &BatchConfig {
+        &self.batch
+    }
+
+    /// The engine driving every connection.
+    #[must_use]
+    pub fn engine(&self) -> &E {
+        &self.engine
+    }
+
+    /// The obstacle plane, behind the configured spatial index.
+    #[must_use]
+    pub fn plane(&self) -> &dyn PlaneIndex {
+        self.plane.index()
+    }
+
+    /// Which spatial index backs the plane.
+    #[must_use]
+    pub fn index_kind(&self) -> PlaneIndexKind {
+        self.plane.kind()
+    }
+
+    /// Consumes the session, returning the (possibly mutated) layout.
+    #[must_use]
+    pub fn into_layout(self) -> Layout {
+        self.layout
+    }
+
+    /// The committed route of a net, if the last attempt succeeded.
+    #[must_use]
+    pub fn route(&self, id: NetId) -> Option<&NetRoute> {
+        match self.slots.get(id.index()).map(|s| &s.slot) {
+            Some(NetSlot::Routed(r)) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// The committed failure of a net, if the last attempt failed.
+    #[must_use]
+    pub fn failure(&self, id: NetId) -> Option<&RouteError> {
+        match self.slots.get(id.index()).map(|s| &s.slot) {
+            Some(NetSlot::Failed(e)) => Some(e),
+            _ => None,
+        }
+    }
+
+    /// Is this net marked for re-routing?
+    #[must_use]
+    pub fn is_dirty(&self, id: NetId) -> bool {
+        self.slots.get(id.index()).is_some_and(|s| s.dirty)
+    }
+
+    /// The dirty nets, in stable net-id order.
+    #[must_use]
+    pub fn dirty_nets(&self) -> Vec<NetId> {
+        self.layout
+            .net_ids()
+            .into_iter()
+            .filter(|id| self.slots[id.index()].dirty)
+            .collect()
+    }
+
+    /// Assembles the committed state as a [`GlobalRouting`] (routes and
+    /// failures in stable net-id order; unrouted nets are absent).
+    #[must_use]
+    pub fn routing(&self) -> GlobalRouting {
+        let ids = self.layout.net_ids();
+        let mut out = GlobalRouting::default();
+        for (id, state) in ids.into_iter().zip(&self.slots) {
+            match &state.slot {
+                NetSlot::Routed(r) => out.routes.push(r.clone()),
+                NetSlot::Failed(e) => out.failures.push((id, e.clone())),
+                NetSlot::Unrouted => {}
+            }
+        }
+        out
+    }
+
+    // ----------------------------------------------------------- routing
+
+    fn route_one(
+        &self,
+        id: NetId,
+        penalty: Option<&CongestionPenalty>,
+        scratch: &mut SearchScratch,
+    ) -> Result<NetRoute, RouteError> {
+        grow_net(
+            &self.layout,
+            self.plane.index(),
+            &self.engine,
+            &self.config,
+            id,
+            penalty,
+            true,
+            scratch,
+        )
+    }
+
+    /// Routes `ids` on the configured schedule against the shared plane,
+    /// with one pooled scratch per worker. Pure per net, so serial and
+    /// parallel schedules commit byte-identical results.
+    fn route_many(
+        &self,
+        ids: &[NetId],
+        penalty: Option<&CongestionPenalty>,
+    ) -> Vec<Result<NetRoute, RouteError>> {
+        let threads = self.batch.threads_for(ids.len());
+        parallel_map_with(
+            ids,
+            threads,
+            || self.pool.checkout(),
+            |scratch, _, &id| self.route_one(id, penalty, &mut scratch.scratch),
+        )
+    }
+
+    fn commit(&mut self, id: NetId, result: Result<NetRoute, RouteError>) {
+        let state = &mut self.slots[id.index()];
+        state.slot = match result {
+            Ok(route) => NetSlot::Routed(route),
+            Err(e) => NetSlot::Failed(e),
+        };
+        state.dirty = false;
+    }
+
+    /// Routes (or re-routes) one net now and commits the result as the
+    /// net's occupancy, clearing its dirty mark.
+    ///
+    /// # Errors
+    ///
+    /// See [`RouteError`]; the failure is also committed, so
+    /// [`RoutingSession::failure`] reports it afterwards.
+    pub fn route_net(&mut self, id: NetId) -> Result<&NetRoute, RouteError> {
+        if id.index() >= self.slots.len() {
+            return Err(RouteError::NothingToRoute {
+                what: format!("{id}"),
+            });
+        }
+        let result = {
+            let mut scratch = self.pool.checkout();
+            self.route_one(id, None, &mut scratch.scratch)
+        };
+        self.commit(id, result);
+        match &self.slots[id.index()].slot {
+            NetSlot::Routed(r) => Ok(r),
+            NetSlot::Failed(e) => Err(e.clone()),
+            NetSlot::Unrouted => unreachable!("commit just filled this slot"),
+        }
+    }
+
+    /// Routes every net of the layout (in parallel on the configured
+    /// schedule), commits all results, and returns the assembled routing.
+    /// Byte-identical to [`BatchRouter::route_all`](crate::BatchRouter)
+    /// over the same layout, engine and index.
+    pub fn route_all(&mut self) -> GlobalRouting {
+        let ids = self.layout.net_ids();
+        let results = self.route_many(&ids, None);
+        for (id, result) in ids.into_iter().zip(results) {
+            self.commit(id, result);
+        }
+        self.routing()
+    }
+
+    /// Removes a net's committed segments from the session (its
+    /// occupancy disappears from congestion analyses) and marks it dirty.
+    /// Returns `true` when a committed route was actually removed.
+    pub fn rip_up(&mut self, id: NetId) -> bool {
+        let Some(state) = self.slots.get_mut(id.index()) else {
+            return false;
+        };
+        let had_route = matches!(state.slot, NetSlot::Routed(_));
+        state.slot = NetSlot::Unrouted;
+        state.dirty = true;
+        had_route
+    }
+
+    /// Marks one net for re-routing without touching its committed route.
+    pub fn mark_dirty(&mut self, id: NetId) {
+        if let Some(state) = self.slots.get_mut(id.index()) {
+            state.dirty = true;
+        }
+    }
+
+    /// Marks every net dirty (a full re-route on the next
+    /// [`RoutingSession::reroute_dirty`]).
+    pub fn mark_all_dirty(&mut self) {
+        for state in &mut self.slots {
+            state.dirty = true;
+        }
+    }
+
+    /// Re-routes exactly the dirty set, in parallel, committing every
+    /// result and clearing the dirty marks. Clean nets are untouched —
+    /// this is the warm path an ECO loop lives on.
+    pub fn reroute_dirty(&mut self) -> RerouteOutcome {
+        self.reroute_dirty_with(None)
+    }
+
+    fn reroute_dirty_with(&mut self, penalty: Option<&CongestionPenalty>) -> RerouteOutcome {
+        let ids = self.dirty_nets();
+        let results = self.route_many(&ids, penalty);
+        let mut outcome = RerouteOutcome {
+            attempted: ids.len(),
+            ..RerouteOutcome::default()
+        };
+        for (id, result) in ids.into_iter().zip(results) {
+            match &result {
+                Ok(_) => outcome.rerouted += 1,
+                Err(_) => outcome.failed += 1,
+            }
+            self.commit(id, result);
+        }
+        outcome
+    }
+
+    /// The paper's two-pass congestion flow, expressed over the session
+    /// primitives: route everything, commit as occupancy, find the
+    /// over-subscribed passages, mark the nets through them dirty, and
+    /// re-route exactly that set under surcharge. Produces the same
+    /// [`TwoPassReport`] as [`BatchRouter::route_two_pass`](crate::BatchRouter)
+    /// (asserted by `tests/session.rs`).
+    pub fn route_two_pass(&mut self) -> TwoPassReport {
+        let _ = self.route_all();
+        // Pass 1 is committed: same cache barrier as the batch pipeline.
+        self.plane.invalidate_cache();
+        let passages = find_passages(self.plane.index());
+        let before = self.analyze_committed(&passages);
+        let affected = before.affected_nets();
+        if affected.is_empty() || !self.engine.capabilities().supports_congestion {
+            let after = before.clone();
+            return TwoPassReport {
+                routing: self.routing(),
+                before,
+                after,
+                rerouted: 0,
+            };
+        }
+        let penalty = before.penalty(self.config.congestion_weight);
+        for &net_index in &affected {
+            // Only committed routes occupy passages, so every affected
+            // index names a routed slot; mark it for the surcharged pass.
+            self.slots[net_index].dirty = true;
+        }
+        let outcome = self.reroute_dirty_with(Some(&penalty));
+        let after = self.analyze_committed(&passages);
+        TwoPassReport {
+            routing: self.routing(),
+            before,
+            after,
+            rerouted: outcome.rerouted,
+        }
+    }
+
+    /// Congestion of the committed occupancy over the plane's current
+    /// passages.
+    #[must_use]
+    pub fn congestion(&self) -> CongestionAnalysis {
+        let passages = find_passages(self.plane.index());
+        self.analyze_committed(&passages)
+    }
+
+    fn analyze_committed(&self, passages: &[Passage]) -> CongestionAnalysis {
+        analyze(
+            passages,
+            self.slots
+                .iter()
+                .enumerate()
+                .filter_map(|(i, s)| match &s.slot {
+                    NetSlot::Routed(r) => Some((i, r.segments())),
+                    _ => None,
+                }),
+            self.config.wire_pitch,
+        )
+    }
+
+    // --------------------------------------------------------- mutations
+
+    /// Adds an (initially empty) net; it starts dirty, so the next
+    /// [`RoutingSession::reroute_dirty`] attempts it once it has
+    /// terminals.
+    pub fn add_net(&mut self, name: impl Into<String>) -> NetId {
+        let id = self.layout.add_net(name);
+        self.slots.push(NetState {
+            slot: NetSlot::Unrouted,
+            dirty: true,
+        });
+        id
+    }
+
+    /// Adds a terminal to a net (marks the net dirty: its committed
+    /// route, if any, no longer spans the declared topology).
+    ///
+    /// # Panics
+    ///
+    /// As [`Layout::add_terminal`]: panics if `net` is not from this
+    /// layout.
+    pub fn add_terminal(&mut self, net: NetId, name: impl Into<String>) -> TerminalRef {
+        let t = self.layout.add_terminal(net, name);
+        self.mark_dirty(net);
+        t
+    }
+
+    /// Adds a pin to a terminal (marks the owning net dirty).
+    ///
+    /// # Errors
+    ///
+    /// See [`Layout::add_pin`].
+    pub fn add_pin(&mut self, terminal: TerminalRef, pin: Pin) -> Result<(), LayoutError> {
+        self.layout.add_pin(terminal, pin)?;
+        self.mark_dirty(terminal.net);
+        Ok(())
+    }
+
+    /// Adds a two-terminal net with floating pins (the
+    /// [`Layout::add_two_pin_net`] convenience, session-tracked).
+    pub fn add_two_pin_net(&mut self, name: impl Into<String>, a: Point, b: Point) -> NetId {
+        let net = self.add_net(name);
+        let ta = self.add_terminal(net, "a");
+        self.add_pin(ta, Pin::floating(a)).expect("fresh terminal");
+        let tb = self.add_terminal(net, "b");
+        self.add_pin(tb, Pin::floating(b)).expect("fresh terminal");
+        net
+    }
+
+    /// Adds a rectangular cell (obstacle) to the layout **and** the live
+    /// plane, and marks every committed route whose bounding box the new
+    /// cell intersects as dirty — those are the only nets whose committed
+    /// wire can have become illegal.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LayoutError::DuplicateName`] if a cell of this name
+    /// exists.
+    pub fn add_obstacle(
+        &mut self,
+        name: impl Into<String>,
+        rect: Rect,
+    ) -> Result<CellId, LayoutError> {
+        let id = self.layout.add_cell(name, rect)?;
+        let obstacle = self.plane.add_obstacle(rect);
+        debug_assert_eq!(
+            obstacle,
+            id.index(),
+            "cell ids and obstacle ids stay aligned"
+        );
+        self.dirty_routes_touching(rect);
+        Ok(id)
+    }
+
+    /// Moves a cell by `(dx, dy)`: the layout edit (outline + attached
+    /// pins, see [`Layout::move_cell`]) and the live-plane edit (in-place
+    /// obstacle translation with targeted cache invalidation) happen
+    /// together, and the dirty set is the union of
+    ///
+    /// * nets with a pin on the moved cell (their terminals moved),
+    /// * committed routes whose bounding box intersects the cell's old
+    ///   or new extent (their wire may now be illegal, or may cross the
+    ///   vacated space suboptimally — an ECO reroute reclaims it),
+    /// * every **failed** net: moving a cell vacates space, so a net
+    ///   that was unroutable (or rejected for a pin inside the cell) may
+    ///   now route — failures have no bounding box to test, so they are
+    ///   all retried.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LayoutError::UnknownId`] for a stale cell id.
+    pub fn move_cell(&mut self, id: CellId, dx: i64, dy: i64) -> Result<(), LayoutError> {
+        let old = self
+            .layout
+            .cell(id)
+            .ok_or(LayoutError::UnknownId { kind: "cell" })?
+            .rect();
+        let moved_nets = self.layout.move_cell(id, dx, dy)?;
+        let translated = self.plane.translate_obstacle(id.index(), dx, dy);
+        debug_assert!(translated, "cell ids and obstacle ids stay aligned");
+        self.dirty_routes_touching(old);
+        self.dirty_routes_touching(old.translate(dx, dy));
+        for state in &mut self.slots {
+            if matches!(state.slot, NetSlot::Failed(_)) {
+                state.dirty = true;
+            }
+        }
+        for net in moved_nets {
+            self.mark_dirty(net);
+        }
+        Ok(())
+    }
+
+    /// Marks every committed route whose bounding box intersects `rect`
+    /// as dirty (the conservative bounding-box-vs-route test: a route
+    /// that does not even touch the rectangle cannot have been affected).
+    fn dirty_routes_touching(&mut self, rect: Rect) {
+        for state in &mut self.slots {
+            if state.dirty {
+                continue;
+            }
+            if let NetSlot::Routed(route) = &state.slot {
+                if route_bounding_box(route).is_some_and(|bb| bb.intersect(&rect).is_some()) {
+                    state.dirty = true;
+                }
+            }
+        }
+    }
+
+    /// Drops every memoized plane query (sharded index only; a no-op on
+    /// the flat plane). The session calls this at its own commit points;
+    /// exposed for callers that mutate state the plane cannot see.
+    pub fn invalidate_plane_cache(&self) {
+        self.plane.invalidate_cache();
+    }
+}
+
+/// The bounding box of a committed route: every tree point (pins and
+/// junctions) and every segment endpoint.
+fn route_bounding_box(route: &NetRoute) -> Option<Rect> {
+    let tree = &route.tree;
+    let points = tree.points().iter().copied();
+    let ends = tree.segments().iter().flat_map(|s| [s.a(), s.b()]);
+    Rect::bounding(points.chain(ends))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BatchRouter;
+    use gcr_geom::{Point, Rect};
+
+    fn two_net_layout() -> Layout {
+        let mut l = Layout::new(Rect::new(0, 0, 100, 100).unwrap());
+        // Asymmetric block: the mid net's cheapest detour hugs the south
+        // face at y = 40 (+20) rather than the north face at y = 80.
+        l.add_cell("a", Rect::new(30, 40, 70, 80).unwrap()).unwrap();
+        l.add_two_pin_net("top", Point::new(5, 90), Point::new(95, 90));
+        l.add_two_pin_net("mid", Point::new(5, 50), Point::new(95, 50));
+        l
+    }
+
+    #[test]
+    fn session_routes_match_batch_routes() {
+        let layout = two_net_layout();
+        let batch = BatchRouter::gridless(&layout, RouterConfig::default()).route_all();
+        let mut session = RoutingSession::gridless(layout, RouterConfig::default());
+        let routing = session.route_all();
+        assert_eq!(routing.wire_length(), batch.wire_length());
+        assert_eq!(routing.stats(), batch.stats());
+        for (a, b) in routing.routes.iter().zip(&batch.routes) {
+            assert_eq!(a.tree.segments(), b.tree.segments());
+        }
+    }
+
+    #[test]
+    fn rip_up_then_reroute_is_byte_identical() {
+        let mut session = RoutingSession::gridless(two_net_layout(), RouterConfig::default());
+        let first = session.route_all();
+        let id = session.layout().net_by_name("mid").unwrap();
+        assert!(session.rip_up(id));
+        assert!(session.route(id).is_none(), "occupancy removed");
+        assert!(session.is_dirty(id));
+        let outcome = session.reroute_dirty();
+        assert_eq!(
+            outcome,
+            RerouteOutcome {
+                attempted: 1,
+                rerouted: 1,
+                failed: 0
+            }
+        );
+        let again = session.routing();
+        assert_eq!(first.wire_length(), again.wire_length());
+        assert_eq!(first.stats(), again.stats());
+    }
+
+    #[test]
+    fn add_obstacle_dirties_only_intersecting_routes() {
+        let mut session = RoutingSession::gridless(two_net_layout(), RouterConfig::default());
+        session.route_all();
+        assert!(session.dirty_nets().is_empty());
+        // A blockage on the mid net's detour, far from the top net.
+        session
+            .add_obstacle("blk", Rect::new(40, 20, 60, 45).unwrap())
+            .unwrap();
+        let dirty = session.dirty_nets();
+        let mid = session.layout().net_by_name("mid").unwrap();
+        assert_eq!(dirty, vec![mid]);
+        let outcome = session.reroute_dirty();
+        assert_eq!(outcome.rerouted, 1);
+        // The rerouted net is exactly what a fresh session computes.
+        let fresh_layout = {
+            let mut l = two_net_layout();
+            l.add_cell("blk", Rect::new(40, 20, 60, 45).unwrap())
+                .unwrap();
+            l
+        };
+        let fresh = RoutingSession::gridless(fresh_layout, RouterConfig::default()).route_all();
+        assert_eq!(session.routing().wire_length(), fresh.wire_length());
+        // The rerouted net is byte-identical to its fresh counterpart
+        // (clean nets keep their committed stats — only legality is
+        // tracked for them).
+        let mine = session.route(mid).unwrap();
+        let theirs = fresh.route_for(mid).unwrap();
+        assert_eq!(mine.tree.segments(), theirs.tree.segments());
+        assert_eq!(mine.stats, theirs.stats);
+    }
+
+    #[test]
+    fn move_cell_dirties_pin_nets_and_crossing_routes() {
+        let mut layout = Layout::new(Rect::new(0, 0, 120, 100).unwrap());
+        let cell = layout
+            .add_cell("c", Rect::new(40, 40, 60, 60).unwrap())
+            .unwrap();
+        let pinned = layout.add_net("pinned");
+        let t0 = layout.add_terminal(pinned, "s");
+        layout
+            .add_pin(t0, Pin::on_cell(cell, Point::new(40, 50)))
+            .unwrap();
+        let t1 = layout.add_terminal(pinned, "t");
+        layout
+            .add_pin(t1, Pin::floating(Point::new(5, 50)))
+            .unwrap();
+        layout.add_two_pin_net("far", Point::new(5, 5), Point::new(115, 5));
+        let mut session = RoutingSession::gridless(layout, RouterConfig::default());
+        session.route_all();
+        session.move_cell(cell, 10, 0).unwrap();
+        let dirty = session.dirty_nets();
+        assert_eq!(dirty, vec![pinned], "far net unaffected");
+        assert_eq!(
+            session.layout().cell(cell).unwrap().rect(),
+            Rect::new(50, 40, 70, 60).unwrap()
+        );
+        session.reroute_dirty();
+        // The rerouted net equals a fresh route of the mutated layout.
+        let fresh =
+            RoutingSession::gridless(session.layout().clone(), RouterConfig::default()).route_all();
+        assert_eq!(session.routing().wire_length(), fresh.wire_length());
+        let mine = session.route(pinned).unwrap();
+        let theirs = fresh.route_for(pinned).unwrap();
+        assert_eq!(mine.tree.segments(), theirs.tree.segments());
+        assert_eq!(mine.stats, theirs.stats);
+    }
+
+    #[test]
+    fn added_net_starts_dirty_and_reroutes() {
+        let mut session = RoutingSession::gridless(two_net_layout(), RouterConfig::default());
+        session.route_all();
+        let id = session.add_two_pin_net("new", Point::new(5, 10), Point::new(95, 10));
+        assert!(session.is_dirty(id));
+        let outcome = session.reroute_dirty();
+        assert_eq!(outcome.rerouted, 1);
+        assert!(session.route(id).is_some());
+    }
+
+    #[test]
+    fn move_cell_retries_failed_nets() {
+        // A donut of mutually overlapping slabs seals the goal pin (the
+        // same geometry as route.rs's sealed-region test).
+        let mut layout = Layout::new(Rect::new(0, 0, 100, 100).unwrap());
+        layout
+            .add_cell("south", Rect::new(58, 26, 92, 32).unwrap())
+            .unwrap();
+        layout
+            .add_cell("north", Rect::new(58, 68, 92, 74).unwrap())
+            .unwrap();
+        let west = layout
+            .add_cell("west", Rect::new(58, 26, 64, 74).unwrap())
+            .unwrap();
+        layout
+            .add_cell("east", Rect::new(86, 26, 92, 74).unwrap())
+            .unwrap();
+        let net = layout.add_two_pin_net("cross", Point::new(5, 50), Point::new(75, 50));
+        let mut session = RoutingSession::gridless(layout, RouterConfig::default());
+        session.route_all();
+        assert!(session.failure(net).is_some(), "donut seals the goal");
+        // Sliding the west slab away breaks the ring; the failed net
+        // must be retried even though it has no committed route to
+        // bbox-test against.
+        session.move_cell(west, 0, -60).unwrap();
+        assert!(session.is_dirty(net));
+        let outcome = session.reroute_dirty();
+        assert_eq!(outcome.rerouted, 1);
+        assert!(session.route(net).is_some());
+    }
+
+    #[test]
+    fn failures_are_committed_and_reported() {
+        let mut session = RoutingSession::gridless(two_net_layout(), RouterConfig::default());
+        let lonely = session.add_net("lonely");
+        assert!(matches!(
+            session.route_net(lonely),
+            Err(RouteError::NothingToRoute { .. })
+        ));
+        assert!(session.failure(lonely).is_some());
+        assert!(!session.is_dirty(lonely), "attempt clears the dirty mark");
+        let routing = session.routing();
+        assert_eq!(routing.failures.len(), 1);
+    }
+}

@@ -27,6 +27,7 @@
 //! cross-validates this against the Lee–Moore router on thousands of
 //! random instances (experiment E3).
 
+use std::borrow::Cow;
 use std::cell::RefCell;
 
 use gcr_geom::{CornerCandidate, PlaneIndex};
@@ -52,7 +53,10 @@ struct SuccessorBufs {
 pub struct RoutingSpace<'a> {
     plane: &'a dyn PlaneIndex,
     goals: &'a GoalSet,
-    sources: Vec<(RouteState, LexCost)>,
+    /// Borrowed on the hot path (the net driver stages seeds in its
+    /// [`SearchScratch`](crate::SearchScratch)); owned for convenience
+    /// callers that pass a `Vec`.
+    sources: Cow<'a, [(RouteState, LexCost)]>,
     coster: EdgeCoster<'a>,
     /// When set, successors step only to the adjacent Hanan grid line
     /// (per-axis sorted coordinate lists, obstacle edges ∪ goal
@@ -68,13 +72,13 @@ impl<'a> RoutingSpace<'a> {
     pub fn new(
         plane: &'a dyn PlaneIndex,
         goals: &'a GoalSet,
-        sources: Vec<(RouteState, LexCost)>,
+        sources: impl Into<Cow<'a, [(RouteState, LexCost)]>>,
         coster: EdgeCoster<'a>,
     ) -> RoutingSpace<'a> {
         RoutingSpace {
             plane,
             goals,
-            sources,
+            sources: sources.into(),
             coster,
             hanan: None,
             bufs: RefCell::new(SuccessorBufs::default()),
@@ -102,7 +106,7 @@ impl<'a> RoutingSpace<'a> {
                 add(s.a());
                 add(s.b());
             }
-            for (s, _) in &self.sources {
+            for (s, _) in self.sources.iter() {
                 add(s.point);
             }
             xs.sort_unstable();
@@ -126,7 +130,12 @@ impl SearchSpace for RoutingSpace<'_> {
     type Cost = LexCost;
 
     fn start_states(&self) -> Vec<(RouteState, LexCost)> {
-        self.sources.clone()
+        self.sources.to_vec()
+    }
+
+    fn start_states_into(&self, out: &mut Vec<(RouteState, LexCost)>) {
+        out.clear();
+        out.extend_from_slice(&self.sources);
     }
 
     fn successors(&self, state: &RouteState, out: &mut Vec<(RouteState, LexCost)>) {

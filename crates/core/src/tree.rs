@@ -9,8 +9,6 @@
 //! realized finitely by seeding the canonical departure points (segment
 //! endpoints, goal projections, and obstacle-corner alignments).
 
-use std::collections::BTreeSet;
-
 use gcr_geom::{Axis, Coord, PlaneIndex, Point, Polyline, Segment};
 use gcr_search::{LexCost, PathCost};
 
@@ -125,30 +123,56 @@ impl RouteTree {
     /// free.
     #[must_use]
     pub fn seeds(&self, plane: &dyn PlaneIndex, goals: &GoalSet) -> Vec<(RouteState, LexCost)> {
-        let mut pts: BTreeSet<Point> = BTreeSet::new();
+        let mut out = Vec::new();
+        self.seeds_into(plane, goals, &mut Vec::new(), &mut Vec::new(), &mut out);
+        out
+    }
+
+    /// Buffer-reuse form of [`RouteTree::seeds`]: clears the staging
+    /// buffers and `out`, then fills `out` with the same seed states in
+    /// the same (sorted, deduplicated) order. The hot net driver threads
+    /// the buffers through [`SearchScratch`](crate::SearchScratch), so
+    /// repeated tree growth allocates nothing once the high-water
+    /// capacities are reached.
+    pub fn seeds_into(
+        &self,
+        plane: &dyn PlaneIndex,
+        goals: &GoalSet,
+        stage: &mut Vec<Point>,
+        pts: &mut Vec<Point>,
+        out: &mut Vec<(RouteState, LexCost)>,
+    ) {
+        pts.clear();
         pts.extend(self.points.iter().copied());
-        let mut goal_pts: Vec<Point> = goals.points().to_vec();
+        stage.clear();
+        stage.extend_from_slice(goals.points());
         for s in goals.segments() {
-            goal_pts.push(s.a());
-            goal_pts.push(s.b());
+            stage.push(s.a());
+            stage.push(s.b());
         }
         for seg in &self.segments {
-            pts.insert(seg.a());
-            pts.insert(seg.b());
-            for g in &goal_pts {
-                pts.insert(seg.closest_point_to(*g));
+            pts.push(seg.a());
+            pts.push(seg.b());
+            for g in stage.iter() {
+                pts.push(seg.closest_point_to(*g));
             }
             let axis = seg.axis();
             let span = seg.span();
             for &c in &plane.corner_coords(axis) {
                 if span.contains(c) {
-                    pts.insert(seg.a().with_coord(axis, c));
+                    pts.push(seg.a().with_coord(axis, c));
                 }
             }
         }
-        pts.into_iter()
-            .map(|p| (RouteState::source(p), LexCost::zero()))
-            .collect()
+        // Sorting + dedup reproduces the historical `BTreeSet<Point>`
+        // iteration order exactly (both are `Point`'s total order).
+        pts.sort_unstable();
+        pts.dedup();
+        out.clear();
+        out.extend(
+            pts.iter()
+                .map(|&p| (RouteState::source(p), LexCost::zero())),
+        );
     }
 
     /// The tree's segments split by axis, mostly for reporting.

@@ -168,7 +168,11 @@ pub struct CornerCandidate {
 pub struct Plane {
     bounds: Rect,
     rects: Vec<(Rect, ObstacleId)>,
+    /// Number of live obstacles (polygons count once; removal decrements).
     obstacle_count: usize,
+    /// Next id to allocate. Ids are never reused, so removing an obstacle
+    /// keeps every other id stable.
+    next_id: ObstacleId,
     index: Option<TopoIndex>,
 }
 
@@ -254,6 +258,22 @@ impl TopoIndex {
         insert_sorted(&mut self.ymin, (rect.ymin(), ri));
         insert_sorted(&mut self.ymax, (rect.ymax(), ri));
     }
+
+    /// Removes one rectangle's faces (the exact inverse of
+    /// [`TopoIndex::insert`]): each list holds unique `(coordinate, rect
+    /// index)` tuples, so `partition_point` lands on the entry directly
+    /// and the removal is O(log n) search + one memmove per list.
+    fn remove(&mut self, rect: &Rect, ri: u32) {
+        fn remove_sorted(list: &mut Vec<(Coord, u32)>, entry: (Coord, u32)) {
+            let at = list.partition_point(|e| *e < entry);
+            debug_assert_eq!(list.get(at), Some(&entry), "face entry must exist");
+            list.remove(at);
+        }
+        remove_sorted(&mut self.xmin, (rect.xmin(), ri));
+        remove_sorted(&mut self.xmax, (rect.xmax(), ri));
+        remove_sorted(&mut self.ymin, (rect.ymin(), ri));
+        remove_sorted(&mut self.ymax, (rect.ymax(), ri));
+    }
 }
 
 impl Plane {
@@ -264,6 +284,7 @@ impl Plane {
             bounds,
             rects: Vec::new(),
             obstacle_count: 0,
+            next_id: 0,
             index: None,
         }
     }
@@ -282,7 +303,8 @@ impl Plane {
     /// (sorted insertion, O(log n) per face list), so indexed planes stay
     /// indexed across mutation.
     pub fn add_obstacle(&mut self, rect: Rect) -> ObstacleId {
-        let id = self.obstacle_count;
+        let id = self.next_id;
+        self.next_id += 1;
         self.obstacle_count += 1;
         let ri = self.rects.len() as u32;
         self.rects.push((rect, id));
@@ -296,7 +318,8 @@ impl Plane {
     /// share one id) and returns the id. A built index is maintained
     /// incrementally, as in [`Plane::add_obstacle`].
     pub fn add_polygon(&mut self, polygon: &RectilinearPolygon) -> ObstacleId {
-        let id = self.obstacle_count;
+        let id = self.next_id;
+        self.next_id += 1;
         self.obstacle_count += 1;
         // The overlapping cover is required here: a pure partition would
         // leave interior seams a wire could legally run through.
@@ -324,6 +347,55 @@ impl Plane {
     #[must_use]
     pub fn has_index(&self) -> bool {
         self.index.is_some()
+    }
+
+    /// Translates every rectangle of obstacle `id` by `(dx, dy)` in
+    /// place, returning `false` when the id is unknown (or was removed).
+    ///
+    /// This is the incremental-layout mutation an ECO flow makes when a
+    /// cell moves: the rectangle *slots* are overwritten, so the rect list
+    /// order — and with it every tie-break that depends on insertion
+    /// order — stays exactly what a fresh plane built from the mutated
+    /// layout would have. A built index is maintained by targeted face
+    /// removal + re-insertion (O(log n) + memmove per face list).
+    pub fn translate_obstacle(&mut self, id: ObstacleId, dx: Coord, dy: Coord) -> bool {
+        let mut found = false;
+        for ri in 0..self.rects.len() {
+            if self.rects[ri].1 != id {
+                continue;
+            }
+            found = true;
+            let old = self.rects[ri].0;
+            let new = old.translate(dx, dy);
+            if let Some(ix) = &mut self.index {
+                ix.remove(&old, ri as u32);
+                ix.insert(&new, ri as u32);
+            }
+            self.rects[ri].0 = new;
+        }
+        found
+    }
+
+    /// Removes obstacle `id` (every rectangle carrying it), returning
+    /// `false` when the id is unknown or already removed.
+    ///
+    /// Ids are **never reused**: every other obstacle keeps its id, so
+    /// handles held by callers stay valid. Removal compacts the rectangle
+    /// list (later rectangles shift down), so a built index is rebuilt
+    /// rather than patched — removal is the rare structural mutation; the
+    /// common ECO move is [`Plane::translate_obstacle`], which is
+    /// incremental.
+    pub fn remove_obstacle(&mut self, id: ObstacleId) -> bool {
+        let before = self.rects.len();
+        self.rects.retain(|(_, i)| *i != id);
+        if self.rects.len() == before {
+            return false;
+        }
+        self.obstacle_count -= 1;
+        if self.index.is_some() {
+            self.build_index();
+        }
+        true
     }
 
     /// Number of obstacles (polygons count once).
@@ -992,5 +1064,85 @@ mod tests {
     fn display_reports_counts() {
         let (p, _) = plane_one_block();
         assert!(p.to_string().contains("1 obstacle"));
+    }
+
+    #[test]
+    fn translate_obstacle_moves_queries_and_maintains_index() {
+        let (mut p, id) = plane_one_block();
+        p.build_index();
+        assert!(p.translate_obstacle(id, 10, -5));
+        // The moved block now spans [40,80] × [25,65].
+        assert!(p.point_free(Point::new(35, 50)));
+        assert!(!p.point_free(Point::new(75, 50)));
+        let hit = p.ray_hit(Point::new(0, 50), Dir::East);
+        assert_eq!((hit.stop, hit.blocker), (40, Some(id)));
+        // The maintained index answers exactly like a rebuilt one.
+        let mut rebuilt = p.clone();
+        rebuilt.build_index();
+        for y in [0, 25, 30, 50, 65, 100] {
+            assert_eq!(
+                p.ray_hit(Point::new(0, y), Dir::East),
+                rebuilt.ray_hit(Point::new(0, y), Dir::East),
+                "y={y}"
+            );
+            assert_eq!(
+                p.corner_candidates(Point::new(0, y), Dir::East, 100),
+                rebuilt.corner_candidates(Point::new(0, y), Dir::East, 100),
+                "y={y}"
+            );
+        }
+        assert!(!p.translate_obstacle(99, 1, 1));
+    }
+
+    #[test]
+    fn translate_preserves_rect_slot_order() {
+        // Two obstacles; moving the first must keep it in slot 0 so the
+        // tie-breaks (lowest rect index wins) behave like a fresh plane
+        // built from the mutated geometry.
+        let mut p = Plane::new(Rect::new(0, 0, 100, 100).unwrap());
+        let a = p.add_obstacle(Rect::new(10, 40, 20, 60).unwrap());
+        let b = p.add_obstacle(Rect::new(50, 40, 60, 60).unwrap());
+        p.build_index();
+        assert!(p.translate_obstacle(a, 40, 0)); // now coincident with b
+        assert_eq!(p.rects()[0], (Rect::new(50, 40, 60, 60).unwrap(), a));
+        let hit = p.ray_hit(Point::new(0, 50), Dir::East);
+        assert_eq!(hit.blocker, Some(a), "lowest slot wins the tie");
+        let _ = b;
+    }
+
+    #[test]
+    fn remove_obstacle_keeps_other_ids_stable() {
+        let mut p = Plane::new(Rect::new(0, 0, 100, 100).unwrap());
+        let a = p.add_obstacle(Rect::new(10, 40, 20, 60).unwrap());
+        let b = p.add_obstacle(Rect::new(50, 40, 60, 60).unwrap());
+        p.build_index();
+        assert!(p.remove_obstacle(a));
+        assert!(!p.remove_obstacle(a), "already removed");
+        assert_eq!(p.obstacle_count(), 1);
+        let hit = p.ray_hit(Point::new(0, 50), Dir::East);
+        assert_eq!((hit.stop, hit.blocker), (50, Some(b)), "b keeps its id");
+        // Ids are never reused.
+        let c = p.add_obstacle(Rect::new(70, 40, 80, 60).unwrap());
+        assert_ne!(c, a);
+        assert_ne!(c, b);
+    }
+
+    #[test]
+    fn remove_polygon_obstacle_removes_every_rect() {
+        let mut p = Plane::new(Rect::new(0, 0, 100, 100).unwrap());
+        let l = RectilinearPolygon::new(vec![
+            Point::new(20, 20),
+            Point::new(60, 20),
+            Point::new(60, 40),
+            Point::new(40, 40),
+            Point::new(40, 60),
+            Point::new(20, 60),
+        ])
+        .unwrap();
+        let id = p.add_polygon(&l);
+        assert!(p.remove_obstacle(id));
+        assert_eq!(p.obstacle_count(), 0);
+        assert!(p.rects().is_empty());
+        assert!(p.point_free(Point::new(30, 30)));
     }
 }

@@ -136,6 +136,52 @@ impl Polyline {
         Polyline { points: out }
     }
 
+    /// Builds the simplified polyline of a raw vertex walk, staging the
+    /// simplification through `buf` (cleared first) so the only
+    /// allocation is the final exact-size vertex vector. Equivalent to
+    /// `Polyline::new(walk.collect())?.simplified()`; the routing hot
+    /// path uses it with a scratch-held buffer to turn reconstructed
+    /// search paths into wires without intermediate vectors.
+    ///
+    /// # Errors
+    ///
+    /// As [`Polyline::new`]: the walk must be non-empty with distinct,
+    /// axis-aligned consecutive points.
+    pub fn simplified_from_walk(
+        walk: impl IntoIterator<Item = Point>,
+        buf: &mut Vec<Point>,
+    ) -> Result<Polyline, GeomError> {
+        buf.clear();
+        let mut prev: Option<Point> = None;
+        for (i, p) in walk.into_iter().enumerate() {
+            if let Some(q) = prev {
+                if q == p || q.dir_toward(p).is_none() {
+                    return Err(GeomError::InvalidPolyline { index: i });
+                }
+            }
+            prev = Some(p);
+            while buf.len() >= 2 {
+                let a = buf[buf.len() - 2];
+                let b = buf[buf.len() - 1];
+                match (a.dir_toward(b), b.dir_toward(p)) {
+                    (Some(x), Some(y)) if x == y => {
+                        buf.pop();
+                    }
+                    _ => break,
+                }
+            }
+            if buf.last() != Some(&p) {
+                buf.push(p);
+            }
+        }
+        if buf.is_empty() {
+            return Err(GeomError::InvalidPolyline { index: 0 });
+        }
+        Ok(Polyline {
+            points: buf.clone(),
+        })
+    }
+
     /// Returns the reversed polyline.
     #[must_use]
     pub fn reversed(&self) -> Polyline {
@@ -290,5 +336,25 @@ mod tests {
     fn display_chains_points() {
         let p = pl(&[(0, 0), (1, 0)]);
         assert_eq!(p.to_string(), "(0, 0) -> (1, 0)");
+    }
+
+    #[test]
+    fn simplified_from_walk_matches_allocating_form() {
+        let mut buf = vec![Point::new(-7, -7)]; // dirty buffer is cleared
+        for walk in [
+            vec![(0, 0), (3, 0), (5, 0), (5, 2), (5, 7)],
+            vec![(0, 0), (5, 0), (2, 0), (2, 4)], // reversal merge
+            vec![(1, 1)],
+            vec![(0, 0), (0, 9)],
+        ] {
+            let pts: Vec<Point> = walk.iter().map(|&(x, y)| Point::new(x, y)).collect();
+            let via_buf = Polyline::simplified_from_walk(pts.iter().copied(), &mut buf).unwrap();
+            let direct = Polyline::new(pts.clone()).unwrap().simplified();
+            assert_eq!(via_buf, direct, "walk {pts:?}");
+        }
+        assert!(Polyline::simplified_from_walk([], &mut buf).is_err());
+        assert!(
+            Polyline::simplified_from_walk([Point::new(0, 0), Point::new(1, 1)], &mut buf).is_err()
+        );
     }
 }

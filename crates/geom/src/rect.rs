@@ -239,6 +239,16 @@ impl Rect {
         })
     }
 
+    /// The rectangle shifted by `(dx, dy)`. Translation preserves extent
+    /// and ordering, so the result is always a valid rectangle.
+    #[must_use]
+    pub fn translate(&self, dx: Coord, dy: Coord) -> Rect {
+        Rect {
+            x: Interval::new(self.xmin() + dx, self.xmax() + dx).expect("order preserved"),
+            y: Interval::new(self.ymin() + dy, self.ymax() + dy).expect("order preserved"),
+        }
+    }
+
     /// The four corner points, counter-clockwise from the south-west corner.
     #[must_use]
     pub fn corners(&self) -> [Point; 4] {

@@ -135,6 +135,19 @@ impl RectilinearPolygon {
         Rect::bounding(self.vertices.iter().copied()).expect("polygon has vertices")
     }
 
+    /// The polygon shifted by `(dx, dy)`. Translation preserves vertex
+    /// order and orthogonality, so the result is always valid.
+    #[must_use]
+    pub fn translate(&self, dx: Coord, dy: Coord) -> RectilinearPolygon {
+        RectilinearPolygon {
+            vertices: self
+                .vertices
+                .iter()
+                .map(|p| Point::new(p.x + dx, p.y + dy))
+                .collect(),
+        }
+    }
+
     /// The enclosed area (shoelace formula, exact).
     #[must_use]
     pub fn area(&self) -> i128 {

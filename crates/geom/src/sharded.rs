@@ -371,6 +371,82 @@ impl ShardedPlane {
         id
     }
 
+    /// Translates every rectangle of obstacle `id` by `(dx, dy)` (see
+    /// [`Plane::translate_obstacle`]). Bucket maintenance is **targeted**:
+    /// only the buckets the old and new rectangles touch are rewritten;
+    /// the query cache is invalidated by a generation bump.
+    pub fn translate_obstacle(&mut self, id: ObstacleId, dx: Coord, dy: Coord) -> bool {
+        let moves: Vec<(u32, Rect)> = self
+            .flat
+            .rects()
+            .iter()
+            .enumerate()
+            .filter(|(_, (_, i))| *i == id)
+            .map(|(ri, (r, _))| (ri as u32, *r))
+            .collect();
+        if moves.is_empty() {
+            return false;
+        }
+        for &(ri, old) in &moves {
+            self.unregister_rect(ri, &old);
+        }
+        let moved = self.flat.translate_obstacle(id, dx, dy);
+        debug_assert!(moved, "flat plane holds the same ids");
+        for &(ri, old) in &moves {
+            self.register_rect(ri, &old.translate(dx, dy));
+        }
+        self.invalidate();
+        true
+    }
+
+    /// Removes obstacle `id` (see [`Plane::remove_obstacle`]). Removal
+    /// compacts the flat rectangle list, shifting the indices every bucket
+    /// refers to, so the bucket grid is rebuilt — removal is the rare
+    /// structural mutation; the common ECO move is
+    /// [`ShardedPlane::translate_obstacle`], which is targeted.
+    pub fn remove_obstacle(&mut self, id: ObstacleId) -> bool {
+        if !self.flat.remove_obstacle(id) {
+            return false;
+        }
+        for bucket in &mut self.buckets {
+            bucket.clear();
+        }
+        self.index_rects(0);
+        self.invalidate();
+        true
+    }
+
+    /// Removes rectangle index `ri` from every bucket `rect` touches
+    /// (each bucket list is sorted ascending, so the entry binary-searches
+    /// out in O(log n) + one memmove).
+    fn unregister_rect(&mut self, ri: u32, rect: &Rect) {
+        let (cx0, cx1) = self.cell_range(Axis::X, rect.span(Axis::X));
+        let (cy0, cy1) = self.cell_range(Axis::Y, rect.span(Axis::Y));
+        for cy in cy0..=cy1 {
+            for cx in cx0..=cx1 {
+                let bucket = &mut self.buckets[cy * self.nx + cx];
+                if let Ok(at) = bucket.binary_search(&ri) {
+                    bucket.remove(at);
+                }
+            }
+        }
+    }
+
+    /// Registers rectangle index `ri` in every bucket `rect` touches,
+    /// preserving each bucket's ascending order.
+    fn register_rect(&mut self, ri: u32, rect: &Rect) {
+        let (cx0, cx1) = self.cell_range(Axis::X, rect.span(Axis::X));
+        let (cy0, cy1) = self.cell_range(Axis::Y, rect.span(Axis::Y));
+        for cy in cy0..=cy1 {
+            for cx in cx0..=cx1 {
+                let bucket = &mut self.buckets[cy * self.nx + cx];
+                if let Err(at) = bucket.binary_search(&ri) {
+                    bucket.insert(at, ri);
+                }
+            }
+        }
+    }
+
     /// Registers rectangles `from..` in every bucket they touch. Indices
     /// are appended in ascending rectangle order, so each bucket's list
     /// stays sorted — queries that scan a bucket see rects in insertion
@@ -887,6 +963,61 @@ mod tests {
         let s = ShardedPlane::new(flat);
         assert!(s.to_string().contains("buckets"));
         assert!(format!("{s:?}").contains("ShardedPlane"));
+    }
+
+    #[test]
+    fn translate_obstacle_matches_flat_and_retires_cache() {
+        let (mut flat, id) = one_block();
+        flat.build_index();
+        for shard in [1, 7, 33, 1000] {
+            let mut s = ShardedPlane::with_shard_size(flat.clone(), shard);
+            // Warm the cache with answers the move must retire.
+            let p = Point::new(0, 50);
+            assert_eq!(s.ray_hit(p, Dir::East).stop, 30, "shard {shard}");
+            assert!(s.translate_obstacle(id, 15, 10));
+            let mut moved = flat.clone();
+            assert!(moved.translate_obstacle(id, 15, 10));
+            assert_eq!(s.ray_hit(p, Dir::East), moved.ray_hit(p, Dir::East));
+            for (probe, dir) in [
+                (Point::new(0, 45), Dir::East),
+                (Point::new(100, 45), Dir::West),
+                (Point::new(50, 0), Dir::North),
+                (Point::new(60, 100), Dir::South),
+            ] {
+                assert_eq!(
+                    s.ray_hit(probe, dir),
+                    moved.ray_hit(probe, dir),
+                    "shard {shard} probe {probe}"
+                );
+                assert_eq!(
+                    s.corner_candidates(probe, dir, s.ray_hit(probe, dir).stop),
+                    moved.corner_candidates(probe, dir, moved.ray_hit(probe, dir).stop),
+                    "shard {shard} probe {probe}"
+                );
+            }
+            assert!(!s.point_free(Point::new(50, 75)));
+            assert!(s.point_free(Point::new(35, 35)));
+            assert!(!s.translate_obstacle(99, 1, 1), "unknown id");
+        }
+    }
+
+    #[test]
+    fn remove_obstacle_matches_flat() {
+        let mut flat = Plane::new(Rect::new(0, 0, 100, 100).unwrap());
+        let a = flat.add_obstacle(Rect::new(10, 40, 20, 60).unwrap());
+        let b = flat.add_obstacle(Rect::new(50, 40, 60, 60).unwrap());
+        flat.build_index();
+        let mut s = ShardedPlane::with_shard_size(flat.clone(), 8);
+        s.ray_hit(Point::new(0, 50), Dir::East); // warm
+        assert!(s.remove_obstacle(a));
+        assert!(!s.remove_obstacle(a));
+        let mut removed = flat;
+        removed.remove_obstacle(a);
+        let hit = s.ray_hit(Point::new(0, 50), Dir::East);
+        assert_eq!(hit, removed.ray_hit(Point::new(0, 50), Dir::East));
+        assert_eq!(hit.blocker, Some(b));
+        assert_eq!(s.obstacle_count(), 1);
+        assert!(s.point_free(Point::new(15, 50)));
     }
 
     #[test]

@@ -63,6 +63,15 @@ impl CellOutline {
             CellOutline::Polygon(p) => p.area(),
         }
     }
+
+    /// The outline shifted by `(dx, dy)`.
+    #[must_use]
+    pub fn translate(&self, dx: i64, dy: i64) -> CellOutline {
+        match self {
+            CellOutline::Rect(r) => CellOutline::Rect(r.translate(dx, dy)),
+            CellOutline::Polygon(p) => CellOutline::Polygon(p.translate(dx, dy)),
+        }
+    }
 }
 
 /// A macro cell: a named block with an outline.
@@ -78,6 +87,12 @@ impl Cell {
             name: name.into(),
             outline,
         }
+    }
+
+    /// Shifts the cell by `(dx, dy)` (the layout-level
+    /// [`move_cell`](crate::Layout::move_cell) also moves attached pins).
+    pub(crate) fn translate(&mut self, dx: i64, dy: i64) {
+        self.outline = self.outline.translate(dx, dy);
     }
 
     /// The cell's name (unique within a layout).

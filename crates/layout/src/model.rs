@@ -186,6 +186,43 @@ impl Layout {
         Ok(())
     }
 
+    /// Moves a placed cell by `(dx, dy)` — the incremental-layout edit an
+    /// ECO flow makes — and returns the net ids whose pins rode along.
+    ///
+    /// Every pin attached to the cell moves with it (a pin on a cell
+    /// boundary stays on that boundary), so the layout remains
+    /// self-consistent without re-declaring the netlist. Ids are stable:
+    /// no cell, net, terminal or pin is renumbered by the move. The move
+    /// is **not** validated here — call [`Layout::validate`] to check
+    /// bounds and spacing after a batch of edits, exactly as at
+    /// construction time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LayoutError::UnknownId`] if `id` does not name a cell of
+    /// this layout.
+    pub fn move_cell(&mut self, id: CellId, dx: i64, dy: i64) -> Result<Vec<NetId>, LayoutError> {
+        let cell = self
+            .cells
+            .get_mut(id.0)
+            .ok_or(LayoutError::UnknownId { kind: "cell" })?;
+        cell.translate(dx, dy);
+        let mut moved = Vec::new();
+        for (i, net) in self.nets.iter_mut().enumerate() {
+            let mut any = false;
+            for pin in net.all_pins_mut() {
+                if pin.cell == Some(id) {
+                    pin.position = Point::new(pin.position.x + dx, pin.position.y + dy);
+                    any = true;
+                }
+            }
+            if any {
+                moved.push(NetId(i));
+            }
+        }
+        Ok(moved)
+    }
+
     /// Builds the routing surface: the plane bounded by
     /// [`Layout::bounds`] with every cell as an obstacle.
     ///
@@ -508,6 +545,47 @@ mod tests {
         assert_eq!(plane.obstacle_count(), 2);
         assert!(!plane.point_free(Point::new(20, 20)));
         assert!(plane.point_free(Point::new(40, 40)));
+    }
+
+    #[test]
+    fn move_cell_translates_outline_and_attached_pins() {
+        let mut l = base();
+        let a = l.add_cell("a", Rect::new(10, 10, 30, 30).unwrap()).unwrap();
+        let b = l.add_cell("b", Rect::new(50, 50, 70, 70).unwrap()).unwrap();
+        let n = l.add_net("n");
+        let t0 = l.add_terminal(n, "p");
+        l.add_pin(t0, Pin::on_cell(a, Point::new(30, 20))).unwrap();
+        let t1 = l.add_terminal(n, "q");
+        l.add_pin(t1, Pin::on_cell(b, Point::new(50, 60))).unwrap();
+        let m = l.add_net("floating");
+        let tf = l.add_terminal(m, "f");
+        l.add_pin(tf, Pin::floating(Point::new(5, 5))).unwrap();
+        let tg = l.add_terminal(m, "g");
+        l.add_pin(tg, Pin::floating(Point::new(95, 5))).unwrap();
+
+        let moved = l.move_cell(a, 5, 10).unwrap();
+        assert_eq!(moved, vec![n], "only the attached net rides along");
+        assert_eq!(
+            l.cell(a).unwrap().rect(),
+            Rect::new(15, 20, 35, 40).unwrap()
+        );
+        let pin = l.net(n).unwrap().all_pins().next().unwrap();
+        assert_eq!(pin.position, Point::new(35, 30), "pin stays on the face");
+        // The unattached cell and floating pins are untouched.
+        assert_eq!(
+            l.cell(b).unwrap().rect(),
+            Rect::new(50, 50, 70, 70).unwrap()
+        );
+        assert_eq!(
+            l.net(m).unwrap().all_pins().next().unwrap().position,
+            Point::new(5, 5)
+        );
+        l.validate().unwrap();
+        // Stale ids are rejected.
+        assert!(matches!(
+            l.move_cell(CellId(99), 1, 1),
+            Err(LayoutError::UnknownId { kind: "cell" })
+        ));
     }
 
     #[test]

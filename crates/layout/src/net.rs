@@ -119,6 +119,10 @@ impl Terminal {
     pub(crate) fn push_pin(&mut self, pin: Pin) {
         self.pins.push(pin);
     }
+
+    pub(crate) fn pins_mut(&mut self) -> impl Iterator<Item = &mut Pin> {
+        self.pins.iter_mut()
+    }
 }
 
 impl fmt::Display for Terminal {
@@ -168,6 +172,10 @@ impl Net {
     /// Every pin of every terminal, flattened.
     pub fn all_pins(&self) -> impl Iterator<Item = &Pin> {
         self.terminals.iter().flat_map(|t| t.pins().iter())
+    }
+
+    pub(crate) fn all_pins_mut(&mut self) -> impl Iterator<Item = &mut Pin> {
+        self.terminals.iter_mut().flat_map(Terminal::pins_mut)
     }
 
     /// The half-perimeter wire length (HPWL) lower-bound estimate for this

@@ -134,6 +134,7 @@ pub struct SearchArena<S, C> {
     index: FnvHashMap<S, usize>,
     open: BinaryHeap<HeapEntry<C>>,
     succ: Vec<(S, C)>,
+    starts: Vec<(S, C)>,
 }
 
 impl<S, C> SearchArena<S, C> {
@@ -145,6 +146,7 @@ impl<S, C> SearchArena<S, C> {
             index: FnvHashMap::default(),
             open: BinaryHeap::new(),
             succ: Vec::new(),
+            starts: Vec::new(),
         }
     }
 
@@ -156,6 +158,7 @@ impl<S, C> SearchArena<S, C> {
         self.index.clear();
         self.open.clear();
         self.succ.clear();
+        self.starts.clear();
     }
 
     /// The node-table capacity currently held (diagnostic: how much
@@ -222,18 +225,46 @@ pub fn astar_with_limits_in<Sp: SearchSpace>(
     limits: SearchLimits,
     arena: &mut SearchArena<Sp::State, Sp::Cost>,
 ) -> SearchOutcome<Sp::State, Sp::Cost> {
+    let mut path = Vec::new();
+    match astar_with_limits_into(space, limits, arena, &mut path) {
+        SearchOutcome::Found(Found { cost, stats, .. }) => {
+            SearchOutcome::Found(Found { path, cost, stats })
+        }
+        other => other,
+    }
+}
+
+/// [`astar_with_limits_in`] with a **caller-owned path buffer**: on
+/// success the goal path is reconstructed into `path_out` (cleared
+/// first) and the returned [`Found::path`] is left empty, so a caller
+/// that reuses `path_out` runs the entire search — staging, frontier,
+/// reconstruction — without allocating. On the other outcomes
+/// `path_out` is cleared.
+///
+/// This is the form the routing hot path uses ([`SearchScratch`] in
+/// `gcr-core` carries the buffer); [`astar_with_limits_in`] wraps it for
+/// callers that want an owned path.
+pub fn astar_with_limits_into<Sp: SearchSpace>(
+    space: &Sp,
+    limits: SearchLimits,
+    arena: &mut SearchArena<Sp::State, Sp::Cost>,
+    path_out: &mut Vec<Sp::State>,
+) -> SearchOutcome<Sp::State, Sp::Cost> {
+    path_out.clear();
     arena.reset();
     let SearchArena {
         nodes,
         index,
         open,
         succ: succ_buf,
+        starts,
     } = arena;
     let mut stats = SearchStats::default();
     let mut seq: u64 = 0;
     let mut open_valid: usize = 0;
 
-    for (state, g0) in space.start_states() {
+    space.start_states_into(starts);
+    for (state, g0) in starts.drain(..) {
         match index.entry(state.clone()) {
             Entry::Occupied(mut e) => {
                 let id = *e.get_mut();
@@ -286,14 +317,17 @@ pub fn astar_with_limits_in<Sp: SearchSpace>(
 
         if space.is_goal(&nodes[id].state) {
             let cost = nodes[id].g;
-            let mut path = Vec::new();
             let mut cur = Some(id);
             while let Some(i) = cur {
-                path.push(nodes[i].state.clone());
+                path_out.push(nodes[i].state.clone());
                 cur = nodes[i].parent;
             }
-            path.reverse();
-            return SearchOutcome::Found(Found { path, cost, stats });
+            path_out.reverse();
+            return SearchOutcome::Found(Found {
+                path: Vec::new(),
+                cost,
+                stats,
+            });
         }
 
         if let Some(max) = limits.max_expansions {
@@ -585,6 +619,29 @@ mod tests {
         let a = astar_with_limits_in(&diamond(), SearchLimits::default(), &mut arena);
         let b = astar_with_limits(&diamond(), SearchLimits::default());
         assert_eq!(a.found().unwrap().path, b.found().unwrap().path);
+    }
+
+    #[test]
+    fn path_into_matches_owned_path_form() {
+        let g = diamond();
+        let mut arena = SearchArena::new();
+        let mut path = vec![99usize]; // dirty buffer must be cleared
+        let into = astar_with_limits_into(&g, SearchLimits::default(), &mut arena, &mut path);
+        let owned = astar_with_limits(&g, SearchLimits::default());
+        let (i, o) = (into.found().unwrap(), owned.found().unwrap());
+        assert!(i.path.is_empty(), "path is delivered through the buffer");
+        assert_eq!(path, o.path);
+        assert_eq!(i.cost, o.cost);
+        assert_eq!(i.stats, o.stats);
+        // Non-found outcomes clear the buffer.
+        let mut unreachable = diamond();
+        unreachable.goals = vec![99];
+        unreachable.edges.resize(100, vec![]);
+        unreachable.h = vec![0; 100];
+        let out =
+            astar_with_limits_into(&unreachable, SearchLimits::default(), &mut arena, &mut path);
+        assert!(matches!(out, SearchOutcome::Exhausted(_)));
+        assert!(path.is_empty());
     }
 
     #[test]

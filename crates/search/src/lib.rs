@@ -64,8 +64,8 @@ mod stats;
 pub use blind::{breadth_first, depth_first, exhaustive};
 pub use cost::{LexCost, PathCost};
 pub use engine::{
-    astar, astar_with_limits, astar_with_limits_in, best_first, Found, SearchArena, SearchLimits,
-    SearchOutcome,
+    astar, astar_with_limits, astar_with_limits_in, astar_with_limits_into, best_first, Found,
+    SearchArena, SearchLimits, SearchOutcome,
 };
 pub use fnv::{FnvBuildHasher, FnvHashMap, FnvHasher};
 pub use parallel::{default_threads, parallel_map, parallel_map_with};

@@ -35,6 +35,18 @@ pub trait SearchSpace {
     /// search returns one pair `(s, 0)`.
     fn start_states(&self) -> Vec<(Self::State, Self::Cost)>;
 
+    /// Buffer-reuse form of [`SearchSpace::start_states`]: clears `out`
+    /// and fills it with the same pairs in the same order. The engines
+    /// stage sources through this hook into an arena-held buffer, so a
+    /// space that holds its sources (or can compute them in place) makes
+    /// the per-search source staging allocation-free. The default is a
+    /// compatibility shim that pays the allocation of the allocate-and-
+    /// return form.
+    fn start_states_into(&self, out: &mut Vec<(Self::State, Self::Cost)>) {
+        out.clear();
+        out.extend(self.start_states());
+    }
+
     /// Appends each successor of `state` to `out` along with the edge cost
     /// of reaching it. Edge costs must be non-negative in the ordering
     /// sense: `c.plus(edge) >= c` must hold for all `c`.
@@ -83,6 +95,10 @@ impl<S: SearchSpace> SearchSpace for ZeroHeuristic<'_, S> {
 
     fn start_states(&self) -> Vec<(Self::State, Self::Cost)> {
         self.0.start_states()
+    }
+
+    fn start_states_into(&self, out: &mut Vec<(Self::State, Self::Cost)>) {
+        self.0.start_states_into(out);
     }
 
     fn successors(&self, state: &Self::State, out: &mut Vec<(Self::State, Self::Cost)>) {

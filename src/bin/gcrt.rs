@@ -3,16 +3,23 @@
 //! ```text
 //! gcrt route chip.gcl                 # route every net, print a report
 //! gcrt route chip.gcl --two-pass      # congestion-aware two-pass flow
+//! gcrt route chip.gcl --engine grid   # pick the routing backend
+//! gcrt route chip.gcl --sharded       # bucket-grid plane + query cache
 //! gcrt route chip.gcl --render 2      # ASCII-render layout + routes
+//! gcrt eco chip.gcl changes.eco       # replay an ECO change list
 //! gcrt check chip.gcl                 # parse + validate only
 //! gcrt stats chip.gcl                 # layout statistics
 //! ```
+//!
+//! Every routing command drives a [`RoutingSession`]: the CLI is a thin
+//! shell over the same owned, incremental API services embed.
 
 use std::process::ExitCode;
 
 use gcr::detail::route_details;
 use gcr::layout::{format, render};
 use gcr::prelude::*;
+use gcr::router::{apply_eco, parse_eco};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -25,17 +32,36 @@ fn main() -> ExitCode {
     }
 }
 
+/// Flags that consume the following argument as their value.
+const VALUE_FLAGS: &[&str] = &["--render", "--engine"];
+
 fn run(args: &[String]) -> Result<(), String> {
-    let mut words = args.iter().filter(|a| !a.starts_with("--"));
-    let command = words.next().map(String::as_str).unwrap_or("help");
-    let path = words.next();
+    // Positional arguments: everything that is neither a flag nor the
+    // value of a value-taking flag.
+    let mut positionals: Vec<&String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if a.starts_with("--") {
+            i += if VALUE_FLAGS.contains(&a.as_str()) {
+                2
+            } else {
+                1
+            };
+            continue;
+        }
+        positionals.push(a);
+        i += 1;
+    }
+    let command = positionals.first().map(|s| s.as_str()).unwrap_or("help");
+    let path = positionals.get(1).copied();
     let flag = |name: &str| args.iter().any(|a| a == name);
     let value_of = |name: &str| {
         args.iter()
             .position(|a| a == name)
             .and_then(|i| args.get(i + 1))
-            .and_then(|v| v.parse::<i64>().ok())
     };
+    let int_of = |name: &str| value_of(name).and_then(|v| v.parse::<i64>().ok());
 
     match command {
         "help" | "--help" | "-h" => {
@@ -43,9 +69,14 @@ fn run(args: &[String]) -> Result<(), String> {
                 "usage: gcrt <command> <file.gcl> [options]\n\n\
                  commands:\n\
                  \x20 route   route every net and print a report\n\
+                 \x20 eco     replay a .eco change list against a routing session\n\
                  \x20 check   parse and validate the layout\n\
                  \x20 stats   print layout statistics\n\n\
                  options:\n\
+                 \x20 --engine E      routing backend: gridless (default), grid,\n\
+                 \x20                 lee-moore, hightower\n\
+                 \x20 --sharded       bucket-grid plane index with query caching\n\
+                 \x20 --serial        disable parallel net routing\n\
                  \x20 --two-pass      congestion-aware two-pass routing\n\
                  \x20 --render N      ASCII-render at N layout units per column\n\
                  \x20 --no-epsilon    disable the inverted-corner penalty"
@@ -75,13 +106,9 @@ fn run(args: &[String]) -> Result<(), String> {
         "route" => {
             let layout = load(path)?;
             layout.validate().map_err(|e| e.to_string())?;
-            let mut config = RouterConfig::default();
-            if flag("--no-epsilon") {
-                config.corner_penalty(false);
-            }
-            let router = GlobalRouter::new(&layout, config);
+            let mut session = build_session(layout, args)?;
             let routing = if flag("--two-pass") {
-                let report = router.route_two_pass();
+                let report = session.route_two_pass();
                 println!(
                     "congestion: overflow {} -> {} ({} nets rerouted)",
                     report.before.total_overflow(),
@@ -90,7 +117,7 @@ fn run(args: &[String]) -> Result<(), String> {
                 );
                 report.routing
             } else {
-                router.route_all()
+                session.route_all()
             };
             println!("{routing}");
             for route in &routing.routes {
@@ -99,7 +126,7 @@ fn run(args: &[String]) -> Result<(), String> {
             for (id, err) in &routing.failures {
                 println!("  FAILED {id}: {err}");
             }
-            let plane = layout.to_plane();
+            let plane = session.layout().to_plane();
             let detail = route_details(&plane, &routing);
             println!(
                 "detail: {} channels, {} tracks (widest {}), {} vias",
@@ -108,18 +135,8 @@ fn run(args: &[String]) -> Result<(), String> {
                 detail.max_tracks(),
                 detail.total_vias()
             );
-            if let Some(scale) = value_of("--render") {
-                let glyphs = "0123456789abcdefghijklmnopqrstuvwxyz";
-                let pairs: Vec<(char, &Polyline)> = routing
-                    .routes
-                    .iter()
-                    .enumerate()
-                    .flat_map(|(i, r)| {
-                        let g = glyphs.chars().nth(i % glyphs.len()).unwrap_or('*');
-                        r.connections.iter().map(move |c| (g, &c.polyline))
-                    })
-                    .collect();
-                println!("\n{}", render::render(&layout, &pairs, scale.max(1)));
+            if let Some(scale) = int_of("--render") {
+                render_routes(session.layout(), &routing, scale);
             }
             if routing.failures.is_empty() {
                 Ok(())
@@ -127,8 +144,109 @@ fn run(args: &[String]) -> Result<(), String> {
                 Err(format!("{} net(s) failed to route", routing.failures.len()))
             }
         }
+        "eco" => {
+            let layout = load(path)?;
+            layout.validate().map_err(|e| e.to_string())?;
+            let eco_path = positionals
+                .get(2)
+                .ok_or("missing .eco change-list argument")?;
+            let text = std::fs::read_to_string(eco_path.as_str())
+                .map_err(|e| format!("{eco_path}: {e}"))?;
+            let ops = parse_eco(&text).map_err(|e| format!("{eco_path}: {e}"))?;
+            let mut session = build_session(layout, args)?;
+            let baseline = session.route_all();
+            println!("baseline: {baseline}");
+            let report = apply_eco(&mut session, &ops).map_err(|e| e.to_string())?;
+            for step in &report.steps {
+                match &step.reroute {
+                    Some(r) => println!(
+                        "  {:<28} rerouted {}/{} ({} failed)",
+                        step.op, r.rerouted, r.attempted, r.failed
+                    ),
+                    None => println!("  {:<28} dirty: {}", step.op, step.dirty_after),
+                }
+            }
+            println!(
+                "eco: {} rerouted, {} failed across {} step(s)",
+                report.rerouted,
+                report.failed,
+                report.steps.len()
+            );
+            let routing = session.routing();
+            println!("{routing}");
+            if let Some(scale) = int_of("--render") {
+                render_routes(session.layout(), &routing, scale);
+            }
+            session.layout().validate().map_err(|e| e.to_string())?;
+            // The exit status reflects the final committed state: a net
+            // that failed at an early flush but routed later is fine.
+            if routing.failures.is_empty() {
+                Ok(())
+            } else {
+                Err(format!(
+                    "{} net(s) unrouted after the change list",
+                    routing.failures.len()
+                ))
+            }
+        }
         other => Err(format!("unknown command {other:?}; try gcrt help")),
     }
+}
+
+/// Builds the routing session the flags describe: engine, spatial index,
+/// schedule and cost configuration.
+fn build_session(
+    layout: Layout,
+    args: &[String],
+) -> Result<RoutingSession<Box<dyn RoutingEngine>>, String> {
+    let flag = |name: &str| args.iter().any(|a| a == name);
+    let engine_name = match args.iter().position(|a| a == "--engine") {
+        Some(i) => args.get(i + 1).map(String::as_str).ok_or_else(|| {
+            "--engine requires a value (gridless, grid, lee-moore or hightower)".to_string()
+        })?,
+        None => "gridless",
+    };
+    let engine: Box<dyn RoutingEngine> = match engine_name {
+        "gridless" => Box::new(GridlessEngine),
+        "grid" => Box::new(GridEngine::default()),
+        "lee-moore" => Box::new(GridEngine::lee_moore()),
+        "hightower" => Box::new(HightowerEngine::default()),
+        other => {
+            return Err(format!(
+                "unknown engine {other:?}; expected gridless, grid, lee-moore or hightower"
+            ))
+        }
+    };
+    let mut config = RouterConfig::default();
+    if flag("--no-epsilon") {
+        config.corner_penalty(false);
+    }
+    let mut builder = RoutingSession::builder(layout)
+        .config(config)
+        .engine(engine)
+        .index(if flag("--sharded") {
+            PlaneIndexKind::Sharded
+        } else {
+            PlaneIndexKind::Flat
+        });
+    if flag("--serial") {
+        builder = builder.serial();
+    }
+    Ok(builder.build())
+}
+
+fn render_routes(layout: &Layout, routing: &GlobalRouting, scale: i64) {
+    let glyphs = "0123456789abcdefghijklmnopqrstuvwxyz";
+    let pairs: Vec<(char, &Polyline)> = routing
+        .routes
+        .iter()
+        .enumerate()
+        .flat_map(|(i, r)| {
+            let g = glyphs.chars().nth(i % glyphs.len()).unwrap_or('*');
+            r.connections.iter().map(move |c| (g, &c.polyline))
+        })
+        .collect();
+    println!("\n{}", render::render(layout, &pairs, scale.max(1)));
 }
 
 fn load(path: Option<&String>) -> Result<Layout, String> {

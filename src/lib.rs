@@ -13,9 +13,11 @@
 //! * [`router`] — **the paper's contribution**: the gridless A\* global
 //!   router with cell hugging, Steiner-tree growth, the inverted-corner ε
 //!   and two-pass congestion routing — plus the
-//!   [`RoutingEngine`](router::RoutingEngine) trait and the parallel
-//!   [`BatchRouter`](router::BatchRouter) pipeline that drive **every**
-//!   backend below through one contract,
+//!   [`RoutingEngine`](router::RoutingEngine) trait, the parallel
+//!   [`BatchRouter`](router::BatchRouter) pipeline, and the owned,
+//!   incremental [`RoutingSession`](router::RoutingSession) (rip-up &
+//!   reroute, ECO change lists) that drive **every** backend below
+//!   through one contract,
 //! * [`grid`] — the Lee–Moore baseline (and grid A\*), the special case,
 //! * [`hightower`] — the incomplete line-probe baseline,
 //! * [`steiner`] — rectilinear Steiner references (MST, 1-Steiner, exact),
@@ -27,18 +29,21 @@
 //! See `ARCHITECTURE.md` for the crate DAG, the engine contract and the
 //! parallel-batch invariants.
 //!
-//! # Quickstart
+//! # Quickstart: a routing session
+//!
+//! [`RoutingSession`](router::RoutingSession) is the primary entry
+//! point: it **owns** the layout, keeps the plane index, query caches
+//! and search arenas warm across calls, and supports incremental
+//! rip-up-and-reroute on top of one-shot routing:
 //!
 //! ```
 //! use gcr::prelude::*;
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
-//! // A 100×100 die with two macro cells.
+//! // A 100×100 die with two macro cells and one net between facing pins.
 //! let mut layout = Layout::new(Rect::new(0, 0, 100, 100)?);
 //! let alu = layout.add_cell("alu", Rect::new(10, 20, 40, 80)?)?;
 //! let rom = layout.add_cell("rom", Rect::new(55, 20, 90, 80)?)?;
-//!
-//! // One net between facing pins.
 //! let net = layout.add_net("bus0");
 //! let a = layout.add_terminal(net, "alu_out");
 //! layout.add_pin(a, Pin::on_cell(alu, Point::new(40, 50)))?;
@@ -46,19 +51,33 @@
 //! layout.add_pin(b, Pin::on_cell(rom, Point::new(55, 50)))?;
 //! layout.validate()?;
 //!
-//! // Route it.
-//! let router = GlobalRouter::new(&layout, RouterConfig::default());
-//! let route = router.route_net(net)?;
+//! // Build a session (engine, spatial index and schedule are pluggable)
+//! // and route. Routes commit into the session as its occupancy.
+//! let mut session = RoutingSession::builder(layout)
+//!     .config(RouterConfig::default())
+//!     .index(PlaneIndexKind::Sharded)
+//!     .build();
+//! let route = session.route_net(net)?;
 //! assert_eq!(route.wire_length(), 15);
+//!
+//! // An ECO: a blockage lands on the routed wire. The session marks
+//! // exactly the affected nets dirty and re-routes only those, against
+//! // the still-warm caches.
+//! session.add_obstacle("blk", Rect::new(44, 45, 51, 55)?)?;
+//! assert_eq!(session.dirty_nets(), vec![net]);
+//! let outcome = session.reroute_dirty();
+//! assert_eq!(outcome.rerouted, 1);
+//! assert!(session.route(net).unwrap().wire_length() > 15);
 //! # Ok(())
 //! # }
 //! ```
 //!
 //! # Batch routing through any engine
 //!
-//! Whole layouts route through [`BatchRouter`](router::BatchRouter) —
-//! in parallel by default, with output byte-identical to a serial run —
-//! and the backend is pluggable:
+//! One-shot workloads can borrow a layout through
+//! [`BatchRouter`](router::BatchRouter) — the same driver core as the
+//! session, in parallel by default, with output byte-identical to a
+//! serial run — and the backend is pluggable in both APIs:
 //!
 //! ```
 //! use gcr::prelude::*;
@@ -76,6 +95,11 @@
 //! let baseline =
 //!     BatchRouter::new(&layout, RouterConfig::default(), GridEngine::lee_moore()).route_all();
 //! assert_eq!(baseline.wire_length(), routing.wire_length());
+//!
+//! // The session form of the same choice: an owned, boxed engine.
+//! let session = RoutingSession::builder(layout)
+//!     .engine(Box::new(GridEngine::lee_moore()) as Box<dyn RoutingEngine>);
+//! # let _ = session;
 //! # Ok(())
 //! # }
 //! ```
@@ -97,8 +121,9 @@ pub use gcr_workload as workload;
 pub mod prelude {
     pub use gcr_core::{
         route_two_points, BatchConfig, BatchRouter, EngineCaps, GlobalRouter, GlobalRouting,
-        GridEngine, GridlessEngine, HightowerEngine, NetRoute, PlaneIndexKind, RouteError,
-        RouteTree, RoutedPath, RouterConfig, RoutingEngine, SearchScratch,
+        GridEngine, GridlessEngine, HightowerEngine, NetRoute, PlaneIndexKind, RerouteOutcome,
+        RouteError, RouteTree, RoutedPath, RouterConfig, RoutingEngine, RoutingSession,
+        SearchScratch, SessionBuilder,
     };
     pub use gcr_geom::{
         Axis, Coord, Dir, Interval, Plane, PlaneIndex, Point, Polyline, Rect, Segment, ShardedPlane,

@@ -1,0 +1,330 @@
+//! The differential harness guarding [`RoutingSession`]: the owned,
+//! incremental API must be **byte-identical** to the one-shot
+//! [`BatchRouter`] over the same geometry — same polylines, same costs,
+//! same statistics, same failure lists — for every engine, both plane
+//! indexes, serially and in parallel; and its incremental paths (net-by-
+//! net routing, rip-up + reroute, mutation + reroute_dirty) must commit
+//! exactly what a cold route of the same state computes.
+//!
+//! The sweeps reuse the seeded-loop style of `tests/plane_equivalence.rs`
+//! (`gcr::workload` instances are fully determined by their arguments),
+//! so any failure reproduces from its case number alone.
+
+use gcr::prelude::*;
+use gcr::router::congestion::CongestionAnalysis;
+use gcr::router::{apply_eco, parse_eco};
+use gcr::workload::scaling_instance;
+
+fn assert_routing_identical(reference: &GlobalRouting, other: &GlobalRouting, what: &str) {
+    assert_eq!(
+        reference.routes.len(),
+        other.routes.len(),
+        "{what}: route count"
+    );
+    for (a, b) in reference.routes.iter().zip(&other.routes) {
+        assert_eq!(a.net, b.net, "{what}");
+        assert_eq!(a.id, b.id, "{what}");
+        assert_eq!(a.stats, b.stats, "{what}: net {}", a.net);
+        assert_eq!(a.tree.points(), b.tree.points(), "{what}: net {}", a.net);
+        assert_eq!(
+            a.tree.segments(),
+            b.tree.segments(),
+            "{what}: net {}",
+            a.net
+        );
+        assert_eq!(
+            a.connections.len(),
+            b.connections.len(),
+            "{what}: net {}",
+            a.net
+        );
+        for (ca, cb) in a.connections.iter().zip(&b.connections) {
+            assert_eq!(ca.polyline, cb.polyline, "{what}: net {}", a.net);
+            assert_eq!(ca.cost, cb.cost, "{what}: net {}", a.net);
+            assert_eq!(ca.stats, cb.stats, "{what}: net {}", a.net);
+        }
+    }
+    // Failure *sets* must agree; the batch two-pass appends reroute
+    // failures out of net-id order, so compare order-independently.
+    let sorted = |r: &GlobalRouting| {
+        let mut f: Vec<(NetId, String)> = r
+            .failures
+            .iter()
+            .map(|(id, e)| (*id, e.to_string()))
+            .collect();
+        f.sort();
+        f
+    };
+    assert_eq!(sorted(reference), sorted(other), "{what}: failures");
+}
+
+fn session_for<E: RoutingEngine + Clone>(
+    layout: &Layout,
+    engine: &E,
+    batch: BatchConfig,
+) -> RoutingSession<E> {
+    RoutingSession::builder(layout.clone())
+        .config(RouterConfig::default())
+        .engine(engine.clone())
+        .batch(batch)
+        .build()
+}
+
+/// Session `route_all` ≡ batch `route_all`, across engines × indexes ×
+/// schedules; and routing net-by-net through the session commits the
+/// same state as `route_all`.
+fn sweep_engine<E: RoutingEngine + Clone>(engine: E, name: &str, cases: u64) {
+    for case in 0..cases {
+        let layout = scaling_instance(2, 2, 5, 2, case);
+        let reference = BatchRouter::new(&layout, RouterConfig::default(), engine.clone())
+            .with_batch(BatchConfig::serial())
+            .route_all();
+        for (batch, label) in [
+            (BatchConfig::serial(), "flat-serial"),
+            (
+                BatchConfig::serial().with_index(PlaneIndexKind::Sharded),
+                "sharded-serial",
+            ),
+            (BatchConfig::default(), "flat-parallel"),
+            (BatchConfig::sharded(), "sharded-parallel"),
+        ] {
+            let mut session = session_for(&layout, &engine, batch);
+            let routed = session.route_all();
+            assert_routing_identical(
+                &reference,
+                &routed,
+                &format!("{name}/{label}/case {case}: session vs batch"),
+            );
+            // Incremental commit path: rip everything up, route one net
+            // at a time through the single-net entry point, and compare
+            // the committed state again.
+            for id in session.layout().net_ids() {
+                session.rip_up(id);
+            }
+            for id in session.layout().net_ids() {
+                let _ = session.route_net(id);
+            }
+            assert_routing_identical(
+                &reference,
+                &session.routing(),
+                &format!("{name}/{label}/case {case}: net-by-net"),
+            );
+        }
+    }
+}
+
+#[test]
+fn gridless_session_equals_batch_everywhere() {
+    sweep_engine(GridlessEngine, "gridless", 8);
+}
+
+#[test]
+fn grid_session_equals_batch_everywhere() {
+    sweep_engine(GridEngine::default(), "grid-astar", 5);
+}
+
+#[test]
+fn lee_moore_session_equals_batch() {
+    sweep_engine(GridEngine::lee_moore(), "lee-moore", 2);
+}
+
+#[test]
+fn hightower_session_equals_batch_everywhere() {
+    sweep_engine(HightowerEngine::default(), "hightower", 5);
+}
+
+/// route → rip_up → reroute must reproduce the fresh route
+/// byte-identically: warm arenas, warm caches and committed neighbours
+/// may not influence a net's result.
+#[test]
+fn rip_up_reroute_is_deterministic() {
+    for case in 0..6u64 {
+        let layout = scaling_instance(2, 2, 6, 2, case);
+        for batch in [BatchConfig::serial(), BatchConfig::sharded()] {
+            let mut session = session_for(&layout, &GridlessEngine, batch);
+            let fresh = session.route_all();
+            // Rip up every other net, then every net, rerouting between.
+            let ids = session.layout().net_ids();
+            for id in ids.iter().step_by(2) {
+                assert_eq!(session.rip_up(*id), fresh.route_for(*id).is_some());
+            }
+            session.reroute_dirty();
+            assert_routing_identical(
+                &fresh,
+                &session.routing(),
+                &format!("case {case}: partial rip-up"),
+            );
+            for id in &ids {
+                session.rip_up(*id);
+            }
+            let outcome = session.reroute_dirty();
+            assert_eq!(outcome.attempted, ids.len(), "case {case}");
+            assert_routing_identical(
+                &fresh,
+                &session.routing(),
+                &format!("case {case}: full rip-up"),
+            );
+        }
+    }
+}
+
+fn assert_analysis_identical(a: &CongestionAnalysis, b: &CongestionAnalysis, what: &str) {
+    assert_eq!(a.passages, b.passages, "{what}: passages");
+    assert_eq!(a.users, b.users, "{what}: users");
+    assert_eq!(a.pitch, b.pitch, "{what}: pitch");
+}
+
+/// `route_two_pass` rebuilt on the session primitives must reproduce the
+/// batch pipeline's report exactly.
+#[test]
+fn two_pass_report_matches_batch_pipeline() {
+    // Seeded sweep over both plane indexes …
+    for case in 0..4u64 {
+        let layout = scaling_instance(2, 2, 8, 2, case);
+        let mut config = RouterConfig::default();
+        config.wire_pitch(4).congestion_weight(5);
+        for (batch, label) in [
+            (BatchConfig::serial(), "flat"),
+            (BatchConfig::sharded(), "sharded"),
+        ] {
+            let reference = BatchRouter::gridless(&layout, config.clone())
+                .with_batch(batch)
+                .route_two_pass();
+            let mut session = RoutingSession::builder(layout.clone())
+                .config(config.clone())
+                .batch(batch)
+                .build();
+            let report = session.route_two_pass();
+            let what = format!("{label}/case {case}");
+            assert_eq!(report.rerouted, reference.rerouted, "{what}");
+            assert_analysis_identical(&report.before, &reference.before, &what);
+            assert_analysis_identical(&report.after, &reference.after, &what);
+            assert_routing_identical(&reference.routing, &report.routing, &what);
+        }
+    }
+    // … plus the canonical congested-alley scenario.
+    let mut layout = Layout::new(Rect::new(0, 0, 200, 120).unwrap());
+    layout
+        .add_cell("a", Rect::new(40, 20, 95, 100).unwrap())
+        .unwrap();
+    layout
+        .add_cell("b", Rect::new(105, 20, 160, 100).unwrap())
+        .unwrap();
+    for i in 0..4i64 {
+        let x = 96 + i * 2;
+        layout.add_two_pin_net(format!("n{i}"), Point::new(x, 0), Point::new(x, 110));
+    }
+    let mut config = RouterConfig::default();
+    config.wire_pitch(5).congestion_weight(6);
+    let reference = BatchRouter::gridless(&layout, config.clone()).route_two_pass();
+    assert!(
+        reference.before.total_overflow() > 0,
+        "scenario must congest"
+    );
+    assert!(reference.rerouted > 0);
+    let mut session = RoutingSession::builder(layout)
+        .config(config)
+        .index(PlaneIndexKind::Sharded)
+        .build();
+    let report = session.route_two_pass();
+    assert_eq!(report.rerouted, reference.rerouted);
+    assert_eq!(
+        report.after.total_overflow(),
+        reference.after.total_overflow()
+    );
+    assert_routing_identical(&reference.routing, &report.routing, "alley");
+}
+
+/// After a mutation + `reroute_dirty`, every re-routed net must be
+/// byte-identical to what a **fresh** session over the mutated layout
+/// computes, and every committed route (refreshed or not) must be legal
+/// wire on the mutated plane.
+#[test]
+fn mutations_converge_to_the_fresh_route() {
+    for case in 0..4u64 {
+        let layout = scaling_instance(2, 2, 6, 1, case);
+        let cell = layout
+            .cell_by_name("m0_0")
+            .expect("scaling instances name their macros m<r>_<c>");
+        for batch in [BatchConfig::serial(), BatchConfig::sharded()] {
+            let mut session = session_for(&layout, &GridlessEngine, batch);
+            session.route_all();
+            // An ECO: nudge a macro, drop a blockage, add a net.
+            session.move_cell(cell, 3, 2).unwrap();
+            session
+                .add_obstacle("eco_blk", Rect::new(2, 2, 6, 6).unwrap())
+                .unwrap();
+            let added = session.add_two_pin_net(
+                "eco_net",
+                Point::new(0, 0),
+                Point::new(0, session.layout().bounds().ymax()),
+            );
+            let dirty = session.dirty_nets();
+            assert!(dirty.contains(&added));
+            session.reroute_dirty();
+            assert!(session.dirty_nets().is_empty(), "case {case}");
+
+            let fresh = session_for(session.layout(), &GridlessEngine, batch).route_all();
+            for id in session.layout().net_ids() {
+                let mine = session.route(id);
+                let theirs = fresh.route_for(id);
+                assert_eq!(mine.is_some(), theirs.is_some(), "case {case} {id}");
+                let (Some(mine), Some(theirs)) = (mine, theirs) else {
+                    continue;
+                };
+                // Every committed route is legal on the mutated plane.
+                assert!(
+                    mine.tree
+                        .segments()
+                        .iter()
+                        .all(|s| session.plane().segment_free(s.a(), s.b())),
+                    "case {case} {id}: stale illegal wire"
+                );
+                if dirty.contains(&id) {
+                    // Re-routed nets match the fresh computation exactly.
+                    assert_eq!(
+                        mine.tree.segments(),
+                        theirs.tree.segments(),
+                        "case {case} {id}"
+                    );
+                    assert_eq!(mine.stats, theirs.stats, "case {case} {id}");
+                }
+            }
+        }
+    }
+}
+
+/// The shipped demo change list replays cleanly against the demo layout
+/// and converges to the fresh route of the mutated design.
+#[test]
+fn demo_eco_fixture_replays_cleanly() {
+    let text = std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/fixtures/demo.gcl"))
+        .expect("demo fixture");
+    let layout = gcr::layout::format::parse(&text).expect("demo parses");
+    let eco_text =
+        std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/fixtures/demo.eco"))
+            .expect("eco fixture");
+    let ops = parse_eco(&eco_text).expect("eco parses");
+    assert!(ops.len() >= 4, "fixture exercises several op kinds");
+
+    let mut session = RoutingSession::builder(layout)
+        .index(PlaneIndexKind::Sharded)
+        .build();
+    session.route_all();
+    let report = apply_eco(&mut session, &ops).expect("replay");
+    assert_eq!(report.failed, 0);
+    assert!(report.rerouted > 0);
+    assert!(session.dirty_nets().is_empty());
+    session
+        .layout()
+        .validate()
+        .expect("mutated layout stays valid");
+
+    // Every net was touched by the list's flushes here, so the whole
+    // committed state equals a cold route of the mutated layout.
+    let fresh = RoutingSession::builder(session.layout().clone())
+        .index(PlaneIndexKind::Sharded)
+        .build()
+        .route_all();
+    assert_routing_identical(&fresh, &session.routing(), "demo eco");
+}
