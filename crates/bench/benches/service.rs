@@ -1,0 +1,197 @@
+//! Service-transport tracker: what does the wire cost on top of a warm
+//! in-process session?
+//!
+//! The daemon exists to keep sessions warm across requests, so the
+//! number that matters is **warm-reroute latency over loopback** versus
+//! the same operation in-process (the `BENCH_session.json` warm number).
+//! A warm served reroute is a single round trip — one `ECO` request
+//! whose body is `ripup <net>` + `reroute` — so the measured gap is the
+//! protocol + TCP cost, nothing else. The harness also measures `PING`
+//! round trips (protocol floor, requests/sec) and `STATS` (registry
+//! lookup + reply formatting).
+//!
+//! Before timing, the harness asserts the transport invariant on the
+//! acceptance instance: the served `DUMP` after the ECO sequence is
+//! byte-identical to the in-process session's dump. Every published
+//! number is a time for *the same answer*.
+//!
+//! Writes machine-readable `BENCH_service.json` at the repository root
+//! (CI publishes it next to `BENCH_session.json`), and enforces the
+//! acceptance bar: served warm-reroute latency within 2× of in-process
+//! on the 120-net instance (flat index).
+
+use std::time::Instant;
+
+use gcr_core::{BatchConfig, PlaneIndexKind, RouterConfig, RoutingSession};
+use gcr_layout::format;
+use gcr_service::{dump_routing, Client, EngineKind, Server, ServerConfig};
+use gcr_workload::scaling_instance;
+
+/// The acceptance instance: 120 nets on a 6×6 macro grid (the largest
+/// entry of the family every bench in this repo scales over).
+const SCALE: (&str, usize, usize, usize, usize) = ("6x6-120", 6, 6, 96, 24);
+
+const PING_SAMPLES: usize = 500;
+const REROUTE_SAMPLES: usize = 30;
+
+struct Measurement {
+    mean_ms: f64,
+    min_ms: f64,
+}
+
+fn stats(times: &[f64]) -> Measurement {
+    Measurement {
+        mean_ms: times.iter().sum::<f64>() / times.len() as f64 * 1e3,
+        min_ms: times.iter().copied().fold(f64::INFINITY, f64::min) * 1e3,
+    }
+}
+
+fn main() {
+    let (label, r, c, two_pin, multi) = SCALE;
+    let layout = scaling_instance(r, c, two_pin, multi, 0);
+    let nets = layout.nets().len();
+    let gcl = format::write(&layout);
+    let victim = layout
+        .nets()
+        .last()
+        .expect("instance has nets")
+        .name()
+        .to_string();
+    let warm_eco = format!("ripup {victim}\nreroute\n");
+
+    let server = Server::bind(&ServerConfig {
+        capacity: 4,
+        workers: 2,
+        ..ServerConfig::default()
+    })
+    .expect("bind loopback");
+    let addr = server.local_addr().expect("local addr");
+    let daemon = std::thread::spawn(move || server.run().expect("server run"));
+    let mut client = Client::connect(addr).expect("connect");
+
+    // Protocol floor: PING round trips over one keep-alive connection.
+    let mut ping_times = Vec::with_capacity(PING_SAMPLES);
+    for _ in 0..PING_SAMPLES {
+        let start = Instant::now();
+        client.ping().expect("ping");
+        ping_times.push(start.elapsed().as_secs_f64());
+    }
+    let ping = stats(&ping_times);
+    let rps = 1e3 / ping.mean_ms;
+    println!(
+        "service/ping                 mean {:9.4} ms  min {:9.4} ms  (~{rps:.0} req/s)",
+        ping.mean_ms, ping.min_ms
+    );
+
+    let mut rows = vec![format!(
+        concat!(
+            "    {{\"instance\": \"{}\", \"nets\": {}, \"index\": \"-\", ",
+            "\"mode\": \"ping\", \"mean_ms\": {:.4}, \"min_ms\": {:.4}, ",
+            "\"requests_per_sec\": {:.0}}}"
+        ),
+        label, nets, ping.mean_ms, ping.min_ms, rps
+    )];
+    let mut flat_ratio = None;
+
+    for (index, index_label) in [
+        (PlaneIndexKind::Flat, "flat"),
+        (PlaneIndexKind::Sharded, "sharded"),
+    ] {
+        // Served session: open + cold full route.
+        let (sid, _) = client
+            .open(EngineKind::Gridless, index, &gcl)
+            .expect("open");
+        client.route(sid, false).expect("cold route");
+
+        // In-process twin, same schedule the daemon uses.
+        let mut local = RoutingSession::builder(layout.clone())
+            .config(RouterConfig::default())
+            .batch(BatchConfig::default().with_index(index))
+            .build();
+        local.route_all();
+
+        // Transport invariant: one warm ECO on each side, identical dumps.
+        client.eco(sid, &warm_eco).expect("warm eco");
+        let victim_id = local.layout().net_by_name(&victim).expect("victim");
+        local.rip_up(victim_id);
+        local.reroute_dirty();
+        let served = client.dump(sid).expect("dump").body;
+        assert_eq!(
+            served,
+            dump_routing(&local.routing()),
+            "{index_label}: served dump must be byte-identical to in-process"
+        );
+
+        // Served warm reroute: ONE round trip per sample.
+        let mut served_times = Vec::with_capacity(REROUTE_SAMPLES);
+        for _ in 0..REROUTE_SAMPLES {
+            let start = Instant::now();
+            let reply = client.eco(sid, &warm_eco).expect("warm eco");
+            served_times.push(start.elapsed().as_secs_f64());
+            assert_eq!(reply.int_field("rerouted"), Some(1), "{index_label}");
+        }
+        let served_m = stats(&served_times);
+
+        // In-process warm reroute (the BENCH_session measurement).
+        let mut local_times = Vec::with_capacity(REROUTE_SAMPLES);
+        for _ in 0..REROUTE_SAMPLES {
+            local.rip_up(victim_id);
+            let start = Instant::now();
+            let outcome = local.reroute_dirty();
+            local_times.push(start.elapsed().as_secs_f64());
+            assert_eq!(outcome.rerouted, 1, "{index_label}");
+        }
+        let local_m = stats(&local_times);
+
+        let ratio = served_m.min_ms / local_m.min_ms;
+        if index == PlaneIndexKind::Flat {
+            flat_ratio = Some(ratio);
+        }
+        for (mode, m) in [
+            ("warm-reroute-served", &served_m),
+            ("warm-reroute-inproc", &local_m),
+        ] {
+            println!(
+                "service/{index_label}/{label:<10} {mode:<22} mean {:9.4} ms  min {:9.4} ms",
+                m.mean_ms, m.min_ms
+            );
+            rows.push(format!(
+                concat!(
+                    "    {{\"instance\": \"{}\", \"nets\": {}, \"index\": \"{}\", ",
+                    "\"mode\": \"{}\", \"mean_ms\": {:.4}, \"min_ms\": {:.4}}}"
+                ),
+                label, nets, index_label, mode, m.mean_ms, m.min_ms
+            ));
+        }
+        println!(
+            "service/{index_label}/{label:<10} wire overhead: served warm reroute is \
+             {ratio:.2}x the in-process one"
+        );
+        client.close_session(sid).expect("close");
+    }
+
+    client.shutdown().expect("shutdown");
+    daemon.join().expect("daemon thread");
+
+    let flat_ratio = flat_ratio.expect("flat index was measured");
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..");
+    let json = format!(
+        "{{\n  \"bench\": \"service-transport\",\n  \"unit\": \"ms\",\n  \
+         \"ping_samples\": {PING_SAMPLES},\n  \"reroute_samples\": {REROUTE_SAMPLES},\n  \
+         \"flat_served_over_inproc\": {flat_ratio:.3},\n  \"results\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    let path = root.join("BENCH_service.json");
+    std::fs::write(&path, &json).expect("write BENCH_service.json");
+    println!("wrote {}", path.display());
+
+    // Acceptance bar: warm served latency within 2x of in-process on the
+    // 120-net instance (flat). The min-over-samples comparison removes
+    // scheduler noise; the JSON records the full distribution.
+    assert!(
+        flat_ratio <= 2.0,
+        "served warm reroute must be within 2x of in-process (flat): got {flat_ratio:.2}x"
+    );
+}

@@ -74,6 +74,7 @@ pub struct SessionBuilder<E: RoutingEngine = GridlessEngine> {
     config: RouterConfig,
     batch: BatchConfig,
     engine: E,
+    precise_dirty: bool,
 }
 
 impl SessionBuilder<GridlessEngine> {
@@ -83,6 +84,7 @@ impl SessionBuilder<GridlessEngine> {
             config: RouterConfig::default(),
             batch: BatchConfig::default(),
             engine: GridlessEngine,
+            precise_dirty: false,
         }
     }
 }
@@ -104,7 +106,24 @@ impl<E: RoutingEngine> SessionBuilder<E> {
             config: self.config,
             batch: self.batch,
             engine,
+            precise_dirty: self.precise_dirty,
         }
+    }
+
+    /// Switches the mutation dirty test from the conservative
+    /// bounding-box-vs-route intersection to the exact
+    /// segment-vs-rectangle test ([`Segment::intersects_rect`]): a route
+    /// is marked dirty only when its committed wire (or a tree point)
+    /// actually touches the mutated cell's extent, not merely its
+    /// bounding box. Shrinks the reroute set on layouts whose routes
+    /// span wide bounding boxes; `BENCH_session.json` records the effect
+    /// (off by default until the measurement says it should flip).
+    ///
+    /// [`Segment::intersects_rect`]: gcr_geom::Segment::intersects_rect
+    #[must_use]
+    pub fn precise_dirty(mut self, on: bool) -> SessionBuilder<E> {
+        self.precise_dirty = on;
+        self
     }
 
     /// Selects the spatial index backing the session's plane.
@@ -153,6 +172,8 @@ impl<E: RoutingEngine> SessionBuilder<E> {
             plane,
             slots,
             pool: ScratchPool::default(),
+            precise_dirty: self.precise_dirty,
+            reroutes: 0,
         }
     }
 }
@@ -175,6 +196,9 @@ struct NetState {
     /// Set when a mutation invalidated (or never produced) this net's
     /// committed route; cleared by the commit of a routing attempt.
     dirty: bool,
+    /// How many routing attempts have been committed for this net over
+    /// the session's lifetime (feeds the cumulative reroute counter).
+    attempts: u64,
 }
 
 /// A pool of per-worker [`SearchScratch`] arenas owned by the session, so
@@ -227,6 +251,48 @@ pub struct RerouteOutcome {
     pub failed: usize,
 }
 
+/// A point-in-time summary of a session's committed state: per-net
+/// outcome counts, the committed wire, and the cumulative reroute
+/// counter. Cheap to assemble (one pass over the commit slots); the
+/// `STATS` reply of the `gcr-service` daemon and the `gcrt` report lines
+/// are both this struct.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Total nets in the layout.
+    pub nets: usize,
+    /// Nets with a committed route.
+    pub routed: usize,
+    /// Nets whose last committed attempt failed.
+    pub failed: usize,
+    /// Nets never attempted (or ripped up and not yet re-routed).
+    pub unrouted: usize,
+    /// Nets currently marked for re-routing.
+    pub dirty: usize,
+    /// Total wire length over all committed routes.
+    pub wire_length: i64,
+    /// Cumulative re-routes: committed routing attempts beyond each
+    /// net's first, over the session's lifetime (rip-up + reroute, ECO
+    /// flushes and two-pass reroutes all count).
+    pub reroutes: u64,
+}
+
+impl std::fmt::Display for SessionStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} net(s): {} routed, {} failed, {} unrouted ({} dirty); \
+             wire length {}; {} reroute(s)",
+            self.nets,
+            self.routed,
+            self.failed,
+            self.unrouted,
+            self.dirty,
+            self.wire_length,
+            self.reroutes
+        )
+    }
+}
+
 /// An owned, incremental routing session; see the [module docs](self)
 /// for the contract and an example.
 #[derive(Debug)]
@@ -238,6 +304,10 @@ pub struct RoutingSession<E: RoutingEngine = GridlessEngine> {
     plane: PlaneStore,
     slots: Vec<NetState>,
     pool: ScratchPool,
+    /// Dirty-test selection (see [`SessionBuilder::precise_dirty`]).
+    precise_dirty: bool,
+    /// Cumulative committed re-routes (see [`SessionStats::reroutes`]).
+    reroutes: u64,
 }
 
 impl RoutingSession<GridlessEngine> {
@@ -335,6 +405,32 @@ impl<E: RoutingEngine> RoutingSession<E> {
             .collect()
     }
 
+    /// Summarizes the committed state (one pass over the commit slots):
+    /// outcome counts, committed wire length, dirty set size and the
+    /// cumulative reroute counter.
+    #[must_use]
+    pub fn stats(&self) -> SessionStats {
+        let mut stats = SessionStats {
+            nets: self.slots.len(),
+            reroutes: self.reroutes,
+            ..SessionStats::default()
+        };
+        for state in &self.slots {
+            if state.dirty {
+                stats.dirty += 1;
+            }
+            match &state.slot {
+                NetSlot::Routed(r) => {
+                    stats.routed += 1;
+                    stats.wire_length += r.wire_length();
+                }
+                NetSlot::Failed(_) => stats.failed += 1,
+                NetSlot::Unrouted => stats.unrouted += 1,
+            }
+        }
+        stats
+    }
+
     /// Assembles the committed state as a [`GlobalRouting`] (routes and
     /// failures in stable net-id order; unrouted nets are absent).
     #[must_use]
@@ -395,6 +491,10 @@ impl<E: RoutingEngine> RoutingSession<E> {
             Err(e) => NetSlot::Failed(e),
         };
         state.dirty = false;
+        if state.attempts > 0 {
+            self.reroutes += 1;
+        }
+        state.attempts += 1;
     }
 
     /// Routes (or re-routes) one net now and commits the result as the
@@ -557,6 +657,7 @@ impl<E: RoutingEngine> RoutingSession<E> {
         self.slots.push(NetState {
             slot: NetSlot::Unrouted,
             dirty: true,
+            attempts: 0,
         });
         id
     }
@@ -660,16 +761,27 @@ impl<E: RoutingEngine> RoutingSession<E> {
         Ok(())
     }
 
-    /// Marks every committed route whose bounding box intersects `rect`
-    /// as dirty (the conservative bounding-box-vs-route test: a route
-    /// that does not even touch the rectangle cannot have been affected).
+    /// Marks every committed route that `rect` may have affected as
+    /// dirty. The default test is conservative — a route whose **bounding
+    /// box** intersects the rectangle is marked (a route that does not
+    /// even touch the rectangle cannot have been affected). With
+    /// [`SessionBuilder::precise_dirty`] the test is exact instead: only
+    /// routes whose committed wire (segments or tree points) actually
+    /// touches `rect` are marked, so L-shaped detours with large empty
+    /// bounding boxes stop dragging unaffected nets into the reroute set.
     fn dirty_routes_touching(&mut self, rect: Rect) {
+        let precise = self.precise_dirty;
         for state in &mut self.slots {
             if state.dirty {
                 continue;
             }
             if let NetSlot::Routed(route) = &state.slot {
-                if route_bounding_box(route).is_some_and(|bb| bb.intersect(&rect).is_some()) {
+                let touched = if precise {
+                    route_touches_rect(route, &rect)
+                } else {
+                    route_bounding_box(route).is_some_and(|bb| bb.intersect(&rect).is_some())
+                };
+                if touched {
                     state.dirty = true;
                 }
             }
@@ -691,6 +803,17 @@ fn route_bounding_box(route: &NetRoute) -> Option<Rect> {
     let points = tree.points().iter().copied();
     let ends = tree.segments().iter().flat_map(|s| [s.a(), s.b()]);
     Rect::bounding(points.chain(ends))
+}
+
+/// Exact occupancy-vs-rectangle test: does any committed wire segment —
+/// or any tree point (a pin of a multi-pin terminal need not lie on a
+/// segment) — touch the closed rectangle? Touching counts: a hugging
+/// route is re-checked rather than silently trusted, which keeps the
+/// precise test conservative in the only direction that matters.
+fn route_touches_rect(route: &NetRoute, rect: &Rect) -> bool {
+    let tree = &route.tree;
+    tree.segments().iter().any(|s| s.intersects_rect(rect))
+        || tree.points().iter().any(|p| rect.contains(*p))
 }
 
 #[cfg(test)]
@@ -852,6 +975,142 @@ mod tests {
         let outcome = session.reroute_dirty();
         assert_eq!(outcome.rerouted, 1);
         assert!(session.route(net).is_some());
+    }
+
+    #[test]
+    fn stats_track_the_session_lifecycle() {
+        let mut session = RoutingSession::gridless(two_net_layout(), RouterConfig::default());
+        assert_eq!(
+            session.stats(),
+            SessionStats {
+                nets: 2,
+                unrouted: 2,
+                ..SessionStats::default()
+            }
+        );
+        let routing = session.route_all();
+        let stats = session.stats();
+        assert_eq!(stats.routed, 2);
+        assert_eq!(stats.unrouted, 0);
+        assert_eq!(stats.wire_length, routing.wire_length());
+        assert_eq!(stats.reroutes, 0, "first attempts are not reroutes");
+        // Rip up + reroute: one cumulative reroute, same wire.
+        let mid = session.layout().net_by_name("mid").unwrap();
+        session.rip_up(mid);
+        assert_eq!(session.stats().unrouted, 1);
+        assert_eq!(session.stats().dirty, 1);
+        session.reroute_dirty();
+        let stats = session.stats();
+        assert_eq!((stats.routed, stats.dirty, stats.reroutes), (2, 0, 1));
+        assert_eq!(stats.wire_length, routing.wire_length());
+        // A failing attempt counts as a commit too.
+        let lonely = session.add_net("lonely");
+        let _ = session.route_net(lonely);
+        let stats = session.stats();
+        assert_eq!((stats.nets, stats.failed, stats.reroutes), (3, 1, 1));
+        let _ = session.route_net(lonely);
+        assert_eq!(
+            session.stats().reroutes,
+            2,
+            "second failed attempt is a reroute"
+        );
+        let text = stats.to_string();
+        assert!(text.contains("1 failed"), "{text}");
+    }
+
+    #[test]
+    fn precise_dirty_marks_a_subset_of_bbox_dirty() {
+        // The mid net detours around the block: its bounding box covers
+        // the whole corridor, but its wire hugs the south face. A small
+        // obstacle inside the bbox-but-off-the-wire region must dirty the
+        // net under the bbox test and NOT under the precise test.
+        let build = |precise: bool| {
+            let mut s = RoutingSession::builder(two_net_layout())
+                .config(RouterConfig::default())
+                .precise_dirty(precise)
+                .build();
+            s.route_all();
+            s
+        };
+        let mut bbox = build(false);
+        let mut precise = build(true);
+        for (a, b) in bbox.routing().routes.iter().zip(&precise.routing().routes) {
+            assert_eq!(
+                a.tree.segments(),
+                b.tree.segments(),
+                "flag changes no routes"
+            );
+        }
+        let mid = bbox.layout().net_by_name("mid").unwrap();
+        let wire = bbox.route(mid).unwrap().tree.segments().to_vec();
+        // Find a 2x2 probe inside the route's bounding box that no wire
+        // segment touches (inflated by 1 so "touching" misses too).
+        let bb = route_bounding_box(bbox.route(mid).unwrap()).unwrap();
+        let probe = (bb.ymin()..bb.ymax())
+            .flat_map(|y| (bb.xmin()..bb.xmax()).map(move |x| (x, y)))
+            .filter_map(|(x, y)| Rect::new(x, y, x + 2, y + 2).ok())
+            .find(|r| {
+                let grown = r.inflate(1).unwrap();
+                !wire.iter().any(|s| s.intersects_rect(&grown))
+            })
+            .expect("detour bbox has wire-free space");
+        bbox.add_obstacle("probe", probe).unwrap();
+        precise.add_obstacle("probe", probe).unwrap();
+        let bbox_dirty = bbox.dirty_nets();
+        let precise_dirty = precise.dirty_nets();
+        assert!(
+            precise_dirty.iter().all(|id| bbox_dirty.contains(id)),
+            "precise set must be a subset of the bbox set"
+        );
+        assert!(bbox_dirty.contains(&mid), "bbox test trips on the probe");
+        assert!(
+            !precise_dirty.contains(&mid),
+            "wire never touches the probe, so the precise test skips it"
+        );
+        // Both modes converge to legal, equal-length committed state.
+        bbox.reroute_dirty();
+        precise.reroute_dirty();
+        assert_eq!(
+            bbox.routing().wire_length(),
+            precise.routing().wire_length(),
+            "equal-cost outcomes either way"
+        );
+        for route in &precise.routing().routes {
+            for conn in &route.connections {
+                assert!(
+                    precise.plane().polyline_free(&conn.polyline),
+                    "committed wire stays legal under precise tracking"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn precise_dirty_still_catches_wire_hits() {
+        // An obstacle dropped ON the wire must dirty the net in both
+        // modes, and both reroutes must equal the fresh route.
+        let mut precise = RoutingSession::builder(two_net_layout())
+            .config(RouterConfig::default())
+            .precise_dirty(true)
+            .build();
+        precise.route_all();
+        let mid = precise.layout().net_by_name("mid").unwrap();
+        let hit = *precise
+            .route(mid)
+            .unwrap()
+            .tree
+            .segments()
+            .iter()
+            .max_by_key(|s| s.len())
+            .unwrap();
+        let m = hit.closest_point_to(hit.bounding_rect().center());
+        let rect = Rect::new(m.x, m.y, m.x + 1, m.y + 1).unwrap();
+        precise.add_obstacle("blk", rect).unwrap();
+        assert!(precise.dirty_nets().contains(&mid));
+        precise.reroute_dirty();
+        let fresh =
+            RoutingSession::gridless(precise.layout().clone(), RouterConfig::default()).route_all();
+        assert_eq!(precise.routing().wire_length(), fresh.wire_length());
     }
 
     #[test]

@@ -68,6 +68,6 @@ pub use engine::{
     SearchArena, SearchLimits, SearchOutcome,
 };
 pub use fnv::{FnvBuildHasher, FnvHashMap, FnvHasher};
-pub use parallel::{default_threads, parallel_map, parallel_map_with};
+pub use parallel::{default_threads, effective_threads, parallel_map, parallel_map_with};
 pub use space::{SearchSpace, ZeroHeuristic};
 pub use stats::SearchStats;

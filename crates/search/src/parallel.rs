@@ -25,6 +25,30 @@ pub fn default_threads(items: usize) -> usize {
     hw.min(items).max(1)
 }
 
+/// The `GCR_THREADS` environment override, if set and parseable
+/// (clamped to at least 1). Unset, empty or malformed values mean "no
+/// override".
+fn env_threads() -> Option<usize> {
+    let raw = std::env::var("GCR_THREADS").ok()?;
+    let trimmed = raw.trim();
+    if trimmed.is_empty() {
+        return None;
+    }
+    trimmed.parse::<usize>().ok().map(|n| n.max(1))
+}
+
+/// The worker count [`parallel_map`] / [`parallel_map_with`] will
+/// actually use for a request of `requested` threads: the `GCR_THREADS`
+/// environment variable, when set, overrides the request (clamped ≥ 1),
+/// so a deployed daemon's per-request parallelism is controllable
+/// without a rebuild and tests can pin determinism-under-threads.
+/// Because results are schedule-independent, the override is
+/// output-invisible by contract.
+#[must_use]
+pub fn effective_threads(requested: usize) -> usize {
+    env_threads().unwrap_or(requested).max(1)
+}
+
 /// Maps `f` over `items` on `threads` workers, returning results in input
 /// order. `f` must be pure per item for the output to be schedule
 /// independent (it receives the item index for seeding / labelling).
@@ -69,7 +93,7 @@ where
     I: Fn() -> W + Sync,
     F: Fn(&mut W, usize, &T) -> U + Sync,
 {
-    let threads = threads.min(items.len()).max(1);
+    let threads = effective_threads(threads).min(items.len()).max(1);
     if threads <= 1 {
         let mut state = init();
         return items
@@ -145,27 +169,6 @@ mod tests {
     }
 
     #[test]
-    fn worker_state_survives_across_items() {
-        // The serial path must thread ONE state through the whole loop
-        // (that is the arena-reuse contract); outputs stay input-ordered.
-        let items: Vec<u64> = (0..50).collect();
-        let out = parallel_map_with(
-            &items,
-            1,
-            || 0u64,
-            |seen, _, &x| {
-                *seen += 1;
-                (x, *seen)
-            },
-        );
-        assert_eq!(out.len(), 50);
-        for (i, &(x, seen)) in out.iter().enumerate() {
-            assert_eq!(x, i as u64);
-            assert_eq!(seen, i as u64 + 1, "one state threads the serial loop");
-        }
-    }
-
-    #[test]
     fn with_and_without_state_agree() {
         let items: Vec<u64> = (0..257).collect();
         let pure = |x: u64| x.wrapping_mul(0x9e37_79b9).rotate_left(13);
@@ -184,5 +187,60 @@ mod tests {
         assert_eq!(default_threads(0), 1);
         assert_eq!(default_threads(1), 1);
         assert!(default_threads(10_000) >= 1);
+    }
+
+    #[test]
+    fn gcr_threads_env_override() {
+        // One test owns every env scenario: env vars are process-global,
+        // so scattering set_var calls across tests would race. Every
+        // other test in this binary asserts only the map's *output*
+        // (schedule-independent by contract) — any assertion that
+        // observes worker-state scheduling lives HERE, inside the
+        // env-controlled sections, never in a concurrently running test.
+        let items: Vec<u64> = (0..97).collect();
+        let f = |_: usize, &x: &u64| x.wrapping_mul(0x9e37_79b9).rotate_left(7);
+        std::env::remove_var("GCR_THREADS");
+        let baseline = parallel_map(&items, 1, f);
+        assert_eq!(effective_threads(4), 4, "no override: request wins");
+
+        // The serial path must thread ONE state through the whole loop
+        // (the arena-reuse contract); outputs stay input-ordered. This
+        // observes the schedule, so it runs with the override absent.
+        let counted = parallel_map_with(
+            &items,
+            1,
+            || 0u64,
+            |seen, _, &x| {
+                *seen += 1;
+                (x, *seen)
+            },
+        );
+        for (i, &(x, seen)) in counted.iter().enumerate() {
+            assert_eq!(x, i as u64);
+            assert_eq!(seen, i as u64 + 1, "one state threads the serial loop");
+        }
+
+        for (value, expect) in [("1", 1), ("3", 3), ("0", 1), ("  8 ", 8)] {
+            std::env::set_var("GCR_THREADS", value);
+            assert_eq!(effective_threads(4), expect, "GCR_THREADS={value:?}");
+            // Output is identical whatever the override pins (1 vs N).
+            assert_eq!(
+                parallel_map(&items, 6, f),
+                baseline,
+                "GCR_THREADS={value:?}"
+            );
+            let with_state = parallel_map_with(&items, 6, Vec::<u64>::new, |scratch, _, &x| {
+                scratch.push(x);
+                f(0, &x)
+            });
+            assert_eq!(with_state, baseline, "GCR_THREADS={value:?} (with state)");
+        }
+
+        // Malformed and empty values fall back to the request.
+        for junk in ["zebra", "", "-2", "1.5"] {
+            std::env::set_var("GCR_THREADS", junk);
+            assert_eq!(effective_threads(5), 5, "GCR_THREADS={junk:?}");
+        }
+        std::env::remove_var("GCR_THREADS");
     }
 }

@@ -1,0 +1,237 @@
+//! A blocking client for the `gcr-service` wire protocol.
+//!
+//! One [`Client`] wraps one keep-alive TCP connection; every method is a
+//! single request/reply exchange. The `gcrt client` subcommand, the
+//! loopback tests and the service bench all drive the daemon through
+//! this type, so the protocol has exactly one client-side encoder.
+
+use std::fmt;
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use gcr_core::PlaneIndexKind;
+
+use crate::proto::{read_response, write_request, EngineKind, Request, Response, WireError};
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The connection failed or died mid-exchange.
+    Io(io::Error),
+    /// The server answered with a typed `ERR` reply.
+    Server(WireError),
+    /// The server answered `OK` but the reply did not have the expected
+    /// shape (a protocol bug on one side).
+    Malformed(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o: {e}"),
+            ClientError::Server(e) => write!(f, "server: {e}"),
+            ClientError::Malformed(m) => write!(f, "malformed reply: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> ClientError {
+        ClientError::Io(e)
+    }
+}
+
+/// A successful reply: the status-line payload and the framed body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Reply {
+    /// The status line after `OK `.
+    pub head: String,
+    /// The body text (empty, or newline-terminated lines).
+    pub body: String,
+}
+
+impl Reply {
+    /// Looks up a `key value` line in the body (the shape every
+    /// structured reply uses) and returns the value part.
+    #[must_use]
+    pub fn field(&self, key: &str) -> Option<&str> {
+        self.body
+            .lines()
+            .find_map(|l| l.strip_prefix(key)?.strip_prefix(' ').map(str::trim))
+    }
+
+    /// [`Reply::field`] parsed as an integer.
+    #[must_use]
+    pub fn int_field(&self, key: &str) -> Option<i64> {
+        self.field(key)?.parse().ok()
+    }
+}
+
+/// One connection to a routing daemon.
+#[derive(Debug)]
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Client {
+    /// Connects (and disables Nagle: requests are tiny and
+    /// latency-bound).
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection errors.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let read_half = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(read_half),
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    /// One raw request/reply exchange.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors only; `ERR` replies come back as [`Response::Err`].
+    pub fn request(&mut self, request: &Request) -> io::Result<Response> {
+        write_request(&mut self.writer, request)?;
+        self.writer.flush()?;
+        read_response(&mut self.reader)
+    }
+
+    fn expect_ok(&mut self, request: &Request) -> Result<Reply, ClientError> {
+        match self.request(request)? {
+            Response::Ok { head, body } => Ok(Reply { head, body }),
+            Response::Err(e) => Err(ClientError::Server(e)),
+        }
+    }
+
+    /// `PING`.
+    ///
+    /// # Errors
+    ///
+    /// See [`ClientError`].
+    pub fn ping(&mut self) -> Result<Reply, ClientError> {
+        self.expect_ok(&Request::Ping)
+    }
+
+    /// `OPEN`: registers a session over an inline `.gcl` document and
+    /// returns `(sid, reply)`.
+    ///
+    /// # Errors
+    ///
+    /// See [`ClientError`].
+    pub fn open(
+        &mut self,
+        engine: EngineKind,
+        index: PlaneIndexKind,
+        gcl: &str,
+    ) -> Result<(u64, Reply), ClientError> {
+        let reply = self.expect_ok(&Request::Open {
+            engine,
+            index,
+            gcl: gcl.to_string(),
+        })?;
+        let sid = reply
+            .head
+            .split_whitespace()
+            .next()
+            .and_then(|t| t.parse::<u64>().ok())
+            .ok_or_else(|| ClientError::Malformed(format!("OPEN head {:?}", reply.head)))?;
+        Ok((sid, reply))
+    }
+
+    /// `ECO`: replays an inline `.eco` change list.
+    ///
+    /// # Errors
+    ///
+    /// See [`ClientError`].
+    pub fn eco(&mut self, sid: u64, eco: &str) -> Result<Reply, ClientError> {
+        self.expect_ok(&Request::Eco {
+            sid,
+            eco: eco.to_string(),
+        })
+    }
+
+    /// `ROUTE` (`full` forces a complete re-route on a warm session).
+    ///
+    /// # Errors
+    ///
+    /// See [`ClientError`].
+    pub fn route(&mut self, sid: u64, full: bool) -> Result<Reply, ClientError> {
+        self.expect_ok(&Request::Route { sid, full })
+    }
+
+    /// `RIPUP` of one net by name.
+    ///
+    /// # Errors
+    ///
+    /// See [`ClientError`].
+    pub fn rip_up(&mut self, sid: u64, net: &str) -> Result<Reply, ClientError> {
+        self.expect_ok(&Request::RipUp {
+            sid,
+            net: net.to_string(),
+        })
+    }
+
+    /// `STATS` for one session (`Some(sid)`) or the server (`None`).
+    ///
+    /// # Errors
+    ///
+    /// See [`ClientError`].
+    pub fn stats(&mut self, sid: Option<u64>) -> Result<Reply, ClientError> {
+        self.expect_ok(&Request::Stats { sid })
+    }
+
+    /// `DUMP`: the committed routes as the canonical polyline text.
+    ///
+    /// # Errors
+    ///
+    /// See [`ClientError`].
+    pub fn dump(&mut self, sid: u64) -> Result<Reply, ClientError> {
+        self.expect_ok(&Request::Dump { sid })
+    }
+
+    /// `CLOSE` a session.
+    ///
+    /// # Errors
+    ///
+    /// See [`ClientError`].
+    pub fn close_session(&mut self, sid: u64) -> Result<Reply, ClientError> {
+        self.expect_ok(&Request::Close { sid })
+    }
+
+    /// `SHUTDOWN`: asks the server to drain; the server closes this
+    /// connection after replying.
+    ///
+    /// # Errors
+    ///
+    /// See [`ClientError`].
+    pub fn shutdown(&mut self) -> Result<Reply, ClientError> {
+        self.expect_ok(&Request::Shutdown)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reply_fields_parse() {
+        let reply = Reply {
+            head: "stats".to_string(),
+            body: "nets 12\nwire-length 345\nengine gridless\n".to_string(),
+        };
+        assert_eq!(reply.field("engine"), Some("gridless"));
+        assert_eq!(reply.int_field("nets"), Some(12));
+        assert_eq!(reply.int_field("wire-length"), Some(345));
+        assert_eq!(reply.field("missing"), None);
+        // Prefix keys must not cross-match ("net" vs "nets").
+        assert_eq!(reply.field("net"), None);
+    }
+}

@@ -1,0 +1,812 @@
+//! The `gcr-service` wire protocol: line-oriented, text, std-only.
+//!
+//! The daemon speaks a telnet-able protocol in the spirit of SMTP: one
+//! request line, optionally followed by a **dot-framed body** (the body
+//! ends at a line containing a single `.`; body lines that start with a
+//! dot are escaped with one extra leading dot on the wire). The two body
+//! grammars are the repo's existing text formats — a layout is an inline
+//! `.gcl` document, a change list is an inline `.eco` document — so the
+//! protocol adds framing, not a new serialization.
+//!
+//! ```text
+//! OPEN <engine> <index>      # + .gcl body; engine: gridless|grid|lee-moore|hightower
+//! ECO <sid>                  # + .eco body; flushes like `gcrt eco`
+//! ROUTE <sid> [FULL]         # first/FULL: route everything; else: reroute the dirty set
+//! RIPUP <sid> <net>          # rip up one committed route (net becomes dirty)
+//! STATS [<sid>]              # session stats, or server stats without a sid
+//! DUMP <sid>                 # committed routes as polylines (diffable)
+//! CLOSE <sid>                # drop the session
+//! PING                       # liveness
+//! SHUTDOWN                   # drain and exit
+//! ```
+//!
+//! Every reply uses one uniform frame — a status line (`OK <head>` or
+//! `ERR <CODE> <message>`), zero or more dot-escaped body lines, and a
+//! terminating `.` line — so a client needs exactly one read loop.
+//! Requests and responses round-trip through their encoders
+//! byte-identically (`tests/service.rs` sweeps this with seeded random
+//! messages).
+
+use std::fmt;
+use std::io::{self, BufRead, Write};
+
+use gcr_core::{
+    GlobalRouting, GridEngine, GridlessEngine, HightowerEngine, PlaneIndexKind, RoutingEngine,
+    SessionStats,
+};
+
+/// The boxed engine type the service routes through: dynamic so `OPEN`
+/// picks the backend at runtime, `Send + Sync` so sessions can live
+/// behind the registry's locks and move across worker threads.
+pub type BoxedEngine = Box<dyn RoutingEngine + Send + Sync>;
+
+/// The routing backend a session is opened with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineKind {
+    /// The paper's gridless A\* engine.
+    Gridless,
+    /// Grid A\* (pitch-1 exact).
+    Grid,
+    /// The Lee–Moore wavefront baseline.
+    LeeMoore,
+    /// The Hightower line-probe baseline.
+    Hightower,
+}
+
+impl EngineKind {
+    /// Every engine, in a stable order (for sweeps and docs).
+    pub const ALL: [EngineKind; 4] = [
+        EngineKind::Gridless,
+        EngineKind::Grid,
+        EngineKind::LeeMoore,
+        EngineKind::Hightower,
+    ];
+
+    /// The wire token for this engine.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            EngineKind::Gridless => "gridless",
+            EngineKind::Grid => "grid",
+            EngineKind::LeeMoore => "lee-moore",
+            EngineKind::Hightower => "hightower",
+        }
+    }
+
+    /// Parses a wire token (the same names `gcrt route --engine` takes).
+    #[must_use]
+    pub fn parse(token: &str) -> Option<EngineKind> {
+        match token {
+            "gridless" => Some(EngineKind::Gridless),
+            "grid" => Some(EngineKind::Grid),
+            "lee-moore" => Some(EngineKind::LeeMoore),
+            "hightower" => Some(EngineKind::Hightower),
+            _ => None,
+        }
+    }
+
+    /// Boxes a fresh instance of the engine this token names.
+    #[must_use]
+    pub fn build(self) -> BoxedEngine {
+        match self {
+            EngineKind::Gridless => Box::new(GridlessEngine),
+            EngineKind::Grid => Box::new(GridEngine::default()),
+            EngineKind::LeeMoore => Box::new(GridEngine::lee_moore()),
+            EngineKind::Hightower => Box::new(HightowerEngine::default()),
+        }
+    }
+}
+
+impl fmt::Display for EngineKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The wire token for a plane-index selection.
+#[must_use]
+pub fn index_name(kind: PlaneIndexKind) -> &'static str {
+    match kind {
+        PlaneIndexKind::Flat => "flat",
+        PlaneIndexKind::Sharded => "sharded",
+    }
+}
+
+/// Parses a plane-index wire token.
+#[must_use]
+pub fn parse_index(token: &str) -> Option<PlaneIndexKind> {
+    match token {
+        "flat" => Some(PlaneIndexKind::Flat),
+        "sharded" => Some(PlaneIndexKind::Sharded),
+        _ => None,
+    }
+}
+
+/// One request, as typed data. See the [module docs](self) for the wire
+/// grammar.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// Open a session over an inline `.gcl` layout.
+    Open {
+        /// Routing backend for the session.
+        engine: EngineKind,
+        /// Spatial index for the session's plane.
+        index: PlaneIndexKind,
+        /// The `.gcl` document (newline-terminated lines).
+        gcl: String,
+    },
+    /// Replay an inline `.eco` change list against a session.
+    Eco {
+        /// Session id.
+        sid: u64,
+        /// The `.eco` document (newline-terminated lines).
+        eco: String,
+    },
+    /// Route: everything on the first call (or with `full`), the dirty
+    /// set afterwards.
+    Route {
+        /// Session id.
+        sid: u64,
+        /// Force a full `route_all` even on a warm session.
+        full: bool,
+    },
+    /// Rip up one net's committed route by name.
+    RipUp {
+        /// Session id.
+        sid: u64,
+        /// Net name in the session's layout.
+        net: String,
+    },
+    /// Session stats (with a sid) or server stats (without).
+    Stats {
+        /// Session id, or `None` for server-level stats.
+        sid: Option<u64>,
+    },
+    /// Dump the committed routes as polylines.
+    Dump {
+        /// Session id.
+        sid: u64,
+    },
+    /// Close (drop) a session.
+    Close {
+        /// Session id.
+        sid: u64,
+    },
+    /// Drain the server and exit.
+    Shutdown,
+}
+
+/// Typed error categories carried in `ERR` replies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrCode {
+    /// Malformed request line (arity, bad integer, bad token).
+    BadRequest,
+    /// The verb is not part of the protocol.
+    UnknownVerb,
+    /// No session with that id (never opened, closed, or evicted).
+    UnknownSession,
+    /// A named cell or net does not exist in the session's layout.
+    UnknownName,
+    /// An inline `.gcl`/`.eco` body failed to parse.
+    Parse,
+    /// The layout rejected the document or an edit.
+    Layout,
+    /// A dot-framed body ended at EOF instead of a `.` line.
+    Truncated,
+    /// The server is draining and no longer accepts work.
+    ShuttingDown,
+    /// Anything else (a bug if you ever see it).
+    Internal,
+}
+
+impl ErrCode {
+    /// The wire token for this code.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            ErrCode::BadRequest => "BAD-REQUEST",
+            ErrCode::UnknownVerb => "UNKNOWN-VERB",
+            ErrCode::UnknownSession => "UNKNOWN-SESSION",
+            ErrCode::UnknownName => "UNKNOWN-NAME",
+            ErrCode::Parse => "PARSE",
+            ErrCode::Layout => "LAYOUT",
+            ErrCode::Truncated => "TRUNCATED",
+            ErrCode::ShuttingDown => "SHUTTING-DOWN",
+            ErrCode::Internal => "INTERNAL",
+        }
+    }
+
+    /// Parses a wire token.
+    #[must_use]
+    pub fn parse(token: &str) -> Option<ErrCode> {
+        match token {
+            "BAD-REQUEST" => Some(ErrCode::BadRequest),
+            "UNKNOWN-VERB" => Some(ErrCode::UnknownVerb),
+            "UNKNOWN-SESSION" => Some(ErrCode::UnknownSession),
+            "UNKNOWN-NAME" => Some(ErrCode::UnknownName),
+            "PARSE" => Some(ErrCode::Parse),
+            "LAYOUT" => Some(ErrCode::Layout),
+            "TRUNCATED" => Some(ErrCode::Truncated),
+            "SHUTTING-DOWN" => Some(ErrCode::ShuttingDown),
+            "INTERNAL" => Some(ErrCode::Internal),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for ErrCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A typed error reply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError {
+    /// The error category.
+    pub code: ErrCode,
+    /// Human-readable detail (single line; newlines are flattened on the
+    /// wire).
+    pub message: String,
+}
+
+impl WireError {
+    /// Builds an error reply.
+    #[must_use]
+    pub fn new(code: ErrCode, message: impl Into<String>) -> WireError {
+        WireError {
+            code,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.code, self.message)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// One reply, as typed data; encodes to the uniform status + body + `.`
+/// frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// Success: a one-line head and a (possibly empty) text body.
+    Ok {
+        /// Status-line payload after `OK ` (single line, non-empty).
+        head: String,
+        /// Body text: empty, or newline-terminated lines.
+        body: String,
+    },
+    /// Failure, with a typed code.
+    Err(WireError),
+}
+
+impl Response {
+    /// A success reply with an empty body.
+    #[must_use]
+    pub fn ok(head: impl Into<String>) -> Response {
+        Response::Ok {
+            head: head.into(),
+            body: String::new(),
+        }
+    }
+
+    /// A success reply with a text body.
+    #[must_use]
+    pub fn ok_with(head: impl Into<String>, body: impl Into<String>) -> Response {
+        Response::Ok {
+            head: head.into(),
+            body: body.into(),
+        }
+    }
+
+    /// An error reply.
+    #[must_use]
+    pub fn err(code: ErrCode, message: impl Into<String>) -> Response {
+        Response::Err(WireError::new(code, message))
+    }
+}
+
+fn flatten(line: &str) -> String {
+    line.replace(['\n', '\r'], " ")
+}
+
+/// Writes a dot-framed body: every line of `body`, dot-stuffed, then the
+/// terminating `.` line.
+fn write_body(w: &mut impl Write, body: &str) -> io::Result<()> {
+    for line in body.lines() {
+        if line.starts_with('.') {
+            w.write_all(b".")?;
+        }
+        w.write_all(line.as_bytes())?;
+        w.write_all(b"\n")?;
+    }
+    w.write_all(b".\n")
+}
+
+/// Reads one line; `Ok(None)` at EOF. Strips the trailing `\n` / `\r\n`.
+fn read_line(r: &mut impl BufRead) -> io::Result<Option<String>> {
+    let mut line = String::new();
+    let n = r.read_line(&mut line)?;
+    if n == 0 {
+        return Ok(None);
+    }
+    while line.ends_with('\n') || line.ends_with('\r') {
+        line.pop();
+    }
+    Ok(Some(line))
+}
+
+/// Reads a dot-framed body (un-stuffing leading dots); errors with
+/// [`ErrCode::Truncated`] if EOF arrives before the `.` line.
+fn read_body(r: &mut impl BufRead) -> io::Result<Result<String, WireError>> {
+    let mut body = String::new();
+    loop {
+        match read_line(r)? {
+            None => {
+                return Ok(Err(WireError::new(
+                    ErrCode::Truncated,
+                    "body ended at EOF before the terminating '.' line",
+                )))
+            }
+            Some(line) => {
+                if line == "." {
+                    return Ok(Ok(body));
+                }
+                let line = line.strip_prefix('.').unwrap_or(&line);
+                body.push_str(line);
+                body.push('\n');
+            }
+        }
+    }
+}
+
+/// Encodes a request to its wire form (request line + dot-framed body
+/// for `OPEN`/`ECO`).
+///
+/// # Errors
+///
+/// Only I/O errors from `w`.
+pub fn write_request(w: &mut impl Write, req: &Request) -> io::Result<()> {
+    match req {
+        Request::Ping => writeln!(w, "PING"),
+        Request::Open { engine, index, gcl } => {
+            writeln!(w, "OPEN {} {}", engine.name(), index_name(*index))?;
+            write_body(w, gcl)
+        }
+        Request::Eco { sid, eco } => {
+            writeln!(w, "ECO {sid}")?;
+            write_body(w, eco)
+        }
+        Request::Route { sid, full } => {
+            if *full {
+                writeln!(w, "ROUTE {sid} FULL")
+            } else {
+                writeln!(w, "ROUTE {sid}")
+            }
+        }
+        Request::RipUp { sid, net } => writeln!(w, "RIPUP {sid} {net}"),
+        Request::Stats { sid: Some(sid) } => writeln!(w, "STATS {sid}"),
+        Request::Stats { sid: None } => writeln!(w, "STATS"),
+        Request::Dump { sid } => writeln!(w, "DUMP {sid}"),
+        Request::Close { sid } => writeln!(w, "CLOSE {sid}"),
+        Request::Shutdown => writeln!(w, "SHUTDOWN"),
+    }
+}
+
+/// Reads one request. The outer `Option` is `None` at a clean EOF
+/// (connection closed between requests); the inner `Result` carries a
+/// typed [`WireError`] for malformed input (the caller should send it
+/// back and close, since the stream's framing can no longer be trusted).
+///
+/// # Errors
+///
+/// Only I/O errors from `r`.
+pub fn read_request(r: &mut impl BufRead) -> io::Result<Option<Result<Request, WireError>>> {
+    // Tolerate blank lines between requests (hand-driven telnet traffic).
+    let line = loop {
+        match read_line(r)? {
+            None => return Ok(None),
+            Some(l) if l.trim().is_empty() => continue,
+            Some(l) => break l,
+        }
+    };
+    let tokens: Vec<&str> = line.split_whitespace().collect();
+    let verb = tokens[0];
+    let bad = |message: String| Ok(Some(Err(WireError::new(ErrCode::BadRequest, message))));
+    let arity = |lo: usize, hi: usize| -> Option<String> {
+        let n = tokens.len() - 1;
+        (n < lo || n > hi).then(|| {
+            format!(
+                "{verb} takes {}{} argument(s), got {n}",
+                lo,
+                if hi > lo {
+                    format!("..{hi}")
+                } else {
+                    String::new()
+                }
+            )
+        })
+    };
+    let sid_of = |token: &str| -> Result<u64, String> {
+        token
+            .parse::<u64>()
+            .map_err(|_| format!("bad session id {token:?}"))
+    };
+    macro_rules! check_arity {
+        ($lo:expr, $hi:expr) => {
+            if let Some(msg) = arity($lo, $hi) {
+                return bad(msg);
+            }
+        };
+    }
+    macro_rules! sid {
+        ($token:expr) => {
+            match sid_of($token) {
+                Ok(sid) => sid,
+                Err(msg) => return bad(msg),
+            }
+        };
+    }
+    let req = match verb {
+        "PING" => {
+            check_arity!(0, 0);
+            Request::Ping
+        }
+        "OPEN" => {
+            check_arity!(2, 2);
+            // A correctly-shaped OPEN line advertises a body whatever its
+            // tokens say, so consume the body BEFORE reporting token
+            // errors: replying and closing with unread bytes pending can
+            // turn the close into a TCP RST that discards the typed
+            // error on its way to the client.
+            let engine = EngineKind::parse(tokens[1]);
+            let index = parse_index(tokens[2]);
+            let gcl = match read_body(r)? {
+                Ok(body) => body,
+                Err(e) => return Ok(Some(Err(e))),
+            };
+            let Some(engine) = engine else {
+                return bad(format!(
+                    "unknown engine {:?}; expected gridless, grid, lee-moore or hightower",
+                    tokens[1]
+                ));
+            };
+            let Some(index) = index else {
+                return bad(format!(
+                    "unknown index {:?}; expected flat or sharded",
+                    tokens[2]
+                ));
+            };
+            Request::Open { engine, index, gcl }
+        }
+        "ECO" => {
+            check_arity!(1, 1);
+            // Same body-first discipline as OPEN: drain, then validate.
+            let sid = sid_of(tokens[1]);
+            let eco = match read_body(r)? {
+                Ok(body) => body,
+                Err(e) => return Ok(Some(Err(e))),
+            };
+            match sid {
+                Ok(sid) => Request::Eco { sid, eco },
+                Err(msg) => return bad(msg),
+            }
+        }
+        "ROUTE" => {
+            check_arity!(1, 2);
+            let sid = sid!(tokens[1]);
+            let full = match tokens.get(2) {
+                None => false,
+                Some(&"FULL") => true,
+                Some(other) => return bad(format!("unknown ROUTE modifier {other:?}")),
+            };
+            Request::Route { sid, full }
+        }
+        "RIPUP" => {
+            check_arity!(2, 2);
+            Request::RipUp {
+                sid: sid!(tokens[1]),
+                net: tokens[2].to_string(),
+            }
+        }
+        "STATS" => {
+            check_arity!(0, 1);
+            Request::Stats {
+                sid: match tokens.get(1) {
+                    Some(t) => Some(sid!(t)),
+                    None => None,
+                },
+            }
+        }
+        "DUMP" => {
+            check_arity!(1, 1);
+            Request::Dump {
+                sid: sid!(tokens[1]),
+            }
+        }
+        "CLOSE" => {
+            check_arity!(1, 1);
+            Request::Close {
+                sid: sid!(tokens[1]),
+            }
+        }
+        "SHUTDOWN" => {
+            check_arity!(0, 0);
+            Request::Shutdown
+        }
+        other => {
+            return Ok(Some(Err(WireError::new(
+                ErrCode::UnknownVerb,
+                format!("unknown verb {other:?}"),
+            ))))
+        }
+    };
+    Ok(Some(Ok(req)))
+}
+
+/// Encodes a response to its uniform wire frame (status line, dot-framed
+/// body, `.`).
+///
+/// # Errors
+///
+/// Only I/O errors from `w`.
+pub fn write_response(w: &mut impl Write, resp: &Response) -> io::Result<()> {
+    match resp {
+        Response::Ok { head, body } => {
+            writeln!(w, "OK {}", flatten(head))?;
+            write_body(w, body)
+        }
+        Response::Err(e) => {
+            if e.message.is_empty() {
+                writeln!(w, "ERR {}", e.code)?;
+            } else {
+                writeln!(w, "ERR {} {}", e.code, flatten(&e.message))?;
+            }
+            write_body(w, "")
+        }
+    }
+}
+
+/// Reads one response frame.
+///
+/// # Errors
+///
+/// I/O errors from `r`; `UnexpectedEof` if the connection closed before
+/// a full frame; `InvalidData` for a status line that is not `OK`/`ERR`.
+pub fn read_response(r: &mut impl BufRead) -> io::Result<Response> {
+    let eof = || {
+        io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "connection closed mid-response",
+        )
+    };
+    let status = read_line(r)?.ok_or_else(eof)?;
+    let body = read_body(r)?.map_err(|_| eof())?;
+    if let Some(head) = status.strip_prefix("OK ") {
+        return Ok(Response::Ok {
+            head: head.to_string(),
+            body,
+        });
+    }
+    if let Some(rest) = status.strip_prefix("ERR ") {
+        let mut it = rest.splitn(2, ' ');
+        let code_token = it.next().unwrap_or("");
+        let code = ErrCode::parse(code_token).ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unknown error code {code_token:?}"),
+            )
+        })?;
+        return Ok(Response::Err(WireError::new(
+            code,
+            it.next().unwrap_or("").to_string(),
+        )));
+    }
+    Err(io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("malformed status line {status:?}"),
+    ))
+}
+
+/// Renders a routing as the canonical `DUMP` body: one `net` header per
+/// routed net (stable net-id order) with one `poly` line per connection,
+/// then one `failed` line per failure. Byte-identical for byte-identical
+/// routings — the loopback differential in `tests/service.rs` compares a
+/// served `DUMP` against this function over an in-process session.
+#[must_use]
+pub fn dump_routing(routing: &GlobalRouting) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for route in &routing.routes {
+        writeln!(
+            out,
+            "net {} {} length {} bends {}",
+            route.net,
+            route.id.index(),
+            route.wire_length(),
+            route.bends()
+        )
+        .expect("writing to String cannot fail");
+        for conn in &route.connections {
+            out.push_str("poly");
+            for p in conn.polyline.points() {
+                write!(out, " {} {}", p.x, p.y).unwrap();
+            }
+            out.push('\n');
+        }
+    }
+    for (id, err) in &routing.failures {
+        writeln!(out, "failed {} {}", id.index(), flatten(&err.to_string())).unwrap();
+    }
+    out
+}
+
+/// Renders session stats as the first lines of a `STATS` reply body
+/// (`key value`, one per line). The served reply appends service-level
+/// lines (request count, wall time, engine, index) after these.
+#[must_use]
+pub fn format_stats(stats: &SessionStats) -> String {
+    format!(
+        "nets {}\nrouted {}\nfailed {}\nunrouted {}\ndirty {}\nwire-length {}\nreroutes {}\n",
+        stats.nets,
+        stats.routed,
+        stats.failed,
+        stats.unrouted,
+        stats.dirty,
+        stats.wire_length,
+        stats.reroutes
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn roundtrip_request(req: &Request) -> Request {
+        let mut wire = Vec::new();
+        write_request(&mut wire, req).unwrap();
+        let mut r = BufReader::new(wire.as_slice());
+        let back = read_request(&mut r).unwrap().unwrap().unwrap();
+        // A second read sees clean EOF: the frame consumed exactly itself.
+        assert!(read_request(&mut r).unwrap().is_none());
+        back
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        for req in [
+            Request::Ping,
+            Request::Open {
+                engine: EngineKind::LeeMoore,
+                index: gcr_core::PlaneIndexKind::Sharded,
+                gcl: "gcl 1\nbounds 0 0 9 9\n".to_string(),
+            },
+            Request::Eco {
+                sid: 7,
+                eco: "move a 1 0\nreroute\n".to_string(),
+            },
+            Request::Route {
+                sid: 1,
+                full: false,
+            },
+            Request::Route { sid: 2, full: true },
+            Request::RipUp {
+                sid: 3,
+                net: "clk".to_string(),
+            },
+            Request::Stats { sid: Some(4) },
+            Request::Stats { sid: None },
+            Request::Dump { sid: 5 },
+            Request::Close { sid: 6 },
+            Request::Shutdown,
+        ] {
+            assert_eq!(roundtrip_request(&req), req, "{req:?}");
+        }
+    }
+
+    #[test]
+    fn dot_stuffing_protects_bodies() {
+        let eco = ".\n..x\n.move\nplain\n".to_string();
+        let req = Request::Eco { sid: 1, eco };
+        let back = roundtrip_request(&req);
+        assert_eq!(back, req);
+        let mut wire = Vec::new();
+        write_request(&mut wire, &req).unwrap();
+        let text = String::from_utf8(wire).unwrap();
+        assert!(text.contains("\n..\n"), "lone dot is stuffed: {text:?}");
+        assert!(text.ends_with("\n.\n"), "frame ends with the terminator");
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        for resp in [
+            Response::ok("pong"),
+            Response::ok_with("stats", "nets 3\nrouted 2\n"),
+            Response::ok_with("dump", ".leading dot\n"),
+            Response::err(ErrCode::UnknownSession, "no session 9"),
+            Response::Err(WireError::new(ErrCode::Parse, String::new())),
+        ] {
+            let mut wire = Vec::new();
+            write_response(&mut wire, &resp).unwrap();
+            let back = read_response(&mut BufReader::new(wire.as_slice())).unwrap();
+            assert_eq!(back, resp, "{resp:?}");
+        }
+    }
+
+    #[test]
+    fn truncated_bodies_are_typed_errors() {
+        let wire = b"OPEN gridless flat\ngcl 1\n".to_vec(); // no '.' line
+        let got = read_request(&mut BufReader::new(wire.as_slice()))
+            .unwrap()
+            .unwrap()
+            .unwrap_err();
+        assert_eq!(got.code, ErrCode::Truncated);
+    }
+
+    #[test]
+    fn malformed_requests_are_typed_errors() {
+        for (wire, code) in [
+            ("FROB 1\n", ErrCode::UnknownVerb),
+            ("ROUTE\n", ErrCode::BadRequest),
+            ("ROUTE zebra\n", ErrCode::BadRequest),
+            ("ROUTE 1 SIDEWAYS\n", ErrCode::BadRequest),
+            ("OPEN gridless\n", ErrCode::BadRequest),
+            // Token errors on body-carrying verbs drain the body first
+            // (so the reply survives the close); the framed-but-wrong
+            // forms still answer BAD-REQUEST.
+            ("OPEN warp flat\n.\n", ErrCode::BadRequest),
+            ("OPEN gridless warp\n.\n", ErrCode::BadRequest),
+            ("ECO zebra\n.\n", ErrCode::BadRequest),
+            // … and a missing terminator is reported as truncation.
+            ("OPEN warp flat\n", ErrCode::Truncated),
+            ("RIPUP 1\n", ErrCode::BadRequest),
+            ("STATS 1 2\n", ErrCode::BadRequest),
+            ("PING extra\n", ErrCode::BadRequest),
+        ] {
+            let got = read_request(&mut BufReader::new(wire.as_bytes()))
+                .unwrap()
+                .unwrap()
+                .unwrap_err();
+            assert_eq!(got.code, code, "{wire:?}");
+        }
+    }
+
+    #[test]
+    fn engine_and_index_tokens_roundtrip() {
+        for kind in EngineKind::ALL {
+            assert_eq!(EngineKind::parse(kind.name()), Some(kind));
+        }
+        assert!(EngineKind::parse("warp").is_none());
+        for kind in [
+            gcr_core::PlaneIndexKind::Flat,
+            gcr_core::PlaneIndexKind::Sharded,
+        ] {
+            assert_eq!(parse_index(index_name(kind)), Some(kind));
+        }
+    }
+
+    #[test]
+    fn err_codes_roundtrip() {
+        for code in [
+            ErrCode::BadRequest,
+            ErrCode::UnknownVerb,
+            ErrCode::UnknownSession,
+            ErrCode::UnknownName,
+            ErrCode::Parse,
+            ErrCode::Layout,
+            ErrCode::Truncated,
+            ErrCode::ShuttingDown,
+            ErrCode::Internal,
+        ] {
+            assert_eq!(ErrCode::parse(code.name()), Some(code));
+        }
+        assert!(ErrCode::parse("WAT").is_none());
+    }
+}

@@ -1,0 +1,320 @@
+//! [`SessionRegistry`]: the daemon's concurrent map of live routing
+//! sessions.
+//!
+//! The registry is the warm-state store the whole service exists for: a
+//! [`RoutingSession`] per client workload, kept alive across requests so
+//! every ECO pays the ~warm-reroute price instead of a cold full route.
+//! Three concurrency properties shape the design:
+//!
+//! * **sharded locks** — session lookup is spread over [`SHARDS`]
+//!   hash-sharded `Mutex<HashMap>` ways, so requests for different
+//!   sessions rarely contend on the map itself;
+//! * **per-session serialization** — each entry holds its session behind
+//!   its own `Mutex`; two requests for the *same* session queue up (a
+//!   session is mutable warm state, not a pure function), while requests
+//!   for different sessions proceed in parallel;
+//! * **LRU-capped capacity** — the registry holds at most `capacity`
+//!   sessions; opening one more evicts the least-recently-*touched*
+//!   session (every request stamps its session from a global atomic
+//!   clock). Eviction only unlinks the entry — a request already holding
+//!   the session's `Arc` finishes normally and the memory retires with
+//!   the last reference.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::time::Duration;
+
+use gcr_core::{RoutingSession, SessionStats};
+
+use crate::proto::{BoxedEngine, EngineKind};
+
+/// Lock ways of the session map (power of two; ids hash by modulo).
+pub const SHARDS: usize = 16;
+
+/// A session plus the service-level bookkeeping the `STATS` verb
+/// reports.
+pub struct ServiceSession {
+    /// The owned routing session (engine boxed for runtime selection).
+    pub session: RoutingSession<BoxedEngine>,
+    /// Which engine the session was opened with.
+    pub engine: EngineKind,
+    /// Has a full `route_all` been committed yet? (`ROUTE` routes
+    /// everything first, then only the dirty set.)
+    pub routed_once: bool,
+    /// Requests served against this session.
+    pub requests: u64,
+    /// Wall time spent inside this session's requests.
+    pub wall: Duration,
+}
+
+impl std::fmt::Debug for ServiceSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // The session's engine is a non-Debug trait object; summarize.
+        f.debug_struct("ServiceSession")
+            .field("engine", &self.engine)
+            .field("routed_once", &self.routed_once)
+            .field("requests", &self.requests)
+            .field("wall", &self.wall)
+            .field("stats", &self.stats())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ServiceSession {
+    /// Wraps a freshly built session for registration.
+    #[must_use]
+    pub fn new(session: RoutingSession<BoxedEngine>, engine: EngineKind) -> Self {
+        ServiceSession {
+            session,
+            engine,
+            routed_once: false,
+            requests: 0,
+            wall: Duration::ZERO,
+        }
+    }
+
+    /// The session's routing stats (convenience for `STATS` replies).
+    #[must_use]
+    pub fn stats(&self) -> SessionStats {
+        self.session.stats()
+    }
+}
+
+/// One registered session: the id, the LRU stamp, and the serialized
+/// session state.
+#[derive(Debug)] // ServiceSession has a summary Debug, so this derives
+pub struct SessionEntry {
+    /// The session id handed to the client by `OPEN`.
+    pub id: u64,
+    touched: AtomicU64,
+    session: Mutex<ServiceSession>,
+}
+
+impl SessionEntry {
+    /// Locks the session for one request (serializing mutation per
+    /// session; poisoning is absorbed because sessions stay consistent —
+    /// every mutation commits before the lock drops).
+    pub fn lock(&self) -> MutexGuard<'_, ServiceSession> {
+        self.session.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// One lock way of the session map.
+type Shard = Mutex<HashMap<u64, Arc<SessionEntry>>>;
+
+/// The concurrent session map; see the [module docs](self).
+#[derive(Debug)]
+pub struct SessionRegistry {
+    shards: Box<[Shard]>,
+    /// Serializes open/evict decisions so the capacity bound is exact
+    /// (gets/closes stay lock-free across shards).
+    admit: Mutex<()>,
+    next_id: AtomicU64,
+    clock: AtomicU64,
+    capacity: usize,
+    evictions: AtomicU64,
+}
+
+impl SessionRegistry {
+    /// A registry holding at most `capacity` sessions (clamped ≥ 1).
+    #[must_use]
+    pub fn new(capacity: usize) -> SessionRegistry {
+        SessionRegistry {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            admit: Mutex::new(()),
+            next_id: AtomicU64::new(1),
+            clock: AtomicU64::new(1),
+            capacity: capacity.max(1),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, sid: u64) -> MutexGuard<'_, HashMap<u64, Arc<SessionEntry>>> {
+        self.shards[(sid as usize) % SHARDS]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Registers a session, evicting the least-recently-touched entry if
+    /// the registry is full. Returns the new session id and the evicted
+    /// id, if any.
+    pub fn open(&self, session: ServiceSession) -> (u64, Option<u64>) {
+        let _admit = self.admit.lock().unwrap_or_else(PoisonError::into_inner);
+        let evicted = if self.len() >= self.capacity {
+            self.evict_lru()
+        } else {
+            None
+        };
+        let sid = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let entry = Arc::new(SessionEntry {
+            id: sid,
+            touched: AtomicU64::new(self.tick()),
+            session: Mutex::new(session),
+        });
+        self.shard(sid).insert(sid, entry);
+        (sid, evicted)
+    }
+
+    fn evict_lru(&self) -> Option<u64> {
+        let mut victim: Option<(u64, u64)> = None; // (stamp, sid)
+        for shard in self.shards.iter() {
+            let map = shard.lock().unwrap_or_else(PoisonError::into_inner);
+            for entry in map.values() {
+                let stamp = entry.touched.load(Ordering::Relaxed);
+                if victim.is_none_or(|(s, _)| stamp < s) {
+                    victim = Some((stamp, entry.id));
+                }
+            }
+        }
+        let (_, sid) = victim?;
+        self.shard(sid).remove(&sid);
+        self.evictions.fetch_add(1, Ordering::Relaxed);
+        Some(sid)
+    }
+
+    /// Looks a session up and stamps it most-recently-used.
+    #[must_use]
+    pub fn get(&self, sid: u64) -> Option<Arc<SessionEntry>> {
+        let entry = self.shard(sid).get(&sid).cloned()?;
+        entry.touched.store(self.tick(), Ordering::Relaxed);
+        Some(entry)
+    }
+
+    /// Unlinks a session; returns `false` for an unknown id.
+    pub fn close(&self, sid: u64) -> bool {
+        self.shard(sid).remove(&sid).is_some()
+    }
+
+    /// Live session count.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap_or_else(PoisonError::into_inner).len())
+            .sum()
+    }
+
+    /// Is the registry empty?
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The capacity bound.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// How many sessions have been evicted to make room.
+    #[must_use]
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// The live session ids, sorted (for stats and tests).
+    #[must_use]
+    pub fn session_ids(&self) -> Vec<u64> {
+        let mut ids: Vec<u64> = self
+            .shards
+            .iter()
+            .flat_map(|s| {
+                s.lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .keys()
+                    .copied()
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcr_core::RouterConfig;
+    use gcr_geom::Rect;
+    use gcr_layout::Layout;
+
+    fn boxed_session() -> ServiceSession {
+        let layout = Layout::new(Rect::new(0, 0, 50, 50).unwrap());
+        let session = RoutingSession::builder(layout)
+            .config(RouterConfig::default())
+            .engine(EngineKind::Gridless.build())
+            .build();
+        ServiceSession::new(session, EngineKind::Gridless)
+    }
+
+    #[test]
+    fn open_get_close_lifecycle() {
+        let reg = SessionRegistry::new(4);
+        let (sid, evicted) = reg.open(boxed_session());
+        assert_eq!(evicted, None);
+        assert_eq!(reg.len(), 1);
+        assert!(reg.get(sid).is_some());
+        assert!(reg.get(sid + 1).is_none());
+        assert!(reg.close(sid));
+        assert!(!reg.close(sid), "second close is a miss");
+        assert!(reg.is_empty());
+    }
+
+    #[test]
+    fn lru_eviction_prefers_the_stalest_session() {
+        let reg = SessionRegistry::new(2);
+        let (a, _) = reg.open(boxed_session());
+        let (b, _) = reg.open(boxed_session());
+        // Touch a, making b the LRU victim.
+        assert!(reg.get(a).is_some());
+        let (c, evicted) = reg.open(boxed_session());
+        assert_eq!(evicted, Some(b), "b was least recently touched");
+        assert_eq!(reg.evictions(), 1);
+        assert_eq!(reg.session_ids(), vec![a, c]);
+        assert!(reg.get(b).is_none(), "evicted sessions are gone");
+        assert_eq!(reg.len(), 2, "capacity bound holds");
+    }
+
+    #[test]
+    fn an_in_flight_arc_survives_eviction() {
+        let reg = SessionRegistry::new(1);
+        let (a, _) = reg.open(boxed_session());
+        let held = reg.get(a).unwrap();
+        let (_, evicted) = reg.open(boxed_session());
+        assert_eq!(evicted, Some(a));
+        // The held Arc still works: an in-flight request finishes
+        // normally against the unlinked session.
+        let guard = held.lock();
+        assert_eq!(guard.stats().nets, 0);
+    }
+
+    #[test]
+    fn concurrent_opens_never_exceed_capacity() {
+        let reg = SessionRegistry::new(3);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..8 {
+                        reg.open(boxed_session());
+                    }
+                });
+            }
+        });
+        assert_eq!(reg.len(), 3, "admission is serialized");
+        assert_eq!(reg.evictions(), 32 - 3);
+    }
+
+    #[test]
+    fn ids_are_never_reused() {
+        let reg = SessionRegistry::new(1);
+        let (a, _) = reg.open(boxed_session());
+        reg.close(a);
+        let (b, _) = reg.open(boxed_session());
+        assert_ne!(a, b);
+    }
+}

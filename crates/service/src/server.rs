@@ -1,0 +1,436 @@
+//! The routing daemon: a std-`TcpListener` server over the
+//! [`SessionRegistry`], with a bounded worker pool and graceful drain.
+//!
+//! The threading model mirrors `gcr_search::parallel_map`'s discipline —
+//! plain `std::thread::scope` workers, no async runtime, no crates.io —
+//! because that is what the build environment offers and what the
+//! workload needs: routing requests are coarse (milliseconds of CPU per
+//! `ROUTE`), so a small pool of blocking workers saturates the machine.
+//!
+//! * The **acceptor** (the thread that calls [`Server::run`]) pushes
+//!   accepted connections into a **bounded** queue
+//!   (`std::sync::mpsc::sync_channel`); when every worker is busy and
+//!   the queue is full, `accept` backpressures the OS listen backlog
+//!   instead of buffering unboundedly.
+//! * **Workers** pull connections and serve requests until the peer
+//!   closes (keep-alive: one connection, many requests).
+//! * **Graceful shutdown** is signal-free: a `SHUTDOWN` request flips
+//!   the shared drain flag and self-connects to wake the blocking
+//!   acceptor; queued connections still get served, every live
+//!   connection finishes its current request and closes, and
+//!   [`Server::run`] returns a [`ServerReport`] of the run's accounting.
+
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::sync_channel;
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::Instant;
+
+use gcr_core::{apply_eco, parse_eco, EcoError, RouterConfig, RoutingSession};
+use gcr_layout::format;
+
+use crate::proto::{
+    dump_routing, format_stats, index_name, read_request, write_response, ErrCode, Request,
+    Response,
+};
+use crate::registry::{ServiceSession, SessionRegistry};
+
+/// How a [`Server`] is sized; see [`Server::bind`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address (`host:port`; port 0 picks an ephemeral port).
+    pub addr: String,
+    /// Session-registry capacity (LRU-evicted beyond this).
+    pub capacity: usize,
+    /// Worker threads (`0` = the machine's available parallelism).
+    pub workers: usize,
+    /// Pending-connection queue bound (`0` = `2 × workers`).
+    pub queue: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            capacity: 64,
+            workers: 0,
+            queue: 0,
+        }
+    }
+}
+
+/// Request/connection accounting, shared across workers.
+#[derive(Debug, Default)]
+struct Counters {
+    connections: AtomicU64,
+    requests: AtomicU64,
+    errors: AtomicU64,
+}
+
+/// What a finished server run did (returned by [`Server::run`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerReport {
+    /// Connections accepted.
+    pub connections: u64,
+    /// Requests served (including ones answered with `ERR`).
+    pub requests: u64,
+    /// `ERR` replies sent.
+    pub errors: u64,
+    /// Sessions still open at shutdown.
+    pub sessions_open: usize,
+    /// Sessions evicted to respect the capacity bound.
+    pub evictions: u64,
+}
+
+/// The routing daemon; see the [module docs](self) for the threading
+/// model and [`crate::proto`] for the protocol it speaks.
+#[derive(Debug)]
+pub struct Server {
+    listener: TcpListener,
+    registry: Arc<SessionRegistry>,
+    counters: Arc<Counters>,
+    drain: Arc<AtomicBool>,
+    workers: usize,
+    queue: usize,
+}
+
+impl Server {
+    /// Binds the listener and sizes the pool; serving starts with
+    /// [`Server::run`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind errors (address in use, permission).
+    pub fn bind(config: &ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let workers = if config.workers == 0 {
+            std::thread::available_parallelism().map_or(1, usize::from)
+        } else {
+            config.workers
+        };
+        let queue = if config.queue == 0 {
+            workers * 2
+        } else {
+            config.queue
+        };
+        Ok(Server {
+            listener,
+            registry: Arc::new(SessionRegistry::new(config.capacity)),
+            counters: Arc::new(Counters::default()),
+            drain: Arc::new(AtomicBool::new(false)),
+            workers,
+            queue,
+        })
+    }
+
+    /// The bound address (useful with an ephemeral port).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the OS query error.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// The shared session registry (tests inspect it directly).
+    #[must_use]
+    pub fn registry(&self) -> Arc<SessionRegistry> {
+        Arc::clone(&self.registry)
+    }
+
+    /// Worker-pool size.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Accepts and serves until a `SHUTDOWN` request drains the server;
+    /// returns the run's accounting.
+    ///
+    /// # Errors
+    ///
+    /// Propagates accept errors other than interrupts.
+    pub fn run(self) -> io::Result<ServerReport> {
+        let addr = self.local_addr()?;
+        let ctx = Ctx {
+            registry: &self.registry,
+            counters: &self.counters,
+            drain: &self.drain,
+            addr,
+            workers: self.workers,
+        };
+        let (tx, rx) = sync_channel::<TcpStream>(self.queue);
+        let rx = Mutex::new(rx);
+        let mut accept_error = None;
+        std::thread::scope(|scope| {
+            for _ in 0..self.workers {
+                scope.spawn(|| loop {
+                    // Hold the receiver lock only for the handoff.
+                    let next = {
+                        let guard = rx.lock().unwrap_or_else(PoisonError::into_inner);
+                        guard.recv()
+                    };
+                    match next {
+                        Ok(stream) => handle_connection(stream, &ctx),
+                        Err(_) => return, // acceptor gone, queue drained
+                    }
+                });
+            }
+            loop {
+                if self.drain.load(Ordering::SeqCst) {
+                    break;
+                }
+                match self.listener.accept() {
+                    Ok((stream, _)) => {
+                        if self.drain.load(Ordering::SeqCst) {
+                            break; // the drain wake-up itself
+                        }
+                        self.counters.connections.fetch_add(1, Ordering::Relaxed);
+                        if tx.send(stream).is_err() {
+                            break;
+                        }
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(e) => {
+                        accept_error = Some(e);
+                        break;
+                    }
+                }
+            }
+            drop(tx); // workers drain the queue, then exit
+        });
+        if let Some(e) = accept_error {
+            return Err(e);
+        }
+        Ok(ServerReport {
+            connections: self.counters.connections.load(Ordering::Relaxed),
+            requests: self.counters.requests.load(Ordering::Relaxed),
+            errors: self.counters.errors.load(Ordering::Relaxed),
+            sessions_open: self.registry.len(),
+            evictions: self.registry.evictions(),
+        })
+    }
+}
+
+/// Everything a worker needs, borrowed for the scope of a run.
+struct Ctx<'a> {
+    registry: &'a SessionRegistry,
+    counters: &'a Counters,
+    drain: &'a AtomicBool,
+    addr: SocketAddr,
+    workers: usize,
+}
+
+impl Ctx<'_> {
+    fn begin_drain(&self) {
+        self.drain.store(true, Ordering::SeqCst);
+        // Wake the acceptor out of its blocking accept; the throwaway
+        // connection is dropped by the drain check. A wildcard bind
+        // address (0.0.0.0 / ::) is not connectable on every platform,
+        // so aim the wake-up at the loopback of the same family.
+        let mut wake = self.addr;
+        if wake.ip().is_unspecified() {
+            wake.set_ip(match wake.ip() {
+                std::net::IpAddr::V4(_) => std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST),
+                std::net::IpAddr::V6(_) => std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST),
+            });
+        }
+        let _ = TcpStream::connect(wake);
+    }
+}
+
+/// Serves one keep-alive connection: requests in, framed replies out,
+/// until EOF, a framing error, or a drain.
+fn handle_connection(stream: TcpStream, ctx: &Ctx<'_>) {
+    let _ = stream.set_nodelay(true); // replies are latency-bound, tiny
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = BufWriter::new(stream);
+    loop {
+        let message = match read_request(&mut reader) {
+            Ok(m) => m,
+            Err(_) => return, // connection died mid-read
+        };
+        let Some(message) = message else {
+            return; // clean EOF between requests
+        };
+        ctx.counters.requests.fetch_add(1, Ordering::Relaxed);
+        let (response, close_after) = match message {
+            // Malformed request: answer with the typed error, then close
+            // — after a framing error the stream position is untrusted.
+            Err(wire_error) => (Response::Err(wire_error), true),
+            Ok(request) => {
+                let is_shutdown = matches!(request, Request::Shutdown);
+                let response = if ctx.drain.load(Ordering::SeqCst) && !is_shutdown {
+                    Response::err(ErrCode::ShuttingDown, "server is draining")
+                } else {
+                    dispatch(request, ctx)
+                };
+                if is_shutdown {
+                    ctx.begin_drain();
+                }
+                (response, is_shutdown)
+            }
+        };
+        if matches!(response, Response::Err(_)) {
+            ctx.counters.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        if write_response(&mut writer, &response).is_err() || writer.flush().is_err() {
+            return;
+        }
+        if close_after || ctx.drain.load(Ordering::SeqCst) {
+            return; // finish the in-flight request, then drain
+        }
+    }
+}
+
+/// Runs one request against a session, serializing on the per-session
+/// lock and accounting the request + wall time to the session.
+fn with_session(
+    ctx: &Ctx<'_>,
+    sid: u64,
+    f: impl FnOnce(&mut ServiceSession) -> Response,
+) -> Response {
+    let Some(entry) = ctx.registry.get(sid) else {
+        return Response::err(ErrCode::UnknownSession, format!("no session {sid}"));
+    };
+    let mut guard = entry.lock();
+    let start = Instant::now();
+    guard.requests += 1;
+    let response = f(&mut guard);
+    guard.wall += start.elapsed();
+    response
+}
+
+fn dispatch(request: Request, ctx: &Ctx<'_>) -> Response {
+    match request {
+        Request::Ping => Response::ok("pong"),
+        Request::Shutdown => Response::ok("draining"),
+        Request::Open { engine, index, gcl } => {
+            let layout = match format::parse(&gcl) {
+                Ok(l) => l,
+                Err(e) => return Response::err(ErrCode::Parse, format!("gcl: {e}")),
+            };
+            if let Err(e) = layout.validate() {
+                return Response::err(ErrCode::Layout, e.to_string());
+            }
+            let nets = layout.nets().len();
+            let cells = layout.cells().len();
+            let session = RoutingSession::builder(layout)
+                .config(RouterConfig::default())
+                .engine(engine.build())
+                .index(index)
+                .build();
+            let (sid, evicted) = ctx.registry.open(ServiceSession::new(session, engine));
+            let mut body = format!(
+                "engine {engine}\nindex {}\nnets {nets}\ncells {cells}\n",
+                index_name(index)
+            );
+            if let Some(old) = evicted {
+                body.push_str(&format!("evicted {old}\n"));
+            }
+            Response::ok_with(format!("{sid}"), body)
+        }
+        Request::Eco { sid, eco } => {
+            let ops = match parse_eco(&eco) {
+                Ok(ops) => ops,
+                Err(e) => return Response::err(ErrCode::Parse, format!("eco: {e}")),
+            };
+            with_session(ctx, sid, |s| match apply_eco(&mut s.session, &ops) {
+                Ok(report) => Response::ok_with(
+                    "eco",
+                    format!(
+                        "steps {}\nrerouted {}\nfailed {}\n",
+                        report.steps.len(),
+                        report.rerouted,
+                        report.failed
+                    ),
+                ),
+                Err(EcoError::UnknownName { kind, name }) => {
+                    Response::err(ErrCode::UnknownName, format!("unknown {kind} {name:?}"))
+                }
+                Err(EcoError::Parse { line, message }) => {
+                    Response::err(ErrCode::Parse, format!("eco line {line}: {message}"))
+                }
+                Err(EcoError::Layout(e)) => Response::err(ErrCode::Layout, e.to_string()),
+            })
+        }
+        Request::Route { sid, full } => with_session(ctx, sid, |s| {
+            if full || !s.routed_once {
+                let routing = s.session.route_all();
+                s.routed_once = true;
+                Response::ok_with(
+                    "route",
+                    format!(
+                        "mode full\nrouted {}\nfailed {}\nwire-length {}\n",
+                        routing.routed_count(),
+                        routing.failures.len(),
+                        routing.wire_length()
+                    ),
+                )
+            } else {
+                let outcome = s.session.reroute_dirty();
+                let stats = s.session.stats();
+                Response::ok_with(
+                    "route",
+                    format!(
+                        "mode dirty\nattempted {}\nrouted {}\nfailed {}\nwire-length {}\n",
+                        outcome.attempted, outcome.rerouted, outcome.failed, stats.wire_length
+                    ),
+                )
+            }
+        }),
+        Request::RipUp { sid, net } => with_session(ctx, sid, |s| {
+            let Some(id) = s.session.layout().net_by_name(&net) else {
+                return Response::err(ErrCode::UnknownName, format!("unknown net {net:?}"));
+            };
+            let had_route = s.session.rip_up(id);
+            Response::ok_with(
+                "ripup",
+                format!(
+                    "net {net}\nhad-route {had_route}\ndirty {}\n",
+                    s.session.dirty_nets().len()
+                ),
+            )
+        }),
+        Request::Stats { sid: Some(sid) } => with_session(ctx, sid, |s| {
+            let mut body = format_stats(&s.stats());
+            body.push_str(&format!(
+                "requests {}\nwall-us {}\nengine {}\nindex {}\n",
+                s.requests,
+                s.wall.as_micros(),
+                s.engine,
+                index_name(s.session.index_kind())
+            ));
+            Response::ok_with("stats", body)
+        }),
+        Request::Stats { sid: None } => Response::ok_with(
+            "server",
+            format!(
+                "sessions {}\ncapacity {}\nevictions {}\nconnections {}\nrequests {}\n\
+                 errors {}\nworkers {}\ndraining {}\n",
+                ctx.registry.len(),
+                ctx.registry.capacity(),
+                ctx.registry.evictions(),
+                ctx.counters.connections.load(Ordering::Relaxed),
+                ctx.counters.requests.load(Ordering::Relaxed),
+                ctx.counters.errors.load(Ordering::Relaxed),
+                ctx.workers,
+                ctx.drain.load(Ordering::SeqCst)
+            ),
+        ),
+        Request::Dump { sid } => with_session(ctx, sid, |s| {
+            Response::ok_with("dump", dump_routing(&s.session.routing()))
+        }),
+        Request::Close { sid } => {
+            if ctx.registry.close(sid) {
+                Response::ok(format!("closed {sid}"))
+            } else {
+                Response::err(ErrCode::UnknownSession, format!("no session {sid}"))
+            }
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! Service flow: the daemon as a warm-session transport.
+//!
+//! Starts an in-process `gcr-service` server on an ephemeral loopback
+//! port, opens a session over `fixtures/demo.gcl`, routes it, replays
+//! `fixtures/demo.eco` through the wire, and **diffs the dumped routes
+//! against an in-process [`RoutingSession`]** driven through the same
+//! sequence — the daemon must be a transport, never a different router.
+//!
+//! ```text
+//! cargo run --example service_flow
+//! ```
+
+use gcr::prelude::*;
+use gcr::router::{apply_eco, parse_eco};
+use gcr::service::{dump_routing, Client, EngineKind, Server, ServerConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let gcl = std::fs::read_to_string("fixtures/demo.gcl")?;
+    let eco = std::fs::read_to_string("fixtures/demo.eco")?;
+
+    // The daemon: ephemeral port, two workers, a handful of sessions.
+    let server = Server::bind(&ServerConfig {
+        capacity: 8,
+        workers: 2,
+        ..ServerConfig::default()
+    })?;
+    let addr = server.local_addr()?;
+    let daemon = std::thread::spawn(move || server.run());
+    println!("daemon listening on {addr}");
+
+    // The served session.
+    let mut client = Client::connect(addr)?;
+    let (sid, open) = client.open(EngineKind::Gridless, PlaneIndexKind::Sharded, &gcl)?;
+    println!(
+        "opened session {sid}: {} net(s), {} cell(s)",
+        open.field("nets").unwrap_or("?"),
+        open.field("cells").unwrap_or("?")
+    );
+    let route = client.route(sid, false)?;
+    println!(
+        "cold route : {} routed, wire length {}",
+        route.field("routed").unwrap_or("?"),
+        route.field("wire-length").unwrap_or("?")
+    );
+    let replay = client.eco(sid, &eco)?;
+    println!(
+        "eco replay : {} step(s), {} rerouted, {} failed",
+        replay.field("steps").unwrap_or("?"),
+        replay.field("rerouted").unwrap_or("?"),
+        replay.field("failed").unwrap_or("?")
+    );
+    let served_dump = client.dump(sid)?.body;
+
+    // The in-process twin: same layout text, same engine, same index,
+    // same ECO sequence.
+    let layout = gcr::layout::format::parse(&gcl)?;
+    let mut local = RoutingSession::builder(layout)
+        .config(RouterConfig::default())
+        .engine(EngineKind::Gridless.build())
+        .index(PlaneIndexKind::Sharded)
+        .build();
+    local.route_all();
+    apply_eco(&mut local, &parse_eco(&eco)?)?;
+    let local_dump = dump_routing(&local.routing());
+
+    // The diff that matters: byte-identical dumps.
+    if served_dump == local_dump {
+        println!(
+            "served routes == in-process routes ({} line(s), byte-identical)",
+            local_dump.lines().count()
+        );
+    } else {
+        for (i, (s, l)) in served_dump.lines().zip(local_dump.lines()).enumerate() {
+            if s != l {
+                println!("line {i}:\n  served: {s}\n  local : {l}");
+            }
+        }
+        return Err("served and in-process dumps differ".into());
+    }
+    println!(
+        "served stats : {}",
+        client.stats(Some(sid))?.body.replace('\n', " ")
+    );
+    println!("local  stats : {}", local.stats());
+
+    client.close_session(sid)?;
+    client.shutdown()?;
+    let report = daemon.join().expect("daemon thread")?;
+    println!(
+        "daemon drained: {} connection(s), {} request(s), {} error(s)",
+        report.connections, report.requests, report.errors
+    );
+    Ok(())
+}

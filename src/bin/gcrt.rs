@@ -9,10 +9,14 @@
 //! gcrt eco chip.gcl changes.eco       # replay an ECO change list
 //! gcrt check chip.gcl                 # parse + validate only
 //! gcrt stats chip.gcl                 # layout statistics
+//! gcrt serve --addr 127.0.0.1:4242    # run the routing daemon
+//! gcrt client 127.0.0.1:4242 ping     # drive a running daemon
 //! ```
 //!
 //! Every routing command drives a [`RoutingSession`]: the CLI is a thin
-//! shell over the same owned, incremental API services embed.
+//! shell over the same owned, incremental API services embed — and
+//! `gcrt serve` keeps those sessions warm behind the `gcr-service` wire
+//! protocol (see `gcrt client` for the request verbs).
 
 use std::process::ExitCode;
 
@@ -20,6 +24,7 @@ use gcr::detail::route_details;
 use gcr::layout::{format, render};
 use gcr::prelude::*;
 use gcr::router::{apply_eco, parse_eco};
+use gcr::service::{Client, ClientError, EngineKind, Reply, Server, ServerConfig};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -33,7 +38,7 @@ fn main() -> ExitCode {
 }
 
 /// Flags that consume the following argument as their value.
-const VALUE_FLAGS: &[&str] = &["--render", "--engine"];
+const VALUE_FLAGS: &[&str] = &["--render", "--engine", "--addr", "--capacity", "--workers"];
 
 fn run(args: &[String]) -> Result<(), String> {
     // Positional arguments: everything that is neither a flag nor the
@@ -62,6 +67,18 @@ fn run(args: &[String]) -> Result<(), String> {
             .and_then(|i| args.get(i + 1))
     };
     let int_of = |name: &str| value_of(name).and_then(|v| v.parse::<i64>().ok());
+    // Strict form: an unparseable value is an error, not a silent
+    // fallback to the default (a daemon sized by a typo is worse than
+    // no daemon).
+    let int_value = |name: &str| -> Result<Option<i64>, String> {
+        match value_of(name) {
+            None => Ok(None),
+            Some(v) => v
+                .parse::<i64>()
+                .map(Some)
+                .map_err(|_| format!("{name} requires an integer, got {v:?}")),
+        }
+    };
 
     match command {
         "help" | "--help" | "-h" => {
@@ -71,15 +88,29 @@ fn run(args: &[String]) -> Result<(), String> {
                  \x20 route   route every net and print a report\n\
                  \x20 eco     replay a .eco change list against a routing session\n\
                  \x20 check   parse and validate the layout\n\
-                 \x20 stats   print layout statistics\n\n\
+                 \x20 stats   print layout statistics\n\
+                 \x20 serve   run the routing daemon (gcr-service)\n\
+                 \x20 client  drive a running daemon: gcrt client <addr> <cmd> [...]\n\n\
                  options:\n\
                  \x20 --engine E      routing backend: gridless (default), grid,\n\
                  \x20                 lee-moore, hightower\n\
                  \x20 --sharded       bucket-grid plane index with query caching\n\
                  \x20 --serial        disable parallel net routing\n\
                  \x20 --two-pass      congestion-aware two-pass routing\n\
+                 \x20 --precise-dirty exact segment-vs-rect ECO dirty tracking\n\
                  \x20 --render N      ASCII-render at N layout units per column\n\
-                 \x20 --no-epsilon    disable the inverted-corner penalty"
+                 \x20 --no-epsilon    disable the inverted-corner penalty\n\n\
+                 serve options:\n\
+                 \x20 --addr A        bind address (default 127.0.0.1:4242)\n\
+                 \x20 --capacity N    session-registry capacity (default 64)\n\
+                 \x20 --workers N     worker threads (default: machine parallelism)\n\n\
+                 client commands (<sid> comes from open's reply):\n\
+                 \x20 ping | shutdown\n\
+                 \x20 open <engine> <flat|sharded> <file.gcl>\n\
+                 \x20 eco <sid> <file.eco>\n\
+                 \x20 route <sid> [full]     ripup <sid> <net>\n\
+                 \x20 stats [<sid>]          dump <sid>\n\
+                 \x20 close <sid>"
             );
             Ok(())
         }
@@ -119,7 +150,7 @@ fn run(args: &[String]) -> Result<(), String> {
             } else {
                 session.route_all()
             };
-            println!("{routing}");
+            println!("{}", session.stats());
             for route in &routing.routes {
                 println!("  {route}");
             }
@@ -154,8 +185,8 @@ fn run(args: &[String]) -> Result<(), String> {
                 .map_err(|e| format!("{eco_path}: {e}"))?;
             let ops = parse_eco(&text).map_err(|e| format!("{eco_path}: {e}"))?;
             let mut session = build_session(layout, args)?;
-            let baseline = session.route_all();
-            println!("baseline: {baseline}");
+            session.route_all();
+            println!("baseline: {}", session.stats());
             let report = apply_eco(&mut session, &ops).map_err(|e| e.to_string())?;
             for step in &report.steps {
                 match &step.reroute {
@@ -173,7 +204,7 @@ fn run(args: &[String]) -> Result<(), String> {
                 report.steps.len()
             );
             let routing = session.routing();
-            println!("{routing}");
+            println!("final: {}", session.stats());
             if let Some(scale) = int_of("--render") {
                 render_routes(session.layout(), &routing, scale);
             }
@@ -189,8 +220,123 @@ fn run(args: &[String]) -> Result<(), String> {
                 ))
             }
         }
+        "serve" => {
+            let addr = value_of("--addr")
+                .cloned()
+                .unwrap_or_else(|| "127.0.0.1:4242".to_string());
+            let capacity = int_value("--capacity")?.unwrap_or(64);
+            if capacity < 1 {
+                return Err("--capacity must be at least 1".to_string());
+            }
+            let workers = int_value("--workers")?.unwrap_or(0);
+            if workers < 0 {
+                return Err("--workers must be non-negative".to_string());
+            }
+            let config = ServerConfig {
+                addr,
+                capacity: capacity as usize,
+                workers: workers as usize,
+                queue: 0,
+            };
+            let server = Server::bind(&config).map_err(|e| format!("{}: {e}", config.addr))?;
+            println!(
+                "gcr-service listening on {} (capacity {}, workers {})",
+                server.local_addr().map_err(|e| e.to_string())?,
+                capacity,
+                server.workers()
+            );
+            let report = server.run().map_err(|e| e.to_string())?;
+            println!(
+                "gcr-service drained: {} connection(s), {} request(s), {} error(s), \
+                 {} session(s) open, {} eviction(s)",
+                report.connections,
+                report.requests,
+                report.errors,
+                report.sessions_open,
+                report.evictions
+            );
+            Ok(())
+        }
+        "client" => {
+            let addr = positionals.get(1).ok_or("missing daemon address")?;
+            let verb = positionals
+                .get(2)
+                .map(|s| s.as_str())
+                .ok_or("missing client command; try gcrt help")?;
+            let rest = &positionals[3..];
+            run_client(addr, verb, rest)
+        }
         other => Err(format!("unknown command {other:?}; try gcrt help")),
     }
+}
+
+/// One `gcrt client` exchange: build the request, print the reply
+/// (status head, then body) and exit 0 on `OK` / 2 on `ERR`.
+fn run_client(addr: &str, verb: &str, rest: &[&String]) -> Result<(), String> {
+    let mut client = Client::connect(addr).map_err(|e| format!("{addr}: {e}"))?;
+    let arg = |i: usize, what: &str| -> Result<&str, String> {
+        rest.get(i)
+            .map(|s| s.as_str())
+            .ok_or_else(|| format!("{verb}: missing {what}"))
+    };
+    let sid_arg = |i: usize| -> Result<u64, String> {
+        let token = arg(i, "session id")?;
+        token
+            .parse::<u64>()
+            .map_err(|_| format!("{verb}: bad session id {token:?}"))
+    };
+    let file_arg = |i: usize, what: &str| -> Result<String, String> {
+        let path = arg(i, what)?;
+        std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))
+    };
+    let reply: Result<Reply, ClientError> = match verb {
+        "ping" => client.ping(),
+        "shutdown" => client.shutdown(),
+        "open" => {
+            let engine = arg(0, "engine")?;
+            let engine =
+                EngineKind::parse(engine).ok_or_else(|| format!("unknown engine {engine:?}"))?;
+            let index = match arg(1, "index (flat|sharded)")? {
+                "flat" => PlaneIndexKind::Flat,
+                "sharded" => PlaneIndexKind::Sharded,
+                other => return Err(format!("unknown index {other:?}")),
+            };
+            let gcl = file_arg(2, ".gcl file")?;
+            client.open(engine, index, &gcl).map(|(_, reply)| reply)
+        }
+        "eco" => {
+            let sid = sid_arg(0)?;
+            let eco = file_arg(1, ".eco file")?;
+            client.eco(sid, &eco)
+        }
+        "route" => {
+            let full = match rest.get(1).map(|s| s.as_str()) {
+                None => false,
+                Some("full") => true,
+                Some(other) => return Err(format!("unknown route modifier {other:?}")),
+            };
+            client.route(sid_arg(0)?, full)
+        }
+        "ripup" => {
+            let sid = sid_arg(0)?;
+            let net = arg(1, "net name")?;
+            client.rip_up(sid, net)
+        }
+        "stats" => {
+            let sid = match rest.first() {
+                Some(_) => Some(sid_arg(0)?),
+                None => None,
+            };
+            client.stats(sid)
+        }
+        "dump" => client.dump(sid_arg(0)?),
+        "close" => client.close_session(sid_arg(0)?),
+        other => return Err(format!("unknown client command {other:?}; try gcrt help")),
+    };
+    let reply = reply.map_err(|e| e.to_string())?;
+    println!("OK {}", reply.head);
+    print!("{}", reply.body);
+    Ok(())
 }
 
 /// Builds the routing session the flags describe: engine, spatial index,
@@ -198,7 +344,7 @@ fn run(args: &[String]) -> Result<(), String> {
 fn build_session(
     layout: Layout,
     args: &[String],
-) -> Result<RoutingSession<Box<dyn RoutingEngine>>, String> {
+) -> Result<RoutingSession<gcr::service::BoxedEngine>, String> {
     let flag = |name: &str| args.iter().any(|a| a == name);
     let engine_name = match args.iter().position(|a| a == "--engine") {
         Some(i) => args.get(i + 1).map(String::as_str).ok_or_else(|| {
@@ -206,17 +352,14 @@ fn build_session(
         })?,
         None => "gridless",
     };
-    let engine: Box<dyn RoutingEngine> = match engine_name {
-        "gridless" => Box::new(GridlessEngine),
-        "grid" => Box::new(GridEngine::default()),
-        "lee-moore" => Box::new(GridEngine::lee_moore()),
-        "hightower" => Box::new(HightowerEngine::default()),
-        other => {
-            return Err(format!(
-                "unknown engine {other:?}; expected gridless, grid, lee-moore or hightower"
-            ))
-        }
-    };
+    // The CLI and the daemon's OPEN verb resolve engines identically.
+    let engine = EngineKind::parse(engine_name)
+        .ok_or_else(|| {
+            format!(
+                "unknown engine {engine_name:?}; expected gridless, grid, lee-moore or hightower"
+            )
+        })?
+        .build();
     let mut config = RouterConfig::default();
     if flag("--no-epsilon") {
         config.corner_penalty(false);
@@ -224,6 +367,7 @@ fn build_session(
     let mut builder = RoutingSession::builder(layout)
         .config(config)
         .engine(engine)
+        .precise_dirty(flag("--precise-dirty"))
         .index(if flag("--sharded") {
             PlaneIndexKind::Sharded
         } else {

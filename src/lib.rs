@@ -24,7 +24,13 @@
 //! * [`detail`] — the detailed-routing substrate (dynamic channels +
 //!   left-edge track assignment),
 //! * [`workload`] — seeded instance generators and the paper's figure
-//!   fixtures.
+//!   fixtures,
+//! * [`service`] — the long-running routing daemon: a
+//!   [`SessionRegistry`](service::SessionRegistry) of warm sessions
+//!   behind a line-oriented TCP wire protocol, with the bounded-pool
+//!   [`Server`](service::Server) and blocking
+//!   [`Client`](service::Client) that `gcrt serve` / `gcrt client`
+//!   expose.
 //!
 //! See `ARCHITECTURE.md` for the crate DAG, the engine contract and the
 //! parallel-batch invariants.
@@ -114,6 +120,7 @@ pub use gcr_grid as grid;
 pub use gcr_hightower as hightower;
 pub use gcr_layout as layout;
 pub use gcr_search as search;
+pub use gcr_service as service;
 pub use gcr_steiner as steiner;
 pub use gcr_workload as workload;
 
@@ -123,7 +130,7 @@ pub mod prelude {
         route_two_points, BatchConfig, BatchRouter, EngineCaps, GlobalRouter, GlobalRouting,
         GridEngine, GridlessEngine, HightowerEngine, NetRoute, PlaneIndexKind, RerouteOutcome,
         RouteError, RouteTree, RoutedPath, RouterConfig, RoutingEngine, RoutingSession,
-        SearchScratch, SessionBuilder,
+        SearchScratch, SessionBuilder, SessionStats,
     };
     pub use gcr_geom::{
         Axis, Coord, Dir, Interval, Plane, PlaneIndex, Point, Polyline, Rect, Segment, ShardedPlane,

@@ -1,0 +1,477 @@
+//! The differential harness guarding `gcr-service`: the daemon is a
+//! *transport*, not a different router — routes fetched through the wire
+//! must be **byte-identical** to an in-process [`RoutingSession`] driven
+//! through the same layout and ECO sequence, for every engine and both
+//! plane indexes. On top of the differential: seeded encode/decode
+//! sweeps of the protocol itself, the malformed-input error paths a
+//! daemon must survive, and the registry behaviors (LRU eviction,
+//! capacity, concurrent clients) observed through the wire.
+
+use std::io::{BufReader, Write};
+use std::net::TcpStream;
+use std::thread;
+
+use gcr::prelude::*;
+use gcr::router::{apply_eco, parse_eco};
+use gcr::service::{
+    dump_routing, format_stats, proto, Client, ClientError, EngineKind, ErrCode, Request, Response,
+    Server, ServerConfig, WireError,
+};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// Starts a server on an ephemeral loopback port; returns its address
+/// and the join handle delivering the final report.
+fn spawn_server(
+    capacity: usize,
+    workers: usize,
+) -> (
+    std::net::SocketAddr,
+    thread::JoinHandle<gcr::service::ServerReport>,
+) {
+    let server = Server::bind(&ServerConfig {
+        capacity,
+        workers,
+        ..ServerConfig::default()
+    })
+    .expect("bind ephemeral loopback port");
+    let addr = server.local_addr().unwrap();
+    let handle = thread::spawn(move || server.run().expect("server run"));
+    (addr, handle)
+}
+
+fn demo_gcl() -> String {
+    std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/fixtures/demo.gcl")).unwrap()
+}
+
+fn demo_eco() -> String {
+    std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/fixtures/demo.eco")).unwrap()
+}
+
+// --------------------------------------------------------------- proto
+
+/// A random line that exercises the dot-stuffing and whitespace edges.
+fn random_line(rng: &mut StdRng) -> String {
+    let atoms = [
+        ".",
+        "..",
+        ".x",
+        "move a 1 0",
+        "cell b 1 1 2 2",
+        "#comment",
+        "",
+        "  indented",
+        "net w 0 0 9 9",
+        "reroute",
+    ];
+    atoms[rng.gen_range(0..atoms.len())].to_string()
+}
+
+fn random_body(rng: &mut StdRng) -> String {
+    let lines = rng.gen_range(0..6usize);
+    let mut body = String::new();
+    for _ in 0..lines {
+        body.push_str(&random_line(rng));
+        body.push('\n');
+    }
+    body
+}
+
+fn random_request(rng: &mut StdRng) -> Request {
+    let engines = EngineKind::ALL;
+    let indexes = [PlaneIndexKind::Flat, PlaneIndexKind::Sharded];
+    match rng.gen_range(0..9u32) {
+        0 => Request::Ping,
+        1 => Request::Open {
+            engine: engines[rng.gen_range(0..engines.len())],
+            index: indexes[rng.gen_range(0..indexes.len())],
+            gcl: random_body(rng),
+        },
+        2 => Request::Eco {
+            sid: rng.gen_range(0..1000u64),
+            eco: random_body(rng),
+        },
+        3 => Request::Route {
+            sid: rng.gen_range(0..1000u64),
+            full: rng.gen(),
+        },
+        4 => Request::RipUp {
+            sid: rng.gen_range(0..1000u64),
+            net: format!("net{}", rng.gen_range(0..50u32)),
+        },
+        5 => Request::Stats {
+            sid: rng.gen::<bool>().then(|| rng.gen_range(0..1000u64)),
+        },
+        6 => Request::Dump {
+            sid: rng.gen_range(0..1000u64),
+        },
+        7 => Request::Close {
+            sid: rng.gen_range(0..1000u64),
+        },
+        _ => Request::Shutdown,
+    }
+}
+
+fn random_response(rng: &mut StdRng) -> Response {
+    if rng.gen() {
+        Response::Ok {
+            head: format!("head{}", rng.gen_range(0..100u32)),
+            body: random_body(rng),
+        }
+    } else {
+        let codes = [
+            ErrCode::BadRequest,
+            ErrCode::UnknownVerb,
+            ErrCode::UnknownSession,
+            ErrCode::UnknownName,
+            ErrCode::Parse,
+            ErrCode::Layout,
+            ErrCode::Truncated,
+            ErrCode::ShuttingDown,
+            ErrCode::Internal,
+        ];
+        Response::Err(WireError::new(
+            codes[rng.gen_range(0..codes.len())],
+            format!("reason {}", rng.gen_range(0..100u32)),
+        ))
+    }
+}
+
+#[test]
+fn seeded_request_roundtrip_sweep() {
+    for case in 0..200u64 {
+        let mut rng = StdRng::seed_from_u64(case);
+        let req = random_request(&mut rng);
+        let mut wire = Vec::new();
+        proto::write_request(&mut wire, &req).unwrap();
+        let mut reader = BufReader::new(wire.as_slice());
+        let back = proto::read_request(&mut reader)
+            .unwrap()
+            .unwrap_or_else(|| panic!("case {case}: EOF"))
+            .unwrap_or_else(|e| panic!("case {case}: {e}"));
+        assert_eq!(back, req, "case {case}");
+        assert!(
+            proto::read_request(&mut reader).unwrap().is_none(),
+            "case {case}: frame must consume exactly itself"
+        );
+        // Encoding is a fixed point: encode(decode(encode(x))) == encode(x).
+        let mut rewire = Vec::new();
+        proto::write_request(&mut rewire, &back).unwrap();
+        assert_eq!(rewire, wire, "case {case}: canonical encoding");
+    }
+}
+
+#[test]
+fn seeded_response_roundtrip_sweep() {
+    for case in 0..200u64 {
+        let mut rng = StdRng::seed_from_u64(0x5eed ^ case);
+        let resp = random_response(&mut rng);
+        let mut wire = Vec::new();
+        proto::write_response(&mut wire, &resp).unwrap();
+        let back = proto::read_response(&mut BufReader::new(wire.as_slice())).unwrap();
+        assert_eq!(back, resp, "case {case}");
+    }
+}
+
+#[test]
+fn pipelined_requests_decode_in_sequence() {
+    // Several frames on one stream (what a keep-alive connection sends).
+    let requests = [
+        Request::Ping,
+        Request::Eco {
+            sid: 3,
+            eco: ".dotted\nmove a 1 0\n".to_string(),
+        },
+        Request::Route { sid: 3, full: true },
+        Request::Shutdown,
+    ];
+    let mut wire = Vec::new();
+    for r in &requests {
+        proto::write_request(&mut wire, r).unwrap();
+    }
+    let mut reader = BufReader::new(wire.as_slice());
+    for r in &requests {
+        let got = proto::read_request(&mut reader).unwrap().unwrap().unwrap();
+        assert_eq!(&got, r);
+    }
+    assert!(proto::read_request(&mut reader).unwrap().is_none());
+}
+
+// ---------------------------------------------------- malformed inputs
+
+/// Sends raw bytes and returns the (typed) first response.
+fn raw_exchange(addr: std::net::SocketAddr, bytes: &[u8]) -> Response {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream.write_all(bytes).unwrap();
+    stream.shutdown(std::net::Shutdown::Write).unwrap();
+    let mut reader = BufReader::new(stream);
+    proto::read_response(&mut reader).unwrap()
+}
+
+#[test]
+fn malformed_inputs_get_typed_errors() {
+    let (addr, handle) = spawn_server(4, 2);
+    for (bytes, code) in [
+        (&b"FROBNICATE\n"[..], ErrCode::UnknownVerb),
+        (&b"ROUTE zebra\n"[..], ErrCode::BadRequest),
+        (&b"ROUTE\n"[..], ErrCode::BadRequest),
+        (&b"OPEN gridless\n"[..], ErrCode::BadRequest),
+        (&b"OPEN warp flat\n.\n"[..], ErrCode::BadRequest),
+        // Truncated dot-framed body: EOF before the '.' terminator.
+        (
+            &b"OPEN gridless flat\ngcl 1\nbounds 0 0 9 9\n"[..],
+            ErrCode::Truncated,
+        ),
+        (&b"ECO 1\nmove a 1 0\n"[..], ErrCode::Truncated),
+        // Bodies that frame correctly but do not parse.
+        (
+            &b"OPEN gridless flat\nnot a layout\n.\n"[..],
+            ErrCode::Parse,
+        ),
+        // Valid frame, nonexistent session.
+        (&b"ROUTE 9999\n"[..], ErrCode::UnknownSession),
+        (&b"DUMP 9999\n"[..], ErrCode::UnknownSession),
+        (&b"CLOSE 9999\n"[..], ErrCode::UnknownSession),
+    ] {
+        match raw_exchange(addr, bytes) {
+            Response::Err(e) => assert_eq!(e.code, code, "{bytes:?}: {e}"),
+            Response::Ok { head, .. } => panic!("{bytes:?}: unexpected OK {head}"),
+        }
+    }
+    // A layout that parses but fails validation (pin outside bounds).
+    let gcl = b"OPEN gridless flat\ngcl 1\nbounds 0 0 9 9\nnet w\nterminal a\npin - 50 50\nterminal b\npin - 1 1\n.\n";
+    match raw_exchange(addr, gcl) {
+        Response::Err(e) => assert_eq!(e.code, ErrCode::Layout, "{e}"),
+        Response::Ok { head, .. } => panic!("unexpected OK {head}"),
+    }
+    let mut client = Client::connect(addr).unwrap();
+    client.shutdown().unwrap();
+    let report = handle.join().unwrap();
+    assert!(report.errors >= 12, "every bad exchange was counted");
+}
+
+#[test]
+fn eco_error_paths_are_typed() {
+    let (addr, handle) = spawn_server(4, 1);
+    let mut client = Client::connect(addr).unwrap();
+    let (sid, _) = client
+        .open(EngineKind::Gridless, PlaneIndexKind::Flat, &demo_gcl())
+        .unwrap();
+    // Unknown net / cell names inside an otherwise valid change list.
+    match client.eco(sid, "ripup nosuchnet\n") {
+        Err(ClientError::Server(e)) => assert_eq!(e.code, ErrCode::UnknownName),
+        other => panic!("expected UNKNOWN-NAME, got {other:?}"),
+    }
+    match client.eco(sid, "move nosuchcell 1 0\n") {
+        Err(ClientError::Server(e)) => assert_eq!(e.code, ErrCode::UnknownName),
+        other => panic!("expected UNKNOWN-NAME, got {other:?}"),
+    }
+    // Grammar errors carry the PARSE code.
+    match client.eco(sid, "frobnicate\n") {
+        Err(ClientError::Server(e)) => assert_eq!(e.code, ErrCode::Parse),
+        other => panic!("expected PARSE, got {other:?}"),
+    }
+    // Duplicate net names are rejected at the layout layer.
+    match client.eco(sid, "net clk 1 1 5 5\n") {
+        Err(ClientError::Server(e)) => assert_eq!(e.code, ErrCode::Layout),
+        other => panic!("expected LAYOUT, got {other:?}"),
+    }
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+}
+
+// ------------------------------------------------ loopback differential
+
+/// Drives the same layout + ECO sequence through the daemon and through
+/// an in-process session; every served artifact must be byte-identical
+/// to the in-process one.
+fn assert_served_equals_in_process(engine: EngineKind, index: PlaneIndexKind) {
+    let what = format!("{engine}/{}", gcr::service::index_name(index));
+    let gcl = demo_gcl();
+    let eco = demo_eco();
+    let (addr, handle) = spawn_server(4, 2);
+    let mut client = Client::connect(addr).unwrap();
+    let (sid, open) = client.open(engine, index, &gcl).unwrap();
+    assert_eq!(open.int_field("nets"), Some(3), "{what}");
+
+    // In-process twin: same layout text, same engine, same index.
+    let layout = gcr::layout::format::parse(&gcl).unwrap();
+    let mut local = RoutingSession::builder(layout)
+        .config(RouterConfig::default())
+        .engine(engine.build())
+        .index(index)
+        .build();
+
+    // 1. Cold full route.
+    let served_route = client.route(sid, false).unwrap();
+    let local_routing = local.route_all();
+    assert_eq!(served_route.field("mode"), Some("full"), "{what}");
+    assert_eq!(
+        served_route.int_field("routed"),
+        Some(local_routing.routed_count() as i64),
+        "{what}"
+    );
+    assert_eq!(
+        served_route.int_field("wire-length"),
+        Some(local_routing.wire_length()),
+        "{what}"
+    );
+    assert_eq!(
+        client.dump(sid).unwrap().body,
+        dump_routing(&local.routing()),
+        "{what}: post-route dump"
+    );
+
+    // 2. ECO replay (the demo change list, byte for byte).
+    let served_eco = client.eco(sid, &eco).unwrap();
+    let report = apply_eco(&mut local, &parse_eco(&eco).unwrap()).unwrap();
+    assert_eq!(
+        served_eco.int_field("rerouted"),
+        Some(report.rerouted as i64),
+        "{what}"
+    );
+    assert_eq!(
+        served_eco.int_field("failed"),
+        Some(report.failed as i64),
+        "{what}"
+    );
+    assert_eq!(
+        client.dump(sid).unwrap().body,
+        dump_routing(&local.routing()),
+        "{what}: post-eco dump"
+    );
+
+    // 3. Warm rip-up + dirty reroute (the ECO-loop hot path).
+    let victim = "data";
+    let served_rip = client.rip_up(sid, victim).unwrap();
+    let local_id = local.layout().net_by_name(victim).unwrap();
+    let had = local.rip_up(local_id);
+    assert_eq!(
+        served_rip.field("had-route"),
+        Some(if had { "true" } else { "false" }),
+        "{what}"
+    );
+    let served_reroute = client.route(sid, false).unwrap();
+    let outcome = local.reroute_dirty();
+    assert_eq!(served_reroute.field("mode"), Some("dirty"), "{what}");
+    assert_eq!(
+        served_reroute.int_field("attempted"),
+        Some(outcome.attempted as i64),
+        "{what}"
+    );
+    let dump = client.dump(sid).unwrap().body;
+    assert_eq!(dump, dump_routing(&local.routing()), "{what}: final dump");
+
+    // 4. Stats: the session-stat lines must match exactly (the served
+    // reply appends service-level lines after them).
+    let served_stats = client.stats(Some(sid)).unwrap().body;
+    let expected = format_stats(&local.stats());
+    assert!(
+        served_stats.starts_with(&expected),
+        "{what}: stats\nserved:\n{served_stats}\nexpected prefix:\n{expected}"
+    );
+
+    client.close_session(sid).unwrap();
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+}
+
+#[test]
+fn served_routes_equal_in_process_routes() {
+    for engine in [
+        EngineKind::Gridless,
+        EngineKind::Grid,
+        EngineKind::Hightower,
+    ] {
+        for index in [PlaneIndexKind::Flat, PlaneIndexKind::Sharded] {
+            assert_served_equals_in_process(engine, index);
+        }
+    }
+}
+
+// -------------------------------------------------- registry via wire
+
+#[test]
+fn capacity_evicts_lru_over_the_wire() {
+    let (addr, handle) = spawn_server(2, 1);
+    let mut client = Client::connect(addr).unwrap();
+    let gcl = demo_gcl();
+    let (a, _) = client
+        .open(EngineKind::Gridless, PlaneIndexKind::Flat, &gcl)
+        .unwrap();
+    let (b, _) = client
+        .open(EngineKind::Gridless, PlaneIndexKind::Flat, &gcl)
+        .unwrap();
+    // Touch a so b is the LRU victim.
+    client.stats(Some(a)).unwrap();
+    let (c, open) = client
+        .open(EngineKind::Gridless, PlaneIndexKind::Flat, &gcl)
+        .unwrap();
+    assert_eq!(open.int_field("evicted"), Some(b as i64));
+    // The evicted session is gone; the survivors still answer.
+    match client.stats(Some(b)) {
+        Err(ClientError::Server(e)) => assert_eq!(e.code, ErrCode::UnknownSession),
+        other => panic!("expected UNKNOWN-SESSION, got {other:?}"),
+    }
+    client.stats(Some(a)).unwrap();
+    client.stats(Some(c)).unwrap();
+    let server_stats = client.stats(None).unwrap();
+    assert_eq!(server_stats.int_field("sessions"), Some(2));
+    assert_eq!(server_stats.int_field("evictions"), Some(1));
+    client.shutdown().unwrap();
+    let report = handle.join().unwrap();
+    assert_eq!(report.evictions, 1);
+    assert_eq!(report.sessions_open, 2);
+}
+
+#[test]
+fn concurrent_clients_route_independent_sessions() {
+    let (addr, handle) = spawn_server(8, 4);
+    let gcl = demo_gcl();
+    let wires: Vec<String> = thread::scope(|scope| {
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let gcl = &gcl;
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).unwrap();
+                    let (sid, _) = client
+                        .open(EngineKind::Gridless, PlaneIndexKind::Sharded, gcl)
+                        .unwrap();
+                    client.route(sid, false).unwrap();
+                    let dump = client.dump(sid).unwrap().body;
+                    client.close_session(sid).unwrap();
+                    dump
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    // Four independent sessions over the same layout: identical dumps.
+    for w in &wires[1..] {
+        assert_eq!(w, &wires[0]);
+    }
+    let mut client = Client::connect(addr).unwrap();
+    client.shutdown().unwrap();
+    let report = handle.join().unwrap();
+    assert_eq!(report.sessions_open, 0);
+    assert!(report.connections >= 5);
+}
+
+#[test]
+fn draining_server_rejects_new_work_then_exits() {
+    let (addr, handle) = spawn_server(2, 2);
+    let mut client = Client::connect(addr).unwrap();
+    client.ping().unwrap();
+    client.shutdown().unwrap();
+    // The shutdown connection is closed after the reply.
+    assert!(matches!(client.ping(), Err(ClientError::Io(_))));
+    handle.join().unwrap();
+    // And the port stops accepting (give the OS a beat to tear down).
+    std::thread::sleep(std::time::Duration::from_millis(50));
+    assert!(
+        Client::connect(addr).is_err() || {
+            // A connect may still succeed during teardown; a request must not.
+            let mut c = Client::connect(addr).unwrap();
+            c.ping().is_err()
+        }
+    );
+}

@@ -294,6 +294,121 @@ fn mutations_converge_to_the_fresh_route() {
     }
 }
 
+/// [`SessionStats`] must agree with the assembled [`GlobalRouting`] at
+/// every point of the lifecycle, for every engine.
+#[test]
+fn stats_agree_with_the_assembled_routing() {
+    let layout = scaling_instance(2, 2, 6, 2, 11);
+    let engines: Vec<(&str, gcr::service::BoxedEngine)> = vec![
+        ("gridless", Box::new(GridlessEngine)),
+        ("grid", Box::new(GridEngine::default())),
+        ("hightower", Box::new(HightowerEngine::default())),
+    ];
+    for (name, engine) in engines {
+        let mut session = RoutingSession::builder(layout.clone())
+            .config(RouterConfig::default())
+            .engine(engine)
+            .build();
+        let zero = session.stats();
+        assert_eq!(zero.nets, layout.nets().len(), "{name}");
+        assert_eq!(zero.unrouted, zero.nets, "{name}");
+        assert_eq!(zero.reroutes, 0, "{name}");
+        let routing = session.route_all();
+        let stats = session.stats();
+        assert_eq!(stats.routed, routing.routed_count(), "{name}");
+        assert_eq!(stats.failed, routing.failures.len(), "{name}");
+        assert_eq!(stats.unrouted, 0, "{name}");
+        assert_eq!(stats.wire_length, routing.wire_length(), "{name}");
+        assert_eq!(stats.reroutes, 0, "{name}: first attempts");
+        // A full re-route: every net's second attempt is a reroute.
+        session.mark_all_dirty();
+        assert_eq!(session.stats().dirty, stats.nets, "{name}");
+        session.reroute_dirty();
+        let again = session.stats();
+        assert_eq!(again.reroutes, stats.nets as u64, "{name}");
+        assert_eq!(again.wire_length, stats.wire_length, "{name}: stable");
+        assert_eq!(again.dirty, 0, "{name}");
+    }
+}
+
+/// The precise (segment-vs-rect) dirty test must mark a **subset** of
+/// what the bounding-box test marks, reroute that subset to exactly the
+/// fresh result, and leave every committed route legal — across seeded
+/// instances, both plane indexes.
+#[test]
+fn precise_dirty_tracking_differential() {
+    for case in 0..4u64 {
+        let layout = scaling_instance(2, 2, 6, 1, case);
+        // A small blockage whose position walks with the case, so the
+        // sweep sees hits, misses and boundary touches.
+        let offset = 2 + (case as i64) * 7;
+        let blk = Rect::new(offset, offset, offset + 4, offset + 4).unwrap();
+        for batch in [BatchConfig::serial(), BatchConfig::sharded()] {
+            let what = format!("case {case}/{:?}", batch.index);
+            let build = |precise: bool| {
+                RoutingSession::builder(layout.clone())
+                    .config(RouterConfig::default())
+                    .batch(batch)
+                    .precise_dirty(precise)
+                    .build()
+            };
+            let mut bbox = build(false);
+            let mut precise = build(true);
+            assert_routing_identical(
+                &bbox.route_all(),
+                &precise.route_all(),
+                &format!("{what}: the flag must not change routing"),
+            );
+            bbox.add_obstacle("blk", blk).unwrap();
+            precise.add_obstacle("blk", blk).unwrap();
+            let bbox_dirty = bbox.dirty_nets();
+            let precise_dirty = precise.dirty_nets();
+            assert!(
+                precise_dirty.iter().all(|id| bbox_dirty.contains(id)),
+                "{what}: precise ⊆ bbox ({precise_dirty:?} vs {bbox_dirty:?})"
+            );
+            bbox.reroute_dirty();
+            precise.reroute_dirty();
+            // Both modes commit equal-cost states (ties may resolve to
+            // different but equally long wire).
+            assert_eq!(
+                bbox.routing().wire_length(),
+                precise.routing().wire_length(),
+                "{what}: equal wire either way"
+            );
+            assert_eq!(
+                bbox.routing().failures.len(),
+                precise.routing().failures.len(),
+                "{what}"
+            );
+            // Precise mode: every re-routed net equals the fresh route,
+            // and every committed route is legal on the mutated plane.
+            let fresh = RoutingSession::builder(precise.layout().clone())
+                .config(RouterConfig::default())
+                .batch(batch)
+                .build()
+                .route_all();
+            for id in precise.layout().net_ids() {
+                let Some(mine) = precise.route(id) else {
+                    continue;
+                };
+                assert!(
+                    mine.tree
+                        .segments()
+                        .iter()
+                        .all(|s| precise.plane().segment_free(s.a(), s.b())),
+                    "{what} {id}: committed wire must stay legal"
+                );
+                if precise_dirty.contains(&id) {
+                    let theirs = fresh.route_for(id).unwrap();
+                    assert_eq!(mine.tree.segments(), theirs.tree.segments(), "{what} {id}");
+                    assert_eq!(mine.stats, theirs.stats, "{what} {id}");
+                }
+            }
+        }
+    }
+}
+
 /// The shipped demo change list replays cleanly against the demo layout
 /// and converges to the fresh route of the mutated design.
 #[test]
