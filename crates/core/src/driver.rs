@@ -70,6 +70,26 @@ impl PlaneStore {
         }
     }
 
+    /// Adds many obstacles in one batch, rebuilding the sorted face
+    /// lists (and corner tables, for the sharded store) once at the end
+    /// instead of once per rectangle. Returns the assigned id range.
+    pub(crate) fn add_obstacles(&mut self, rects: &[Rect]) -> std::ops::Range<usize> {
+        match self {
+            PlaneStore::Flat(p) => p.add_obstacles(rects),
+            PlaneStore::Sharded(s) => s.add_obstacles(rects),
+        }
+    }
+
+    /// Routes the sharded store's cold corner queries through the flat
+    /// plane's slab scan instead of the dedicated corner tables. A no-op
+    /// on the flat store. Exists for benchmarking the pre-pruning
+    /// baseline; both paths are locked bit-identical by tests.
+    pub(crate) fn set_corner_delegation(&mut self, delegate: bool) {
+        if let PlaneStore::Sharded(s) = self {
+            s.set_corner_delegation(delegate);
+        }
+    }
+
     /// Translates obstacle `id` in place (see
     /// [`Plane::translate_obstacle`]); the sharded store rewrites only
     /// the touched buckets and retires every memoized query.

@@ -161,9 +161,9 @@ impl<E: RoutingEngine> SessionBuilder<E> {
     #[must_use]
     pub fn build(self) -> RoutingSession<E> {
         let plane = PlaneStore::build(&self.layout, self.batch.index);
-        let slots = (0..self.layout.nets().len())
-            .map(|_| NetState::default())
-            .collect();
+        let nets = self.layout.nets().len();
+        let slots = (0..nets).map(|_| NetState::default()).collect();
+        let dirty_grid = DirtyGrid::new(self.layout.bounds(), nets);
         RoutingSession {
             layout: self.layout,
             config: self.config,
@@ -172,6 +172,11 @@ impl<E: RoutingEngine> SessionBuilder<E> {
             plane,
             slots,
             pool: ScratchPool::default(),
+            dirty_grid,
+            dirty_count: 0,
+            routed_count: 0,
+            failed_count: 0,
+            wire_length: 0,
             precise_dirty: self.precise_dirty,
             reroutes: 0,
         }
@@ -240,6 +245,129 @@ impl Drop for PooledScratch<'_> {
     }
 }
 
+/// Target cell count per axis for the [`DirtyGrid`]. 64×64 ≈ 4k cells:
+/// coarse enough that registration touches a handful of cells per route,
+/// fine enough that a mutation's candidate set is a small neighborhood
+/// of the die rather than every net.
+const DIRTY_GRID_DIM: i64 = 64;
+
+/// A uniform bucket grid over committed-route bounding boxes, so a
+/// mutation marks only spatially local nets dirty instead of scanning
+/// every slot ([`RoutingSession::dirty_routes_touching`]).
+///
+/// Invariant: slot `i` is registered (its bounding box recorded and its
+/// index present, sorted, in every grid cell the box covers) **iff**
+/// `slots[i]` holds a committed route with a bounding box. Commit and
+/// rip-up maintain this; the candidate query then over-approximates the
+/// set of routes whose bounding box can intersect a mutation rectangle —
+/// two intersecting rectangles share a point, hence a grid cell, so no
+/// affected route is ever missed. The per-candidate bbox/precise test is
+/// unchanged from the scan-everything implementation, which keeps the
+/// dirty set byte-identical (asserted by `tests/session.rs`).
+#[derive(Debug, Default)]
+struct DirtyGrid {
+    x0: i64,
+    y0: i64,
+    /// Cell extents (≥ 1); cells on the high edge absorb the remainder.
+    sx: i64,
+    sy: i64,
+    nx: usize,
+    ny: usize,
+    /// Sorted route-slot indices per cell, row-major.
+    cells: Vec<Vec<u32>>,
+    /// The registered bounding box per slot (`None` = not registered).
+    boxes: Vec<Option<Rect>>,
+}
+
+impl DirtyGrid {
+    fn new(bounds: Rect, slots: usize) -> DirtyGrid {
+        let w = (bounds.xmax() - bounds.xmin()).max(1);
+        let h = (bounds.ymax() - bounds.ymin()).max(1);
+        // Ceiling division (both operands positive; signed div_ceil is
+        // unstable).
+        let sx = (w + DIRTY_GRID_DIM - 1) / DIRTY_GRID_DIM;
+        let sy = (h + DIRTY_GRID_DIM - 1) / DIRTY_GRID_DIM;
+        let nx = (w / sx) as usize + 1;
+        let ny = (h / sy) as usize + 1;
+        DirtyGrid {
+            x0: bounds.xmin(),
+            y0: bounds.ymin(),
+            sx,
+            sy,
+            nx,
+            ny,
+            cells: vec![Vec::new(); nx * ny],
+            boxes: vec![None; slots],
+        }
+    }
+
+    fn ensure_slot(&mut self, slots: usize) {
+        if self.boxes.len() < slots {
+            self.boxes.resize(slots, None);
+        }
+    }
+
+    /// The inclusive cell-index span a rectangle covers, clamped to the
+    /// grid (clamping is monotone, so out-of-bounds geometry still maps
+    /// consistently to border cells).
+    fn cell_span(&self, r: &Rect) -> (usize, usize, usize, usize) {
+        let nx = self.nx as i64 - 1;
+        let ny = self.ny as i64 - 1;
+        let cx0 = (r.xmin() - self.x0).div_euclid(self.sx).clamp(0, nx) as usize;
+        let cx1 = (r.xmax() - self.x0).div_euclid(self.sx).clamp(0, nx) as usize;
+        let cy0 = (r.ymin() - self.y0).div_euclid(self.sy).clamp(0, ny) as usize;
+        let cy1 = (r.ymax() - self.y0).div_euclid(self.sy).clamp(0, ny) as usize;
+        (cx0, cx1, cy0, cy1)
+    }
+
+    fn register(&mut self, slot: usize, bb: Rect) {
+        self.ensure_slot(slot + 1);
+        debug_assert!(self.boxes[slot].is_none(), "double registration");
+        let (cx0, cx1, cy0, cy1) = self.cell_span(&bb);
+        let s = slot as u32;
+        for cy in cy0..=cy1 {
+            for cx in cx0..=cx1 {
+                let cell = &mut self.cells[cy * self.nx + cx];
+                if let Err(pos) = cell.binary_search(&s) {
+                    cell.insert(pos, s);
+                }
+            }
+        }
+        self.boxes[slot] = Some(bb);
+    }
+
+    fn unregister(&mut self, slot: usize) {
+        let Some(bb) = self.boxes.get_mut(slot).and_then(Option::take) else {
+            return;
+        };
+        let (cx0, cx1, cy0, cy1) = self.cell_span(&bb);
+        let s = slot as u32;
+        for cy in cy0..=cy1 {
+            for cx in cx0..=cx1 {
+                let cell = &mut self.cells[cy * self.nx + cx];
+                if let Ok(pos) = cell.binary_search(&s) {
+                    cell.remove(pos);
+                }
+            }
+        }
+    }
+
+    /// Every registered slot whose bounding box *may* intersect `rect`
+    /// (sorted, deduplicated). A superset of the true intersecting set;
+    /// callers re-test each candidate exactly.
+    fn candidates(&self, rect: &Rect, out: &mut Vec<u32>) {
+        out.clear();
+        let (cx0, cx1, cy0, cy1) = self.cell_span(rect);
+        for cy in cy0..=cy1 {
+            for cx in cx0..=cx1 {
+                out.extend_from_slice(&self.cells[cy * self.nx + cx]);
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+    }
+}
+
 /// What a [`RoutingSession::reroute_dirty`] pass did.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RerouteOutcome {
@@ -304,6 +432,18 @@ pub struct RoutingSession<E: RoutingEngine = GridlessEngine> {
     plane: PlaneStore,
     slots: Vec<NetState>,
     pool: ScratchPool,
+    /// Bounding boxes of committed routes, bucketed so mutations only
+    /// examine spatially local nets (see [`DirtyGrid`]).
+    dirty_grid: DirtyGrid,
+    /// Running count of dirty slots (kept exact by every transition, so
+    /// [`RoutingSession::stats`] is O(1) on a 100k-net session).
+    dirty_count: usize,
+    /// Running count of slots holding a committed route.
+    routed_count: usize,
+    /// Running count of slots holding a committed failure.
+    failed_count: usize,
+    /// Running total wire length over all committed routes.
+    wire_length: i64,
     /// Dirty-test selection (see [`SessionBuilder::precise_dirty`]).
     precise_dirty: bool,
     /// Cumulative committed re-routes (see [`SessionStats::reroutes`]).
@@ -395,40 +535,42 @@ impl<E: RoutingEngine> RoutingSession<E> {
         self.slots.get(id.index()).is_some_and(|s| s.dirty)
     }
 
-    /// The dirty nets, in stable net-id order.
+    /// The dirty nets, in stable net-id order. The running dirty count
+    /// short-circuits the all-clean case (the common state between ECOs)
+    /// and stops the scan once every dirty slot is found.
     #[must_use]
     pub fn dirty_nets(&self) -> Vec<NetId> {
-        self.layout
-            .net_ids()
-            .into_iter()
-            .filter(|id| self.slots[id.index()].dirty)
-            .collect()
-    }
-
-    /// Summarizes the committed state (one pass over the commit slots):
-    /// outcome counts, committed wire length, dirty set size and the
-    /// cumulative reroute counter.
-    #[must_use]
-    pub fn stats(&self) -> SessionStats {
-        let mut stats = SessionStats {
-            nets: self.slots.len(),
-            reroutes: self.reroutes,
-            ..SessionStats::default()
-        };
-        for state in &self.slots {
-            if state.dirty {
-                stats.dirty += 1;
-            }
-            match &state.slot {
-                NetSlot::Routed(r) => {
-                    stats.routed += 1;
-                    stats.wire_length += r.wire_length();
+        if self.dirty_count == 0 {
+            return Vec::new();
+        }
+        let mut out = Vec::with_capacity(self.dirty_count);
+        for id in self.layout.net_ids() {
+            if self.slots[id.index()].dirty {
+                out.push(id);
+                if out.len() == self.dirty_count {
+                    break;
                 }
-                NetSlot::Failed(_) => stats.failed += 1,
-                NetSlot::Unrouted => stats.unrouted += 1,
             }
         }
-        stats
+        out
+    }
+
+    /// Summarizes the committed state in O(1): outcome counts, committed
+    /// wire length, dirty set size and the cumulative reroute counter are
+    /// all running aggregates maintained by the commit/rip-up/dirty
+    /// transitions, so a `STATS` request on a 100k-net session costs the
+    /// same as on a 10-net one.
+    #[must_use]
+    pub fn stats(&self) -> SessionStats {
+        SessionStats {
+            nets: self.slots.len(),
+            routed: self.routed_count,
+            failed: self.failed_count,
+            unrouted: self.slots.len() - self.routed_count - self.failed_count,
+            dirty: self.dirty_count,
+            wire_length: self.wire_length,
+            reroutes: self.reroutes,
+        }
     }
 
     /// Assembles the committed state as a [`GlobalRouting`] (routes and
@@ -484,13 +626,54 @@ impl<E: RoutingEngine> RoutingSession<E> {
         )
     }
 
+    /// Marks slot `idx` dirty, keeping the running count exact.
+    fn set_dirty_slot(&mut self, idx: usize) {
+        let state = &mut self.slots[idx];
+        if !state.dirty {
+            state.dirty = true;
+            self.dirty_count += 1;
+        }
+    }
+
+    /// Removes slot `idx`'s committed state from the running aggregates
+    /// (outcome counts, wire length, dirty-grid registration), leaving
+    /// the slot itself untouched. Every transition that replaces a slot
+    /// calls this first, so the aggregates never double-count.
+    fn retire_slot(&mut self, idx: usize) {
+        match &self.slots[idx].slot {
+            NetSlot::Routed(r) => {
+                self.routed_count -= 1;
+                self.wire_length -= r.wire_length();
+                self.dirty_grid.unregister(idx);
+            }
+            NetSlot::Failed(_) => self.failed_count -= 1,
+            NetSlot::Unrouted => {}
+        }
+    }
+
     fn commit(&mut self, id: NetId, result: Result<NetRoute, RouteError>) {
-        let state = &mut self.slots[id.index()];
-        state.slot = match result {
-            Ok(route) => NetSlot::Routed(route),
-            Err(e) => NetSlot::Failed(e),
+        let idx = id.index();
+        self.retire_slot(idx);
+        let slot = match result {
+            Ok(route) => {
+                self.routed_count += 1;
+                self.wire_length += route.wire_length();
+                if let Some(bb) = route_bounding_box(&route) {
+                    self.dirty_grid.register(idx, bb);
+                }
+                NetSlot::Routed(route)
+            }
+            Err(e) => {
+                self.failed_count += 1;
+                NetSlot::Failed(e)
+            }
         };
-        state.dirty = false;
+        let state = &mut self.slots[idx];
+        state.slot = slot;
+        if state.dirty {
+            state.dirty = false;
+            self.dirty_count -= 1;
+        }
         if state.attempts > 0 {
             self.reroutes += 1;
         }
@@ -539,27 +722,29 @@ impl<E: RoutingEngine> RoutingSession<E> {
     /// occupancy disappears from congestion analyses) and marks it dirty.
     /// Returns `true` when a committed route was actually removed.
     pub fn rip_up(&mut self, id: NetId) -> bool {
-        let Some(state) = self.slots.get_mut(id.index()) else {
+        let idx = id.index();
+        if idx >= self.slots.len() {
             return false;
-        };
-        let had_route = matches!(state.slot, NetSlot::Routed(_));
-        state.slot = NetSlot::Unrouted;
-        state.dirty = true;
+        }
+        self.retire_slot(idx);
+        let had_route = matches!(self.slots[idx].slot, NetSlot::Routed(_));
+        self.slots[idx].slot = NetSlot::Unrouted;
+        self.set_dirty_slot(idx);
         had_route
     }
 
     /// Marks one net for re-routing without touching its committed route.
     pub fn mark_dirty(&mut self, id: NetId) {
-        if let Some(state) = self.slots.get_mut(id.index()) {
-            state.dirty = true;
+        if id.index() < self.slots.len() {
+            self.set_dirty_slot(id.index());
         }
     }
 
     /// Marks every net dirty (a full re-route on the next
     /// [`RoutingSession::reroute_dirty`]).
     pub fn mark_all_dirty(&mut self) {
-        for state in &mut self.slots {
-            state.dirty = true;
+        for idx in 0..self.slots.len() {
+            self.set_dirty_slot(idx);
         }
     }
 
@@ -613,7 +798,7 @@ impl<E: RoutingEngine> RoutingSession<E> {
         for &net_index in &affected {
             // Only committed routes occupy passages, so every affected
             // index names a routed slot; mark it for the surcharged pass.
-            self.slots[net_index].dirty = true;
+            self.set_dirty_slot(net_index);
         }
         let outcome = self.reroute_dirty_with(Some(&penalty));
         let after = self.analyze_committed(&passages);
@@ -659,6 +844,8 @@ impl<E: RoutingEngine> RoutingSession<E> {
             dirty: true,
             attempts: 0,
         });
+        self.dirty_count += 1;
+        self.dirty_grid.ensure_slot(self.slots.len());
         id
     }
 
@@ -722,6 +909,64 @@ impl<E: RoutingEngine> RoutingSession<E> {
         Ok(id)
     }
 
+    /// Adds many rectangular cells in one batch: the layout gains every
+    /// cell, then the live plane ingests all rectangles at once —
+    /// rebuilding its sorted face lists (and corner tables, on the
+    /// sharded index) a single time instead of once per rectangle, the
+    /// same O((N+M) log (N+M)) path [`Plane::add_obstacles`] gives bulk
+    /// construction. Dirty marking is per rectangle, exactly as if each
+    /// cell had been added individually.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`LayoutError`] hit (duplicate name, out of
+    /// bounds, …). Cells accepted before the error are kept — layout and
+    /// plane stay consistent — but their ids are not returned.
+    ///
+    /// [`Plane::add_obstacles`]: gcr_geom::Plane::add_obstacles
+    pub fn add_obstacles<N: Into<String>>(
+        &mut self,
+        cells: impl IntoIterator<Item = (N, Rect)>,
+    ) -> Result<Vec<CellId>, LayoutError> {
+        let mut ids = Vec::new();
+        let mut rects = Vec::new();
+        let mut failure = None;
+        for (name, rect) in cells {
+            match self.layout.add_cell(name, rect) {
+                Ok(id) => {
+                    ids.push(id);
+                    rects.push(rect);
+                }
+                Err(e) => {
+                    failure = Some(e);
+                    break;
+                }
+            }
+        }
+        let obstacles = self.plane.add_obstacles(&rects);
+        debug_assert_eq!(obstacles.len(), rects.len());
+        debug_assert!(
+            ids.first().is_none_or(|id| id.index() == obstacles.start),
+            "cell ids and obstacle ids stay aligned"
+        );
+        for &rect in &rects {
+            self.dirty_routes_touching(rect);
+        }
+        match failure {
+            Some(e) => Err(e),
+            None => Ok(ids),
+        }
+    }
+
+    /// Routes the sharded plane's cold corner queries through the flat
+    /// slab scan instead of the bucketed corner tables (a no-op on the
+    /// flat index). Both paths return bit-identical candidates; this
+    /// switch exists so `benches/scale.rs` can measure the pre-pruning
+    /// baseline on the same session.
+    pub fn set_corner_delegation(&mut self, delegate: bool) {
+        self.plane.set_corner_delegation(delegate);
+    }
+
     /// Moves a cell by `(dx, dy)`: the layout edit (outline + attached
     /// pins, see [`Layout::move_cell`]) and the live-plane edit (in-place
     /// obstacle translation with targeted cache invalidation) happen
@@ -750,9 +995,9 @@ impl<E: RoutingEngine> RoutingSession<E> {
         debug_assert!(translated, "cell ids and obstacle ids stay aligned");
         self.dirty_routes_touching(old);
         self.dirty_routes_touching(old.translate(dx, dy));
-        for state in &mut self.slots {
-            if matches!(state.slot, NetSlot::Failed(_)) {
-                state.dirty = true;
+        for idx in 0..self.slots.len() {
+            if matches!(self.slots[idx].slot, NetSlot::Failed(_)) {
+                self.set_dirty_slot(idx);
             }
         }
         for net in moved_nets {
@@ -769,21 +1014,32 @@ impl<E: RoutingEngine> RoutingSession<E> {
     /// routes whose committed wire (segments or tree points) actually
     /// touches `rect` are marked, so L-shaped detours with large empty
     /// bounding boxes stop dragging unaffected nets into the reroute set.
+    ///
+    /// Cost is O(local): the [`DirtyGrid`] narrows the scan to routes
+    /// whose bounding box shares a grid cell with `rect`, so a mutation
+    /// on a 100k-net die examines a neighborhood, not every slot. The
+    /// per-candidate test is unchanged, so the resulting dirty set is
+    /// byte-identical to the full scan.
     fn dirty_routes_touching(&mut self, rect: Rect) {
-        let precise = self.precise_dirty;
-        for state in &mut self.slots {
+        let mut candidates = Vec::new();
+        self.dirty_grid.candidates(&rect, &mut candidates);
+        for idx in candidates {
+            let idx = idx as usize;
+            let state = &self.slots[idx];
             if state.dirty {
                 continue;
             }
-            if let NetSlot::Routed(route) = &state.slot {
-                let touched = if precise {
-                    route_touches_rect(route, &rect)
-                } else {
-                    route_bounding_box(route).is_some_and(|bb| bb.intersect(&rect).is_some())
-                };
-                if touched {
-                    state.dirty = true;
-                }
+            let NetSlot::Routed(route) = &state.slot else {
+                // Registered ⇒ routed; tolerate a stale candidate anyway.
+                continue;
+            };
+            let touched = if self.precise_dirty {
+                route_touches_rect(route, &rect)
+            } else {
+                route_bounding_box(route).is_some_and(|bb| bb.intersect(&rect).is_some())
+            };
+            if touched {
+                self.set_dirty_slot(idx);
             }
         }
     }
@@ -1111,6 +1367,132 @@ mod tests {
         let fresh =
             RoutingSession::gridless(precise.layout().clone(), RouterConfig::default()).route_all();
         assert_eq!(precise.routing().wire_length(), fresh.wire_length());
+    }
+
+    /// The scan-everything definition of [`SessionStats`], recomputed
+    /// from scratch; the running aggregates must agree after any
+    /// transition sequence.
+    fn scan_stats<E: RoutingEngine>(s: &RoutingSession<E>) -> SessionStats {
+        let mut stats = SessionStats {
+            nets: s.slots.len(),
+            reroutes: s.reroutes,
+            ..SessionStats::default()
+        };
+        for state in &s.slots {
+            if state.dirty {
+                stats.dirty += 1;
+            }
+            match &state.slot {
+                NetSlot::Routed(r) => {
+                    stats.routed += 1;
+                    stats.wire_length += r.wire_length();
+                }
+                NetSlot::Failed(_) => stats.failed += 1,
+                NetSlot::Unrouted => stats.unrouted += 1,
+            }
+        }
+        stats
+    }
+
+    /// Every registered dirty-grid box must belong to a routed slot and
+    /// equal that route's bounding box; every routed slot must be
+    /// registered.
+    fn assert_grid_consistent<E: RoutingEngine>(s: &RoutingSession<E>) {
+        for (idx, state) in s.slots.iter().enumerate() {
+            let registered = s.dirty_grid.boxes.get(idx).copied().flatten();
+            match &state.slot {
+                NetSlot::Routed(r) => {
+                    assert_eq!(registered, route_bounding_box(r), "slot {idx}");
+                }
+                _ => assert!(registered.is_none(), "slot {idx} stale box"),
+            }
+        }
+    }
+
+    #[test]
+    fn running_aggregates_match_full_scan_through_a_mutation_storm() {
+        let mut session = RoutingSession::gridless(two_net_layout(), RouterConfig::default());
+        let check = |s: &RoutingSession<GridlessEngine>| {
+            assert_eq!(s.stats(), scan_stats(s));
+            assert_grid_consistent(s);
+        };
+        check(&session);
+        session.route_all();
+        check(&session);
+        let mid = session.layout().net_by_name("mid").unwrap();
+        session.rip_up(mid);
+        check(&session);
+        session.rip_up(mid); // double rip-up must not double-count
+        check(&session);
+        session.reroute_dirty();
+        check(&session);
+        session.mark_dirty(mid);
+        session.mark_dirty(mid); // idempotent
+        check(&session);
+        session.mark_all_dirty();
+        check(&session);
+        session.reroute_dirty();
+        check(&session);
+        session
+            .add_obstacle("blk", Rect::new(40, 20, 60, 45).unwrap())
+            .unwrap();
+        check(&session);
+        let lonely = session.add_net("lonely");
+        check(&session);
+        let _ = session.route_net(lonely); // commits a failure
+        check(&session);
+        session.reroute_dirty();
+        check(&session);
+        let cell = session.layout().cell_by_name("blk").unwrap();
+        session.move_cell(cell, 5, 5).unwrap();
+        check(&session);
+        session.reroute_dirty();
+        check(&session);
+        let _ = session.route_two_pass();
+        check(&session);
+    }
+
+    #[test]
+    fn bulk_add_obstacles_matches_one_by_one() {
+        let mut bulk = RoutingSession::gridless(two_net_layout(), RouterConfig::default());
+        let mut one_by_one = RoutingSession::gridless(two_net_layout(), RouterConfig::default());
+        bulk.route_all();
+        one_by_one.route_all();
+        let cells = [
+            ("b0", Rect::new(10, 10, 20, 20).unwrap()),
+            ("b1", Rect::new(40, 20, 60, 45).unwrap()),
+            ("b2", Rect::new(80, 82, 90, 95).unwrap()),
+        ];
+        let ids = bulk.add_obstacles(cells).unwrap();
+        assert_eq!(ids.len(), 3);
+        for (name, rect) in cells {
+            one_by_one.add_obstacle(name, rect).unwrap();
+        }
+        assert_eq!(bulk.dirty_nets(), one_by_one.dirty_nets());
+        bulk.reroute_dirty();
+        one_by_one.reroute_dirty();
+        assert_eq!(bulk.stats(), one_by_one.stats());
+        for (a, b) in bulk
+            .routing()
+            .routes
+            .iter()
+            .zip(&one_by_one.routing().routes)
+        {
+            assert_eq!(a.tree.segments(), b.tree.segments());
+        }
+        // A duplicate name fails, but the cells before it are kept and
+        // layout/plane stay aligned.
+        let err = bulk.add_obstacles([
+            ("c0", Rect::new(5, 5, 8, 8).unwrap()),
+            ("b0", Rect::new(25, 25, 28, 28).unwrap()),
+        ]);
+        assert!(err.is_err());
+        assert!(bulk.layout().cell_by_name("c0").is_some());
+        assert_eq!(
+            bulk.layout().cells().len(),
+            bulk.plane().obstacle_count(),
+            "layout and plane stay aligned after a failed batch"
+        );
     }
 
     #[test]

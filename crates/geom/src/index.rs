@@ -15,6 +15,14 @@
 //! is what lets `tests/plane_equivalence.rs` assert that routing over a
 //! sharded plane produces byte-identical routes to routing over the flat
 //! one, serially and in parallel.
+//!
+//! The two implementations are free to answer *differently inside*: the
+//! flat plane scans the obstacles overlapping a query's slab, the
+//! sharded plane walks buckets for local queries and binary-searches its
+//! perpendicular-pruned corner tables (`corners.rs`) for corner
+//! enumeration — the equality contract (not a shared code path) is what
+//! keeps them interchangeable, and the differential sweeps are what
+//! enforce it.
 
 use std::fmt;
 

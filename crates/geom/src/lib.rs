@@ -34,6 +34,7 @@
 #![warn(missing_docs)]
 
 mod coord;
+mod corners;
 mod dir;
 mod error;
 mod index;

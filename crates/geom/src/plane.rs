@@ -314,6 +314,46 @@ impl Plane {
         id
     }
 
+    /// Adds a batch of rectangular obstacles in one step, returning the
+    /// contiguous id range allocated (one id per rectangle, in `rects`
+    /// order — exactly the ids N calls to [`Plane::add_obstacle`] would
+    /// allocate).
+    ///
+    /// On an indexed plane this is the **bulk-build path**: the
+    /// rectangles are appended and the topological index is rebuilt once
+    /// by sort (O((N+M) log (N+M))) instead of maintained by M sorted
+    /// insertions (each an O(N) memmove, O(M·N) total). Large generated
+    /// instances and batched ECOs construct through here; the result is
+    /// indistinguishable from incremental insertion because both leave
+    /// the face lists in ascending unique-tuple order.
+    pub fn add_obstacles(&mut self, rects: &[Rect]) -> std::ops::Range<ObstacleId> {
+        let first = self.next_id;
+        self.rects.reserve(rects.len());
+        for &rect in rects {
+            let id = self.next_id;
+            self.next_id += 1;
+            self.obstacle_count += 1;
+            self.rects.push((rect, id));
+        }
+        if self.index.is_some() {
+            self.build_index();
+        }
+        first..self.next_id
+    }
+
+    /// Builds an **indexed** plane from a batch of obstacles in one step:
+    /// every rectangle is appended first and the ray-tracing index is
+    /// built once via sort, never touched incrementally. This is the
+    /// preferred constructor for large instances — `BENCH_scale.json`
+    /// records the gap against indexed incremental insertion.
+    #[must_use]
+    pub fn with_obstacles(bounds: Rect, rects: &[Rect]) -> Plane {
+        let mut plane = Plane::new(bounds);
+        plane.add_obstacles(rects);
+        plane.build_index();
+        plane
+    }
+
     /// Adds a rectilinear-polygon obstacle (decomposed into rectangles that
     /// share one id) and returns the id. A built index is maintained
     /// incrementally, as in [`Plane::add_obstacle`].
@@ -1125,6 +1165,57 @@ mod tests {
         let c = p.add_obstacle(Rect::new(70, 40, 80, 60).unwrap());
         assert_ne!(c, a);
         assert_ne!(c, b);
+    }
+
+    #[test]
+    fn bulk_add_matches_incremental_insertion() {
+        // The bulk path must be indistinguishable from N incremental
+        // inserts: same ids, same rect slots, same query answers.
+        let rects: Vec<Rect> = (0..40)
+            .map(|i| {
+                let x = (i % 8) * 12 + 3;
+                let y = (i / 8) * 12 + 3;
+                Rect::new(x, y, x + 6, y + 6).unwrap()
+            })
+            .collect();
+        let bounds = Rect::new(0, 0, 100, 100).unwrap();
+        let mut incremental = Plane::new(bounds);
+        incremental.build_index();
+        let inc_ids: Vec<ObstacleId> = rects.iter().map(|&r| incremental.add_obstacle(r)).collect();
+        let bulk = Plane::with_obstacles(bounds, &rects);
+        assert!(bulk.has_index());
+        let mut appended = Plane::new(bounds);
+        appended.build_index();
+        let ids = appended.add_obstacles(&rects);
+        assert_eq!(ids.clone().collect::<Vec<_>>(), inc_ids);
+        assert_eq!(bulk.rects(), incremental.rects());
+        assert_eq!(appended.rects(), incremental.rects());
+        for y in [0, 3, 9, 15, 50, 99] {
+            for dir in [Dir::East, Dir::West] {
+                let p = if dir == Dir::East {
+                    Point::new(0, y)
+                } else {
+                    Point::new(100, y)
+                };
+                assert_eq!(bulk.ray_hit(p, dir), incremental.ray_hit(p, dir), "y={y}");
+                assert_eq!(appended.ray_hit(p, dir), incremental.ray_hit(p, dir));
+                let stop = incremental.ray_hit(p, dir).stop;
+                assert_eq!(
+                    bulk.corner_candidates(p, dir, stop),
+                    incremental.corner_candidates(p, dir, stop),
+                    "y={y}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bulk_add_on_unindexed_plane_stays_unindexed() {
+        let mut p = Plane::new(Rect::new(0, 0, 50, 50).unwrap());
+        p.add_obstacles(&[Rect::new(10, 10, 20, 20).unwrap()]);
+        assert!(!p.has_index());
+        assert_eq!(p.obstacle_count(), 1);
+        assert!(!p.point_free(Point::new(15, 15)));
     }
 
     #[test]

@@ -1,0 +1,328 @@
+//! Parametric large-die instance generator.
+//!
+//! The fixed scenes in [`placements`](crate::placements) top out around a
+//! hundred nets; the scaling tier needs dies two to three orders of
+//! magnitude larger, with every structural property a knob. This module
+//! generates such instances deterministically: die dimensions (slot grid),
+//! cell count (`fill`), cell size distribution (`utilization` +
+//! `size_spread`), and the 2-pin/k-pin net mix (`k_pin_fraction`,
+//! `max_terminals`, `locality`) are all parameters, and the whole
+//! construction draws from one [`rng_for`] stream — the same parameters
+//! always produce the byte-identical layout (and therefore the
+//! byte-identical `.gcl` file via [`gcr_layout::format::write`]).
+//!
+//! Geometry follows the macro-grid recipe: cells live in a `rows × cols`
+//! grid of slots with a guaranteed `channel`-wide routing corridor
+//! between any two cells, so every generated instance passes
+//! [`Layout::validate`] by construction (cells spaced, pins on
+//! boundaries, boundaries routable).
+
+use gcr_geom::{Coord, Rect};
+use gcr_layout::{CellId, Layout, Pin};
+use rand::Rng;
+
+use crate::netlists::random_boundary_point;
+use crate::rng_for;
+
+/// Every knob of the parametric generator. `Default` is a routable
+/// mid-density die; [`GeneratorParams::with_nets`] scales the slot grid
+/// so cell count tracks net count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GeneratorParams {
+    /// Slot-grid rows (die height = `rows · (cell_max + channel) + channel`).
+    pub rows: usize,
+    /// Slot-grid columns.
+    pub cols: usize,
+    /// Maximum cell edge; each slot reserves this much plus `channel`.
+    pub cell_max: Coord,
+    /// Guaranteed corridor between any two cells (must be ≥ 1 so
+    /// validation's min-spacing check holds).
+    pub channel: Coord,
+    /// Fraction of slots that receive a cell (obstacle density knob).
+    pub fill: f64,
+    /// Target die utilization: total cell area over die area. Cell edges
+    /// are sized so that `fill`-occupied slots hit this in expectation.
+    pub utilization: f64,
+    /// Half-width of the uniform cell-edge distribution, as a fraction
+    /// of the mean edge (0 = all cells identical, 0.5 = edges vary ±50%).
+    pub size_spread: f64,
+    /// Total nets to generate (named `n{i}`).
+    pub nets: usize,
+    /// Fraction of nets drawn with more than two terminals.
+    pub k_pin_fraction: f64,
+    /// Terminal count ceiling for k-pin nets (uniform in `3..=max`).
+    pub max_terminals: usize,
+    /// Chebyshev slot-window radius for partner cells: terminals after
+    /// the first pick cells within this many slots of the first
+    /// terminal's slot. `0` = unlimited (die-spanning nets).
+    pub locality: usize,
+    /// Seed for the single [`rng_for`]`("generator", seed)` stream.
+    pub seed: u64,
+}
+
+impl Default for GeneratorParams {
+    fn default() -> GeneratorParams {
+        GeneratorParams {
+            rows: 8,
+            cols: 8,
+            cell_max: 24,
+            channel: 8,
+            fill: 0.9,
+            utilization: 0.25,
+            size_spread: 0.5,
+            nets: 64,
+            k_pin_fraction: 0.1,
+            max_terminals: 4,
+            locality: 3,
+            seed: 0,
+        }
+    }
+}
+
+impl GeneratorParams {
+    /// A tier sized for `nets` nets: the slot grid is the smallest
+    /// square with at least one slot per net, so the cell supply keeps
+    /// pace with net demand (1k nets → 32×32 slots, 10k → 100×100).
+    #[must_use]
+    pub fn with_nets(nets: usize, seed: u64) -> GeneratorParams {
+        let side = (nets as f64).sqrt().ceil().max(1.0) as usize;
+        GeneratorParams {
+            rows: side,
+            cols: side,
+            nets,
+            seed,
+            ..GeneratorParams::default()
+        }
+    }
+}
+
+/// Generates the instance described by `params`; see the [module
+/// docs](self) for the construction. Deterministic: equal parameters
+/// yield byte-identical layouts.
+///
+/// # Panics
+///
+/// Panics if `rows`, `cols` or `nets` is zero, `channel < 1`,
+/// `cell_max < 1`, or `k_pin_fraction > 0` with `max_terminals < 3`.
+#[must_use]
+pub fn generate(params: &GeneratorParams) -> Layout {
+    assert!(params.rows >= 1 && params.cols >= 1, "need a slot grid");
+    assert!(params.nets >= 1, "need at least one net");
+    assert!(params.channel >= 1, "channel must cover min spacing");
+    assert!(params.cell_max >= 1, "cells need positive extent");
+    assert!(
+        params.k_pin_fraction <= 0.0 || params.max_terminals >= 3,
+        "k-pin nets need max_terminals >= 3"
+    );
+    let mut rng = rng_for("generator", params.seed);
+    let slot = params.cell_max + params.channel;
+    let bounds = Rect::new(
+        0,
+        0,
+        params.cols as Coord * slot + params.channel,
+        params.rows as Coord * slot + params.channel,
+    )
+    .expect("positive die extent");
+    let mut layout = Layout::new(bounds);
+
+    // --- placement: fill the slot grid, sizing edges for utilization.
+    // A slot's expected cell area must be `slot² · utilization / fill`
+    // for the die to hit the target, so the mean edge is
+    // `slot · sqrt(utilization / fill)`, clamped into the slot.
+    let mean_edge = (f64::from(u32::try_from(slot).expect("slot fits u32"))
+        * (params.utilization / params.fill.max(1e-9)).sqrt())
+    .min(params.cell_max as f64);
+    let lo_edge = ((mean_edge * (1.0 - params.size_spread)).floor() as Coord).max(1);
+    let hi_edge =
+        ((mean_edge * (1.0 + params.size_spread)).ceil() as Coord).clamp(lo_edge, params.cell_max);
+    // Cells in slot-grid order; `slot_cell` maps a slot to its index.
+    let mut cells: Vec<(usize, usize, CellId, Rect)> = Vec::new();
+    let mut slot_cell: Vec<Option<u32>> = vec![None; params.rows * params.cols];
+    for r in 0..params.rows {
+        for c in 0..params.cols {
+            // The last slot is forced full so a sparse draw can never
+            // produce a die without cells to pin nets to.
+            let last = r + 1 == params.rows && c + 1 == params.cols;
+            if !(rng.gen::<f64>() < params.fill || (last && cells.is_empty())) {
+                continue;
+            }
+            let w = rng.gen_range(lo_edge..=hi_edge);
+            let h = rng.gen_range(lo_edge..=hi_edge);
+            let x0 = params.channel + c as Coord * slot + rng.gen_range(0..=params.cell_max - w);
+            let y0 = params.channel + r as Coord * slot + rng.gen_range(0..=params.cell_max - h);
+            let rect = Rect::new(x0, y0, x0 + w, y0 + h).expect("positive cell");
+            let id = layout
+                .add_cell(format!("g{r}_{c}"), rect)
+                .expect("slot names are unique");
+            slot_cell[r * params.cols + c] = Some(cells.len() as u32);
+            cells.push((r, c, id, rect));
+        }
+    }
+
+    // --- netlist: first terminal uniform over cells, partners from the
+    // locality window around it (retrying a few times for distinct
+    // cells/pins, like `netlists::add_two_pin_nets`).
+    let mut window = Vec::new();
+    for i in 0..params.nets {
+        let terminals = if params.k_pin_fraction > 0.0 && rng.gen::<f64>() < params.k_pin_fraction {
+            rng.gen_range(3..=params.max_terminals)
+        } else {
+            2
+        };
+        let net = layout.add_net(format!("n{i}"));
+        let first = rng.gen_range(0..cells.len());
+        let (fr, fc, first_id, first_rect) = cells[first];
+        let first_pin = random_boundary_point(first_rect, &mut rng);
+        let t0 = layout.add_terminal(net, "t0");
+        layout
+            .add_pin(t0, Pin::on_cell(first_id, first_pin))
+            .expect("fresh terminal");
+        // Candidate partners: every cell in the Chebyshev slot window.
+        window.clear();
+        if params.locality == 0 {
+            window.extend(0..cells.len() as u32);
+        } else {
+            let r0 = fr.saturating_sub(params.locality);
+            let r1 = (fr + params.locality).min(params.rows - 1);
+            let c0 = fc.saturating_sub(params.locality);
+            let c1 = (fc + params.locality).min(params.cols - 1);
+            for r in r0..=r1 {
+                for c in c0..=c1 {
+                    if let Some(k) = slot_cell[r * params.cols + c] {
+                        window.push(k);
+                    }
+                }
+            }
+        }
+        for t in 1..terminals {
+            let mut pick = window[rng.gen_range(0..window.len())] as usize;
+            let mut pin = random_boundary_point(cells[pick].3, &mut rng);
+            for _ in 0..8 {
+                if pick != first || pin != first_pin {
+                    break;
+                }
+                pick = window[rng.gen_range(0..window.len())] as usize;
+                pin = random_boundary_point(cells[pick].3, &mut rng);
+            }
+            let term = layout.add_terminal(net, format!("t{t}"));
+            layout
+                .add_pin(term, Pin::on_cell(cells[pick].2, pin))
+                .expect("fresh terminal");
+        }
+    }
+    layout
+}
+
+/// The achieved die utilization: total cell area over die area.
+#[must_use]
+pub fn utilization(layout: &Layout) -> f64 {
+    let die = layout.bounds();
+    let die_area = (die.xmax() - die.xmin()) as f64 * (die.ymax() - die.ymin()) as f64;
+    let cell_area: f64 = layout
+        .cells()
+        .iter()
+        .map(|c| {
+            let r = c.rect();
+            (r.xmax() - r.xmin()) as f64 * (r.ymax() - r.ymin()) as f64
+        })
+        .sum();
+    cell_area / die_area
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_is_byte_identical() {
+        let params = GeneratorParams::with_nets(200, 7);
+        let a = gcr_layout::format::write(&generate(&params));
+        let b = gcr_layout::format::write(&generate(&params));
+        assert_eq!(a, b);
+        let other = GeneratorParams::with_nets(200, 8);
+        assert_ne!(a, gcr_layout::format::write(&generate(&other)));
+    }
+
+    #[test]
+    fn generated_instances_validate() {
+        for seed in 0..4 {
+            let params = GeneratorParams {
+                nets: 120,
+                seed,
+                ..GeneratorParams::default()
+            };
+            let layout = generate(&params);
+            layout.validate().unwrap();
+            assert_eq!(layout.nets().len(), 120);
+            for net in layout.nets() {
+                assert!(net.terminals().len() >= 2);
+                assert!(net.terminals().len() <= params.max_terminals);
+            }
+        }
+    }
+
+    #[test]
+    fn utilization_tracks_the_knob() {
+        for (target, seed) in [(0.15, 1), (0.25, 2), (0.4, 3)] {
+            let params = GeneratorParams {
+                rows: 16,
+                cols: 16,
+                utilization: target,
+                nets: 1,
+                seed,
+                ..GeneratorParams::default()
+            };
+            let got = utilization(&generate(&params));
+            assert!(
+                (got - target).abs() < target * 0.4,
+                "target {target}, achieved {got}"
+            );
+        }
+    }
+
+    #[test]
+    fn locality_bounds_net_spans() {
+        let params = GeneratorParams {
+            rows: 16,
+            cols: 16,
+            locality: 1,
+            nets: 100,
+            k_pin_fraction: 0.0,
+            seed: 5,
+            ..GeneratorParams::default()
+        };
+        let layout = generate(&params);
+        let slot = params.cell_max + params.channel;
+        // Radius 1 window ⇒ pin x/y spread within a net is at most
+        // three slots' worth of extent.
+        let max_span = 3 * slot;
+        for net in layout.nets() {
+            let xs: Vec<_> = net.all_pins().map(|p| p.position.x).collect();
+            let ys: Vec<_> = net.all_pins().map(|p| p.position.y).collect();
+            let dx = xs.iter().max().unwrap() - xs.iter().min().unwrap();
+            let dy = ys.iter().max().unwrap() - ys.iter().min().unwrap();
+            assert!(dx <= max_span && dy <= max_span, "net spans {dx}×{dy}");
+        }
+    }
+
+    #[test]
+    fn sparse_fill_still_yields_a_routable_instance() {
+        let params = GeneratorParams {
+            fill: 0.01,
+            nets: 4,
+            seed: 11,
+            ..GeneratorParams::default()
+        };
+        let layout = generate(&params);
+        layout.validate().unwrap();
+        assert!(!layout.cells().is_empty(), "forced last slot");
+    }
+
+    #[test]
+    fn ten_k_net_tier_scales_the_grid() {
+        let p1k = GeneratorParams::with_nets(1000, 0);
+        assert_eq!((p1k.rows, p1k.cols), (32, 32));
+        let p10k = GeneratorParams::with_nets(10_000, 0);
+        assert_eq!((p10k.rows, p10k.cols), (100, 100));
+    }
+}

@@ -9,6 +9,7 @@
 //! gcrt eco chip.gcl changes.eco       # replay an ECO change list
 //! gcrt check chip.gcl                 # parse + validate only
 //! gcrt stats chip.gcl                 # layout statistics
+//! gcrt gen big.gcl --nets 1000        # generate a seeded scaling instance
 //! gcrt serve --addr 127.0.0.1:4242    # run the routing daemon
 //! gcrt client 127.0.0.1:4242 ping     # drive a running daemon
 //! ```
@@ -38,7 +39,25 @@ fn main() -> ExitCode {
 }
 
 /// Flags that consume the following argument as their value.
-const VALUE_FLAGS: &[&str] = &["--render", "--engine", "--addr", "--capacity", "--workers"];
+const VALUE_FLAGS: &[&str] = &[
+    "--render",
+    "--engine",
+    "--addr",
+    "--capacity",
+    "--workers",
+    "--nets",
+    "--rows",
+    "--cols",
+    "--seed",
+    "--util",
+    "--fill",
+    "--spread",
+    "--kfrac",
+    "--max-terminals",
+    "--locality",
+    "--cell-max",
+    "--channel",
+];
 
 fn run(args: &[String]) -> Result<(), String> {
     // Positional arguments: everything that is neither a flag nor the
@@ -79,6 +98,15 @@ fn run(args: &[String]) -> Result<(), String> {
                 .map_err(|_| format!("{name} requires an integer, got {v:?}")),
         }
     };
+    let float_value = |name: &str| -> Result<Option<f64>, String> {
+        match value_of(name) {
+            None => Ok(None),
+            Some(v) => v
+                .parse::<f64>()
+                .map(Some)
+                .map_err(|_| format!("{name} requires a number, got {v:?}")),
+        }
+    };
 
     match command {
         "help" | "--help" | "-h" => {
@@ -89,6 +117,7 @@ fn run(args: &[String]) -> Result<(), String> {
                  \x20 eco     replay a .eco change list against a routing session\n\
                  \x20 check   parse and validate the layout\n\
                  \x20 stats   print layout statistics\n\
+                 \x20 gen     generate a seeded parametric instance (to file or stdout)\n\
                  \x20 serve   run the routing daemon (gcr-service)\n\
                  \x20 client  drive a running daemon: gcrt client <addr> <cmd> [...]\n\n\
                  options:\n\
@@ -100,6 +129,18 @@ fn run(args: &[String]) -> Result<(), String> {
                  \x20 --precise-dirty exact segment-vs-rect ECO dirty tracking\n\
                  \x20 --render N      ASCII-render at N layout units per column\n\
                  \x20 --no-epsilon    disable the inverted-corner penalty\n\n\
+                 gen options (all deterministic in --seed):\n\
+                 \x20 --nets N        nets to generate (default 1000; grid auto-scales)\n\
+                 \x20 --seed N        generator seed (default 0)\n\
+                 \x20 --rows/--cols N slot-grid dimensions (default: square for N nets)\n\
+                 \x20 --util F        target die utilization (default 0.25)\n\
+                 \x20 --fill F        fraction of slots holding a cell (default 0.9)\n\
+                 \x20 --spread F      cell-size spread +-F of the mean (default 0.5)\n\
+                 \x20 --kfrac F       fraction of k-pin nets (default 0.1)\n\
+                 \x20 --max-terminals N  terminal ceiling for k-pin nets (default 4)\n\
+                 \x20 --locality N    partner-cell slot radius, 0 = die-wide (default 3)\n\
+                 \x20 --cell-max N    max cell edge (default 24)\n\
+                 \x20 --channel N     routing corridor between cells (default 8)\n\n\
                  serve options:\n\
                  \x20 --addr A        bind address (default 127.0.0.1:4242)\n\
                  \x20 --capacity N    session-registry capacity (default 64)\n\
@@ -219,6 +260,59 @@ fn run(args: &[String]) -> Result<(), String> {
                     routing.failures.len()
                 ))
             }
+        }
+        "gen" => {
+            use gcr::workload::generator::{generate, utilization, GeneratorParams};
+            let nets = int_value("--nets")?.unwrap_or(1000);
+            if nets < 1 {
+                return Err("--nets must be at least 1".to_string());
+            }
+            let seed = int_value("--seed")?.unwrap_or(0);
+            let mut params = GeneratorParams::with_nets(nets as usize, seed as u64);
+            if let Some(rows) = int_value("--rows")? {
+                params.rows = rows.max(1) as usize;
+            }
+            if let Some(cols) = int_value("--cols")? {
+                params.cols = cols.max(1) as usize;
+            }
+            if let Some(util) = float_value("--util")? {
+                params.utilization = util;
+            }
+            if let Some(fill) = float_value("--fill")? {
+                params.fill = fill;
+            }
+            if let Some(spread) = float_value("--spread")? {
+                params.size_spread = spread;
+            }
+            if let Some(kfrac) = float_value("--kfrac")? {
+                params.k_pin_fraction = kfrac;
+            }
+            if let Some(max_t) = int_value("--max-terminals")? {
+                params.max_terminals = max_t.max(3) as usize;
+            }
+            if let Some(locality) = int_value("--locality")? {
+                params.locality = locality.max(0) as usize;
+            }
+            if let Some(cell_max) = int_value("--cell-max")? {
+                params.cell_max = cell_max.max(1);
+            }
+            if let Some(channel) = int_value("--channel")? {
+                params.channel = channel.max(1);
+            }
+            let layout = generate(&params);
+            layout.validate().map_err(|e| e.to_string())?;
+            let text = format::write(&layout);
+            match path {
+                Some(out) => {
+                    std::fs::write(out, &text).map_err(|e| format!("{out}: {e}"))?;
+                    eprintln!(
+                        "wrote {out}: {layout} (utilization {:.3}, seed {seed})",
+                        utilization(&layout)
+                    );
+                }
+                None => print!("{text}"),
+            }
+            Ok(())
         }
         "serve" => {
             let addr = value_of("--addr")

@@ -11,10 +11,40 @@
 //! its case number alone.
 
 use gcr::prelude::*;
-use gcr::workload::scaling_instance;
+use gcr::workload::generator::{generate, GeneratorParams};
+use gcr::workload::{random_free_point, rng_for, scaling_instance};
 
 /// Number of seeded layouts the full three-engine sweep covers.
 const CASES: u64 = 20;
+
+/// The scale-tier differential instance: the full 1k-net generated die
+/// (every cell, hence the exact 1k-tier routing surface) carrying a
+/// deterministic sample of its nets, so the sweep runs in test-profile
+/// time while still exercising the large-plane query paths.
+fn sampled_scale_instance(keep: usize) -> Layout {
+    let full = generate(&GeneratorParams::with_nets(1000, 0));
+    let mut sampled = Layout::new(full.bounds());
+    sampled.set_min_spacing(full.min_spacing());
+    for cell in full.cells() {
+        sampled
+            .add_cell(cell.name(), cell.rect())
+            .expect("generator cell names are unique");
+    }
+    let stride = (full.nets().len() / keep).max(1);
+    for net in full.nets().iter().step_by(stride) {
+        let id = sampled.add_net(net.name());
+        for terminal in net.terminals() {
+            let t = sampled.add_terminal(id, terminal.name());
+            for &pin in terminal.pins() {
+                // Cell ids transfer verbatim: the sample keeps every cell
+                // in declaration order.
+                sampled.add_pin(t, pin).expect("pin ids stay valid");
+            }
+        }
+    }
+    sampled.validate().expect("sampled instance stays valid");
+    sampled
+}
 
 fn assert_routing_identical(reference: &GlobalRouting, other: &GlobalRouting, what: &str) {
     assert_eq!(
@@ -138,16 +168,20 @@ fn two_pass_reports_are_identical_across_plane_indexes() {
 
 /// Query-level sweep for the buffer-reuse corner contract: on every
 /// workload plane, `corner_candidates_into` must agree with the
-/// allocating form and across implementations — flat vs sharded, cold
-/// cache vs warm cache (the sharded plane memoizes corner lists), and
-/// after an insert invalidates the memo. The reused buffer is
-/// deliberately left dirty between queries.
+/// allocating form and across implementations — flat vs bucketed
+/// sharded vs delegated sharded, cold vs warm (the delegated path
+/// memoizes corner lists; the bucketed tables answer below the memo
+/// and must leave the cache untouched), and after an insert
+/// invalidates both. The reused buffer is deliberately left dirty
+/// between queries.
 #[test]
 fn corner_candidates_into_equivalence_flat_sharded_warm_and_invalidated() {
     for case in 0..CASES {
         let layout = scaling_instance(2, 2, 3, 1, case);
         let flat = layout.to_plane();
         let mut sharded = ShardedPlane::new(layout.to_plane());
+        let mut delegated = ShardedPlane::new(layout.to_plane());
+        delegated.set_corner_delegation(true);
         let xs = PlaneIndex::corner_coords(&flat, Axis::X);
         let ys = PlaneIndex::corner_coords(&flat, Axis::Y);
         let mut buf = Vec::new();
@@ -167,21 +201,33 @@ fn corner_candidates_into_equivalence_flat_sharded_warm_and_invalidated() {
                         let reference = PlaneIndex::corner_candidates(&flat, p, dir, stop);
                         PlaneIndex::corner_candidates_into(&flat, p, dir, stop, &mut buf);
                         assert_eq!(buf, reference, "case {case}: flat into {p} {dir:?}");
-                        // Sharded cold (first visit of this key).
+                        // Bucketed sharded: table-backed, repeated
+                        // queries answer identically without the memo.
                         sharded.corner_candidates_into(p, dir, stop, &mut buf);
                         assert_eq!(buf, reference, "case {case}: sharded cold {p} {dir:?}");
-                        // Sharded warm (memo hit must answer identically).
                         sharded.corner_candidates_into(p, dir, stop, &mut buf);
                         assert_eq!(buf, reference, "case {case}: sharded warm {p} {dir:?}");
+                        // Delegated sharded: cold computes via the flat
+                        // scan, warm must hit the memo identically.
+                        delegated.corner_candidates_into(p, dir, stop, &mut buf);
+                        assert_eq!(buf, reference, "case {case}: delegated cold {p} {dir:?}");
+                        delegated.corner_candidates_into(p, dir, stop, &mut buf);
+                        assert_eq!(buf, reference, "case {case}: delegated warm {p} {dir:?}");
                         probes.push((p, dir, stop));
                     }
                 }
             }
         }
-        let warmed = sharded.cache_stats();
+        let warmed = delegated.cache_stats();
         assert!(warmed.hits > 0, "case {case}: warm pass must hit the memo");
+        assert_eq!(
+            sharded.cache_stats(),
+            gcr::geom::PlaneCacheStats::default(),
+            "case {case}: bucketed corner queries must not touch the memo"
+        );
         // Insert an obstacle: the generation bump must retire every
-        // memoized corner list, and both planes must agree again.
+        // memoized corner list, the bucketed tables must rebuild, and
+        // all planes must agree again.
         let b = PlaneIndex::bounds(&flat);
         let (cx, cy) = ((b.xmin() + b.xmax()) / 2, (b.ymin() + b.ymax()) / 2);
         let blocker = Rect::new(cx, cy, (cx + 9).min(b.xmax()), (cy + 9).min(b.ymax()))
@@ -189,17 +235,123 @@ fn corner_candidates_into_equivalence_flat_sharded_warm_and_invalidated() {
         let mut flat2 = layout.to_plane();
         flat2.add_obstacle(blocker);
         sharded.add_obstacle(blocker);
+        delegated.add_obstacle(blocker);
         for (p, dir, stop) in probes {
             if !PlaneIndex::point_free(&flat2, p) {
                 continue;
             }
+            let reference = PlaneIndex::corner_candidates(&flat2, p, dir, stop);
             sharded.corner_candidates_into(p, dir, stop, &mut buf);
             assert_eq!(
-                buf,
-                PlaneIndex::corner_candidates(&flat2, p, dir, stop),
+                buf, reference,
                 "case {case}: post-insert {p} {dir:?} @{stop}"
             );
+            delegated.corner_candidates_into(p, dir, stop, &mut buf);
+            assert_eq!(
+                buf, reference,
+                "case {case}: post-insert delegated {p} {dir:?} @{stop}"
+            );
         }
+    }
+}
+
+/// Scale-tier query differential: on the full 1k-net generated die (~900
+/// obstacles — an order of magnitude past the macro-grid cases above),
+/// the bucketed corner tables must agree bit for bit with both the flat
+/// slab scan and the delegated pre-PR sharded path, across sampled free
+/// probes, every direction, full and clipped stops, and after a mutation
+/// invalidates the tables.
+#[test]
+fn scale_tier_bucketed_corners_match_flat_and_delegated() {
+    let layout = generate(&GeneratorParams::with_nets(1000, 0));
+    let flat = layout.to_plane();
+    let mut bucketed = ShardedPlane::new(layout.to_plane());
+    let mut delegated = ShardedPlane::new(layout.to_plane());
+    delegated.set_corner_delegation(true);
+    let mut rng = rng_for("scale-eqv", 0);
+    let mut probes = Vec::new();
+    for i in 0..250 {
+        let p = random_free_point(&flat, &mut rng);
+        probes.push(p);
+        for dir in Dir::ALL {
+            let hit = PlaneIndex::ray_hit(&flat, p, dir);
+            assert_eq!(hit, bucketed.ray_hit(p, dir), "probe {i}: ray {p} {dir:?}");
+            let mid = (p.coord(dir.axis()) + hit.stop) / 2;
+            for stop in [hit.stop, mid] {
+                let reference = PlaneIndex::corner_candidates(&flat, p, dir, stop);
+                assert_eq!(
+                    bucketed.corner_candidates(p, dir, stop),
+                    reference,
+                    "probe {i}: bucketed {p} {dir:?} @{stop}"
+                );
+                assert_eq!(
+                    delegated.corner_candidates(p, dir, stop),
+                    reference,
+                    "probe {i}: delegated {p} {dir:?} @{stop}"
+                );
+            }
+        }
+    }
+    // Mutate all three planes identically: the corner tables must be
+    // rebuilt (and the sharded memos retired) without drifting.
+    let b = PlaneIndex::bounds(&flat);
+    let (cx, cy) = ((b.xmin() + b.xmax()) / 2, (b.ymin() + b.ymax()) / 2);
+    let blocker = Rect::new(cx, cy, (cx + 15).min(b.xmax()), (cy + 15).min(b.ymax()))
+        .expect("in-bounds rect");
+    let mut flat2 = layout.to_plane();
+    flat2.add_obstacle(blocker);
+    bucketed.add_obstacle(blocker);
+    delegated.add_obstacle(blocker);
+    for (i, &p) in probes.iter().enumerate() {
+        if !PlaneIndex::point_free(&flat2, p) {
+            continue;
+        }
+        for dir in Dir::ALL {
+            let hit = PlaneIndex::ray_hit(&flat2, p, dir);
+            assert_eq!(hit, bucketed.ray_hit(p, dir), "post-insert probe {i}");
+            let reference = PlaneIndex::corner_candidates(&flat2, p, dir, hit.stop);
+            assert_eq!(
+                bucketed.corner_candidates(p, dir, hit.stop),
+                reference,
+                "post-insert probe {i}: bucketed {p} {dir:?}"
+            );
+            assert_eq!(
+                delegated.corner_candidates(p, dir, hit.stop),
+                reference,
+                "post-insert probe {i}: delegated {p} {dir:?}"
+            );
+        }
+    }
+}
+
+/// The sampled 1k-tier routing differential: a deterministic sample of
+/// the generated die's nets, routed over the **full** 1k-tier plane —
+/// flat ≡ sharded, serial ≡ parallel, byte for byte.
+#[test]
+fn scale_tier_sampled_routes_flat_sharded_serial_parallel_identical() {
+    let layout = sampled_scale_instance(50);
+    let config = RouterConfig::default();
+    let reference = BatchRouter::gridless(&layout, config.clone())
+        .with_batch(BatchConfig::serial())
+        .route_all();
+    assert!(
+        reference.routed_count() * 10 >= layout.nets().len() * 9,
+        "scale tier must be routable: {} of {} routed",
+        reference.routed_count(),
+        layout.nets().len()
+    );
+    for (batch, label) in [
+        (
+            BatchConfig::serial().with_index(PlaneIndexKind::Sharded),
+            "sharded-serial",
+        ),
+        (BatchConfig::default(), "flat-parallel"),
+        (BatchConfig::sharded(), "sharded-parallel"),
+    ] {
+        let routed = BatchRouter::gridless(&layout, config.clone())
+            .with_batch(batch)
+            .route_all();
+        assert_routing_identical(&reference, &routed, &format!("scale-tier/{label}"));
     }
 }
 
