@@ -1,0 +1,226 @@
+//! PathFinder pricing: what does iterated negotiation buy over the
+//! paper's one-shot two-pass reroute, and at what runtime cost?
+//!
+//! For `fixtures/dense.gcl` (two pinned configs: a tight expansion
+//! budget where the two-pass surcharge loses a routable net, and a
+//! wider pitch where both flows route everything but settle different
+//! overflow) and for generated high-utilization tiers (120 and 1000
+//! nets), the harness times [`RoutingSession::route_two_pass`] against
+//! [`RoutingSession::route_negotiated`] and records the quality columns
+//! (failed nets, residual overflow, rounds, convergence) next to the
+//! times. Quality is asserted before timing on the instances with
+//! pinned expectations — negotiation must fail strictly fewer nets on
+//! the tiers where two-pass sheds, and must never leave more overflow —
+//! so every number in the table is a time for a *verified* answer.
+//!
+//! Writes machine-readable `BENCH_pathfinder.json` at the repository
+//! root; CI publishes it to the job summary next to the other tables.
+
+use std::time::Instant;
+
+use gcr_core::{BatchConfig, NegotiationConfig, RouterConfig, RoutingSession};
+use gcr_layout::Layout;
+use gcr_workload::generator::{generate, GeneratorParams};
+
+struct Tier {
+    label: &'static str,
+    layout: Layout,
+    config: RouterConfig,
+    /// Assert the full quality bar (strictly fewer failed, ≤ overflow,
+    /// zero-overflow convergence) before timing.
+    pinned: bool,
+    samples: usize,
+}
+
+fn dense_fixture() -> Layout {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+        .join("fixtures")
+        .join("dense.gcl");
+    let text = std::fs::read_to_string(&path).expect("fixtures/dense.gcl present");
+    gcr_layout::format::parse(&text).expect("fixture parses")
+}
+
+fn congested_instance(nets: usize, seed: u64) -> Layout {
+    let mut params = GeneratorParams::with_nets(nets, seed);
+    params.utilization = 0.85;
+    generate(&params)
+}
+
+fn congested_config(max_expansions: usize) -> RouterConfig {
+    let mut config = RouterConfig::default();
+    config
+        .wire_pitch(2)
+        .congestion_weight(20)
+        .max_expansions(Some(max_expansions));
+    config
+}
+
+fn main() {
+    let dense = dense_fixture();
+    let mut dense_tight = RouterConfig::default();
+    dense_tight
+        .wire_pitch(6)
+        .congestion_weight(8)
+        .max_expansions(Some(175));
+    let mut dense_wide = RouterConfig::default();
+    dense_wide
+        .wire_pitch(9)
+        .congestion_weight(10)
+        .max_expansions(Some(200));
+
+    let tiers = vec![
+        Tier {
+            label: "dense-tight",
+            layout: dense.clone(),
+            config: dense_tight,
+            pinned: false,
+            samples: 10,
+        },
+        Tier {
+            label: "dense-wide",
+            layout: dense,
+            config: dense_wide,
+            pinned: false,
+            samples: 10,
+        },
+        Tier {
+            label: "gen-120-s0",
+            layout: congested_instance(120, 0),
+            config: congested_config(1200),
+            pinned: true,
+            samples: 3,
+        },
+        Tier {
+            label: "gen-120-s1",
+            layout: congested_instance(120, 1),
+            config: congested_config(1200),
+            pinned: true,
+            samples: 3,
+        },
+        Tier {
+            label: "gen-120-s2",
+            layout: congested_instance(120, 2),
+            config: congested_config(1200),
+            pinned: true,
+            samples: 3,
+        },
+        Tier {
+            label: "gen-1k-s0",
+            layout: congested_instance(1000, 0),
+            config: congested_config(1200),
+            pinned: false,
+            samples: 1,
+        },
+    ];
+
+    let ncfg = NegotiationConfig::default();
+    let mut rows = Vec::new();
+    for tier in &tiers {
+        let build = || {
+            RoutingSession::builder(tier.layout.clone())
+                .config(tier.config.clone())
+                .batch(BatchConfig::default())
+                .build()
+        };
+        // Quality first: every timed sample recomputes the same answer
+        // (deterministic flows), so one verification run suffices.
+        let two_pass = build().route_two_pass();
+        let negotiated = build().route_negotiated(&ncfg);
+        assert!(
+            negotiated.routing.failures.len() <= two_pass.routing.failures.len(),
+            "{}: negotiation must never fail more nets",
+            tier.label
+        );
+        if tier.pinned {
+            assert!(
+                negotiated.routing.failures.len() < two_pass.routing.failures.len(),
+                "{}: strictly fewer failed nets",
+                tier.label
+            );
+            assert!(
+                negotiated.after.total_overflow() <= two_pass.after.total_overflow(),
+                "{}: no more overflow",
+                tier.label
+            );
+            assert!(
+                negotiated.converged,
+                "{}: pinned tiers reach zero overflow",
+                tier.label
+            );
+        }
+
+        let mut tp_times = Vec::with_capacity(tier.samples);
+        let mut ng_times = Vec::with_capacity(tier.samples);
+        for _ in 0..tier.samples {
+            let mut session = build();
+            let start = Instant::now();
+            let report = session.route_two_pass();
+            tp_times.push(start.elapsed().as_secs_f64() * 1e3);
+            assert_eq!(report.rerouted, two_pass.rerouted, "stable run");
+
+            let mut session = build();
+            let start = Instant::now();
+            let report = session.route_negotiated(&ncfg);
+            ng_times.push(start.elapsed().as_secs_f64() * 1e3);
+            assert_eq!(report.iterations, negotiated.iterations, "stable run");
+        }
+        let min = |t: &[f64]| t.iter().copied().fold(f64::INFINITY, f64::min);
+        let mean = |t: &[f64]| t.iter().sum::<f64>() / t.len() as f64;
+
+        for (flow, times, failed, overflow, rounds, converged) in [
+            (
+                "two-pass",
+                &tp_times,
+                two_pass.routing.failures.len(),
+                two_pass.after.total_overflow(),
+                usize::from(two_pass.rerouted > 0),
+                two_pass.after.total_overflow() == 0,
+            ),
+            (
+                "negotiated",
+                &ng_times,
+                negotiated.routing.failures.len(),
+                negotiated.after.total_overflow(),
+                negotiated.iterations,
+                negotiated.converged,
+            ),
+        ] {
+            println!(
+                "pathfinder/{:<12} {flow:<10} mean {:9.2} ms  min {:9.2} ms  \
+                 failed {failed:>3}  overflow {overflow:>3}  rounds {rounds:>2}  converged {converged}",
+                tier.label,
+                mean(times),
+                min(times),
+            );
+            rows.push(format!(
+                concat!(
+                    "    {{\"instance\": \"{}\", \"nets\": {}, \"flow\": \"{}\", ",
+                    "\"mean_ms\": {:.4}, \"min_ms\": {:.4}, \"failed\": {}, ",
+                    "\"overflow\": {}, \"rounds\": {}, \"converged\": {}}}"
+                ),
+                tier.label,
+                tier.layout.nets().len(),
+                flow,
+                mean(times),
+                min(times),
+                failed,
+                overflow,
+                rounds,
+                converged
+            ));
+        }
+    }
+
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..");
+    let json = format!(
+        "{{\n  \"bench\": \"pathfinder\",\n  \"unit\": \"ms\",\n  \"results\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    let path = root.join("BENCH_pathfinder.json");
+    std::fs::write(&path, &json).expect("write BENCH_pathfinder.json");
+    println!("wrote {}", path.display());
+}

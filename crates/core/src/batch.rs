@@ -25,6 +25,7 @@ use gcr_search::parallel_map_with;
 use crate::congestion::{analyze, find_passages, CongestionPenalty};
 use crate::driver::{grow_net, PlaneStore};
 use crate::engine::{GridlessEngine, RoutingEngine};
+use crate::negotiate::{NegotiationConfig, NegotiationReport};
 use crate::net_router::{GlobalRouting, NetRoute, TwoPassReport};
 use crate::{RouteError, RouterConfig, SearchScratch};
 
@@ -369,6 +370,28 @@ impl<'a, E: RoutingEngine> BatchRouter<'a, E> {
             after,
             rerouted,
         }
+    }
+
+    /// PathFinder-style negotiated congestion: the iterative
+    /// generalization of [`BatchRouter::route_two_pass`], rerouting
+    /// under growing present + history prices until zero overflow or
+    /// `config.max_iters` rounds (see [`crate::negotiate`]).
+    ///
+    /// The loop is inherently stateful (each round reroutes against the
+    /// previous round's committed occupancy), so the batch form runs an
+    /// owned [`RoutingSession`](crate::RoutingSession) over a clone of
+    /// the layout, borrowing this router's engine, config and schedule —
+    /// byte-identical to calling
+    /// [`RoutingSession::route_negotiated`](crate::RoutingSession) on an
+    /// equivalent session (asserted by `tests/negotiate.rs`).
+    #[must_use]
+    pub fn route_negotiated(&self, config: &NegotiationConfig) -> NegotiationReport {
+        let mut session = crate::RoutingSession::builder(self.layout.clone())
+            .config(self.config.clone())
+            .batch(self.batch)
+            .engine(&self.engine)
+            .build();
+        crate::negotiate::negotiate(&mut session, config)
     }
 }
 

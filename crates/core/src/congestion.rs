@@ -230,14 +230,13 @@ impl CongestionAnalysis {
     /// Builds the penalty regions for the second pass.
     #[must_use]
     pub fn penalty(&self, weight: i64) -> CongestionPenalty {
-        CongestionPenalty {
-            regions: self
-                .congested()
+        CongestionPenalty::from_regions(
+            self.congested()
                 .into_iter()
                 .map(|i| (self.passages[i].rect, self.passages[i].corridor_axis))
                 .collect(),
             weight,
-        }
+        )
     }
 }
 
@@ -279,19 +278,30 @@ where
 
 /// Penalty regions for a congestion-aware pass: wire running along a
 /// region's corridor axis inside the region is surcharged
-/// `weight × overlap-length`.
+/// `weight × overlap-length`. Each region carries its own weight — the
+/// two-pass flow uses one uniform weight, negotiation prices every
+/// passage by its present overflow plus accumulated history.
 #[derive(Debug, Clone, Default)]
 pub struct CongestionPenalty {
-    regions: Vec<(Rect, Axis)>,
-    weight: i64,
+    regions: Vec<(Rect, Axis, i64)>,
 }
 
 impl CongestionPenalty {
-    /// Builds a penalty from explicit regions (mostly for tests; normally
-    /// produced by [`CongestionAnalysis::penalty`]).
+    /// Builds a penalty from explicit regions under one uniform weight
+    /// (mostly for tests; normally produced by
+    /// [`CongestionAnalysis::penalty`]).
     #[must_use]
     pub fn from_regions(regions: Vec<(Rect, Axis)>, weight: i64) -> CongestionPenalty {
-        CongestionPenalty { regions, weight }
+        CongestionPenalty {
+            regions: regions.into_iter().map(|(r, a)| (r, a, weight)).collect(),
+        }
+    }
+
+    /// Builds a penalty with an explicit weight per region — the
+    /// negotiated-congestion form ([`crate::NegotiationCost::penalty`]).
+    #[must_use]
+    pub fn from_weighted_regions(regions: Vec<(Rect, Axis, i64)>) -> CongestionPenalty {
+        CongestionPenalty { regions }
     }
 
     /// Number of penalized regions.
@@ -307,7 +317,7 @@ impl CongestionPenalty {
             return 0;
         }
         let mut total = 0;
-        for (rect, corridor) in &self.regions {
+        for (rect, corridor, weight) in &self.regions {
             if seg.axis() != *corridor {
                 continue;
             }
@@ -316,7 +326,7 @@ impl CongestionPenalty {
                 continue;
             }
             if let Some(overlap) = rect.span(*corridor).intersect(&seg.span()) {
-                total += overlap.len() * self.weight;
+                total += overlap.len() * weight;
             }
         }
         total
@@ -445,6 +455,18 @@ mod tests {
         assert_eq!(p.surcharge(&Segment::vertical(55, 0, 100)), 0);
         // On the strip edge (hugging the cell face) counts: x=40.
         assert_eq!(p.surcharge(&Segment::vertical(40, 20, 80)), 60 * 4);
+    }
+
+    #[test]
+    fn weighted_regions_price_each_region_by_its_own_weight() {
+        let a = Rect::new(40, 20, 50, 80).unwrap();
+        let b = Rect::new(60, 20, 70, 80).unwrap();
+        let p = CongestionPenalty::from_weighted_regions(vec![(a, Axis::Y, 2), (b, Axis::Y, 7)]);
+        assert_eq!(p.region_count(), 2);
+        assert_eq!(p.surcharge(&Segment::vertical(45, 20, 80)), 60 * 2);
+        assert_eq!(p.surcharge(&Segment::vertical(65, 20, 80)), 60 * 7);
+        // A wire through both strips pays each region's own rate.
+        assert_eq!(p.surcharge(&Segment::horizontal(50, 0, 100)), 0);
     }
 
     #[test]

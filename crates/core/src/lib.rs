@@ -63,6 +63,7 @@ mod engine;
 mod error;
 mod feedback;
 mod goal;
+pub mod negotiate;
 mod net_router;
 mod route;
 mod scratch;
@@ -79,6 +80,7 @@ pub use engine::{EngineCaps, GridEngine, GridlessEngine, HightowerEngine, Routin
 pub use error::RouteError;
 pub use feedback::{placement_feedback, FeedbackOptions, FeedbackReport, IterationRecord};
 pub use goal::GoalSet;
+pub use negotiate::{negotiate, NegotiationConfig, NegotiationCost, NegotiationReport};
 pub use net_router::{GlobalRouter, GlobalRouting, NetRoute, TwoPassReport};
 pub use route::{route_from_tree, route_from_tree_in, route_two_points, RoutedPath};
 pub use scratch::SearchScratch;

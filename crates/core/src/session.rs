@@ -64,6 +64,7 @@ use gcr_search::parallel_map_with;
 use crate::congestion::{analyze, find_passages, CongestionAnalysis, CongestionPenalty, Passage};
 use crate::driver::{grow_net, PlaneStore};
 use crate::engine::{GridlessEngine, RoutingEngine};
+use crate::negotiate::{NegotiationConfig, NegotiationReport};
 use crate::net_router::{GlobalRouting, NetRoute, TwoPassReport};
 use crate::{BatchConfig, PlaneIndexKind, RouteError, RouterConfig, SearchScratch};
 
@@ -627,7 +628,7 @@ impl<E: RoutingEngine> RoutingSession<E> {
     }
 
     /// Marks slot `idx` dirty, keeping the running count exact.
-    fn set_dirty_slot(&mut self, idx: usize) {
+    pub(crate) fn set_dirty_slot(&mut self, idx: usize) {
         let state = &mut self.slots[idx];
         if !state.dirty {
             state.dirty = true;
@@ -755,7 +756,10 @@ impl<E: RoutingEngine> RoutingSession<E> {
         self.reroute_dirty_with(None)
     }
 
-    fn reroute_dirty_with(&mut self, penalty: Option<&CongestionPenalty>) -> RerouteOutcome {
+    pub(crate) fn reroute_dirty_with(
+        &mut self,
+        penalty: Option<&CongestionPenalty>,
+    ) -> RerouteOutcome {
         let ids = self.dirty_nets();
         let results = self.route_many(&ids, penalty);
         let mut outcome = RerouteOutcome {
@@ -810,6 +814,17 @@ impl<E: RoutingEngine> RoutingSession<E> {
         }
     }
 
+    /// PathFinder-style negotiated congestion: the iterative
+    /// generalization of [`RoutingSession::route_two_pass`] — reroute
+    /// under growing present + history prices until zero overflow or
+    /// `config.max_iters` rounds. See [`crate::negotiate`] for the cost
+    /// model; byte-identical to
+    /// [`BatchRouter::route_negotiated`](crate::BatchRouter) and across
+    /// serial/parallel × flat/sharded schedules.
+    pub fn route_negotiated(&mut self, config: &NegotiationConfig) -> NegotiationReport {
+        crate::negotiate::negotiate(self, config)
+    }
+
     /// Congestion of the committed occupancy over the plane's current
     /// passages.
     #[must_use]
@@ -818,7 +833,16 @@ impl<E: RoutingEngine> RoutingSession<E> {
         self.analyze_committed(&passages)
     }
 
-    fn analyze_committed(&self, passages: &[Passage]) -> CongestionAnalysis {
+    /// Slot indices currently holding a committed failure.
+    pub(crate) fn failed_slot_indices(&self) -> Vec<usize> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| matches!(s.slot, NetSlot::Failed(_)).then_some(i))
+            .collect()
+    }
+
+    pub(crate) fn analyze_committed(&self, passages: &[Passage]) -> CongestionAnalysis {
         analyze(
             passages,
             self.slots
@@ -1450,6 +1474,60 @@ mod tests {
         check(&session);
         let _ = session.route_two_pass();
         check(&session);
+    }
+
+    /// A congested alley whose nets route fine at true cost but blow
+    /// the expansion budget once a congestion surcharge inflates the
+    /// heuristic gap: penalty reroutes turn Routed slots into Failed
+    /// ones mid-flight.
+    fn alley_layout() -> Layout {
+        let mut l = Layout::new(Rect::new(0, 0, 200, 120).unwrap());
+        l.add_cell("a", Rect::new(40, 20, 95, 100).unwrap())
+            .unwrap();
+        l.add_cell("b", Rect::new(105, 20, 160, 100).unwrap())
+            .unwrap();
+        for i in 0..4i64 {
+            let x = 96 + i * 2;
+            l.add_two_pin_net(format!("n{i}"), Point::new(x, 0), Point::new(x, 110));
+        }
+        l
+    }
+
+    /// A penalty reroute that downgrades a Routed slot to Failed must
+    /// keep the running [`SessionStats`] aggregates and the dirty-grid
+    /// registry in lockstep with a from-scratch recount — for both the
+    /// two-pass report and the negotiated driver.
+    #[test]
+    fn routed_to_failed_transitions_keep_aggregates_consistent() {
+        let mut config = RouterConfig::default();
+        config
+            .wire_pitch(5)
+            .congestion_weight(200)
+            .max_expansions(Some(30));
+        // Sanity: at true cost every alley net routes under this budget.
+        let clean = RoutingSession::gridless(alley_layout(), config.clone()).route_all();
+        assert!(clean.failures.is_empty(), "first pass must be clean");
+
+        let mut two_pass = RoutingSession::gridless(alley_layout(), config.clone());
+        let report = two_pass.route_two_pass();
+        assert!(
+            !report.routing.failures.is_empty(),
+            "the surcharge must blow the expansion budget for this test \
+             to exercise the Routed -> Failed transition"
+        );
+        assert_eq!(two_pass.stats(), scan_stats(&two_pass));
+        assert_grid_consistent(&two_pass);
+
+        // Negotiation drives the same transition every iteration, then
+        // repairs it; the books must balance at the end as well.
+        let mut negotiated = RoutingSession::gridless(alley_layout(), config);
+        let report = negotiated.route_negotiated(&crate::NegotiationConfig::default());
+        assert!(
+            report.routing.failures.is_empty(),
+            "negotiation repairs surcharge casualties at true cost"
+        );
+        assert_eq!(negotiated.stats(), scan_stats(&negotiated));
+        assert_grid_consistent(&negotiated);
     }
 
     #[test]

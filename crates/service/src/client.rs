@@ -179,6 +179,17 @@ impl Client {
         })
     }
 
+    /// `NEGOTIATE`: PathFinder negotiated-congestion routing over the
+    /// whole session (`max_iters` caps the reroute rounds; `None` = the
+    /// server default).
+    ///
+    /// # Errors
+    ///
+    /// See [`ClientError`].
+    pub fn negotiate(&mut self, sid: u64, max_iters: Option<u64>) -> Result<Reply, ClientError> {
+        self.expect_ok(&Request::Negotiate { sid, max_iters })
+    }
+
     /// `STATS` for one session (`Some(sid)`) or the server (`None`).
     ///
     /// # Errors

@@ -13,6 +13,7 @@
 //! ECO <sid>                  # + .eco body; flushes like `gcrt eco`
 //! ROUTE <sid> [FULL]         # first/FULL: route everything; else: reroute the dirty set
 //! RIPUP <sid> <net>          # rip up one committed route (net becomes dirty)
+//! NEGOTIATE <sid> [<iters>]  # PathFinder negotiated congestion (iteration cap)
 //! STATS [<sid>]              # session stats, or server stats without a sid
 //! DUMP <sid>                 # committed routes as polylines (diffable)
 //! CLOSE <sid>                # drop the session
@@ -158,6 +159,14 @@ pub enum Request {
         sid: u64,
         /// Net name in the session's layout.
         net: String,
+    },
+    /// PathFinder-style negotiated congestion over the whole session
+    /// (route everything, then iterate under present + history prices).
+    Negotiate {
+        /// Session id.
+        sid: u64,
+        /// Iteration cap; `None` = the server default (16).
+        max_iters: Option<u64>,
     },
     /// Session stats (with a sid) or server stats (without).
     Stats {
@@ -391,6 +400,10 @@ pub fn write_request(w: &mut impl Write, req: &Request) -> io::Result<()> {
             }
         }
         Request::RipUp { sid, net } => writeln!(w, "RIPUP {sid} {net}"),
+        Request::Negotiate { sid, max_iters } => match max_iters {
+            Some(n) => writeln!(w, "NEGOTIATE {sid} {n}"),
+            None => writeln!(w, "NEGOTIATE {sid}"),
+        },
         Request::Stats { sid: Some(sid) } => writeln!(w, "STATS {sid}"),
         Request::Stats { sid: None } => writeln!(w, "STATS"),
         Request::Dump { sid } => writeln!(w, "DUMP {sid}"),
@@ -514,6 +527,22 @@ pub fn read_request(r: &mut impl BufRead) -> io::Result<Option<Result<Request, W
                 sid: sid!(tokens[1]),
                 net: tokens[2].to_string(),
             }
+        }
+        "NEGOTIATE" => {
+            check_arity!(1, 2);
+            let sid = sid!(tokens[1]);
+            let max_iters = match tokens.get(2) {
+                None => None,
+                Some(t) => match t.parse::<u64>() {
+                    Ok(n) if n >= 1 => Some(n),
+                    _ => {
+                        return bad(format!(
+                            "iteration cap must be a positive integer, got {t:?}"
+                        ))
+                    }
+                },
+            };
+            Request::Negotiate { sid, max_iters }
         }
         "STATS" => {
             check_arity!(0, 1);
@@ -701,6 +730,14 @@ mod tests {
                 sid: 3,
                 net: "clk".to_string(),
             },
+            Request::Negotiate {
+                sid: 8,
+                max_iters: None,
+            },
+            Request::Negotiate {
+                sid: 9,
+                max_iters: Some(12),
+            },
             Request::Stats { sid: Some(4) },
             Request::Stats { sid: None },
             Request::Dump { sid: 5 },
@@ -767,6 +804,11 @@ mod tests {
             // … and a missing terminator is reported as truncation.
             ("OPEN warp flat\n", ErrCode::Truncated),
             ("RIPUP 1\n", ErrCode::BadRequest),
+            ("NEGOTIATE\n", ErrCode::BadRequest),
+            ("NEGOTIATE zebra\n", ErrCode::BadRequest),
+            ("NEGOTIATE 1 0\n", ErrCode::BadRequest),
+            ("NEGOTIATE 1 soon\n", ErrCode::BadRequest),
+            ("NEGOTIATE 1 4 5\n", ErrCode::BadRequest),
             ("STATS 1 2\n", ErrCode::BadRequest),
             ("PING extra\n", ErrCode::BadRequest),
         ] {

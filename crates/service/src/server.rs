@@ -27,7 +27,7 @@ use std::sync::mpsc::sync_channel;
 use std::sync::{Arc, Mutex, PoisonError};
 use std::time::Instant;
 
-use gcr_core::{apply_eco, parse_eco, EcoError, RouterConfig, RoutingSession};
+use gcr_core::{apply_eco, parse_eco, EcoError, NegotiationConfig, RouterConfig, RoutingSession};
 use gcr_layout::format;
 
 use crate::proto::{
@@ -382,6 +382,29 @@ fn dispatch(request: Request, ctx: &Ctx<'_>) -> Response {
                     ),
                 )
             }
+        }),
+        Request::Negotiate { sid, max_iters } => with_session(ctx, sid, |s| {
+            let mut ncfg = NegotiationConfig::default();
+            if let Some(n) = max_iters {
+                ncfg.max_iters(n as usize);
+            }
+            let report = s.session.route_negotiated(&ncfg);
+            s.routed_once = true;
+            Response::ok_with(
+                "negotiate",
+                format!(
+                    "iterations {}\nconverged {}\noverflow-before {}\noverflow-after {}\n\
+                     rerouted {}\nrouted {}\nfailed {}\nwire-length {}\n",
+                    report.iterations,
+                    report.converged,
+                    report.before.total_overflow(),
+                    report.after.total_overflow(),
+                    report.rerouted,
+                    report.routing.routed_count(),
+                    report.routing.failures.len(),
+                    report.routing.wire_length()
+                ),
+            )
         }),
         Request::RipUp { sid, net } => with_session(ctx, sid, |s| {
             let Some(id) = s.session.layout().net_by_name(&net) else {

@@ -3,6 +3,7 @@
 //! ```text
 //! gcrt route chip.gcl                 # route every net, print a report
 //! gcrt route chip.gcl --two-pass      # congestion-aware two-pass flow
+//! gcrt route chip.gcl --negotiate     # PathFinder negotiated congestion
 //! gcrt route chip.gcl --engine grid   # pick the routing backend
 //! gcrt route chip.gcl --sharded       # bucket-grid plane + query cache
 //! gcrt route chip.gcl --render 2      # ASCII-render layout + routes
@@ -24,7 +25,7 @@ use std::process::ExitCode;
 use gcr::detail::route_details;
 use gcr::layout::{format, render};
 use gcr::prelude::*;
-use gcr::router::{apply_eco, parse_eco};
+use gcr::router::{apply_eco, parse_eco, NegotiationConfig};
 use gcr::service::{Client, ClientError, EngineKind, Reply, Server, ServerConfig};
 
 fn main() -> ExitCode {
@@ -42,6 +43,8 @@ fn main() -> ExitCode {
 const VALUE_FLAGS: &[&str] = &[
     "--render",
     "--engine",
+    "--max-iters",
+    "--pitch",
     "--addr",
     "--capacity",
     "--workers",
@@ -126,6 +129,9 @@ fn run(args: &[String]) -> Result<(), String> {
                  \x20 --sharded       bucket-grid plane index with query caching\n\
                  \x20 --serial        disable parallel net routing\n\
                  \x20 --two-pass      congestion-aware two-pass routing\n\
+                 \x20 --negotiate     PathFinder negotiated-congestion routing\n\
+                 \x20 --max-iters N   negotiation iteration cap (default 16)\n\
+                 \x20 --pitch N       wire pitch for passage capacities (default 1)\n\
                  \x20 --precise-dirty exact segment-vs-rect ECO dirty tracking\n\
                  \x20 --render N      ASCII-render at N layout units per column\n\
                  \x20 --no-epsilon    disable the inverted-corner penalty\n\n\
@@ -150,6 +156,7 @@ fn run(args: &[String]) -> Result<(), String> {
                  \x20 open <engine> <flat|sharded> <file.gcl>\n\
                  \x20 eco <sid> <file.eco>\n\
                  \x20 route <sid> [full]     ripup <sid> <net>\n\
+                 \x20 negotiate <sid> [max-iters]\n\
                  \x20 stats [<sid>]          dump <sid>\n\
                  \x20 close <sid>"
             );
@@ -179,7 +186,32 @@ fn run(args: &[String]) -> Result<(), String> {
             let layout = load(path)?;
             layout.validate().map_err(|e| e.to_string())?;
             let mut session = build_session(layout, args)?;
-            let routing = if flag("--two-pass") {
+            if flag("--two-pass") && flag("--negotiate") {
+                return Err("--two-pass and --negotiate are mutually exclusive".to_string());
+            }
+            let routing = if flag("--negotiate") {
+                let mut ncfg = NegotiationConfig::default();
+                if let Some(n) = int_value("--max-iters")? {
+                    if n < 1 {
+                        return Err("--max-iters must be at least 1".to_string());
+                    }
+                    ncfg.max_iters(n as usize);
+                }
+                let report = session.route_negotiated(&ncfg);
+                println!(
+                    "negotiation: overflow {} -> {} in {} iteration(s), {} reroute(s) ({})",
+                    report.before.total_overflow(),
+                    report.after.total_overflow(),
+                    report.iterations,
+                    report.rerouted,
+                    if report.converged {
+                        "converged"
+                    } else {
+                        "iteration cap reached"
+                    }
+                );
+                report.routing
+            } else if flag("--two-pass") {
                 let report = session.route_two_pass();
                 println!(
                     "congestion: overflow {} -> {} ({} nets rerouted)",
@@ -416,6 +448,16 @@ fn run_client(addr: &str, verb: &str, rest: &[&String]) -> Result<(), String> {
             let net = arg(1, "net name")?;
             client.rip_up(sid, net)
         }
+        "negotiate" => {
+            let sid = sid_arg(0)?;
+            let max_iters = match rest.get(1) {
+                None => None,
+                Some(token) => Some(token.parse::<u64>().map_err(|_| {
+                    format!("{verb}: iteration cap must be a positive integer, got {token:?}")
+                })?),
+            };
+            client.negotiate(sid, max_iters)
+        }
         "stats" => {
             let sid = match rest.first() {
                 Some(_) => Some(sid_arg(0)?),
@@ -457,6 +499,14 @@ fn build_session(
     let mut config = RouterConfig::default();
     if flag("--no-epsilon") {
         config.corner_penalty(false);
+    }
+    if let Some(i) = args.iter().position(|a| a == "--pitch") {
+        let pitch = args
+            .get(i + 1)
+            .and_then(|v| v.parse::<i64>().ok())
+            .filter(|&p| p >= 1)
+            .ok_or("--pitch requires an integer of at least 1")?;
+        config.wire_pitch(pitch);
     }
     let mut builder = RoutingSession::builder(layout)
         .config(config)

@@ -12,7 +12,7 @@ use std::net::TcpStream;
 use std::thread;
 
 use gcr::prelude::*;
-use gcr::router::{apply_eco, parse_eco};
+use gcr::router::{apply_eco, parse_eco, NegotiationConfig};
 use gcr::service::{
     dump_routing, format_stats, proto, Client, ClientError, EngineKind, ErrCode, Request, Response,
     Server, ServerConfig, WireError,
@@ -275,6 +275,96 @@ fn eco_error_paths_are_typed() {
         Err(ClientError::Server(e)) => assert_eq!(e.code, ErrCode::Layout),
         other => panic!("expected LAYOUT, got {other:?}"),
     }
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+}
+
+/// An alley layout congested at the server's default config (pitch 1):
+/// three nets cross a 2-wide channel between two macros, so the plain
+/// pass overflows and `NEGOTIATE` has real work to do over the wire.
+fn alley_gcl() -> String {
+    let mut text = String::from(
+        "gcl 1\nbounds 0 0 60 40\nspacing 1\n\
+         cell a 10 10 29 30\ncell b 31 10 50 30\n",
+    );
+    for (i, x) in [29i64, 30, 31].into_iter().enumerate() {
+        text.push_str(&format!(
+            "net n{i}\nterminal s\npin - {x} 0\nterminal t\npin - {x} 40\n"
+        ));
+    }
+    text
+}
+
+/// `NEGOTIATE` over the wire must report exactly what the in-process
+/// negotiation driver computes, and leave the session state (dump,
+/// stats) byte-identical to the in-process twin.
+#[test]
+fn negotiate_verb_equals_in_process() {
+    let gcl = alley_gcl();
+    let (addr, handle) = spawn_server(4, 2);
+    let mut client = Client::connect(addr).unwrap();
+    let (sid, _) = client
+        .open(EngineKind::Gridless, PlaneIndexKind::Sharded, &gcl)
+        .unwrap();
+
+    let layout = gcr::layout::format::parse(&gcl).unwrap();
+    let mut local = RoutingSession::builder(layout)
+        .config(RouterConfig::default())
+        .index(PlaneIndexKind::Sharded)
+        .build();
+    let report = local.route_negotiated(&NegotiationConfig::default());
+    assert!(
+        report.before.total_overflow() > 0,
+        "the alley must congest for this test to mean anything"
+    );
+
+    let served = client.negotiate(sid, None).unwrap();
+    for (key, value) in [
+        ("iterations", report.iterations as i64),
+        ("overflow-before", report.before.total_overflow()),
+        ("overflow-after", report.after.total_overflow()),
+        ("rerouted", report.rerouted as i64),
+        ("routed", report.routing.routed_count() as i64),
+        ("failed", report.routing.failures.len() as i64),
+        ("wire-length", report.routing.wire_length()),
+    ] {
+        assert_eq!(served.int_field(key), Some(value), "{key}");
+    }
+    assert_eq!(
+        served.field("converged"),
+        Some(if report.converged { "true" } else { "false" })
+    );
+    assert_eq!(
+        client.dump(sid).unwrap().body,
+        dump_routing(&local.routing()),
+        "post-negotiate dump"
+    );
+
+    // A capped run through the wire matches a capped run in process.
+    let mut capped_local = RoutingSession::builder(local.layout().clone())
+        .config(RouterConfig::default())
+        .index(PlaneIndexKind::Sharded)
+        .build();
+    let mut ncfg = NegotiationConfig::default();
+    ncfg.max_iters(1);
+    let capped = capped_local.route_negotiated(&ncfg);
+    let served_capped = client.negotiate(sid, Some(1)).unwrap();
+    assert_eq!(
+        served_capped.int_field("iterations"),
+        Some(capped.iterations as i64)
+    );
+    assert_eq!(
+        served_capped.int_field("overflow-after"),
+        Some(capped.after.total_overflow())
+    );
+
+    // Unknown session: the typed UNKNOWN-SESSION error, like every other verb.
+    match client.negotiate(sid + 999, None) {
+        Err(ClientError::Server(e)) => assert_eq!(e.code, ErrCode::UnknownSession),
+        other => panic!("expected UNKNOWN-SESSION, got {other:?}"),
+    }
+
+    client.close_session(sid).unwrap();
     client.shutdown().unwrap();
     handle.join().unwrap();
 }

@@ -235,6 +235,63 @@ fn two_pass_report_matches_batch_pipeline() {
     assert_routing_identical(&reference.routing, &report.routing, "alley");
 }
 
+/// Congestion-blind engines (`supports_congestion == false`) must make
+/// `route_two_pass` a pure first pass on the session exactly as on the
+/// batch pipeline: zero reroutes, no dirty marks left behind, reports
+/// identical, and the committed state indistinguishable from
+/// `route_all`.
+#[test]
+fn two_pass_on_congestion_blind_engines_never_reroutes() {
+    let engines: Vec<(&str, gcr::service::BoxedEngine)> = vec![
+        ("grid-astar", Box::new(GridEngine::default())),
+        ("lee-moore", Box::new(GridEngine::lee_moore())),
+        ("hightower", Box::new(HightowerEngine::default())),
+    ];
+    for (name, engine) in engines {
+        assert!(
+            !engine.capabilities().supports_congestion,
+            "{name}: precondition"
+        );
+        for case in 0..3u64 {
+            let layout = scaling_instance(2, 2, 8, 2, case);
+            let mut config = RouterConfig::default();
+            config.wire_pitch(4).congestion_weight(5);
+            let reference = BatchRouter::new(&layout, config.clone(), &*engine)
+                .with_batch(BatchConfig::serial())
+                .route_two_pass();
+            let mut session = RoutingSession::builder(layout.clone())
+                .config(config.clone())
+                .engine(&*engine)
+                .batch(BatchConfig::serial())
+                .build();
+            let report = session.route_two_pass();
+            let what = format!("{name}/case {case}");
+            assert_eq!(report.rerouted, 0, "{what}: batch skips the reroute");
+            assert_eq!(reference.rerouted, 0, "{what}");
+            assert!(
+                session.dirty_nets().is_empty(),
+                "{what}: no dirty marks may leak from the skipped pass"
+            );
+            assert_eq!(session.stats().reroutes, 0, "{what}: no reroute counted");
+            assert_analysis_identical(&report.before, &reference.before, &what);
+            assert_analysis_identical(&report.after, &reference.after, &what);
+            assert_eq!(
+                report.before.users, report.after.users,
+                "{what}: occupancy untouched"
+            );
+            assert_routing_identical(&reference.routing, &report.routing, &what);
+            // The committed state is exactly the plain first pass.
+            let mut plain = RoutingSession::builder(layout)
+                .config(config)
+                .engine(&*engine)
+                .batch(BatchConfig::serial())
+                .build();
+            let routed = plain.route_all();
+            assert_routing_identical(&routed, &report.routing, &what);
+        }
+    }
+}
+
 /// After a mutation + `reroute_dirty`, every re-routed net must be
 /// byte-identical to what a **fresh** session over the mutated layout
 /// computes, and every committed route (refreshed or not) must be legal
