@@ -16,9 +16,11 @@
 //! number is a time for *the same answer*.
 //!
 //! Writes machine-readable `BENCH_service.json` at the repository root
-//! (CI publishes it next to `BENCH_session.json`), and enforces the
-//! acceptance bar: served warm-reroute latency within 2× of in-process
-//! on the 120-net instance (flat index).
+//! (CI publishes it next to `BENCH_session.json`), and enforces two
+//! acceptance bars: served warm-reroute latency within 2× of in-process
+//! on the 120-net instance (flat index), and the hardening overhead —
+//! the same warm reroute under a generous `DEADLINE` budget — within
+//! 5% of the unbudgeted path.
 
 use std::time::Instant;
 
@@ -170,6 +172,55 @@ fn main() {
         client.close_session(sid).expect("close");
     }
 
+    // Hardening overhead: the same warm dirty reroute with and without
+    // a per-request DEADLINE budget. A request without a deadline takes
+    // the unbudgeted code path; one with a (generous) deadline pays for
+    // the budget checks inside the search loop. The gap between the two
+    // is the whole cost of the cancellation machinery.
+    let (sid, _) = client
+        .open(EngineKind::Gridless, PlaneIndexKind::Flat, &gcl)
+        .expect("open");
+    client.route(sid, false).expect("cold route");
+    let mut unbudgeted_times = Vec::with_capacity(REROUTE_SAMPLES);
+    let mut budgeted_times = Vec::with_capacity(REROUTE_SAMPLES);
+    for _ in 0..REROUTE_SAMPLES {
+        client.rip_up(sid, &victim).expect("ripup");
+        let start = Instant::now();
+        client.route(sid, false).expect("warm route");
+        unbudgeted_times.push(start.elapsed().as_secs_f64());
+
+        client.rip_up(sid, &victim).expect("ripup");
+        let start = Instant::now();
+        client
+            .route_deadline(sid, false, Some(60_000))
+            .expect("warm budgeted route");
+        budgeted_times.push(start.elapsed().as_secs_f64());
+    }
+    client.close_session(sid).expect("close");
+    let unbudgeted = stats(&unbudgeted_times);
+    let budgeted = stats(&budgeted_times);
+    let hardening_ratio = budgeted.min_ms / unbudgeted.min_ms;
+    for (mode, m) in [
+        ("warm-reroute-nodeadline", &unbudgeted),
+        ("warm-reroute-deadline", &budgeted),
+    ] {
+        println!(
+            "service/flat/{label:<10} {mode:<22} mean {:9.4} ms  min {:9.4} ms",
+            m.mean_ms, m.min_ms
+        );
+        rows.push(format!(
+            concat!(
+                "    {{\"instance\": \"{}\", \"nets\": {}, \"index\": \"flat\", ",
+                "\"mode\": \"{}\", \"mean_ms\": {:.4}, \"min_ms\": {:.4}}}"
+            ),
+            label, nets, mode, m.mean_ms, m.min_ms
+        ));
+    }
+    println!(
+        "service/flat/{label:<10} hardening overhead: DEADLINE-budgeted warm reroute is \
+         {hardening_ratio:.3}x the unbudgeted one"
+    );
+
     client.shutdown().expect("shutdown");
     daemon.join().expect("daemon thread");
 
@@ -180,7 +231,8 @@ fn main() {
     let json = format!(
         "{{\n  \"bench\": \"service-transport\",\n  \"unit\": \"ms\",\n  \
          \"ping_samples\": {PING_SAMPLES},\n  \"reroute_samples\": {REROUTE_SAMPLES},\n  \
-         \"flat_served_over_inproc\": {flat_ratio:.3},\n  \"results\": [\n{}\n  ]\n}}\n",
+         \"flat_served_over_inproc\": {flat_ratio:.3},\n  \
+         \"hardening_deadline_over_plain\": {hardening_ratio:.3},\n  \"results\": [\n{}\n  ]\n}}\n",
         rows.join(",\n")
     );
     let path = root.join("BENCH_service.json");
@@ -193,5 +245,12 @@ fn main() {
     assert!(
         flat_ratio <= 2.0,
         "served warm reroute must be within 2x of in-process (flat): got {flat_ratio:.2}x"
+    );
+    // And the robustness layer must be close to free: a generous
+    // DEADLINE budget may not cost more than 5% on the warm path.
+    assert!(
+        hardening_ratio <= 1.05,
+        "DEADLINE-budgeted warm reroute must be within 5% of the plain one: \
+         got {hardening_ratio:.3}x"
     );
 }

@@ -4,6 +4,7 @@ use std::error::Error;
 use std::fmt;
 
 use gcr_geom::Point;
+use gcr_search::CancelReason;
 
 /// Failure modes of the global router.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -32,6 +33,15 @@ pub enum RouteError {
         /// Name of the net.
         what: String,
     },
+    /// The request's cooperative [`Budget`](gcr_search::Budget) expired
+    /// or was cancelled mid-route. Drivers roll the whole request back,
+    /// so this error guarantees nothing was committed.
+    Cancelled {
+        /// What was being routed when the budget ran out.
+        what: String,
+        /// Why the budget stopped the work.
+        reason: CancelReason,
+    },
 }
 
 impl fmt::Display for RouteError {
@@ -48,6 +58,9 @@ impl fmt::Display for RouteError {
             }
             RouteError::NothingToRoute { what } => {
                 write!(f, "{what} has fewer than two terminals")
+            }
+            RouteError::Cancelled { what, reason } => {
+                write!(f, "routing of {what} stopped: {reason}")
             }
         }
     }

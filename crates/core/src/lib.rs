@@ -79,6 +79,7 @@ pub use eco::{apply_eco, parse_eco, write_eco, EcoError, EcoOp, EcoReport, EcoSt
 pub use engine::{EngineCaps, GridEngine, GridlessEngine, HightowerEngine, RoutingEngine};
 pub use error::RouteError;
 pub use feedback::{placement_feedback, FeedbackOptions, FeedbackReport, IterationRecord};
+pub use gcr_search::{Budget, CancelReason};
 pub use goal::GoalSet;
 pub use negotiate::{negotiate, NegotiationConfig, NegotiationCost, NegotiationReport};
 pub use net_router::{GlobalRouter, GlobalRouting, NetRoute, TwoPassReport};

@@ -33,10 +33,13 @@
 
 use std::collections::BTreeSet;
 
+use gcr_search::Budget;
+
 use crate::congestion::{find_passages, CongestionAnalysis, CongestionPenalty, Passage};
 use crate::engine::RoutingEngine;
 use crate::net_router::GlobalRouting;
 use crate::session::RoutingSession;
+use crate::RouteError;
 
 /// Tuning knobs for the negotiation loop (non-consuming builder, like
 /// [`RouterConfig`](crate::RouterConfig)).
@@ -210,7 +213,39 @@ pub fn negotiate<E: RoutingEngine>(
     session: &mut RoutingSession<E>,
     config: &NegotiationConfig,
 ) -> NegotiationReport {
-    let _ = session.route_all();
+    negotiate_impl(session, config, None).expect("unbudgeted negotiation cannot be cancelled")
+}
+
+/// [`negotiate`] under a cooperative [`Budget`]. Commits happen between
+/// rounds, so the caller
+/// ([`RoutingSession::route_negotiated_budgeted`](crate::RoutingSession::route_negotiated_budgeted))
+/// is responsible for checkpoint/rollback on error; this function only
+/// guarantees that it stops promptly and reports why.
+///
+/// # Errors
+///
+/// [`RouteError::Cancelled`] when the budget expired or was cancelled.
+pub(crate) fn negotiate_budgeted<E: RoutingEngine>(
+    session: &mut RoutingSession<E>,
+    config: &NegotiationConfig,
+    budget: &Budget,
+) -> Result<NegotiationReport, RouteError> {
+    negotiate_impl(session, config, Some(budget))
+}
+
+fn negotiate_impl<E: RoutingEngine>(
+    session: &mut RoutingSession<E>,
+    config: &NegotiationConfig,
+    budget: Option<&Budget>,
+) -> Result<NegotiationReport, RouteError> {
+    match budget {
+        Some(b) => {
+            let _ = session.route_all_budgeted(b)?;
+        }
+        None => {
+            let _ = session.route_all();
+        }
+    }
     // First pass committed: same cache barrier as the batch pipeline.
     session.invalidate_plane_cache();
     let passages = find_passages(session.plane());
@@ -235,7 +270,8 @@ pub fn negotiate<E: RoutingEngine>(
                 &mut cost,
                 &current,
                 &mut rerouted,
-            );
+                budget,
+            )?;
             iterations += 1;
             if current.total_overflow() < best.0 {
                 best = (current.total_overflow(), iterations);
@@ -249,7 +285,7 @@ pub fn negotiate<E: RoutingEngine>(
         // state byte-for-byte.
         if current.total_overflow() > best.0 {
             session.mark_all_dirty();
-            let outcome = session.reroute_dirty_with(None);
+            let outcome = session.reroute_dirty_inner(None, budget)?;
             rerouted += outcome.rerouted;
             session.invalidate_plane_cache();
             current = session.analyze_committed(&passages);
@@ -263,13 +299,14 @@ pub fn negotiate<E: RoutingEngine>(
                     &mut replay_cost,
                     &current,
                     &mut rerouted,
-                );
+                    budget,
+                )?;
             }
             debug_assert_eq!(current.total_overflow(), best.0);
             restored = Some(best.1);
         }
     }
-    NegotiationReport {
+    Ok(NegotiationReport {
         converged: current.total_overflow() == 0,
         routing: session.routing(),
         before,
@@ -277,12 +314,13 @@ pub fn negotiate<E: RoutingEngine>(
         iterations,
         rerouted,
         restored,
-    }
+    })
 }
 
 /// One surcharged round of the loop: grow history, price every passage,
 /// reroute the nets through over-subscribed passages, restore surcharge
 /// casualties at true cost, and re-analyze behind a fresh cache.
+#[allow(clippy::too_many_arguments)]
 fn negotiation_round<E: RoutingEngine>(
     session: &mut RoutingSession<E>,
     config: &NegotiationConfig,
@@ -291,13 +329,14 @@ fn negotiation_round<E: RoutingEngine>(
     cost: &mut NegotiationCost,
     current: &CongestionAnalysis,
     rerouted: &mut usize,
-) -> CongestionAnalysis {
+    budget: Option<&Budget>,
+) -> Result<CongestionAnalysis, RouteError> {
     cost.absorb(current, config.history_increment);
     let penalty = cost.penalty(current, config.present_weight);
     for idx in current.affected_nets() {
         session.set_dirty_slot(idx);
     }
-    let outcome = session.reroute_dirty_with(Some(&penalty));
+    let outcome = session.reroute_dirty_inner(Some(&penalty), budget)?;
     *rerouted += outcome.rerouted;
     // Surcharge casualties — nets whose expansion budget blew up under
     // the inflated costs — are restored at true cost right away
@@ -314,13 +353,13 @@ fn negotiation_round<E: RoutingEngine>(
         for idx in casualties {
             session.set_dirty_slot(idx);
         }
-        let repair = session.reroute_dirty_with(None);
+        let repair = session.reroute_dirty_inner(None, budget)?;
         *rerouted += repair.rerouted;
     }
     // Occupancies changed; invalidate at the commit point before
     // re-analyzing (stale-cache discipline, per iteration).
     session.invalidate_plane_cache();
-    session.analyze_committed(passages)
+    Ok(session.analyze_committed(passages))
 }
 
 #[cfg(test)]

@@ -2,7 +2,7 @@
 
 use gcr_geom::{PlaneIndex, Point, Polyline};
 use gcr_search::{
-    astar_with_limits_into, Found, LexCost, PathCost, SearchLimits, SearchOutcome, SearchStats,
+    astar_budgeted_into, Found, LexCost, PathCost, SearchLimits, SearchOutcome, SearchStats,
 };
 
 use crate::{
@@ -161,9 +161,13 @@ fn run(
         gridless,
         path_states,
         path_points,
+        budget,
         ..
     } = scratch;
-    match astar_with_limits_into(&space, limits, gridless, path_states) {
+    // The budget rides inside the scratch (not the engine signature) so
+    // every existing caller stays source-compatible; an unlimited
+    // default budget costs one relaxed load per expansion.
+    match astar_budgeted_into(&space, limits, Some(budget), gridless, path_states) {
         SearchOutcome::Found(Found { cost, stats, .. }) => {
             let polyline = if path_states.len() == 1 {
                 Polyline::single(path_states[0].point)
@@ -185,6 +189,10 @@ fn run(
         SearchOutcome::LimitReached(_) => Err(RouteError::LimitExceeded {
             what: what(),
             limit: config.max_expansions.unwrap_or(0),
+        }),
+        SearchOutcome::Cancelled(reason, _) => Err(RouteError::Cancelled {
+            what: what(),
+            reason,
         }),
     }
 }

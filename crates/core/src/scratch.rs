@@ -27,7 +27,7 @@
 
 use gcr_geom::Point;
 use gcr_grid::GridSearchArena;
-use gcr_search::{LexCost, SearchArena};
+use gcr_search::{Budget, LexCost, SearchArena};
 
 use crate::{GoalSet, RouteState};
 
@@ -64,6 +64,13 @@ pub struct SearchScratch {
     /// Polyline-simplification staging buffer; only the final exact-size
     /// vertex vector of a routed connection is allocated.
     pub(crate) path_points: Vec<Point>,
+    /// The cooperative cancellation budget the gridless A\* polls.
+    /// Defaults to unlimited (checks never fail); session drivers
+    /// install a request-scoped clone before routing and restore the
+    /// unlimited default afterwards. Like every other scratch field it
+    /// can stop work but never steer it, so scratch reuse stays
+    /// result-invisible.
+    pub(crate) budget: Budget,
 }
 
 impl SearchScratch {

@@ -59,7 +59,7 @@ use std::sync::{Mutex, PoisonError};
 
 use gcr_geom::{PlaneIndex, Point, Rect};
 use gcr_layout::{CellId, Layout, LayoutError, NetId, Pin, TerminalRef};
-use gcr_search::parallel_map_with;
+use gcr_search::{parallel_map_with, Budget};
 
 use crate::congestion::{analyze, find_passages, CongestionAnalysis, CongestionPenalty, Passage};
 use crate::driver::{grow_net, PlaneStore};
@@ -238,11 +238,16 @@ struct PooledScratch<'a> {
 
 impl Drop for PooledScratch<'_> {
     fn drop(&mut self) {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        // Never return a request-scoped budget to the pool: the next
+        // request must start from the unlimited default, not inherit a
+        // cancelled or expired token.
+        scratch.budget = Budget::default();
         self.pool
             .free
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
-            .push(std::mem::take(&mut self.scratch));
+            .push(scratch);
     }
 }
 
@@ -265,7 +270,7 @@ const DIRTY_GRID_DIM: i64 = 64;
 /// affected route is ever missed. The per-candidate bbox/precise test is
 /// unchanged from the scan-everything implementation, which keeps the
 /// dirty set byte-identical (asserted by `tests/session.rs`).
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 struct DirtyGrid {
     x0: i64,
     y0: i64,
@@ -367,6 +372,20 @@ impl DirtyGrid {
         out.sort_unstable();
         out.dedup();
     }
+}
+
+/// A snapshot of a session's committed state, taken by
+/// [`RoutingSession::checkpoint`] so multi-round budgeted drivers
+/// (negotiation) can roll a cancelled request back byte-exactly.
+#[derive(Debug)]
+pub(crate) struct SessionCheckpoint {
+    slots: Vec<NetState>,
+    dirty_grid: DirtyGrid,
+    dirty_count: usize,
+    routed_count: usize,
+    failed_count: usize,
+    wire_length: i64,
+    reroutes: u64,
 }
 
 /// What a [`RoutingSession::reroute_dirty`] pass did.
@@ -613,18 +632,51 @@ impl<E: RoutingEngine> RoutingSession<E> {
     /// Routes `ids` on the configured schedule against the shared plane,
     /// with one pooled scratch per worker. Pure per net, so serial and
     /// parallel schedules commit byte-identical results.
+    ///
+    /// With a `budget`, each worker installs a clone into its scratch
+    /// (fine-grained, per-expansion checks inside the gridless A\*) and
+    /// every net runs a full check first (coarse-grained cover for
+    /// engines whose inner loops are not budget-aware). A net that
+    /// observes the budget exhausted yields `RouteError::Cancelled`;
+    /// drivers treat any such result as "commit nothing".
     fn route_many(
         &self,
         ids: &[NetId],
         penalty: Option<&CongestionPenalty>,
+        budget: Option<&Budget>,
     ) -> Vec<Result<NetRoute, RouteError>> {
         let threads = self.batch.threads_for(ids.len());
         parallel_map_with(
             ids,
             threads,
-            || self.pool.checkout(),
-            |scratch, _, &id| self.route_one(id, penalty, &mut scratch.scratch),
+            || {
+                let mut scratch = self.pool.checkout();
+                if let Some(b) = budget {
+                    scratch.scratch.budget = b.clone();
+                }
+                scratch
+            },
+            |scratch, _, &id| {
+                if let Some(b) = budget {
+                    if let Err(reason) = b.check() {
+                        return Err(RouteError::Cancelled {
+                            what: format!("{id}"),
+                            reason,
+                        });
+                    }
+                }
+                self.route_one(id, penalty, &mut scratch.scratch)
+            },
         )
+    }
+
+    /// The first budget-cancellation among `results`, if any — the
+    /// signal that a budgeted pass must commit nothing.
+    fn first_cancellation(results: &[Result<NetRoute, RouteError>]) -> Option<RouteError> {
+        results.iter().find_map(|r| match r {
+            Err(e @ RouteError::Cancelled { .. }) => Some(e.clone()),
+            _ => None,
+        })
     }
 
     /// Marks slot `idx` dirty, keeping the running count exact.
@@ -712,11 +764,36 @@ impl<E: RoutingEngine> RoutingSession<E> {
     /// over the same layout, engine and index.
     pub fn route_all(&mut self) -> GlobalRouting {
         let ids = self.layout.net_ids();
-        let results = self.route_many(&ids, None);
+        let results = self.route_many(&ids, None, None);
         for (id, result) in ids.into_iter().zip(results) {
             self.commit(id, result);
         }
         self.routing()
+    }
+
+    /// [`RoutingSession::route_all`] under a cooperative [`Budget`].
+    ///
+    /// All-or-nothing: results are computed first and committed only if
+    /// **no** net observed the budget as exhausted. On cancellation the
+    /// error is returned, nothing is committed, and the session is
+    /// byte-identical to its pre-call state — a retry (or an
+    /// uninterrupted run on a fresh session) produces byte-identical
+    /// routes, asserted by `tests/session.rs`.
+    ///
+    /// # Errors
+    ///
+    /// [`RouteError::Cancelled`] when the budget expired or was
+    /// cancelled mid-route.
+    pub fn route_all_budgeted(&mut self, budget: &Budget) -> Result<GlobalRouting, RouteError> {
+        let ids = self.layout.net_ids();
+        let results = self.route_many(&ids, None, Some(budget));
+        if let Some(e) = Self::first_cancellation(&results) {
+            return Err(e);
+        }
+        for (id, result) in ids.into_iter().zip(results) {
+            self.commit(id, result);
+        }
+        Ok(self.routing())
     }
 
     /// Removes a net's committed segments from the session (its
@@ -756,12 +833,41 @@ impl<E: RoutingEngine> RoutingSession<E> {
         self.reroute_dirty_with(None)
     }
 
+    /// [`RoutingSession::reroute_dirty`] under a cooperative [`Budget`],
+    /// with the same all-or-nothing contract as
+    /// [`RoutingSession::route_all_budgeted`]: on cancellation nothing
+    /// is committed and every dirty mark survives, so the session is
+    /// byte-identical to its pre-call state.
+    ///
+    /// # Errors
+    ///
+    /// [`RouteError::Cancelled`] when the budget expired or was
+    /// cancelled mid-route.
+    pub fn reroute_dirty_budgeted(
+        &mut self,
+        budget: &Budget,
+    ) -> Result<RerouteOutcome, RouteError> {
+        self.reroute_dirty_inner(None, Some(budget))
+    }
+
     pub(crate) fn reroute_dirty_with(
         &mut self,
         penalty: Option<&CongestionPenalty>,
     ) -> RerouteOutcome {
+        self.reroute_dirty_inner(penalty, None)
+            .expect("unbudgeted reroute cannot be cancelled")
+    }
+
+    pub(crate) fn reroute_dirty_inner(
+        &mut self,
+        penalty: Option<&CongestionPenalty>,
+        budget: Option<&Budget>,
+    ) -> Result<RerouteOutcome, RouteError> {
         let ids = self.dirty_nets();
-        let results = self.route_many(&ids, penalty);
+        let results = self.route_many(&ids, penalty, budget);
+        if let Some(e) = Self::first_cancellation(&results) {
+            return Err(e);
+        }
         let mut outcome = RerouteOutcome {
             attempted: ids.len(),
             ..RerouteOutcome::default()
@@ -773,7 +879,7 @@ impl<E: RoutingEngine> RoutingSession<E> {
             }
             self.commit(id, result);
         }
-        outcome
+        Ok(outcome)
     }
 
     /// The paper's two-pass congestion flow, expressed over the session
@@ -823,6 +929,67 @@ impl<E: RoutingEngine> RoutingSession<E> {
     /// serial/parallel × flat/sharded schedules.
     pub fn route_negotiated(&mut self, config: &NegotiationConfig) -> NegotiationReport {
         crate::negotiate::negotiate(self, config)
+    }
+
+    /// [`RoutingSession::route_negotiated`] under a cooperative
+    /// [`Budget`]. Negotiation commits between rounds, so cancellation
+    /// rolls back through a pre-request checkpoint rather than by
+    /// skipping commits: on error the committed state (slots, dirty
+    /// marks, aggregates) is byte-identical to the pre-call state.
+    ///
+    /// # Errors
+    ///
+    /// [`RouteError::Cancelled`] when the budget expired or was
+    /// cancelled mid-negotiation.
+    pub fn route_negotiated_budgeted(
+        &mut self,
+        config: &NegotiationConfig,
+        budget: &Budget,
+    ) -> Result<NegotiationReport, RouteError> {
+        let checkpoint = self.checkpoint();
+        match crate::negotiate::negotiate_budgeted(self, config, budget) {
+            Ok(report) => Ok(report),
+            Err(e) => {
+                self.restore(checkpoint);
+                Err(e)
+            }
+        }
+    }
+
+    /// Snapshots the committed state (slots, dirty bookkeeping, running
+    /// aggregates) so a multi-round driver can roll a cancelled request
+    /// back to exactly its pre-request bytes. The obstacle plane is not
+    /// snapshotted: routing commits never mutate it.
+    pub(crate) fn checkpoint(&self) -> SessionCheckpoint {
+        SessionCheckpoint {
+            slots: self.slots.clone(),
+            dirty_grid: self.dirty_grid.clone(),
+            dirty_count: self.dirty_count,
+            routed_count: self.routed_count,
+            failed_count: self.failed_count,
+            wire_length: self.wire_length,
+            reroutes: self.reroutes,
+        }
+    }
+
+    /// Restores a [`SessionCheckpoint`] taken on this session.
+    pub(crate) fn restore(&mut self, checkpoint: SessionCheckpoint) {
+        let SessionCheckpoint {
+            slots,
+            dirty_grid,
+            dirty_count,
+            routed_count,
+            failed_count,
+            wire_length,
+            reroutes,
+        } = checkpoint;
+        self.slots = slots;
+        self.dirty_grid = dirty_grid;
+        self.dirty_count = dirty_count;
+        self.routed_count = routed_count;
+        self.failed_count = failed_count;
+        self.wire_length = wire_length;
+        self.reroutes = reroutes;
     }
 
     /// Congestion of the committed occupancy over the plane's current

@@ -473,9 +473,15 @@ pub fn route_multi_in(
             })
         }
         SearchOutcome::Exhausted(_) => Err(GridRouteError::Unreachable),
-        SearchOutcome::LimitReached(_) => Err(GridRouteError::LimitExceeded {
-            limit: max_expansions.unwrap_or(0),
-        }),
+        // No budget is threaded into the grid searcher (session drivers
+        // bound grid work per net instead), so a Cancelled outcome can
+        // only mean the effort bound was enforced elsewhere — fold it
+        // into the limit error rather than inventing a new one.
+        SearchOutcome::LimitReached(_) | SearchOutcome::Cancelled(..) => {
+            Err(GridRouteError::LimitExceeded {
+                limit: max_expansions.unwrap_or(0),
+            })
+        }
     }
 }
 

@@ -3,7 +3,10 @@
 use std::collections::hash_map::Entry;
 use std::collections::BinaryHeap;
 
-use crate::{FnvHashMap, PathCost, SearchSpace, SearchStats, ZeroHeuristic};
+use crate::{
+    Budget, CancelReason, FnvHashMap, PathCost, SearchSpace, SearchStats, ZeroHeuristic,
+    CHARGE_BLOCK,
+};
 
 /// A successful search: the minimal-cost path, its cost, and the work done.
 #[derive(Debug, Clone)]
@@ -23,7 +26,7 @@ pub struct SearchLimits {
     pub max_expansions: Option<usize>,
 }
 
-/// The three ways a bounded search can end.
+/// The ways a bounded search can end.
 #[derive(Debug, Clone)]
 pub enum SearchOutcome<S, C> {
     /// A goal was removed from OPEN; the path is minimal-cost (given an
@@ -33,6 +36,9 @@ pub enum SearchOutcome<S, C> {
     Exhausted(SearchStats),
     /// The expansion limit was hit first.
     LimitReached(SearchStats),
+    /// The [`Budget`] was exhausted or cancelled first (only produced by
+    /// [`astar_budgeted_into`] when a budget is supplied).
+    Cancelled(CancelReason, SearchStats),
 }
 
 impl<S, C> SearchOutcome<S, C> {
@@ -50,7 +56,9 @@ impl<S, C> SearchOutcome<S, C> {
     pub fn stats(&self) -> &SearchStats {
         match self {
             SearchOutcome::Found(f) => &f.stats,
-            SearchOutcome::Exhausted(s) | SearchOutcome::LimitReached(s) => s,
+            SearchOutcome::Exhausted(s)
+            | SearchOutcome::LimitReached(s)
+            | SearchOutcome::Cancelled(_, s) => s,
         }
     }
 }
@@ -250,6 +258,31 @@ pub fn astar_with_limits_into<Sp: SearchSpace>(
     arena: &mut SearchArena<Sp::State, Sp::Cost>,
     path_out: &mut Vec<Sp::State>,
 ) -> SearchOutcome<Sp::State, Sp::Cost> {
+    astar_budgeted_into(space, limits, None, arena, path_out)
+}
+
+/// [`astar_with_limits_into`] under a cooperative [`Budget`].
+///
+/// When `budget` is `Some`, the expansion loop polls it: the cancel
+/// flag and the shared expansion ceiling before every expansion (one
+/// relaxed load each), and the wall-clock deadline once per
+/// [`CHARGE_BLOCK`] expansions (block-charging the shared meter at the
+/// same time, so parallel searches drain one ceiling together). A
+/// failing check abandons the search with
+/// [`SearchOutcome::Cancelled`]; the arena holds only discarded
+/// scratch state, exactly as after any other outcome.
+///
+/// A budget can only *stop* the search, never steer it: any run that
+/// completes under a budget is bit-identical to one without it. When
+/// `budget` is `None` no checks run at all — this form costs nothing
+/// over [`astar_with_limits_into`] (which is this call with `None`).
+pub fn astar_budgeted_into<Sp: SearchSpace>(
+    space: &Sp,
+    limits: SearchLimits,
+    budget: Option<&Budget>,
+    arena: &mut SearchArena<Sp::State, Sp::Cost>,
+    path_out: &mut Vec<Sp::State>,
+) -> SearchOutcome<Sp::State, Sp::Cost> {
     path_out.clear();
     arena.reset();
     let SearchArena {
@@ -262,6 +295,10 @@ pub fn astar_with_limits_into<Sp: SearchSpace>(
     let mut stats = SearchStats::default();
     let mut seq: u64 = 0;
     let mut open_valid: usize = 0;
+    // Expansions run since the shared meter was last charged; flushed in
+    // blocks (and on exit) so parallel searches share one ceiling
+    // without a fetch_add per expansion.
+    let mut uncharged: u64 = 0;
 
     space.start_states_into(starts);
     for (state, g0) in starts.drain(..) {
@@ -323,6 +360,9 @@ pub fn astar_with_limits_into<Sp: SearchSpace>(
                 cur = nodes[i].parent;
             }
             path_out.reverse();
+            if let Some(b) = budget {
+                let _ = b.charge(uncharged);
+            }
             return SearchOutcome::Found(Found {
                 path: Vec::new(),
                 cost,
@@ -333,6 +373,21 @@ pub fn astar_with_limits_into<Sp: SearchSpace>(
         if let Some(max) = limits.max_expansions {
             if stats.expanded >= max {
                 return SearchOutcome::LimitReached(stats);
+            }
+        }
+        if let Some(b) = budget {
+            // Cheap checks every expansion; the clock (and the shared
+            // meter) only once per block.
+            if let Err(reason) = b.check_cancel() {
+                let _ = b.charge(uncharged);
+                return SearchOutcome::Cancelled(reason, stats);
+            }
+            uncharged += 1;
+            if uncharged >= CHARGE_BLOCK {
+                let flushed = std::mem::take(&mut uncharged);
+                if let Err(reason) = b.charge(flushed) {
+                    return SearchOutcome::Cancelled(reason, stats);
+                }
             }
         }
         stats.expanded += 1;
@@ -391,6 +446,9 @@ pub fn astar_with_limits_into<Sp: SearchSpace>(
             stats.max_open = stats.max_open.max(open_valid);
         }
         stats.touched = nodes.len();
+    }
+    if let Some(b) = budget {
+        let _ = b.charge(uncharged);
     }
     SearchOutcome::Exhausted(stats)
 }
@@ -642,6 +700,58 @@ mod tests {
             astar_with_limits_into(&unreachable, SearchLimits::default(), &mut arena, &mut path);
         assert!(matches!(out, SearchOutcome::Exhausted(_)));
         assert!(path.is_empty());
+    }
+
+    #[test]
+    fn pre_cancelled_budget_stops_before_first_expansion() {
+        let g = diamond();
+        let mut arena = SearchArena::new();
+        let mut path = vec![7usize]; // dirty buffer must still be cleared
+        let b = Budget::unlimited();
+        b.cancel();
+        let out = astar_budgeted_into(&g, SearchLimits::default(), Some(&b), &mut arena, &mut path);
+        assert!(matches!(
+            out,
+            SearchOutcome::Cancelled(CancelReason::Cancelled, _)
+        ));
+        assert_eq!(out.stats().expanded, 0);
+        assert!(path.is_empty());
+    }
+
+    #[test]
+    fn zero_expansion_ceiling_cancels_deterministically() {
+        let g = diamond();
+        let mut arena = SearchArena::new();
+        let mut path = Vec::new();
+        let b = Budget::unlimited().with_expansion_ceiling(0);
+        let out = astar_budgeted_into(&g, SearchLimits::default(), Some(&b), &mut arena, &mut path);
+        assert!(matches!(
+            out,
+            SearchOutcome::Cancelled(CancelReason::ExpansionCeiling, _)
+        ));
+        assert_eq!(out.stats().expanded, 0);
+    }
+
+    #[test]
+    fn live_budget_never_changes_results() {
+        // A generous budget must be invisible: identical path, cost and
+        // stats to the unbudgeted run — the budget can stop a search but
+        // never steer one.
+        let g = diamond();
+        let b = Budget::unlimited()
+            .with_deadline(std::time::Duration::from_secs(3600))
+            .with_expansion_ceiling(1_000_000);
+        let mut arena = SearchArena::new();
+        let mut path = Vec::new();
+        let budgeted =
+            astar_budgeted_into(&g, SearchLimits::default(), Some(&b), &mut arena, &mut path);
+        let plain = astar_with_limits(&g, SearchLimits::default());
+        let (x, y) = (budgeted.found().unwrap(), plain.found().unwrap());
+        assert_eq!(path, y.path);
+        assert_eq!(x.cost, y.cost);
+        assert_eq!(x.stats, y.stats);
+        // The meter was flushed on exit.
+        assert_eq!(b.expansions(), y.stats.expanded as u64);
     }
 
     #[test]

@@ -54,6 +54,7 @@
 #![warn(missing_docs)]
 
 mod blind;
+mod budget;
 mod cost;
 mod engine;
 mod fnv;
@@ -62,10 +63,11 @@ mod space;
 mod stats;
 
 pub use blind::{breadth_first, depth_first, exhaustive};
+pub use budget::{Budget, CancelReason, CHARGE_BLOCK};
 pub use cost::{LexCost, PathCost};
 pub use engine::{
-    astar, astar_with_limits, astar_with_limits_in, astar_with_limits_into, best_first, Found,
-    SearchArena, SearchLimits, SearchOutcome,
+    astar, astar_budgeted_into, astar_with_limits, astar_with_limits_in, astar_with_limits_into,
+    best_first, Found, SearchArena, SearchLimits, SearchOutcome,
 };
 pub use fnv::{FnvBuildHasher, FnvHashMap, FnvHasher};
 pub use parallel::{default_threads, effective_threads, parallel_map, parallel_map_with};

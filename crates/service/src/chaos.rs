@@ -1,0 +1,301 @@
+//! Seeded fault-injecting TCP relay for the chaos suite.
+//!
+//! [`ChaosProxy`] sits between a client and the routing daemon as an
+//! in-process man-in-the-middle: it accepts **one** connection, opens
+//! one upstream connection, and relays bytes both ways while injecting
+//! exactly one configured [`Fault`]. Everything is seeded and
+//! deterministic — the same `(fault, seed)` pair replays the same
+//! byte-level mangling — so `tests/chaos.rs` can assert hard
+//! post-conditions (daemon still answers, no wedged session, `DUMP`
+//! byte-identical to an in-process reference) instead of "usually
+//! survives".
+//!
+//! The proxy intentionally models *transport* faults only: delayed
+//! chunks, frames split to one byte per segment, connections killed
+//! mid-body, replies truncated mid-frame, and streams that silently
+//! stall. Application-level faults (oversize bodies, slow-loris lines,
+//! worker panics) are injected directly by the suite through raw
+//! sockets and the gated `CRASH` verb.
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// Relay reads block at most this long before the thread gives up —
+/// a hang-proofing backstop so a wedged scenario fails the suite's
+/// wall-clock cap instead of deadlocking it.
+const RELAY_READ_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// One transport fault, injected by a [`ChaosProxy`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Pass-through (the control scenario: proxy adds no fault).
+    None,
+    /// Delay every forwarded chunk by a seeded duration up to
+    /// `max_ms`, in both directions.
+    Delay {
+        /// Upper bound of each per-chunk delay, in milliseconds.
+        max_ms: u64,
+    },
+    /// Forward client bytes one per write (maximal frame splitting).
+    Split,
+    /// Forward only the first `bytes` client bytes, then kill both
+    /// directions — the daemon sees a request die mid-body.
+    KillAfter {
+        /// Client bytes forwarded before the kill.
+        bytes: usize,
+    },
+    /// Forward only the first `bytes` reply bytes, then kill — the
+    /// client sees a truncated response frame.
+    TruncateReply {
+        /// Server bytes forwarded before the kill.
+        bytes: usize,
+    },
+    /// Forward the first `bytes` client bytes, then silently discard
+    /// the rest while holding the connection open — the daemon is left
+    /// waiting mid-frame and must escape via its read timeout.
+    StallAfter {
+        /// Client bytes forwarded before the stall.
+        bytes: usize,
+    },
+}
+
+/// What one relay direction does with the bytes it carries.
+#[derive(Debug, Clone, Copy)]
+enum RelayFault {
+    Pass,
+    Delay { max_ms: u64 },
+    Split,
+    KillAfter { bytes: usize },
+    StallAfter { bytes: usize },
+}
+
+impl Fault {
+    /// Splits the fault into (client→server, server→client) behaviour.
+    fn directions(self) -> (RelayFault, RelayFault) {
+        match self {
+            Fault::None => (RelayFault::Pass, RelayFault::Pass),
+            Fault::Delay { max_ms } => (RelayFault::Delay { max_ms }, RelayFault::Delay { max_ms }),
+            Fault::Split => (RelayFault::Split, RelayFault::Pass),
+            Fault::KillAfter { bytes } => (RelayFault::KillAfter { bytes }, RelayFault::Pass),
+            Fault::TruncateReply { bytes } => (RelayFault::Pass, RelayFault::KillAfter { bytes }),
+            Fault::StallAfter { bytes } => (RelayFault::StallAfter { bytes }, RelayFault::Pass),
+        }
+    }
+}
+
+/// The in-process chaos relay; see the [module docs](self).
+#[derive(Debug)]
+pub struct ChaosProxy {
+    addr: SocketAddr,
+    accept_handle: Option<JoinHandle<()>>,
+}
+
+impl ChaosProxy {
+    /// Binds an ephemeral loopback port and spawns the relay, which
+    /// serves exactly one client connection against `upstream` with
+    /// `fault` injected. Scenario traffic goes through
+    /// [`ChaosProxy::addr`]; verification traffic (the post-fault
+    /// `DUMP`) should go straight to the daemon.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind errors.
+    pub fn start(upstream: SocketAddr, fault: Fault, seed: u64) -> std::io::Result<ChaosProxy> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let accept_handle = std::thread::spawn(move || {
+            let Ok((client, _)) = listener.accept() else {
+                return;
+            };
+            let Ok(server) = TcpStream::connect(upstream) else {
+                let _ = client.shutdown(Shutdown::Both);
+                return;
+            };
+            let (c2s, s2c) = fault.directions();
+            // Each direction needs a read end, a write end, and kill
+            // handles on both sockets (try_clone shares the socket, so
+            // a shutdown through any clone severs them all).
+            let handles = (
+                client.try_clone(),
+                client.try_clone(),
+                server.try_clone(),
+                server.try_clone(),
+            );
+            let (Ok(cr), Ok(cw), Ok(sr), Ok(sw)) = handles else {
+                return;
+            };
+            let (Ok(ck), Ok(sk)) = (client.try_clone(), server.try_clone()) else {
+                return;
+            };
+            let up = std::thread::spawn(move || relay(cr, sw, ck, sk, c2s, seed));
+            // The down direction runs on the acceptor thread itself.
+            relay(sr, cw, server, client, s2c, seed ^ 0x5a5a);
+            let _ = up.join();
+        });
+        Ok(ChaosProxy {
+            addr,
+            accept_handle: Some(accept_handle),
+        })
+    }
+
+    /// The proxy's listen address (connect the scenario client here).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+impl Drop for ChaosProxy {
+    fn drop(&mut self) {
+        // Unblock the accept if no client ever connected, then join so
+        // no relay thread outlives the scenario.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept_handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Pumps bytes `from` → `to`, applying one direction's fault.
+/// `kill_a`/`kill_b` are handles on both underlying sockets so a kill
+/// fault can sever the whole relay, not just this direction.
+fn relay(
+    mut from: TcpStream,
+    mut to: TcpStream,
+    kill_a: TcpStream,
+    kill_b: TcpStream,
+    fault: RelayFault,
+    seed: u64,
+) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut forwarded = 0usize;
+    let mut buf = [0u8; 4096];
+    let _ = from.set_read_timeout(Some(RELAY_READ_TIMEOUT));
+    loop {
+        let n = match from.read(&mut buf) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => n,
+        };
+        let chunk = &buf[..n];
+        let ok = match fault {
+            RelayFault::Pass => to.write_all(chunk).is_ok(),
+            RelayFault::Delay { max_ms } => {
+                std::thread::sleep(Duration::from_millis(rng.gen_range(0..=max_ms)));
+                to.write_all(chunk).is_ok()
+            }
+            RelayFault::Split => chunk.iter().all(|b| to.write_all(&[*b]).is_ok()),
+            RelayFault::KillAfter { bytes } => {
+                let keep = chunk.len().min(bytes.saturating_sub(forwarded));
+                let sent = to.write_all(&chunk[..keep]).is_ok();
+                forwarded += chunk.len();
+                if forwarded >= bytes {
+                    let _ = kill_a.shutdown(Shutdown::Both);
+                    let _ = kill_b.shutdown(Shutdown::Both);
+                    return;
+                }
+                sent
+            }
+            RelayFault::StallAfter { bytes } => {
+                let keep = chunk.len().min(bytes.saturating_sub(forwarded));
+                let sent = keep == 0 || to.write_all(&chunk[..keep]).is_ok();
+                forwarded += chunk.len();
+                sent // past the cap: swallow silently, keep the socket open
+            }
+        };
+        if !ok {
+            break;
+        }
+    }
+    // Propagate EOF downstream; leave the reverse direction alone.
+    let _ = to.shutdown(Shutdown::Write);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{BufRead, BufReader};
+
+    /// A one-connection upstream echo server (line in, line out).
+    fn echo_upstream() -> (SocketAddr, JoinHandle<()>) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let handle = std::thread::spawn(move || {
+            let Ok((stream, _)) = listener.accept() else {
+                return;
+            };
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            let mut writer = stream;
+            let mut line = String::new();
+            while {
+                line.clear();
+                reader.read_line(&mut line).is_ok_and(|n| n > 0)
+            } {
+                if writer.write_all(line.as_bytes()).is_err() {
+                    break;
+                }
+            }
+        });
+        (addr, handle)
+    }
+
+    #[test]
+    fn pass_through_relays_both_directions() {
+        let (upstream, handle) = echo_upstream();
+        let proxy = ChaosProxy::start(upstream, Fault::None, 1).unwrap();
+        let stream = TcpStream::connect(proxy.addr()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = stream;
+        writer.write_all(b"hello proxy\n").unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert_eq!(line, "hello proxy\n");
+        drop((reader, writer, proxy));
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn split_still_delivers_whole_frames() {
+        let (upstream, handle) = echo_upstream();
+        let proxy = ChaosProxy::start(upstream, Fault::Split, 2).unwrap();
+        let stream = TcpStream::connect(proxy.addr()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = stream;
+        writer.write_all(b"fragmented but intact\n").unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert_eq!(line, "fragmented but intact\n");
+        drop((reader, writer, proxy));
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn kill_after_severs_the_connection() {
+        let (upstream, handle) = echo_upstream();
+        let proxy = ChaosProxy::start(upstream, Fault::KillAfter { bytes: 4 }, 3).unwrap();
+        let stream = TcpStream::connect(proxy.addr()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = stream;
+        // 12 bytes in: the kill fires after 4 are forwarded.
+        let _ = writer.write_all(b"hello proxy\n");
+        let mut rest = String::new();
+        // The client observes the cut as EOF (or a reset error) — never
+        // a hang.
+        let got = reader.read_to_string(&mut rest);
+        assert!(got.is_ok() || got.is_err());
+        drop((reader, writer, proxy));
+        handle.join().unwrap();
+    }
+}

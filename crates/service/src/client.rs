@@ -7,7 +7,8 @@
 
 use std::fmt;
 use std::io::{self, BufReader, BufWriter, Write};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 use gcr_core::PlaneIndexKind;
 
@@ -85,6 +86,42 @@ impl Client {
     /// Propagates connection errors.
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
         let stream = TcpStream::connect(addr)?;
+        Client::from_stream(stream)
+    }
+
+    /// [`Client::connect`] with a connect deadline, plus read/write
+    /// timeouts applied to every subsequent exchange (`None` = block
+    /// forever, the [`Client::connect`] behaviour). A read that trips
+    /// the timeout surfaces as a `WouldBlock`/`TimedOut` I/O error —
+    /// the retry layer treats those as retryable for idempotent verbs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection errors; `TimedOut` if no address accepts
+    /// within `connect`.
+    pub fn connect_timeout(
+        addr: impl ToSocketAddrs,
+        connect: Duration,
+        io_timeout: Option<Duration>,
+    ) -> io::Result<Client> {
+        let addrs: Vec<SocketAddr> = addr.to_socket_addrs()?.collect();
+        let mut last = None;
+        for a in &addrs {
+            match TcpStream::connect_timeout(a, connect) {
+                Ok(stream) => {
+                    stream.set_read_timeout(io_timeout)?;
+                    stream.set_write_timeout(io_timeout)?;
+                    return Client::from_stream(stream);
+                }
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(last.unwrap_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidInput, "no socket address resolved")
+        }))
+    }
+
+    fn from_stream(stream: TcpStream) -> io::Result<Client> {
         stream.set_nodelay(true)?;
         let read_half = stream.try_clone()?;
         Ok(Client {
@@ -164,7 +201,27 @@ impl Client {
     ///
     /// See [`ClientError`].
     pub fn route(&mut self, sid: u64, full: bool) -> Result<Reply, ClientError> {
-        self.expect_ok(&Request::Route { sid, full })
+        self.route_deadline(sid, full, None)
+    }
+
+    /// `ROUTE` with an optional server-side `DEADLINE <ms>` budget: the
+    /// server abandons and rolls back the request once the deadline
+    /// passes, answering `ERR DEADLINE` with the session unchanged.
+    ///
+    /// # Errors
+    ///
+    /// See [`ClientError`].
+    pub fn route_deadline(
+        &mut self,
+        sid: u64,
+        full: bool,
+        deadline_ms: Option<u64>,
+    ) -> Result<Reply, ClientError> {
+        self.expect_ok(&Request::Route {
+            sid,
+            full,
+            deadline_ms,
+        })
     }
 
     /// `RIPUP` of one net by name.
@@ -187,7 +244,27 @@ impl Client {
     ///
     /// See [`ClientError`].
     pub fn negotiate(&mut self, sid: u64, max_iters: Option<u64>) -> Result<Reply, ClientError> {
-        self.expect_ok(&Request::Negotiate { sid, max_iters })
+        self.negotiate_deadline(sid, max_iters, None)
+    }
+
+    /// `NEGOTIATE` with an optional server-side `DEADLINE <ms>` budget;
+    /// a deadline-cancelled negotiation rolls the session back to its
+    /// pre-request state before `ERR DEADLINE` is sent.
+    ///
+    /// # Errors
+    ///
+    /// See [`ClientError`].
+    pub fn negotiate_deadline(
+        &mut self,
+        sid: u64,
+        max_iters: Option<u64>,
+        deadline_ms: Option<u64>,
+    ) -> Result<Reply, ClientError> {
+        self.expect_ok(&Request::Negotiate {
+            sid,
+            max_iters,
+            deadline_ms,
+        })
     }
 
     /// `STATS` for one session (`Some(sid)`) or the server (`None`).

@@ -24,6 +24,14 @@
 //!   blocking **[`Client`]** that `gcrt client`, the tests and the bench
 //!   all share.
 //!
+//! Two hardening modules ride alongside: [`retry`] (exponential backoff
+//! with decorrelated jitter, gated by per-verb idempotency) and
+//! [`chaos`] (a seeded fault-injecting TCP relay the chaos suite drives
+//! scenarios through). The server itself reads requests under
+//! [`WireLimits`], times out silent connections, sheds load with
+//! `ERR BUSY`, honours per-request `DEADLINE` budgets with rollback,
+//! and quarantines a session whose request panicked.
+//!
 //! The correctness bar is the same one every layer of this repo holds:
 //! routes fetched through the daemon are **byte-identical** to an
 //! in-process [`RoutingSession`](gcr_core::RoutingSession) over the same
@@ -53,17 +61,21 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod client;
 pub mod proto;
 pub mod registry;
+pub mod retry;
 pub mod server;
 
+pub use chaos::{ChaosProxy, Fault};
 pub use client::{Client, ClientError, Reply};
 pub use proto::{
-    dump_routing, format_stats, index_name, parse_index, BoxedEngine, EngineKind, ErrCode, Request,
-    Response, WireError,
+    dump_routing, format_stats, index_name, parse_index, read_request_limited, BoxedEngine,
+    EngineKind, ErrCode, Request, Response, WireError, WireLimits,
 };
-pub use registry::{ServiceSession, SessionEntry, SessionRegistry};
+pub use registry::{Quarantined, ServiceSession, SessionEntry, SessionRegistry};
+pub use retry::{is_idempotent, is_retryable_error, RetryPolicy, RetryingClient};
 pub use server::{Server, ServerConfig, ServerReport};
 
 #[cfg(test)]

@@ -11,15 +11,28 @@
 //! ```text
 //! OPEN <engine> <index>      # + .gcl body; engine: gridless|grid|lee-moore|hightower
 //! ECO <sid>                  # + .eco body; flushes like `gcrt eco`
-//! ROUTE <sid> [FULL]         # first/FULL: route everything; else: reroute the dirty set
+//! ROUTE <sid> [FULL] [DEADLINE <ms>]
+//!                            # first/FULL: route everything; else: reroute the dirty
+//!                            # set. DEADLINE bounds the request wall-clock: past it
+//!                            # the route is cancelled, nothing commits, and the
+//!                            # reply is ERR DEADLINE.
 //! RIPUP <sid> <net>          # rip up one committed route (net becomes dirty)
-//! NEGOTIATE <sid> [<iters>]  # PathFinder negotiated congestion (iteration cap)
+//! NEGOTIATE <sid> [<iters>] [DEADLINE <ms>]
+//!                            # PathFinder negotiated congestion (iteration cap);
+//!                            # DEADLINE as for ROUTE (checkpoint rollback).
 //! STATS [<sid>]              # session stats, or server stats without a sid
 //! DUMP <sid>                 # committed routes as polylines (diffable)
 //! CLOSE <sid>                # drop the session
 //! PING                       # liveness
 //! SHUTDOWN                   # drain and exit
+//! CRASH <sid>                # fault-injection probe: panic inside the session lock
+//!                            # (gated; answers UNKNOWN-VERB unless the server was
+//!                            # started with the crash probe enabled)
 //! ```
+//!
+//! Servers read requests through [`WireLimits`] — a maximum request-line
+//! length and a maximum dot-framed body size — answering `ERR TOO-LARGE`
+//! instead of growing without bound on hostile input.
 //!
 //! Every reply uses one uniform frame — a status line (`OK <head>` or
 //! `ERR <CODE> <message>`), zero or more dot-escaped body lines, and a
@@ -29,7 +42,7 @@
 //! messages).
 
 use std::fmt;
-use std::io::{self, BufRead, Write};
+use std::io::{self, BufRead, Read, Write};
 
 use gcr_core::{
     GlobalRouting, GridEngine, GridlessEngine, HightowerEngine, PlaneIndexKind, RoutingEngine,
@@ -152,6 +165,10 @@ pub enum Request {
         sid: u64,
         /// Force a full `route_all` even on a warm session.
         full: bool,
+        /// Per-request wall-clock bound in milliseconds; past it the
+        /// route is cancelled, nothing commits, and the reply is
+        /// `ERR DEADLINE`.
+        deadline_ms: Option<u64>,
     },
     /// Rip up one net's committed route by name.
     RipUp {
@@ -167,6 +184,10 @@ pub enum Request {
         sid: u64,
         /// Iteration cap; `None` = the server default (16).
         max_iters: Option<u64>,
+        /// Per-request wall-clock bound in milliseconds; see
+        /// [`Request::Route::deadline_ms`] (negotiation rolls back
+        /// through a checkpoint).
+        deadline_ms: Option<u64>,
     },
     /// Session stats (with a sid) or server stats (without).
     Stats {
@@ -185,6 +206,15 @@ pub enum Request {
     },
     /// Drain the server and exit.
     Shutdown,
+    /// Deliberately panic the worker inside the session lock — the
+    /// fault-injection probe behind the server's `crash_probe` gate
+    /// (off by default, where it answers `ERR UNKNOWN-VERB` like any
+    /// verb outside the protocol). The chaos suite uses it to prove a
+    /// worker panic quarantines exactly one session and nothing else.
+    Crash {
+        /// Session id.
+        sid: u64,
+    },
 }
 
 /// Typed error categories carried in `ERR` replies.
@@ -206,11 +236,42 @@ pub enum ErrCode {
     Truncated,
     /// The server is draining and no longer accepts work.
     ShuttingDown,
+    /// The server's accept queue is full; retry after a backoff.
+    Busy,
+    /// The request's `DEADLINE` passed before the work finished; the
+    /// session is untouched (nothing committed).
+    Deadline,
+    /// A request line or dot-framed body exceeded the server's
+    /// [`WireLimits`].
+    TooLarge,
+    /// The connection idled past the server's read timeout mid-frame.
+    Timeout,
+    /// The session is quarantined after a panic poisoned it; only
+    /// `CLOSE` is accepted.
+    Quarantined,
     /// Anything else (a bug if you ever see it).
     Internal,
 }
 
 impl ErrCode {
+    /// Every code, in a stable order (for sweeps and docs).
+    pub const ALL: [ErrCode; 14] = [
+        ErrCode::BadRequest,
+        ErrCode::UnknownVerb,
+        ErrCode::UnknownSession,
+        ErrCode::UnknownName,
+        ErrCode::Parse,
+        ErrCode::Layout,
+        ErrCode::Truncated,
+        ErrCode::ShuttingDown,
+        ErrCode::Busy,
+        ErrCode::Deadline,
+        ErrCode::TooLarge,
+        ErrCode::Timeout,
+        ErrCode::Quarantined,
+        ErrCode::Internal,
+    ];
+
     /// The wire token for this code.
     #[must_use]
     pub fn name(self) -> &'static str {
@@ -223,6 +284,11 @@ impl ErrCode {
             ErrCode::Layout => "LAYOUT",
             ErrCode::Truncated => "TRUNCATED",
             ErrCode::ShuttingDown => "SHUTTING-DOWN",
+            ErrCode::Busy => "BUSY",
+            ErrCode::Deadline => "DEADLINE",
+            ErrCode::TooLarge => "TOO-LARGE",
+            ErrCode::Timeout => "TIMEOUT",
+            ErrCode::Quarantined => "QUARANTINED",
             ErrCode::Internal => "INTERNAL",
         }
     }
@@ -239,6 +305,11 @@ impl ErrCode {
             "LAYOUT" => Some(ErrCode::Layout),
             "TRUNCATED" => Some(ErrCode::Truncated),
             "SHUTTING-DOWN" => Some(ErrCode::ShuttingDown),
+            "BUSY" => Some(ErrCode::Busy),
+            "DEADLINE" => Some(ErrCode::Deadline),
+            "TOO-LARGE" => Some(ErrCode::TooLarge),
+            "TIMEOUT" => Some(ErrCode::Timeout),
+            "QUARANTINED" => Some(ErrCode::Quarantined),
             "INTERNAL" => Some(ErrCode::Internal),
             _ => None,
         }
@@ -338,6 +409,29 @@ fn write_body(w: &mut impl Write, body: &str) -> io::Result<()> {
     w.write_all(b".\n")
 }
 
+/// Size caps applied while reading framed *requests*: the maximum
+/// request-line length and the maximum accumulated dot-framed body, in
+/// bytes. A server reads through these so one unterminated line or one
+/// endless body cannot grow its memory without bound; breaching either
+/// cap answers [`ErrCode::TooLarge`]. Responses are not capped (a
+/// `DUMP` body is as large as the session it describes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireLimits {
+    /// Maximum request-line length in bytes (excluding the newline).
+    pub max_line: usize,
+    /// Maximum accumulated body size in bytes.
+    pub max_body: usize,
+}
+
+impl Default for WireLimits {
+    fn default() -> WireLimits {
+        WireLimits {
+            max_line: 64 * 1024,
+            max_body: 4 * 1024 * 1024,
+        }
+    }
+}
+
 /// Reads one line; `Ok(None)` at EOF. Strips the trailing `\n` / `\r\n`.
 fn read_line(r: &mut impl BufRead) -> io::Result<Option<String>> {
     let mut line = String::new();
@@ -351,9 +445,88 @@ fn read_line(r: &mut impl BufRead) -> io::Result<Option<String>> {
     Ok(Some(line))
 }
 
-/// Reads a dot-framed body (un-stuffing leading dots); errors with
-/// [`ErrCode::Truncated`] if EOF arrives before the `.` line.
-fn read_body(r: &mut impl BufRead) -> io::Result<Result<String, WireError>> {
+/// [`read_line`] bounded by `max` bytes (`Read::take`, so an
+/// unterminated line stops pulling from the socket at the cap instead
+/// of growing forever). Over-long lines yield [`ErrCode::TooLarge`];
+/// the unread remainder stays in the stream (the caller replies and
+/// closes — a line that breached the cap has unknowable framing).
+fn read_line_bounded(
+    r: &mut impl BufRead,
+    max: usize,
+) -> io::Result<Option<Result<String, WireError>>> {
+    let mut line = String::new();
+    // +3 leaves room for "\r\n" on a maximal line, and guarantees a
+    // breach is distinguishable from an exactly-max unterminated line.
+    let mut limited = Read::take(&mut *r, max as u64 + 3);
+    let n = limited.read_line(&mut line)?;
+    if n == 0 {
+        return Ok(None);
+    }
+    while line.ends_with('\n') || line.ends_with('\r') {
+        line.pop();
+    }
+    if line.len() > max {
+        return Ok(Some(Err(WireError::new(
+            ErrCode::TooLarge,
+            format!("line exceeds the {max}-byte limit"),
+        ))));
+    }
+    Ok(Some(Ok(line)))
+}
+
+/// Reads a dot-framed body (un-stuffing leading dots) under `limits`;
+/// errors with [`ErrCode::Truncated`] if EOF arrives before the `.`
+/// line, or [`ErrCode::TooLarge`] once the accumulated body breaches
+/// `limits.max_body`. An oversized body keeps draining (without
+/// storing) for up to one further `max_body` of input looking for the
+/// terminator, so the typed reply usually survives the close instead of
+/// being discarded by a TCP reset.
+fn read_body(r: &mut impl BufRead, limits: &WireLimits) -> io::Result<Result<String, WireError>> {
+    let mut body = String::new();
+    let mut over = false;
+    let mut drained = 0usize;
+    loop {
+        match read_line_bounded(r, limits.max_line)? {
+            None => {
+                return Ok(Err(WireError::new(
+                    ErrCode::Truncated,
+                    "body ended at EOF before the terminating '.' line",
+                )))
+            }
+            Some(Err(e)) => return Ok(Err(e)),
+            Some(Ok(line)) => {
+                if line == "." {
+                    if over {
+                        return Ok(Err(WireError::new(
+                            ErrCode::TooLarge,
+                            format!("body exceeds the {}-byte limit", limits.max_body),
+                        )));
+                    }
+                    return Ok(Ok(body));
+                }
+                let line = line.strip_prefix('.').unwrap_or(&line);
+                if over || body.len() + line.len() + 1 > limits.max_body {
+                    over = true;
+                    drained += line.len() + 1;
+                    if drained > limits.max_body {
+                        return Ok(Err(WireError::new(
+                            ErrCode::TooLarge,
+                            format!("body exceeds the {}-byte limit", limits.max_body),
+                        )));
+                    }
+                    continue;
+                }
+                body.push_str(line);
+                body.push('\n');
+            }
+        }
+    }
+}
+
+/// Reads a dot-framed body with no size cap — the *response* path,
+/// where the peer is the server we chose to talk to and a `DUMP` body
+/// is legitimately as large as the session it describes.
+fn read_body_unbounded(r: &mut impl BufRead) -> io::Result<Result<String, WireError>> {
     let mut body = String::new();
     loop {
         match read_line(r)? {
@@ -392,23 +565,57 @@ pub fn write_request(w: &mut impl Write, req: &Request) -> io::Result<()> {
             writeln!(w, "ECO {sid}")?;
             write_body(w, eco)
         }
-        Request::Route { sid, full } => {
+        Request::Route {
+            sid,
+            full,
+            deadline_ms,
+        } => {
+            write!(w, "ROUTE {sid}")?;
             if *full {
-                writeln!(w, "ROUTE {sid} FULL")
-            } else {
-                writeln!(w, "ROUTE {sid}")
+                write!(w, " FULL")?;
             }
+            if let Some(ms) = deadline_ms {
+                write!(w, " DEADLINE {ms}")?;
+            }
+            writeln!(w)
         }
         Request::RipUp { sid, net } => writeln!(w, "RIPUP {sid} {net}"),
-        Request::Negotiate { sid, max_iters } => match max_iters {
-            Some(n) => writeln!(w, "NEGOTIATE {sid} {n}"),
-            None => writeln!(w, "NEGOTIATE {sid}"),
-        },
+        Request::Negotiate {
+            sid,
+            max_iters,
+            deadline_ms,
+        } => {
+            write!(w, "NEGOTIATE {sid}")?;
+            if let Some(n) = max_iters {
+                write!(w, " {n}")?;
+            }
+            if let Some(ms) = deadline_ms {
+                write!(w, " DEADLINE {ms}")?;
+            }
+            writeln!(w)
+        }
         Request::Stats { sid: Some(sid) } => writeln!(w, "STATS {sid}"),
         Request::Stats { sid: None } => writeln!(w, "STATS"),
         Request::Dump { sid } => writeln!(w, "DUMP {sid}"),
         Request::Close { sid } => writeln!(w, "CLOSE {sid}"),
         Request::Shutdown => writeln!(w, "SHUTDOWN"),
+        Request::Crash { sid } => writeln!(w, "CRASH {sid}"),
+    }
+}
+
+/// Parses a trailing `DEADLINE <ms>` option (or nothing) from the
+/// remaining request tokens. `0` is legal: it means "already expired",
+/// which cancels deterministically at the first budget check — useful
+/// for exercising the cancellation path without timing races.
+fn parse_deadline(rest: &[&str]) -> Result<Option<u64>, String> {
+    match rest {
+        [] => Ok(None),
+        ["DEADLINE", ms] => ms
+            .parse::<u64>()
+            .map(Some)
+            .map_err(|_| format!("DEADLINE wants a millisecond count, got {ms:?}")),
+        ["DEADLINE"] => Err("DEADLINE wants a millisecond count".to_string()),
+        other => Err(format!("unknown trailing option {:?}", other.join(" "))),
     }
 }
 
@@ -421,12 +628,28 @@ pub fn write_request(w: &mut impl Write, req: &Request) -> io::Result<()> {
 ///
 /// Only I/O errors from `r`.
 pub fn read_request(r: &mut impl BufRead) -> io::Result<Option<Result<Request, WireError>>> {
+    read_request_limited(r, &WireLimits::default())
+}
+
+/// [`read_request`] under explicit [`WireLimits`]: request lines longer
+/// than `limits.max_line` and bodies larger than `limits.max_body`
+/// yield a typed [`ErrCode::TooLarge`] error instead of unbounded
+/// buffering. This is the form the server's connection loop uses.
+///
+/// # Errors
+///
+/// Only I/O errors from `r`.
+pub fn read_request_limited(
+    r: &mut impl BufRead,
+    limits: &WireLimits,
+) -> io::Result<Option<Result<Request, WireError>>> {
     // Tolerate blank lines between requests (hand-driven telnet traffic).
     let line = loop {
-        match read_line(r)? {
+        match read_line_bounded(r, limits.max_line)? {
             None => return Ok(None),
-            Some(l) if l.trim().is_empty() => continue,
-            Some(l) => break l,
+            Some(Err(e)) => return Ok(Some(Err(e))),
+            Some(Ok(l)) if l.trim().is_empty() => continue,
+            Some(Ok(l)) => break l,
         }
     };
     let tokens: Vec<&str> = line.split_whitespace().collect();
@@ -480,7 +703,7 @@ pub fn read_request(r: &mut impl BufRead) -> io::Result<Option<Result<Request, W
             // error on its way to the client.
             let engine = EngineKind::parse(tokens[1]);
             let index = parse_index(tokens[2]);
-            let gcl = match read_body(r)? {
+            let gcl = match read_body(r, limits)? {
                 Ok(body) => body,
                 Err(e) => return Ok(Some(Err(e))),
             };
@@ -502,7 +725,7 @@ pub fn read_request(r: &mut impl BufRead) -> io::Result<Option<Result<Request, W
             check_arity!(1, 1);
             // Same body-first discipline as OPEN: drain, then validate.
             let sid = sid_of(tokens[1]);
-            let eco = match read_body(r)? {
+            let eco = match read_body(r, limits)? {
                 Ok(body) => body,
                 Err(e) => return Ok(Some(Err(e))),
             };
@@ -512,14 +735,24 @@ pub fn read_request(r: &mut impl BufRead) -> io::Result<Option<Result<Request, W
             }
         }
         "ROUTE" => {
-            check_arity!(1, 2);
+            check_arity!(1, 4);
             let sid = sid!(tokens[1]);
-            let full = match tokens.get(2) {
-                None => false,
-                Some(&"FULL") => true,
-                Some(other) => return bad(format!("unknown ROUTE modifier {other:?}")),
+            let mut rest = &tokens[2..];
+            let full = if rest.first() == Some(&"FULL") {
+                rest = &rest[1..];
+                true
+            } else {
+                false
             };
-            Request::Route { sid, full }
+            let deadline_ms = match parse_deadline(rest) {
+                Ok(ms) => ms,
+                Err(msg) => return bad(format!("ROUTE: {msg}")),
+            };
+            Request::Route {
+                sid,
+                full,
+                deadline_ms,
+            }
         }
         "RIPUP" => {
             check_arity!(2, 2);
@@ -529,20 +762,32 @@ pub fn read_request(r: &mut impl BufRead) -> io::Result<Option<Result<Request, W
             }
         }
         "NEGOTIATE" => {
-            check_arity!(1, 2);
+            check_arity!(1, 4);
             let sid = sid!(tokens[1]);
-            let max_iters = match tokens.get(2) {
-                None => None,
-                Some(t) => match t.parse::<u64>() {
-                    Ok(n) if n >= 1 => Some(n),
+            let mut rest = &tokens[2..];
+            let max_iters = match rest.first() {
+                Some(&t) if t != "DEADLINE" => match t.parse::<u64>() {
+                    Ok(n) if n >= 1 => {
+                        rest = &rest[1..];
+                        Some(n)
+                    }
                     _ => {
                         return bad(format!(
                             "iteration cap must be a positive integer, got {t:?}"
                         ))
                     }
                 },
+                _ => None,
             };
-            Request::Negotiate { sid, max_iters }
+            let deadline_ms = match parse_deadline(rest) {
+                Ok(ms) => ms,
+                Err(msg) => return bad(format!("NEGOTIATE: {msg}")),
+            };
+            Request::Negotiate {
+                sid,
+                max_iters,
+                deadline_ms,
+            }
         }
         "STATS" => {
             check_arity!(0, 1);
@@ -568,6 +813,12 @@ pub fn read_request(r: &mut impl BufRead) -> io::Result<Option<Result<Request, W
         "SHUTDOWN" => {
             check_arity!(0, 0);
             Request::Shutdown
+        }
+        "CRASH" => {
+            check_arity!(1, 1);
+            Request::Crash {
+                sid: sid!(tokens[1]),
+            }
         }
         other => {
             return Ok(Some(Err(WireError::new(
@@ -616,7 +867,7 @@ pub fn read_response(r: &mut impl BufRead) -> io::Result<Response> {
         )
     };
     let status = read_line(r)?.ok_or_else(eof)?;
-    let body = read_body(r)?.map_err(|_| eof())?;
+    let body = read_body_unbounded(r)?.map_err(|_| eof())?;
     if let Some(head) = status.strip_prefix("OK ") {
         return Ok(Response::Ok {
             head: head.to_string(),
@@ -724,8 +975,23 @@ mod tests {
             Request::Route {
                 sid: 1,
                 full: false,
+                deadline_ms: None,
             },
-            Request::Route { sid: 2, full: true },
+            Request::Route {
+                sid: 2,
+                full: true,
+                deadline_ms: None,
+            },
+            Request::Route {
+                sid: 2,
+                full: false,
+                deadline_ms: Some(250),
+            },
+            Request::Route {
+                sid: 2,
+                full: true,
+                deadline_ms: Some(0),
+            },
             Request::RipUp {
                 sid: 3,
                 net: "clk".to_string(),
@@ -733,16 +999,29 @@ mod tests {
             Request::Negotiate {
                 sid: 8,
                 max_iters: None,
+                deadline_ms: None,
             },
             Request::Negotiate {
                 sid: 9,
                 max_iters: Some(12),
+                deadline_ms: None,
+            },
+            Request::Negotiate {
+                sid: 9,
+                max_iters: None,
+                deadline_ms: Some(1500),
+            },
+            Request::Negotiate {
+                sid: 9,
+                max_iters: Some(3),
+                deadline_ms: Some(1500),
             },
             Request::Stats { sid: Some(4) },
             Request::Stats { sid: None },
             Request::Dump { sid: 5 },
             Request::Close { sid: 6 },
             Request::Shutdown,
+            Request::Crash { sid: 11 },
         ] {
             assert_eq!(roundtrip_request(&req), req, "{req:?}");
         }
@@ -794,6 +1073,11 @@ mod tests {
             ("ROUTE\n", ErrCode::BadRequest),
             ("ROUTE zebra\n", ErrCode::BadRequest),
             ("ROUTE 1 SIDEWAYS\n", ErrCode::BadRequest),
+            ("ROUTE 1 DEADLINE\n", ErrCode::BadRequest),
+            ("ROUTE 1 DEADLINE soon\n", ErrCode::BadRequest),
+            ("ROUTE 1 DEADLINE -5\n", ErrCode::BadRequest),
+            ("ROUTE 1 FULL DEADLINE 5 6\n", ErrCode::BadRequest),
+            ("ROUTE 1 DEADLINE 5 FULL\n", ErrCode::BadRequest),
             ("OPEN gridless\n", ErrCode::BadRequest),
             // Token errors on body-carrying verbs drain the body first
             // (so the reply survives the close); the framed-but-wrong
@@ -809,6 +1093,10 @@ mod tests {
             ("NEGOTIATE 1 0\n", ErrCode::BadRequest),
             ("NEGOTIATE 1 soon\n", ErrCode::BadRequest),
             ("NEGOTIATE 1 4 5\n", ErrCode::BadRequest),
+            ("NEGOTIATE 1 DEADLINE\n", ErrCode::BadRequest),
+            ("NEGOTIATE 1 4 DEADLINE x\n", ErrCode::BadRequest),
+            ("CRASH\n", ErrCode::BadRequest),
+            ("CRASH zebra\n", ErrCode::BadRequest),
             ("STATS 1 2\n", ErrCode::BadRequest),
             ("PING extra\n", ErrCode::BadRequest),
         ] {
@@ -836,19 +1124,90 @@ mod tests {
 
     #[test]
     fn err_codes_roundtrip() {
-        for code in [
-            ErrCode::BadRequest,
-            ErrCode::UnknownVerb,
-            ErrCode::UnknownSession,
-            ErrCode::UnknownName,
-            ErrCode::Parse,
-            ErrCode::Layout,
-            ErrCode::Truncated,
-            ErrCode::ShuttingDown,
-            ErrCode::Internal,
-        ] {
+        for code in ErrCode::ALL {
             assert_eq!(ErrCode::parse(code.name()), Some(code));
         }
         assert!(ErrCode::parse("WAT").is_none());
+    }
+
+    #[test]
+    fn oversize_request_lines_are_too_large() {
+        let limits = WireLimits {
+            max_line: 16,
+            max_body: 64,
+        };
+        let wire = format!("ROUTE {}\n", "9".repeat(40));
+        let got = read_request_limited(&mut BufReader::new(wire.as_bytes()), &limits)
+            .unwrap()
+            .unwrap()
+            .unwrap_err();
+        assert_eq!(got.code, ErrCode::TooLarge);
+        // An exactly-max line still parses.
+        let wire = "STATS 123456789\n"; // 15 bytes + newline
+        assert!(wire.trim_end().len() <= limits.max_line);
+        let got = read_request_limited(&mut BufReader::new(wire.as_bytes()), &limits)
+            .unwrap()
+            .unwrap()
+            .unwrap();
+        assert_eq!(
+            got,
+            Request::Stats {
+                sid: Some(123456789)
+            }
+        );
+    }
+
+    #[test]
+    fn oversize_bodies_are_too_large_and_drain_to_the_terminator() {
+        let limits = WireLimits {
+            max_line: 64,
+            max_body: 32,
+        };
+        // Body breaches max_body but terminates within the drain
+        // allowance: the typed error comes back AND the stream is left
+        // positioned after the frame.
+        let wire = format!("ECO 1\n{}\n{}\n.\nPING\n", "a".repeat(20), "b".repeat(20));
+        let mut r = BufReader::new(wire.as_bytes());
+        let got = read_request_limited(&mut r, &limits)
+            .unwrap()
+            .unwrap()
+            .unwrap_err();
+        assert_eq!(got.code, ErrCode::TooLarge);
+        let next = read_request_limited(&mut r, &limits).unwrap().unwrap();
+        assert_eq!(next.unwrap(), Request::Ping);
+        // A body that never terminates stops draining at the cap
+        // instead of reading forever.
+        let wire = format!(
+            "ECO 1\n{}\n{}\n{}\n",
+            "a".repeat(30),
+            "b".repeat(30),
+            "c".repeat(30)
+        );
+        let got = read_request_limited(&mut BufReader::new(wire.as_bytes()), &limits)
+            .unwrap()
+            .unwrap()
+            .unwrap_err();
+        assert_eq!(got.code, ErrCode::TooLarge);
+    }
+
+    #[test]
+    fn exact_max_body_still_parses() {
+        let limits = WireLimits {
+            max_line: 64,
+            max_body: 8,
+        };
+        // "abcdefg\n" = 8 bytes: exactly at the cap.
+        let wire = "ECO 1\nabcdefg\n.\n";
+        let got = read_request_limited(&mut BufReader::new(wire.as_bytes()), &limits)
+            .unwrap()
+            .unwrap()
+            .unwrap();
+        assert_eq!(
+            got,
+            Request::Eco {
+                sid: 1,
+                eco: "abcdefg\n".to_string()
+            }
+        );
     }
 }

@@ -81,6 +81,11 @@ impl ServiceSession {
     }
 }
 
+/// Marker error from [`SessionEntry::lock`]: a panic poisoned the
+/// session's lock, so every request but `CLOSE` is refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Quarantined;
+
 /// One registered session: the id, the LRU stamp, and the serialized
 /// session state.
 #[derive(Debug)] // ServiceSession has a summary Debug, so this derives
@@ -93,10 +98,23 @@ pub struct SessionEntry {
 
 impl SessionEntry {
     /// Locks the session for one request (serializing mutation per
-    /// session; poisoning is absorbed because sessions stay consistent —
-    /// every mutation commits before the lock drops).
-    pub fn lock(&self) -> MutexGuard<'_, ServiceSession> {
-        self.session.lock().unwrap_or_else(PoisonError::into_inner)
+    /// session). A poisoned lock means a request panicked while holding
+    /// it — the session's invariants can no longer be trusted, so it is
+    /// **quarantined**: `Err` here, which the server answers with
+    /// `ERR QUARANTINED`. `CLOSE` still unlinks a quarantined session
+    /// (it never takes this lock).
+    ///
+    /// # Errors
+    ///
+    /// [`Quarantined`] if the session is quarantined.
+    pub fn lock(&self) -> Result<MutexGuard<'_, ServiceSession>, Quarantined> {
+        self.session.lock().map_err(|_| Quarantined)
+    }
+
+    /// Is the session quarantined (its lock poisoned by a panic)?
+    #[must_use]
+    pub fn is_quarantined(&self) -> bool {
+        self.session.is_poisoned()
     }
 }
 
@@ -289,8 +307,27 @@ mod tests {
         assert_eq!(evicted, Some(a));
         // The held Arc still works: an in-flight request finishes
         // normally against the unlinked session.
-        let guard = held.lock();
+        let guard = held.lock().unwrap();
         assert_eq!(guard.stats().nets, 0);
+    }
+
+    #[test]
+    fn a_panic_quarantines_the_session_but_close_still_works() {
+        let reg = SessionRegistry::new(2);
+        let (sid, _) = reg.open(boxed_session());
+        let entry = reg.get(sid).unwrap();
+        let poisoned = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = entry.lock().unwrap();
+            panic!("injected fault");
+        }));
+        assert!(poisoned.is_err());
+        assert!(entry.is_quarantined());
+        assert_eq!(entry.lock().unwrap_err(), Quarantined);
+        // Other sessions are untouched, and CLOSE still unlinks.
+        let (other, _) = reg.open(boxed_session());
+        assert!(reg.get(other).unwrap().lock().is_ok());
+        assert!(reg.close(sid));
+        assert!(reg.get(sid).is_none());
     }
 
     #[test]

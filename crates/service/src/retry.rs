@@ -1,0 +1,287 @@
+//! Client-side retry: exponential backoff with decorrelated jitter,
+//! gated by per-verb idempotency.
+//!
+//! A routing daemon sits behind real networks and real load, so its
+//! clients see connect failures, read timeouts, `ERR BUSY` shedding and
+//! half-dead connections. Retrying blindly is worse than not retrying
+//! at all — an `ECO` whose reply was lost may have *committed*, and
+//! replaying it would apply the change twice. The rules here are
+//! explicit:
+//!
+//! * **Retry** (idempotent verbs): `PING`, `ROUTE`, `STATS`, `DUMP`,
+//!   `RIPUP`, `CLOSE`. Re-running any of these converges to the same
+//!   state — a re-`ROUTE` of an already-routed session reroutes an
+//!   empty dirty set, a re-`CLOSE` is a no-op miss.
+//! * **Never blind-retry**: `OPEN` (would leak a second session),
+//!   `ECO` (would double-apply the change list), `NEGOTIATE` (reprices
+//!   congestion history), `SHUTDOWN` (the server is going away) and
+//!   `CRASH` (a fault probe). Failures surface to the caller, who
+//!   knows whether the request took effect.
+//! * **Retryable failures**: connect/IO errors (including timeouts) and
+//!   the typed `ERR BUSY` / `ERR TIMEOUT` replies. `ERR DEADLINE` is
+//!   **not** retried — the server already spent the request's budget
+//!   and rolled back; the caller decides whether to re-submit with a
+//!   larger deadline.
+//!
+//! Backoff is **decorrelated jitter**
+//! (`sleep = min(cap, rand(base, 3 × previous))`), which spreads
+//! synchronized retry storms apart faster than equal-jitter schedules.
+//! The jitter stream is seeded, so tests are deterministic.
+
+use std::io;
+use std::time::Duration;
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+use crate::client::{Client, ClientError, Reply};
+use crate::proto::{ErrCode, Request, Response};
+
+/// How a [`RetryingClient`] connects, waits, and backs off.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Retry attempts *after* the first try (`0` = never retry).
+    pub max_retries: u32,
+    /// Lower bound of every backoff sleep.
+    pub base: Duration,
+    /// Upper bound of every backoff sleep.
+    pub cap: Duration,
+    /// Per-attempt TCP connect timeout.
+    pub connect_timeout: Duration,
+    /// Read/write timeout on the connection (`None` = block forever).
+    pub io_timeout: Option<Duration>,
+    /// Seed for the jitter stream (deterministic per client).
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 3,
+            base: Duration::from_millis(25),
+            cap: Duration::from_millis(1_000),
+            connect_timeout: Duration::from_secs(5),
+            io_timeout: Some(Duration::from_secs(30)),
+            seed: 0x6763_725f_7365_6564, // "gcr_seed"
+        }
+    }
+}
+
+/// May this request be transparently re-sent after an ambiguous
+/// failure? See the [module docs](self) for the per-verb reasoning.
+#[must_use]
+pub fn is_idempotent(req: &Request) -> bool {
+    match req {
+        Request::Ping
+        | Request::Route { .. }
+        | Request::Stats { .. }
+        | Request::Dump { .. }
+        | Request::RipUp { .. }
+        | Request::Close { .. } => true,
+        Request::Open { .. }
+        | Request::Eco { .. }
+        | Request::Negotiate { .. }
+        | Request::Shutdown
+        | Request::Crash { .. } => false,
+    }
+}
+
+/// Is this failure the transient kind a retry can fix? (Orthogonal to
+/// [`is_idempotent`]: both must hold before a retry fires.)
+#[must_use]
+pub fn is_retryable_error(err: &ClientError) -> bool {
+    match err {
+        ClientError::Io(_) => true,
+        ClientError::Server(e) => matches!(e.code, ErrCode::Busy | ErrCode::Timeout),
+        ClientError::Malformed(_) => false,
+    }
+}
+
+/// One decorrelated-jitter step: uniform in `[base, 3 × prev]`, capped.
+/// Returns the sleep, which the caller feeds back as the next `prev`.
+#[must_use]
+pub fn decorrelated_jitter(
+    rng: &mut StdRng,
+    base: Duration,
+    cap: Duration,
+    prev: Duration,
+) -> Duration {
+    let lo = base.as_millis() as u64;
+    let hi = (prev.as_millis() as u64).saturating_mul(3).max(lo + 1);
+    Duration::from_millis(rng.gen_range(lo..=hi)).min(cap)
+}
+
+/// A [`Client`] wrapper that reconnects and retries per a
+/// [`RetryPolicy`]. `gcrt client --retries` and the chaos suite drive
+/// the daemon through this type.
+#[derive(Debug)]
+pub struct RetryingClient {
+    addr: String,
+    policy: RetryPolicy,
+    rng: StdRng,
+    conn: Option<Client>,
+}
+
+impl RetryingClient {
+    /// Builds the wrapper; connection is lazy (first request connects).
+    #[must_use]
+    pub fn new(addr: impl Into<String>, policy: RetryPolicy) -> RetryingClient {
+        let rng = StdRng::seed_from_u64(policy.seed);
+        RetryingClient {
+            addr: addr.into(),
+            policy,
+            rng,
+            conn: None,
+        }
+    }
+
+    fn connection(&mut self) -> io::Result<&mut Client> {
+        if self.conn.is_none() {
+            self.conn = Some(Client::connect_timeout(
+                self.addr.as_str(),
+                self.policy.connect_timeout,
+                self.policy.io_timeout,
+            )?);
+        }
+        Ok(self.conn.as_mut().expect("just connected"))
+    }
+
+    /// One request, retried per the policy when (and only when) the
+    /// verb is idempotent and the failure transient. Non-idempotent
+    /// verbs get exactly one attempt.
+    ///
+    /// # Errors
+    ///
+    /// The final attempt's failure, classified as [`ClientError`].
+    pub fn request(&mut self, req: &Request) -> Result<Response, ClientError> {
+        let mut prev = self.policy.base;
+        let mut attempt: u32 = 0;
+        loop {
+            let result = match self.connection() {
+                Ok(client) => client.request(req).map_err(ClientError::Io),
+                Err(e) => Err(ClientError::Io(e)),
+            };
+            let err = match result {
+                Ok(Response::Err(e)) => ClientError::Server(e),
+                Ok(ok) => return Ok(ok),
+                Err(e) => e,
+            };
+            // The connection is suspect after any failure (an IO error
+            // broke it; BUSY/TIMEOUT replies precede a server-side
+            // close). Reconnect on the next attempt.
+            self.conn = None;
+            if attempt >= self.policy.max_retries
+                || !is_idempotent(req)
+                || !is_retryable_error(&err)
+            {
+                return match err {
+                    ClientError::Server(e) => Ok(Response::Err(e)),
+                    other => Err(other),
+                };
+            }
+            attempt += 1;
+            let sleep = decorrelated_jitter(&mut self.rng, self.policy.base, self.policy.cap, prev);
+            prev = sleep;
+            std::thread::sleep(sleep);
+        }
+    }
+
+    /// [`RetryingClient::request`] unwrapped to a [`Reply`], turning
+    /// `ERR` replies into [`ClientError::Server`].
+    ///
+    /// # Errors
+    ///
+    /// See [`ClientError`].
+    pub fn expect_ok(&mut self, req: &Request) -> Result<Reply, ClientError> {
+        match self.request(req)? {
+            Response::Ok { head, body } => Ok(Reply { head, body }),
+            Response::Err(e) => Err(ClientError::Server(e)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::WireError;
+    use gcr_core::PlaneIndexKind;
+
+    #[test]
+    fn idempotency_table_matches_the_protocol() {
+        let yes = [
+            Request::Ping,
+            Request::Route {
+                sid: 1,
+                full: false,
+                deadline_ms: None,
+            },
+            Request::Stats { sid: None },
+            Request::Dump { sid: 1 },
+            Request::RipUp {
+                sid: 1,
+                net: "a".to_string(),
+            },
+            Request::Close { sid: 1 },
+        ];
+        let no = [
+            Request::Open {
+                engine: crate::proto::EngineKind::Gridless,
+                index: PlaneIndexKind::Flat,
+                gcl: String::new(),
+            },
+            Request::Eco {
+                sid: 1,
+                eco: String::new(),
+            },
+            Request::Negotiate {
+                sid: 1,
+                max_iters: None,
+                deadline_ms: None,
+            },
+            Request::Shutdown,
+            Request::Crash { sid: 1 },
+        ];
+        for req in &yes {
+            assert!(is_idempotent(req), "{req:?} should be retryable");
+        }
+        for req in &no {
+            assert!(!is_idempotent(req), "{req:?} must never blind-retry");
+        }
+    }
+
+    #[test]
+    fn retryable_failures_are_transient_only() {
+        assert!(is_retryable_error(&ClientError::Io(io::Error::new(
+            io::ErrorKind::ConnectionRefused,
+            "nope"
+        ))));
+        for (code, want) in [
+            (ErrCode::Busy, true),
+            (ErrCode::Timeout, true),
+            (ErrCode::Deadline, false),
+            (ErrCode::Quarantined, false),
+            (ErrCode::TooLarge, false),
+            (ErrCode::BadRequest, false),
+            (ErrCode::ShuttingDown, false),
+        ] {
+            let err = ClientError::Server(WireError::new(code, ""));
+            assert_eq!(is_retryable_error(&err), want, "{code}");
+        }
+        assert!(!is_retryable_error(&ClientError::Malformed(String::new())));
+    }
+
+    #[test]
+    fn jitter_stays_within_bounds_and_is_deterministic() {
+        let base = Duration::from_millis(10);
+        let cap = Duration::from_millis(500);
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut prev = base;
+        for _ in 0..64 {
+            let s1 = decorrelated_jitter(&mut a, base, cap, prev);
+            let s2 = decorrelated_jitter(&mut b, base, cap, prev);
+            assert_eq!(s1, s2, "same seed, same schedule");
+            assert!(s1 >= base && s1 <= cap, "{s1:?} out of [{base:?}, {cap:?}]");
+            prev = s1;
+        }
+    }
+}

@@ -10,29 +10,43 @@
 //! * The **acceptor** (the thread that calls [`Server::run`]) pushes
 //!   accepted connections into a **bounded** queue
 //!   (`std::sync::mpsc::sync_channel`); when every worker is busy and
-//!   the queue is full, `accept` backpressures the OS listen backlog
-//!   instead of buffering unboundedly.
+//!   the queue is full, the acceptor **sheds load** — it answers the
+//!   excess connection `ERR BUSY` inline and closes it, so clients get
+//!   a typed retry-after signal instead of an unbounded wait.
 //! * **Workers** pull connections and serve requests until the peer
-//!   closes (keep-alive: one connection, many requests).
+//!   closes (keep-alive: one connection, many requests). A read timeout
+//!   bounds how long a worker waits on a silent peer: an *idle* timeout
+//!   (no request bytes yet) closes quietly, a *mid-frame* timeout (a
+//!   slow-loris trickling half a request) answers `ERR TIMEOUT` first.
+//! * **Failure domains**: request bytes are read under
+//!   [`WireLimits`] (`ERR TOO-LARGE` past the caps), and session work
+//!   runs under `catch_unwind` — a panicking request poisons only its
+//!   own session, which is then **quarantined** (`ERR QUARANTINED`
+//!   until `CLOSE`d) while the worker, the connection, and every other
+//!   session keep serving.
 //! * **Graceful shutdown** is signal-free: a `SHUTDOWN` request flips
 //!   the shared drain flag and self-connects to wake the blocking
 //!   acceptor; queued connections still get served, every live
 //!   connection finishes its current request and closes, and
 //!   [`Server::run`] returns a [`ServerReport`] of the run's accounting.
 
-use std::io::{self, BufReader, BufWriter, Write};
+use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc::sync_channel;
+use std::sync::mpsc::{sync_channel, TrySendError};
 use std::sync::{Arc, Mutex, PoisonError};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use gcr_core::{apply_eco, parse_eco, EcoError, NegotiationConfig, RouterConfig, RoutingSession};
+use gcr_core::{
+    apply_eco, parse_eco, Budget, EcoError, NegotiationConfig, RouteError, RouterConfig,
+    RoutingSession,
+};
 use gcr_layout::format;
 
 use crate::proto::{
-    dump_routing, format_stats, index_name, read_request, write_response, ErrCode, Request,
-    Response,
+    dump_routing, format_stats, index_name, read_request_limited, write_response, ErrCode, Request,
+    Response, WireLimits,
 };
 use crate::registry::{ServiceSession, SessionRegistry};
 
@@ -45,8 +59,20 @@ pub struct ServerConfig {
     pub capacity: usize,
     /// Worker threads (`0` = the machine's available parallelism).
     pub workers: usize,
-    /// Pending-connection queue bound (`0` = `2 × workers`).
+    /// Pending-connection queue bound (`0` = `2 × workers`); beyond it
+    /// the acceptor sheds connections with `ERR BUSY`.
     pub queue: usize,
+    /// Per-connection read timeout in milliseconds (`0` = wait
+    /// forever). An idle keep-alive connection past this is closed
+    /// quietly; a connection that stalls *mid-request* gets
+    /// `ERR TIMEOUT` first.
+    pub read_timeout_ms: u64,
+    /// Size caps on request lines and dot-framed bodies.
+    pub limits: WireLimits,
+    /// Enables the `CRASH` fault-injection verb (tests only). Off, the
+    /// verb answers `ERR UNKNOWN-VERB` like any token outside the
+    /// protocol.
+    pub crash_probe: bool,
 }
 
 impl Default for ServerConfig {
@@ -56,6 +82,9 @@ impl Default for ServerConfig {
             capacity: 64,
             workers: 0,
             queue: 0,
+            read_timeout_ms: 30_000,
+            limits: WireLimits::default(),
+            crash_probe: false,
         }
     }
 }
@@ -66,6 +95,9 @@ struct Counters {
     connections: AtomicU64,
     requests: AtomicU64,
     errors: AtomicU64,
+    shed: AtomicU64,
+    timeouts: AtomicU64,
+    panics: AtomicU64,
 }
 
 /// What a finished server run did (returned by [`Server::run`]).
@@ -77,6 +109,12 @@ pub struct ServerReport {
     pub requests: u64,
     /// `ERR` replies sent.
     pub errors: u64,
+    /// Connections answered `ERR BUSY` because the queue was full.
+    pub shed: u64,
+    /// Connections that tripped the read timeout (idle or mid-frame).
+    pub timeouts: u64,
+    /// Requests that panicked (each quarantining its session).
+    pub panics: u64,
     /// Sessions still open at shutdown.
     pub sessions_open: usize,
     /// Sessions evicted to respect the capacity bound.
@@ -93,6 +131,9 @@ pub struct Server {
     drain: Arc<AtomicBool>,
     workers: usize,
     queue: usize,
+    read_timeout: Option<Duration>,
+    limits: WireLimits,
+    crash_probe: bool,
 }
 
 impl Server {
@@ -121,6 +162,10 @@ impl Server {
             drain: Arc::new(AtomicBool::new(false)),
             workers,
             queue,
+            read_timeout: (config.read_timeout_ms > 0)
+                .then(|| Duration::from_millis(config.read_timeout_ms)),
+            limits: config.limits,
+            crash_probe: config.crash_probe,
         })
     }
 
@@ -159,6 +204,9 @@ impl Server {
             drain: &self.drain,
             addr,
             workers: self.workers,
+            read_timeout: self.read_timeout,
+            limits: self.limits,
+            crash_probe: self.crash_probe,
         };
         let (tx, rx) = sync_channel::<TcpStream>(self.queue);
         let rx = Mutex::new(rx);
@@ -187,8 +235,18 @@ impl Server {
                             break; // the drain wake-up itself
                         }
                         self.counters.connections.fetch_add(1, Ordering::Relaxed);
-                        if tx.send(stream).is_err() {
-                            break;
+                        match tx.try_send(stream) {
+                            Ok(()) => {}
+                            Err(TrySendError::Full(stream)) => {
+                                // Load shedding: every worker is busy and
+                                // the queue is full. Answer inline with a
+                                // typed retry signal instead of stalling
+                                // the accept loop behind the backlog.
+                                self.counters.shed.fetch_add(1, Ordering::Relaxed);
+                                self.counters.errors.fetch_add(1, Ordering::Relaxed);
+                                shed_busy(stream);
+                            }
+                            Err(TrySendError::Disconnected(_)) => break,
                         }
                     }
                     Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
@@ -207,10 +265,23 @@ impl Server {
             connections: self.counters.connections.load(Ordering::Relaxed),
             requests: self.counters.requests.load(Ordering::Relaxed),
             errors: self.counters.errors.load(Ordering::Relaxed),
+            shed: self.counters.shed.load(Ordering::Relaxed),
+            timeouts: self.counters.timeouts.load(Ordering::Relaxed),
+            panics: self.counters.panics.load(Ordering::Relaxed),
             sessions_open: self.registry.len(),
             evictions: self.registry.evictions(),
         })
     }
+}
+
+/// Best-effort `ERR BUSY` to a connection the acceptor cannot queue.
+/// The write is bounded by a short timeout so a hostile peer cannot
+/// stall the accept loop; failures are ignored (the peer is gone).
+fn shed_busy(stream: TcpStream) {
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
+    let mut w = BufWriter::new(stream);
+    let resp = Response::err(ErrCode::Busy, "server is at capacity; retry with backoff");
+    let _ = write_response(&mut w, &resp).and_then(|()| w.flush());
 }
 
 /// Everything a worker needs, borrowed for the scope of a run.
@@ -220,6 +291,9 @@ struct Ctx<'a> {
     drain: &'a AtomicBool,
     addr: SocketAddr,
     workers: usize,
+    read_timeout: Option<Duration>,
+    limits: WireLimits,
+    crash_probe: bool,
 }
 
 impl Ctx<'_> {
@@ -240,18 +314,67 @@ impl Ctx<'_> {
     }
 }
 
+/// Counts bytes actually pulled from the socket, so a read timeout can
+/// be classified: *idle* (no bytes of the next request arrived — close
+/// quietly) versus *mid-frame* (a request started and stalled — answer
+/// `ERR TIMEOUT` so the client learns why the connection died).
+struct CountingReader<R> {
+    inner: R,
+    count: u64,
+}
+
+impl<R: Read> Read for CountingReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.count += n as u64;
+        Ok(n)
+    }
+}
+
+fn is_timeout(e: &io::Error) -> bool {
+    // set_read_timeout expiry surfaces as WouldBlock on Unix and
+    // TimedOut on Windows.
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
 /// Serves one keep-alive connection: requests in, framed replies out,
-/// until EOF, a framing error, or a drain.
+/// until EOF, a framing error, a read timeout, or a drain.
 fn handle_connection(stream: TcpStream, ctx: &Ctx<'_>) {
     let _ = stream.set_nodelay(true); // replies are latency-bound, tiny
+    if stream.set_read_timeout(ctx.read_timeout).is_err() {
+        return;
+    }
+    let _ = stream.set_write_timeout(ctx.read_timeout);
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
-    let mut reader = BufReader::new(read_half);
+    let mut reader = BufReader::new(CountingReader {
+        inner: read_half,
+        count: 0,
+    });
     let mut writer = BufWriter::new(stream);
     loop {
-        let message = match read_request(&mut reader) {
+        // A request is "started" if bytes arrive after this point, or if
+        // a previous fill left pipelined bytes buffered.
+        let consumed_before = reader.get_ref().count;
+        let buffered_before = !reader.buffer().is_empty();
+        let message = match read_request_limited(&mut reader, &ctx.limits) {
             Ok(m) => m,
+            Err(e) if is_timeout(&e) => {
+                ctx.counters.timeouts.fetch_add(1, Ordering::Relaxed);
+                let mid_frame = buffered_before || reader.get_ref().count != consumed_before;
+                if mid_frame {
+                    // Slow loris: half a request then silence.
+                    ctx.counters.errors.fetch_add(1, Ordering::Relaxed);
+                    let resp =
+                        Response::err(ErrCode::Timeout, "read timed out mid-request; closing");
+                    let _ = write_response(&mut writer, &resp).and_then(|()| writer.flush());
+                }
+                return; // idle keep-alive expiry closes without a reply
+            }
             Err(_) => return, // connection died mid-read
         };
         let Some(message) = message else {
@@ -289,6 +412,14 @@ fn handle_connection(stream: TcpStream, ctx: &Ctx<'_>) {
 
 /// Runs one request against a session, serializing on the per-session
 /// lock and accounting the request + wall time to the session.
+///
+/// The request body runs under `catch_unwind` with the lock guard moved
+/// *inside* the closure: if `f` panics, unwinding drops the guard and
+/// poisons the session's mutex, so this request answers
+/// `ERR QUARANTINED` and every later request on the session (which
+/// finds the poisoned lock) does too — the panic's blast radius is one
+/// session, not the worker or the process. `CLOSE` never takes the
+/// session lock, so a quarantined session can still be unlinked.
 fn with_session(
     ctx: &Ctx<'_>,
     sid: u64,
@@ -297,12 +428,26 @@ fn with_session(
     let Some(entry) = ctx.registry.get(sid) else {
         return Response::err(ErrCode::UnknownSession, format!("no session {sid}"));
     };
-    let mut guard = entry.lock();
+    let Ok(mut guard) = entry.lock() else {
+        return Response::err(
+            ErrCode::Quarantined,
+            format!("session {sid} is quarantined after a panic; CLOSE it"),
+        );
+    };
     let start = Instant::now();
     guard.requests += 1;
-    let response = f(&mut guard);
-    guard.wall += start.elapsed();
-    response
+    let outcome = catch_unwind(AssertUnwindSafe(move || {
+        let response = f(&mut guard);
+        guard.wall += start.elapsed();
+        response
+    }));
+    outcome.unwrap_or_else(|_| {
+        ctx.counters.panics.fetch_add(1, Ordering::Relaxed);
+        Response::err(
+            ErrCode::Quarantined,
+            format!("request panicked; session {sid} is quarantined"),
+        )
+    })
 }
 
 fn dispatch(request: Request, ctx: &Ctx<'_>) -> Response {
@@ -358,9 +503,21 @@ fn dispatch(request: Request, ctx: &Ctx<'_>) -> Response {
                 Err(EcoError::Layout(e)) => Response::err(ErrCode::Layout, e.to_string()),
             })
         }
-        Request::Route { sid, full } => with_session(ctx, sid, |s| {
+        Request::Route {
+            sid,
+            full,
+            deadline_ms,
+        } => with_session(ctx, sid, move |s| {
             if full || !s.routed_once {
-                let routing = s.session.route_all();
+                let routing = match deadline_ms {
+                    // No deadline: the unbudgeted path, bit-for-bit the
+                    // pre-hardening behaviour with zero budget checks.
+                    None => s.session.route_all(),
+                    Some(ms) => match s.session.route_all_budgeted(&deadline_budget(ms)) {
+                        Ok(routing) => routing,
+                        Err(e) => return cancel_response(&e),
+                    },
+                };
                 s.routed_once = true;
                 Response::ok_with(
                     "route",
@@ -372,7 +529,13 @@ fn dispatch(request: Request, ctx: &Ctx<'_>) -> Response {
                     ),
                 )
             } else {
-                let outcome = s.session.reroute_dirty();
+                let outcome = match deadline_ms {
+                    None => s.session.reroute_dirty(),
+                    Some(ms) => match s.session.reroute_dirty_budgeted(&deadline_budget(ms)) {
+                        Ok(outcome) => outcome,
+                        Err(e) => return cancel_response(&e),
+                    },
+                };
                 let stats = s.session.stats();
                 Response::ok_with(
                     "route",
@@ -383,12 +546,27 @@ fn dispatch(request: Request, ctx: &Ctx<'_>) -> Response {
                 )
             }
         }),
-        Request::Negotiate { sid, max_iters } => with_session(ctx, sid, |s| {
+        Request::Negotiate {
+            sid,
+            max_iters,
+            deadline_ms,
+        } => with_session(ctx, sid, move |s| {
             let mut ncfg = NegotiationConfig::default();
             if let Some(n) = max_iters {
                 ncfg.max_iters(n as usize);
             }
-            let report = s.session.route_negotiated(&ncfg);
+            let report = match deadline_ms {
+                None => s.session.route_negotiated(&ncfg),
+                Some(ms) => {
+                    match s
+                        .session
+                        .route_negotiated_budgeted(&ncfg, &deadline_budget(ms))
+                    {
+                        Ok(report) => report,
+                        Err(e) => return cancel_response(&e),
+                    }
+                }
+            };
             s.routed_once = true;
             Response::ok_with(
                 "negotiate",
@@ -455,5 +633,31 @@ fn dispatch(request: Request, ctx: &Ctx<'_>) -> Response {
                 Response::err(ErrCode::UnknownSession, format!("no session {sid}"))
             }
         }
+        Request::Crash { sid } => {
+            if !ctx.crash_probe {
+                return Response::err(ErrCode::UnknownVerb, "unknown verb \"CRASH\"");
+            }
+            with_session(ctx, sid, |_s| panic!("CRASH probe: injected worker panic"))
+        }
+    }
+}
+
+/// A per-request budget for a wire `DEADLINE <ms>` option. `0` means
+/// "already expired": the request cancels at its first budget check,
+/// deterministically — the cancellation tests rely on this.
+fn deadline_budget(ms: u64) -> Budget {
+    Budget::unlimited().with_deadline(Duration::from_millis(ms))
+}
+
+/// Maps a budgeted driver's error to the wire: cancellation is the
+/// typed `ERR DEADLINE` (with the nothing-committed guarantee spelled
+/// out); anything else would be a server bug.
+fn cancel_response(e: &RouteError) -> Response {
+    match e {
+        RouteError::Cancelled { .. } => Response::err(
+            ErrCode::Deadline,
+            format!("{e}; nothing committed, session unchanged"),
+        ),
+        other => Response::err(ErrCode::Internal, other.to_string()),
     }
 }

@@ -26,7 +26,10 @@ use gcr::detail::route_details;
 use gcr::layout::{format, render};
 use gcr::prelude::*;
 use gcr::router::{apply_eco, parse_eco, NegotiationConfig};
-use gcr::service::{Client, ClientError, EngineKind, Reply, Server, ServerConfig};
+use gcr::service::{
+    ClientError, EngineKind, Reply, Request, RetryPolicy, RetryingClient, Server, ServerConfig,
+    WireLimits,
+};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -60,6 +63,11 @@ const VALUE_FLAGS: &[&str] = &[
     "--locality",
     "--cell-max",
     "--channel",
+    "--read-timeout-ms",
+    "--max-body-kb",
+    "--timeout-ms",
+    "--deadline-ms",
+    "--retries",
 ];
 
 fn run(args: &[String]) -> Result<(), String> {
@@ -148,9 +156,12 @@ fn run(args: &[String]) -> Result<(), String> {
                  \x20 --cell-max N    max cell edge (default 24)\n\
                  \x20 --channel N     routing corridor between cells (default 8)\n\n\
                  serve options:\n\
-                 \x20 --addr A        bind address (default 127.0.0.1:4242)\n\
-                 \x20 --capacity N    session-registry capacity (default 64)\n\
-                 \x20 --workers N     worker threads (default: machine parallelism)\n\n\
+                 \x20 --addr A            bind address (default 127.0.0.1:4242)\n\
+                 \x20 --capacity N        session-registry capacity (default 64)\n\
+                 \x20 --workers N         worker threads (default: machine parallelism)\n\
+                 \x20 --read-timeout-ms N per-connection read timeout, 0 = none\n\
+                 \x20                     (default 30000)\n\
+                 \x20 --max-body-kb N     request body size cap in KiB (default 4096)\n\n\
                  client commands (<sid> comes from open's reply):\n\
                  \x20 ping | shutdown\n\
                  \x20 open <engine> <flat|sharded> <file.gcl>\n\
@@ -158,7 +169,12 @@ fn run(args: &[String]) -> Result<(), String> {
                  \x20 route <sid> [full]     ripup <sid> <net>\n\
                  \x20 negotiate <sid> [max-iters]\n\
                  \x20 stats [<sid>]          dump <sid>\n\
-                 \x20 close <sid>"
+                 \x20 close <sid>\n\n\
+                 client options:\n\
+                 \x20 --timeout-ms N      connect/read/write timeout (default 5000)\n\
+                 \x20 --deadline-ms N     server-side DEADLINE on route/negotiate\n\
+                 \x20 --retries N         retries for idempotent verbs (default 0);\n\
+                 \x20                     backoff uses decorrelated jitter"
             );
             Ok(())
         }
@@ -358,11 +374,25 @@ fn run(args: &[String]) -> Result<(), String> {
             if workers < 0 {
                 return Err("--workers must be non-negative".to_string());
             }
+            let read_timeout_ms = int_value("--read-timeout-ms")?.unwrap_or(30_000);
+            if read_timeout_ms < 0 {
+                return Err("--read-timeout-ms must be non-negative (0 = none)".to_string());
+            }
+            let max_body_kb = int_value("--max-body-kb")?.unwrap_or(4096);
+            if max_body_kb < 1 {
+                return Err("--max-body-kb must be at least 1".to_string());
+            }
             let config = ServerConfig {
                 addr,
                 capacity: capacity as usize,
                 workers: workers as usize,
                 queue: 0,
+                read_timeout_ms: read_timeout_ms as u64,
+                limits: WireLimits {
+                    max_body: max_body_kb as usize * 1024,
+                    ..WireLimits::default()
+                },
+                crash_probe: false,
             };
             let server = Server::bind(&config).map_err(|e| format!("{}: {e}", config.addr))?;
             println!(
@@ -374,10 +404,13 @@ fn run(args: &[String]) -> Result<(), String> {
             let report = server.run().map_err(|e| e.to_string())?;
             println!(
                 "gcr-service drained: {} connection(s), {} request(s), {} error(s), \
-                 {} session(s) open, {} eviction(s)",
+                 {} shed, {} timeout(s), {} panic(s), {} session(s) open, {} eviction(s)",
                 report.connections,
                 report.requests,
                 report.errors,
+                report.shed,
+                report.timeouts,
+                report.panics,
                 report.sessions_open,
                 report.evictions
             );
@@ -390,16 +423,33 @@ fn run(args: &[String]) -> Result<(), String> {
                 .map(|s| s.as_str())
                 .ok_or("missing client command; try gcrt help")?;
             let rest = &positionals[3..];
-            run_client(addr, verb, rest)
+            run_client(addr, verb, rest, args)
         }
         other => Err(format!("unknown command {other:?}; try gcrt help")),
     }
 }
 
-/// One `gcrt client` exchange: build the request, print the reply
-/// (status head, then body) and exit 0 on `OK` / 2 on `ERR`.
-fn run_client(addr: &str, verb: &str, rest: &[&String]) -> Result<(), String> {
-    let mut client = Client::connect(addr).map_err(|e| format!("{addr}: {e}"))?;
+/// One `gcrt client` exchange: build the typed request, send it through
+/// the retry layer, print the reply (status head, then body) and exit
+/// 0 on `OK` / 2 on `ERR`.
+fn run_client(addr: &str, verb: &str, rest: &[&String], args: &[String]) -> Result<(), String> {
+    let value_of = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+    };
+    let int_value = |name: &str| -> Result<Option<u64>, String> {
+        match value_of(name) {
+            None => Ok(None),
+            Some(v) => v
+                .parse::<u64>()
+                .map(Some)
+                .map_err(|_| format!("{name} requires a non-negative integer, got {v:?}")),
+        }
+    };
+    let timeout_ms = int_value("--timeout-ms")?.unwrap_or(5_000);
+    let deadline_ms = int_value("--deadline-ms")?;
+    let retries = int_value("--retries")?.unwrap_or(0);
     let arg = |i: usize, what: &str| -> Result<&str, String> {
         rest.get(i)
             .map(|s| s.as_str())
@@ -415,9 +465,9 @@ fn run_client(addr: &str, verb: &str, rest: &[&String]) -> Result<(), String> {
         let path = arg(i, what)?;
         std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))
     };
-    let reply: Result<Reply, ClientError> = match verb {
-        "ping" => client.ping(),
-        "shutdown" => client.shutdown(),
+    let request = match verb {
+        "ping" => Request::Ping,
+        "shutdown" => Request::Shutdown,
         "open" => {
             let engine = arg(0, "engine")?;
             let engine =
@@ -428,48 +478,61 @@ fn run_client(addr: &str, verb: &str, rest: &[&String]) -> Result<(), String> {
                 other => return Err(format!("unknown index {other:?}")),
             };
             let gcl = file_arg(2, ".gcl file")?;
-            client.open(engine, index, &gcl).map(|(_, reply)| reply)
+            Request::Open { engine, index, gcl }
         }
-        "eco" => {
-            let sid = sid_arg(0)?;
-            let eco = file_arg(1, ".eco file")?;
-            client.eco(sid, &eco)
-        }
+        "eco" => Request::Eco {
+            sid: sid_arg(0)?,
+            eco: file_arg(1, ".eco file")?,
+        },
         "route" => {
             let full = match rest.get(1).map(|s| s.as_str()) {
                 None => false,
                 Some("full") => true,
                 Some(other) => return Err(format!("unknown route modifier {other:?}")),
             };
-            client.route(sid_arg(0)?, full)
+            Request::Route {
+                sid: sid_arg(0)?,
+                full,
+                deadline_ms,
+            }
         }
-        "ripup" => {
-            let sid = sid_arg(0)?;
-            let net = arg(1, "net name")?;
-            client.rip_up(sid, net)
-        }
+        "ripup" => Request::RipUp {
+            sid: sid_arg(0)?,
+            net: arg(1, "net name")?.to_string(),
+        },
         "negotiate" => {
-            let sid = sid_arg(0)?;
             let max_iters = match rest.get(1) {
                 None => None,
                 Some(token) => Some(token.parse::<u64>().map_err(|_| {
                     format!("{verb}: iteration cap must be a positive integer, got {token:?}")
                 })?),
             };
-            client.negotiate(sid, max_iters)
+            Request::Negotiate {
+                sid: sid_arg(0)?,
+                max_iters,
+                deadline_ms,
+            }
         }
-        "stats" => {
-            let sid = match rest.first() {
+        "stats" => Request::Stats {
+            sid: match rest.first() {
                 Some(_) => Some(sid_arg(0)?),
                 None => None,
-            };
-            client.stats(sid)
-        }
-        "dump" => client.dump(sid_arg(0)?),
-        "close" => client.close_session(sid_arg(0)?),
+            },
+        },
+        "dump" => Request::Dump { sid: sid_arg(0)? },
+        "close" => Request::Close { sid: sid_arg(0)? },
         other => return Err(format!("unknown client command {other:?}; try gcrt help")),
     };
-    let reply = reply.map_err(|e| e.to_string())?;
+    let timeout = std::time::Duration::from_millis(timeout_ms.max(1));
+    let policy = RetryPolicy {
+        max_retries: retries.min(u64::from(u32::MAX)) as u32,
+        connect_timeout: timeout,
+        io_timeout: Some(timeout),
+        ..RetryPolicy::default()
+    };
+    let mut client = RetryingClient::new(addr, policy);
+    let reply: Result<Reply, ClientError> = client.expect_ok(&request);
+    let reply = reply.map_err(|e| format!("{addr}: {e}"))?;
     println!("OK {}", reply.head);
     print!("{}", reply.body);
     Ok(())

@@ -127,10 +127,10 @@ pub use gcr_workload as workload;
 /// The most common imports in one place.
 pub mod prelude {
     pub use gcr_core::{
-        route_two_points, BatchConfig, BatchRouter, EngineCaps, GlobalRouter, GlobalRouting,
-        GridEngine, GridlessEngine, HightowerEngine, NetRoute, PlaneIndexKind, RerouteOutcome,
-        RouteError, RouteTree, RoutedPath, RouterConfig, RoutingEngine, RoutingSession,
-        SearchScratch, SessionBuilder, SessionStats,
+        route_two_points, BatchConfig, BatchRouter, Budget, CancelReason, EngineCaps, GlobalRouter,
+        GlobalRouting, GridEngine, GridlessEngine, HightowerEngine, NetRoute, PlaneIndexKind,
+        RerouteOutcome, RouteError, RouteTree, RoutedPath, RouterConfig, RoutingEngine,
+        RoutingSession, SearchScratch, SessionBuilder, SessionStats,
     };
     pub use gcr_geom::{
         Axis, Coord, Dir, Interval, Plane, PlaneIndex, Point, Polyline, Rect, Segment, ShardedPlane,

@@ -7,7 +7,7 @@
 //! daemon must survive, and the registry behaviors (LRU eviction,
 //! capacity, concurrent clients) observed through the wire.
 
-use std::io::{BufReader, Write};
+use std::io::{BufReader, Read, Write};
 use std::net::TcpStream;
 use std::thread;
 
@@ -15,12 +15,25 @@ use gcr::prelude::*;
 use gcr::router::{apply_eco, parse_eco, NegotiationConfig};
 use gcr::service::{
     dump_routing, format_stats, proto, Client, ClientError, EngineKind, ErrCode, Request, Response,
-    Server, ServerConfig, WireError,
+    RetryPolicy, RetryingClient, Server, ServerConfig, WireError, WireLimits,
 };
 use rand::{rngs::StdRng, Rng, SeedableRng};
 
-/// Starts a server on an ephemeral loopback port; returns its address
-/// and the join handle delivering the final report.
+/// Starts a server from an explicit config on an ephemeral loopback
+/// port; returns its address and the join handle with the final report.
+fn spawn_server_with(
+    config: ServerConfig,
+) -> (
+    std::net::SocketAddr,
+    thread::JoinHandle<gcr::service::ServerReport>,
+) {
+    let server = Server::bind(&config).expect("bind ephemeral loopback port");
+    let addr = server.local_addr().unwrap();
+    let handle = thread::spawn(move || server.run().expect("server run"));
+    (addr, handle)
+}
+
+/// [`spawn_server_with`] at the default hardening settings.
 fn spawn_server(
     capacity: usize,
     workers: usize,
@@ -28,15 +41,11 @@ fn spawn_server(
     std::net::SocketAddr,
     thread::JoinHandle<gcr::service::ServerReport>,
 ) {
-    let server = Server::bind(&ServerConfig {
+    spawn_server_with(ServerConfig {
         capacity,
         workers,
         ..ServerConfig::default()
     })
-    .expect("bind ephemeral loopback port");
-    let addr = server.local_addr().unwrap();
-    let handle = thread::spawn(move || server.run().expect("server run"));
-    (addr, handle)
 }
 
 fn demo_gcl() -> String {
@@ -93,6 +102,7 @@ fn random_request(rng: &mut StdRng) -> Request {
         3 => Request::Route {
             sid: rng.gen_range(0..1000u64),
             full: rng.gen(),
+            deadline_ms: rng.gen::<bool>().then(|| rng.gen_range(0..10_000u64)),
         },
         4 => Request::RipUp {
             sid: rng.gen_range(0..1000u64),
@@ -118,17 +128,7 @@ fn random_response(rng: &mut StdRng) -> Response {
             body: random_body(rng),
         }
     } else {
-        let codes = [
-            ErrCode::BadRequest,
-            ErrCode::UnknownVerb,
-            ErrCode::UnknownSession,
-            ErrCode::UnknownName,
-            ErrCode::Parse,
-            ErrCode::Layout,
-            ErrCode::Truncated,
-            ErrCode::ShuttingDown,
-            ErrCode::Internal,
-        ];
+        let codes = ErrCode::ALL;
         Response::Err(WireError::new(
             codes[rng.gen_range(0..codes.len())],
             format!("reason {}", rng.gen_range(0..100u32)),
@@ -181,7 +181,16 @@ fn pipelined_requests_decode_in_sequence() {
             sid: 3,
             eco: ".dotted\nmove a 1 0\n".to_string(),
         },
-        Request::Route { sid: 3, full: true },
+        Request::Route {
+            sid: 3,
+            full: true,
+            deadline_ms: None,
+        },
+        Request::Negotiate {
+            sid: 3,
+            max_iters: Some(2),
+            deadline_ms: Some(750),
+        },
         Request::Shutdown,
     ];
     let mut wire = Vec::new();
@@ -544,6 +553,275 @@ fn concurrent_clients_route_independent_sessions() {
     let report = handle.join().unwrap();
     assert_eq!(report.sessions_open, 0);
     assert!(report.connections >= 5);
+}
+
+// ------------------------------------------------- hardening via wire
+
+/// A `DEADLINE 0` budget cancels deterministically before any work
+/// commits: the request answers the typed `ERR DEADLINE`, the session
+/// is byte-identical to its pre-request state, and an uninterrupted
+/// retry produces exactly what a never-cancelled run produces.
+#[test]
+fn route_deadline_zero_is_typed_and_rolls_back() {
+    let gcl = alley_gcl();
+    let (addr, handle) = spawn_server(4, 2);
+    let mut client = Client::connect(addr).unwrap();
+    let (sid, _) = client
+        .open(EngineKind::Gridless, PlaneIndexKind::Sharded, &gcl)
+        .unwrap();
+
+    // In-process twin that never sees a cancellation.
+    let layout = gcr::layout::format::parse(&gcl).unwrap();
+    let mut local = RoutingSession::builder(layout)
+        .config(RouterConfig::default())
+        .index(PlaneIndexKind::Sharded)
+        .build();
+    let virgin_dump = dump_routing(&local.routing());
+
+    match client.route_deadline(sid, false, Some(0)) {
+        Err(ClientError::Server(e)) => assert_eq!(e.code, ErrCode::Deadline, "{e}"),
+        other => panic!("expected ERR DEADLINE, got {other:?}"),
+    }
+    // Nothing committed: the dump equals a session that never routed.
+    assert_eq!(client.dump(sid).unwrap().body, virgin_dump);
+
+    // Retry with a generous deadline: identical to the unbudgeted run
+    // (the budget stops work, it never steers it).
+    local.route_all();
+    let expected = dump_routing(&local.routing());
+    client.route_deadline(sid, false, Some(60_000)).unwrap();
+    assert_eq!(client.dump(sid).unwrap().body, expected);
+
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+}
+
+#[test]
+fn negotiate_deadline_zero_is_typed_and_rolls_back() {
+    let gcl = alley_gcl();
+    let (addr, handle) = spawn_server(4, 2);
+    let mut client = Client::connect(addr).unwrap();
+    let (sid, _) = client
+        .open(EngineKind::Gridless, PlaneIndexKind::Sharded, &gcl)
+        .unwrap();
+    client.route(sid, false).unwrap();
+    let pre = client.dump(sid).unwrap().body;
+
+    match client.negotiate_deadline(sid, None, Some(0)) {
+        Err(ClientError::Server(e)) => assert_eq!(e.code, ErrCode::Deadline, "{e}"),
+        other => panic!("expected ERR DEADLINE, got {other:?}"),
+    }
+    // The checkpoint restore leaves the session byte-identical.
+    assert_eq!(client.dump(sid).unwrap().body, pre);
+
+    // Cancelled-then-retried equals uninterrupted, against an
+    // in-process twin driven without any budget.
+    let layout = gcr::layout::format::parse(&gcl).unwrap();
+    let mut local = RoutingSession::builder(layout)
+        .config(RouterConfig::default())
+        .index(PlaneIndexKind::Sharded)
+        .build();
+    local.route_all();
+    local.route_negotiated(&NegotiationConfig::default());
+    client.negotiate_deadline(sid, None, Some(60_000)).unwrap();
+    assert_eq!(
+        client.dump(sid).unwrap().body,
+        dump_routing(&local.routing())
+    );
+
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+}
+
+#[test]
+fn oversize_line_and_body_answer_too_large() {
+    let (addr, handle) = spawn_server_with(ServerConfig {
+        capacity: 2,
+        workers: 1,
+        limits: WireLimits {
+            max_line: 128,
+            max_body: 1024,
+        },
+        ..ServerConfig::default()
+    });
+    // A request line past max_line.
+    let mut long_line = vec![b'A'; 1000];
+    long_line.push(b'\n');
+    match raw_exchange(addr, &long_line) {
+        Response::Err(e) => assert_eq!(e.code, ErrCode::TooLarge, "{e}"),
+        Response::Ok { head, .. } => panic!("unexpected OK {head}"),
+    }
+    // A dot-framed body past max_body (still properly terminated).
+    let mut oversize = b"OPEN gridless flat\n".to_vec();
+    for _ in 0..200 {
+        oversize.extend_from_slice(b"net filler 0 0 9 9\n");
+    }
+    oversize.extend_from_slice(b".\n");
+    match raw_exchange(addr, &oversize) {
+        Response::Err(e) => assert_eq!(e.code, ErrCode::TooLarge, "{e}"),
+        Response::Ok { head, .. } => panic!("unexpected OK {head}"),
+    }
+    // The server survives both and still answers.
+    let mut client = Client::connect(addr).unwrap();
+    client.ping().unwrap();
+    client.shutdown().unwrap();
+    let report = handle.join().unwrap();
+    assert!(report.errors >= 2);
+}
+
+/// An idle keep-alive connection past the read timeout closes quietly
+/// (EOF, no reply); a slow-loris that stalls *mid-request* is answered
+/// `ERR TIMEOUT` before the close.
+#[test]
+fn read_timeout_idle_closes_quietly_and_midframe_is_typed() {
+    let (addr, handle) = spawn_server_with(ServerConfig {
+        capacity: 2,
+        workers: 2,
+        read_timeout_ms: 200,
+        ..ServerConfig::default()
+    });
+
+    // Half-open idle connection: never sends a byte.
+    let idle = TcpStream::connect(addr).unwrap();
+    idle.set_read_timeout(Some(std::time::Duration::from_secs(10)))
+        .unwrap();
+    let mut buf = Vec::new();
+    let n = (&idle).read_to_end(&mut buf).unwrap();
+    assert_eq!(n, 0, "idle timeout closes without a reply");
+
+    // Slow loris: part of a request line, then silence.
+    let mut loris = TcpStream::connect(addr).unwrap();
+    loris.write_all(b"ROU").unwrap();
+    loris
+        .set_read_timeout(Some(std::time::Duration::from_secs(10)))
+        .unwrap();
+    let mut reader = BufReader::new(loris);
+    match proto::read_response(&mut reader).unwrap() {
+        Response::Err(e) => assert_eq!(e.code, ErrCode::Timeout, "{e}"),
+        Response::Ok { head, .. } => panic!("unexpected OK {head}"),
+    }
+
+    let mut client = Client::connect(addr).unwrap();
+    client.shutdown().unwrap();
+    let report = handle.join().unwrap();
+    assert!(report.timeouts >= 2, "both timeouts counted: {report:?}");
+}
+
+/// With one worker pinned by a keep-alive connection and the queue
+/// full, the acceptor sheds the next connection with `ERR BUSY`; a
+/// [`RetryingClient`] rides the backoff until capacity frees up.
+#[test]
+fn full_queue_sheds_busy_and_retry_recovers() {
+    let (addr, handle) = spawn_server_with(ServerConfig {
+        capacity: 2,
+        workers: 1,
+        queue: 1,
+        read_timeout_ms: 500,
+        ..ServerConfig::default()
+    });
+    // Pin the only worker with a live keep-alive connection...
+    let mut pinned = Client::connect(addr).unwrap();
+    pinned.ping().unwrap();
+    // ...fill the one queue slot...
+    let queued = TcpStream::connect(addr).unwrap();
+    // ...and the next connection is shed inline.
+    let mut shed = Client::connect(addr).unwrap();
+    match shed.ping() {
+        Err(ClientError::Server(e)) => assert_eq!(e.code, ErrCode::Busy, "{e}"),
+        other => panic!("expected ERR BUSY, got {other:?}"),
+    }
+
+    // A retrying client keeps backing off on BUSY; once the pinned
+    // connection closes, a retry lands and succeeds.
+    let retrier = thread::spawn(move || {
+        let mut client = RetryingClient::new(
+            addr.to_string(),
+            RetryPolicy {
+                max_retries: 40,
+                base: std::time::Duration::from_millis(10),
+                cap: std::time::Duration::from_millis(100),
+                ..RetryPolicy::default()
+            },
+        );
+        client
+            .expect_ok(&Request::Ping)
+            .expect("retry until served")
+    });
+    thread::sleep(std::time::Duration::from_millis(100));
+    drop(pinned);
+    drop(queued);
+    retrier.join().unwrap();
+
+    let mut client = Client::connect(addr).unwrap();
+    client.shutdown().unwrap();
+    let report = handle.join().unwrap();
+    assert!(report.shed >= 1, "shed connections counted: {report:?}");
+}
+
+/// A request that panics poisons only its own session: the worker and
+/// connection survive, the session answers `ERR QUARANTINED` until
+/// `CLOSE`d, and every other session keeps serving byte-identical
+/// state.
+#[test]
+fn worker_panic_quarantines_only_its_session() {
+    let (addr, handle) = spawn_server_with(ServerConfig {
+        capacity: 4,
+        workers: 2,
+        crash_probe: true,
+        ..ServerConfig::default()
+    });
+    let gcl = demo_gcl();
+    let mut client = Client::connect(addr).unwrap();
+    let (victim, _) = client
+        .open(EngineKind::Gridless, PlaneIndexKind::Flat, &gcl)
+        .unwrap();
+    let (bystander, _) = client
+        .open(EngineKind::Gridless, PlaneIndexKind::Flat, &gcl)
+        .unwrap();
+    client.route(victim, false).unwrap();
+    client.route(bystander, false).unwrap();
+    let bystander_dump = client.dump(bystander).unwrap().body;
+
+    // The gated probe panics inside the request; the reply is typed
+    // and arrives on the SAME connection (the worker survived).
+    match client.request(&Request::Crash { sid: victim }).unwrap() {
+        Response::Err(e) => assert_eq!(e.code, ErrCode::Quarantined, "{e}"),
+        Response::Ok { head, .. } => panic!("unexpected OK {head}"),
+    }
+    // The victim is quarantined for everything but CLOSE.
+    match client.route(victim, false) {
+        Err(ClientError::Server(e)) => assert_eq!(e.code, ErrCode::Quarantined, "{e}"),
+        other => panic!("expected ERR QUARANTINED, got {other:?}"),
+    }
+    match client.dump(victim) {
+        Err(ClientError::Server(e)) => assert_eq!(e.code, ErrCode::Quarantined, "{e}"),
+        other => panic!("expected ERR QUARANTINED, got {other:?}"),
+    }
+    // The bystander session is untouched, byte for byte.
+    assert_eq!(client.dump(bystander).unwrap().body, bystander_dump);
+    // CLOSE reclaims the quarantined slot; a fresh OPEN works.
+    client.close_session(victim).unwrap();
+    let (fresh, _) = client
+        .open(EngineKind::Gridless, PlaneIndexKind::Flat, &gcl)
+        .unwrap();
+    client.route(fresh, false).unwrap();
+
+    client.shutdown().unwrap();
+    let report = handle.join().unwrap();
+    assert_eq!(report.panics, 1);
+}
+
+/// Without the opt-in probe config, `CRASH` is just an unknown verb.
+#[test]
+fn crash_probe_is_gated_off_by_default() {
+    let (addr, handle) = spawn_server(2, 1);
+    let mut client = Client::connect(addr).unwrap();
+    match client.request(&Request::Crash { sid: 1 }).unwrap() {
+        Response::Err(e) => assert_eq!(e.code, ErrCode::UnknownVerb, "{e}"),
+        Response::Ok { head, .. } => panic!("unexpected OK {head}"),
+    }
+    client.shutdown().unwrap();
+    handle.join().unwrap();
 }
 
 #[test]

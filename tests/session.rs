@@ -12,7 +12,7 @@
 
 use gcr::prelude::*;
 use gcr::router::congestion::CongestionAnalysis;
-use gcr::router::{apply_eco, parse_eco};
+use gcr::router::{apply_eco, parse_eco, NegotiationConfig};
 use gcr::workload::scaling_instance;
 
 fn assert_routing_identical(reference: &GlobalRouting, other: &GlobalRouting, what: &str) {
@@ -499,4 +499,160 @@ fn demo_eco_fixture_replays_cleanly() {
         .build()
         .route_all();
     assert_routing_identical(&fresh, &session.routing(), "demo eco");
+}
+
+// ------------------------------------------------- budget cancellation
+
+/// A cancelled request must commit nothing — the session stays
+/// byte-identical to its pre-request state — and a fresh retry must
+/// produce exactly what an uninterrupted, unbudgeted run produces,
+/// across {flat, sharded} × {serial, parallel}.
+#[test]
+fn cancelled_route_all_rolls_back_and_retry_is_identical() {
+    for case in 0..4u64 {
+        let layout = scaling_instance(2, 2, 5, 2, case);
+        for (batch, label) in [
+            (BatchConfig::serial(), "flat-serial"),
+            (
+                BatchConfig::serial().with_index(PlaneIndexKind::Sharded),
+                "sharded-serial",
+            ),
+            (BatchConfig::default(), "flat-parallel"),
+            (BatchConfig::sharded(), "sharded-parallel"),
+        ] {
+            let what = format!("{label}/case {case}");
+            let reference = session_for(&layout, &GridlessEngine, batch).route_all();
+
+            let mut session = session_for(&layout, &GridlessEngine, batch);
+            // A pre-raised cancel flag: deterministic immediate stop.
+            let cancelled = Budget::unlimited();
+            cancelled.cancel();
+            match session.route_all_budgeted(&cancelled) {
+                Err(RouteError::Cancelled { reason, .. }) => {
+                    assert_eq!(reason, CancelReason::Cancelled, "{what}");
+                }
+                other => panic!("{what}: expected Cancelled, got {other:?}"),
+            }
+            assert!(
+                session.routing().routes.is_empty(),
+                "{what}: cancel commits nothing"
+            );
+
+            // A zero expansion ceiling: cancels on the first check.
+            let starved = Budget::unlimited().with_expansion_ceiling(0);
+            match session.route_all_budgeted(&starved) {
+                Err(RouteError::Cancelled { reason, .. }) => {
+                    assert_eq!(reason, CancelReason::ExpansionCeiling, "{what}");
+                }
+                other => panic!("{what}: expected Cancelled, got {other:?}"),
+            }
+            assert!(session.routing().routes.is_empty(), "{what}");
+
+            // Retry under a generous budget: the budget stops work, it
+            // never steers it — identical to the unbudgeted run.
+            let generous = Budget::unlimited().with_deadline(std::time::Duration::from_secs(600));
+            let routed = session.route_all_budgeted(&generous).unwrap();
+            assert_routing_identical(&reference, &routed, &format!("{what}: retry"));
+            assert_routing_identical(&reference, &session.routing(), &format!("{what}: state"));
+        }
+    }
+}
+
+/// Cancelling a dirty reroute keeps every ripped net dirty (nothing is
+/// half-committed), and the retried reroute reproduces the fresh route.
+#[test]
+fn cancelled_reroute_dirty_preserves_the_dirty_set() {
+    for batch in [BatchConfig::serial(), BatchConfig::sharded()] {
+        let layout = scaling_instance(2, 2, 6, 2, 1);
+        let mut session = session_for(&layout, &GridlessEngine, batch);
+        let fresh = session.route_all();
+        let ids = session.layout().net_ids();
+        for id in ids.iter().step_by(2) {
+            session.rip_up(*id);
+        }
+        let dirty_before = session.dirty_nets();
+        assert!(!dirty_before.is_empty());
+
+        let cancelled = Budget::unlimited();
+        cancelled.cancel();
+        assert!(matches!(
+            session.reroute_dirty_budgeted(&cancelled),
+            Err(RouteError::Cancelled { .. })
+        ));
+        assert_eq!(
+            session.dirty_nets(),
+            dirty_before,
+            "cancelled reroute leaves the dirty set intact"
+        );
+
+        session
+            .reroute_dirty_budgeted(&Budget::unlimited())
+            .unwrap();
+        assert_routing_identical(&fresh, &session.routing(), "retried reroute");
+    }
+}
+
+/// A congested channel (the alley from `tests/service.rs`): three nets
+/// through a 2-wide gap, so negotiation reroutes for real.
+fn alley_layout() -> Layout {
+    let mut text = String::from(
+        "gcl 1\nbounds 0 0 60 40\nspacing 1\n\
+         cell a 10 10 29 30\ncell b 31 10 50 30\n",
+    );
+    for (i, x) in [29i64, 30, 31].into_iter().enumerate() {
+        text.push_str(&format!(
+            "net n{i}\nterminal s\npin - {x} 0\nterminal t\npin - {x} 40\n"
+        ));
+    }
+    gcr::layout::format::parse(&text).unwrap()
+}
+
+/// A cancelled negotiation restores the checkpoint byte-identically,
+/// and the retried negotiation equals an uninterrupted one.
+#[test]
+fn cancelled_negotiation_restores_the_checkpoint() {
+    let layout = alley_layout();
+    for index in [PlaneIndexKind::Flat, PlaneIndexKind::Sharded] {
+        let mut twin = RoutingSession::builder(layout.clone())
+            .config(RouterConfig::default())
+            .index(index)
+            .build();
+        let mut session = RoutingSession::builder(layout.clone())
+            .config(RouterConfig::default())
+            .index(index)
+            .build();
+        session.route_all();
+        twin.route_all();
+
+        let cancelled = Budget::unlimited();
+        cancelled.cancel();
+        assert!(matches!(
+            session.route_negotiated_budgeted(&NegotiationConfig::default(), &cancelled),
+            Err(RouteError::Cancelled { .. })
+        ));
+        assert_routing_identical(
+            &twin.routing(),
+            &session.routing(),
+            &format!("{index:?}: checkpoint restore"),
+        );
+
+        let report = session
+            .route_negotiated_budgeted(&NegotiationConfig::default(), &Budget::unlimited())
+            .unwrap();
+        let twin_report = twin.route_negotiated(&NegotiationConfig::default());
+        assert!(
+            twin_report.before.total_overflow() > 0,
+            "the alley must congest for this test to mean anything"
+        );
+        assert_eq!(report.iterations, twin_report.iterations);
+        assert_eq!(
+            report.after.total_overflow(),
+            twin_report.after.total_overflow()
+        );
+        assert_routing_identical(
+            &twin.routing(),
+            &session.routing(),
+            &format!("{index:?}: retry equals uninterrupted"),
+        );
+    }
 }
