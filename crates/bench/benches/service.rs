@@ -16,17 +16,27 @@
 //! number is a time for *the same answer*.
 //!
 //! Writes machine-readable `BENCH_service.json` at the repository root
-//! (CI publishes it next to `BENCH_session.json`), and enforces two
+//! (CI publishes it next to `BENCH_session.json`), and enforces three
 //! acceptance bars: served warm-reroute latency within 2× of in-process
-//! on the 120-net instance (flat index), and the hardening overhead —
-//! the same warm reroute under a generous `DEADLINE` budget — within
-//! 5% of the unbudgeted path.
+//! on the 120-net instance (flat index), the hardening overhead — the
+//! same warm reroute under a generous `DEADLINE` budget — within 5% of
+//! the unbudgeted path, and the telemetry overhead — the same warm
+//! reroute with the collection switch on — within 2% of the
+//! kill-switched path (which reduces every instrumentation site to one
+//! relaxed load and a branch, the un-instrumented baseline).
+//!
+//! The harness also drives [`gcr_service::loadgen`] against the same
+//! daemon on two tiers (120 and 1000 nets) and records the measured
+//! req/s ceiling plus p50/p95/p99, cross-checking the client-side
+//! histogram against the server's `METRICS` exposition bucket-for-
+//! bucket.
 
 use std::time::Instant;
 
 use gcr_core::{BatchConfig, PlaneIndexKind, RouterConfig, RoutingSession};
 use gcr_layout::format;
-use gcr_service::{dump_routing, Client, EngineKind, Server, ServerConfig};
+use gcr_service::{dump_routing, loadgen, Client, EngineKind, Server, ServerConfig};
+use gcr_telemetry::{histogram_buckets, parse_exposition, quantile_bucket_index};
 use gcr_workload::scaling_instance;
 
 /// The acceptance instance: 120 nets on a 6×6 macro grid (the largest
@@ -61,9 +71,11 @@ fn main() {
         .to_string();
     let warm_eco = format!("ripup {victim}\nreroute\n");
 
+    // Workers hold a connection for its lifetime, so the pool must
+    // cover the persistent bench client plus both loadgen clients.
     let server = Server::bind(&ServerConfig {
-        capacity: 4,
-        workers: 2,
+        capacity: 8,
+        workers: 4,
         ..ServerConfig::default()
     })
     .expect("bind loopback");
@@ -221,6 +233,118 @@ fn main() {
          {hardening_ratio:.3}x the unbudgeted one"
     );
 
+    // Telemetry overhead: the same warm ECO reroute with the collection
+    // switch on and off, interleaved sample-by-sample so both arms see
+    // the same machine state. The off arm is the un-instrumented
+    // baseline — the kill switch reduces every per-request
+    // instrumentation site to one relaxed load and a branch — so the
+    // gap between the two arms is the whole cost of the metrics
+    // registry, span timing, and slow-log machinery on the hot path.
+    let (sid, _) = client
+        .open(EngineKind::Gridless, PlaneIndexKind::Flat, &gcl)
+        .expect("open");
+    client.route(sid, false).expect("cold route");
+    let telemetry_samples = REROUTE_SAMPLES * 2;
+    let mut on_times = Vec::with_capacity(telemetry_samples);
+    let mut off_times = Vec::with_capacity(telemetry_samples);
+    for _ in 0..telemetry_samples {
+        gcr_telemetry::set_enabled(true);
+        let start = Instant::now();
+        let reply = client.eco(sid, &warm_eco).expect("warm eco, telemetry on");
+        on_times.push(start.elapsed().as_secs_f64());
+        assert_eq!(reply.int_field("rerouted"), Some(1));
+
+        gcr_telemetry::set_enabled(false);
+        let start = Instant::now();
+        let reply = client.eco(sid, &warm_eco).expect("warm eco, telemetry off");
+        off_times.push(start.elapsed().as_secs_f64());
+        assert_eq!(reply.int_field("rerouted"), Some(1));
+    }
+    gcr_telemetry::set_enabled(true);
+    client.close_session(sid).expect("close");
+    let telem_on = stats(&on_times);
+    let telem_off = stats(&off_times);
+    let telemetry_ratio = telem_on.min_ms / telem_off.min_ms;
+    for (mode, m) in [
+        ("warm-reroute-telemetry-on", &telem_on),
+        ("warm-reroute-telemetry-off", &telem_off),
+    ] {
+        println!(
+            "service/flat/{label:<10} {mode:<22} mean {:9.4} ms  min {:9.4} ms",
+            m.mean_ms, m.min_ms
+        );
+        rows.push(format!(
+            concat!(
+                "    {{\"instance\": \"{}\", \"nets\": {}, \"index\": \"flat\", ",
+                "\"mode\": \"{}\", \"mean_ms\": {:.4}, \"min_ms\": {:.4}}}"
+            ),
+            label, nets, mode, m.mean_ms, m.min_ms
+        ));
+    }
+    println!(
+        "service/flat/{label:<10} telemetry overhead: instrumented warm reroute is \
+         {telemetry_ratio:.3}x the kill-switched one"
+    );
+
+    // Loadgen tiers: the measured req/s ceiling under closed-loop
+    // concurrency, with the client-side histogram cross-checked against
+    // the server's METRICS view of the same traffic (per-run cumulative
+    // bucket deltas, so earlier bench phases don't pollute the check).
+    for (tier_nets, per_client) in [(120usize, 25u64), (1000, 5)] {
+        let before = parse_exposition(&client.metrics().expect("metrics").body);
+        let config = loadgen::LoadGenConfig {
+            addr: addr.to_string(),
+            clients: 2,
+            requests_per_client: per_client,
+            nets: tier_nets,
+            seed: 7,
+            engine: EngineKind::Gridless,
+            index: PlaneIndexKind::Sharded,
+            kind: loadgen::LoadKind::Reroute,
+        };
+        let report = loadgen::run(&config).expect("loadgen run");
+        assert_eq!(report.errors, 0, "loadgen {tier_nets}: clean run");
+        assert_eq!(report.requests, 2 * per_client, "loadgen {tier_nets}");
+        let after = parse_exposition(&client.metrics().expect("metrics").body);
+
+        let hist_before = histogram_buckets(&before, "gcr_service_request_us", &[("verb", "eco")]);
+        let hist_after = histogram_buckets(&after, "gcr_service_request_us", &[("verb", "eco")]);
+        let run_buckets: Vec<(f64, u64)> = hist_after
+            .iter()
+            .enumerate()
+            .map(|(i, &(le, cum))| {
+                let prior = hist_before.get(i).map_or(0, |&(_, c)| c);
+                (le, cum - prior)
+            })
+            .collect();
+        for q in [0.50, 0.95, 0.99] {
+            let client_idx = report.latency.quantile_bucket(q).expect("client histogram");
+            let server_idx = quantile_bucket_index(&run_buckets, q).expect("server histogram");
+            assert!(
+                client_idx.abs_diff(server_idx) <= 1,
+                "loadgen {tier_nets} q{q}: client bucket {client_idx} vs server {server_idx}"
+            );
+        }
+        println!(
+            "service/loadgen/{tier_nets:<6} reroute x2 clients: {}",
+            report.summary()
+        );
+        rows.push(format!(
+            concat!(
+                "    {{\"instance\": \"loadgen-{}\", \"nets\": {}, \"index\": \"sharded\", ",
+                "\"mode\": \"loadgen-reroute\", \"clients\": 2, \"requests\": {}, ",
+                "\"req_per_s\": {:.1}, \"p50_us\": {}, \"p95_us\": {}, \"p99_us\": {}}}"
+            ),
+            tier_nets,
+            tier_nets,
+            report.requests,
+            report.req_per_s,
+            report.quantile_us(0.50).unwrap_or(0),
+            report.quantile_us(0.95).unwrap_or(0),
+            report.quantile_us(0.99).unwrap_or(0),
+        ));
+    }
+
     client.shutdown().expect("shutdown");
     daemon.join().expect("daemon thread");
 
@@ -232,7 +356,8 @@ fn main() {
         "{{\n  \"bench\": \"service-transport\",\n  \"unit\": \"ms\",\n  \
          \"ping_samples\": {PING_SAMPLES},\n  \"reroute_samples\": {REROUTE_SAMPLES},\n  \
          \"flat_served_over_inproc\": {flat_ratio:.3},\n  \
-         \"hardening_deadline_over_plain\": {hardening_ratio:.3},\n  \"results\": [\n{}\n  ]\n}}\n",
+         \"hardening_deadline_over_plain\": {hardening_ratio:.3},\n  \
+         \"telemetry_on_over_off\": {telemetry_ratio:.3},\n  \"results\": [\n{}\n  ]\n}}\n",
         rows.join(",\n")
     );
     let path = root.join("BENCH_service.json");
@@ -252,5 +377,14 @@ fn main() {
         hardening_ratio <= 1.05,
         "DEADLINE-budgeted warm reroute must be within 5% of the plain one: \
          got {hardening_ratio:.3}x"
+    );
+    // The telemetry subsystem must be close to free on the hot path: an
+    // instrumented warm reroute may not cost more than 2% over the
+    // kill-switched (un-instrumented) one. The min-over-samples
+    // comparison of interleaved arms removes scheduler noise.
+    assert!(
+        telemetry_ratio <= 1.02,
+        "instrumented warm reroute must be within 2% of the kill-switched one: \
+         got {telemetry_ratio:.3}x"
     );
 }

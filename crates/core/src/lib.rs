@@ -70,6 +70,7 @@ mod scratch;
 mod session;
 mod space;
 mod state;
+mod telem;
 mod tree;
 
 pub use batch::{BatchConfig, BatchRouter, PlaneIndexKind};

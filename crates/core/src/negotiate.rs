@@ -306,6 +306,13 @@ fn negotiate_impl<E: RoutingEngine>(
             restored = Some(best.1);
         }
     }
+    if let Some(m) = crate::telem::live() {
+        m.negotiation_runs.inc();
+        m.negotiation_rounds.add(iterations as u64);
+        if current.total_overflow() > 0 {
+            m.negotiation_overflowed.inc();
+        }
+    }
     Ok(NegotiationReport {
         converged: current.total_overflow() == 0,
         routing: session.routing(),

@@ -729,6 +729,9 @@ impl<E: RoutingEngine> RoutingSession<E> {
         }
         if state.attempts > 0 {
             self.reroutes += 1;
+            if let Some(m) = crate::telem::live() {
+                m.reroutes.inc();
+            }
         }
         state.attempts += 1;
     }
@@ -864,6 +867,10 @@ impl<E: RoutingEngine> RoutingSession<E> {
         budget: Option<&Budget>,
     ) -> Result<RerouteOutcome, RouteError> {
         let ids = self.dirty_nets();
+        if let Some(m) = crate::telem::live() {
+            m.reroute_passes.inc();
+            m.dirty_set_size.observe(ids.len() as u64);
+        }
         let results = self.route_many(&ids, penalty, budget);
         if let Some(e) = Self::first_cancellation(&results) {
             return Err(e);
@@ -974,6 +981,9 @@ impl<E: RoutingEngine> RoutingSession<E> {
 
     /// Restores a [`SessionCheckpoint`] taken on this session.
     pub(crate) fn restore(&mut self, checkpoint: SessionCheckpoint) {
+        if let Some(m) = crate::telem::live() {
+            m.rollbacks.inc();
+        }
         let SessionCheckpoint {
             slots,
             dirty_grid,

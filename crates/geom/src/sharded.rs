@@ -57,6 +57,7 @@ use std::sync::{Arc, Mutex};
 // binary-searched ray cast — SipHash would eat the entire win. The
 // hasher is shared with the A* state index (`gcr_search::fnv`).
 use gcr_search::{FnvBuildHasher as FnvBuild, FnvHasher};
+use gcr_telemetry::Counter;
 
 use crate::corners::CornerIndex;
 use crate::plane::ray_entry;
@@ -97,6 +98,42 @@ impl QueryKey {
         std::hash::Hash::hash(self, &mut h);
         h.finish()
     }
+
+    /// Index into the per-kind registry counters (ray/segment/corner).
+    fn kind(&self) -> usize {
+        match self {
+            QueryKey::Ray(..) => 0,
+            QueryKey::Segment(..) => 1,
+            QueryKey::Corners(..) => 2,
+        }
+    }
+}
+
+/// Process-global hit/miss counters per query kind, registered as
+/// `gcr_geom_cache_{hits,misses}_total{kind=...}`. Per-plane counts
+/// stay on the owning [`QueryCache`] (the exact numbers
+/// [`ShardedPlane::cache_stats`] reports); these aggregate across every
+/// plane in the process for the `METRICS` exposition.
+struct CacheMetrics {
+    hits: [&'static Counter; 3],
+    misses: [&'static Counter; 3],
+}
+
+fn cache_metrics() -> &'static CacheMetrics {
+    static METRICS: std::sync::OnceLock<CacheMetrics> = std::sync::OnceLock::new();
+    METRICS.get_or_init(|| {
+        let reg = gcr_telemetry::global();
+        const HITS_HELP: &str = "Sharded-plane query-cache hits, by query kind";
+        const MISSES_HELP: &str = "Sharded-plane query-cache misses, by query kind";
+        CacheMetrics {
+            hits: ["ray", "segment", "corner"].map(|kind| {
+                reg.counter_labeled("gcr_geom_cache_hits_total", HITS_HELP, "kind", kind)
+            }),
+            misses: ["ray", "segment", "corner"].map(|kind| {
+                reg.counter_labeled("gcr_geom_cache_misses_total", MISSES_HELP, "kind", kind)
+            }),
+        }
+    })
 }
 
 impl std::hash::Hash for QueryKey {
@@ -137,11 +174,13 @@ enum QueryValue {
 /// One lock-guarded way of the memo: generation-stamped values by key.
 type CacheWay = Mutex<HashMap<QueryKey, (u64, QueryValue), FnvBuild>>;
 
-/// The sharded, generation-stamped query memo.
+/// The sharded, generation-stamped query memo. The hit/miss counters
+/// are the telemetry primitives directly — per-plane exact counts with
+/// no second bookkeeping copy.
 struct QueryCache {
     ways: Vec<CacheWay>,
-    hits: AtomicU64,
-    misses: AtomicU64,
+    hits: Counter,
+    misses: Counter,
 }
 
 impl QueryCache {
@@ -150,8 +189,8 @@ impl QueryCache {
             ways: (0..CACHE_WAYS)
                 .map(|_| Mutex::new(HashMap::default()))
                 .collect(),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
+            hits: Counter::new(),
+            misses: Counter::new(),
         }
     }
 
@@ -178,13 +217,19 @@ impl QueryCache {
                 .unwrap_or_else(std::sync::PoisonError::into_inner);
             if let Some((g, v)) = map.get(&key) {
                 if *g == generation {
-                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    self.hits.inc();
+                    if gcr_telemetry::enabled() {
+                        cache_metrics().hits[key.kind()].inc();
+                    }
                     return v.clone();
                 }
             }
         }
         let v = compute();
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.misses.inc();
+        if gcr_telemetry::enabled() {
+            cache_metrics().misses[key.kind()].inc();
+        }
         let mut map = way
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
@@ -357,8 +402,8 @@ impl ShardedPlane {
     #[must_use]
     pub fn cache_stats(&self) -> PlaneCacheStats {
         PlaneCacheStats {
-            hits: self.cache.hits.load(Ordering::Relaxed),
-            misses: self.cache.misses.load(Ordering::Relaxed),
+            hits: self.cache.hits.get(),
+            misses: self.cache.misses.get(),
             entries: self.cache.len(),
         }
     }

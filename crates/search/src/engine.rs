@@ -162,6 +162,7 @@ impl<S, C> SearchArena<S, C> {
     /// [`astar_with_limits_in`] on entry, so a dirty arena can never
     /// poison the next search.
     pub fn reset(&mut self) {
+        crate::telem::note_arena_reset();
         self.nodes.clear();
         self.index.clear();
         self.open.clear();
@@ -277,6 +278,21 @@ pub fn astar_with_limits_into<Sp: SearchSpace>(
 /// `budget` is `None` no checks run at all — this form costs nothing
 /// over [`astar_with_limits_into`] (which is this call with `None`).
 pub fn astar_budgeted_into<Sp: SearchSpace>(
+    space: &Sp,
+    limits: SearchLimits,
+    budget: Option<&Budget>,
+    arena: &mut SearchArena<Sp::State, Sp::Cost>,
+    path_out: &mut Vec<Sp::State>,
+) -> SearchOutcome<Sp::State, Sp::Cost> {
+    let outcome = astar_budgeted_into_raw(space, limits, budget, arena, path_out);
+    // One registry flush per search, at the single funnel every search
+    // form delegates through; the expansion loop itself never touches
+    // shared state.
+    crate::telem::flush_outcome(&outcome);
+    outcome
+}
+
+fn astar_budgeted_into_raw<Sp: SearchSpace>(
     space: &Sp,
     limits: SearchLimits,
     budget: Option<&Budget>,

@@ -61,6 +61,7 @@ mod fnv;
 mod parallel;
 mod space;
 mod stats;
+mod telem;
 
 pub use blind::{breadth_first, depth_first, exhaustive};
 pub use budget::{Budget, CancelReason, CHARGE_BLOCK};

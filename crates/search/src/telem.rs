@@ -1,0 +1,99 @@
+//! Registry flush points for the search engines.
+//!
+//! Per-expansion work stays on thread-local [`SearchStats`]
+//! (crate::SearchStats); the global registry is touched **once per
+//! search**, when the outcome is known, so instrumentation adds a
+//! handful of relaxed `fetch_add`s to a search that performs thousands
+//! of expansions. Everything is gated on [`gcr_telemetry::enabled`].
+
+use std::sync::OnceLock;
+
+use gcr_telemetry::{global, Counter};
+
+use crate::SearchOutcome;
+
+struct SearchMetrics {
+    searches: &'static Counter,
+    expansions: &'static Counter,
+    generated: &'static Counter,
+    budget_trips: &'static Counter,
+    arena_resets: &'static Counter,
+}
+
+fn metrics() -> &'static SearchMetrics {
+    static METRICS: OnceLock<SearchMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let reg = global();
+        SearchMetrics {
+            searches: reg.counter("gcr_search_searches_total", "Searches run to any outcome"),
+            expansions: reg.counter(
+                "gcr_search_expansions_total",
+                "Nodes removed from OPEN and expanded, across all searches",
+            ),
+            generated: reg.counter(
+                "gcr_search_generated_total",
+                "Successor edges generated, across all searches",
+            ),
+            budget_trips: reg.counter(
+                "gcr_search_budget_trips_total",
+                "Searches abandoned by a budget (cancel flag, deadline or expansion ceiling)",
+            ),
+            arena_resets: reg.counter(
+                "gcr_search_arena_resets_total",
+                "SearchArena resets (one per search entry plus explicit clears)",
+            ),
+        }
+    })
+}
+
+/// Count one arena reset.
+pub(crate) fn note_arena_reset() {
+    if gcr_telemetry::enabled() {
+        metrics().arena_resets.inc();
+    }
+}
+
+/// Flush one finished search's thread-local stats into the registry.
+pub(crate) fn flush_outcome<S, C>(outcome: &SearchOutcome<S, C>) {
+    if !gcr_telemetry::enabled() {
+        return;
+    }
+    let m = metrics();
+    let stats = outcome.stats();
+    m.searches.inc();
+    m.expansions.add(stats.expanded as u64);
+    m.generated.add(stats.generated as u64);
+    if matches!(outcome, SearchOutcome::Cancelled(..)) {
+        m.budget_trips.inc();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CancelReason, SearchStats};
+
+    #[test]
+    fn flush_accumulates_and_counts_trips() {
+        let before_searches = metrics().searches.get();
+        let before_exp = metrics().expansions.get();
+        let before_trips = metrics().budget_trips.get();
+
+        let stats = SearchStats {
+            expanded: 7,
+            generated: 20,
+            ..SearchStats::default()
+        };
+        flush_outcome(&SearchOutcome::<u32, u32>::Exhausted(stats));
+        flush_outcome(&SearchOutcome::<u32, u32>::Cancelled(
+            CancelReason::Deadline,
+            stats,
+        ));
+
+        // Other tests in this process may flush concurrently, so the
+        // deltas are lower bounds rather than exact.
+        assert!(metrics().searches.get() >= before_searches + 2);
+        assert!(metrics().expansions.get() >= before_exp + 14);
+        assert!(metrics().budget_trips.get() > before_trips);
+    }
+}

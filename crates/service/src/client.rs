@@ -276,6 +276,17 @@ impl Client {
         self.expect_ok(&Request::Stats { sid })
     }
 
+    /// `METRICS`: the process metrics registry as Prometheus-style
+    /// exposition text (the reply body; parse it with
+    /// [`gcr_telemetry::parse_exposition`]).
+    ///
+    /// # Errors
+    ///
+    /// See [`ClientError`].
+    pub fn metrics(&mut self) -> Result<Reply, ClientError> {
+        self.expect_ok(&Request::Metrics)
+    }
+
     /// `DUMP`: the committed routes as the canonical polyline text.
     ///
     /// # Errors

@@ -32,6 +32,13 @@
 //! `ERR BUSY`, honours per-request `DEADLINE` budgets with rollback,
 //! and quarantines a session whose request panicked.
 //!
+//! Observability rides on `gcr-telemetry`: [`metrics`] registers the
+//! daemon's per-verb counters/latency histograms, error-code counters,
+//! queue-depth gauge and byte counters; the `METRICS` verb exposes the
+//! whole process registry in Prometheus-style text; and [`loadgen`] is
+//! the closed-loop multi-client load generator behind `gcrt loadgen`
+//! that measures the daemon's real req/s ceiling.
+//!
 //! The correctness bar is the same one every layer of this repo holds:
 //! routes fetched through the daemon are **byte-identical** to an
 //! in-process [`RoutingSession`](gcr_core::RoutingSession) over the same
@@ -63,6 +70,8 @@
 
 pub mod chaos;
 pub mod client;
+pub mod loadgen;
+pub mod metrics;
 pub mod proto;
 pub mod registry;
 pub mod retry;
@@ -70,9 +79,11 @@ pub mod server;
 
 pub use chaos::{ChaosProxy, Fault};
 pub use client::{Client, ClientError, Reply};
+pub use loadgen::{LoadGenConfig, LoadGenReport, LoadKind};
+pub use metrics::ServiceMetrics;
 pub use proto::{
     dump_routing, format_stats, index_name, parse_index, read_request_limited, BoxedEngine,
-    EngineKind, ErrCode, Request, Response, WireError, WireLimits,
+    EngineKind, ErrCode, Request, Response, WireError, WireLimits, VERBS,
 };
 pub use registry::{Quarantined, ServiceSession, SessionEntry, SessionRegistry};
 pub use retry::{is_idempotent, is_retryable_error, RetryPolicy, RetryingClient};

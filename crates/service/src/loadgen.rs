@@ -1,0 +1,286 @@
+//! Closed-loop load generator: what is the daemon's real req/s
+//! ceiling?
+//!
+//! The bench suite measures single-request latency; this module
+//! measures *throughput under concurrency* — `clients` threads each
+//! open their own session over a seeded [`gcr_workload`] layout, warm
+//! it with a cold full route, then drive a closed loop of requests
+//! (each thread sends, waits for the reply, sends again — offered load
+//! tracks service rate, the classic closed-loop model). Latency is
+//! observed request-by-request into a client-side
+//! [`Histogram`] with the *same bucket ladder* the server's
+//! `gcr_service_request_us` histogram uses, so `gcrt loadgen` (and the
+//! bench) can cross-check the client's view against a `METRICS` scrape
+//! bucket-for-bucket.
+//!
+//! Two request mixes:
+//!
+//! * [`LoadKind::Ping`] — protocol floor: framing + dispatch, no
+//!   routing. Dominated by RTT; the interesting number is req/s.
+//! * [`LoadKind::Reroute`] — the daemon's reason to exist: each
+//!   request is an `ECO` body of `ripup <net>` + `reroute` cycling
+//!   through the layout's nets, so every request pays a real warm
+//!   reroute. Compute-dominated, so client and server latency
+//!   histograms agree to within a bucket.
+//!
+//! The daemon's worker pool holds each connection for its lifetime, so
+//! the target must be sized with more workers than `clients` (plus any
+//! concurrently connected probe) — otherwise the closed-loop clients
+//! starve each other in the accept queue and the run stalls until the
+//! server's read timeout breaks the tie.
+
+use std::sync::{Barrier, Mutex};
+use std::time::{Duration, Instant};
+
+use gcr_core::PlaneIndexKind;
+use gcr_layout::format;
+use gcr_telemetry::Histogram;
+use gcr_workload::generator::{generate, GeneratorParams};
+
+use crate::client::Client;
+use crate::proto::EngineKind;
+
+/// Which request mix the closed loop drives; see the [module
+/// docs](self).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadKind {
+    /// `PING` only — the protocol floor.
+    Ping,
+    /// `ECO` ripup+reroute per request — real routing work.
+    Reroute,
+}
+
+impl std::fmt::Display for LoadKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            LoadKind::Ping => "ping",
+            LoadKind::Reroute => "reroute",
+        })
+    }
+}
+
+/// How a load-generation run is shaped; see [`run`].
+#[derive(Debug, Clone)]
+pub struct LoadGenConfig {
+    /// Daemon address (`host:port`).
+    pub addr: String,
+    /// Concurrent closed-loop client threads.
+    pub clients: usize,
+    /// Timed requests each client sends (after its untimed warm-up).
+    pub requests_per_client: u64,
+    /// Nets per generated layout (each client gets its own layout,
+    /// seeded `seed + client_index` — distinct sessions, same tier).
+    pub nets: usize,
+    /// Base generator seed.
+    pub seed: u64,
+    /// Engine the sessions open with.
+    pub engine: EngineKind,
+    /// Plane-index kind the sessions open with.
+    pub index: PlaneIndexKind,
+    /// The request mix.
+    pub kind: LoadKind,
+}
+
+impl Default for LoadGenConfig {
+    fn default() -> LoadGenConfig {
+        LoadGenConfig {
+            addr: "127.0.0.1:4700".to_string(),
+            clients: 4,
+            requests_per_client: 100,
+            nets: 120,
+            seed: 7,
+            engine: EngineKind::Gridless,
+            index: PlaneIndexKind::Sharded,
+            kind: LoadKind::Reroute,
+        }
+    }
+}
+
+/// What a finished load run measured (returned by [`run`]).
+#[derive(Debug)]
+pub struct LoadGenReport {
+    /// Timed requests that completed OK.
+    pub requests: u64,
+    /// Requests answered `ERR` or lost to I/O (the loop presses on
+    /// after a server `ERR`; an I/O error ends that client's loop).
+    pub errors: u64,
+    /// Wall time of the timed phase (barrier to last reply).
+    pub elapsed: Duration,
+    /// Completed requests per second over the timed phase.
+    pub req_per_s: f64,
+    /// The client-side latency histogram (same bucket ladder as the
+    /// server's `gcr_service_request_us`).
+    pub latency: Histogram,
+}
+
+impl LoadGenReport {
+    /// The bucket upper bound (µs) covering quantile `q`, from the
+    /// client-side histogram (`None` until something was observed).
+    #[must_use]
+    pub fn quantile_us(&self, q: f64) -> Option<u64> {
+        self.latency.quantile(q)
+    }
+
+    /// A one-line human summary (`gcrt loadgen` prints it).
+    #[must_use]
+    pub fn summary(&self) -> String {
+        format!(
+            "requests {} errors {} elapsed-ms {} req/s {:.1} p50-us {} p95-us {} p99-us {}",
+            self.requests,
+            self.errors,
+            self.elapsed.as_millis(),
+            self.req_per_s,
+            self.quantile_us(0.50).unwrap_or(0),
+            self.quantile_us(0.95).unwrap_or(0),
+            self.quantile_us(0.99).unwrap_or(0),
+        )
+    }
+}
+
+/// The wire verb a [`LoadKind`]'s timed requests land on server-side
+/// (the `verb` label of `gcr_service_request_us`).
+#[must_use]
+pub fn server_verb(kind: LoadKind) -> &'static str {
+    match kind {
+        LoadKind::Ping => "ping",
+        LoadKind::Reroute => "eco",
+    }
+}
+
+/// The server's view of a quantile, from a `METRICS` exposition body:
+/// the upper bound (µs) of the `gcr_service_request_us{verb=}` bucket
+/// covering `q`. `None` if the series is absent or empty.
+///
+/// `gcrt loadgen` and the bench cross-check the client histogram
+/// against this — same bucket ladder, so the two views must agree to
+/// within a bucket for compute-dominated mixes.
+#[must_use]
+pub fn server_quantile_us(exposition: &str, verb: &str, q: f64) -> Option<u64> {
+    let samples = gcr_telemetry::parse_exposition(exposition);
+    let buckets =
+        gcr_telemetry::histogram_buckets(&samples, "gcr_service_request_us", &[("verb", verb)]);
+    let idx = gcr_telemetry::quantile_bucket_index(&buckets, q)?;
+    let le = buckets[idx].0;
+    Some(if le.is_finite() {
+        le as u64
+    } else {
+        // +Inf bucket: report the ladder's top bound.
+        buckets[idx.saturating_sub(1)].0 as u64
+    })
+}
+
+/// Drives the closed loop against a live daemon and reports the
+/// measured ceiling.
+///
+/// Each client connects, opens its session, pays the cold route
+/// untimed, then waits on a barrier so every thread starts its timed
+/// loop together. The reported `elapsed` spans barrier-release to the
+/// last thread's last reply — the conservative denominator for req/s.
+///
+/// # Errors
+///
+/// An `io::Error` if any client fails to connect or open its session
+/// (errors *during* the timed loop are counted, not returned).
+pub fn run(config: &LoadGenConfig) -> std::io::Result<LoadGenReport> {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    let clients = config.clients.max(1);
+    let latency = Histogram::latency_us();
+    let ok = AtomicU64::new(0);
+    let errors = AtomicU64::new(0);
+    // Longest timed loop across threads, in µs: the conservative req/s
+    // denominator (barrier release to the slowest thread's last reply).
+    let slowest_us = AtomicU64::new(0);
+    let barrier = Barrier::new(clients);
+    let setup_failure: Mutex<Option<std::io::Error>> = Mutex::new(None);
+
+    std::thread::scope(|scope| {
+        for i in 0..clients {
+            let (latency, ok, errors, slowest_us) = (&latency, &ok, &errors, &slowest_us);
+            let (barrier, setup_failure) = (&barrier, &setup_failure);
+            scope.spawn(move || {
+                let setup = || -> std::io::Result<(Client, u64, Vec<String>)> {
+                    let params = GeneratorParams::with_nets(config.nets, config.seed + i as u64);
+                    let layout = generate(&params);
+                    let names: Vec<String> =
+                        layout.nets().iter().map(|n| n.name().to_string()).collect();
+                    let gcl = format::write(&layout);
+                    let mut client = Client::connect(config.addr.as_str())?;
+                    let (sid, _) = client
+                        .open(config.engine, config.index, &gcl)
+                        .map_err(|e| std::io::Error::other(e.to_string()))?;
+                    // Untimed warm-up: the cold full route every warm
+                    // reroute amortizes against.
+                    client
+                        .route(sid, false)
+                        .map_err(|e| std::io::Error::other(e.to_string()))?;
+                    Ok((client, sid, names))
+                };
+                let fallible = match setup() {
+                    Ok(v) => Some(v),
+                    Err(e) => {
+                        setup_failure
+                            .lock()
+                            .unwrap_or_else(std::sync::PoisonError::into_inner)
+                            .get_or_insert(e);
+                        None
+                    }
+                };
+                barrier.wait(); // every thread arrives, even on failure
+                let Some((mut client, sid, names)) = fallible else {
+                    return;
+                };
+                let loop_start = Instant::now();
+                for r in 0..config.requests_per_client {
+                    let started = Instant::now();
+                    let outcome = match config.kind {
+                        LoadKind::Ping => client.ping(),
+                        LoadKind::Reroute => {
+                            let victim = &names[(r as usize) % names.len()];
+                            client.eco(sid, &format!("ripup {victim}\nreroute\n"))
+                        }
+                    };
+                    latency.observe_since(started);
+                    match outcome {
+                        Ok(_) => {
+                            ok.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(crate::ClientError::Server(_)) => {
+                            errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(_) => {
+                            // Connection-level failure: this client is done.
+                            errors.fetch_add(1, Ordering::Relaxed);
+                            break;
+                        }
+                    }
+                }
+                let us = loop_start.elapsed().as_micros() as u64;
+                slowest_us.fetch_max(us, Ordering::Relaxed);
+                let _ = client.close_session(sid);
+            });
+        }
+    });
+
+    if let Some(e) = setup_failure
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .take()
+    {
+        return Err(e);
+    }
+    let requests = ok.load(std::sync::atomic::Ordering::Relaxed);
+    let elapsed = Duration::from_micros(slowest_us.load(std::sync::atomic::Ordering::Relaxed));
+    let req_per_s = if elapsed.as_secs_f64() > 0.0 {
+        requests as f64 / elapsed.as_secs_f64()
+    } else {
+        0.0
+    };
+    Ok(LoadGenReport {
+        requests,
+        errors: errors.load(std::sync::atomic::Ordering::Relaxed),
+        elapsed,
+        req_per_s,
+        latency,
+    })
+}

@@ -1,0 +1,140 @@
+//! The daemon's registry handles: per-verb request counters and
+//! latency histograms, per-code error counters, queue depth, byte
+//! counters and session gauges.
+//!
+//! Everything is registered once (lazily, on first use) and held as
+//! `&'static` handles, so the per-request cost is a few relaxed
+//! `fetch_add`s. The same handles back both the `METRICS` exposition
+//! and the server-form `STATS` reply — the two views read the same
+//! atomics and can never disagree.
+
+use std::sync::OnceLock;
+
+use gcr_telemetry::{global, Counter, Gauge, Histogram, LATENCY_BOUNDS_US};
+
+use crate::proto::{ErrCode, VERBS};
+
+/// The daemon's registered metric handles; see [`ServiceMetrics::get`].
+pub struct ServiceMetrics {
+    /// Requests served, by verb (`gcr_service_requests_total`).
+    pub requests: [&'static Counter; VERBS.len()],
+    /// Request wall time in µs, by verb (`gcr_service_request_us`).
+    pub request_us: [&'static Histogram; VERBS.len()],
+    /// `ERR` replies, by code (`gcr_service_errors_total`), indexed in
+    /// [`ErrCode::ALL`] order.
+    pub errors: [&'static Counter; ErrCode::ALL.len()],
+    /// Requests that could not be parsed to any verb (counted in no
+    /// per-verb series).
+    pub malformed: &'static Counter,
+    /// Connections accepted.
+    pub connections: &'static Counter,
+    /// Requests currently queued or in flight in the worker pool.
+    pub queue_depth: &'static Gauge,
+    /// Bytes read off accepted connections.
+    pub bytes_read: &'static Counter,
+    /// Bytes written to accepted connections.
+    pub bytes_written: &'static Counter,
+    /// Sessions currently live across the process.
+    pub sessions_live: &'static Gauge,
+    /// Sessions evicted by LRU admission, ever.
+    pub sessions_evicted: &'static Counter,
+    /// Requests answered from a session (entry-level accounting).
+    pub session_requests: &'static Counter,
+    /// Wall µs spent inside session locks (entry-level accounting).
+    pub session_wall_us: &'static Counter,
+    /// Requests that landed in the slow log.
+    pub slow_requests: &'static Counter,
+    /// Seconds since the serving `Server` started (refreshed at each
+    /// `METRICS` scrape).
+    pub uptime_seconds: &'static Gauge,
+}
+
+impl ServiceMetrics {
+    /// The process-global handles, registered on first call.
+    pub fn get() -> &'static ServiceMetrics {
+        static METRICS: OnceLock<ServiceMetrics> = OnceLock::new();
+        METRICS.get_or_init(|| {
+            let reg = global();
+            ServiceMetrics {
+                requests: VERBS.map(|verb| {
+                    reg.counter_labeled(
+                        "gcr_service_requests_total",
+                        "Requests served, by wire verb",
+                        "verb",
+                        verb,
+                    )
+                }),
+                request_us: VERBS.map(|verb| {
+                    reg.histogram_labeled(
+                        "gcr_service_request_us",
+                        "Request wall time in microseconds, by wire verb",
+                        "verb",
+                        verb,
+                        LATENCY_BOUNDS_US,
+                    )
+                }),
+                errors: ErrCode::ALL.map(|code| {
+                    reg.counter_labeled(
+                        "gcr_service_errors_total",
+                        "ERR replies sent, by error code",
+                        "code",
+                        code.name(),
+                    )
+                }),
+                malformed: reg.counter(
+                    "gcr_service_malformed_total",
+                    "Requests rejected before any verb could be parsed",
+                ),
+                connections: reg.counter(
+                    "gcr_service_connections_total",
+                    "Connections accepted by the listener",
+                ),
+                queue_depth: reg.gauge(
+                    "gcr_service_queue_depth",
+                    "Requests currently queued or in flight in the worker pool",
+                ),
+                bytes_read: reg.counter(
+                    "gcr_service_bytes_read_total",
+                    "Bytes read off accepted connections",
+                ),
+                bytes_written: reg.counter(
+                    "gcr_service_bytes_written_total",
+                    "Bytes written to accepted connections",
+                ),
+                sessions_live: reg.gauge(
+                    "gcr_service_sessions_live",
+                    "Sessions currently resident in the registry",
+                ),
+                sessions_evicted: reg.counter(
+                    "gcr_service_sessions_evicted_total",
+                    "Sessions evicted by LRU admission",
+                ),
+                session_requests: reg.counter(
+                    "gcr_service_session_requests_total",
+                    "Requests that took a session lock",
+                ),
+                session_wall_us: reg.counter(
+                    "gcr_service_session_wall_us_total",
+                    "Microseconds spent holding session locks",
+                ),
+                slow_requests: reg.counter(
+                    "gcr_service_slow_requests_total",
+                    "Requests recorded in the slow log (over threshold or panicked)",
+                ),
+                uptime_seconds: reg.gauge(
+                    "gcr_service_uptime_seconds",
+                    "Seconds since the serving server started",
+                ),
+            }
+        })
+    }
+
+    /// The error counter for `code`.
+    pub fn error_counter(&self, code: ErrCode) -> &'static Counter {
+        let idx = ErrCode::ALL
+            .iter()
+            .position(|c| *c == code)
+            .expect("every ErrCode appears in ALL");
+        self.errors[idx]
+    }
+}

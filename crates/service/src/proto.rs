@@ -21,6 +21,7 @@
 //!                            # PathFinder negotiated congestion (iteration cap);
 //!                            # DEADLINE as for ROUTE (checkpoint rollback).
 //! STATS [<sid>]              # session stats, or server stats without a sid
+//! METRICS                    # full registry, Prometheus text exposition as the body
 //! DUMP <sid>                 # committed routes as polylines (diffable)
 //! CLOSE <sid>                # drop the session
 //! PING                       # liveness
@@ -194,6 +195,9 @@ pub enum Request {
         /// Session id, or `None` for server-level stats.
         sid: Option<u64>,
     },
+    /// The whole telemetry registry, rendered as a Prometheus-style
+    /// text exposition in the reply body.
+    Metrics,
     /// Dump the committed routes as polylines.
     Dump {
         /// Session id.
@@ -215,6 +219,52 @@ pub enum Request {
         /// Session id.
         sid: u64,
     },
+}
+
+/// Every wire verb, lowercase, in a stable order. The per-verb metric
+/// families (`gcr_service_requests_total{verb=...}` and friends) carry
+/// exactly these label values, and [`Request::verb_index`] indexes this
+/// table.
+pub const VERBS: [&str; 12] = [
+    "ping",
+    "open",
+    "eco",
+    "route",
+    "ripup",
+    "negotiate",
+    "stats",
+    "metrics",
+    "dump",
+    "close",
+    "shutdown",
+    "crash",
+];
+
+impl Request {
+    /// Index of this request's verb in [`VERBS`].
+    #[must_use]
+    pub fn verb_index(&self) -> usize {
+        match self {
+            Request::Ping => 0,
+            Request::Open { .. } => 1,
+            Request::Eco { .. } => 2,
+            Request::Route { .. } => 3,
+            Request::RipUp { .. } => 4,
+            Request::Negotiate { .. } => 5,
+            Request::Stats { .. } => 6,
+            Request::Metrics => 7,
+            Request::Dump { .. } => 8,
+            Request::Close { .. } => 9,
+            Request::Shutdown => 10,
+            Request::Crash { .. } => 11,
+        }
+    }
+
+    /// This request's lowercase verb (the metric label value).
+    #[must_use]
+    pub fn verb(&self) -> &'static str {
+        VERBS[self.verb_index()]
+    }
 }
 
 /// Typed error categories carried in `ERR` replies.
@@ -596,6 +646,7 @@ pub fn write_request(w: &mut impl Write, req: &Request) -> io::Result<()> {
         }
         Request::Stats { sid: Some(sid) } => writeln!(w, "STATS {sid}"),
         Request::Stats { sid: None } => writeln!(w, "STATS"),
+        Request::Metrics => writeln!(w, "METRICS"),
         Request::Dump { sid } => writeln!(w, "DUMP {sid}"),
         Request::Close { sid } => writeln!(w, "CLOSE {sid}"),
         Request::Shutdown => writeln!(w, "SHUTDOWN"),
@@ -797,6 +848,10 @@ pub fn read_request_limited(
                     None => None,
                 },
             }
+        }
+        "METRICS" => {
+            check_arity!(0, 0);
+            Request::Metrics
         }
         "DUMP" => {
             check_arity!(1, 1);
@@ -1018,6 +1073,7 @@ mod tests {
             },
             Request::Stats { sid: Some(4) },
             Request::Stats { sid: None },
+            Request::Metrics,
             Request::Dump { sid: 5 },
             Request::Close { sid: 6 },
             Request::Shutdown,

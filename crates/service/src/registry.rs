@@ -23,10 +23,10 @@
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
-use std::time::Duration;
 
 use gcr_core::{RoutingSession, SessionStats};
 
+use crate::metrics::ServiceMetrics;
 use crate::proto::{BoxedEngine, EngineKind};
 
 /// Lock ways of the session map (power of two; ids hash by modulo).
@@ -34,6 +34,11 @@ pub const SHARDS: usize = 16;
 
 /// A session plus the service-level bookkeeping the `STATS` verb
 /// reports.
+///
+/// Request/wall accounting does **not** live here: it sits on the
+/// owning [`SessionEntry`] as atomics, so it stays readable and
+/// writable without the session lock — a quarantined session (poisoned
+/// lock) and an evicted-but-in-flight session are still accounted.
 pub struct ServiceSession {
     /// The owned routing session (engine boxed for runtime selection).
     pub session: RoutingSession<BoxedEngine>,
@@ -42,10 +47,6 @@ pub struct ServiceSession {
     /// Has a full `route_all` been committed yet? (`ROUTE` routes
     /// everything first, then only the dirty set.)
     pub routed_once: bool,
-    /// Requests served against this session.
-    pub requests: u64,
-    /// Wall time spent inside this session's requests.
-    pub wall: Duration,
 }
 
 impl std::fmt::Debug for ServiceSession {
@@ -54,8 +55,6 @@ impl std::fmt::Debug for ServiceSession {
         f.debug_struct("ServiceSession")
             .field("engine", &self.engine)
             .field("routed_once", &self.routed_once)
-            .field("requests", &self.requests)
-            .field("wall", &self.wall)
             .field("stats", &self.stats())
             .finish_non_exhaustive()
     }
@@ -69,8 +68,6 @@ impl ServiceSession {
             session,
             engine,
             routed_once: false,
-            requests: 0,
-            wall: Duration::ZERO,
         }
     }
 
@@ -86,17 +83,52 @@ impl ServiceSession {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Quarantined;
 
-/// One registered session: the id, the LRU stamp, and the serialized
-/// session state.
+/// One registered session: the id, the LRU stamp, the serialized
+/// session state, and lock-free request/wall accounting.
+///
+/// The accounting is deliberately *outside* the session mutex. The old
+/// layout kept `requests`/`wall` inside [`ServiceSession`]: a panic
+/// poisoned them along with the lock (the panicked request's wall time
+/// was silently dropped and the totals became unreadable), and an
+/// eviction unlinked them from every aggregate while a request could
+/// still be running against the held `Arc`. Entry-level atomics plus
+/// the registry's retired aggregates (absorbed at unlink time, see
+/// [`SessionRegistry::lifetime_requests`]) close both holes;
+/// `registry.rs` tests lock the conservation property.
 #[derive(Debug)] // ServiceSession has a summary Debug, so this derives
 pub struct SessionEntry {
     /// The session id handed to the client by `OPEN`.
     pub id: u64,
     touched: AtomicU64,
+    requests: AtomicU64,
+    wall_us: AtomicU64,
     session: Mutex<ServiceSession>,
 }
 
 impl SessionEntry {
+    /// Counts one request against this session (before the work runs,
+    /// so even a panicking request is accounted).
+    pub fn begin_request(&self) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds wall time spent inside this session's requests.
+    pub fn add_wall_us(&self, us: u64) {
+        self.wall_us.fetch_add(us, Ordering::Relaxed);
+    }
+
+    /// Requests served against this session.
+    #[must_use]
+    pub fn requests(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed)
+    }
+
+    /// Wall microseconds spent inside this session's requests.
+    #[must_use]
+    pub fn wall_us(&self) -> u64 {
+        self.wall_us.load(Ordering::Relaxed)
+    }
+
     /// Locks the session for one request (serializing mutation per
     /// session). A poisoned lock means a request panicked while holding
     /// it — the session's invariants can no longer be trusted, so it is
@@ -132,6 +164,10 @@ pub struct SessionRegistry {
     clock: AtomicU64,
     capacity: usize,
     evictions: AtomicU64,
+    /// Accounting absorbed from unlinked (closed or evicted) sessions,
+    /// so lifetime totals survive the entries that produced them.
+    retired_requests: AtomicU64,
+    retired_wall_us: AtomicU64,
 }
 
 impl SessionRegistry {
@@ -145,6 +181,8 @@ impl SessionRegistry {
             clock: AtomicU64::new(1),
             capacity: capacity.max(1),
             evictions: AtomicU64::new(0),
+            retired_requests: AtomicU64::new(0),
+            retired_wall_us: AtomicU64::new(0),
         }
     }
 
@@ -172,10 +210,26 @@ impl SessionRegistry {
         let entry = Arc::new(SessionEntry {
             id: sid,
             touched: AtomicU64::new(self.tick()),
+            requests: AtomicU64::new(0),
+            wall_us: AtomicU64::new(0),
             session: Mutex::new(session),
         });
         self.shard(sid).insert(sid, entry);
+        ServiceMetrics::get().sessions_live.inc();
         (sid, evicted)
+    }
+
+    /// Folds an unlinked entry's accounting into the lifetime
+    /// aggregates before the entry can retire. A request still in
+    /// flight against the held `Arc` keeps bumping the entry's atomics;
+    /// the snapshot taken here is what survives — the pre-fix layout
+    /// dropped the whole tally instead.
+    fn retire(&self, entry: &SessionEntry) {
+        self.retired_requests
+            .fetch_add(entry.requests(), Ordering::Relaxed);
+        self.retired_wall_us
+            .fetch_add(entry.wall_us(), Ordering::Relaxed);
+        ServiceMetrics::get().sessions_live.dec();
     }
 
     fn evict_lru(&self) -> Option<u64> {
@@ -190,8 +244,11 @@ impl SessionRegistry {
             }
         }
         let (_, sid) = victim?;
-        self.shard(sid).remove(&sid);
+        if let Some(entry) = self.shard(sid).remove(&sid) {
+            self.retire(&entry);
+        }
         self.evictions.fetch_add(1, Ordering::Relaxed);
+        ServiceMetrics::get().sessions_evicted.inc();
         Some(sid)
     }
 
@@ -205,7 +262,13 @@ impl SessionRegistry {
 
     /// Unlinks a session; returns `false` for an unknown id.
     pub fn close(&self, sid: u64) -> bool {
-        self.shard(sid).remove(&sid).is_some()
+        match self.shard(sid).remove(&sid) {
+            Some(entry) => {
+                self.retire(&entry);
+                true
+            }
+            None => false,
+        }
     }
 
     /// Live session count.
@@ -233,6 +296,43 @@ impl SessionRegistry {
     #[must_use]
     pub fn evictions(&self) -> u64 {
         self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Requests served across every session this registry has ever
+    /// held: live entries plus the retired aggregate absorbed at
+    /// close/evict time.
+    #[must_use]
+    pub fn lifetime_requests(&self) -> u64 {
+        let live: u64 = self
+            .shards
+            .iter()
+            .map(|s| {
+                s.lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .values()
+                    .map(|e| e.requests())
+                    .sum::<u64>()
+            })
+            .sum();
+        live + self.retired_requests.load(Ordering::Relaxed)
+    }
+
+    /// Wall microseconds spent inside sessions, lifetime (live entries
+    /// plus the retired aggregate).
+    #[must_use]
+    pub fn lifetime_wall_us(&self) -> u64 {
+        let live: u64 = self
+            .shards
+            .iter()
+            .map(|s| {
+                s.lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .values()
+                    .map(|e| e.wall_us())
+                    .sum::<u64>()
+            })
+            .sum();
+        live + self.retired_wall_us.load(Ordering::Relaxed)
     }
 
     /// The live session ids, sorted (for stats and tests).
@@ -353,5 +453,55 @@ mod tests {
         reg.close(a);
         let (b, _) = reg.open(boxed_session());
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn eviction_and_close_preserve_session_accounting() {
+        let reg = SessionRegistry::new(1);
+        let (a, _) = reg.open(boxed_session());
+        let entry = reg.get(a).unwrap();
+        entry.begin_request();
+        entry.begin_request();
+        entry.add_wall_us(150);
+        drop(entry);
+        // Opening b evicts a; a's tally must survive into the lifetime
+        // aggregate (it used to vanish with the entry).
+        let (b, evicted) = reg.open(boxed_session());
+        assert_eq!(evicted, Some(a));
+        assert_eq!(reg.lifetime_requests(), 2);
+        assert_eq!(reg.lifetime_wall_us(), 150);
+        // Live accounting folds in on top of the retired aggregate.
+        let entry = reg.get(b).unwrap();
+        entry.begin_request();
+        entry.add_wall_us(50);
+        assert_eq!(reg.lifetime_requests(), 3);
+        assert_eq!(reg.lifetime_wall_us(), 200);
+        // Explicit close absorbs the same way.
+        reg.close(b);
+        assert_eq!(reg.lifetime_requests(), 3);
+        assert_eq!(reg.lifetime_wall_us(), 200);
+    }
+
+    #[test]
+    fn quarantined_sessions_stay_accounted() {
+        let reg = SessionRegistry::new(2);
+        let (sid, _) = reg.open(boxed_session());
+        let entry = reg.get(sid).unwrap();
+        // Accounting happens outside the session lock, so a panicked
+        // request is still counted and the tally stays readable after
+        // the lock is poisoned.
+        entry.begin_request();
+        let poisoned = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = entry.lock().unwrap();
+            panic!("injected fault");
+        }));
+        assert!(poisoned.is_err());
+        entry.add_wall_us(75);
+        assert!(entry.is_quarantined());
+        assert_eq!(entry.requests(), 1);
+        assert_eq!(entry.wall_us(), 75);
+        reg.close(sid);
+        assert_eq!(reg.lifetime_requests(), 1);
+        assert_eq!(reg.lifetime_wall_us(), 75);
     }
 }

@@ -74,6 +74,7 @@ pub fn is_idempotent(req: &Request) -> bool {
         Request::Ping
         | Request::Route { .. }
         | Request::Stats { .. }
+        | Request::Metrics
         | Request::Dump { .. }
         | Request::RipUp { .. }
         | Request::Close { .. } => true,

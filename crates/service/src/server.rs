@@ -43,12 +43,14 @@ use gcr_core::{
     RoutingSession,
 };
 use gcr_layout::format;
+use gcr_telemetry::{slow_log, SlowEntry, TraceId};
 
+use crate::metrics::ServiceMetrics;
 use crate::proto::{
     dump_routing, format_stats, index_name, read_request_limited, write_response, ErrCode, Request,
-    Response, WireLimits,
+    Response, WireLimits, VERBS,
 };
-use crate::registry::{ServiceSession, SessionRegistry};
+use crate::registry::{ServiceSession, SessionEntry, SessionRegistry};
 
 /// How a [`Server`] is sized; see [`Server::bind`].
 #[derive(Debug, Clone)]
@@ -73,6 +75,11 @@ pub struct ServerConfig {
     /// verb answers `ERR UNKNOWN-VERB` like any token outside the
     /// protocol.
     pub crash_probe: bool,
+    /// Requests slower than this land in the process slow log with
+    /// their trace id (`0` = threshold logging off; panicked requests
+    /// are always recorded). Recording is skipped entirely when
+    /// telemetry is disabled.
+    pub slow_log_ms: u64,
 }
 
 impl Default for ServerConfig {
@@ -85,6 +92,7 @@ impl Default for ServerConfig {
             read_timeout_ms: 30_000,
             limits: WireLimits::default(),
             crash_probe: false,
+            slow_log_ms: 1_000,
         }
     }
 }
@@ -134,6 +142,7 @@ pub struct Server {
     read_timeout: Option<Duration>,
     limits: WireLimits,
     crash_probe: bool,
+    slow_log: Option<Duration>,
 }
 
 impl Server {
@@ -166,6 +175,7 @@ impl Server {
                 .then(|| Duration::from_millis(config.read_timeout_ms)),
             limits: config.limits,
             crash_probe: config.crash_probe,
+            slow_log: (config.slow_log_ms > 0).then(|| Duration::from_millis(config.slow_log_ms)),
         })
     }
 
@@ -201,12 +211,15 @@ impl Server {
         let ctx = Ctx {
             registry: &self.registry,
             counters: &self.counters,
+            metrics: ServiceMetrics::get(),
             drain: &self.drain,
             addr,
             workers: self.workers,
             read_timeout: self.read_timeout,
             limits: self.limits,
             crash_probe: self.crash_probe,
+            slow_log: self.slow_log,
+            start: Instant::now(),
         };
         let (tx, rx) = sync_channel::<TcpStream>(self.queue);
         let rx = Mutex::new(rx);
@@ -220,7 +233,10 @@ impl Server {
                         guard.recv()
                     };
                     match next {
-                        Ok(stream) => handle_connection(stream, &ctx),
+                        Ok(stream) => {
+                            ctx.metrics.queue_depth.dec();
+                            handle_connection(stream, &ctx);
+                        }
                         Err(_) => return, // acceptor gone, queue drained
                     }
                 });
@@ -235,8 +251,9 @@ impl Server {
                             break; // the drain wake-up itself
                         }
                         self.counters.connections.fetch_add(1, Ordering::Relaxed);
+                        ctx.metrics.connections.inc();
                         match tx.try_send(stream) {
-                            Ok(()) => {}
+                            Ok(()) => ctx.metrics.queue_depth.inc(),
                             Err(TrySendError::Full(stream)) => {
                                 // Load shedding: every worker is busy and
                                 // the queue is full. Answer inline with a
@@ -244,6 +261,9 @@ impl Server {
                                 // the accept loop behind the backlog.
                                 self.counters.shed.fetch_add(1, Ordering::Relaxed);
                                 self.counters.errors.fetch_add(1, Ordering::Relaxed);
+                                if gcr_telemetry::enabled() {
+                                    ctx.metrics.error_counter(ErrCode::Busy).inc();
+                                }
                                 shed_busy(stream);
                             }
                             Err(TrySendError::Disconnected(_)) => break,
@@ -288,12 +308,15 @@ fn shed_busy(stream: TcpStream) {
 struct Ctx<'a> {
     registry: &'a SessionRegistry,
     counters: &'a Counters,
+    metrics: &'static ServiceMetrics,
     drain: &'a AtomicBool,
     addr: SocketAddr,
     workers: usize,
     read_timeout: Option<Duration>,
     limits: WireLimits,
     crash_probe: bool,
+    slow_log: Option<Duration>,
+    start: Instant,
 }
 
 impl Ctx<'_> {
@@ -331,6 +354,26 @@ impl<R: Read> Read for CountingReader<R> {
     }
 }
 
+/// Counts bytes actually pushed to the socket (inside the `BufWriter`,
+/// so the count is exact after each flush) to feed the
+/// `gcr_service_bytes_written_total` counter.
+struct CountingWriter<W> {
+    inner: W,
+    count: u64,
+}
+
+impl<W: Write> Write for CountingWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let n = self.inner.write(buf)?;
+        self.count += n as u64;
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
 fn is_timeout(e: &io::Error) -> bool {
     // set_read_timeout expiry surfaces as WouldBlock on Unix and
     // TimedOut on Windows.
@@ -355,7 +398,14 @@ fn handle_connection(stream: TcpStream, ctx: &Ctx<'_>) {
         inner: read_half,
         count: 0,
     });
-    let mut writer = BufWriter::new(stream);
+    let mut writer = BufWriter::new(CountingWriter {
+        inner: stream,
+        count: 0,
+    });
+    // Bytes already folded into the global counters, so each request
+    // only adds its own delta.
+    let mut read_accounted = 0u64;
+    let mut written_accounted = 0u64;
     loop {
         // A request is "started" if bytes arrive after this point, or if
         // a previous fill left pipelined bytes buffered.
@@ -381,6 +431,23 @@ fn handle_connection(stream: TcpStream, ctx: &Ctx<'_>) {
             return; // clean EOF between requests
         };
         ctx.counters.requests.fetch_add(1, Ordering::Relaxed);
+        // Telemetry: a trace id per request, the verb counted at read
+        // time (so STATS/METRICS include the request that asked), the
+        // latency observed after dispatch. The kill switch collapses
+        // all of it to one relaxed load.
+        let telemetry_on = gcr_telemetry::enabled();
+        let trace = TraceId::next();
+        let started = telemetry_on.then(Instant::now);
+        let verb_idx = match &message {
+            Ok(request) => Some(request.verb_index()),
+            Err(_) => None,
+        };
+        if telemetry_on {
+            match verb_idx {
+                Some(i) => ctx.metrics.requests[i].inc(),
+                None => ctx.metrics.malformed.inc(),
+            }
+        }
         let (response, close_after) = match message {
             // Malformed request: answer with the typed error, then close
             // — after a framing error the stream position is untrusted.
@@ -390,7 +457,7 @@ fn handle_connection(stream: TcpStream, ctx: &Ctx<'_>) {
                 let response = if ctx.drain.load(Ordering::SeqCst) && !is_shutdown {
                     Response::err(ErrCode::ShuttingDown, "server is draining")
                 } else {
-                    dispatch(request, ctx)
+                    dispatch(request, ctx, trace)
                 };
                 if is_shutdown {
                     ctx.begin_drain();
@@ -401,8 +468,40 @@ fn handle_connection(stream: TcpStream, ctx: &Ctx<'_>) {
         if matches!(response, Response::Err(_)) {
             ctx.counters.errors.fetch_add(1, Ordering::Relaxed);
         }
+        if telemetry_on {
+            if let Response::Err(e) = &response {
+                ctx.metrics.error_counter(e.code).inc();
+            }
+            if let (Some(started), Some(i)) = (started, verb_idx) {
+                let us = ctx.metrics.request_us[i].observe_since(started);
+                if let Some(threshold) = ctx.slow_log {
+                    if us >= threshold.as_micros() as u64 {
+                        ctx.metrics.slow_requests.inc();
+                        slow_log().record(SlowEntry {
+                            trace,
+                            verb: VERBS[i],
+                            micros: us,
+                            detail: match &response {
+                                Response::Err(e) => format!("ERR {}", e.code.name()),
+                                _ => "ok".to_string(),
+                            },
+                        });
+                    }
+                }
+            }
+        }
         if write_response(&mut writer, &response).is_err() || writer.flush().is_err() {
             return;
+        }
+        if telemetry_on {
+            let read_now = reader.get_ref().count;
+            ctx.metrics.bytes_read.add(read_now - read_accounted);
+            read_accounted = read_now;
+            let written_now = writer.get_ref().count;
+            ctx.metrics
+                .bytes_written
+                .add(written_now - written_accounted);
+            written_accounted = written_now;
         }
         if close_after || ctx.drain.load(Ordering::SeqCst) {
             return; // finish the in-flight request, then drain
@@ -411,7 +510,9 @@ fn handle_connection(stream: TcpStream, ctx: &Ctx<'_>) {
 }
 
 /// Runs one request against a session, serializing on the per-session
-/// lock and accounting the request + wall time to the session.
+/// lock and accounting the request + wall time to the *entry's*
+/// atomics (outside the lock, so a panicked or evicted session stays
+/// accounted — see [`SessionEntry`]).
 ///
 /// The request body runs under `catch_unwind` with the lock guard moved
 /// *inside* the closure: if `f` panics, unwinding drops the guard and
@@ -419,11 +520,16 @@ fn handle_connection(stream: TcpStream, ctx: &Ctx<'_>) {
 /// `ERR QUARANTINED` and every later request on the session (which
 /// finds the poisoned lock) does too — the panic's blast radius is one
 /// session, not the worker or the process. `CLOSE` never takes the
-/// session lock, so a quarantined session can still be unlinked.
+/// session lock, so a quarantined session can still be unlinked. The
+/// quarantine reply carries the request's trace id, and the panic is
+/// always recorded in the slow log under that trace (the chaos suite
+/// follows a fault from wire reply to slow log with it).
 fn with_session(
     ctx: &Ctx<'_>,
     sid: u64,
-    f: impl FnOnce(&mut ServiceSession) -> Response,
+    trace: TraceId,
+    verb: &'static str,
+    f: impl FnOnce(&SessionEntry, &mut ServiceSession) -> Response,
 ) -> Response {
     let Some(entry) = ctx.registry.get(sid) else {
         return Response::err(ErrCode::UnknownSession, format!("no session {sid}"));
@@ -435,22 +541,31 @@ fn with_session(
         );
     };
     let start = Instant::now();
-    guard.requests += 1;
-    let outcome = catch_unwind(AssertUnwindSafe(move || {
-        let response = f(&mut guard);
-        guard.wall += start.elapsed();
-        response
-    }));
+    entry.begin_request();
+    ctx.metrics.session_requests.inc();
+    let entry_ref: &SessionEntry = &entry;
+    let outcome = catch_unwind(AssertUnwindSafe(move || f(entry_ref, &mut guard)));
+    let us = start.elapsed().as_micros() as u64;
+    entry.add_wall_us(us);
+    ctx.metrics.session_wall_us.add(us);
     outcome.unwrap_or_else(|_| {
         ctx.counters.panics.fetch_add(1, Ordering::Relaxed);
+        ctx.metrics.slow_requests.inc();
+        slow_log().record(SlowEntry {
+            trace,
+            verb,
+            micros: us,
+            detail: format!("panicked; session {sid} quarantined"),
+        });
         Response::err(
             ErrCode::Quarantined,
-            format!("request panicked; session {sid} is quarantined"),
+            format!("request panicked; session {sid} is quarantined (trace {trace})"),
         )
     })
 }
 
-fn dispatch(request: Request, ctx: &Ctx<'_>) -> Response {
+fn dispatch(request: Request, ctx: &Ctx<'_>, trace: TraceId) -> Response {
+    let verb = request.verb();
     match request {
         Request::Ping => Response::ok("pong"),
         Request::Shutdown => Response::ok("draining"),
@@ -484,30 +599,32 @@ fn dispatch(request: Request, ctx: &Ctx<'_>) -> Response {
                 Ok(ops) => ops,
                 Err(e) => return Response::err(ErrCode::Parse, format!("eco: {e}")),
             };
-            with_session(ctx, sid, |s| match apply_eco(&mut s.session, &ops) {
-                Ok(report) => Response::ok_with(
-                    "eco",
-                    format!(
-                        "steps {}\nrerouted {}\nfailed {}\n",
-                        report.steps.len(),
-                        report.rerouted,
-                        report.failed
+            with_session(ctx, sid, trace, verb, |_e, s| {
+                match apply_eco(&mut s.session, &ops) {
+                    Ok(report) => Response::ok_with(
+                        "eco",
+                        format!(
+                            "steps {}\nrerouted {}\nfailed {}\n",
+                            report.steps.len(),
+                            report.rerouted,
+                            report.failed
+                        ),
                     ),
-                ),
-                Err(EcoError::UnknownName { kind, name }) => {
-                    Response::err(ErrCode::UnknownName, format!("unknown {kind} {name:?}"))
+                    Err(EcoError::UnknownName { kind, name }) => {
+                        Response::err(ErrCode::UnknownName, format!("unknown {kind} {name:?}"))
+                    }
+                    Err(EcoError::Parse { line, message }) => {
+                        Response::err(ErrCode::Parse, format!("eco line {line}: {message}"))
+                    }
+                    Err(EcoError::Layout(e)) => Response::err(ErrCode::Layout, e.to_string()),
                 }
-                Err(EcoError::Parse { line, message }) => {
-                    Response::err(ErrCode::Parse, format!("eco line {line}: {message}"))
-                }
-                Err(EcoError::Layout(e)) => Response::err(ErrCode::Layout, e.to_string()),
             })
         }
         Request::Route {
             sid,
             full,
             deadline_ms,
-        } => with_session(ctx, sid, move |s| {
+        } => with_session(ctx, sid, trace, verb, move |_e, s| {
             if full || !s.routed_once {
                 let routing = match deadline_ms {
                     // No deadline: the unbudgeted path, bit-for-bit the
@@ -550,7 +667,7 @@ fn dispatch(request: Request, ctx: &Ctx<'_>) -> Response {
             sid,
             max_iters,
             deadline_ms,
-        } => with_session(ctx, sid, move |s| {
+        } => with_session(ctx, sid, trace, verb, move |_e, s| {
             let mut ncfg = NegotiationConfig::default();
             if let Some(n) = max_iters {
                 ncfg.max_iters(n as usize);
@@ -584,7 +701,7 @@ fn dispatch(request: Request, ctx: &Ctx<'_>) -> Response {
                 ),
             )
         }),
-        Request::RipUp { sid, net } => with_session(ctx, sid, |s| {
+        Request::RipUp { sid, net } => with_session(ctx, sid, trace, verb, |_e, s| {
             let Some(id) = s.session.layout().net_by_name(&net) else {
                 return Response::err(ErrCode::UnknownName, format!("unknown net {net:?}"));
             };
@@ -597,20 +714,24 @@ fn dispatch(request: Request, ctx: &Ctx<'_>) -> Response {
                 ),
             )
         }),
-        Request::Stats { sid: Some(sid) } => with_session(ctx, sid, |s| {
+        Request::Stats { sid: Some(sid) } => with_session(ctx, sid, trace, verb, |e, s| {
             let mut body = format_stats(&s.stats());
             body.push_str(&format!(
                 "requests {}\nwall-us {}\nengine {}\nindex {}\n",
-                s.requests,
-                s.wall.as_micros(),
+                e.requests(),
+                e.wall_us(),
                 s.engine,
                 index_name(s.session.index_kind())
             ));
             Response::ok_with("stats", body)
         }),
-        Request::Stats { sid: None } => Response::ok_with(
-            "server",
-            format!(
+        Request::Stats { sid: None } => {
+            // The first block is the server's own accounting; the
+            // telemetry block below it reads the same registry handles
+            // `METRICS` exposes, so the two views can never disagree
+            // (tests/telemetry.rs asserts the equality). The per-verb
+            // counters freeze when telemetry is disabled.
+            let mut body = format!(
                 "sessions {}\ncapacity {}\nevictions {}\nconnections {}\nrequests {}\n\
                  errors {}\nworkers {}\ndraining {}\n",
                 ctx.registry.len(),
@@ -621,9 +742,28 @@ fn dispatch(request: Request, ctx: &Ctx<'_>) -> Response {
                 ctx.counters.errors.load(Ordering::Relaxed),
                 ctx.workers,
                 ctx.drain.load(Ordering::SeqCst)
-            ),
-        ),
-        Request::Dump { sid } => with_session(ctx, sid, |s| {
+            );
+            body.push_str(&format!(
+                "uptime-s {}\nqueue-depth {}\nslow-requests {}\nsession-requests {}\n\
+                 session-wall-us {}\n",
+                ctx.start.elapsed().as_secs(),
+                ctx.metrics.queue_depth.get(),
+                ctx.metrics.slow_requests.get(),
+                ctx.registry.lifetime_requests(),
+                ctx.registry.lifetime_wall_us(),
+            ));
+            for (i, name) in VERBS.iter().enumerate() {
+                body.push_str(&format!("verb-{name} {}\n", ctx.metrics.requests[i].get()));
+            }
+            Response::ok_with("server", body)
+        }
+        Request::Metrics => {
+            ctx.metrics
+                .uptime_seconds
+                .set(ctx.start.elapsed().as_secs() as i64);
+            Response::ok_with("metrics", gcr_telemetry::global().expose())
+        }
+        Request::Dump { sid } => with_session(ctx, sid, trace, verb, |_e, s| {
             Response::ok_with("dump", dump_routing(&s.session.routing()))
         }),
         Request::Close { sid } => {
@@ -637,7 +777,9 @@ fn dispatch(request: Request, ctx: &Ctx<'_>) -> Response {
             if !ctx.crash_probe {
                 return Response::err(ErrCode::UnknownVerb, "unknown verb \"CRASH\"");
             }
-            with_session(ctx, sid, |_s| panic!("CRASH probe: injected worker panic"))
+            with_session(ctx, sid, trace, verb, |_e, _s| {
+                panic!("CRASH probe: injected worker panic")
+            })
         }
     }
 }

@@ -1,0 +1,515 @@
+//! The metrics registry: get-or-register by `&'static` name, handles
+//! leaked once so the hot path holds plain `&'static` references, and
+//! Prometheus-style text exposition with a matching parser.
+
+use std::fmt::Write as _;
+use std::sync::Mutex;
+
+use crate::metrics::{Counter, Gauge, Histogram};
+
+/// What a family of series measures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotone counter (`_total`).
+    Counter,
+    /// Instantaneous signed value.
+    Gauge,
+    /// Fixed-bucket distribution.
+    Histogram,
+}
+
+impl MetricKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+enum Metric {
+    Counter(&'static Counter),
+    Gauge(&'static Gauge),
+    Histogram(&'static Histogram),
+}
+
+impl Metric {
+    fn kind(&self) -> MetricKind {
+        match self {
+            Metric::Counter(_) => MetricKind::Counter,
+            Metric::Gauge(_) => MetricKind::Gauge,
+            Metric::Histogram(_) => MetricKind::Histogram,
+        }
+    }
+}
+
+struct Series {
+    /// At most one `key="value"` label pair; both halves `'static` so
+    /// exposition never allocates per-series state.
+    label: Option<(&'static str, &'static str)>,
+    metric: Metric,
+}
+
+struct Family {
+    name: &'static str,
+    help: &'static str,
+    series: Vec<Series>,
+}
+
+/// A registry of metric families. Registration takes a lock and leaks
+/// one allocation per series; reads and increments afterwards are
+/// lock-free through the returned `&'static` handles.
+pub struct MetricsRegistry {
+    families: Mutex<Vec<Family>>,
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub const fn new() -> Self {
+        Self {
+            families: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn get_or_insert(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        label: Option<(&'static str, &'static str)>,
+        make: impl FnOnce() -> Metric,
+    ) -> &'static Metric {
+        let mut families = self.families.lock().unwrap();
+        let family = match families.iter_mut().find(|f| f.name == name) {
+            Some(f) => f,
+            None => {
+                families.push(Family {
+                    name,
+                    help,
+                    series: Vec::new(),
+                });
+                families.last_mut().unwrap()
+            }
+        };
+        if let Some(existing) = family.series.iter().find(|s| s.label == label) {
+            // Handing out the same leaked handle keeps get-or-register
+            // idempotent across call sites.
+            let metric: &Metric = &existing.metric;
+            // Safety of the lifetime: every Metric is behind a leaked
+            // Box below, so the reference is genuinely 'static; we
+            // only need to launder the borrow through the leak.
+            return match metric {
+                Metric::Counter(c) => Box::leak(Box::new(Metric::Counter(c))),
+                Metric::Gauge(g) => Box::leak(Box::new(Metric::Gauge(g))),
+                Metric::Histogram(h) => Box::leak(Box::new(Metric::Histogram(h))),
+            };
+        }
+        let metric = make();
+        assert!(
+            family.series.is_empty() || family.series[0].metric.kind() == metric.kind(),
+            "metric family {name} registered with conflicting kinds"
+        );
+        family.series.push(Series {
+            label,
+            metric: match &metric {
+                Metric::Counter(c) => Metric::Counter(c),
+                Metric::Gauge(g) => Metric::Gauge(g),
+                Metric::Histogram(h) => Metric::Histogram(h),
+            },
+        });
+        Box::leak(Box::new(metric))
+    }
+
+    /// Get or register an unlabeled counter.
+    pub fn counter(&self, name: &'static str, help: &'static str) -> &'static Counter {
+        match self.get_or_insert(name, help, None, || {
+            Metric::Counter(Box::leak(Box::new(Counter::new())))
+        }) {
+            Metric::Counter(c) => c,
+            _ => panic!("metric {name} is not a counter"),
+        }
+    }
+
+    /// Get or register a counter series with one fixed label pair.
+    pub fn counter_labeled(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        key: &'static str,
+        value: &'static str,
+    ) -> &'static Counter {
+        match self.get_or_insert(name, help, Some((key, value)), || {
+            Metric::Counter(Box::leak(Box::new(Counter::new())))
+        }) {
+            Metric::Counter(c) => c,
+            _ => panic!("metric {name} is not a counter"),
+        }
+    }
+
+    /// Get or register an unlabeled gauge.
+    pub fn gauge(&self, name: &'static str, help: &'static str) -> &'static Gauge {
+        match self.get_or_insert(name, help, None, || {
+            Metric::Gauge(Box::leak(Box::new(Gauge::new())))
+        }) {
+            Metric::Gauge(g) => g,
+            _ => panic!("metric {name} is not a gauge"),
+        }
+    }
+
+    /// Get or register an unlabeled histogram over `bounds`.
+    pub fn histogram(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        bounds: &'static [u64],
+    ) -> &'static Histogram {
+        match self.get_or_insert(name, help, None, || {
+            Metric::Histogram(Box::leak(Box::new(Histogram::new(bounds))))
+        }) {
+            Metric::Histogram(h) => h,
+            _ => panic!("metric {name} is not a histogram"),
+        }
+    }
+
+    /// Get or register a histogram series with one fixed label pair.
+    pub fn histogram_labeled(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        key: &'static str,
+        value: &'static str,
+        bounds: &'static [u64],
+    ) -> &'static Histogram {
+        match self.get_or_insert(name, help, Some((key, value)), || {
+            Metric::Histogram(Box::leak(Box::new(Histogram::new(bounds))))
+        }) {
+            Metric::Histogram(h) => h,
+            _ => panic!("metric {name} is not a histogram"),
+        }
+    }
+
+    /// Render every family in Prometheus text exposition format.
+    /// Families appear in registration order; histogram buckets are
+    /// cumulative with an explicit `+Inf` bucket.
+    pub fn expose(&self) -> String {
+        let families = self.families.lock().unwrap();
+        let mut out = String::new();
+        for family in families.iter() {
+            let kind = match family.series.first() {
+                Some(s) => s.metric.kind(),
+                None => continue,
+            };
+            let _ = writeln!(out, "# HELP {} {}", family.name, family.help);
+            let _ = writeln!(out, "# TYPE {} {}", family.name, kind.as_str());
+            for series in &family.series {
+                match &series.metric {
+                    Metric::Counter(c) => {
+                        let _ = writeln!(
+                            out,
+                            "{}{} {}",
+                            family.name,
+                            label_text(series.label, None),
+                            c.get()
+                        );
+                    }
+                    Metric::Gauge(g) => {
+                        let _ = writeln!(
+                            out,
+                            "{}{} {}",
+                            family.name,
+                            label_text(series.label, None),
+                            g.get()
+                        );
+                    }
+                    Metric::Histogram(h) => {
+                        let counts = h.bucket_counts();
+                        let mut cum = 0u64;
+                        for (i, c) in counts.iter().enumerate() {
+                            cum += c;
+                            let le = match h.bounds().get(i) {
+                                Some(b) => b.to_string(),
+                                None => "+Inf".to_string(),
+                            };
+                            let _ = writeln!(
+                                out,
+                                "{}_bucket{} {}",
+                                family.name,
+                                label_text(series.label, Some(&le)),
+                                cum
+                            );
+                        }
+                        let _ = writeln!(
+                            out,
+                            "{}_sum{} {}",
+                            family.name,
+                            label_text(series.label, None),
+                            h.sum()
+                        );
+                        let _ = writeln!(
+                            out,
+                            "{}_count{} {}",
+                            family.name,
+                            label_text(series.label, None),
+                            h.count()
+                        );
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+fn label_text(label: Option<(&str, &str)>, le: Option<&str>) -> String {
+    match (label, le) {
+        (None, None) => String::new(),
+        (Some((k, v)), None) => format!("{{{k}=\"{v}\"}}"),
+        (None, Some(le)) => format!("{{le=\"{le}\"}}"),
+        (Some((k, v)), Some(le)) => format!("{{{k}=\"{v}\",le=\"{le}\"}}"),
+    }
+}
+
+/// The process-global registry every `gcr` crate records into.
+pub fn global() -> &'static MetricsRegistry {
+    static GLOBAL: MetricsRegistry = MetricsRegistry::new();
+    &GLOBAL
+}
+
+/// One parsed sample line from a text exposition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Series name, including any `_bucket`/`_sum`/`_count` suffix.
+    pub name: String,
+    /// Label pairs in appearance order.
+    pub labels: Vec<(String, String)>,
+    /// The sample value.
+    pub value: f64,
+}
+
+impl Sample {
+    /// Look up a label value by key.
+    pub fn label(&self, key: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// True when every `(key, value)` pair in `want` is present.
+    pub fn has_labels(&self, want: &[(&str, &str)]) -> bool {
+        want.iter().all(|(k, v)| self.label(k) == Some(*v))
+    }
+}
+
+/// Parse a Prometheus text exposition (the subset [`MetricsRegistry::
+/// expose`] emits) back into samples. Comment and blank lines are
+/// skipped; malformed lines are ignored rather than fatal, so a
+/// truncated scrape degrades to fewer samples.
+pub fn parse_exposition(text: &str) -> Vec<Sample> {
+    let mut samples = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (series, value) = match line.rsplit_once(' ') {
+            Some(pair) => pair,
+            None => continue,
+        };
+        let value: f64 = match value.trim().parse() {
+            Ok(v) => v,
+            Err(_) => continue,
+        };
+        let (name, labels) = match series.find('{') {
+            None => (series.to_string(), Vec::new()),
+            Some(open) => {
+                let name = series[..open].to_string();
+                let inner = match series[open..]
+                    .strip_prefix('{')
+                    .and_then(|s| s.strip_suffix('}'))
+                {
+                    Some(i) => i,
+                    None => continue,
+                };
+                let mut labels = Vec::new();
+                for pair in inner.split(',') {
+                    if let Some((k, v)) = pair.split_once('=') {
+                        let v = v.trim_matches('"');
+                        labels.push((k.to_string(), v.to_string()));
+                    }
+                }
+                (name, labels)
+            }
+        };
+        samples.push(Sample {
+            name,
+            labels,
+            value,
+        });
+    }
+    samples
+}
+
+/// Reconstruct a histogram's cumulative buckets from parsed samples:
+/// every `<name>_bucket` sample matching `labels`, sorted by `le`,
+/// returned as `(le, cumulative_count)` with `f64::INFINITY` for
+/// `+Inf`. Empty when the series is absent.
+pub fn histogram_buckets(
+    samples: &[Sample],
+    name: &str,
+    labels: &[(&str, &str)],
+) -> Vec<(f64, u64)> {
+    let bucket_name = format!("{name}_bucket");
+    let mut buckets: Vec<(f64, u64)> = samples
+        .iter()
+        .filter(|s| s.name == bucket_name && s.has_labels(labels))
+        .filter_map(|s| {
+            let le = s.label("le")?;
+            let le = if le == "+Inf" {
+                f64::INFINITY
+            } else {
+                le.parse().ok()?
+            };
+            Some((le, s.value as u64))
+        })
+        .collect();
+    buckets.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+    buckets
+}
+
+/// Index of the bucket where cumulative count first reaches quantile
+/// `q`, over `(le, cumulative)` buckets from [`histogram_buckets`].
+pub fn quantile_bucket_index(buckets: &[(f64, u64)], q: f64) -> Option<usize> {
+    let total = buckets.last()?.1;
+    if total == 0 {
+        return None;
+    }
+    let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+    buckets.iter().position(|&(_, cum)| cum >= rank)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn get_or_register_is_idempotent() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("gcr_test_total", "help");
+        let b = reg.counter("gcr_test_total", "help");
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3);
+        assert_eq!(b.get(), 3);
+        assert!(std::ptr::eq(a, b));
+    }
+
+    #[test]
+    fn labeled_series_are_distinct() {
+        let reg = MetricsRegistry::new();
+        let ping = reg.counter_labeled("gcr_req_total", "h", "verb", "ping");
+        let eco = reg.counter_labeled("gcr_req_total", "h", "verb", "eco");
+        assert!(!std::ptr::eq(ping, eco));
+        ping.inc();
+        eco.add(5);
+        assert_eq!(ping.get(), 1);
+        assert_eq!(eco.get(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a counter")]
+    fn kind_conflict_panics() {
+        let reg = MetricsRegistry::new();
+        reg.gauge("gcr_conflict", "h");
+        reg.counter("gcr_conflict", "h");
+    }
+
+    #[test]
+    fn registry_exact_under_contention() {
+        let reg = MetricsRegistry::new();
+        // All threads race registration of the SAME series and then
+        // hammer it; the total must be exact.
+        thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    let c = reg.counter("gcr_race_total", "h");
+                    let h = reg.histogram("gcr_race_us", "h", &[10, 100]);
+                    for i in 0..50_000u64 {
+                        c.inc();
+                        h.observe(i % 200);
+                    }
+                });
+            }
+        });
+        assert_eq!(reg.counter("gcr_race_total", "h").get(), 400_000);
+        assert_eq!(
+            reg.histogram("gcr_race_us", "h", &[10, 100]).count(),
+            400_000
+        );
+    }
+
+    #[test]
+    fn exposition_roundtrips_through_parser() {
+        let reg = MetricsRegistry::new();
+        reg.counter("gcr_a_total", "a counter").add(7);
+        reg.gauge("gcr_b", "a gauge").set(-3);
+        let h = reg.histogram("gcr_c_us", "a histogram", &[10, 100]);
+        h.observe(5);
+        h.observe(50);
+        h.observe(5_000);
+        reg.counter_labeled("gcr_d_total", "labeled", "verb", "ping")
+            .add(2);
+
+        let text = reg.expose();
+        assert!(text.contains("# TYPE gcr_a_total counter"));
+        assert!(text.contains("# TYPE gcr_c_us histogram"));
+
+        let samples = parse_exposition(&text);
+        let find = |name: &str, labels: &[(&str, &str)]| {
+            samples
+                .iter()
+                .find(|s| s.name == name && s.has_labels(labels))
+                .map(|s| s.value)
+        };
+        assert_eq!(find("gcr_a_total", &[]), Some(7.0));
+        assert_eq!(find("gcr_b", &[]), Some(-3.0));
+        assert_eq!(find("gcr_d_total", &[("verb", "ping")]), Some(2.0));
+        assert_eq!(find("gcr_c_us_count", &[]), Some(3.0));
+        assert_eq!(find("gcr_c_us_sum", &[]), Some(5_055.0));
+        // Buckets are cumulative: le=10 -> 1, le=100 -> 2, +Inf -> 3.
+        let buckets = histogram_buckets(&samples, "gcr_c_us", &[]);
+        assert_eq!(buckets, vec![(10.0, 1), (100.0, 2), (f64::INFINITY, 3)]);
+        assert_eq!(quantile_bucket_index(&buckets, 0.5), Some(1));
+        assert_eq!(quantile_bucket_index(&buckets, 0.99), Some(2));
+    }
+
+    #[test]
+    fn exposition_matches_live_quantiles() {
+        // The parsed view and the in-process view of the same
+        // histogram agree on quantile buckets.
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram_labeled("gcr_q_us", "h", "verb", "eco", &[1, 10, 100, 1_000]);
+        for _ in 0..90 {
+            h.observe(5);
+        }
+        for _ in 0..10 {
+            h.observe(500);
+        }
+        let samples = parse_exposition(&reg.expose());
+        let buckets = histogram_buckets(&samples, "gcr_q_us", &[("verb", "eco")]);
+        for q in [0.5, 0.95, 0.99] {
+            assert_eq!(
+                quantile_bucket_index(&buckets, q),
+                h.quantile_bucket(q),
+                "q={q}"
+            );
+        }
+    }
+}

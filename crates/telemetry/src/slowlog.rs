@@ -1,0 +1,130 @@
+//! A bounded ring of slow (or panicked) requests, keyed by trace ID.
+//! Recording takes a short mutex — acceptable because entries are rare
+//! by construction (only requests over the slow threshold land here).
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+use crate::TraceId;
+
+/// One slow-request record.
+#[derive(Debug, Clone)]
+pub struct SlowEntry {
+    /// The request's trace ID.
+    pub trace: TraceId,
+    /// Wire verb that was being served.
+    pub verb: &'static str,
+    /// Wall time the request took, in microseconds.
+    pub micros: u64,
+    /// Free-form context (error text, panic note, session ID).
+    pub detail: String,
+}
+
+/// A fixed-capacity ring buffer of [`SlowEntry`] records; the oldest
+/// entry is evicted once capacity is reached.
+#[derive(Debug)]
+pub struct SlowLog {
+    capacity: usize,
+    ring: Mutex<VecDeque<SlowEntry>>,
+    recorded: AtomicU64,
+}
+
+impl SlowLog {
+    /// A ring holding at most `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "slow log capacity must be positive");
+        Self {
+            capacity,
+            ring: Mutex::new(VecDeque::with_capacity(capacity)),
+            recorded: AtomicU64::new(0),
+        }
+    }
+
+    /// Append an entry, evicting the oldest when full.
+    pub fn record(&self, entry: SlowEntry) {
+        self.recorded.fetch_add(1, Ordering::Relaxed);
+        let mut ring = self.ring.lock().unwrap();
+        if ring.len() == self.capacity {
+            ring.pop_front();
+        }
+        ring.push_back(entry);
+    }
+
+    /// A point-in-time copy of the ring, oldest first.
+    pub fn snapshot(&self) -> Vec<SlowEntry> {
+        self.ring.lock().unwrap().iter().cloned().collect()
+    }
+
+    /// Entries currently held (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.ring.lock().unwrap().len()
+    }
+
+    /// True when no entry has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The fixed capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Total entries ever recorded (including evicted ones).
+    pub fn recorded(&self) -> u64 {
+        self.recorded.load(Ordering::Relaxed)
+    }
+
+    /// Does any held entry carry this trace ID?
+    pub fn contains_trace(&self, trace: TraceId) -> bool {
+        self.ring.lock().unwrap().iter().any(|e| e.trace == trace)
+    }
+}
+
+/// The process-global slow log (capacity 256).
+pub fn slow_log() -> &'static SlowLog {
+    static LOG: OnceLock<SlowLog> = OnceLock::new();
+    LOG.get_or_init(|| SlowLog::new(256))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(n: u64) -> SlowEntry {
+        SlowEntry {
+            trace: TraceId(n),
+            verb: "route",
+            micros: n * 10,
+            detail: format!("entry {n}"),
+        }
+    }
+
+    #[test]
+    fn ring_wraps_dropping_oldest() {
+        let log = SlowLog::new(4);
+        for n in 0..10 {
+            log.record(entry(n));
+        }
+        assert_eq!(log.len(), 4);
+        assert_eq!(log.capacity(), 4);
+        assert_eq!(log.recorded(), 10);
+        let held: Vec<u64> = log.snapshot().iter().map(|e| e.trace.0).collect();
+        assert_eq!(held, vec![6, 7, 8, 9], "oldest entries evicted in order");
+        assert!(log.contains_trace(TraceId(9)));
+        assert!(!log.contains_trace(TraceId(5)));
+    }
+
+    #[test]
+    fn global_log_is_shared() {
+        let t = TraceId::next();
+        slow_log().record(SlowEntry {
+            trace: t,
+            verb: "ping",
+            micros: 1,
+            detail: String::new(),
+        });
+        assert!(slow_log().contains_trace(t));
+    }
+}

@@ -68,6 +68,10 @@ const VALUE_FLAGS: &[&str] = &[
     "--timeout-ms",
     "--deadline-ms",
     "--retries",
+    "--slow-log-ms",
+    "--clients",
+    "--requests",
+    "--kind",
 ];
 
 fn run(args: &[String]) -> Result<(), String> {
@@ -130,7 +134,8 @@ fn run(args: &[String]) -> Result<(), String> {
                  \x20 stats   print layout statistics\n\
                  \x20 gen     generate a seeded parametric instance (to file or stdout)\n\
                  \x20 serve   run the routing daemon (gcr-service)\n\
-                 \x20 client  drive a running daemon: gcrt client <addr> <cmd> [...]\n\n\
+                 \x20 client  drive a running daemon: gcrt client <addr> <cmd> [...]\n\
+                 \x20 loadgen measure a daemon's req/s ceiling: gcrt loadgen <addr> [...]\n\n\
                  options:\n\
                  \x20 --engine E      routing backend: gridless (default), grid,\n\
                  \x20                 lee-moore, hightower\n\
@@ -161,7 +166,9 @@ fn run(args: &[String]) -> Result<(), String> {
                  \x20 --workers N         worker threads (default: machine parallelism)\n\
                  \x20 --read-timeout-ms N per-connection read timeout, 0 = none\n\
                  \x20                     (default 30000)\n\
-                 \x20 --max-body-kb N     request body size cap in KiB (default 4096)\n\n\
+                 \x20 --max-body-kb N     request body size cap in KiB (default 4096)\n\
+                 \x20 --slow-log-ms N     slow-request log threshold, 0 = panics only\n\
+                 \x20                     (default 1000)\n\n\
                  client commands (<sid> comes from open's reply):\n\
                  \x20 ping | shutdown\n\
                  \x20 open <engine> <flat|sharded> <file.gcl>\n\
@@ -169,12 +176,20 @@ fn run(args: &[String]) -> Result<(), String> {
                  \x20 route <sid> [full]     ripup <sid> <net>\n\
                  \x20 negotiate <sid> [max-iters]\n\
                  \x20 stats [<sid>]          dump <sid>\n\
-                 \x20 close <sid>\n\n\
+                 \x20 metrics                close <sid>\n\n\
                  client options:\n\
                  \x20 --timeout-ms N      connect/read/write timeout (default 5000)\n\
                  \x20 --deadline-ms N     server-side DEADLINE on route/negotiate\n\
                  \x20 --retries N         retries for idempotent verbs (default 0);\n\
-                 \x20                     backoff uses decorrelated jitter"
+                 \x20                     backoff uses decorrelated jitter\n\n\
+                 loadgen options (closed-loop; each client gets its own session):\n\
+                 \x20 --clients N         concurrent client threads (default 4)\n\
+                 \x20 --requests N        timed requests per client (default 100)\n\
+                 \x20 --nets N            nets per generated layout (default 120)\n\
+                 \x20 --seed N            base generator seed (default 7)\n\
+                 \x20 --kind K            request mix: reroute (default) or ping\n\
+                 \x20 --engine E          session engine (default gridless)\n\
+                 \x20 --sharded           sharded plane index (default: sharded)"
             );
             Ok(())
         }
@@ -382,6 +397,10 @@ fn run(args: &[String]) -> Result<(), String> {
             if max_body_kb < 1 {
                 return Err("--max-body-kb must be at least 1".to_string());
             }
+            let slow_log_ms = int_value("--slow-log-ms")?.unwrap_or(1_000);
+            if slow_log_ms < 0 {
+                return Err("--slow-log-ms must be non-negative (0 = panics only)".to_string());
+            }
             let config = ServerConfig {
                 addr,
                 capacity: capacity as usize,
@@ -393,6 +412,7 @@ fn run(args: &[String]) -> Result<(), String> {
                     ..WireLimits::default()
                 },
                 crash_probe: false,
+                slow_log_ms: slow_log_ms as u64,
             };
             let server = Server::bind(&config).map_err(|e| format!("{}: {e}", config.addr))?;
             println!(
@@ -424,6 +444,56 @@ fn run(args: &[String]) -> Result<(), String> {
                 .ok_or("missing client command; try gcrt help")?;
             let rest = &positionals[3..];
             run_client(addr, verb, rest, args)
+        }
+        "loadgen" => {
+            use gcr::service::loadgen::{self, LoadGenConfig, LoadKind};
+            let addr = positionals
+                .get(1)
+                .map(|s| s.to_string())
+                .ok_or("missing daemon address")?;
+            let kind = match value_of("--kind").map(String::as_str) {
+                None | Some("reroute") => LoadKind::Reroute,
+                Some("ping") => LoadKind::Ping,
+                Some(other) => return Err(format!("unknown --kind {other:?} (reroute|ping)")),
+            };
+            let engine_name = value_of("--engine").map_or("gridless", String::as_str);
+            let engine = EngineKind::parse(engine_name)
+                .ok_or_else(|| format!("unknown engine {engine_name:?}"))?;
+            let config = LoadGenConfig {
+                addr: addr.clone(),
+                clients: int_value("--clients")?.unwrap_or(4).max(1) as usize,
+                requests_per_client: int_value("--requests")?.unwrap_or(100).max(1) as u64,
+                nets: int_value("--nets")?.unwrap_or(120).max(1) as usize,
+                seed: int_value("--seed")?.unwrap_or(7) as u64,
+                engine,
+                index: PlaneIndexKind::Sharded,
+                kind,
+            };
+            let report = loadgen::run(&config).map_err(|e| format!("{addr}: {e}"))?;
+            println!(
+                "loadgen {} x{} clients, {} nets: {}",
+                config.kind,
+                config.clients,
+                config.nets,
+                report.summary()
+            );
+            // Cross-check: the server's view of the same quantiles, from
+            // a METRICS scrape over the wire.
+            let mut client =
+                gcr::service::Client::connect(addr.as_str()).map_err(|e| format!("{addr}: {e}"))?;
+            let scrape = client.metrics().map_err(|e| format!("{addr}: {e}"))?;
+            let verb = loadgen::server_verb(config.kind);
+            let server_q = |q: f64| {
+                loadgen::server_quantile_us(&scrape.body, verb, q)
+                    .map_or_else(|| "-".to_string(), |us| us.to_string())
+            };
+            println!(
+                "server view ({verb}): p50-us {} p95-us {} p99-us {}",
+                server_q(0.50),
+                server_q(0.95),
+                server_q(0.99),
+            );
+            Ok(())
         }
         other => Err(format!("unknown command {other:?}; try gcrt help")),
     }
@@ -519,6 +589,7 @@ fn run_client(addr: &str, verb: &str, rest: &[&String], args: &[String]) -> Resu
                 None => None,
             },
         },
+        "metrics" => Request::Metrics,
         "dump" => Request::Dump { sid: sid_arg(0)? },
         "close" => Request::Close { sid: sid_arg(0)? },
         other => return Err(format!("unknown client command {other:?}; try gcrt help")),

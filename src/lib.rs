@@ -122,6 +122,7 @@ pub use gcr_layout as layout;
 pub use gcr_search as search;
 pub use gcr_service as service;
 pub use gcr_steiner as steiner;
+pub use gcr_telemetry as telemetry;
 pub use gcr_workload as workload;
 
 /// The most common imports in one place.

@@ -262,6 +262,48 @@ fn chaos_worker_panic_spares_bystanders() {
     assert_eq!(report.panics, 1);
 }
 
+/// A quarantined request is traceable end to end: the `ERR QUARANTINED`
+/// reply carries the request's trace id, and the same trace appears in
+/// the process slow log (panics are always recorded, regardless of the
+/// threshold). The server runs in-process, so the log is inspectable
+/// directly.
+#[test]
+fn chaos_panic_trace_id_reaches_the_slow_log() {
+    let (addr, handle) = spawn_server(ServerConfig {
+        crash_probe: true,
+        slow_log_ms: 0, // threshold logging off: panics only
+        ..chaos_config()
+    });
+    let mut direct = direct_client(addr);
+    let (victim, _) = direct
+        .open(EngineKind::Gridless, PlaneIndexKind::Sharded, &demo_gcl())
+        .unwrap();
+
+    let message = match direct.request(&Request::Crash { sid: victim }).unwrap() {
+        Response::Err(e) => {
+            assert_eq!(e.code, ErrCode::Quarantined, "{e}");
+            e.message
+        }
+        Response::Ok { head, .. } => panic!("unexpected OK {head}"),
+    };
+    // "...quarantined (trace t0000002a)" — the reply names the trace.
+    let token = message
+        .rsplit_once("(trace ")
+        .and_then(|(_, tail)| tail.strip_suffix(')'))
+        .unwrap_or_else(|| panic!("no trace id in quarantine reply {message:?}"));
+    let trace = gcr::telemetry::TraceId::parse(token)
+        .unwrap_or_else(|| panic!("unparseable trace id {token:?}"));
+    assert!(
+        gcr::telemetry::slow_log().contains_trace(trace),
+        "trace {trace} of the panicked request is missing from the slow log"
+    );
+
+    direct.close_session(victim).unwrap();
+    direct.shutdown().unwrap();
+    let report = handle.join().unwrap();
+    assert_eq!(report.panics, 1);
+}
+
 /// A `DEADLINE 0` route under transport delay: the typed `ERR DEADLINE`
 /// travels back through the faulty link and the session stays virgin.
 #[test]

@@ -1,0 +1,236 @@
+//! The telemetry differential: the daemon's `STATS` server form and its
+//! `METRICS` exposition read the *same* registry atomics, so the two
+//! views must agree exactly; the load generator's client-side histogram
+//! shares the server histogram's bucket ladder, so the two ends of the
+//! wire must agree to within a bucket on compute-dominated mixes.
+//!
+//! Registry counters are process-global and the harness runs `#[test]`s
+//! on multiple threads, so every scenario that reads absolute counter
+//! values serializes on [`telemetry_lock`] — within the lock, only that
+//! scenario's server is generating traffic.
+
+use std::net::SocketAddr;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::thread;
+
+use gcr::prelude::*;
+use gcr::service::{loadgen, Client, EngineKind, Server, ServerConfig, ServerReport, VERBS};
+use gcr::telemetry::{histogram_buckets, parse_exposition, quantile_bucket_index, Sample};
+
+/// Serializes scenarios that assert absolute values of process-global
+/// counters.
+fn telemetry_lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn spawn_server(config: ServerConfig) -> (SocketAddr, thread::JoinHandle<ServerReport>) {
+    let server = Server::bind(&config).expect("bind ephemeral loopback port");
+    let addr = server.local_addr().unwrap();
+    let handle = thread::spawn(move || server.run().expect("server run"));
+    (addr, handle)
+}
+
+fn demo_gcl() -> String {
+    std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/fixtures/demo.gcl")).unwrap()
+}
+
+/// The value of a counter series in an exposition snapshot (0 if the
+/// series has not been registered yet).
+fn series_value(samples: &[Sample], name: &str, labels: &[(&str, &str)]) -> u64 {
+    samples
+        .iter()
+        .find(|s| s.name == name && s.has_labels(labels) && s.label("le").is_none())
+        .map_or(0, |s| s.value as u64)
+}
+
+/// An `OK server` STATS body field, as an integer.
+fn stats_int(body: &str, key: &str) -> Option<i64> {
+    body.lines().find_map(|line| {
+        let (k, v) = line.split_once(' ')?;
+        (k == key).then(|| v.parse().ok())?
+    })
+}
+
+/// STATS and METRICS must report identical per-verb request counts:
+/// both read the same registered atomics. The one systematic offset is
+/// the `metrics` verb itself — requests are counted at read time, so
+/// the scrape that follows the STATS call adds one to its own series.
+#[test]
+fn stats_and_metrics_agree_on_per_verb_counts() {
+    let _guard = telemetry_lock();
+    let (addr, handle) = spawn_server(ServerConfig {
+        capacity: 4,
+        workers: 2,
+        ..ServerConfig::default()
+    });
+    let mut client = Client::connect(addr).unwrap();
+    client.ping().unwrap();
+    client.ping().unwrap();
+    let (sid, _) = client
+        .open(EngineKind::Gridless, PlaneIndexKind::Sharded, &demo_gcl())
+        .unwrap();
+    client.route(sid, false).unwrap();
+    client.eco(sid, "ripup clk\nreroute\n").unwrap();
+    client.stats(Some(sid)).unwrap();
+
+    let stats = client.stats(None).unwrap();
+    let scrape = client.metrics().unwrap();
+    let samples = parse_exposition(&scrape.body);
+    for verb in VERBS {
+        let from_stats = stats_int(&stats.body, &format!("verb-{verb}"))
+            .unwrap_or_else(|| panic!("STATS body is missing verb-{verb}: {}", stats.body));
+        let mut from_metrics =
+            series_value(&samples, "gcr_service_requests_total", &[("verb", verb)]) as i64;
+        if verb == "metrics" {
+            // The scrape itself was counted before it was served.
+            from_metrics -= 1;
+        }
+        assert_eq!(
+            from_stats, from_metrics,
+            "verb {verb}: STATS and METRICS disagree"
+        );
+    }
+    // Gauges agree too: the connection is being served (not queued), so
+    // both views see the same queue depth.
+    let queue_from_stats = stats_int(&stats.body, "queue-depth").unwrap();
+    let queue_from_metrics = samples
+        .iter()
+        .find(|s| s.name == "gcr_service_queue_depth")
+        .map_or(0.0, |s| s.value) as i64;
+    assert_eq!(queue_from_stats, queue_from_metrics);
+    // Session accounting flows to both views from the same entries.
+    let session_requests = stats_int(&stats.body, "session-requests").unwrap();
+    assert!(session_requests >= 3, "route/eco/stats-sid: {stats:?}");
+
+    client.close_session(sid).unwrap();
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+}
+
+/// After real routing traffic the exposition must carry the key series
+/// end to end: request counts, the latency histogram, the geometry
+/// cache, and the search core (the same check CI's service-smoke job
+/// greps over the wire).
+#[test]
+fn metrics_exposition_carries_the_key_series() {
+    let _guard = telemetry_lock();
+    let (addr, handle) = spawn_server(ServerConfig {
+        capacity: 4,
+        workers: 2,
+        slow_log_ms: 1, // a cold route takes >1ms: the slow log fires
+        ..ServerConfig::default()
+    });
+    let mut client = Client::connect(addr).unwrap();
+    let layout = gcr::workload::generator::generate(
+        &gcr::workload::generator::GeneratorParams::with_nets(60, 11),
+    );
+    let gcl = gcr::layout::format::write(&layout);
+    let (sid, _) = client
+        .open(EngineKind::Gridless, PlaneIndexKind::Sharded, &gcl)
+        .unwrap();
+    let before = parse_exposition(&client.metrics().unwrap().body);
+    client.route(sid, false).unwrap();
+    let scrape = client.metrics().unwrap();
+    let after = parse_exposition(&scrape.body);
+
+    let delta = |name: &str, labels: &[(&str, &str)]| {
+        series_value(&after, name, labels) - series_value(&before, name, labels)
+    };
+    assert_eq!(delta("gcr_service_requests_total", &[("verb", "route")]), 1);
+    let route_hist = histogram_buckets(&after, "gcr_service_request_us", &[("verb", "route")]);
+    assert!(
+        route_hist.last().is_some_and(|&(_, total)| total >= 1),
+        "route latency histogram is empty: {scrape:?}"
+    );
+    assert!(
+        delta("gcr_search_expansions_total", &[]) > 0,
+        "routing 60 nets must expand search nodes"
+    );
+    let cache_touches: u64 = ["ray", "segment", "corner"]
+        .iter()
+        .map(|kind| {
+            delta("gcr_geom_cache_hits_total", &[("kind", kind)])
+                + delta("gcr_geom_cache_misses_total", &[("kind", kind)])
+        })
+        .sum();
+    assert!(
+        cache_touches > 0,
+        "a sharded-index route must touch the query cache"
+    );
+    assert!(
+        delta("gcr_service_slow_requests_total", &[]) >= 1,
+        "a cold 60-net route takes over 1ms; the slow log must record it"
+    );
+    assert_eq!(
+        delta("gcr_core_session_reroutes_total", &[]),
+        0,
+        "a cold route is not a reroute"
+    );
+
+    client.close_session(sid).unwrap();
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+}
+
+/// The load generator against a live daemon: every request accounted,
+/// and the client-side histogram agrees with the server's `METRICS`
+/// view of the same traffic — exact on the count, within one bucket on
+/// the quantiles (reroute is compute-dominated, so client RTT and
+/// server dispatch time land in the same or adjacent buckets).
+#[test]
+fn loadgen_agrees_with_the_server_metrics() {
+    let _guard = telemetry_lock();
+    let (addr, handle) = spawn_server(ServerConfig {
+        capacity: 8,
+        workers: 4,
+        ..ServerConfig::default()
+    });
+    let mut probe = Client::connect(addr).unwrap();
+    let before = parse_exposition(&probe.metrics().unwrap().body);
+
+    let config = loadgen::LoadGenConfig {
+        addr: addr.to_string(),
+        clients: 2,
+        requests_per_client: 10,
+        nets: 120,
+        seed: 3,
+        engine: EngineKind::Gridless,
+        index: PlaneIndexKind::Sharded,
+        kind: loadgen::LoadKind::Reroute,
+    };
+    let report = loadgen::run(&config).unwrap();
+    assert_eq!(report.requests, 20, "every closed-loop request completed");
+    assert_eq!(report.errors, 0, "no ERR replies under a clean run");
+    assert!(report.req_per_s > 0.0);
+
+    let after = parse_exposition(&probe.metrics().unwrap().body);
+    let eco = |samples: &[Sample]| {
+        series_value(samples, "gcr_service_requests_total", &[("verb", "eco")])
+    };
+    assert_eq!(eco(&after) - eco(&before), 20, "server counted every eco");
+
+    // Quantile cross-check on the run's own traffic: subtract the
+    // pre-run cumulative buckets, then compare bucket indexes.
+    let hist_before = histogram_buckets(&before, "gcr_service_request_us", &[("verb", "eco")]);
+    let hist_after = histogram_buckets(&after, "gcr_service_request_us", &[("verb", "eco")]);
+    let run_buckets: Vec<(f64, u64)> = hist_after
+        .iter()
+        .enumerate()
+        .map(|(i, &(le, cum))| {
+            let prior = hist_before.get(i).map_or(0, |&(_, c)| c);
+            (le, cum - prior)
+        })
+        .collect();
+    for q in [0.50, 0.95, 0.99] {
+        let client_idx = report.latency.quantile_bucket(q).unwrap();
+        let server_idx = quantile_bucket_index(&run_buckets, q).unwrap();
+        assert!(
+            client_idx.abs_diff(server_idx) <= 1,
+            "q{q}: client bucket {client_idx} vs server bucket {server_idx}"
+        );
+    }
+
+    probe.shutdown().unwrap();
+    handle.join().unwrap();
+}
