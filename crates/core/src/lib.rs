@@ -86,7 +86,9 @@ pub use negotiate::{negotiate, NegotiationConfig, NegotiationCost, NegotiationRe
 pub use net_router::{GlobalRouter, GlobalRouting, NetRoute, TwoPassReport};
 pub use route::{route_from_tree, route_from_tree_in, route_two_points, RoutedPath};
 pub use scratch::SearchScratch;
-pub use session::{RerouteOutcome, RoutingSession, SessionBuilder, SessionStats};
+pub use session::{
+    failure_cause, NetExplain, RerouteOutcome, RoutingSession, SessionBuilder, SessionStats,
+};
 pub use space::RoutingSpace;
 pub use state::RouteState;
 pub use tree::RouteTree;

@@ -313,6 +313,12 @@ fn negotiate_impl<E: RoutingEngine>(
             m.negotiation_overflowed.inc();
         }
     }
+    if let Some(span) = session.trace() {
+        span.add("rounds", iterations as u64);
+        if current.total_overflow() > 0 {
+            span.add("overflowed", 1);
+        }
+    }
     Ok(NegotiationReport {
         converged: current.total_overflow() == 0,
         routing: session.routing(),

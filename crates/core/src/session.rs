@@ -60,6 +60,7 @@ use std::sync::{Mutex, PoisonError};
 use gcr_geom::{PlaneIndex, Point, Rect};
 use gcr_layout::{CellId, Layout, LayoutError, NetId, Pin, TerminalRef};
 use gcr_search::{parallel_map_with, Budget};
+use gcr_telemetry::SpanHandle;
 
 use crate::congestion::{analyze, find_passages, CongestionAnalysis, CongestionPenalty, Passage};
 use crate::driver::{grow_net, PlaneStore};
@@ -180,6 +181,7 @@ impl<E: RoutingEngine> SessionBuilder<E> {
             wire_length: 0,
             precise_dirty: self.precise_dirty,
             reroutes: 0,
+            trace: None,
         }
     }
 }
@@ -468,6 +470,10 @@ pub struct RoutingSession<E: RoutingEngine = GridlessEngine> {
     precise_dirty: bool,
     /// Cumulative committed re-routes (see [`SessionStats::reroutes`]).
     reroutes: u64,
+    /// Span handle of the traced request currently driving this session
+    /// (see [`RoutingSession::set_trace`]); `None` — the overwhelmingly
+    /// common state — costs one branch per routed net.
+    trace: Option<SpanHandle>,
 }
 
 impl RoutingSession<GridlessEngine> {
@@ -609,6 +615,55 @@ impl<E: RoutingEngine> RoutingSession<E> {
         out
     }
 
+    // ----------------------------------------------------------- tracing
+
+    /// Installs (or clears) the span handle that session operations
+    /// attribute their work to. While set, every net routed by any
+    /// `route_*` call opens a `net` child span carrying the committed
+    /// attempt's search stats, and each individual search inside it
+    /// records a `search` leaf (see `gcr-search`'s flush point). The
+    /// handle is request-scoped state, deliberately outside
+    /// [`SessionCheckpoint`]: a rollback must not resurrect a dead
+    /// trace. Tracing is observation only — routed bytes are identical
+    /// with or without a handle installed.
+    pub fn set_trace(&mut self, trace: Option<SpanHandle>) {
+        self.trace = trace;
+    }
+
+    /// The installed request span, if any (negotiation attributes its
+    /// round count here).
+    pub(crate) fn trace(&self) -> Option<&SpanHandle> {
+        self.trace.as_ref()
+    }
+
+    /// Routes one net with a `net` span opened under the installed
+    /// request span, installing the span as this worker thread's active
+    /// span so the engine's flush points can attribute `search` leaves
+    /// to it.
+    fn route_one_traced(
+        &self,
+        handle: &SpanHandle,
+        id: NetId,
+        penalty: Option<&CongestionPenalty>,
+        scratch: &mut SearchScratch,
+    ) -> Result<NetRoute, RouteError> {
+        let label = self.layout.net(id).map_or("?", |n| n.name());
+        let span = handle.child("net", label);
+        let previous = gcr_telemetry::set_active_span(Some(span.clone()));
+        let result = self.route_one(id, penalty, scratch);
+        gcr_telemetry::set_active_span(previous);
+        match &result {
+            Ok(route) => span.add_many(&[
+                ("expanded", route.stats.expanded as u64),
+                ("generated", route.stats.generated as u64),
+                ("connections", route.connections.len() as u64),
+            ]),
+            Err(_) => span.add("failed", 1),
+        }
+        span.end();
+        result
+    }
+
     // ----------------------------------------------------------- routing
 
     fn route_one(
@@ -665,7 +720,12 @@ impl<E: RoutingEngine> RoutingSession<E> {
                         });
                     }
                 }
-                self.route_one(id, penalty, &mut scratch.scratch)
+                match &self.trace {
+                    Some(handle) => {
+                        self.route_one_traced(handle, id, penalty, &mut scratch.scratch)
+                    }
+                    None => self.route_one(id, penalty, &mut scratch.scratch),
+                }
             },
         )
     }
@@ -751,7 +811,10 @@ impl<E: RoutingEngine> RoutingSession<E> {
         }
         let result = {
             let mut scratch = self.pool.checkout();
-            self.route_one(id, None, &mut scratch.scratch)
+            match &self.trace {
+                Some(handle) => self.route_one_traced(handle, id, None, &mut scratch.scratch),
+                None => self.route_one(id, None, &mut scratch.scratch),
+            }
         };
         self.commit(id, result);
         match &self.slots[id.index()].slot {
@@ -1250,6 +1313,96 @@ impl<E: RoutingEngine> RoutingSession<E> {
     /// exposed for callers that mutate state the plane cannot see.
     pub fn invalidate_plane_cache(&self) {
         self.plane.invalidate_cache();
+    }
+}
+
+/// Cost attribution of one net's committed state — the `EXPLAIN` verb's
+/// payload (see [`RoutingSession::explain_net`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetExplain {
+    /// The net's name.
+    pub net: String,
+    /// Committed outcome: `"routed"`, `"failed"` or `"unrouted"`.
+    pub status: &'static str,
+    /// Is the net currently marked for re-routing?
+    pub dirty: bool,
+    /// Routing attempts committed over the session's lifetime.
+    pub attempts: u64,
+    /// Terminal-pin bounding-box half-perimeter — the wire-length lower
+    /// bound no detour can beat (0 for nets with fewer than two pins).
+    pub lower_bound: i64,
+    /// Committed wire length (routed nets only).
+    pub wire_length: Option<i64>,
+    /// Point-to-tree connections the committed route is built from.
+    pub connections: Option<u64>,
+    /// Nodes expanded across the committed attempt's searches.
+    pub expanded: Option<u64>,
+    /// Successor edges generated across the committed attempt's searches.
+    pub generated: Option<u64>,
+    /// Binding failure cause from [`failure_cause`] (failed nets only).
+    pub cause: Option<&'static str>,
+    /// The committed error's display text (failed nets only).
+    pub detail: Option<String>,
+}
+
+/// The stable one-word cause an `EXPLAIN` response names for a committed
+/// routing failure:
+///
+/// * `budget-trip` — the request's cooperative budget expired.
+/// * `congestion-cap` — the per-connection expansion ceiling was hit
+///   (the search drowned, typically in surcharged congestion).
+/// * `blocked-goal` — no legal path exists, or an endpoint sits inside
+///   an obstacle; geometry, not effort, is the binding constraint.
+/// * `nothing-to-route` — fewer than two terminals.
+#[must_use]
+pub fn failure_cause(error: &RouteError) -> &'static str {
+    match error {
+        RouteError::Cancelled { .. } => "budget-trip",
+        RouteError::LimitExceeded { .. } => "congestion-cap",
+        RouteError::Unreachable { .. } | RouteError::InvalidEndpoint { .. } => "blocked-goal",
+        _ => "nothing-to-route",
+    }
+}
+
+impl<E: RoutingEngine> RoutingSession<E> {
+    /// Attributes one net's committed state: outcome, attempt count,
+    /// wire length against the terminal-bbox lower bound, and the
+    /// committed attempt's search stats (kept on every [`NetRoute`], so
+    /// this is a read, not a re-route). `None` when `id` is not a net
+    /// of this session's layout.
+    #[must_use]
+    pub fn explain_net(&self, id: NetId) -> Option<NetExplain> {
+        let net = self.layout.net(id)?;
+        let state = self.slots.get(id.index())?;
+        let mut out = NetExplain {
+            net: net.name().to_string(),
+            status: "unrouted",
+            dirty: state.dirty,
+            attempts: state.attempts,
+            lower_bound: net.hpwl(),
+            wire_length: None,
+            connections: None,
+            expanded: None,
+            generated: None,
+            cause: None,
+            detail: None,
+        };
+        match &state.slot {
+            NetSlot::Unrouted => {}
+            NetSlot::Routed(route) => {
+                out.status = "routed";
+                out.wire_length = Some(route.wire_length());
+                out.connections = Some(route.connections.len() as u64);
+                out.expanded = Some(route.stats.expanded as u64);
+                out.generated = Some(route.stats.generated as u64);
+            }
+            NetSlot::Failed(error) => {
+                out.status = "failed";
+                out.cause = Some(failure_cause(error));
+                out.detail = Some(error.to_string());
+            }
+        }
+        Some(out)
     }
 }
 
@@ -1762,5 +1915,155 @@ mod tests {
         assert!(!session.is_dirty(lonely), "attempt clears the dirty mark");
         let routing = session.routing();
         assert_eq!(routing.failures.len(), 1);
+    }
+
+    #[test]
+    fn traced_route_attributes_net_spans_matching_committed_stats() {
+        use gcr_telemetry::{SpanHandle, SpanRecorder};
+        let mut session = RoutingSession::gridless(two_net_layout(), RouterConfig::default());
+        let recorder = SpanRecorder::new("request", "test");
+        let root = recorder.root();
+        session.set_trace(Some(SpanHandle::new(recorder.clone(), root)));
+        let untraced = RoutingSession::gridless(two_net_layout(), RouterConfig::default());
+        let mut untraced = untraced;
+        let traced_routing = session.route_all();
+        let plain_routing = untraced.route_all();
+        session.set_trace(None);
+        recorder.end(root);
+        let tree = recorder.finish();
+
+        // Tracing is observation only: routed bytes are unchanged.
+        assert_eq!(traced_routing.wire_length(), plain_routing.wire_length());
+
+        let nets = tree.root.children.clone();
+        assert_eq!(nets.len(), 2, "one net span per routed net");
+        for span in &nets {
+            assert_eq!(span.name, "net");
+            let route = traced_routing
+                .routes
+                .iter()
+                .find(|r| r.net == span.label)
+                .expect("net span labelled with a routed net's name");
+            assert_eq!(span.counter("expanded"), Some(route.stats.expanded as u64));
+            assert_eq!(
+                span.counter("generated"),
+                Some(route.stats.generated as u64)
+            );
+            assert_eq!(
+                span.counter("connections"),
+                Some(route.connections.len() as u64)
+            );
+            // The engine's flush point hangs `search` leaves under the
+            // net span; two-pin nets take exactly one search, and its
+            // attribution agrees with the net rollup.
+            let searches: Vec<_> = span
+                .children
+                .iter()
+                .filter(|c| c.name == "search")
+                .collect();
+            assert_eq!(searches.len(), 1);
+            assert_eq!(searches[0].counter("expanded"), span.counter("expanded"));
+        }
+        // Once the handle is cleared, further routing records nothing.
+        let extra = session.add_two_pin_net("late", Point::new(5, 10), Point::new(95, 10));
+        let _ = session.route_net(extra);
+        assert_eq!(recorder.finish().span_count(), tree.span_count());
+    }
+
+    #[test]
+    fn explain_attributes_routed_and_failed_nets() {
+        let mut session = RoutingSession::gridless(two_net_layout(), RouterConfig::default());
+        let mid = session.layout().net_by_name("mid").unwrap();
+        assert_eq!(
+            session.explain_net(mid).unwrap().status,
+            "unrouted",
+            "explain works before any attempt"
+        );
+        session.route_all();
+        let explain = session.explain_net(mid).unwrap();
+        assert_eq!(explain.status, "routed");
+        assert_eq!(explain.net, "mid");
+        assert_eq!(explain.attempts, 1);
+        assert!(!explain.dirty);
+        // mid runs 5→95 at y=50 with a 90-wide pin bbox: the committed
+        // detour strictly exceeds the half-perimeter lower bound.
+        assert_eq!(explain.lower_bound, 90);
+        assert!(explain.wire_length.unwrap() > explain.lower_bound);
+        assert!(explain.expanded.unwrap() > 0);
+        assert!(explain.generated.unwrap() > 0);
+        assert_eq!(explain.connections, Some(1));
+        assert_eq!(explain.cause, None);
+
+        let lonely = session.add_net("lonely");
+        let _ = session.route_net(lonely);
+        let explain = session.explain_net(lonely).unwrap();
+        assert_eq!(explain.status, "failed");
+        assert_eq!(explain.cause, Some("nothing-to-route"));
+        assert!(explain.detail.unwrap().contains("lonely"));
+        assert_eq!(explain.wire_length, None);
+    }
+
+    #[test]
+    fn explain_names_blocked_goal_on_a_sealed_net() {
+        // Same donut as move_cell_retries_failed_nets: geometry, not
+        // effort, is the binding constraint.
+        let mut layout = Layout::new(Rect::new(0, 0, 100, 100).unwrap());
+        layout
+            .add_cell("south", Rect::new(58, 26, 92, 32).unwrap())
+            .unwrap();
+        layout
+            .add_cell("north", Rect::new(58, 68, 92, 74).unwrap())
+            .unwrap();
+        layout
+            .add_cell("west", Rect::new(58, 26, 64, 74).unwrap())
+            .unwrap();
+        layout
+            .add_cell("east", Rect::new(86, 26, 92, 74).unwrap())
+            .unwrap();
+        let net = layout.add_two_pin_net("cross", Point::new(5, 50), Point::new(75, 50));
+        let mut session = RoutingSession::gridless(layout, RouterConfig::default());
+        session.route_all();
+        let explain = session.explain_net(net).unwrap();
+        assert_eq!(explain.status, "failed");
+        assert_eq!(explain.cause, Some("blocked-goal"));
+    }
+
+    #[test]
+    fn explain_names_congestion_cap_on_a_drowned_search() {
+        let mut config = RouterConfig::default();
+        config.max_expansions(Some(1));
+        let mut session = RoutingSession::gridless(two_net_layout(), config);
+        session.route_all();
+        let mid = session.layout().net_by_name("mid").unwrap();
+        let explain = session.explain_net(mid).unwrap();
+        assert_eq!(explain.status, "failed");
+        assert_eq!(explain.cause, Some("congestion-cap"));
+    }
+
+    #[test]
+    fn failure_cause_names_the_binding_constraint() {
+        use crate::CancelReason;
+        let cancelled = RouteError::Cancelled {
+            what: "net a".into(),
+            reason: CancelReason::Deadline,
+        };
+        assert_eq!(failure_cause(&cancelled), "budget-trip");
+        let limited = RouteError::LimitExceeded {
+            what: "net a".into(),
+            limit: 9,
+        };
+        assert_eq!(failure_cause(&limited), "congestion-cap");
+        let sealed = RouteError::Unreachable {
+            what: "net a".into(),
+        };
+        assert_eq!(failure_cause(&sealed), "blocked-goal");
+        let bad = RouteError::InvalidEndpoint {
+            point: Point::new(1, 2),
+        };
+        assert_eq!(failure_cause(&bad), "blocked-goal");
+        let empty = RouteError::NothingToRoute {
+            what: "net a".into(),
+        };
+        assert_eq!(failure_cause(&empty), "nothing-to-route");
     }
 }

@@ -284,11 +284,15 @@ pub fn astar_budgeted_into<Sp: SearchSpace>(
     arena: &mut SearchArena<Sp::State, Sp::Cost>,
     path_out: &mut Vec<Sp::State>,
 ) -> SearchOutcome<Sp::State, Sp::Cost> {
+    // One clock read up front iff this thread is routing a traced
+    // request (one thread-local probe otherwise), so the flush below
+    // can attribute the search's wall window to the active net span.
+    let trace_start = crate::telem::trace_begin();
     let outcome = astar_budgeted_into_raw(space, limits, budget, arena, path_out);
     // One registry flush per search, at the single funnel every search
     // form delegates through; the expansion loop itself never touches
     // shared state.
-    crate::telem::flush_outcome(&outcome);
+    crate::telem::flush_outcome(&outcome, trace_start);
     outcome
 }
 
@@ -768,6 +772,37 @@ mod tests {
         assert_eq!(x.stats, y.stats);
         // The meter was flushed on exit.
         assert_eq!(b.expansions(), y.stats.expanded as u64);
+    }
+
+    #[test]
+    fn traced_search_records_a_leaf_span_with_its_stats() {
+        let rec = gcr_telemetry::SpanRecorder::new("request", "");
+        let prev = gcr_telemetry::set_active_span(Some(gcr_telemetry::SpanHandle::new(
+            std::sync::Arc::clone(&rec),
+            rec.root(),
+        )));
+        let found = astar(&diamond()).unwrap();
+        gcr_telemetry::set_active_span(prev);
+        let tree = rec.finish();
+        let searches = tree.find_all("search");
+        assert_eq!(searches.len(), 1, "one search, one leaf span");
+        assert_eq!(
+            searches[0].counter("expanded"),
+            Some(found.stats.expanded as u64),
+            "the span carries the same stats the registry flush read"
+        );
+        assert_eq!(
+            tree.total_counter("generated"),
+            found.stats.generated as u64
+        );
+        assert_eq!(
+            tree.total_counter("arena-resets"),
+            1,
+            "the entry reset is attributed to the active span"
+        );
+        // An untraced search records nothing further.
+        let _ = astar(&diamond()).unwrap();
+        assert_eq!(rec.finish().find_all("search").len(), 1);
     }
 
     #[test]

@@ -46,24 +46,60 @@ fn metrics() -> &'static SearchMetrics {
     })
 }
 
-/// Count one arena reset.
+/// Count one arena reset — into the registry, and onto the enclosing
+/// net's span when this thread is routing a traced request.
 pub(crate) fn note_arena_reset() {
     if gcr_telemetry::enabled() {
         metrics().arena_resets.inc();
     }
+    if let Some(span) = gcr_telemetry::active_span() {
+        span.add("arena-resets", 1);
+    }
 }
 
-/// Flush one finished search's thread-local stats into the registry.
-pub(crate) fn flush_outcome<S, C>(outcome: &SearchOutcome<S, C>) {
+/// Clock capture for span attribution: `Some(now)` only when this
+/// thread carries an active span (the session layer installs one around
+/// each net of a traced request). Untraced searches pay one
+/// thread-local probe and never read the clock.
+pub(crate) fn trace_begin() -> Option<std::time::Instant> {
+    gcr_telemetry::has_active_span().then(std::time::Instant::now)
+}
+
+/// Flush one finished search's thread-local stats into the registry,
+/// and — when [`trace_begin`] captured a start — record the search as a
+/// leaf span under the active net span, carrying the *same* stats. The
+/// two sinks read one `SearchStats`, which is what makes a traced
+/// request's attributed expansion total equal the registry delta
+/// (asserted by `tests/telemetry.rs`).
+pub(crate) fn flush_outcome<S, C>(
+    outcome: &SearchOutcome<S, C>,
+    trace_start: Option<std::time::Instant>,
+) {
+    let stats = outcome.stats();
+    let cancelled = matches!(outcome, SearchOutcome::Cancelled(..));
+    if let (Some(start), Some(span)) = (trace_start, gcr_telemetry::active_span()) {
+        let mut counters = [
+            ("expanded", stats.expanded as u64),
+            ("generated", stats.generated as u64),
+            ("budget-trips", 0),
+        ];
+        let len = if cancelled {
+            counters[2].1 = 1;
+            3
+        } else {
+            2
+        };
+        span.recorder()
+            .leaf(span.parent(), "search", "", start, &counters[..len]);
+    }
     if !gcr_telemetry::enabled() {
         return;
     }
     let m = metrics();
-    let stats = outcome.stats();
     m.searches.inc();
     m.expansions.add(stats.expanded as u64);
     m.generated.add(stats.generated as u64);
-    if matches!(outcome, SearchOutcome::Cancelled(..)) {
+    if cancelled {
         m.budget_trips.inc();
     }
 }
@@ -84,11 +120,11 @@ mod tests {
             generated: 20,
             ..SearchStats::default()
         };
-        flush_outcome(&SearchOutcome::<u32, u32>::Exhausted(stats));
-        flush_outcome(&SearchOutcome::<u32, u32>::Cancelled(
-            CancelReason::Deadline,
-            stats,
-        ));
+        flush_outcome(&SearchOutcome::<u32, u32>::Exhausted(stats), None);
+        flush_outcome(
+            &SearchOutcome::<u32, u32>::Cancelled(CancelReason::Deadline, stats),
+            None,
+        );
 
         // Other tests in this process may flush concurrently, so the
         // deltas are lower bounds rather than exact.

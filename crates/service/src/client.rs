@@ -68,6 +68,20 @@ impl Reply {
     pub fn int_field(&self, key: &str) -> Option<i64> {
         self.field(key)?.parse().ok()
     }
+
+    /// The span-grammar lines of a `TRACE` reply body, parsed back into
+    /// a tree (`None` when the body carries no spans — e.g. a
+    /// kill-switched trace answered `spans 0`).
+    #[must_use]
+    pub fn span_tree(&self) -> Option<gcr_telemetry::SpanTree> {
+        let spans: String = self
+            .body
+            .lines()
+            .filter(|l| l.starts_with("span "))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        gcr_telemetry::SpanTree::parse(&spans)
+    }
 }
 
 /// One connection to a routing daemon.
@@ -264,6 +278,36 @@ impl Client {
             sid,
             max_iters,
             deadline_ms,
+        })
+    }
+
+    /// `TRACE`: runs `inner` (a `ROUTE`/`ECO`/`NEGOTIATE`/`RIPUP`
+    /// request carrying the same `sid`) with span-tree tracing armed;
+    /// the reply body is the inner body followed by the span grammar
+    /// lines ([`Reply::span_tree`] parses them back).
+    ///
+    /// # Errors
+    ///
+    /// See [`ClientError`]. Wrapping any other verb is a
+    /// [`ClientError::Server`] parse error.
+    pub fn trace(&mut self, sid: u64, inner: Request) -> Result<Reply, ClientError> {
+        self.expect_ok(&Request::Trace {
+            sid,
+            inner: Box::new(inner),
+        })
+    }
+
+    /// `EXPLAIN`: per-net cost attribution for one net by name — the
+    /// committed outcome, attempt count, bounding-box lower bound and
+    /// detour, search effort, and (for failed nets) the binding cause.
+    ///
+    /// # Errors
+    ///
+    /// See [`ClientError`].
+    pub fn explain(&mut self, sid: u64, net: &str) -> Result<Reply, ClientError> {
+        self.expect_ok(&Request::Explain {
+            sid,
+            net: net.to_string(),
         })
     }
 

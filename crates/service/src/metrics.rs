@@ -44,6 +44,11 @@ pub struct ServiceMetrics {
     pub session_wall_us: &'static Counter,
     /// Requests that landed in the slow log.
     pub slow_requests: &'static Counter,
+    /// Slow-log ring occupancy (entries currently retained).
+    pub slow_log_entries: &'static Gauge,
+    /// Requests served with span-tree tracing armed (explicit `TRACE`
+    /// or ambient sampling).
+    pub traced_requests: &'static Counter,
     /// Seconds since the serving `Server` started (refreshed at each
     /// `METRICS` scrape).
     pub uptime_seconds: &'static Gauge,
@@ -120,6 +125,14 @@ impl ServiceMetrics {
                 slow_requests: reg.counter(
                     "gcr_service_slow_requests_total",
                     "Requests recorded in the slow log (over threshold or panicked)",
+                ),
+                slow_log_entries: reg.gauge(
+                    "gcr_service_slow_log_entries",
+                    "Entries currently retained in the slow-log ring",
+                ),
+                traced_requests: reg.counter(
+                    "gcr_service_traced_requests_total",
+                    "Requests served with span-tree tracing armed",
                 ),
                 uptime_seconds: reg.gauge(
                     "gcr_service_uptime_seconds",

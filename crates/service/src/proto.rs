@@ -20,6 +20,16 @@
 //! NEGOTIATE <sid> [<iters>] [DEADLINE <ms>]
 //!                            # PathFinder negotiated congestion (iteration cap);
 //!                            # DEADLINE as for ROUTE (checkpoint rollback).
+//! TRACE <sid> <verb> [args…] # run ROUTE/ECO/NEGOTIATE/RIPUP (args as for the
+//!                            # verb, minus the sid; ECO keeps its dot-framed
+//!                            # body) with span tracing forced on; an OK reply
+//!                            # appends the request's span tree — `span` lines
+//!                            # in the `gcr_telemetry::SpanTree` grammar — to
+//!                            # the inner body. A failed inner op answers its
+//!                            # usual ERR and retains the tree in the slow log.
+//! EXPLAIN <sid> <net>        # per-net cost attribution of the committed state:
+//!                            # status, attempts, wire length vs. the pin-bbox
+//!                            # lower bound, search stats, failure cause
 //! STATS [<sid>]              # session stats, or server stats without a sid
 //! METRICS                    # full registry, Prometheus text exposition as the body
 //! DUMP <sid>                 # committed routes as polylines (diffable)
@@ -46,8 +56,8 @@ use std::fmt;
 use std::io::{self, BufRead, Read, Write};
 
 use gcr_core::{
-    GlobalRouting, GridEngine, GridlessEngine, HightowerEngine, PlaneIndexKind, RoutingEngine,
-    SessionStats,
+    GlobalRouting, GridEngine, GridlessEngine, HightowerEngine, NetExplain, PlaneIndexKind,
+    RoutingEngine, SessionStats,
 };
 
 /// The boxed engine type the service routes through: dynamic so `OPEN`
@@ -190,6 +200,24 @@ pub enum Request {
         /// through a checkpoint).
         deadline_ms: Option<u64>,
     },
+    /// Run a session op with span tracing forced on, returning the
+    /// request's span tree in the reply body. `inner` must be a
+    /// [`Request::Route`], [`Request::Eco`], [`Request::Negotiate`] or
+    /// [`Request::RipUp`] carrying the same `sid` — the parser
+    /// guarantees it, and [`write_request`] panics on anything else.
+    Trace {
+        /// Session id (also the inner request's sid).
+        sid: u64,
+        /// The traced session op.
+        inner: Box<Request>,
+    },
+    /// Per-net cost attribution of the committed state.
+    Explain {
+        /// Session id.
+        sid: u64,
+        /// Net name in the session's layout.
+        net: String,
+    },
     /// Session stats (with a sid) or server stats (without).
     Stats {
         /// Session id, or `None` for server-level stats.
@@ -225,7 +253,7 @@ pub enum Request {
 /// families (`gcr_service_requests_total{verb=...}` and friends) carry
 /// exactly these label values, and [`Request::verb_index`] indexes this
 /// table.
-pub const VERBS: [&str; 12] = [
+pub const VERBS: [&str; 14] = [
     "ping",
     "open",
     "eco",
@@ -238,6 +266,8 @@ pub const VERBS: [&str; 12] = [
     "close",
     "shutdown",
     "crash",
+    "trace",
+    "explain",
 ];
 
 impl Request {
@@ -257,6 +287,8 @@ impl Request {
             Request::Close { .. } => 9,
             Request::Shutdown => 10,
             Request::Crash { .. } => 11,
+            Request::Trace { .. } => 12,
+            Request::Explain { .. } => 13,
         }
     }
 
@@ -644,6 +676,46 @@ pub fn write_request(w: &mut impl Write, req: &Request) -> io::Result<()> {
             }
             writeln!(w)
         }
+        Request::Trace { sid, inner } => {
+            write!(w, "TRACE {sid} ")?;
+            // The inner request re-encodes without its sid (the TRACE
+            // line already carries it); ECO keeps its dot-framed body.
+            match &**inner {
+                Request::Route {
+                    full, deadline_ms, ..
+                } => {
+                    write!(w, "ROUTE")?;
+                    if *full {
+                        write!(w, " FULL")?;
+                    }
+                    if let Some(ms) = deadline_ms {
+                        write!(w, " DEADLINE {ms}")?;
+                    }
+                    writeln!(w)
+                }
+                Request::Eco { eco, .. } => {
+                    writeln!(w, "ECO")?;
+                    write_body(w, eco)
+                }
+                Request::Negotiate {
+                    max_iters,
+                    deadline_ms,
+                    ..
+                } => {
+                    write!(w, "NEGOTIATE")?;
+                    if let Some(n) = max_iters {
+                        write!(w, " {n}")?;
+                    }
+                    if let Some(ms) = deadline_ms {
+                        write!(w, " DEADLINE {ms}")?;
+                    }
+                    writeln!(w)
+                }
+                Request::RipUp { net, .. } => writeln!(w, "RIPUP {net}"),
+                other => panic!("TRACE cannot wrap {:?}", other.verb()),
+            }
+        }
+        Request::Explain { sid, net } => writeln!(w, "EXPLAIN {sid} {net}"),
         Request::Stats { sid: Some(sid) } => writeln!(w, "STATS {sid}"),
         Request::Stats { sid: None } => writeln!(w, "STATS"),
         Request::Metrics => writeln!(w, "METRICS"),
@@ -694,9 +766,21 @@ pub fn read_request_limited(
     r: &mut impl BufRead,
     limits: &WireLimits,
 ) -> io::Result<Option<Result<Request, WireError>>> {
+    read_request_impl(r, limits)
+}
+
+/// The non-generic request reader. `TRACE` re-enters this function over
+/// a `Chain` of its synthesized inner request line and the live stream;
+/// taking `&mut dyn BufRead` keeps that recursion at one instantiation
+/// instead of an infinitely deepening generic type.
+fn read_request_impl(
+    r: &mut dyn BufRead,
+    limits: &WireLimits,
+) -> io::Result<Option<Result<Request, WireError>>> {
     // Tolerate blank lines between requests (hand-driven telnet traffic).
+    let mut r = r;
     let line = loop {
-        match read_line_bounded(r, limits.max_line)? {
+        match read_line_bounded(&mut r, limits.max_line)? {
             None => return Ok(None),
             Some(Err(e)) => return Ok(Some(Err(e))),
             Some(Ok(l)) if l.trim().is_empty() => continue,
@@ -754,7 +838,7 @@ pub fn read_request_limited(
             // error on its way to the client.
             let engine = EngineKind::parse(tokens[1]);
             let index = parse_index(tokens[2]);
-            let gcl = match read_body(r, limits)? {
+            let gcl = match read_body(&mut r, limits)? {
                 Ok(body) => body,
                 Err(e) => return Ok(Some(Err(e))),
             };
@@ -776,7 +860,7 @@ pub fn read_request_limited(
             check_arity!(1, 1);
             // Same body-first discipline as OPEN: drain, then validate.
             let sid = sid_of(tokens[1]);
-            let eco = match read_body(r, limits)? {
+            let eco = match read_body(&mut r, limits)? {
                 Ok(body) => body,
                 Err(e) => return Ok(Some(Err(e))),
             };
@@ -838,6 +922,49 @@ pub fn read_request_limited(
                 sid,
                 max_iters,
                 deadline_ms,
+            }
+        }
+        "TRACE" => {
+            if tokens.len() < 3 {
+                return bad("TRACE takes a session id and an inner request".to_string());
+            }
+            let sid = sid!(tokens[1]);
+            let inner_verb = tokens[2];
+            if !matches!(inner_verb, "ROUTE" | "ECO" | "NEGOTIATE" | "RIPUP") {
+                return bad(format!(
+                    "TRACE wraps ROUTE, ECO, NEGOTIATE or RIPUP, not {inner_verb:?}"
+                ));
+            }
+            // Synthesize the inner request line by splicing the sid back
+            // in after the verb, then re-enter the reader over a chain
+            // of that line and the live stream — an inner ECO body is
+            // read from the connection exactly as a bare ECO would.
+            let mut inner_line = format!("{inner_verb} {sid}");
+            for token in &tokens[3..] {
+                inner_line.push(' ');
+                inner_line.push_str(token);
+            }
+            inner_line.push('\n');
+            let mut chained = io::Cursor::new(inner_line.into_bytes()).chain(&mut r);
+            match read_request_impl(&mut chained, limits)? {
+                Some(Ok(inner)) => Request::Trace {
+                    sid,
+                    inner: Box::new(inner),
+                },
+                Some(Err(e)) => return Ok(Some(Err(e))),
+                None => {
+                    return Ok(Some(Err(WireError::new(
+                        ErrCode::Internal,
+                        "synthesized inner request line vanished",
+                    ))))
+                }
+            }
+        }
+        "EXPLAIN" => {
+            check_arity!(2, 2);
+            Request::Explain {
+                sid: sid!(tokens[1]),
+                net: tokens[2].to_string(),
             }
         }
         "STATS" => {
@@ -999,6 +1126,40 @@ pub fn format_stats(stats: &SessionStats) -> String {
     )
 }
 
+/// Renders a per-net attribution as an `EXPLAIN` reply body (`key
+/// value`, one per line; optional lines only when known). `status` and
+/// `lower-bound` always appear; a failed net always carries `cause`.
+#[must_use]
+pub fn format_explain(explain: &NetExplain) -> String {
+    use std::fmt::Write as _;
+    let mut out = format!(
+        "net {}\nstatus {}\ndirty {}\nattempts {}\nlower-bound {}\n",
+        explain.net, explain.status, explain.dirty, explain.attempts, explain.lower_bound
+    );
+    if let Some(wl) = explain.wire_length {
+        writeln!(out, "wire-length {wl}").unwrap();
+        if explain.lower_bound > 0 {
+            writeln!(out, "detour {}", wl - explain.lower_bound).unwrap();
+        }
+    }
+    if let Some(n) = explain.connections {
+        writeln!(out, "connections {n}").unwrap();
+    }
+    if let Some(n) = explain.expanded {
+        writeln!(out, "expanded {n}").unwrap();
+    }
+    if let Some(n) = explain.generated {
+        writeln!(out, "generated {n}").unwrap();
+    }
+    if let Some(cause) = explain.cause {
+        writeln!(out, "cause {cause}").unwrap();
+    }
+    if let Some(detail) = &explain.detail {
+        writeln!(out, "detail {}", flatten(detail)).unwrap();
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1078,6 +1239,48 @@ mod tests {
             Request::Close { sid: 6 },
             Request::Shutdown,
             Request::Crash { sid: 11 },
+            Request::Trace {
+                sid: 2,
+                inner: Box::new(Request::Route {
+                    sid: 2,
+                    full: true,
+                    deadline_ms: None,
+                }),
+            },
+            Request::Trace {
+                sid: 3,
+                inner: Box::new(Request::Route {
+                    sid: 3,
+                    full: false,
+                    deadline_ms: Some(250),
+                }),
+            },
+            Request::Trace {
+                sid: 4,
+                inner: Box::new(Request::Eco {
+                    sid: 4,
+                    eco: "move a 1 0\nreroute\n".to_string(),
+                }),
+            },
+            Request::Trace {
+                sid: 5,
+                inner: Box::new(Request::Negotiate {
+                    sid: 5,
+                    max_iters: Some(8),
+                    deadline_ms: Some(100),
+                }),
+            },
+            Request::Trace {
+                sid: 6,
+                inner: Box::new(Request::RipUp {
+                    sid: 6,
+                    net: "clk".to_string(),
+                }),
+            },
+            Request::Explain {
+                sid: 7,
+                net: "clk".to_string(),
+            },
         ] {
             assert_eq!(roundtrip_request(&req), req, "{req:?}");
         }
@@ -1155,6 +1358,20 @@ mod tests {
             ("CRASH zebra\n", ErrCode::BadRequest),
             ("STATS 1 2\n", ErrCode::BadRequest),
             ("PING extra\n", ErrCode::BadRequest),
+            ("TRACE\n", ErrCode::BadRequest),
+            ("TRACE 1\n", ErrCode::BadRequest),
+            ("TRACE zebra ROUTE\n", ErrCode::BadRequest),
+            // Only the session ops may be wrapped; nesting is refused.
+            ("TRACE 1 STATS\n", ErrCode::BadRequest),
+            ("TRACE 1 PING\n", ErrCode::BadRequest),
+            ("TRACE 1 TRACE ROUTE\n", ErrCode::BadRequest),
+            // Inner-request errors surface as their own typed errors.
+            ("TRACE 1 ROUTE SIDEWAYS\n", ErrCode::BadRequest),
+            ("TRACE 1 ECO\n", ErrCode::Truncated),
+            ("EXPLAIN\n", ErrCode::BadRequest),
+            ("EXPLAIN 1\n", ErrCode::BadRequest),
+            ("EXPLAIN zebra clk\n", ErrCode::BadRequest),
+            ("EXPLAIN 1 clk extra\n", ErrCode::BadRequest),
         ] {
             let got = read_request(&mut BufReader::new(wire.as_bytes()))
                 .unwrap()
@@ -1162,6 +1379,79 @@ mod tests {
                 .unwrap_err();
             assert_eq!(got.code, code, "{wire:?}");
         }
+    }
+
+    #[test]
+    fn trace_splices_the_sid_into_the_inner_request() {
+        // The wire form writes the sid once (on the TRACE line); the
+        // parser re-threads it into the inner request, and an inner
+        // ECO's dot-framed body flows from the same stream.
+        let wire = "TRACE 9 ECO\nmove a 1 0\n.\nPING\n";
+        let mut r = BufReader::new(wire.as_bytes());
+        let got = read_request(&mut r).unwrap().unwrap().unwrap();
+        assert_eq!(
+            got,
+            Request::Trace {
+                sid: 9,
+                inner: Box::new(Request::Eco {
+                    sid: 9,
+                    eco: "move a 1 0\n".to_string(),
+                }),
+            }
+        );
+        // The frame consumed exactly itself: the pipelined PING is next.
+        let next = read_request(&mut r).unwrap().unwrap().unwrap();
+        assert_eq!(next, Request::Ping);
+    }
+
+    #[test]
+    fn explain_bodies_render_the_attribution() {
+        let routed = NetExplain {
+            net: "clk".to_string(),
+            status: "routed",
+            dirty: false,
+            attempts: 2,
+            lower_bound: 90,
+            wire_length: Some(110),
+            connections: Some(1),
+            expanded: Some(14),
+            generated: Some(40),
+            cause: None,
+            detail: None,
+        };
+        let body = format_explain(&routed);
+        for line in [
+            "net clk",
+            "status routed",
+            "attempts 2",
+            "lower-bound 90",
+            "wire-length 110",
+            "detour 20",
+            "expanded 14",
+        ] {
+            assert!(body.contains(line), "{line:?} in {body:?}");
+        }
+        assert!(!body.contains("cause"), "routed nets name no cause");
+        let failed = NetExplain {
+            net: "cross".to_string(),
+            status: "failed",
+            dirty: true,
+            attempts: 1,
+            lower_bound: 70,
+            wire_length: None,
+            connections: None,
+            expanded: Some(300),
+            generated: Some(900),
+            cause: Some("blocked-goal"),
+            detail: Some("no path\nfrom (5,50)".to_string()),
+        };
+        let body = format_explain(&failed);
+        assert!(body.contains("cause blocked-goal"), "{body:?}");
+        assert!(
+            body.contains("detail no path from (5,50)"),
+            "multi-line detail is flattened: {body:?}"
+        );
+        assert!(!body.contains("wire-length"), "{body:?}");
     }
 
     #[test]

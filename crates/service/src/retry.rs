@@ -77,12 +77,15 @@ pub fn is_idempotent(req: &Request) -> bool {
         | Request::Metrics
         | Request::Dump { .. }
         | Request::RipUp { .. }
+        | Request::Explain { .. }
         | Request::Close { .. } => true,
         Request::Open { .. }
         | Request::Eco { .. }
         | Request::Negotiate { .. }
         | Request::Shutdown
         | Request::Crash { .. } => false,
+        // TRACE is exactly as replayable as the request it wraps.
+        Request::Trace { inner, .. } => is_idempotent(inner),
     }
 }
 

@@ -30,12 +30,13 @@
 //!   connection finishes its current request and closes, and
 //!   [`Server::run`] returns a [`ServerReport`] of the run's accounting.
 
+use std::cell::{Cell, RefCell};
 use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, TrySendError};
-use std::sync::{Arc, Mutex, PoisonError};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 use std::time::{Duration, Instant};
 
 use gcr_core::{
@@ -43,12 +44,15 @@ use gcr_core::{
     RoutingSession,
 };
 use gcr_layout::format;
-use gcr_telemetry::{slow_log, SlowEntry, TraceId};
+use gcr_telemetry::{
+    init_slow_log, sample_trace, slow_log, Counter, SlowEntry, SpanHandle, SpanRecorder, TraceId,
+    DEFAULT_SLOW_LOG_CAP,
+};
 
 use crate::metrics::ServiceMetrics;
 use crate::proto::{
-    dump_routing, format_stats, index_name, read_request_limited, write_response, ErrCode, Request,
-    Response, WireLimits, VERBS,
+    dump_routing, format_explain, format_stats, index_name, read_request_limited, write_response,
+    ErrCode, Request, Response, WireLimits, VERBS,
 };
 use crate::registry::{ServiceSession, SessionEntry, SessionRegistry};
 
@@ -80,6 +84,17 @@ pub struct ServerConfig {
     /// are always recorded). Recording is skipped entirely when
     /// telemetry is disabled.
     pub slow_log_ms: u64,
+    /// Slow-log ring capacity. Applied at [`Server::bind`]; the ring is
+    /// process-global and sized once, so the first server (or test) to
+    /// initialize it wins.
+    pub slow_log_cap: usize,
+    /// Fraction of session-op requests traced ambiently (`0.0` = only
+    /// explicit `TRACE` requests trace; `1.0` = every request).
+    /// Sampled requests retain their span tree in the slow log even
+    /// when fast and successful; slow requests carry a tree only when
+    /// sampling (or `TRACE`) recorded one. Sampling is deterministic
+    /// in the trace id.
+    pub trace_sample_rate: f64,
 }
 
 impl Default for ServerConfig {
@@ -93,6 +108,8 @@ impl Default for ServerConfig {
             limits: WireLimits::default(),
             crash_probe: false,
             slow_log_ms: 1_000,
+            slow_log_cap: DEFAULT_SLOW_LOG_CAP,
+            trace_sample_rate: 0.0,
         }
     }
 }
@@ -143,6 +160,7 @@ pub struct Server {
     limits: WireLimits,
     crash_probe: bool,
     slow_log: Option<Duration>,
+    trace_rate: f64,
 }
 
 impl Server {
@@ -164,6 +182,7 @@ impl Server {
         } else {
             config.queue
         };
+        init_slow_log(config.slow_log_cap);
         Ok(Server {
             listener,
             registry: Arc::new(SessionRegistry::new(config.capacity)),
@@ -176,6 +195,7 @@ impl Server {
             limits: config.limits,
             crash_probe: config.crash_probe,
             slow_log: (config.slow_log_ms > 0).then(|| Duration::from_millis(config.slow_log_ms)),
+            trace_rate: config.trace_sample_rate.clamp(0.0, 1.0),
         })
     }
 
@@ -219,6 +239,7 @@ impl Server {
             limits: self.limits,
             crash_probe: self.crash_probe,
             slow_log: self.slow_log,
+            trace_rate: self.trace_rate,
             start: Instant::now(),
         };
         let (tx, rx) = sync_channel::<TcpStream>(self.queue);
@@ -316,6 +337,7 @@ struct Ctx<'a> {
     limits: WireLimits,
     crash_probe: bool,
     slow_log: Option<Duration>,
+    trace_rate: f64,
     start: Instant,
 }
 
@@ -381,6 +403,135 @@ fn is_timeout(e: &io::Error) -> bool {
         e.kind(),
         io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
     )
+}
+
+thread_local! {
+    /// The op span of the request this worker is currently tracing;
+    /// [`with_session`] clones it into the session so net routing
+    /// attributes spans under it (service → core → search).
+    static REQUEST_SPAN: RefCell<Option<SpanHandle>> = const { RefCell::new(None) };
+    /// Channel from [`trace_request`] (deep in dispatch) back to the
+    /// connection loop: the recorder of the request just served, and
+    /// whether sampling — rather than an explicit `TRACE` — selected
+    /// it.
+    static TRACE_OUTPUT: RefCell<Option<TraceOutput>> = const { RefCell::new(None) };
+    /// Set by [`with_session`]'s panic handler so the connection loop
+    /// does not record the same request in the slow ring twice.
+    static PANIC_LOGGED: Cell<bool> = const { Cell::new(false) };
+}
+
+struct TraceOutput {
+    /// The request's recorder, every span closed. Retention stores it
+    /// raw; only an explicit `TRACE` reply assembles and renders the
+    /// tree on the request path.
+    recorder: Arc<SpanRecorder>,
+    sampled: bool,
+}
+
+/// The process-global geometry-cache counters (hits/misses ×
+/// ray/segment/corner), fetched idempotently from the registry and
+/// paired with the span-counter key each delta is attributed under.
+fn geom_cache_counters() -> &'static [(&'static str, &'static Counter); 6] {
+    static HANDLES: OnceLock<[(&'static str, &'static Counter); 6]> = OnceLock::new();
+    HANDLES.get_or_init(|| {
+        let reg = gcr_telemetry::global();
+        const HITS: &str = "Sharded-plane query-cache hits, by query kind";
+        const MISSES: &str = "Sharded-plane query-cache misses, by query kind";
+        let hit = |kind| reg.counter_labeled("gcr_geom_cache_hits_total", HITS, "kind", kind);
+        let miss = |kind| reg.counter_labeled("gcr_geom_cache_misses_total", MISSES, "kind", kind);
+        [
+            ("cache-hits-ray", hit("ray")),
+            ("cache-hits-segment", hit("segment")),
+            ("cache-hits-corner", hit("corner")),
+            ("cache-misses-ray", miss("ray")),
+            ("cache-misses-segment", miss("segment")),
+            ("cache-misses-corner", miss("corner")),
+        ]
+    })
+}
+
+/// Runs `f` with span-tree tracing armed and returns its response plus
+/// the recorder (left unfinished — finishing builds the tree, and the
+/// caller only pays for that when the trace is actually read): builds
+/// the `request` → op span skeleton, parks
+/// the op handle in [`REQUEST_SPAN`] for [`with_session`] to thread
+/// into the session, and attributes the geometry-cache deltas to the
+/// op span as the plane-query rollup. The rollup reads process-global
+/// counters, so it is exact for a lone in-flight request and
+/// approximate while other workers route concurrently.
+fn trace_request(
+    ctx: &Ctx<'_>,
+    trace: TraceId,
+    verb: &'static str,
+    sid: u64,
+    f: impl FnOnce() -> Response,
+) -> (Response, Arc<SpanRecorder>) {
+    ctx.metrics.traced_requests.inc();
+    let recorder = SpanRecorder::new("request", &trace.to_string());
+    let root = SpanHandle::new(Arc::clone(&recorder), recorder.root());
+    let op = root.child(verb, &sid.to_string());
+    let handles = geom_cache_counters();
+    let cache_before = handles.map(|(_, c)| c.get());
+    REQUEST_SPAN.with(|slot| *slot.borrow_mut() = Some(op.clone()));
+    let response = f();
+    REQUEST_SPAN.with(|slot| *slot.borrow_mut() = None);
+    let mut rollup = [("", 0u64); 6];
+    let mut nonzero = 0;
+    for (i, &(key, counter)) in handles.iter().enumerate() {
+        let delta = counter.get().saturating_sub(cache_before[i]);
+        if delta > 0 {
+            rollup[nonzero] = (key, delta);
+            nonzero += 1;
+        }
+    }
+    if nonzero > 0 {
+        op.add_many(&rollup[..nonzero]);
+    }
+    op.end();
+    // Close the root here too, so every span carries its final duration
+    // and a retained recorder reads correctly however much later its
+    // tree is assembled.
+    root.end();
+    (response, recorder)
+}
+
+/// The session id a request's trace op span is labeled with — also the
+/// gate deciding which verbs ambient tracing covers (the session ops
+/// that do routing work; `PING`/`STATS`/`METRICS` traces are noise).
+fn session_op_sid(request: &Request) -> Option<u64> {
+    match request {
+        Request::Route { sid, .. }
+        | Request::Eco { sid, .. }
+        | Request::Negotiate { sid, .. }
+        | Request::RipUp { sid, .. } => Some(*sid),
+        _ => None,
+    }
+}
+
+/// Dispatch plus the tracing decision: an explicit `TRACE` is handled
+/// by its own dispatch arm; a session op is traced ambiently when the
+/// sample rate selects its trace id (`--trace-sample-rate`). Unsampled
+/// requests — and everything when the kill switch is off — take the
+/// plain dispatch path untouched, so an idle sample rate costs the
+/// warm path one multiply.
+fn serve(request: Request, ctx: &Ctx<'_>, trace: TraceId) -> Response {
+    if gcr_telemetry::enabled() && !matches!(request, Request::Trace { .. }) {
+        if let Some(sid) = session_op_sid(&request) {
+            if ctx.trace_rate > 0.0 && sample_trace(trace, ctx.trace_rate) {
+                let verb = request.verb();
+                let (response, recorder) =
+                    trace_request(ctx, trace, verb, sid, || dispatch(request, ctx, trace));
+                TRACE_OUTPUT.with(|slot| {
+                    *slot.borrow_mut() = Some(TraceOutput {
+                        recorder,
+                        sampled: true,
+                    });
+                });
+                return response;
+            }
+        }
+    }
+    dispatch(request, ctx, trace)
 }
 
 /// Serves one keep-alive connection: requests in, framed replies out,
@@ -457,7 +608,7 @@ fn handle_connection(stream: TcpStream, ctx: &Ctx<'_>) {
                 let response = if ctx.drain.load(Ordering::SeqCst) && !is_shutdown {
                     Response::err(ErrCode::ShuttingDown, "server is draining")
                 } else {
-                    dispatch(request, ctx, trace)
+                    serve(request, ctx, trace)
                 };
                 if is_shutdown {
                     ctx.begin_drain();
@@ -468,24 +619,43 @@ fn handle_connection(stream: TcpStream, ctx: &Ctx<'_>) {
         if matches!(response, Response::Err(_)) {
             ctx.counters.errors.fetch_add(1, Ordering::Relaxed);
         }
+        let trace_output = TRACE_OUTPUT.with(|slot| slot.borrow_mut().take());
+        let panic_logged = PANIC_LOGGED.with(Cell::take);
         if telemetry_on {
             if let Response::Err(e) = &response {
                 ctx.metrics.error_counter(e.code).inc();
             }
             if let (Some(started), Some(i)) = (started, verb_idx) {
                 let us = ctx.metrics.request_us[i].observe_since(started);
-                if let Some(threshold) = ctx.slow_log {
-                    if us >= threshold.as_micros() as u64 {
+                let slow = ctx
+                    .slow_log
+                    .is_some_and(|threshold| us >= threshold.as_micros() as u64);
+                let failed = matches!(&response, Response::Err(_));
+                let sampled = trace_output.as_ref().is_some_and(|t| t.sampled);
+                // Retention: slow requests as before, now carrying their
+                // span tree when tracing recorded one — plus any
+                // *traced* request that failed or was sampled, even
+                // when fast. The tree is built and rendered here, off
+                // the common path.
+                if slow || (trace_output.is_some() && (failed || sampled)) {
+                    if slow {
                         ctx.metrics.slow_requests.inc();
-                        slow_log().record(SlowEntry {
+                    }
+                    // A panicked request already recorded itself (with
+                    // the quarantine detail) inside `with_session`.
+                    if !panic_logged {
+                        let held = slow_log().record(SlowEntry {
                             trace,
                             verb: VERBS[i],
                             micros: us,
                             detail: match &response {
                                 Response::Err(e) => format!("ERR {}", e.code.name()),
-                                _ => "ok".to_string(),
+                                _ if slow => "ok".to_string(),
+                                _ => "sampled".to_string(),
                             },
+                            spans: trace_output.map(|t| t.recorder),
                         });
+                        ctx.metrics.slow_log_entries.set(held as i64);
                     }
                 }
             }
@@ -543,20 +713,37 @@ fn with_session(
     let start = Instant::now();
     entry.begin_request();
     ctx.metrics.session_requests.inc();
+    // Thread the traced request's op span into the session for the
+    // closure's duration, so net routing attributes under it. A panic
+    // skips the clear and leaks the handle into the quarantined
+    // session — harmless, since the session is unreachable until CLOSE.
+    let request_span = REQUEST_SPAN.with(|slot| slot.borrow().clone());
     let entry_ref: &SessionEntry = &entry;
-    let outcome = catch_unwind(AssertUnwindSafe(move || f(entry_ref, &mut guard)));
+    let outcome = catch_unwind(AssertUnwindSafe(move || {
+        if let Some(span) = &request_span {
+            guard.session.set_trace(Some(span.clone()));
+        }
+        let response = f(entry_ref, &mut guard);
+        if request_span.is_some() {
+            guard.session.set_trace(None);
+        }
+        response
+    }));
     let us = start.elapsed().as_micros() as u64;
     entry.add_wall_us(us);
     ctx.metrics.session_wall_us.add(us);
     outcome.unwrap_or_else(|_| {
         ctx.counters.panics.fetch_add(1, Ordering::Relaxed);
         ctx.metrics.slow_requests.inc();
-        slow_log().record(SlowEntry {
+        PANIC_LOGGED.with(|f| f.set(true));
+        let held = slow_log().record(SlowEntry {
             trace,
             verb,
             micros: us,
             detail: format!("panicked; session {sid} quarantined"),
+            spans: None,
         });
+        ctx.metrics.slow_log_entries.set(held as i64);
         Response::err(
             ErrCode::Quarantined,
             format!("request panicked; session {sid} is quarantined (trace {trace})"),
@@ -713,6 +900,49 @@ fn dispatch(request: Request, ctx: &Ctx<'_>, trace: TraceId) -> Response {
                     s.session.dirty_nets().len()
                 ),
             )
+        }),
+        Request::Trace { sid, inner } => {
+            if !gcr_telemetry::enabled() {
+                // Kill switch: serve the inner request untraced and be
+                // honest about it — a zero-span head over the inner body.
+                return match dispatch(*inner, ctx, trace) {
+                    Response::Ok { body, .. } => {
+                        Response::ok_with(format!("trace {trace} spans 0"), body)
+                    }
+                    err => err,
+                };
+            }
+            let inner_verb = inner.verb();
+            let (response, recorder) =
+                trace_request(ctx, trace, inner_verb, sid, || dispatch(*inner, ctx, trace));
+            let spans = recorder.finish().render();
+            TRACE_OUTPUT.with(|slot| {
+                *slot.borrow_mut() = Some(TraceOutput {
+                    recorder,
+                    sampled: false,
+                });
+            });
+            match response {
+                Response::Ok { body, .. } => {
+                    let count = spans.lines().count();
+                    Response::ok_with(
+                        format!("trace {trace} spans {count}"),
+                        format!("{body}{spans}"),
+                    )
+                }
+                // An inner failure answers as itself; the span tree is
+                // retained in the slow ring (see handle_connection).
+                err => err,
+            }
+        }
+        Request::Explain { sid, net } => with_session(ctx, sid, trace, verb, |_e, s| {
+            let Some(id) = s.session.layout().net_by_name(&net) else {
+                return Response::err(ErrCode::UnknownName, format!("unknown net {net:?}"));
+            };
+            match s.session.explain_net(id) {
+                Some(explain) => Response::ok_with("explain", format_explain(&explain)),
+                None => Response::err(ErrCode::Internal, format!("net {net:?} has no slot")),
+            }
         }),
         Request::Stats { sid: Some(sid) } => with_session(ctx, sid, trace, verb, |e, s| {
             let mut body = format_stats(&s.stats());

@@ -17,7 +17,12 @@
 //!   its own.
 //! - [`TraceId`] — cheap per-request identifiers from a global atomic.
 //! - [`SlowLog`] — a bounded ring of slow or panicked requests, keyed
-//!   by trace ID.
+//!   by trace ID, each entry optionally retaining its rendered span
+//!   tree.
+//! - [`SpanRecorder`] / [`SpanTree`] — hierarchical per-request span
+//!   trees (request → op → net → search) with attributed counters, a
+//!   stable line grammar, and collapsed-stack rendering for flamegraph
+//!   tooling (see [`trace`]).
 //!
 //! ## Kill switch
 //!
@@ -40,13 +45,18 @@
 mod metrics;
 mod registry;
 mod slowlog;
+pub mod trace;
 
 pub use metrics::{Counter, Gauge, Histogram, SpanTimer, LATENCY_BOUNDS_US, SIZE_BOUNDS};
 pub use registry::{
     global, histogram_buckets, parse_exposition, quantile_bucket_index, MetricKind,
     MetricsRegistry, Sample,
 };
-pub use slowlog::{slow_log, SlowEntry, SlowLog};
+pub use slowlog::{init_slow_log, slow_log, SlowEntry, SlowLog, DEFAULT_SLOW_LOG_CAP};
+pub use trace::{
+    active_span, has_active_span, sample_trace, set_active_span, SpanHandle, SpanId, SpanNode,
+    SpanRecorder, SpanTree,
+};
 
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};

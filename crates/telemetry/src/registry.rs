@@ -194,6 +194,19 @@ impl MetricsRegistry {
         }
     }
 
+    /// Names of every registered family, in registration order. CI's
+    /// metrics-completeness check compares this against a live scrape:
+    /// a registered name missing from the exposition means an
+    /// instrumentation layer silently fell off.
+    pub fn family_names(&self) -> Vec<&'static str> {
+        self.families
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|f| f.name)
+            .collect()
+    }
+
     /// Render every family in Prometheus text exposition format.
     /// Families appear in registration order; histogram buckets are
     /// cumulative with an explicit `+Inf` bucket.
@@ -488,6 +501,117 @@ mod tests {
         assert_eq!(buckets, vec![(10.0, 1), (100.0, 2), (f64::INFINITY, 3)]);
         assert_eq!(quantile_bucket_index(&buckets, 0.5), Some(1));
         assert_eq!(quantile_bucket_index(&buckets, 0.99), Some(2));
+    }
+
+    #[test]
+    fn bucket_boundary_values_are_le_inclusive_through_the_parser() {
+        // Observations landing exactly on a bucket's upper bound must
+        // count into that bucket (Prometheus `le` semantics) on both
+        // the live histogram and the parsed exposition.
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("gcr_edge_us", "boundary values", &[10, 100, 1_000]);
+        h.observe(10);
+        h.observe(100);
+        h.observe(1_000);
+        h.observe(1_001); // one past the last bound: overflow bucket
+        assert_eq!(h.bucket_counts(), vec![1, 1, 1, 1]);
+
+        let samples = parse_exposition(&reg.expose());
+        let buckets = histogram_buckets(&samples, "gcr_edge_us", &[]);
+        assert_eq!(
+            buckets,
+            vec![(10.0, 1), (100.0, 2), (1_000.0, 3), (f64::INFINITY, 4)]
+        );
+        // Quantiles on the parsed view agree with the live view at the
+        // boundaries: rank 1 of 4 is the le=10 bucket, rank 4 the +Inf.
+        assert_eq!(
+            quantile_bucket_index(&buckets, 0.25),
+            h.quantile_bucket(0.25)
+        );
+        assert_eq!(quantile_bucket_index(&buckets, 1.0), h.quantile_bucket(1.0));
+        assert_eq!(quantile_bucket_index(&buckets, 1.0), Some(3));
+    }
+
+    #[test]
+    fn zero_count_series_survive_the_round_trip() {
+        // Registered-but-never-touched series must still appear in the
+        // exposition with zero values, parse back, and yield `None`
+        // quantiles rather than a bogus bucket.
+        let reg = MetricsRegistry::new();
+        reg.counter("gcr_zero_total", "never incremented");
+        reg.gauge("gcr_zero_gauge", "never set");
+        reg.histogram("gcr_zero_us", "never observed", &[10, 100]);
+
+        let text = reg.expose();
+        let samples = parse_exposition(&text);
+        let find = |name: &str| samples.iter().find(|s| s.name == name).map(|s| s.value);
+        assert_eq!(find("gcr_zero_total"), Some(0.0));
+        assert_eq!(find("gcr_zero_gauge"), Some(0.0));
+        assert_eq!(find("gcr_zero_us_count"), Some(0.0));
+        assert_eq!(find("gcr_zero_us_sum"), Some(0.0));
+        let buckets = histogram_buckets(&samples, "gcr_zero_us", &[]);
+        assert_eq!(buckets, vec![(10.0, 0), (100.0, 0), (f64::INFINITY, 0)]);
+        assert_eq!(quantile_bucket_index(&buckets, 0.5), None);
+    }
+
+    #[test]
+    fn parse_is_a_left_inverse_of_render_on_a_populated_registry() {
+        // Every sample line a populated registry renders must come back
+        // through the parser with its exact name, labels and value —
+        // and rendering is deterministic, so parse ∘ render ∘ parse is
+        // a fixed point.
+        let reg = MetricsRegistry::new();
+        reg.counter("gcr_rt_total", "c").add(11);
+        reg.counter_labeled("gcr_rt_verbs_total", "cl", "verb", "ping")
+            .add(2);
+        reg.counter_labeled("gcr_rt_verbs_total", "cl", "verb", "eco")
+            .add(3);
+        reg.gauge("gcr_rt_gauge", "g").set(-17);
+        let h = reg.histogram_labeled("gcr_rt_us", "h", "verb", "eco", &[5, 50]);
+        h.observe(5);
+        h.observe(49);
+        h.observe(5_000);
+
+        let text = reg.expose();
+        assert_eq!(text, reg.expose(), "rendering is deterministic");
+        let samples = parse_exposition(&text);
+        let sample_lines = text
+            .lines()
+            .filter(|l| !l.is_empty() && !l.starts_with('#'))
+            .count();
+        assert_eq!(samples.len(), sample_lines, "no sample line is dropped");
+
+        let value = |name: &str, labels: &[(&str, &str)]| {
+            samples
+                .iter()
+                .find(|s| {
+                    s.name == name
+                        && s.has_labels(labels)
+                        && (name.ends_with("_bucket") || s.label("le").is_none())
+                })
+                .unwrap_or_else(|| panic!("missing {name} {labels:?}"))
+                .value
+        };
+        assert_eq!(value("gcr_rt_total", &[]), 11.0);
+        assert_eq!(value("gcr_rt_verbs_total", &[("verb", "ping")]), 2.0);
+        assert_eq!(value("gcr_rt_verbs_total", &[("verb", "eco")]), 3.0);
+        assert_eq!(value("gcr_rt_gauge", &[]), -17.0);
+        assert_eq!(value("gcr_rt_us_sum", &[("verb", "eco")]), 5_054.0);
+        assert_eq!(value("gcr_rt_us_count", &[("verb", "eco")]), 3.0);
+        assert_eq!(
+            histogram_buckets(&samples, "gcr_rt_us", &[("verb", "eco")]),
+            vec![(5.0, 1), (50.0, 2), (f64::INFINITY, 3)]
+        );
+        assert_eq!(
+            reg.family_names(),
+            vec![
+                "gcr_rt_total",
+                "gcr_rt_verbs_total",
+                "gcr_rt_gauge",
+                "gcr_rt_us"
+            ],
+            "family_names enumerates registration order"
+        );
     }
 
     #[test]

@@ -4,9 +4,9 @@
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
 
-use crate::TraceId;
+use crate::{SpanRecorder, TraceId};
 
 /// One slow-request record.
 #[derive(Debug, Clone)]
@@ -19,6 +19,12 @@ pub struct SlowEntry {
     pub micros: u64,
     /// Free-form context (error text, panic note, session ID).
     pub detail: String,
+    /// The request's span recorder, when the offender was traced
+    /// (`None` for untraced requests). Held raw — every span is
+    /// already closed, so retention on the hot path skips the tree
+    /// assembly and formatting costs; read with
+    /// [`SpanRecorder::finish`] then [`crate::SpanTree::render`].
+    pub spans: Option<Arc<SpanRecorder>>,
 }
 
 /// A fixed-capacity ring buffer of [`SlowEntry`] records; the oldest
@@ -41,14 +47,17 @@ impl SlowLog {
         }
     }
 
-    /// Append an entry, evicting the oldest when full.
-    pub fn record(&self, entry: SlowEntry) {
+    /// Append an entry, evicting the oldest when full. Returns the
+    /// entries now held, so callers updating an occupancy gauge skip a
+    /// second lock.
+    pub fn record(&self, entry: SlowEntry) -> usize {
         self.recorded.fetch_add(1, Ordering::Relaxed);
         let mut ring = self.ring.lock().unwrap();
         if ring.len() == self.capacity {
             ring.pop_front();
         }
         ring.push_back(entry);
+        ring.len()
     }
 
     /// A point-in-time copy of the ring, oldest first.
@@ -82,10 +91,24 @@ impl SlowLog {
     }
 }
 
-/// The process-global slow log (capacity 256).
+static LOG: OnceLock<SlowLog> = OnceLock::new();
+
+/// The process-global slow log's default capacity (entries).
+pub const DEFAULT_SLOW_LOG_CAP: usize = 256;
+
+/// The process-global slow log (capacity [`DEFAULT_SLOW_LOG_CAP`]
+/// unless [`init_slow_log`] ran first).
 pub fn slow_log() -> &'static SlowLog {
-    static LOG: OnceLock<SlowLog> = OnceLock::new();
-    LOG.get_or_init(|| SlowLog::new(256))
+    LOG.get_or_init(|| SlowLog::new(DEFAULT_SLOW_LOG_CAP))
+}
+
+/// Initialize the process-global slow log with an explicit capacity
+/// (`gcrt serve --slow-log-cap`). First initialization wins — if the
+/// log already exists (a recorder got there first, or a second server
+/// started in-process) the existing log is returned and its capacity
+/// is unchanged.
+pub fn init_slow_log(capacity: usize) -> &'static SlowLog {
+    LOG.get_or_init(|| SlowLog::new(capacity))
 }
 
 #[cfg(test)]
@@ -98,6 +121,7 @@ mod tests {
             verb: "route",
             micros: n * 10,
             detail: format!("entry {n}"),
+            spans: None,
         }
     }
 
@@ -124,6 +148,7 @@ mod tests {
             verb: "ping",
             micros: 1,
             detail: String::new(),
+            spans: None,
         });
         assert!(slow_log().contains_trace(t));
     }

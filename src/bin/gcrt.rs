@@ -69,6 +69,8 @@ const VALUE_FLAGS: &[&str] = &[
     "--deadline-ms",
     "--retries",
     "--slow-log-ms",
+    "--slow-log-cap",
+    "--trace-sample-rate",
     "--clients",
     "--requests",
     "--kind",
@@ -135,7 +137,10 @@ fn run(args: &[String]) -> Result<(), String> {
                  \x20 gen     generate a seeded parametric instance (to file or stdout)\n\
                  \x20 serve   run the routing daemon (gcr-service)\n\
                  \x20 client  drive a running daemon: gcrt client <addr> <cmd> [...]\n\
-                 \x20 loadgen measure a daemon's req/s ceiling: gcrt loadgen <addr> [...]\n\n\
+                 \x20 loadgen measure a daemon's req/s ceiling: gcrt loadgen <addr> [...]\n\
+                 \x20 profile trace requests against a daemon and render span trees:\n\
+                 \x20         gcrt profile <addr> [--requests N] [--collapsed]\n\
+                 \x20 explain per-net cost attribution: gcrt explain <addr> <sid> <net>\n\n\
                  options:\n\
                  \x20 --engine E      routing backend: gridless (default), grid,\n\
                  \x20                 lee-moore, hightower\n\
@@ -168,13 +173,18 @@ fn run(args: &[String]) -> Result<(), String> {
                  \x20                     (default 30000)\n\
                  \x20 --max-body-kb N     request body size cap in KiB (default 4096)\n\
                  \x20 --slow-log-ms N     slow-request log threshold, 0 = panics only\n\
-                 \x20                     (default 1000)\n\n\
+                 \x20                     (default 1000)\n\
+                 \x20 --slow-log-cap N    slow-log ring capacity (default 256)\n\
+                 \x20 --trace-sample-rate F  fraction of session ops traced ambiently\n\
+                 \x20                     and retained in the slow log (default 0)\n\n\
                  client commands (<sid> comes from open's reply):\n\
                  \x20 ping | shutdown\n\
                  \x20 open <engine> <flat|sharded> <file.gcl>\n\
                  \x20 eco <sid> <file.eco>\n\
                  \x20 route <sid> [full]     ripup <sid> <net>\n\
                  \x20 negotiate <sid> [max-iters]\n\
+                 \x20 trace <sid> <route|eco|negotiate|ripup> [...]\n\
+                 \x20 explain <sid> <net>\n\
                  \x20 stats [<sid>]          dump <sid>\n\
                  \x20 metrics                close <sid>\n\n\
                  client options:\n\
@@ -182,6 +192,13 @@ fn run(args: &[String]) -> Result<(), String> {
                  \x20 --deadline-ms N     server-side DEADLINE on route/negotiate\n\
                  \x20 --retries N         retries for idempotent verbs (default 0);\n\
                  \x20                     backoff uses decorrelated jitter\n\n\
+                 profile options (generates a seeded instance, traces ECO reroutes):\n\
+                 \x20 --requests N        traced requests (default 3)\n\
+                 \x20 --nets N            nets per generated layout (default 60)\n\
+                 \x20 --seed N            generator seed (default 7)\n\
+                 \x20 --engine E          session engine (default gridless)\n\
+                 \x20 --collapsed         print only merged collapsed stacks\n\
+                 \x20                     (flamegraph input)\n\n\
                  loadgen options (closed-loop; each client gets its own session):\n\
                  \x20 --clients N         concurrent client threads (default 4)\n\
                  \x20 --requests N        timed requests per client (default 100)\n\
@@ -401,6 +418,15 @@ fn run(args: &[String]) -> Result<(), String> {
             if slow_log_ms < 0 {
                 return Err("--slow-log-ms must be non-negative (0 = panics only)".to_string());
             }
+            let slow_log_cap =
+                int_value("--slow-log-cap")?.unwrap_or(gcr::telemetry::DEFAULT_SLOW_LOG_CAP as i64);
+            if slow_log_cap < 1 {
+                return Err("--slow-log-cap must be at least 1".to_string());
+            }
+            let trace_sample_rate = float_value("--trace-sample-rate")?.unwrap_or(0.0);
+            if !(0.0..=1.0).contains(&trace_sample_rate) {
+                return Err("--trace-sample-rate must be in [0, 1]".to_string());
+            }
             let config = ServerConfig {
                 addr,
                 capacity: capacity as usize,
@@ -413,6 +439,8 @@ fn run(args: &[String]) -> Result<(), String> {
                 },
                 crash_probe: false,
                 slow_log_ms: slow_log_ms as u64,
+                slow_log_cap: slow_log_cap as usize,
+                trace_sample_rate,
             };
             let server = Server::bind(&config).map_err(|e| format!("{}: {e}", config.addr))?;
             println!(
@@ -493,6 +521,99 @@ fn run(args: &[String]) -> Result<(), String> {
                 server_q(0.95),
                 server_q(0.99),
             );
+            Ok(())
+        }
+        "profile" => {
+            use gcr::workload::generator::{generate, GeneratorParams};
+            let addr = positionals.get(1).ok_or("missing daemon address")?;
+            let requests = int_value("--requests")?.unwrap_or(3).max(1) as u64;
+            let nets = int_value("--nets")?.unwrap_or(60).max(1) as usize;
+            let seed = int_value("--seed")?.unwrap_or(7) as u64;
+            let engine_name = value_of("--engine").map_or("gridless", String::as_str);
+            let engine = EngineKind::parse(engine_name)
+                .ok_or_else(|| format!("unknown engine {engine_name:?}"))?;
+            let collapsed_only = flag("--collapsed");
+            let layout = generate(&GeneratorParams::with_nets(nets, seed));
+            let gcl = format::write(&layout);
+            let fail = |e: ClientError| format!("{addr}: {e}");
+            let mut client =
+                gcr::service::Client::connect(addr.as_str()).map_err(|e| format!("{addr}: {e}"))?;
+            let (sid, _) = client
+                .open(engine, PlaneIndexKind::Sharded, &gcl)
+                .map_err(fail)?;
+            // Cold route untraced; the traced requests profile warm full
+            // reroutes, the steady-state shape worth a flamegraph.
+            client.route(sid, false).map_err(fail)?;
+            let mut merged: std::collections::BTreeMap<String, u64> =
+                std::collections::BTreeMap::new();
+            for i in 0..requests {
+                let reply = client
+                    .trace(
+                        sid,
+                        Request::Route {
+                            sid,
+                            full: true,
+                            deadline_ms: None,
+                        },
+                    )
+                    .map_err(fail)?;
+                let Some(tree) = reply.span_tree() else {
+                    return Err(format!(
+                        "trace reply carried no spans (server telemetry disabled? \
+                         head {:?})",
+                        reply.head
+                    ));
+                };
+                if !collapsed_only && i == 0 {
+                    println!("span tree (request 1 of {requests}):");
+                    print!("{}", tree.render_indented());
+                }
+                for line in tree.render_collapsed().lines() {
+                    let Some((stack, count)) = line.rsplit_once(' ') else {
+                        continue;
+                    };
+                    let Ok(count) = count.parse::<u64>() else {
+                        continue;
+                    };
+                    // The root frame's label is the per-request trace id;
+                    // strip it so stacks merge across requests.
+                    let stack = match stack.split_once(';') {
+                        Some((root, rest)) => {
+                            let root = root.split_once(':').map_or(root, |(name, _)| name);
+                            format!("{root};{rest}")
+                        }
+                        None => stack
+                            .split_once(':')
+                            .map_or(stack, |(name, _)| name)
+                            .to_string(),
+                    };
+                    *merged.entry(stack).or_insert(0) += count;
+                }
+            }
+            let _ = client.close_session(sid);
+            if !collapsed_only {
+                println!("\ncollapsed stacks ({requests} request(s) merged, self-us):");
+            }
+            for (stack, count) in &merged {
+                println!("{stack} {count}");
+            }
+            Ok(())
+        }
+        "explain" => {
+            let addr = positionals.get(1).ok_or("missing daemon address")?;
+            let sid = positionals
+                .get(2)
+                .ok_or("missing session id")?
+                .parse::<u64>()
+                .map_err(|_| "bad session id".to_string())?;
+            let net = positionals.get(3).ok_or("missing net name")?;
+            let mut client =
+                gcr::service::Client::connect(addr.as_str()).map_err(|e| format!("{addr}: {e}"))?;
+            let reply = client
+                .explain(sid, net.as_str())
+                .map_err(|e| format!("{addr}: {e}"))?;
+            println!("OK {}", reply.head);
+            print!("{}", reply.body);
             Ok(())
         }
         other => Err(format!("unknown command {other:?}; try gcrt help")),
@@ -583,6 +704,57 @@ fn run_client(addr: &str, verb: &str, rest: &[&String], args: &[String]) -> Resu
                 deadline_ms,
             }
         }
+        "trace" => {
+            let sid = sid_arg(0)?;
+            let inner = match arg(1, "inner command (route|eco|negotiate|ripup)")? {
+                "route" => {
+                    let full = match rest.get(2).map(|s| s.as_str()) {
+                        None => false,
+                        Some("full") => true,
+                        Some(other) => return Err(format!("unknown route modifier {other:?}")),
+                    };
+                    Request::Route {
+                        sid,
+                        full,
+                        deadline_ms,
+                    }
+                }
+                "eco" => Request::Eco {
+                    sid,
+                    eco: file_arg(2, ".eco file")?,
+                },
+                "negotiate" => {
+                    let max_iters = match rest.get(2) {
+                        None => None,
+                        Some(token) => Some(token.parse::<u64>().map_err(|_| {
+                            format!("trace negotiate: bad iteration cap {token:?}")
+                        })?),
+                    };
+                    Request::Negotiate {
+                        sid,
+                        max_iters,
+                        deadline_ms,
+                    }
+                }
+                "ripup" => Request::RipUp {
+                    sid,
+                    net: arg(2, "net name")?.to_string(),
+                },
+                other => {
+                    return Err(format!(
+                        "trace cannot wrap {other:?} (route|eco|negotiate|ripup)"
+                    ))
+                }
+            };
+            Request::Trace {
+                sid,
+                inner: Box::new(inner),
+            }
+        }
+        "explain" => Request::Explain {
+            sid: sid_arg(0)?,
+            net: arg(1, "net name")?.to_string(),
+        },
         "stats" => Request::Stats {
             sid: match rest.first() {
                 Some(_) => Some(sid_arg(0)?),

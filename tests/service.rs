@@ -824,6 +824,211 @@ fn crash_probe_is_gated_off_by_default() {
     handle.join().unwrap();
 }
 
+// --------------------------------------------------- tracing via wire
+
+/// Serializes the scenarios that flip process-global telemetry state
+/// against each other (the kill switch, the shared slow ring): a
+/// kill-switched window must not race another test's sampled request.
+fn tracing_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// `TRACE ROUTE` answers the inner reply plus a parseable span tree:
+/// one request root, the verb's op span, one net span per net, and the
+/// head's span count agreeing with the body. `EXPLAIN` then attributes
+/// a routed net from the committed state the traced route left behind.
+#[test]
+fn trace_verb_returns_a_parseable_span_tree() {
+    let _guard = tracing_lock();
+    let (addr, handle) = spawn_server(4, 2);
+    let mut client = Client::connect(addr).unwrap();
+    let (sid, open) = client
+        .open(EngineKind::Gridless, PlaneIndexKind::Flat, &demo_gcl())
+        .unwrap();
+    let nets = open.int_field("nets").unwrap();
+
+    let reply = client
+        .trace(
+            sid,
+            Request::Route {
+                sid,
+                full: false,
+                deadline_ms: None,
+            },
+        )
+        .unwrap();
+    let mut head = reply.head.split_whitespace();
+    assert_eq!(head.next(), Some("trace"));
+    let tid = head.next().unwrap();
+    assert!(tid.starts_with('t'), "trace id token: {tid}");
+    assert_eq!(head.next(), Some("spans"));
+    let spans: usize = head.next().unwrap().parse().expect("span count");
+    // The inner ROUTE reply still leads the body, untouched.
+    assert_eq!(reply.field("mode"), Some("full"));
+    assert_eq!(reply.int_field("failed"), Some(0));
+
+    let tree = reply.span_tree().expect("span grammar parses back");
+    assert_eq!(tree.span_count(), spans, "head count matches the tree");
+    assert_eq!(tree.root.name, "request");
+    assert_eq!(tree.root.children.len(), 1, "one op under the request");
+    let op = &tree.root.children[0];
+    assert_eq!(op.name, "route");
+    let net_spans = tree.find_all("net");
+    assert_eq!(net_spans.len() as i64, nets, "one span per routed net");
+    for net in &net_spans {
+        assert!(
+            net.counter("expanded").is_some(),
+            "net {} carries its search effort",
+            net.label
+        );
+    }
+
+    // EXPLAIN attributes the committed route: outcome, attempts, and
+    // the wire length against the pin-bbox lower bound.
+    let explain = client.explain(sid, "clk").unwrap();
+    assert_eq!(explain.field("status"), Some("routed"));
+    assert_eq!(explain.int_field("attempts"), Some(1));
+    assert!(explain.int_field("expanded").unwrap() > 0);
+    assert!(
+        explain.int_field("wire-length").unwrap() >= explain.int_field("lower-bound").unwrap(),
+        "no route beats the half-perimeter bound"
+    );
+    match client.explain(sid, "nosuchnet") {
+        Err(ClientError::Server(e)) => assert_eq!(e.code, ErrCode::UnknownName),
+        other => panic!("expected UNKNOWN-NAME, got {other:?}"),
+    }
+
+    client.close_session(sid).unwrap();
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+}
+
+/// With the `GCR_TELEMETRY` kill switch thrown, `TRACE` serves the
+/// inner request untraced and says so: a `spans 0` head over the plain
+/// inner body, no span lines.
+#[test]
+fn kill_switched_trace_answers_spans_zero() {
+    let _guard = tracing_lock();
+    struct Restore;
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            gcr::telemetry::set_enabled(true);
+        }
+    }
+    let _restore = Restore;
+    let (addr, handle) = spawn_server(4, 1);
+    let mut client = Client::connect(addr).unwrap();
+    let (sid, _) = client
+        .open(EngineKind::Gridless, PlaneIndexKind::Flat, &demo_gcl())
+        .unwrap();
+
+    gcr::telemetry::set_enabled(false);
+    let reply = client
+        .trace(
+            sid,
+            Request::Route {
+                sid,
+                full: false,
+                deadline_ms: None,
+            },
+        )
+        .unwrap();
+    assert!(
+        reply.head.ends_with("spans 0"),
+        "kill-switched head: {}",
+        reply.head
+    );
+    assert_eq!(reply.field("mode"), Some("full"), "the route still ran");
+    assert!(reply.span_tree().is_none(), "no span lines in the body");
+    gcr::telemetry::set_enabled(true);
+
+    client.close_session(sid).unwrap();
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+}
+
+/// `EXPLAIN` for a net sealed off by cell geometry names the binding
+/// cause over the wire: `blocked-goal`, with the committed error text
+/// as detail and no wire length (nothing committed).
+#[test]
+fn explain_names_the_binding_cause_for_a_sealed_net() {
+    // A donut of four touching cells seals (75,50); the net can never
+    // route. Spacing 0 keeps the touching walls legal geometry.
+    let gcl = "gcl 1\nbounds 0 0 100 100\nspacing 0\n\
+               cell south 58 26 92 32\ncell north 58 68 92 74\n\
+               cell west 58 26 64 74\ncell east 86 26 92 74\n\
+               net cross\nterminal a\npin - 5 50\nterminal b\npin - 75 50\n";
+    let (addr, handle) = spawn_server(4, 1);
+    let mut client = Client::connect(addr).unwrap();
+    let (sid, _) = client
+        .open(EngineKind::Gridless, PlaneIndexKind::Sharded, gcl)
+        .unwrap();
+    let route = client.route(sid, false).unwrap();
+    assert_eq!(route.int_field("failed"), Some(1));
+
+    let explain = client.explain(sid, "cross").unwrap();
+    assert_eq!(explain.field("status"), Some("failed"));
+    assert_eq!(explain.field("cause"), Some("blocked-goal"));
+    assert!(explain.field("detail").is_some(), "error text rides along");
+    assert_eq!(explain.field("wire-length"), None, "nothing committed");
+    assert!(explain.int_field("attempts").unwrap() >= 1);
+
+    client.close_session(sid).unwrap();
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+}
+
+/// A daemon sampling every request retains each request's full span
+/// tree in the slow ring — readable after the fact, with the occupancy
+/// gauge live in the `METRICS` exposition.
+#[test]
+fn sampled_requests_retain_their_span_trees() {
+    let _guard = tracing_lock();
+    let (addr, handle) = spawn_server_with(ServerConfig {
+        capacity: 4,
+        workers: 1,
+        trace_sample_rate: 1.0,
+        ..ServerConfig::default()
+    });
+    let mut client = Client::connect(addr).unwrap();
+    let (sid, _) = client
+        .open(EngineKind::Gridless, PlaneIndexKind::Flat, &demo_gcl())
+        .unwrap();
+    let recorded_before = gcr::telemetry::slow_log().recorded();
+    client.route(sid, false).unwrap();
+
+    // The sampled route landed in the ring with its recorder attached;
+    // the tree assembles lazily at read time.
+    assert!(gcr::telemetry::slow_log().recorded() > recorded_before);
+    let entry = gcr::telemetry::slow_log()
+        .snapshot()
+        .into_iter()
+        .rev()
+        .find(|e| e.verb == "route" && e.spans.is_some())
+        .expect("the sampled route is retained with its spans");
+    let tree = entry.spans.as_ref().unwrap().finish();
+    assert_eq!(tree.root.name, "request");
+    assert!(
+        !tree.find_all("net").is_empty(),
+        "the retained tree carries the per-net decomposition"
+    );
+
+    // The occupancy gauge tracks the ring over the wire.
+    let scrape = client.metrics().unwrap();
+    let held = gcr::telemetry::parse_exposition(&scrape.body)
+        .iter()
+        .find(|s| s.name == "gcr_service_slow_log_entries")
+        .map(|s| s.value as u64)
+        .expect("occupancy gauge exposed");
+    assert!(held >= 1, "at least our sampled entry is held");
+
+    client.close_session(sid).unwrap();
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+}
+
 #[test]
 fn draining_server_rejects_new_work_then_exits() {
     let (addr, handle) = spawn_server(2, 2);

@@ -14,8 +14,12 @@ use std::sync::{Mutex, MutexGuard, PoisonError};
 use std::thread;
 
 use gcr::prelude::*;
-use gcr::service::{loadgen, Client, EngineKind, Server, ServerConfig, ServerReport, VERBS};
-use gcr::telemetry::{histogram_buckets, parse_exposition, quantile_bucket_index, Sample};
+use gcr::service::{
+    loadgen, Client, EngineKind, Request, Server, ServerConfig, ServerReport, VERBS,
+};
+use gcr::telemetry::{
+    histogram_buckets, parse_exposition, quantile_bucket_index, Sample, SpanNode,
+};
 
 /// Serializes scenarios that assert absolute values of process-global
 /// counters.
@@ -232,5 +236,121 @@ fn loadgen_agrees_with_the_server_metrics() {
     }
 
     probe.shutdown().unwrap();
+    handle.join().unwrap();
+}
+
+/// The tracing differential: an explicit `TRACE ROUTE` must attribute
+/// exactly the work the registry counts. The `expanded` total over the
+/// tree's `search` leaves equals the `gcr_search_expansions_total`
+/// delta for the same request (both sinks read one `SearchStats`, see
+/// `gcr-search`'s flush point), the per-net rollups agree with the
+/// leaves under them, and every child span nests inside its parent's
+/// interval — the tree is a real decomposition of the request, not a
+/// sample of it.
+#[test]
+fn traced_route_spans_agree_with_the_registry() {
+    let _guard = telemetry_lock();
+    let (addr, handle) = spawn_server(ServerConfig {
+        capacity: 4,
+        workers: 2,
+        ..ServerConfig::default()
+    });
+    let mut client = Client::connect(addr).unwrap();
+    let layout = gcr::workload::generator::generate(
+        &gcr::workload::generator::GeneratorParams::with_nets(60, 11),
+    );
+    let gcl = gcr::layout::format::write(&layout);
+    let (sid, _) = client
+        .open(EngineKind::Gridless, PlaneIndexKind::Sharded, &gcl)
+        .unwrap();
+
+    let before = parse_exposition(&client.metrics().unwrap().body);
+    let reply = client
+        .trace(
+            sid,
+            Request::Route {
+                sid,
+                full: false,
+                deadline_ms: None,
+            },
+        )
+        .unwrap();
+    let after = parse_exposition(&client.metrics().unwrap().body);
+
+    // Head shape: `trace <tid> spans <N>` with a live span count, the
+    // inner ROUTE body leading the reply.
+    let mut head = reply.head.split_whitespace();
+    assert_eq!(head.next(), Some("trace"));
+    let tid = head.next().unwrap();
+    assert!(tid.starts_with('t'), "trace id token: {tid}");
+    assert_eq!(head.next(), Some("spans"));
+    let spans: usize = head.next().unwrap().parse().expect("span count");
+    assert!(
+        spans >= 3,
+        "request + op + net spans at least: {}",
+        reply.head
+    );
+    assert_eq!(reply.field("mode"), Some("full"));
+    assert_eq!(
+        reply.int_field("failed"),
+        Some(0),
+        "the workload fixture routes clean; the per-net rollup check
+         below relies on every net committing"
+    );
+
+    let tree = reply.span_tree().expect("span grammar parses back");
+    assert_eq!(tree.span_count(), spans, "head count matches the tree");
+    assert_eq!(tree.root.name, "request");
+
+    // Differential: attributed expansions equal the registry's view of
+    // the same request (the only routing traffic between the scrapes).
+    let expansions = |samples: &[Sample]| series_value(samples, "gcr_search_expansions_total", &[]);
+    let delta = expansions(&after) - expansions(&before);
+    let from_leaves: u64 = tree
+        .find_all("search")
+        .iter()
+        .filter_map(|n| n.counter("expanded"))
+        .sum();
+    assert!(delta > 0, "routing 60 nets must expand search nodes");
+    assert_eq!(
+        from_leaves, delta,
+        "span-attributed expansions vs registry delta"
+    );
+    // And the per-net rollups carry the same totals as the search
+    // leaves recorded under them.
+    let from_nets: u64 = tree
+        .find_all("net")
+        .iter()
+        .filter_map(|n| n.counter("expanded"))
+        .sum();
+    assert_eq!(from_nets, from_leaves, "net rollups vs search leaves");
+
+    // Interval containment: children start and end inside their parent
+    // (every timestamp is an offset from the one request epoch).
+    fn assert_nested(parent: &SpanNode) {
+        for child in &parent.children {
+            assert!(
+                child.start_us >= parent.start_us,
+                "{}/{} starts before its parent {}/{}",
+                child.name,
+                child.label,
+                parent.name,
+                parent.label
+            );
+            assert!(
+                child.start_us + child.dur_us <= parent.start_us + parent.dur_us,
+                "{}/{} ends after its parent {}/{}",
+                child.name,
+                child.label,
+                parent.name,
+                parent.label
+            );
+            assert_nested(child);
+        }
+    }
+    assert_nested(&tree.root);
+
+    client.close_session(sid).unwrap();
+    client.shutdown().unwrap();
     handle.join().unwrap();
 }
